@@ -1,0 +1,294 @@
+//! Convoy discovery (Jeung et al., PVLDB 2008).
+//!
+//! A convoy is a set of at least `m` objects that stay *density-connected*
+//! for at least `k` consecutive time snapshots. The implementation follows
+//! the CMC (coherent moving cluster) scheme: DBSCAN per snapshot, then
+//! intersection of candidate groups across consecutive snapshots.
+//!
+//! Convoys are one of the "co-movement patterns" families the paper contrasts
+//! with its approach — effective, but governed by hard-to-tune parameters
+//! (`m`, `k`, `eps` all interact), which is one of the motivations for
+//! S2T/QuT-Clustering.
+
+use crate::dbscan::{dbscan, DbscanLabel};
+use hermes_trajectory::{Duration, ObjectId, TimeInterval, Timestamp, Trajectory};
+use std::collections::BTreeSet;
+
+/// Parameters of convoy discovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvoyParams {
+    /// DBSCAN radius at each snapshot.
+    pub eps: f64,
+    /// Minimum number of objects (`m`).
+    pub min_objects: usize,
+    /// Minimum number of consecutive snapshots (`k`).
+    pub min_snapshots: usize,
+    /// Snapshot sampling period.
+    pub snapshot_period: Duration,
+}
+
+impl Default for ConvoyParams {
+    fn default() -> Self {
+        ConvoyParams {
+            eps: 100.0,
+            min_objects: 3,
+            min_snapshots: 3,
+            snapshot_period: Duration::from_mins(1),
+        }
+    }
+}
+
+/// A discovered convoy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Convoy {
+    /// The objects travelling together.
+    pub objects: BTreeSet<ObjectId>,
+    /// First snapshot at which the group was together.
+    pub start: Timestamp,
+    /// Last snapshot at which the group was together.
+    pub end: Timestamp,
+}
+
+impl Convoy {
+    /// Lifespan of the convoy.
+    pub fn lifespan(&self) -> TimeInterval {
+        TimeInterval::new(self.start, self.end)
+    }
+
+    /// Number of participating objects.
+    pub fn size(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    objects: BTreeSet<ObjectId>,
+    start: Timestamp,
+    end: Timestamp,
+    snapshots: usize,
+}
+
+/// Discovers convoys in a set of trajectories.
+pub fn discover_convoys(trajectories: &[Trajectory], params: &ConvoyParams) -> Vec<Convoy> {
+    if trajectories.is_empty() {
+        return Vec::new();
+    }
+    let global_start = trajectories.iter().map(|t| t.start_time()).min().unwrap();
+    let global_end = trajectories.iter().map(|t| t.end_time()).max().unwrap();
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut results: Vec<Convoy> = Vec::new();
+    let mut t = global_start;
+    while t <= global_end {
+        // Objects alive at this snapshot and their positions.
+        let mut alive: Vec<(ObjectId, f64, f64)> = Vec::new();
+        for traj in trajectories {
+            if let Some(p) = traj.position_at(t) {
+                alive.push((traj.object_id, p.x, p.y));
+            }
+        }
+        // Snapshot clusters.
+        let labels = dbscan(alive.len(), params.eps, params.min_objects, |i, j| {
+            let (_, ax, ay) = alive[i];
+            let (_, bx, by) = alive[j];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        });
+        let mut snapshot_groups: Vec<BTreeSet<ObjectId>> = Vec::new();
+        let num_clusters = labels
+            .iter()
+            .filter_map(DbscanLabel::cluster)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        for c in 0..num_clusters {
+            let group: BTreeSet<ObjectId> = alive
+                .iter()
+                .zip(labels.iter())
+                .filter(|(_, l)| l.cluster() == Some(c))
+                .map(|((id, _, _), _)| *id)
+                .collect();
+            if group.len() >= params.min_objects {
+                snapshot_groups.push(group);
+            }
+        }
+
+        // Extend candidates with this snapshot's groups.
+        let mut next: Vec<Candidate> = Vec::new();
+        for group in &snapshot_groups {
+            let mut extended_any = false;
+            for cand in &candidates {
+                let inter: BTreeSet<ObjectId> =
+                    cand.objects.intersection(group).copied().collect();
+                if inter.len() >= params.min_objects {
+                    extended_any = true;
+                    let c = Candidate {
+                        objects: inter,
+                        start: cand.start,
+                        end: t,
+                        snapshots: cand.snapshots + 1,
+                    };
+                    if !next.iter().any(|o: &Candidate| o.objects == c.objects && o.start == c.start) {
+                        next.push(c);
+                    }
+                }
+            }
+            // The group itself always starts a fresh candidate.
+            let fresh = Candidate {
+                objects: group.clone(),
+                start: t,
+                end: t,
+                snapshots: 1,
+            };
+            if !extended_any
+                || !next
+                    .iter()
+                    .any(|o| o.objects == fresh.objects && o.end == fresh.end)
+            {
+                next.push(fresh);
+            }
+        }
+
+        // Candidates that could not be extended are flushed if long enough.
+        for cand in &candidates {
+            let continued = next
+                .iter()
+                .any(|o| o.start == cand.start && o.objects.is_subset(&cand.objects));
+            if !continued && cand.snapshots >= params.min_snapshots {
+                results.push(Convoy {
+                    objects: cand.objects.clone(),
+                    start: cand.start,
+                    end: cand.end,
+                });
+            }
+        }
+        candidates = next;
+        t += params.snapshot_period;
+    }
+    // Flush the survivors.
+    for cand in candidates {
+        if cand.snapshots >= params.min_snapshots {
+            results.push(Convoy {
+                objects: cand.objects,
+                start: cand.start,
+                end: cand.end,
+            });
+        }
+    }
+
+    // Keep only maximal convoys (drop any convoy whose object set and
+    // lifespan are both contained in another's).
+    let mut maximal: Vec<Convoy> = Vec::new();
+    for c in results {
+        if maximal.iter().any(|m| {
+            m.objects.is_superset(&c.objects)
+                && m.lifespan().contains_interval(&c.lifespan())
+                && *m != c
+        }) {
+            continue;
+        }
+        maximal.retain(|m| {
+            !(c.objects.is_superset(&m.objects) && c.lifespan().contains_interval(&m.lifespan()))
+        });
+        maximal.push(c);
+    }
+    maximal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::Point;
+
+    fn line(id: u64, y: f64, t0: i64, n: usize) -> Trajectory {
+        Trajectory::new(
+            id,
+            id,
+            (0..n)
+                .map(|i| Point::new(i as f64 * 100.0, y, Timestamp(t0 + i as i64 * 60_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn params() -> ConvoyParams {
+        ConvoyParams {
+            eps: 100.0,
+            min_objects: 3,
+            min_snapshots: 3,
+            snapshot_period: Duration::from_mins(2),
+        }
+    }
+
+    #[test]
+    fn finds_a_persistent_convoy() {
+        let trajs = vec![
+            line(0, 0.0, 0, 20),
+            line(1, 20.0, 0, 20),
+            line(2, 40.0, 0, 20),
+            line(3, 100_000.0, 0, 20), // far away
+        ];
+        let convoys = discover_convoys(&trajs, &params());
+        assert!(!convoys.is_empty());
+        let best = convoys.iter().max_by_key(|c| c.size()).unwrap();
+        assert_eq!(best.size(), 3);
+        assert!(best.objects.contains(&0) && best.objects.contains(&1) && best.objects.contains(&2));
+        assert!(best.lifespan().length() >= Duration::from_mins(4));
+    }
+
+    #[test]
+    fn too_few_objects_is_no_convoy() {
+        let trajs = vec![line(0, 0.0, 0, 20), line(1, 20.0, 0, 20)];
+        assert!(discover_convoys(&trajs, &params()).is_empty());
+    }
+
+    #[test]
+    fn brief_encounters_are_filtered_by_k() {
+        // Two groups crossing: they are only close for one snapshot.
+        let a: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 200.0, 0.0, Timestamp(i as i64 * 60_000)))
+            .collect();
+        let b: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 200.0, 4_000.0 - i as f64 * 400.0, Timestamp(i as i64 * 60_000)))
+            .collect();
+        let c: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 200.0, 20.0, Timestamp(i as i64 * 60_000)))
+            .collect();
+        let d: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 200.0, 4_020.0 - i as f64 * 400.0, Timestamp(i as i64 * 60_000)))
+            .collect();
+        let trajs = vec![
+            Trajectory::new(0, 0, a).unwrap(),
+            Trajectory::new(1, 1, b).unwrap(),
+            Trajectory::new(2, 2, c).unwrap(),
+            Trajectory::new(3, 3, d).unwrap(),
+        ];
+        let p = ConvoyParams {
+            min_objects: 4,
+            min_snapshots: 5,
+            ..params()
+        };
+        assert!(discover_convoys(&trajs, &p).is_empty());
+    }
+
+    #[test]
+    fn temporally_disjoint_groups_form_separate_convoys() {
+        let mut trajs = Vec::new();
+        for k in 0..3 {
+            trajs.push(line(k, k as f64 * 20.0, 0, 15));
+        }
+        for k in 3..6 {
+            trajs.push(line(k, k as f64 * 20.0, 6 * 3_600_000, 15));
+        }
+        let convoys = discover_convoys(&trajs, &params());
+        assert!(convoys.len() >= 2);
+        let morning = convoys.iter().find(|c| c.objects.contains(&0)).unwrap();
+        let evening = convoys.iter().find(|c| c.objects.contains(&3)).unwrap();
+        assert!(!morning.lifespan().intersects(&evening.lifespan()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(discover_convoys(&[], &params()).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Generic DBSCAN over a caller-supplied distance function.
+
+/// Cluster assignment produced by [`dbscan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Item belongs to the cluster with this id.
+    Cluster(usize),
+    /// Item is density-noise.
+    Noise,
+}
+
+impl DbscanLabel {
+    /// The cluster id, if any.
+    pub fn cluster(&self) -> Option<usize> {
+        match self {
+            DbscanLabel::Cluster(c) => Some(*c),
+            DbscanLabel::Noise => None,
+        }
+    }
+}
+
+/// Classic DBSCAN on `n` items with a pairwise distance closure.
+///
+/// `eps` is the neighbourhood radius, `min_pts` the core-point threshold
+/// (neighbourhood size *including* the point itself). Runs in O(n²) distance
+/// evaluations, which is what the original TRACLUS and convoy papers use.
+pub fn dbscan(n: usize, eps: f64, min_pts: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<DbscanLabel> {
+    let mut labels = vec![None::<DbscanLabel>; n];
+    let mut next_cluster = 0usize;
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dist(i, j) <= eps).collect()
+    };
+
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_pts {
+            labels[i] = Some(DbscanLabel::Noise);
+            continue;
+        }
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[i] = Some(DbscanLabel::Cluster(cluster));
+        // Expand the cluster breadth-first.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            match labels[j] {
+                Some(DbscanLabel::Noise) => labels[j] = Some(DbscanLabel::Cluster(cluster)),
+                None => {
+                    labels[j] = Some(DbscanLabel::Cluster(cluster));
+                    let j_nbrs = neighbours(j);
+                    if j_nbrs.len() >= min_pts {
+                        queue.extend(j_nbrs);
+                    }
+                }
+                Some(DbscanLabel::Cluster(_)) => {}
+            }
+        }
+    }
+
+    labels.into_iter().map(|l| l.unwrap_or(DbscanLabel::Noise)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(points: &[(f64, f64)]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            let (ax, ay) = points[i];
+            let (bx, by) = points[j];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        }
+    }
+
+    #[test]
+    fn separates_two_blobs_and_noise() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push((i as f64 * 0.1, 0.0));
+        }
+        for i in 0..10 {
+            pts.push((100.0 + i as f64 * 0.1, 0.0));
+        }
+        pts.push((50.0, 50.0)); // isolated
+        let labels = dbscan(pts.len(), 1.0, 3, euclid(&pts));
+        let c0 = labels[0].cluster().unwrap();
+        let c1 = labels[10].cluster().unwrap();
+        assert_ne!(c0, c1);
+        assert!(labels[..10].iter().all(|l| l.cluster() == Some(c0)));
+        assert!(labels[10..20].iter().all(|l| l.cluster() == Some(c1)));
+        assert_eq!(labels[20], DbscanLabel::Noise);
+    }
+
+    #[test]
+    fn min_pts_controls_noise() {
+        let pts = vec![(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)];
+        let strict = dbscan(3, 0.6, 4, euclid(&pts));
+        assert!(strict.iter().all(|l| *l == DbscanLabel::Noise));
+        let loose = dbscan(3, 0.6, 2, euclid(&pts));
+        assert!(loose.iter().all(|l| l.cluster().is_some()));
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A chain where the end point is density-reachable but not core.
+        let pts = vec![(0.0, 0.0), (0.4, 0.0), (0.8, 0.0), (1.2, 0.0), (1.8, 0.0)];
+        let labels = dbscan(5, 0.5, 3, euclid(&pts));
+        assert!(labels[0].cluster().is_some());
+        // The last point is 0.6 away from its nearest neighbour → noise.
+        assert_eq!(labels[4], DbscanLabel::Noise);
+    }
+
+    #[test]
+    fn empty_input() {
+        let labels = dbscan(0, 1.0, 2, |_, _| 0.0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn all_points_identical_form_one_cluster() {
+        let pts = vec![(1.0, 1.0); 6];
+        let labels = dbscan(6, 0.1, 3, euclid(&pts));
+        let c = labels[0].cluster().unwrap();
+        assert!(labels.iter().all(|l| l.cluster() == Some(c)));
+    }
+}

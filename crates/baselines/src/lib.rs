@@ -1,0 +1,30 @@
+//! # hermes-baselines
+//!
+//! The comparison methods used in the demo's scenario 1: "the user
+//! experiences a progressive clustering scenario based on the S2T-Clustering
+//! algorithm as well as related methods, such as T-OPTICS, TRACLUS and
+//! Convoys".
+//!
+//! * [`traclus`] — TRACLUS (Lee, Han & Whang, SIGMOD 2007): MDL-based
+//!   trajectory partitioning followed by density-based clustering of the
+//!   resulting line segments. Purely spatial — the method the paper positions
+//!   S2T against ("focusing on the spatial and ignoring the temporal
+//!   dimension").
+//! * [`toptics`] — T-OPTICS (Nanni & Pedreschi, JIIS 2006): OPTICS over whole
+//!   trajectories with a time-synchronized distance.
+//! * [`convoys`] — Convoy discovery (Jeung et al., PVLDB 2008): per-snapshot
+//!   DBSCAN groups intersected over at least `k` consecutive snapshots.
+//! * [`dbscan`] / [`optics`] — the generic density-clustering machinery the
+//!   three methods above share.
+
+pub mod convoys;
+pub mod dbscan;
+pub mod optics;
+pub mod toptics;
+pub mod traclus;
+
+pub use convoys::{discover_convoys, Convoy, ConvoyParams};
+pub use dbscan::{dbscan, DbscanLabel};
+pub use optics::{extract_clusters, optics_order, OpticsPoint};
+pub use toptics::{t_optics, TOpticsParams};
+pub use traclus::{traclus, TraclusParams, TraclusResult};

@@ -1,0 +1,206 @@
+//! Generic OPTICS ordering and cluster extraction.
+//!
+//! OPTICS (Ankerst et al.) produces a reachability ordering rather than a
+//! flat clustering; T-OPTICS runs it over whole-trajectory distances. The
+//! flat clusters used for comparison are extracted with a simple reachability
+//! threshold, as in the original T-OPTICS experiments.
+
+/// One item of the OPTICS output ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticsPoint {
+    /// Index of the item in the input.
+    pub index: usize,
+    /// Reachability distance of the item (`f64::INFINITY` for the first item
+    /// of each density-connected component).
+    pub reachability: f64,
+}
+
+/// Computes the OPTICS ordering of `n` items under the given distance.
+///
+/// `eps` bounds the neighbourhood search and `min_pts` is the core-size
+/// threshold (including the point itself).
+pub fn optics_order(
+    n: usize,
+    eps: f64,
+    min_pts: usize,
+    dist: impl Fn(usize, usize) -> f64,
+) -> Vec<OpticsPoint> {
+    let mut processed = vec![false; n];
+    let mut reachability = vec![f64::INFINITY; n];
+    let mut order: Vec<OpticsPoint> = Vec::with_capacity(n);
+
+    let neighbours = |i: usize| -> Vec<(usize, f64)> {
+        (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, dist(i, j)))
+            .filter(|&(_, d)| d <= eps)
+            .collect()
+    };
+    let core_distance = |nbrs: &[(usize, f64)]| -> Option<f64> {
+        if nbrs.len() + 1 < min_pts {
+            return None;
+        }
+        let mut ds: Vec<f64> = nbrs.iter().map(|&(_, d)| d).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(ds[min_pts - 2]) // min_pts includes the point itself
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        processed[start] = true;
+        order.push(OpticsPoint {
+            index: start,
+            reachability: f64::INFINITY,
+        });
+        let nbrs = neighbours(start);
+        let Some(core_d) = core_distance(&nbrs) else {
+            continue;
+        };
+        // Seed list ordered by reachability.
+        let mut seeds: Vec<usize> = Vec::new();
+        let update = |seeds: &mut Vec<usize>,
+                          reachability: &mut Vec<f64>,
+                          center_core: f64,
+                          nbrs: &[(usize, f64)],
+                          processed: &[bool]| {
+            for &(j, d) in nbrs {
+                if processed[j] {
+                    continue;
+                }
+                let new_reach = center_core.max(d);
+                if new_reach < reachability[j] {
+                    reachability[j] = new_reach;
+                    if !seeds.contains(&j) {
+                        seeds.push(j);
+                    }
+                }
+            }
+        };
+        update(&mut seeds, &mut reachability, core_d, &nbrs, &processed);
+
+        while !seeds.is_empty() {
+            // Pop the seed with the smallest reachability.
+            let (pos, &next) = seeds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    reachability[*a.1]
+                        .partial_cmp(&reachability[*b.1])
+                        .unwrap()
+                })
+                .unwrap();
+            seeds.swap_remove(pos);
+            if processed[next] {
+                continue;
+            }
+            processed[next] = true;
+            order.push(OpticsPoint {
+                index: next,
+                reachability: reachability[next],
+            });
+            let nbrs = neighbours(next);
+            if let Some(core_d) = core_distance(&nbrs) {
+                update(&mut seeds, &mut reachability, core_d, &nbrs, &processed);
+            }
+        }
+    }
+    order
+}
+
+/// Extracts flat clusters from an OPTICS ordering: a new cluster starts
+/// whenever the reachability exceeds `threshold`; items whose reachability
+/// exceeds the threshold and that do not start a dense region are noise.
+/// Returns `(cluster assignment per input index, number of clusters)` where
+/// `None` means noise.
+pub fn extract_clusters(order: &[OpticsPoint], threshold: f64) -> (Vec<Option<usize>>, usize) {
+    let n = order.len();
+    let mut assignment = vec![None; n];
+    let mut current: Option<usize> = None;
+    let mut next_cluster = 0usize;
+
+    for (pos, p) in order.iter().enumerate() {
+        if p.reachability > threshold {
+            // This item is not density-reachable from the previous one. It
+            // starts a new cluster only if the *next* item reaches back to it.
+            let starts_cluster = order
+                .get(pos + 1)
+                .map(|q| q.reachability <= threshold)
+                .unwrap_or(false);
+            if starts_cluster {
+                current = Some(next_cluster);
+                next_cluster += 1;
+                assignment[p.index] = current;
+            } else {
+                current = None;
+                assignment[p.index] = None;
+            }
+        } else {
+            assignment[p.index] = current;
+        }
+    }
+    (assignment, next_cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid(points: &[(f64, f64)]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            let (ax, ay) = points[i];
+            let (bx, by) = points[j];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        }
+    }
+
+    #[test]
+    fn ordering_visits_every_item_once() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 0.0)).collect();
+        let order = optics_order(pts.len(), 3.0, 3, euclid(&pts));
+        assert_eq!(order.len(), 20);
+        let mut seen: Vec<usize> = order.iter().map(|p| p.index).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn two_blobs_yield_two_clusters() {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push((i as f64 * 0.2, 0.0));
+        }
+        for i in 0..8 {
+            pts.push((100.0 + i as f64 * 0.2, 0.0));
+        }
+        pts.push((50.0, 50.0)); // noise
+        let order = optics_order(pts.len(), 2.0, 3, euclid(&pts));
+        let (assignment, num) = extract_clusters(&order, 2.0);
+        assert_eq!(num, 2);
+        let a = assignment[0].unwrap();
+        let b = assignment[8].unwrap();
+        assert_ne!(a, b);
+        assert!(assignment[..8].iter().all(|x| *x == Some(a)));
+        assert!(assignment[8..16].iter().all(|x| *x == Some(b)));
+        assert_eq!(assignment[16], None);
+    }
+
+    #[test]
+    fn dense_items_have_finite_reachability() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 0.1, 0.0)).collect();
+        let order = optics_order(pts.len(), 1.0, 3, euclid(&pts));
+        let finite = order.iter().filter(|p| p.reachability.is_finite()).count();
+        assert_eq!(finite, 9, "all but the starting item are reachable");
+    }
+
+    #[test]
+    fn empty_input() {
+        let order = optics_order(0, 1.0, 2, |_, _| 0.0);
+        assert!(order.is_empty());
+        let (assignment, n) = extract_clusters(&order, 1.0);
+        assert!(assignment.is_empty());
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! E2 — scenario 1 / Fig. 3: S2T-Clustering compared against the related
+//! methods the demo lets the user play with (TRACLUS, T-OPTICS, Convoys),
+//! plus the comparison of two S2T parameterisations.
+//!
+//! Criterion times each method on the same aircraft workload; the printed
+//! table reports the method-agnostic quality numbers recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_baselines::{discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams};
+use hermes_bench::{aircraft_s2t_params, aircraft_with};
+use hermes_s2t::{run_s2t, ClusteringQuality, S2TParams};
+use hermes_trajectory::Duration;
+use hermes_va::compare_runs;
+use std::hint::black_box;
+
+fn traclus_params() -> TraclusParams {
+    TraclusParams {
+        eps: 3_000.0,
+        min_lns: 4,
+        ..TraclusParams::default()
+    }
+}
+
+fn toptics_params() -> TOpticsParams {
+    TOpticsParams {
+        eps: 20_000.0,
+        min_pts: 3,
+        reachability_threshold: 9_000.0,
+    }
+}
+
+fn convoy_params() -> ConvoyParams {
+    ConvoyParams {
+        eps: 4_000.0,
+        min_objects: 3,
+        min_snapshots: 3,
+        snapshot_period: Duration::from_mins(2),
+    }
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let scenario = aircraft_with(36, 0xE2);
+    let s2t_params = aircraft_s2t_params();
+
+    let mut group = c.benchmark_group("e2_methods");
+    group.sample_size(10);
+    group.bench_function("s2t", |b| {
+        b.iter(|| black_box(run_s2t(&scenario.trajectories, &s2t_params)))
+    });
+    group.bench_function("traclus", |b| {
+        b.iter(|| black_box(traclus(&scenario.trajectories, &traclus_params())))
+    });
+    group.bench_function("t_optics", |b| {
+        b.iter(|| black_box(t_optics(&scenario.trajectories, &toptics_params())))
+    });
+    group.bench_function("convoys", |b| {
+        b.iter(|| black_box(discover_convoys(&scenario.trajectories, &convoy_params())))
+    });
+    group.finish();
+
+    // Quality summary (the table of EXPERIMENTS.md).
+    let s2t = run_s2t(&scenario.trajectories, &s2t_params);
+    let q = ClusteringQuality::compute(&s2t.result);
+    let tr = traclus(&scenario.trajectories, &traclus_params());
+    let to = t_optics(&scenario.trajectories, &toptics_params());
+    let cv = discover_convoys(&scenario.trajectories, &convoy_params());
+
+    eprintln!("\n# E2 summary: method comparison on {} flights", scenario.len());
+    eprintln!("{:>10} {:>10} {:>10} {:>18}", "method", "clusters", "noise", "unit");
+    eprintln!("{:>10} {:>10} {:>10} {:>18}", "S2T", q.num_clusters, q.num_outliers, "sub-trajectories");
+    eprintln!("{:>10} {:>10} {:>10} {:>18}", "TRACLUS", tr.num_clusters, tr.num_noise_segments(), "line segments");
+    eprintln!("{:>10} {:>10} {:>10} {:>18}", "T-OPTICS", to.num_clusters, to.num_noise(), "whole trajectories");
+    eprintln!("{:>10} {:>10} {:>10} {:>18}", "Convoys", cv.len(), "-", "object groups");
+
+    // Fig. 3: two S2T runs under different parameters.
+    let loose = run_s2t(
+        &scenario.trajectories,
+        &S2TParams {
+            sigma: 4_000.0,
+            epsilon: 12_000.0,
+            ..s2t_params.clone()
+        },
+    );
+    let cmp = compare_runs(&s2t.result, &loose.result, 6_000.0);
+    eprintln!(
+        "\n# E2 / Fig. 3: run comparison — matched {}, only-in-A {}, only-in-B {}, agreement {:.0}%",
+        cmp.matched.len(),
+        cmp.only_in_a.len(),
+        cmp.only_in_b.len(),
+        cmp.agreement() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

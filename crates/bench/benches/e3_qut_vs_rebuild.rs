@@ -1,0 +1,66 @@
+//! E3 — scenario 2: the efficiency of QuT-Clustering for varying temporal
+//! periods `W`, against the alternative strategy of "(i) extracting the
+//! relevant records using a temporal range query, (ii) creating an R-tree
+//! index on the result of the query, and (iii) applying clustering
+//! (S2T-Clustering)".
+//!
+//! This is the paper's central quantitative comparison; the printed series is
+//! recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::{maritime_s2t_params, maritime_standard, qut_params, tree_params};
+use hermes_retratree::{qut_clustering, range_query_then_cluster, ReTraTree};
+use hermes_trajectory::{Duration, TimeInterval};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let scenario = maritime_standard(0xE3);
+    let s2t = maritime_s2t_params();
+    let tree = ReTraTree::build_from(tree_params(s2t.clone()), &scenario.trajectories);
+    let qut = qut_params(s2t.clone());
+    let span = tree.lifespan().expect("tree holds data");
+    let fractions = [10i64, 25, 50, 75, 100];
+
+    let mut group = c.benchmark_group("e3_window_clustering");
+    group.sample_size(10);
+    for &pct in &fractions {
+        let w = TimeInterval::new(
+            span.start,
+            span.start + Duration::from_millis(span.length().millis() * pct / 100),
+        );
+        group.bench_with_input(BenchmarkId::new("qut", pct), &w, |b, w| {
+            b.iter(|| black_box(qut_clustering(&tree, w, &qut)))
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", pct), &w, |b, w| {
+            b.iter(|| black_box(range_query_then_cluster(&tree, w, &s2t)))
+        });
+    }
+    group.finish();
+
+    eprintln!("\n# E3 summary: QuT vs range-query-then-recluster (single run each)");
+    eprintln!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "W(%)", "clusters", "qut_ms", "rebuild_ms", "speedup", "reused", "reclust"
+    );
+    for &pct in &fractions {
+        let w = TimeInterval::new(
+            span.start,
+            span.start + Duration::from_millis(span.length().millis() * pct / 100),
+        );
+        let (qr, qs) = qut_clustering(&tree, &w, &qut);
+        let (_, rs) = range_query_then_cluster(&tree, &w, &s2t);
+        eprintln!(
+            "{:>6} {:>10} {:>12.2} {:>12.2} {:>8.1}x {:>8} {:>8}",
+            pct,
+            qr.num_clusters(),
+            qs.elapsed_ms,
+            rs.elapsed_ms,
+            rs.elapsed_ms / qs.elapsed_ms.max(1e-9),
+            qs.reused_subchunks,
+            qs.reclustered_subchunks
+        );
+    }
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E5 — Fig. 4: discovery of the holding patterns aircraft fly while waiting
+//! to land ("the holding patterns typically performed by aircrafts as they
+//! approach to their destination ... are discovered and visualized").
+//!
+//! The synthetic generator injects a known set of holding flights, so besides
+//! timing the detector we can report recall/precision — the ground-truth-based
+//! counterpart of the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_datagen::AircraftScenarioBuilder;
+use hermes_s2t::run_s2t;
+use hermes_bench::aircraft_s2t_params;
+use hermes_va::detect_holding_patterns;
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let scenario = AircraftScenarioBuilder {
+        seed: 0xE5,
+        num_streams: 4,
+        waves_per_stream: 2,
+        flights_per_wave: 5,
+        num_stragglers: 4,
+        holding_probability: 0.4,
+        ..AircraftScenarioBuilder::default()
+    }
+    .build();
+    let outcome = run_s2t(&scenario.trajectories, &aircraft_s2t_params());
+
+    let mut group = c.benchmark_group("e5_holding_patterns");
+    group.sample_size(10);
+    group.bench_function("detect", |b| {
+        b.iter(|| black_box(detect_holding_patterns(&outcome.result, 1.4, 1.0)))
+    });
+    group.finish();
+
+    let found = detect_holding_patterns(&outcome.result, 1.4, 1.0);
+    let detected: Vec<u64> = found.iter().map(|h| h.trajectory_id).collect();
+    let truth = &scenario.holding_flight_ids;
+    let true_positives = truth.iter().filter(|id| detected.contains(id)).count();
+    let recall = true_positives as f64 / truth.len().max(1) as f64;
+    let precision = if detected.is_empty() {
+        1.0
+    } else {
+        detected.iter().filter(|id| truth.contains(id)).count() as f64 / detected.len() as f64
+    };
+    eprintln!("\n# E5 summary: holding-pattern discovery (Fig. 4)");
+    eprintln!(
+        "flights {}  known_holdings {}  detected {}  recall {:.0}%  precision {:.0}%",
+        scenario.len(),
+        truth.len(),
+        detected.len(),
+        recall * 100.0,
+        precision * 100.0
+    );
+    for h in found.iter().take(5) {
+        eprintln!(
+            "  flight {:>3}: sinuosity {:>5.2}, {:.1} full turns, cluster {:?}",
+            h.trajectory_id, h.sinuosity, h.total_turns, h.cluster_id
+        );
+    }
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E6 — the incremental-maintenance architecture of Fig. 2: trajectories
+//! stream into the ReTraTree, are assigned to existing representatives or
+//! parked as outliers, and overgrown partitions trigger the S2T re-clustering
+//! pass that back-propagates new representatives.
+//!
+//! Benches streaming-insertion throughput for a sweep of the re-clustering
+//! page threshold and prints the maintenance counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::{maritime_s2t_params, maritime_standard};
+use hermes_retratree::{ReTraTree, ReTraTreeParams};
+use hermes_trajectory::Duration;
+use std::hint::black_box;
+
+fn params_with_threshold(pages: usize) -> ReTraTreeParams {
+    ReTraTreeParams {
+        chunk_duration: Duration::from_hours(2),
+        subchunks_per_chunk: 4,
+        reorg_page_threshold: pages,
+        buffer_frames: 256,
+        s2t: maritime_s2t_params(),
+    }
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let scenario = maritime_standard(0xE6);
+    let thresholds = [2usize, 4, 8];
+
+    let mut group = c.benchmark_group("e6_streaming_insert");
+    group.sample_size(10);
+    for &pages in &thresholds {
+        group.bench_with_input(
+            BenchmarkId::new("page_threshold", pages),
+            &pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut tree = ReTraTree::new(params_with_threshold(pages));
+                    for t in &scenario.trajectories {
+                        tree.insert_trajectory(t);
+                    }
+                    black_box(tree.total_population())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    eprintln!("\n# E6 summary: incremental maintenance (Fig. 2 loop), {} vessels", scenario.trajectories.len());
+    eprintln!(
+        "{:>10} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "threshold", "pieces", "assigned", "outliers", "reorgs", "promoted", "clusters"
+    );
+    for &pages in &thresholds {
+        let mut tree = ReTraTree::new(params_with_threshold(pages));
+        for t in &scenario.trajectories {
+            tree.insert_trajectory(t);
+        }
+        let s = tree.stats();
+        eprintln!(
+            "{:>10} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10}",
+            pages,
+            s.inserted_pieces,
+            s.assigned_to_existing,
+            s.parked_as_outliers,
+            s.reorganizations,
+            s.promoted_representatives,
+            tree.total_clusters()
+        );
+    }
+    // Buffer-pool behaviour of the storage layer during a follow-up scan.
+    let tree = ReTraTree::build_from(params_with_threshold(4), &scenario.trajectories);
+    tree.store().buffer().reset_stats();
+    let span = tree.lifespan().unwrap();
+    let _ = tree.window_sub_trajectories(&span);
+    let b = tree.store().buffer().stats();
+    eprintln!(
+        "buffer pool during a full scan: {} hits, {} misses (hit ratio {:.0}%)",
+        b.hits,
+        b.misses,
+        b.hit_ratio() * 100.0
+    );
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! E8 — ablation of the design choice called out in §II.C: the trajectory-
+//! tailored 3D R-tree built on the GiST interface (`pg3D-Rtree`), versus not
+//! having an index at all (linear scan). Also measures bulk loading versus
+//! incremental insertion, and kNN scans.
+//!
+//! The paper claims GiST-based indexing is what makes in-DBMS sub-trajectory
+//! clustering practical; this bench quantifies the index's contribution in
+//! isolation from the clustering pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::aircraft_with;
+use hermes_gist::RTree3D;
+use hermes_trajectory::{Mbb, Point, Timestamp};
+use std::hint::black_box;
+
+fn segment_boxes(n_flights: usize) -> Vec<(Mbb, usize)> {
+    let scenario = aircraft_with(n_flights, 0xE8);
+    let mut items = Vec::new();
+    let mut id = 0usize;
+    for t in &scenario.trajectories {
+        for s in t.segments() {
+            items.push((s.mbb(), id));
+            id += 1;
+        }
+    }
+    items
+}
+
+fn query_windows(items: &[(Mbb, usize)]) -> Vec<Mbb> {
+    // Deterministic sample of inflated segment boxes as query windows.
+    items
+        .iter()
+        .step_by((items.len() / 16).max(1))
+        .map(|(b, _)| b.inflate(5_000.0, 10 * 60_000))
+        .collect()
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let sizes = [12usize, 48];
+
+    let mut group = c.benchmark_group("e8_rtree_vs_scan");
+    group.sample_size(10);
+    for &n in &sizes {
+        let items = segment_boxes(n);
+        let tree = RTree3D::bulk_load(items.clone());
+        let queries = query_windows(&items);
+
+        group.bench_with_input(
+            BenchmarkId::new("rtree_range", items.len()),
+            &(&tree, &queries),
+            |b, (tree, queries)| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for q in queries.iter() {
+                        hits += tree.query_intersecting(q).len();
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("linear_scan", items.len()),
+            &(&items, &queries),
+            |b, (items, queries)| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for q in queries.iter() {
+                        hits += items.iter().filter(|(b, _)| b.intersects(q)).count();
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bulk_load", items.len()),
+            &items,
+            |b, items| b.iter(|| black_box(RTree3D::bulk_load(items.clone())).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_build", items.len()),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut t = RTree3D::new();
+                    for (m, v) in items.iter() {
+                        t.insert(*m, *v);
+                    }
+                    black_box(t.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("knn_10", items.len()),
+            &tree,
+            |b, tree| {
+                let p = Point::new(0.0, 0.0, Timestamp(30 * 60_000));
+                b.iter(|| black_box(tree.nearest(&p, 10)))
+            },
+        );
+    }
+    group.finish();
+
+    eprintln!("\n# E8 summary: pg3D-Rtree structure");
+    for &n in &sizes {
+        let items = segment_boxes(n);
+        let tree = RTree3D::bulk_load(items.clone());
+        let stats = tree.stats();
+        // Correctness cross-check: the index and the scan agree.
+        let queries = query_windows(&items);
+        let tree_hits: usize = queries.iter().map(|q| tree.query_intersecting(q).len()).sum();
+        let scan_hits: usize = queries
+            .iter()
+            .map(|q| items.iter().filter(|(b, _)| b.intersects(q)).count())
+            .sum();
+        assert_eq!(tree_hits, scan_hits);
+        eprintln!(
+            "{} segments → height {}, {} leaves, {} internal nodes, {} hits over {} query windows",
+            stats.len, stats.height, stats.leaf_nodes, stats.internal_nodes, tree_hits, queries.len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

@@ -1,0 +1,348 @@
+//! The [`HermesEngine`] façade.
+
+use crate::error::EngineError;
+use crate::Result;
+use hermes_retratree::{
+    qut_clustering, range_query_then_cluster, QutParams, QutStats, ReTraTree, ReTraTreeParams,
+};
+use hermes_s2t::{run_s2t, run_s2t_naive, ClusteringResult, S2TOutcome, S2TParams};
+use hermes_storage::{Catalog, DatasetId};
+use hermes_trajectory::{TimeInterval, Trajectory};
+use std::collections::HashMap;
+
+/// Per-dataset state held by the engine.
+struct Dataset {
+    trajectories: Vec<Trajectory>,
+    tree: Option<ReTraTree>,
+}
+
+/// Summary of a registered dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Dataset name.
+    pub name: String,
+    /// Number of trajectories loaded.
+    pub num_trajectories: usize,
+    /// Total number of points loaded.
+    pub num_points: usize,
+    /// Temporal extent of the data (None when empty).
+    pub lifespan: Option<TimeInterval>,
+    /// Whether a ReTraTree has been built.
+    pub indexed: bool,
+    /// Number of level-3 cluster entries in the ReTraTree (0 when not
+    /// indexed).
+    pub num_cluster_entries: usize,
+}
+
+/// The Moving Object Database engine.
+#[derive(Default)]
+pub struct HermesEngine {
+    catalog: Catalog,
+    datasets: HashMap<DatasetId, Dataset>,
+}
+
+impl HermesEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        HermesEngine::default()
+    }
+
+    /// Registers a new, empty dataset.
+    pub fn create_dataset(&mut self, name: &str) -> Result<DatasetId> {
+        let id = self.catalog.create(name)?;
+        self.datasets.insert(
+            id,
+            Dataset {
+                trajectories: Vec::new(),
+                tree: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Drops a dataset and everything loaded into it.
+    pub fn drop_dataset(&mut self, name: &str) -> Result<()> {
+        let meta = self.catalog.drop_dataset(name)?;
+        self.datasets.remove(&meta.id);
+        Ok(())
+    }
+
+    fn dataset_id(&self, name: &str) -> Result<DatasetId> {
+        Ok(self.catalog.get(name)?.id)
+    }
+
+    fn dataset(&self, name: &str) -> Result<&Dataset> {
+        let id = self.dataset_id(name)?;
+        self.datasets
+            .get(&id)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))
+    }
+
+    /// Appends trajectories to a dataset. If the dataset is already indexed,
+    /// the new trajectories are also inserted incrementally into its
+    /// ReTraTree (the maintenance path of the architecture figure).
+    pub fn load_trajectories(&mut self, name: &str, trajectories: Vec<Trajectory>) -> Result<()> {
+        let id = self.dataset_id(name)?;
+        let ds = self
+            .datasets
+            .get_mut(&id)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        if let Some(tree) = ds.tree.as_mut() {
+            for t in &trajectories {
+                tree.insert_trajectory(t);
+            }
+        }
+        ds.trajectories.extend(trajectories);
+
+        let (num_points, lifespan) = dataset_extent(&ds.trajectories);
+        let n = ds.trajectories.len();
+        self.catalog.update_stats(id, n, num_points, lifespan);
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) the ReTraTree of a dataset.
+    pub fn build_index(&mut self, name: &str, params: ReTraTreeParams) -> Result<()> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let id = self.dataset_id(name)?;
+        let ds = self
+            .datasets
+            .get_mut(&id)
+            .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
+        if ds.trajectories.is_empty() {
+            return Err(EngineError::EmptyDataset(name.to_string()));
+        }
+        ds.tree = Some(ReTraTree::build_from(params, &ds.trajectories));
+        Ok(())
+    }
+
+    /// Access to a dataset's ReTraTree (for statistics and benchmarks).
+    pub fn tree(&self, name: &str) -> Result<&ReTraTree> {
+        let ds = self.dataset(name)?;
+        ds.tree
+            .as_ref()
+            .ok_or_else(|| EngineError::NotIndexed(name.to_string()))
+    }
+
+    /// Access to a dataset's raw trajectories.
+    pub fn trajectories(&self, name: &str) -> Result<&[Trajectory]> {
+        Ok(&self.dataset(name)?.trajectories)
+    }
+
+    /// Runs S2T-Clustering over the whole dataset (index-accelerated voting).
+    pub fn run_s2t(&self, name: &str, params: &S2TParams) -> Result<S2TOutcome> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let ds = self.dataset(name)?;
+        if ds.trajectories.is_empty() {
+            return Err(EngineError::EmptyDataset(name.to_string()));
+        }
+        Ok(run_s2t(&ds.trajectories, params))
+    }
+
+    /// Runs S2T-Clustering with the naive (index-free) voting — the
+    /// "corresponding PostgreSQL functions" baseline of experiment E1.
+    pub fn run_s2t_naive(&self, name: &str, params: &S2TParams) -> Result<S2TOutcome> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let ds = self.dataset(name)?;
+        if ds.trajectories.is_empty() {
+            return Err(EngineError::EmptyDataset(name.to_string()));
+        }
+        Ok(run_s2t_naive(&ds.trajectories, params))
+    }
+
+    /// Answers `QUT(D, Wi, We, …)` from the dataset's ReTraTree.
+    pub fn run_qut(
+        &self,
+        name: &str,
+        window: &TimeInterval,
+        params: &QutParams,
+    ) -> Result<(ClusteringResult, QutStats)> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let tree = self.tree(name)?;
+        Ok(qut_clustering(tree, window, params))
+    }
+
+    /// The rebuild-from-scratch strategy the demo compares QuT against
+    /// (temporal range query → fresh index → S2T).
+    pub fn run_window_rebuild(
+        &self,
+        name: &str,
+        window: &TimeInterval,
+        params: &S2TParams,
+    ) -> Result<(ClusteringResult, QutStats)> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let tree = self.tree(name)?;
+        Ok(range_query_then_cluster(tree, window, params))
+    }
+
+    /// Summary of a dataset.
+    pub fn dataset_info(&self, name: &str) -> Result<DatasetInfo> {
+        let meta = self.catalog.get(name)?;
+        let ds = self.dataset(name)?;
+        Ok(DatasetInfo {
+            name: meta.name.clone(),
+            num_trajectories: meta.num_trajectories,
+            num_points: meta.num_points,
+            lifespan: meta.lifespan,
+            indexed: ds.tree.is_some(),
+            num_cluster_entries: ds.tree.as_ref().map(|t| t.total_clusters()).unwrap_or(0),
+        })
+    }
+
+    /// Names of every registered dataset, sorted.
+    pub fn list_datasets(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.list().map(|m| m.name.clone()).collect();
+        names.sort();
+        names
+    }
+}
+
+fn dataset_extent(trajectories: &[Trajectory]) -> (usize, Option<TimeInterval>) {
+    let num_points = trajectories.iter().map(|t| t.len()).sum();
+    let lifespan = trajectories
+        .iter()
+        .map(|t| t.lifespan())
+        .reduce(|a, b| a.union(&b));
+    (num_points, lifespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Duration, Point, Timestamp};
+
+    fn traj(id: u64, y: f64, t0: i64) -> Trajectory {
+        Trajectory::new(
+            id,
+            id,
+            (0..30)
+                .map(|i| Point::new(i as f64 * 100.0, y, Timestamp(t0 + i as i64 * 60_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn engine_with_data() -> HermesEngine {
+        let mut e = HermesEngine::new();
+        e.create_dataset("flights").unwrap();
+        let mut trajs = Vec::new();
+        for i in 0..10 {
+            trajs.push(traj(i, i as f64 * 10.0, 0));
+        }
+        for i in 10..18 {
+            trajs.push(traj(i, 50_000.0 + i as f64 * 10.0, 4 * 3_600_000));
+        }
+        e.load_trajectories("flights", trajs).unwrap();
+        e
+    }
+
+    fn s2t_params() -> S2TParams {
+        S2TParams {
+            sigma: 60.0,
+            epsilon: 400.0,
+            min_duration_ms: 120_000,
+            ..S2TParams::default()
+        }
+    }
+
+    fn tree_params() -> ReTraTreeParams {
+        ReTraTreeParams {
+            chunk_duration: Duration::from_hours(4),
+            subchunks_per_chunk: 4,
+            reorg_page_threshold: 2,
+            buffer_frames: 64,
+            s2t: s2t_params(),
+        }
+    }
+
+    #[test]
+    fn dataset_lifecycle() {
+        let mut e = HermesEngine::new();
+        e.create_dataset("a").unwrap();
+        assert!(matches!(
+            e.create_dataset("a"),
+            Err(EngineError::DatasetExists(_))
+        ));
+        assert_eq!(e.list_datasets(), vec!["a".to_string()]);
+        assert!(matches!(
+            e.dataset_info("missing"),
+            Err(EngineError::UnknownDataset(_))
+        ));
+        e.drop_dataset("a").unwrap();
+        assert!(e.list_datasets().is_empty());
+    }
+
+    #[test]
+    fn info_reflects_loaded_data_and_index() {
+        let mut e = engine_with_data();
+        let info = e.dataset_info("flights").unwrap();
+        assert_eq!(info.num_trajectories, 18);
+        assert_eq!(info.num_points, 18 * 30);
+        assert!(!info.indexed);
+        assert!(info.lifespan.is_some());
+
+        e.build_index("flights", tree_params()).unwrap();
+        let info = e.dataset_info("flights").unwrap();
+        assert!(info.indexed);
+    }
+
+    #[test]
+    fn s2t_through_the_engine() {
+        let e = engine_with_data();
+        let outcome = e.run_s2t("flights", &s2t_params()).unwrap();
+        assert_eq!(outcome.result.num_clusters(), 2);
+        let naive = e.run_s2t_naive("flights", &s2t_params()).unwrap();
+        assert_eq!(naive.result.num_clusters(), 2);
+        // Parameter validation is enforced.
+        let mut bad = s2t_params();
+        bad.sigma = -1.0;
+        assert!(matches!(
+            e.run_s2t("flights", &bad),
+            Err(EngineError::InvalidParameters(_))
+        ));
+    }
+
+    #[test]
+    fn qut_requires_an_index() {
+        let mut e = engine_with_data();
+        let w = TimeInterval::new(Timestamp(0), Timestamp(3_600_000));
+        let qp = QutParams {
+            s2t: s2t_params(),
+            ..QutParams::default()
+        };
+        assert!(matches!(
+            e.run_qut("flights", &w, &qp),
+            Err(EngineError::NotIndexed(_))
+        ));
+        e.build_index("flights", tree_params()).unwrap();
+        let (result, stats) = e.run_qut("flights", &w, &qp).unwrap();
+        assert!(result.num_clusters() >= 1);
+        assert!(stats.loaded_sub_trajectories > 0);
+        let (rebuild, _) = e.run_window_rebuild("flights", &w, &s2t_params()).unwrap();
+        assert_eq!(result.num_clusters(), rebuild.num_clusters());
+    }
+
+    #[test]
+    fn incremental_load_after_indexing_updates_the_tree() {
+        let mut e = engine_with_data();
+        e.build_index("flights", tree_params()).unwrap();
+        let before = e.tree("flights").unwrap().total_population();
+        e.load_trajectories("flights", vec![traj(99, 40.0, 0)]).unwrap();
+        let after = e.tree("flights").unwrap().total_population();
+        assert!(after > before);
+        assert_eq!(e.dataset_info("flights").unwrap().num_trajectories, 19);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let mut e = HermesEngine::new();
+        e.create_dataset("empty").unwrap();
+        assert!(matches!(
+            e.run_s2t("empty", &s2t_params()),
+            Err(EngineError::EmptyDataset(_))
+        ));
+        assert!(matches!(
+            e.build_index("empty", tree_params()),
+            Err(EngineError::EmptyDataset(_))
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Engine error type.
+
+use hermes_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by the Hermes engine façade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The named dataset does not exist.
+    UnknownDataset(String),
+    /// A dataset with that name already exists.
+    DatasetExists(String),
+    /// The dataset exists but has no ReTraTree yet (call `build_index`).
+    NotIndexed(String),
+    /// The dataset exists but holds no trajectories.
+    EmptyDataset(String),
+    /// A parameter failed validation.
+    InvalidParameters(String),
+    /// An error bubbled up from the storage layer.
+    Storage(StorageError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            EngineError::DatasetExists(name) => write!(f, "dataset '{name}' already exists"),
+            EngineError::NotIndexed(name) => {
+                write!(f, "dataset '{name}' has no ReTraTree index; build it first")
+            }
+            EngineError::EmptyDataset(name) => write!(f, "dataset '{name}' holds no trajectories"),
+            EngineError::InvalidParameters(reason) => write!(f, "invalid parameters: {reason}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::UnknownDataset { name } => EngineError::UnknownDataset(name),
+            StorageError::DatasetExists { name } => EngineError::DatasetExists(name),
+            other => EngineError::Storage(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: EngineError = StorageError::UnknownDataset { name: "x".into() }.into();
+        assert_eq!(e, EngineError::UnknownDataset("x".into()));
+        assert!(e.to_string().contains('x'));
+        let e: EngineError = StorageError::InvalidPage { page: 3 }.into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        assert!(EngineError::NotIndexed("d".into()).to_string().contains("ReTraTree"));
+    }
+}

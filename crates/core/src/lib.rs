@@ -1,0 +1,20 @@
+//! # hermes-core
+//!
+//! The Hermes Moving Object Database engine: the façade that ties the
+//! substrates together the way Hermes@PostgreSQL does inside the DBMS.
+//!
+//! A [`HermesEngine`] owns a catalog of named datasets. Each dataset holds
+//! its raw trajectories and, once indexed, a ReTraTree. The engine exposes
+//! the two clustering entry points of the paper — whole-dataset
+//! [`HermesEngine::run_s2t`] and window-constrained [`HermesEngine::run_qut`]
+//! — plus the naive execution strategies the demo benchmarks against, so the
+//! SQL layer (`hermes-sql`) and the examples talk to a single object.
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{DatasetInfo, HermesEngine};
+pub use error::EngineError;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,412 @@
+//! Terminal-area aircraft traffic generator.
+//!
+//! Reproduces the structure of the paper's demonstration dataset ("aircrafts
+//! approaching airports of the London metropolitan area"):
+//!
+//! * several **arrival streams** (approach corridors), each entering the
+//!   terminal area at its own entry fix and converging on the airport,
+//! * flights arrive in **waves**, so flights of the same stream and wave
+//!   co-move — the signal S2T-Clustering is designed to pick up,
+//! * a configurable fraction of flights performs a **holding pattern**
+//!   (racetrack loops) before final approach — the pattern of Fig. 4,
+//! * **stragglers** that cross the area on their own (the outliers),
+//! * Gaussian GPS noise on every sample.
+//!
+//! Distances are metres, speeds metres/second, times milliseconds.
+
+use crate::noise::NoiseModel;
+use crate::rng::SplitMix64;
+use hermes_trajectory::{Point, Timestamp, Trajectory};
+use std::f64::consts::PI;
+
+/// Configuration of an aircraft scenario. Build with
+/// [`AircraftScenarioBuilder`].
+#[derive(Debug, Clone)]
+pub struct AircraftScenarioBuilder {
+    /// PRNG seed; identical seeds give identical datasets.
+    pub seed: u64,
+    /// Number of arrival streams (approach corridors).
+    pub num_streams: usize,
+    /// Number of arrival waves per stream.
+    pub waves_per_stream: usize,
+    /// Flights per wave.
+    pub flights_per_wave: usize,
+    /// Number of straggler flights crossing the area independently.
+    pub num_stragglers: usize,
+    /// Probability that a flight performs a holding pattern.
+    pub holding_probability: f64,
+    /// Number of racetrack loops flown while holding.
+    pub holding_loops: usize,
+    /// Radius of the terminal area (entry fixes sit on this circle), metres.
+    pub terminal_radius: f64,
+    /// Approach ground speed in m/s.
+    pub approach_speed: f64,
+    /// Sampling period of the simulated surveillance feed.
+    pub sample_period_ms: i64,
+    /// Start of the scenario.
+    pub start: Timestamp,
+    /// Temporal spacing between consecutive waves.
+    pub wave_spacing_ms: i64,
+    /// Temporal jitter of flights within a wave.
+    pub intra_wave_jitter_ms: i64,
+    /// Lateral corridor spread (how far flights of one stream deviate
+    /// laterally from the corridor centreline), metres.
+    pub corridor_spread: f64,
+    /// GPS noise.
+    pub noise: NoiseModel,
+}
+
+impl Default for AircraftScenarioBuilder {
+    fn default() -> Self {
+        AircraftScenarioBuilder {
+            seed: 0xA1C,
+            num_streams: 4,
+            waves_per_stream: 3,
+            flights_per_wave: 6,
+            num_stragglers: 5,
+            holding_probability: 0.25,
+            holding_loops: 2,
+            terminal_radius: 60_000.0,
+            approach_speed: 110.0,
+            sample_period_ms: 10_000,
+            start: Timestamp(0),
+            wave_spacing_ms: 45 * 60_000,
+            intra_wave_jitter_ms: 3 * 60_000,
+            corridor_spread: 600.0,
+            noise: NoiseModel {
+                position_sigma: 40.0,
+                time_sigma_ms: 0.0,
+            },
+        }
+    }
+}
+
+/// A generated aircraft dataset.
+#[derive(Debug, Clone)]
+pub struct AircraftScenario {
+    /// All generated trajectories (stream flights first, stragglers last).
+    pub trajectories: Vec<Trajectory>,
+    /// Stream index of each stream flight, aligned with `trajectories`
+    /// (stragglers have no entry).
+    pub stream_of: Vec<usize>,
+    /// Ids of flights that performed a holding pattern.
+    pub holding_flight_ids: Vec<u64>,
+    /// Ids of the straggler (outlier) flights.
+    pub straggler_ids: Vec<u64>,
+}
+
+impl AircraftScenario {
+    /// Total number of flights.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// True when the scenario is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+}
+
+impl AircraftScenarioBuilder {
+    /// Generates the scenario.
+    pub fn build(&self) -> AircraftScenario {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut trajectories = Vec::new();
+        let mut stream_of = Vec::new();
+        let mut holding_flight_ids = Vec::new();
+        let mut straggler_ids = Vec::new();
+        let mut next_id: u64 = 0;
+
+        for stream in 0..self.num_streams {
+            let entry_angle = 2.0 * PI * stream as f64 / self.num_streams.max(1) as f64;
+            for wave in 0..self.waves_per_stream {
+                let wave_start = self.start.millis()
+                    + (stream as i64 * self.wave_spacing_ms / self.num_streams.max(1) as i64)
+                    + wave as i64 * self.wave_spacing_ms;
+                for _ in 0..self.flights_per_wave {
+                    let depart = wave_start + (rng.next_f64() * self.intra_wave_jitter_ms as f64) as i64;
+                    let holds = rng.chance(self.holding_probability);
+                    let lateral = rng.gaussian() * self.corridor_spread;
+                    let traj = self.flight(next_id, entry_angle, lateral, depart, holds, &mut rng);
+                    if holds {
+                        holding_flight_ids.push(next_id);
+                    }
+                    trajectories.push(traj);
+                    stream_of.push(stream);
+                    next_id += 1;
+                }
+            }
+        }
+
+        for _ in 0..self.num_stragglers {
+            let traj = self.straggler(next_id, &mut rng);
+            straggler_ids.push(next_id);
+            trajectories.push(traj);
+            next_id += 1;
+        }
+
+        AircraftScenario {
+            trajectories,
+            stream_of,
+            holding_flight_ids,
+            straggler_ids,
+        }
+    }
+
+    /// Generates one arrival flight: entry fix → corridor → (optional
+    /// holding racetrack) → final approach → airport.
+    fn flight(
+        &self,
+        id: u64,
+        entry_angle: f64,
+        lateral: f64,
+        depart_ms: i64,
+        holds: bool,
+        rng: &mut SplitMix64,
+    ) -> Trajectory {
+        let r = self.terminal_radius;
+        // Unit vector pointing from the entry fix towards the airport (origin).
+        let dir = (-entry_angle.cos(), -entry_angle.sin());
+        // Perpendicular (lateral) unit vector.
+        let perp = (-dir.1, dir.0);
+
+        let entry = (
+            entry_angle.cos() * r + perp.0 * lateral,
+            entry_angle.sin() * r + perp.1 * lateral,
+        );
+        // Holding fix sits 1/3 of the way in; final approach fix at 1/6.
+        let holding_fix = (
+            entry.0 + dir.0 * r * (2.0 / 3.0),
+            entry.1 + dir.1 * r * (2.0 / 3.0),
+        );
+        let faf = (
+            entry.0 + dir.0 * r * (5.0 / 6.0),
+            entry.1 + dir.1 * r * (5.0 / 6.0),
+        );
+        let airport = (perp.0 * lateral * 0.1, perp.1 * lateral * 0.1);
+
+        // Way-point polyline with per-leg speeds.
+        let mut waypoints: Vec<(f64, f64)> = vec![entry, holding_fix];
+        if holds {
+            // Racetrack: loops of a small circle centred near the holding fix.
+            let loop_radius = 3_000.0 + rng.range(0.0, 800.0);
+            let steps = 12usize;
+            for l in 0..self.holding_loops {
+                for s in 0..steps {
+                    let a = 2.0 * PI * (l * steps + s) as f64 / steps as f64;
+                    waypoints.push((
+                        holding_fix.0 + loop_radius * a.cos() - loop_radius,
+                        holding_fix.1 + loop_radius * a.sin(),
+                    ));
+                }
+            }
+            waypoints.push(holding_fix);
+        }
+        waypoints.push(faf);
+        waypoints.push(airport);
+
+        self.sample_path(id, &waypoints, depart_ms, self.approach_speed, rng)
+    }
+
+    /// Generates one straggler crossing the terminal area on a random chord,
+    /// far enough from the corridors to stay unclustered.
+    fn straggler(&self, id: u64, rng: &mut SplitMix64) -> Trajectory {
+        let r = self.terminal_radius * 1.2;
+        let a = rng.range(0.0, 2.0 * PI);
+        let b = a + PI + rng.range(-0.4, 0.4);
+        // Offset the chord so it misses the airport (where corridors converge).
+        let offset = self.terminal_radius * 0.45 + rng.range(0.0, self.terminal_radius * 0.2);
+        let off_dir = a + PI / 2.0;
+        let from = (a.cos() * r + off_dir.cos() * offset, a.sin() * r + off_dir.sin() * offset);
+        let to = (b.cos() * r + off_dir.cos() * offset, b.sin() * r + off_dir.sin() * offset);
+        let depart = self.start.millis()
+            + (rng.next_f64() * self.waves_per_stream as f64 * self.wave_spacing_ms as f64) as i64;
+        self.sample_path(id, &[from, to], depart, self.approach_speed * 1.6, rng)
+    }
+
+    /// Walks a way-point polyline at constant speed, emitting a sample every
+    /// `sample_period_ms`, then applies GPS noise.
+    fn sample_path(
+        &self,
+        id: u64,
+        waypoints: &[(f64, f64)],
+        depart_ms: i64,
+        speed: f64,
+        rng: &mut SplitMix64,
+    ) -> Trajectory {
+        let mut pts: Vec<Point> = Vec::new();
+        let mut t_ms = depart_ms as f64;
+        let mut pos = waypoints[0];
+        pts.push(Point::new(pos.0, pos.1, Timestamp(t_ms as i64)));
+        let step_s = self.sample_period_ms as f64 / 1_000.0;
+
+        for leg in waypoints.windows(2) {
+            let (from, to) = (leg[0], leg[1]);
+            let leg_len = ((to.0 - from.0).powi(2) + (to.1 - from.1).powi(2)).sqrt();
+            if leg_len == 0.0 {
+                continue;
+            }
+            let mut travelled = ((pos.0 - from.0).powi(2) + (pos.1 - from.1).powi(2)).sqrt();
+            while travelled + speed * step_s < leg_len {
+                travelled += speed * step_s;
+                t_ms += self.sample_period_ms as f64;
+                let f = travelled / leg_len;
+                pos = (from.0 + (to.0 - from.0) * f, from.1 + (to.1 - from.1) * f);
+                pts.push(Point::new(pos.0, pos.1, Timestamp(t_ms as i64)));
+            }
+            // Jump to the way-point itself so the path does not cut corners.
+            let remaining = leg_len - travelled;
+            if remaining > 0.0 {
+                t_ms += (remaining / speed * 1_000.0).max(1.0);
+                pos = to;
+                pts.push(Point::new(pos.0, pos.1, Timestamp(t_ms as i64)));
+            }
+        }
+
+        let raw = Trajectory::new(id, id, pts).expect("generated samples are valid");
+        crate::noise::perturb_trajectory(&raw, &self.noise, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::TrajectoryStats;
+
+    fn small() -> AircraftScenarioBuilder {
+        AircraftScenarioBuilder {
+            seed: 7,
+            num_streams: 3,
+            waves_per_stream: 2,
+            flights_per_wave: 4,
+            num_stragglers: 3,
+            holding_probability: 0.5,
+            ..AircraftScenarioBuilder::default()
+        }
+    }
+
+    #[test]
+    fn scenario_has_the_requested_cardinality() {
+        let s = small().build();
+        assert_eq!(s.len(), 3 * 2 * 4 + 3);
+        assert_eq!(s.stream_of.len(), 24);
+        assert_eq!(s.straggler_ids.len(), 3);
+        // Ids are unique.
+        let mut ids: Vec<u64> = s.trajectories.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = small().build();
+        let b = small().build();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.trajectories.iter().zip(b.trajectories.iter()) {
+            assert_eq!(x.points(), y.points());
+        }
+        let mut other = small();
+        other.seed = 8;
+        let c = other.build();
+        let identical = a
+            .trajectories
+            .iter()
+            .zip(c.trajectories.iter())
+            .filter(|(x, y)| x.points() == y.points())
+            .count();
+        assert_eq!(identical, 0, "a different seed must change the data");
+    }
+
+    #[test]
+    fn flights_converge_on_the_airport() {
+        let s = small().build();
+        for (i, t) in s.trajectories.iter().enumerate() {
+            if s.straggler_ids.contains(&t.id) {
+                continue;
+            }
+            let last = t.points().last().unwrap();
+            let dist_to_airport = (last.x * last.x + last.y * last.y).sqrt();
+            assert!(
+                dist_to_airport < 2_000.0,
+                "flight {i} ends {dist_to_airport:.0} m from the airport"
+            );
+        }
+    }
+
+    #[test]
+    fn holding_flights_have_higher_sinuosity() {
+        let mut b = small();
+        b.noise = NoiseModel::none();
+        let s = b.build();
+        assert!(!s.holding_flight_ids.is_empty());
+        let sinuosity = |id: u64| {
+            let t = s.trajectories.iter().find(|t| t.id == id).unwrap();
+            TrajectoryStats::compute(t).sinuosity
+        };
+        let holding_mean: f64 = s.holding_flight_ids.iter().map(|&i| sinuosity(i)).sum::<f64>()
+            / s.holding_flight_ids.len() as f64;
+        let normal: Vec<u64> = s
+            .trajectories
+            .iter()
+            .map(|t| t.id)
+            .filter(|id| !s.holding_flight_ids.contains(id) && !s.straggler_ids.contains(id))
+            .collect();
+        let normal_mean: f64 =
+            normal.iter().map(|&i| sinuosity(i)).sum::<f64>() / normal.len() as f64;
+        assert!(
+            holding_mean > normal_mean * 1.1,
+            "holding {holding_mean:.3} vs normal {normal_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn flights_in_the_same_wave_overlap_in_time() {
+        let s = small().build();
+        // First wave of stream 0 = flights 0..4.
+        let spans: Vec<_> = (0..4).map(|i| s.trajectories[i].lifespan()).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(
+                    spans[i].intersects(&spans[j]),
+                    "wave members must temporally co-exist"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stragglers_stay_away_from_the_airport() {
+        let s = small().build();
+        for id in &s.straggler_ids {
+            let t = s.trajectories.iter().find(|t| t.id == *id).unwrap();
+            let min_dist = t
+                .points()
+                .iter()
+                .map(|p| (p.x * p.x + p.y * p.y).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                min_dist > 10_000.0,
+                "straggler {id} passes {min_dist:.0} m from the airport"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_period_is_respected() {
+        let mut b = small();
+        b.noise = NoiseModel::none();
+        let s = b.build();
+        let t = &s.trajectories[0];
+        let mut gaps: Vec<i64> = t
+            .points()
+            .windows(2)
+            .map(|w| (w[1].t - w[0].t).millis())
+            .collect();
+        gaps.sort_unstable();
+        // The most common gap equals the sampling period (way-point snapping
+        // introduces a few shorter ones).
+        let median = gaps[gaps.len() / 2];
+        assert_eq!(median, b.sample_period_ms);
+    }
+}

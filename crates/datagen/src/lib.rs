@@ -1,0 +1,34 @@
+//! # hermes-datagen
+//!
+//! Synthetic Moving Object Database generators.
+//!
+//! The demo evaluates on a proprietary MOD of aircraft approaching the London
+//! airports (plus maritime and urban examples it mentions in passing). Those
+//! datasets are not distributable, so this crate generates seeded, synthetic
+//! equivalents that exhibit the structures the experiments rely on:
+//!
+//! * [`aircraft`] — terminal-area traffic: arrival streams funnelled through
+//!   approach corridors, optional **holding patterns** (the racetrack loops of
+//!   Fig. 4), a cruise → holding → landing phase structure, and stragglers
+//!   that belong to no stream (outliers),
+//! * [`maritime`] — vessels following shipping lanes at low speed,
+//! * [`urban`] — vehicles moving on a Manhattan grid with stops,
+//! * [`noise`] — GPS jitter and outlier-object injection shared by all
+//!   generators.
+//!
+//! Every generator is deterministic for a given seed (a small xorshift PRNG is
+//! embedded so the crate does not depend on `rand`'s distribution details for
+//! reproducibility across versions; `rand` is still used where a generator
+//! benefits from higher-level sampling).
+
+pub mod aircraft;
+pub mod maritime;
+pub mod noise;
+pub mod rng;
+pub mod urban;
+
+pub use aircraft::{AircraftScenario, AircraftScenarioBuilder};
+pub use maritime::{MaritimeScenario, MaritimeScenarioBuilder};
+pub use noise::NoiseModel;
+pub use rng::SplitMix64;
+pub use urban::{UrbanScenario, UrbanScenarioBuilder};

@@ -1,0 +1,209 @@
+//! Maritime traffic generator: vessels following shipping lanes.
+//!
+//! The demo mentions that "it is straightforward to employ datasets from
+//! other domains, such as maritime or urban traffic movement"; this generator
+//! provides the maritime equivalent used by the `vessel_lanes` example.
+
+use crate::noise::NoiseModel;
+use crate::rng::SplitMix64;
+use hermes_trajectory::{Point, Timestamp, Trajectory};
+
+/// Configuration of a maritime scenario.
+#[derive(Debug, Clone)]
+pub struct MaritimeScenarioBuilder {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of shipping lanes (straight port-to-port corridors).
+    pub num_lanes: usize,
+    /// Vessels per lane.
+    pub vessels_per_lane: usize,
+    /// Number of free-roaming vessels (outliers).
+    pub num_rogues: usize,
+    /// Length of a lane in metres.
+    pub lane_length: f64,
+    /// Lateral spread of vessels around the lane centreline, metres.
+    pub lane_width: f64,
+    /// Vessel speed in m/s.
+    pub speed: f64,
+    /// Sampling period.
+    pub sample_period_ms: i64,
+    /// Scenario start.
+    pub start: Timestamp,
+    /// Departure spread of vessels within one lane, milliseconds. Small
+    /// values produce convoys (strong co-movement), large values spread the
+    /// vessels out.
+    pub departure_spread_ms: i64,
+    /// GPS noise.
+    pub noise: NoiseModel,
+}
+
+impl Default for MaritimeScenarioBuilder {
+    fn default() -> Self {
+        MaritimeScenarioBuilder {
+            seed: 0x5EA,
+            num_lanes: 3,
+            vessels_per_lane: 8,
+            num_rogues: 4,
+            lane_length: 80_000.0,
+            lane_width: 500.0,
+            speed: 8.0,
+            sample_period_ms: 60_000,
+            start: Timestamp(0),
+            departure_spread_ms: 10 * 60_000,
+            noise: NoiseModel {
+                position_sigma: 20.0,
+                time_sigma_ms: 0.0,
+            },
+        }
+    }
+}
+
+/// A generated maritime dataset.
+#[derive(Debug, Clone)]
+pub struct MaritimeScenario {
+    /// All vessel trajectories (lane vessels first, rogues last).
+    pub trajectories: Vec<Trajectory>,
+    /// Lane index per lane vessel.
+    pub lane_of: Vec<usize>,
+    /// Ids of the rogue vessels.
+    pub rogue_ids: Vec<u64>,
+}
+
+impl MaritimeScenarioBuilder {
+    /// Generates the scenario.
+    pub fn build(&self) -> MaritimeScenario {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut trajectories = Vec::new();
+        let mut lane_of = Vec::new();
+        let mut rogue_ids = Vec::new();
+        let mut id: u64 = 0;
+
+        for lane in 0..self.num_lanes {
+            // Lanes run west→east, stacked north of each other.
+            let y0 = lane as f64 * self.lane_length / 4.0;
+            for _ in 0..self.vessels_per_lane {
+                let depart =
+                    self.start.millis() + (rng.next_f64() * self.departure_spread_ms as f64) as i64;
+                let lateral = rng.gaussian() * self.lane_width;
+                let traj = self.sail(
+                    id,
+                    (0.0, y0 + lateral),
+                    (self.lane_length, y0 + lateral),
+                    depart,
+                    &mut rng,
+                );
+                trajectories.push(traj);
+                lane_of.push(lane);
+                id += 1;
+            }
+        }
+        for _ in 0..self.num_rogues {
+            let from = (
+                rng.range(0.0, self.lane_length),
+                -self.lane_length * 0.5 - rng.range(0.0, self.lane_length * 0.3),
+            );
+            let to = (
+                rng.range(0.0, self.lane_length),
+                -self.lane_length * 1.2,
+            );
+            let depart =
+                self.start.millis() + (rng.next_f64() * self.departure_spread_ms as f64) as i64;
+            let traj = self.sail(id, from, to, depart, &mut rng);
+            rogue_ids.push(id);
+            trajectories.push(traj);
+            id += 1;
+        }
+
+        MaritimeScenario {
+            trajectories,
+            lane_of,
+            rogue_ids,
+        }
+    }
+
+    fn sail(
+        &self,
+        id: u64,
+        from: (f64, f64),
+        to: (f64, f64),
+        depart_ms: i64,
+        rng: &mut SplitMix64,
+    ) -> Trajectory {
+        let len = ((to.0 - from.0).powi(2) + (to.1 - from.1).powi(2)).sqrt();
+        let duration_s = len / self.speed;
+        let steps = ((duration_s * 1_000.0) / self.sample_period_ms as f64).ceil() as usize;
+        let mut pts = Vec::with_capacity(steps + 1);
+        for i in 0..=steps.max(1) {
+            let f = i as f64 / steps.max(1) as f64;
+            pts.push(Point::new(
+                from.0 + (to.0 - from.0) * f,
+                from.1 + (to.1 - from.1) * f,
+                Timestamp(depart_ms + (f * duration_s * 1_000.0) as i64),
+            ));
+        }
+        let raw = Trajectory::new(id, id, pts).expect("generated samples are valid");
+        crate::noise::perturb_trajectory(&raw, &self.noise, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_and_determinism() {
+        let b = MaritimeScenarioBuilder {
+            seed: 3,
+            ..MaritimeScenarioBuilder::default()
+        };
+        let s1 = b.build();
+        let s2 = b.build();
+        assert_eq!(s1.trajectories.len(), 3 * 8 + 4);
+        assert_eq!(s1.lane_of.len(), 24);
+        assert_eq!(s1.rogue_ids.len(), 4);
+        for (a, b) in s1.trajectories.iter().zip(s2.trajectories.iter()) {
+            assert_eq!(a.points(), b.points());
+        }
+    }
+
+    #[test]
+    fn lane_vessels_stay_near_their_lane() {
+        let b = MaritimeScenarioBuilder {
+            noise: NoiseModel::none(),
+            ..MaritimeScenarioBuilder::default()
+        };
+        let s = b.build();
+        for (i, lane) in s.lane_of.iter().enumerate() {
+            let expected_y = *lane as f64 * b.lane_length / 4.0;
+            let t = &s.trajectories[i];
+            for p in t.points() {
+                assert!(
+                    (p.y - expected_y).abs() < b.lane_width * 6.0,
+                    "vessel {i} strays {:.0} m from lane {lane}",
+                    (p.y - expected_y).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rogues_are_away_from_the_lanes() {
+        let s = MaritimeScenarioBuilder::default().build();
+        for id in &s.rogue_ids {
+            let t = s.trajectories.iter().find(|t| t.id == *id).unwrap();
+            assert!(t.points().iter().all(|p| p.y < -1_000.0));
+        }
+    }
+
+    #[test]
+    fn vessel_speed_matches_configuration() {
+        let b = MaritimeScenarioBuilder {
+            noise: NoiseModel::none(),
+            ..MaritimeScenarioBuilder::default()
+        };
+        let s = b.build();
+        let t = &s.trajectories[0];
+        let stats = hermes_trajectory::TrajectoryStats::compute(t);
+        assert!((stats.mean_speed - b.speed).abs() < 0.5);
+    }
+}

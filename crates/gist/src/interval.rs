@@ -1,0 +1,160 @@
+//! A second GiST operator class: 1-D temporal intervals.
+//!
+//! The point of building the 3D R-tree *on GiST* (rather than ad hoc) is that
+//! the same balanced-tree machinery serves any key type that can express
+//! `union`/`penalty`/`consistent`/`picksplit`. This operator class indexes
+//! plain temporal intervals — a purely temporal access path (find the
+//! chunks/sub-chunks or cluster lifespans intersecting a window without
+//! touching spatial data) — and doubles as the proof that the framework is
+//! genuinely generic beyond the 3D R-tree.
+
+use crate::opclass::OpClass;
+use crate::tree::{Gist, MIN_ENTRIES};
+use hermes_trajectory::{TimeInterval, Timestamp};
+
+/// Queries understood by the interval operator class.
+#[derive(Debug, Clone, Copy)]
+pub enum IntervalQuery {
+    /// Matches intervals intersecting the given window.
+    Overlaps(TimeInterval),
+    /// Matches intervals fully contained in the given window.
+    ContainedIn(TimeInterval),
+    /// Matches intervals containing the given instant.
+    Contains(Timestamp),
+}
+
+/// GiST operator class over [`TimeInterval`] keys.
+pub struct IntervalOpClass;
+
+impl OpClass for IntervalOpClass {
+    type Key = TimeInterval;
+    type Query = IntervalQuery;
+
+    fn consistent(key: &TimeInterval, query: &IntervalQuery, is_leaf: bool) -> bool {
+        match query {
+            IntervalQuery::Overlaps(w) => key.intersects(w),
+            IntervalQuery::ContainedIn(w) => {
+                if is_leaf {
+                    w.contains_interval(key)
+                } else {
+                    key.intersects(w)
+                }
+            }
+            IntervalQuery::Contains(t) => key.contains(*t),
+        }
+    }
+
+    fn union(keys: &[TimeInterval]) -> TimeInterval {
+        keys.iter()
+            .copied()
+            .reduce(|a, b| a.union(&b))
+            .expect("union is never called with an empty key set")
+    }
+
+    fn penalty(existing: &TimeInterval, new: &TimeInterval) -> f64 {
+        let before = existing.length().millis() as f64;
+        let after = existing.union(new).length().millis() as f64;
+        after - before
+    }
+
+    fn picksplit(keys: &[TimeInterval]) -> (Vec<usize>, Vec<usize>) {
+        // Sort by start time and cut in the middle — the classic interval
+        // split that keeps the two halves temporally coherent.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i].start);
+        let cut = (keys.len() / 2).clamp(MIN_ENTRIES.max(1), keys.len() - MIN_ENTRIES.max(1));
+        (order[..cut].to_vec(), order[cut..].to_vec())
+    }
+
+    fn distance(key: &TimeInterval, query: &IntervalQuery) -> f64 {
+        let target = match query {
+            IntervalQuery::Contains(t) => TimeInterval::new(*t, *t),
+            IntervalQuery::Overlaps(w) | IntervalQuery::ContainedIn(w) => *w,
+        };
+        key.gap(&target).millis() as f64
+    }
+}
+
+/// A temporal-interval index over values of type `V`.
+pub type IntervalTree<V> = Gist<IntervalOpClass, V>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(Timestamp(a), Timestamp(b))
+    }
+
+    fn build(n: i64) -> IntervalTree<i64> {
+        let mut t = IntervalTree::new();
+        for i in 0..n {
+            // Hour-long intervals starting every 30 minutes.
+            t.insert(iv(i * 1_800_000, i * 1_800_000 + 3_600_000), i);
+        }
+        t
+    }
+
+    #[test]
+    fn overlap_queries_match_a_linear_scan() {
+        let n = 200;
+        let tree = build(n);
+        tree.check_invariants();
+        let w = iv(50 * 1_800_000, 60 * 1_800_000);
+        let mut hits: Vec<i64> = tree.query(&IntervalQuery::Overlaps(w)).into_iter().copied().collect();
+        hits.sort_unstable();
+        let expected: Vec<i64> = (0..n)
+            .filter(|&i| iv(i * 1_800_000, i * 1_800_000 + 3_600_000).intersects(&w))
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn containment_and_instant_queries() {
+        let tree = build(100);
+        let w = iv(10 * 1_800_000, 14 * 1_800_000);
+        let contained: Vec<i64> = tree
+            .query(&IntervalQuery::ContainedIn(w))
+            .into_iter()
+            .copied()
+            .collect();
+        assert!(!contained.is_empty());
+        for &i in &contained {
+            assert!(w.contains_interval(&iv(i * 1_800_000, i * 1_800_000 + 3_600_000)));
+        }
+        let instant = Timestamp(25 * 1_800_000 + 10);
+        let containing: Vec<i64> = tree
+            .query(&IntervalQuery::Contains(instant))
+            .into_iter()
+            .copied()
+            .collect();
+        assert!(!containing.is_empty());
+        for &i in &containing {
+            assert!(iv(i * 1_800_000, i * 1_800_000 + 3_600_000).contains(instant));
+        }
+    }
+
+    #[test]
+    fn nearest_scan_orders_by_temporal_gap() {
+        let tree = build(100);
+        let probe = IntervalQuery::Contains(Timestamp(-5 * 3_600_000));
+        let nearest = tree.nearest(&probe, 3);
+        assert_eq!(nearest.len(), 3);
+        // The earliest intervals are the closest to a probe in the past.
+        let ids: Vec<i64> = nearest.iter().map(|(v, _)| **v).collect();
+        assert!(ids.contains(&0));
+        for w in nearest.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn removal_keeps_queries_consistent() {
+        let mut tree = build(50);
+        let w = iv(0, 10 * 1_800_000);
+        let removed = tree.remove_where(&IntervalQuery::Overlaps(w), |&v| v < 5);
+        assert_eq!(removed, 5);
+        let hits: Vec<i64> = tree.query(&IntervalQuery::Overlaps(w)).into_iter().copied().collect();
+        assert!(hits.iter().all(|&v| v >= 5));
+    }
+}

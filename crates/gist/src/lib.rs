@@ -1,0 +1,32 @@
+//! # hermes-gist
+//!
+//! A from-scratch **Generalized Search Tree (GiST)** framework plus the
+//! paper's `pg3D-Rtree` operator class.
+//!
+//! The ICDE 2018 Hermes@PostgreSQL demo stresses that its 3D R-tree is *not*
+//! an ad hoc index: it is "implemented from scratch on top of GiST", i.e. the
+//! generic balanced-tree machinery is separated from the domain-specific key
+//! operations (`union`, `penalty`, `picksplit`, `consistent`), exactly as in
+//! Hellerstein, Naughton & Pfeffer (VLDB 1995). This crate reproduces that
+//! layering:
+//!
+//! * [`OpClass`] — the operator-class trait a key type implements,
+//! * [`Gist`] — the generic height-balanced tree parameterized by an
+//!   operator class,
+//! * [`rtree3d`] — the `pg3D-Rtree` operator class over [`Mbb`]
+//!   (spatio-temporal boxes) plus the convenient [`RTree3D`] wrapper used by
+//!   the rest of the workspace,
+//! * STR bulk loading for building an index over an existing partition in one
+//!   pass.
+//!
+//! [`Mbb`]: hermes_trajectory::Mbb
+
+pub mod interval;
+pub mod opclass;
+pub mod rtree3d;
+pub mod tree;
+
+pub use interval::{IntervalOpClass, IntervalQuery, IntervalTree};
+pub use opclass::OpClass;
+pub use rtree3d::{Box3OpClass, RTree3D, RangeQuery};
+pub use tree::{Gist, GistStats};

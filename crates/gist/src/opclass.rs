@@ -1,0 +1,41 @@
+//! The GiST operator-class contract.
+//!
+//! A Generalized Search Tree knows nothing about the data it indexes; all
+//! domain knowledge is supplied by an *operator class* implementing this
+//! trait (PostgreSQL's `CREATE OPERATOR CLASS ... USING gist`). The generic
+//! tree calls exactly the four methods defined by Hellerstein et al.:
+//! `consistent`, `union`, `penalty` and `picksplit`, plus an optional
+//! `distance` used for ordered (nearest-neighbour) scans.
+
+/// Domain-specific key operations for a [`Gist`](crate::tree::Gist) tree.
+pub trait OpClass {
+    /// The key stored in tree entries (e.g. a 3D bounding box).
+    type Key: Clone + std::fmt::Debug;
+    /// The query predicate evaluated by `consistent` (e.g. "intersects box").
+    type Query;
+
+    /// Returns `false` only when the subtree under `key` can be proven to
+    /// contain no entry satisfying `query` (false positives are allowed,
+    /// false negatives are not — the classic GiST contract).
+    fn consistent(key: &Self::Key, query: &Self::Query, is_leaf: bool) -> bool;
+
+    /// Smallest key covering all of `keys`. `keys` is never empty.
+    fn union(keys: &[Self::Key]) -> Self::Key;
+
+    /// Cost of inserting `new` into the subtree whose bounding key is
+    /// `existing`; the tree descends into the child with minimum penalty.
+    fn penalty(existing: &Self::Key, new: &Self::Key) -> f64;
+
+    /// Splits an overflowing set of keys into two groups, returning the index
+    /// sets of each group. Every index in `0..keys.len()` must appear in
+    /// exactly one group and both groups must be non-empty.
+    fn picksplit(keys: &[Self::Key]) -> (Vec<usize>, Vec<usize>);
+
+    /// Optimistic distance of `key` to the query target, used to order
+    /// nearest-neighbour scans. Must be a lower bound of the distance of any
+    /// entry stored below `key`. The default makes ordered scans degrade to
+    /// plain scans.
+    fn distance(_key: &Self::Key, _query: &Self::Query) -> f64 {
+        0.0
+    }
+}

@@ -1,0 +1,402 @@
+//! The `pg3D-Rtree` operator class and a convenience wrapper.
+//!
+//! This is the paper's trajectory-tailored 3D R-tree "implemented from
+//! scratch on top of GiST": the key is a spatio-temporal bounding box
+//! ([`Mbb`]), the penalty is volume enlargement, and the split is the classic
+//! R*-style axis/margin heuristic. The `RTree3D` wrapper offers the query
+//! surface the rest of the workspace needs (range queries over boxes or time
+//! windows, and nearest-neighbour scans around a 3D point).
+
+use crate::opclass::OpClass;
+use crate::tree::{Gist, GistStats, MIN_ENTRIES};
+use hermes_trajectory::{Mbb, Point, TimeInterval};
+
+/// How many spatial units one second of temporal separation is worth in
+/// volume/distance computations. The workspace-wide convention is 1 unit/s,
+/// roughly the cruise ground-speed scale of the synthetic generators; queries
+/// that need different weighting pass an explicit weight.
+pub const DEFAULT_TIME_WEIGHT: f64 = 1.0;
+
+/// Query predicate understood by the pg3D-Rtree operator class.
+#[derive(Debug, Clone)]
+pub enum RangeQuery {
+    /// Matches entries whose box intersects the given box.
+    Intersects(Mbb),
+    /// Matches entries whose box is fully contained in the given box.
+    ContainedIn(Mbb),
+    /// Matches entries whose lifespan intersects the temporal window
+    /// (spatially unbounded) — the access path behind `QUT(D, Wi, We, …)`.
+    TemporalOverlap(TimeInterval),
+    /// Matches everything; ordering queries use the target point.
+    NearestTo(Point),
+}
+
+/// GiST operator class for 3D (space + time) bounding boxes.
+pub struct Box3OpClass;
+
+impl OpClass for Box3OpClass {
+    type Key = Mbb;
+    type Query = RangeQuery;
+
+    fn consistent(key: &Mbb, query: &RangeQuery, is_leaf: bool) -> bool {
+        match query {
+            RangeQuery::Intersects(b) => key.intersects(b),
+            RangeQuery::ContainedIn(b) => {
+                if is_leaf {
+                    b.contains(key)
+                } else {
+                    // An internal key only needs to *intersect*: a contained
+                    // entry may exist below even if the union is not contained.
+                    key.intersects(b)
+                }
+            }
+            RangeQuery::TemporalOverlap(w) => key.time_interval().intersects(w),
+            RangeQuery::NearestTo(_) => true,
+        }
+    }
+
+    fn union(keys: &[Mbb]) -> Mbb {
+        let mut u = Mbb::empty();
+        for k in keys {
+            u.expand(k);
+        }
+        u
+    }
+
+    fn penalty(existing: &Mbb, new: &Mbb) -> f64 {
+        let before = existing.volume(DEFAULT_TIME_WEIGHT);
+        let after = existing.union(new).volume(DEFAULT_TIME_WEIGHT);
+        after - before
+    }
+
+    fn picksplit(keys: &[Mbb]) -> (Vec<usize>, Vec<usize>) {
+        // R*-style split: choose the axis with the smallest total margin over
+        // all candidate distributions, then the distribution with minimal
+        // overlap (ties broken by total volume).
+        #[derive(Clone, Copy)]
+        enum Axis {
+            X,
+            Y,
+            T,
+        }
+        let axes = [Axis::X, Axis::Y, Axis::T];
+        let center = |b: &Mbb, axis: Axis| -> f64 {
+            match axis {
+                Axis::X => (b.x_min + b.x_max) / 2.0,
+                Axis::Y => (b.y_min + b.y_max) / 2.0,
+                Axis::T => (b.t_min.as_secs_f64() + b.t_max.as_secs_f64()) / 2.0,
+            }
+        };
+
+        let mut best: Option<(f64, f64, Vec<usize>, Vec<usize>)> = None; // (overlap, volume, l, r)
+        for axis in axes {
+            let mut order: Vec<usize> = (0..keys.len()).collect();
+            order.sort_by(|&a, &b| {
+                center(&keys[a], axis)
+                    .partial_cmp(&center(&keys[b], axis))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let min_fill = MIN_ENTRIES.max(1);
+            for split_at in min_fill..=(keys.len() - min_fill) {
+                let left: Vec<usize> = order[..split_at].to_vec();
+                let right: Vec<usize> = order[split_at..].to_vec();
+                let lu = Self::union(&left.iter().map(|&i| keys[i]).collect::<Vec<_>>());
+                let ru = Self::union(&right.iter().map(|&i| keys[i]).collect::<Vec<_>>());
+                let overlap = lu.overlap_volume(&ru, DEFAULT_TIME_WEIGHT);
+                let volume = lu.volume(DEFAULT_TIME_WEIGHT) + ru.volume(DEFAULT_TIME_WEIGHT);
+                let better = match &best {
+                    None => true,
+                    Some((bo, bv, _, _)) => {
+                        overlap < *bo || (overlap == *bo && volume < *bv)
+                    }
+                };
+                if better {
+                    best = Some((overlap, volume, left, right));
+                }
+            }
+        }
+        let (_, _, l, r) = best.expect("picksplit called with enough keys to split");
+        (l, r)
+    }
+
+    fn distance(key: &Mbb, query: &RangeQuery) -> f64 {
+        match query {
+            RangeQuery::NearestTo(p) => {
+                key.min_distance(&Mbb::from_point(p), DEFAULT_TIME_WEIGHT)
+            }
+            // Range queries are unordered; any constant keeps the scan valid.
+            _ => 0.0,
+        }
+    }
+}
+
+/// A 3D R-tree over values of type `V`, keyed by spatio-temporal boxes.
+///
+/// Thin wrapper around [`Gist<Box3OpClass, V>`] providing the query surface
+/// used by the voting, ReTraTree and storage layers.
+pub struct RTree3D<V> {
+    tree: Gist<Box3OpClass, V>,
+}
+
+impl<V> Default for RTree3D<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RTree3D<V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        RTree3D { tree: Gist::new() }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Inserts a value under its bounding box.
+    pub fn insert(&mut self, mbb: Mbb, value: V) {
+        self.tree.insert(mbb, value);
+    }
+
+    /// All values whose box intersects `mbb`.
+    pub fn query_intersecting(&self, mbb: &Mbb) -> Vec<&V> {
+        self.tree.query(&RangeQuery::Intersects(*mbb))
+    }
+
+    /// All values whose box is fully contained in `mbb`.
+    pub fn query_contained(&self, mbb: &Mbb) -> Vec<&V> {
+        self.tree.query(&RangeQuery::ContainedIn(*mbb))
+    }
+
+    /// All values whose lifespan intersects the temporal window `w`.
+    pub fn query_temporal(&self, w: &TimeInterval) -> Vec<&V> {
+        self.tree.query(&RangeQuery::TemporalOverlap(*w))
+    }
+
+    /// Visits `(mbb, value)` pairs intersecting `mbb` without materializing a
+    /// vector; used by the voting inner loop.
+    pub fn for_each_intersecting<'a>(&'a self, mbb: &Mbb, visit: impl FnMut(&'a Mbb, &'a V)) {
+        self.tree.search(&RangeQuery::Intersects(*mbb), visit);
+    }
+
+    /// Up to `k` values nearest to the spatio-temporal point `p`
+    /// (box-to-point distance, nearest first).
+    pub fn nearest(&self, p: &Point, k: usize) -> Vec<(&V, f64)> {
+        self.tree.nearest(&RangeQuery::NearestTo(*p), k)
+    }
+
+    /// Removes entries intersecting `mbb` for which `pred` holds; returns the
+    /// number removed.
+    pub fn remove_where(&mut self, mbb: &Mbb, pred: impl FnMut(&V) -> bool) -> usize {
+        self.tree.remove_where(&RangeQuery::Intersects(*mbb), pred)
+    }
+
+    /// Iterates over all `(mbb, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Mbb, &V)> {
+        self.tree.iter()
+    }
+
+    /// Structural statistics of the underlying GiST.
+    pub fn stats(&self) -> GistStats {
+        self.tree.stats()
+    }
+
+    /// Verifies GiST invariants (tests only).
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+    }
+}
+
+impl<V: Clone> RTree3D<V> {
+    /// Bulk-loads an index with Sort-Tile-Recursive packing over the box
+    /// centers (x, then y, then t).
+    pub fn bulk_load(items: Vec<(Mbb, V)>) -> Self {
+        let tree = Gist::bulk_load(items, |b: &Mbb| {
+            let (cx, cy, ct) = b.center();
+            [cx, cy, ct]
+        });
+        RTree3D { tree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::Timestamp;
+
+    fn boxy(x0: f64, x1: f64, y0: f64, y1: f64, t0: i64, t1: i64) -> Mbb {
+        Mbb::new(x0, x1, y0, y1, Timestamp(t0), Timestamp(t1))
+    }
+
+    fn unit_box_at(i: usize) -> Mbb {
+        let f = i as f64;
+        boxy(f, f + 1.0, f * 2.0, f * 2.0 + 1.0, i as i64 * 1000, i as i64 * 1000 + 1000)
+    }
+
+    #[test]
+    fn insert_and_range_query() {
+        let mut t = RTree3D::new();
+        for i in 0..200 {
+            t.insert(unit_box_at(i), i);
+        }
+        assert_eq!(t.len(), 200);
+        t.check_invariants();
+
+        let q = boxy(10.0, 20.0, 0.0, 1000.0, 0, 1_000_000);
+        let mut hits: Vec<usize> = t.query_intersecting(&q).into_iter().copied().collect();
+        hits.sort_unstable();
+        let expected: Vec<usize> = (0..200)
+            .filter(|&i| unit_box_at(i).intersects(&q))
+            .collect();
+        assert_eq!(hits, expected);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn containment_query_filters_partially_overlapping() {
+        let mut t = RTree3D::new();
+        t.insert(boxy(0.0, 1.0, 0.0, 1.0, 0, 1_000), "inside");
+        t.insert(boxy(0.0, 20.0, 0.0, 20.0, 0, 1_000), "straddles");
+        let q = boxy(-1.0, 2.0, -1.0, 2.0, -1, 2_000);
+        let contained: Vec<&str> = t.query_contained(&q).into_iter().copied().collect();
+        assert_eq!(contained, vec!["inside"]);
+        let intersecting = t.query_intersecting(&q);
+        assert_eq!(intersecting.len(), 2);
+    }
+
+    #[test]
+    fn temporal_query_uses_time_axis_only() {
+        let mut t = RTree3D::new();
+        for i in 0..50 {
+            t.insert(unit_box_at(i), i);
+        }
+        let w = TimeInterval::new(Timestamp(10_000), Timestamp(20_000));
+        let mut hits: Vec<usize> = t.query_temporal(&w).into_iter().copied().collect();
+        hits.sort_unstable();
+        let expected: Vec<usize> = (0..50)
+            .filter(|&i| unit_box_at(i).time_interval().intersects(&w))
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn nearest_returns_sorted_distances() {
+        let mut t = RTree3D::new();
+        for i in 0..100 {
+            t.insert(unit_box_at(i), i);
+        }
+        let p = Point::new(50.0, 100.0, Timestamp(50_000));
+        let res = t.nearest(&p, 5);
+        assert_eq!(res.len(), 5);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1, "distances must be non-decreasing");
+        }
+        // The box generated for i=49..50 should be among the closest.
+        let ids: Vec<usize> = res.iter().map(|(v, _)| **v).collect();
+        assert!(ids.contains(&49) || ids.contains(&50));
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let mut t = RTree3D::new();
+        let boxes: Vec<Mbb> = (0..150).map(unit_box_at).collect();
+        for (i, b) in boxes.iter().enumerate() {
+            t.insert(*b, i);
+        }
+        let p = Point::new(30.0, 61.0, Timestamp(31_000));
+        let knn = t.nearest(&p, 10);
+        let mut linear: Vec<(usize, f64)> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.min_distance(&Mbb::from_point(&p), DEFAULT_TIME_WEIGHT)))
+            .collect();
+        linear.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let knn_dists: Vec<f64> = knn.iter().map(|(_, d)| *d).collect();
+        let lin_dists: Vec<f64> = linear.iter().take(10).map(|(_, d)| *d).collect();
+        for (a, b) in knn_dists.iter().zip(lin_dists.iter()) {
+            assert!((a - b).abs() < 1e-9, "kNN distance mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn remove_where_deletes_matching_entries() {
+        let mut t = RTree3D::new();
+        for i in 0..100 {
+            t.insert(unit_box_at(i), i);
+        }
+        let region = boxy(0.0, 10.0, 0.0, 30.0, 0, 20_000);
+        let before = t.query_intersecting(&region).len();
+        assert!(before > 0);
+        let removed = t.remove_where(&region, |v| *v % 2 == 0);
+        assert!(removed > 0);
+        assert_eq!(t.len(), 100 - removed);
+        let remaining: Vec<usize> = t.query_intersecting(&region).into_iter().copied().collect();
+        assert!(remaining.iter().all(|v| v % 2 == 1));
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_queries() {
+        let items: Vec<(Mbb, usize)> = (0..300).map(|i| (unit_box_at(i), i)).collect();
+        let bulk = RTree3D::bulk_load(items.clone());
+        assert_eq!(bulk.len(), 300);
+        bulk.check_invariants();
+
+        let mut incr = RTree3D::new();
+        for (b, v) in items {
+            incr.insert(b, v);
+        }
+        for q in [
+            boxy(5.0, 25.0, 0.0, 100.0, 0, 100_000),
+            boxy(100.0, 150.0, 200.0, 260.0, 120_000, 160_000),
+            boxy(-10.0, -1.0, -10.0, -1.0, -10_000, -1_000),
+        ] {
+            let mut a: Vec<usize> = bulk.query_intersecting(&q).into_iter().copied().collect();
+            let mut b: Vec<usize> = incr.query_intersecting(&q).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_shallower_than_incremental_for_same_data() {
+        let items: Vec<(Mbb, usize)> = (0..2000).map(|i| (unit_box_at(i), i)).collect();
+        let bulk = RTree3D::bulk_load(items.clone());
+        let mut incr = RTree3D::new();
+        for (b, v) in items {
+            incr.insert(b, v);
+        }
+        assert!(bulk.stats().height <= incr.stats().height);
+        assert_eq!(bulk.len(), incr.len());
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree3D<u32> = RTree3D::new();
+        assert!(t.is_empty());
+        assert!(t.query_intersecting(&boxy(0.0, 1.0, 0.0, 1.0, 0, 1)).is_empty());
+        assert!(t.nearest(&Point::new(0.0, 0.0, Timestamp(0)), 3).is_empty());
+        let empty_bulk: RTree3D<u32> = RTree3D::bulk_load(Vec::new());
+        assert!(empty_bulk.is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut t = RTree3D::new();
+        for i in 0..500 {
+            t.insert(unit_box_at(i), i);
+        }
+        let s = t.stats();
+        assert_eq!(s.len, 500);
+        assert!(s.height >= 2);
+        assert!(s.leaf_nodes > 1);
+        assert!(s.internal_nodes >= 1);
+    }
+}

@@ -1,0 +1,568 @@
+//! The generic, height-balanced Generalized Search Tree.
+//!
+//! The tree stores `(Key, Value)` pairs in its leaves and maintains, for every
+//! internal entry, the operator-class `union` of the keys below it. All
+//! structural decisions (which child to descend, how to split an overflowing
+//! node) are delegated to the [`OpClass`].
+
+use crate::opclass::OpClass;
+use std::collections::BinaryHeap;
+
+/// Maximum number of entries in a node before it is split.
+const MAX_ENTRIES: usize = 16;
+/// Minimum number of entries produced on each side of a split.
+pub(crate) const MIN_ENTRIES: usize = MAX_ENTRIES / 4;
+
+/// A generic GiST over operator class `O`, storing values of type `V`.
+pub struct Gist<O: OpClass, V> {
+    nodes: Vec<Node<O::Key, V>>,
+    root: usize,
+    len: usize,
+    height: usize,
+    free: Vec<usize>,
+}
+
+enum Node<K, V> {
+    Internal {
+        entries: Vec<(K, usize)>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+    },
+}
+
+/// Structural statistics of a tree, used by the benchmarks and by tests that
+/// verify balance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GistStats {
+    /// Number of stored values.
+    pub len: usize,
+    /// Height of the tree (a single leaf has height 1).
+    pub height: usize,
+    /// Number of leaf nodes.
+    pub leaf_nodes: usize,
+    /// Number of internal nodes.
+    pub internal_nodes: usize,
+}
+
+impl<O: OpClass, V> Default for Gist<O, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: OpClass, V> Gist<O, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Gist {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+            }],
+            root: 0,
+            len: 0,
+            height: 1,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn alloc(&mut self, node: Node<O::Key, V>) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts a `(key, value)` pair.
+    pub fn insert(&mut self, key: O::Key, value: V) {
+        self.len += 1;
+        if let Some((k1, n1, k2, n2)) = self.insert_at(self.root, key, value, self.height) {
+            // Root split: grow the tree by one level.
+            let new_root = self.alloc(Node::Internal {
+                entries: vec![(k1, n1), (k2, n2)],
+            });
+            self.root = new_root;
+            self.height += 1;
+        }
+    }
+
+    /// Recursive insert. Returns `Some((left_key, left_idx, right_key,
+    /// right_idx))` when the visited node split.
+    #[allow(clippy::type_complexity)]
+    fn insert_at(
+        &mut self,
+        node_idx: usize,
+        key: O::Key,
+        value: V,
+        level: usize,
+    ) -> Option<(O::Key, usize, O::Key, usize)> {
+        if level == 1 {
+            // Leaf level.
+            let Node::Leaf { entries } = &mut self.nodes[node_idx] else {
+                unreachable!("level-1 node must be a leaf");
+            };
+            entries.push((key, value));
+            if entries.len() <= MAX_ENTRIES {
+                return None;
+            }
+            return Some(self.split_leaf(node_idx));
+        }
+
+        // Internal node: choose the child with minimum penalty.
+        let child_slot = {
+            let Node::Internal { entries } = &self.nodes[node_idx] else {
+                unreachable!("non-leaf level must be an internal node");
+            };
+            let mut best = 0usize;
+            let mut best_penalty = f64::INFINITY;
+            for (i, (k, _)) in entries.iter().enumerate() {
+                let p = O::penalty(k, &key);
+                if p < best_penalty {
+                    best_penalty = p;
+                    best = i;
+                }
+            }
+            best
+        };
+        let child_idx = match &self.nodes[node_idx] {
+            Node::Internal { entries } => entries[child_slot].1,
+            Node::Leaf { .. } => unreachable!(),
+        };
+
+        let split = self.insert_at(child_idx, key.clone(), value, level - 1);
+
+        // Refresh the child's bounding key (and apply a split if one happened).
+        let child_key = self.node_union(child_idx);
+        let Node::Internal { entries } = &mut self.nodes[node_idx] else {
+            unreachable!();
+        };
+        entries[child_slot].0 = child_key;
+        if let Some((k1, n1, k2, n2)) = split {
+            entries[child_slot] = (k1, n1);
+            entries.push((k2, n2));
+        }
+        if entries.len() <= MAX_ENTRIES {
+            return None;
+        }
+        Some(self.split_internal(node_idx))
+    }
+
+    fn node_union(&self, node_idx: usize) -> O::Key {
+        match &self.nodes[node_idx] {
+            Node::Internal { entries } => {
+                let keys: Vec<O::Key> = entries.iter().map(|(k, _)| k.clone()).collect();
+                O::union(&keys)
+            }
+            Node::Leaf { entries } => {
+                let keys: Vec<O::Key> = entries.iter().map(|(k, _)| k.clone()).collect();
+                O::union(&keys)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn split_leaf(&mut self, node_idx: usize) -> (O::Key, usize, O::Key, usize) {
+        let Node::Leaf { entries } = &mut self.nodes[node_idx] else {
+            unreachable!();
+        };
+        let moved = std::mem::take(entries);
+        let keys: Vec<O::Key> = moved.iter().map(|(k, _)| k.clone()).collect();
+        let (left_ids, right_ids) = O::picksplit(&keys);
+        debug_assert!(!left_ids.is_empty() && !right_ids.is_empty());
+
+        let mut left = Vec::with_capacity(left_ids.len());
+        let mut right = Vec::with_capacity(right_ids.len());
+        let mut moved: Vec<Option<(O::Key, V)>> = moved.into_iter().map(Some).collect();
+        for i in left_ids {
+            left.push(moved[i].take().expect("picksplit indices must be unique"));
+        }
+        for i in right_ids {
+            right.push(moved[i].take().expect("picksplit indices must be unique"));
+        }
+
+        let left_key = O::union(&left.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+        let right_key = O::union(&right.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+        self.nodes[node_idx] = Node::Leaf { entries: left };
+        let right_idx = self.alloc(Node::Leaf { entries: right });
+        (left_key, node_idx, right_key, right_idx)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn split_internal(&mut self, node_idx: usize) -> (O::Key, usize, O::Key, usize) {
+        let Node::Internal { entries } = &mut self.nodes[node_idx] else {
+            unreachable!();
+        };
+        let moved = std::mem::take(entries);
+        let keys: Vec<O::Key> = moved.iter().map(|(k, _)| k.clone()).collect();
+        let (left_ids, right_ids) = O::picksplit(&keys);
+        debug_assert!(!left_ids.is_empty() && !right_ids.is_empty());
+
+        let mut left = Vec::with_capacity(left_ids.len());
+        let mut right = Vec::with_capacity(right_ids.len());
+        for i in left_ids {
+            left.push(moved[i].clone());
+        }
+        for i in right_ids {
+            right.push(moved[i].clone());
+        }
+
+        let left_key = O::union(&left.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+        let right_key = O::union(&right.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+        self.nodes[node_idx] = Node::Internal { entries: left };
+        let right_idx = self.alloc(Node::Internal { entries: right });
+        (left_key, node_idx, right_key, right_idx)
+    }
+
+    /// Visits every stored `(key, value)` whose key is consistent with
+    /// `query`, in unspecified order.
+    pub fn search<'a>(&'a self, query: &O::Query, mut visit: impl FnMut(&'a O::Key, &'a V)) {
+        let mut stack = vec![(self.root, self.height)];
+        while let Some((node_idx, level)) = stack.pop() {
+            match &self.nodes[node_idx] {
+                Node::Internal { entries } => {
+                    for (k, child) in entries {
+                        if O::consistent(k, query, false) {
+                            stack.push((*child, level - 1));
+                        }
+                    }
+                }
+                Node::Leaf { entries } => {
+                    for (k, v) in entries {
+                        if O::consistent(k, query, true) {
+                            visit(k, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects matching values into a vector (convenience over
+    /// [`Gist::search`]).
+    pub fn query(&self, query: &O::Query) -> Vec<&V> {
+        let mut out = Vec::new();
+        self.search(query, |_, v| out.push(v));
+        out
+    }
+
+    /// Ordered (nearest-first) scan: returns up to `k` values in increasing
+    /// [`OpClass::distance`] order from the query. This is the standard GiST
+    /// priority-queue traversal used for kNN over the pg3D-Rtree.
+    pub fn nearest(&self, query: &O::Query, k: usize) -> Vec<(&V, f64)> {
+        #[derive(PartialEq)]
+        struct HeapItem {
+            dist: f64,
+            node: usize,
+            level: usize,
+            leaf_entry: Option<usize>,
+        }
+        impl Eq for HeapItem {}
+        impl PartialOrd for HeapItem {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapItem {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse: BinaryHeap is a max-heap, we need smallest distance first.
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+
+        let mut out = Vec::new();
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: 0.0,
+            node: self.root,
+            level: self.height,
+            leaf_entry: None,
+        });
+        while let Some(item) = heap.pop() {
+            if let Some(entry_idx) = item.leaf_entry {
+                let Node::Leaf { entries } = &self.nodes[item.node] else {
+                    unreachable!();
+                };
+                out.push((&entries[entry_idx].1, item.dist));
+                if out.len() >= k {
+                    break;
+                }
+                continue;
+            }
+            match &self.nodes[item.node] {
+                Node::Internal { entries } => {
+                    for (key, child) in entries {
+                        heap.push(HeapItem {
+                            dist: O::distance(key, query),
+                            node: *child,
+                            level: item.level - 1,
+                            leaf_entry: None,
+                        });
+                    }
+                }
+                Node::Leaf { entries } => {
+                    for (i, (key, _)) in entries.iter().enumerate() {
+                        heap.push(HeapItem {
+                            dist: O::distance(key, query),
+                            node: item.node,
+                            level: item.level,
+                            leaf_entry: Some(i),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes all values for which `pred` returns true among entries whose
+    /// key is consistent with `query`. Returns the number removed.
+    ///
+    /// Underfull nodes are tolerated (keys shrink lazily on the next insert
+    /// that touches them); this matches the lazy-deletion behaviour of the
+    /// PostgreSQL GiST access method, which never merges pages eagerly.
+    pub fn remove_where(&mut self, query: &O::Query, mut pred: impl FnMut(&V) -> bool) -> usize {
+        let mut removed = 0usize;
+        let mut stack = vec![self.root];
+        let mut leaves = Vec::new();
+        while let Some(node_idx) = stack.pop() {
+            match &self.nodes[node_idx] {
+                Node::Internal { entries } => {
+                    for (k, child) in entries {
+                        if O::consistent(k, query, false) {
+                            stack.push(*child);
+                        }
+                    }
+                }
+                Node::Leaf { .. } => leaves.push(node_idx),
+            }
+        }
+        for leaf in leaves {
+            let Node::Leaf { entries } = &mut self.nodes[leaf] else {
+                unreachable!();
+            };
+            let before = entries.len();
+            entries.retain(|(k, v)| !(O::consistent(k, query, true) && pred(v)));
+            removed += before - entries.len();
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Iterates over every stored value (full scan).
+    pub fn iter(&self) -> impl Iterator<Item = (&O::Key, &V)> {
+        self.nodes.iter().enumerate().flat_map(move |(i, n)| {
+            let reachable = self.is_reachable(i);
+            let entries: &[(O::Key, V)] = match n {
+                Node::Leaf { entries } if reachable => entries,
+                _ => &[],
+            };
+            entries.iter().map(|(k, v)| (k, v))
+        })
+    }
+
+    fn is_reachable(&self, target: usize) -> bool {
+        // Free-listed nodes are never reachable from the root.
+        if self.free.contains(&target) {
+            return false;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if let Node::Internal { entries } = &self.nodes[n] {
+                for (_, c) in entries {
+                    stack.push(*c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Structural statistics (node counts, height).
+    pub fn stats(&self) -> GistStats {
+        let mut leaf_nodes = 0usize;
+        let mut internal_nodes = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Internal { entries } => {
+                    internal_nodes += 1;
+                    for (_, c) in entries {
+                        stack.push(*c);
+                    }
+                }
+                Node::Leaf { .. } => leaf_nodes += 1,
+            }
+        }
+        GistStats {
+            len: self.len,
+            height: self.height,
+            leaf_nodes,
+            internal_nodes,
+        }
+    }
+
+    /// Verifies the GiST structural invariants, panicking with a description
+    /// of the first violation. Intended for tests.
+    ///
+    /// Checked invariants:
+    /// * every internal entry's key is consistent with (covers) the union of
+    ///   its child's keys — verified through the penalty being zero for the
+    ///   child union against the parent key,
+    /// * all leaves are at the same depth,
+    /// * node occupancy never exceeds the maximum.
+    pub fn check_invariants(&self)
+    where
+        O::Key: PartialEq,
+    {
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, 1, &mut leaf_depths);
+        if let Some(&first) = leaf_depths.first() {
+            assert!(
+                leaf_depths.iter().all(|&d| d == first),
+                "all leaves must be at the same depth: {leaf_depths:?}"
+            );
+            assert_eq!(first, self.height, "recorded height must match leaf depth");
+        }
+    }
+
+    fn check_node(&self, node_idx: usize, depth: usize, leaf_depths: &mut Vec<usize>)
+    where
+        O::Key: PartialEq,
+    {
+        match &self.nodes[node_idx] {
+            Node::Internal { entries } => {
+                assert!(
+                    entries.len() <= MAX_ENTRIES,
+                    "internal node exceeds max occupancy"
+                );
+                assert!(!entries.is_empty(), "internal node must not be empty");
+                for (key, child) in entries {
+                    let child_union = self.node_union(*child);
+                    assert!(
+                        O::penalty(key, &child_union) == 0.0,
+                        "parent key must cover child union (penalty 0), got {}",
+                        O::penalty(key, &child_union)
+                    );
+                    self.check_node(*child, depth + 1, leaf_depths);
+                }
+            }
+            Node::Leaf { entries } => {
+                assert!(entries.len() <= MAX_ENTRIES, "leaf exceeds max occupancy");
+                leaf_depths.push(depth);
+            }
+        }
+    }
+}
+
+impl<O: OpClass, V: Clone> Gist<O, V> {
+    /// Bulk-loads a tree from `(key, value)` pairs using Sort-Tile-Recursive
+    /// packing driven by a caller-provided sort key extractor (the pg3D-Rtree
+    /// operator class supplies center-coordinate extractors).
+    ///
+    /// `sort_dims` maps a key to the coordinates used for tiling, one value
+    /// per dimension in tiling order.
+    pub fn bulk_load<const D: usize>(
+        mut items: Vec<(O::Key, V)>,
+        sort_dims: impl Fn(&O::Key) -> [f64; D],
+    ) -> Self {
+        if items.is_empty() {
+            return Self::new();
+        }
+        // Recursive STR tiling: sort by dim 0, cut into slabs, recurse.
+        fn tile<K: Clone, V: Clone, const D: usize>(
+            items: &mut [(K, V)],
+            dims: &impl Fn(&K) -> [f64; D],
+            dim: usize,
+            leaf_cap: usize,
+            out: &mut Vec<Vec<(K, V)>>,
+        ) {
+            if items.len() <= leaf_cap {
+                out.push(items.to_vec());
+                return;
+            }
+            if dim >= D {
+                for chunk in items.chunks(leaf_cap) {
+                    out.push(chunk.to_vec());
+                }
+                return;
+            }
+            items.sort_by(|a, b| {
+                dims(&a.0)[dim]
+                    .partial_cmp(&dims(&b.0)[dim])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let leaves_needed = items.len().div_ceil(leaf_cap);
+            let slabs = (leaves_needed as f64)
+                .powf(1.0 / (D - dim) as f64)
+                .ceil() as usize;
+            let slab_size = items.len().div_ceil(slabs.max(1));
+            let mut rest = items;
+            while !rest.is_empty() {
+                let take = slab_size.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                tile(head, dims, dim + 1, leaf_cap, out);
+                rest = tail;
+            }
+        }
+
+        // Target ~70% occupancy so later inserts do not immediately split.
+        let leaf_cap = (MAX_ENTRIES * 7 / 10).max(2);
+        let mut leaves_data = Vec::new();
+        tile(&mut items, &sort_dims, 0, leaf_cap, &mut leaves_data);
+
+        let mut tree = Self::new();
+        tree.nodes.clear();
+        tree.free.clear();
+        tree.len = leaves_data.iter().map(|l| l.len()).sum();
+
+        // Build leaf level.
+        let mut level: Vec<(O::Key, usize)> = Vec::with_capacity(leaves_data.len());
+        for leaf in leaves_data {
+            let key = O::union(&leaf.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+            let idx = tree.alloc(Node::Leaf { entries: leaf });
+            level.push((key, idx));
+        }
+        let mut height = 1usize;
+        // Build internal levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(leaf_cap));
+            for chunk in level.chunks(leaf_cap) {
+                let key = O::union(&chunk.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>());
+                let idx = tree.alloc(Node::Internal {
+                    entries: chunk.to_vec(),
+                });
+                next.push((key, idx));
+            }
+            level = next;
+            height += 1;
+        }
+        tree.root = level[0].1;
+        tree.height = height;
+        tree
+    }
+}

@@ -1,0 +1,40 @@
+//! # hermes-retratree
+//!
+//! The **ReTraTree** (Representative Trajectory Tree) and **QuT-Clustering**
+//! — the time-aware, progressive half of the Hermes@PostgreSQL demo
+//! (ICDE 2018), following Pelekis et al. (DMKD 2017).
+//!
+//! The ReTraTree "consists of four levels: the first two levels operate on
+//! the temporal dimension, the third level builds clusters upon the
+//! spatio-temporal characteristics of the trajectories, and the fourth level
+//! is the actual data storage along with the corresponding indexes
+//! (3D-RTree) for effective retrieval".
+//!
+//! * **L1** — [`node::Chunk`]: disjoint, fixed-length temporal chunks,
+//! * **L2** — [`node::SubChunk`]: finer temporal partitions inside a chunk,
+//! * **L3** — [`node::ClusterEntry`]: one entry per representative
+//!   sub-trajectory, pointing at the partition holding its members,
+//! * **L4** — per-cluster partitions (`hermes-storage`) indexed by the
+//!   pg3D-Rtree (`hermes-gist`), plus an outlier partition per sub-chunk.
+//!
+//! [`tree::ReTraTree::insert_trajectory`] implements the incremental
+//! maintenance loop of the architecture figure: new data is routed to an
+//! existing representative when possible, parked as an outlier otherwise, and
+//! when an outlier partition outgrows its threshold, S2T-Clustering is re-run
+//! on it and the new representatives are back-propagated into the in-memory
+//! part of the structure.
+//!
+//! [`qut::qut_clustering`] answers `QUT(D, Wi, We, τ, δ, t, d, γ)`: clusters
+//! and outliers for an arbitrary temporal window `W`, reusing the L3 entries
+//! of every sub-chunk fully covered by `W`, re-clustering only the border
+//! sub-chunks, and merging cluster entries across chunk boundaries.
+
+pub mod node;
+pub mod params;
+pub mod qut;
+pub mod tree;
+
+pub use node::{Chunk, ClusterEntry, SubChunk};
+pub use params::{QutParams, ReTraTreeParams};
+pub use qut::{qut_clustering, range_query_then_cluster, QutStats};
+pub use tree::{MaintenanceStats, ReTraTree};

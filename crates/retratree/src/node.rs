@@ -1,0 +1,169 @@
+//! The node types of the four ReTraTree levels.
+
+use hermes_gist::RTree3D;
+use hermes_storage::{PartitionId, RecordLocator};
+use hermes_trajectory::{SubTrajectory, TimeInterval};
+
+/// Level-3 entry: one representative sub-trajectory and the partition holding
+/// the members clustered around it.
+#[derive(Debug, Clone)]
+pub struct ClusterEntry {
+    /// The representative sub-trajectory (kept in memory — this is the
+    /// "in-memory part of ReTraTree" that new insertions are matched against).
+    pub representative: SubTrajectory,
+    /// Mean vote of the representative when it was promoted.
+    pub representative_vote: f64,
+    /// Partition holding the members of this cluster (level 4).
+    pub partition: PartitionId,
+    /// Locator of the representative's own archived copy in the partition
+    /// (None for entries created before any data was archived).
+    pub representative_loc: Option<RecordLocator>,
+    /// Locators of the members inside the partition.
+    pub members: Vec<RecordLocator>,
+}
+
+impl ClusterEntry {
+    /// Number of sub-trajectories in the cluster, counting the representative.
+    pub fn size(&self) -> usize {
+        self.members.len() + 1
+    }
+
+    /// The representative's lifespan (the cluster's anchor interval).
+    pub fn lifespan(&self) -> TimeInterval {
+        self.representative.lifespan()
+    }
+}
+
+/// Level-2 node: a fixed temporal sub-division of a chunk, owning its cluster
+/// entries, its outlier partition and a pg3D-Rtree over everything stored in
+/// it.
+pub struct SubChunk {
+    /// The temporal interval this sub-chunk covers.
+    pub interval: TimeInterval,
+    /// Cluster entries (level 3).
+    pub clusters: Vec<ClusterEntry>,
+    /// The partition holding unclustered sub-trajectories.
+    pub outlier_partition: PartitionId,
+    /// Locators of the outliers inside the outlier partition.
+    pub outliers: Vec<RecordLocator>,
+    /// pg3D-Rtree over every sub-trajectory stored in this sub-chunk
+    /// (members and outliers alike), mapping MBBs to record locators.
+    pub index: RTree3D<RecordLocator>,
+}
+
+impl SubChunk {
+    /// Creates an empty sub-chunk over `interval` with its outlier partition.
+    pub fn new(interval: TimeInterval, outlier_partition: PartitionId) -> Self {
+        SubChunk {
+            interval,
+            clusters: Vec::new(),
+            outlier_partition,
+            outliers: Vec::new(),
+            index: RTree3D::new(),
+        }
+    }
+
+    /// Total number of sub-trajectories stored (clustered, counting each
+    /// representative, + outliers).
+    pub fn population(&self) -> usize {
+        self.clusters.iter().map(|c| c.size()).sum::<usize>() + self.outliers.len()
+    }
+
+    /// Number of cluster entries.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// Level-1 node: a fixed temporal chunk containing its sub-chunks.
+pub struct Chunk {
+    /// The temporal interval this chunk covers.
+    pub interval: TimeInterval,
+    /// The sub-chunks, in temporal order, jointly tiling `interval`.
+    pub subchunks: Vec<SubChunk>,
+}
+
+impl Chunk {
+    /// Total population over all sub-chunks.
+    pub fn population(&self) -> usize {
+        self.subchunks.iter().map(|s| s.population()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, SubTrajectoryId, Timestamp};
+
+    fn sub(id: u64) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            vec![
+                Point::new(0.0, 0.0, Timestamp(0)),
+                Point::new(10.0, 0.0, Timestamp(60_000)),
+            ],
+        )
+    }
+
+    fn locator(i: u64) -> RecordLocator {
+        RecordLocator {
+            partition: 0,
+            page: 0,
+            slot: i as u16,
+        }
+    }
+
+    #[test]
+    fn cluster_entry_counts_its_representative() {
+        let mut e = ClusterEntry {
+            representative: sub(1),
+            representative_vote: 2.5,
+            partition: 3,
+            representative_loc: None,
+            members: vec![],
+        };
+        assert_eq!(e.size(), 1);
+        e.members.push(locator(0));
+        e.members.push(locator(1));
+        assert_eq!(e.size(), 3);
+        assert_eq!(
+            e.lifespan(),
+            TimeInterval::new(Timestamp(0), Timestamp(60_000))
+        );
+    }
+
+    #[test]
+    fn subchunk_population_sums_members_and_outliers() {
+        let mut sc = SubChunk::new(TimeInterval::new(Timestamp(0), Timestamp(3_600_000)), 0);
+        assert_eq!(sc.population(), 0);
+        sc.clusters.push(ClusterEntry {
+            representative: sub(1),
+            representative_vote: 1.0,
+            partition: 1,
+            representative_loc: None,
+            members: vec![locator(0), locator(1)],
+        });
+        sc.outliers.push(locator(2));
+        assert_eq!(sc.population(), 4);
+        assert_eq!(sc.num_clusters(), 1);
+    }
+
+    #[test]
+    fn chunk_population_aggregates_subchunks() {
+        let mut chunk = Chunk {
+            interval: TimeInterval::new(Timestamp(0), Timestamp(7_200_000)),
+            subchunks: vec![
+                SubChunk::new(TimeInterval::new(Timestamp(0), Timestamp(3_600_000)), 0),
+                SubChunk::new(
+                    TimeInterval::new(Timestamp(3_600_000), Timestamp(7_200_000)),
+                    1,
+                ),
+            ],
+        };
+        chunk.subchunks[0].outliers.push(locator(0));
+        chunk.subchunks[1].outliers.push(locator(1));
+        assert_eq!(chunk.population(), 2);
+    }
+}

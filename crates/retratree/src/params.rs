@@ -1,0 +1,155 @@
+//! Parameters of the ReTraTree and of QuT-Clustering queries.
+
+use hermes_s2t::S2TParams;
+use hermes_trajectory::Duration;
+
+/// Construction-time parameters of a [`crate::tree::ReTraTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReTraTreeParams {
+    /// Length of a level-1 temporal chunk.
+    pub chunk_duration: Duration,
+    /// Number of sub-chunks each chunk is divided into (level 2). The paper
+    /// uses a finer temporal partitioning inside each chunk; a fixed fan-out
+    /// keeps sub-chunk boundaries deterministic, which QuT exploits to decide
+    /// what can be reused without touching the data.
+    pub subchunks_per_chunk: usize,
+    /// Page threshold of an outlier partition above which the maintenance
+    /// loop re-runs S2T-Clustering on that sub-chunk ("when the size of a
+    /// partition exceeds a pre-defined threshold, S2T-Clustering takes
+    /// action").
+    pub reorg_page_threshold: usize,
+    /// Buffer-pool capacity in frames for the backing partition store.
+    pub buffer_frames: usize,
+    /// S2T parameters used for the per-sub-chunk clustering runs.
+    pub s2t: S2TParams,
+}
+
+impl Default for ReTraTreeParams {
+    fn default() -> Self {
+        ReTraTreeParams {
+            chunk_duration: Duration::from_hours(6),
+            subchunks_per_chunk: 4,
+            reorg_page_threshold: 8,
+            buffer_frames: 256,
+            s2t: S2TParams::default(),
+        }
+    }
+}
+
+impl ReTraTreeParams {
+    /// Validates the parameters, returning the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_duration.millis() <= 0 {
+            return Err("chunk_duration must be positive".into());
+        }
+        if self.subchunks_per_chunk == 0 {
+            return Err("subchunks_per_chunk must be at least 1".into());
+        }
+        if self.chunk_duration.millis() % self.subchunks_per_chunk as i64 != 0 {
+            return Err(format!(
+                "chunk_duration ({} ms) must be divisible by subchunks_per_chunk ({})",
+                self.chunk_duration.millis(),
+                self.subchunks_per_chunk
+            ));
+        }
+        if self.reorg_page_threshold == 0 {
+            return Err("reorg_page_threshold must be at least 1".into());
+        }
+        self.s2t.validate()
+    }
+
+    /// Length of one level-2 sub-chunk.
+    pub fn subchunk_duration(&self) -> Duration {
+        Duration::from_millis(self.chunk_duration.millis() / self.subchunks_per_chunk as i64)
+    }
+}
+
+/// Parameters of one QuT-Clustering query — the `τ, δ, t, d, γ` of
+/// `SELECT QUT(D, Wi, We, τ, δ, t, d, γ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QutParams {
+    /// S2T parameters (`τ`, `δ`, `t` plus the voting/clustering knobs) used
+    /// when a border sub-chunk has to be re-clustered on the fly.
+    pub s2t: S2TParams,
+    /// Merge distance `d`: cluster entries from adjacent sub-chunks whose
+    /// representatives are within this synchronized-shape distance are
+    /// reported as one cluster.
+    pub merge_distance: f64,
+    /// Merge gap `γ`: the maximum temporal gap between two cluster entries
+    /// that may still be merged.
+    pub merge_gap: Duration,
+}
+
+impl Default for QutParams {
+    fn default() -> Self {
+        QutParams {
+            s2t: S2TParams::default(),
+            merge_distance: 200.0,
+            merge_gap: Duration::from_mins(30),
+        }
+    }
+}
+
+impl QutParams {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.merge_distance > 0.0) {
+            return Err(format!(
+                "merge_distance must be positive, got {}",
+                self.merge_distance
+            ));
+        }
+        if self.merge_gap.millis() < 0 {
+            return Err("merge_gap must be non-negative".into());
+        }
+        self.s2t.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(ReTraTreeParams::default().validate().is_ok());
+        assert!(QutParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn subchunk_duration_divides_chunk() {
+        let p = ReTraTreeParams::default();
+        assert_eq!(
+            p.subchunk_duration().millis() * p.subchunks_per_chunk as i64,
+            p.chunk_duration.millis()
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = ReTraTreeParams::default();
+        p.chunk_duration = Duration::from_millis(0);
+        assert!(p.validate().is_err());
+
+        let mut p = ReTraTreeParams::default();
+        p.subchunks_per_chunk = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = ReTraTreeParams::default();
+        p.chunk_duration = Duration::from_millis(1_000_003);
+        p.subchunks_per_chunk = 4;
+        assert!(p.validate().unwrap_err().contains("divisible"));
+
+        let mut p = ReTraTreeParams::default();
+        p.reorg_page_threshold = 0;
+        assert!(p.validate().is_err());
+
+        let mut q = QutParams::default();
+        q.merge_distance = 0.0;
+        assert!(q.validate().is_err());
+
+        let mut q = QutParams::default();
+        q.merge_gap = Duration::from_millis(-1);
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! QuT-Clustering: cluster analysis constrained to a temporal window.
+//!
+//! "Given a MOD indexed according to ReTraTree structure and a temporal
+//! period W of interest, QuT-Clustering efficiently retrieves the subset of
+//! the MOD, actually the clusters and outliers at sub-trajectory level, that
+//! temporally intersect W." (ICDE 2018, §II.B)
+//!
+//! The progressive trick: sub-chunks *fully covered* by `W` already carry
+//! their clustering (level-3 entries) — those are reused verbatim. Only the
+//! border sub-chunks (partially overlapping `W`) are re-clustered, on just
+//! the data that falls inside `W`. Finally, cluster entries from adjacent
+//! sub-chunks are merged when their representatives are close in space and
+//! time, so a cluster that spans a chunk boundary is reported once.
+
+use crate::params::QutParams;
+use crate::tree::ReTraTree;
+use hermes_s2t::{run_s2t, trajectories_from_subs, Cluster, ClusteringResult, S2TParams};
+use hermes_trajectory::{
+    hausdorff_distance, spatiotemporal_distance, sub_trajectory_distance, SubTrajectory,
+    TimeInterval,
+};
+use std::time::Instant;
+
+/// Execution statistics of one QuT query (reported by the E3 benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QutStats {
+    /// Sub-chunks whose level-3 entries were reused without touching data.
+    pub reused_subchunks: usize,
+    /// Border sub-chunks that had to be re-clustered.
+    pub reclustered_subchunks: usize,
+    /// Sub-trajectories loaded from storage.
+    pub loaded_sub_trajectories: usize,
+    /// Cluster pairs merged across sub-chunk boundaries.
+    pub merges: usize,
+    /// Wall-clock time of the whole query in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Answers `QUT(W)` against a ReTraTree.
+pub fn qut_clustering(
+    tree: &ReTraTree,
+    w: &TimeInterval,
+    params: &QutParams,
+) -> (ClusteringResult, QutStats) {
+    let start = Instant::now();
+    let mut stats = QutStats::default();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut outliers: Vec<SubTrajectory> = Vec::new();
+
+    for chunk in tree.chunks() {
+        if !chunk.interval.intersects(w) {
+            continue;
+        }
+        for sc in &chunk.subchunks {
+            if !sc.interval.intersects(w) {
+                continue;
+            }
+            if w.contains_interval(&sc.interval) {
+                // Fully covered: reuse the level-3 entries as they are.
+                stats.reused_subchunks += 1;
+                for entry in &sc.clusters {
+                    let mut members = Vec::with_capacity(entry.members.len());
+                    let mut member_distances = Vec::with_capacity(entry.members.len());
+                    for loc in &entry.members {
+                        if let Some(sub) = tree.load(*loc) {
+                            stats.loaded_sub_trajectories += 1;
+                            let d = spatiotemporal_distance(&sub, &entry.representative);
+                            members.push(sub);
+                            member_distances.push(if d.is_finite() { d } else { f64::MAX });
+                        }
+                    }
+                    clusters.push(Cluster {
+                        id: clusters.len(),
+                        representative: entry.representative.clone(),
+                        representative_vote: entry.representative_vote,
+                        members,
+                        member_distances,
+                    });
+                }
+                for loc in &sc.outliers {
+                    if let Some(sub) = tree.load(*loc) {
+                        stats.loaded_sub_trajectories += 1;
+                        outliers.push(sub);
+                    }
+                }
+            } else {
+                // Border sub-chunk: restrict the stored data to W and
+                // re-cluster it on the fly.
+                stats.reclustered_subchunks += 1;
+                let overlap = sc
+                    .interval
+                    .intersection(w)
+                    .expect("intersects(w) checked above");
+                let mut clipped: Vec<SubTrajectory> = Vec::new();
+                for loc in sc.index.query_temporal(&overlap) {
+                    if let Some(sub) = tree.load(*loc) {
+                        stats.loaded_sub_trajectories += 1;
+                        if let Some(c) = sub.temporal_clip(&overlap) {
+                            clipped.push(c);
+                        }
+                    }
+                }
+                let (mut border_clusters, mut border_outliers) =
+                    cluster_sub_trajectories(&clipped, &params.s2t);
+                for mut c in border_clusters.drain(..) {
+                    c.id = clusters.len();
+                    clusters.push(c);
+                }
+                outliers.append(&mut border_outliers);
+            }
+        }
+    }
+
+    // Merge clusters that continue across sub-chunk boundaries.
+    let merged = merge_adjacent_clusters(clusters, params, &mut stats);
+
+    stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    (
+        ClusteringResult {
+            clusters: merged,
+            outliers,
+        },
+        stats,
+    )
+}
+
+/// The alternative execution strategy the demo compares against in
+/// scenario 2: "(i) extracting the relevant records using a temporal range
+/// query, (ii) creating an R-tree index on the result of the query, and
+/// (iii) applying clustering (S2T-Clustering, in our case)".
+pub fn range_query_then_cluster(
+    tree: &ReTraTree,
+    w: &TimeInterval,
+    s2t: &S2TParams,
+) -> (ClusteringResult, QutStats) {
+    let start = Instant::now();
+    let mut stats = QutStats::default();
+
+    // (i) temporal range query over the stored data.
+    let subs = tree.window_sub_trajectories(w);
+    stats.loaded_sub_trajectories = subs.len();
+    let clipped: Vec<SubTrajectory> = subs.iter().filter_map(|s| s.temporal_clip(w)).collect();
+
+    // (ii) + (iii): run_s2t builds its segment index (the fresh R-tree) and
+    // applies the full clustering pipeline from scratch.
+    let (clusters, outliers) = cluster_sub_trajectories(&clipped, s2t);
+
+    stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    (ClusteringResult { clusters, outliers }, stats)
+}
+
+/// Runs S2T over a bag of sub-trajectories (treating each as a trajectory)
+/// and returns its clusters and outliers.
+fn cluster_sub_trajectories(
+    subs: &[SubTrajectory],
+    s2t: &S2TParams,
+) -> (Vec<Cluster>, Vec<SubTrajectory>) {
+    if subs.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let trajs = trajectories_from_subs(subs);
+    let outcome = run_s2t(&trajs, s2t);
+    (outcome.result.clusters, outcome.result.outliers)
+}
+
+/// Distance used to decide whether two cluster representatives describe the
+/// same (continuing) group of movers:
+///
+/// * representatives that temporally co-exist are compared with the
+///   time-synchronized distance — they must actually co-move;
+/// * temporally adjacent representatives (a cluster cut at a sub-chunk
+///   boundary) are compared by *continuity*: the spatial distance between
+///   the end of the earlier one and the start of the later one. Falling back
+///   to a shape distance here would be wrong — the two halves of a long
+///   movement occupy different regions of space.
+fn representative_merge_distance(a: &SubTrajectory, b: &SubTrajectory) -> f64 {
+    if let Some(d) = sub_trajectory_distance(a, b) {
+        return d;
+    }
+    let (earlier, later) = if a.end_time() <= b.start_time() {
+        (a, b)
+    } else if b.end_time() <= a.start_time() {
+        (b, a)
+    } else {
+        // Degenerate single-instant overlap: compare shapes.
+        return hausdorff_distance(a.points(), b.points());
+    };
+    let end = earlier.points().last().expect("sub-trajectories are non-empty");
+    let start = later.points().first().expect("sub-trajectories are non-empty");
+    end.spatial_distance(start)
+}
+
+/// Merges clusters whose representatives are within `merge_distance` and
+/// whose lifespans are within `merge_gap` of each other, using a union-find
+/// over the cluster list. The surviving representative is the one with the
+/// higher vote; the other representative joins the member list.
+fn merge_adjacent_clusters(
+    clusters: Vec<Cluster>,
+    params: &QutParams,
+    stats: &mut QutStats,
+) -> Vec<Cluster> {
+    let n = clusters.len();
+    if n <= 1 {
+        return clusters;
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &clusters[i];
+            let b = &clusters[j];
+            let gap = a
+                .representative
+                .lifespan()
+                .gap(&b.representative.lifespan());
+            if gap > params.merge_gap {
+                continue;
+            }
+            let d = representative_merge_distance(&a.representative, &b.representative);
+            if d <= params.merge_distance {
+                let (ra, rb) = (find(&mut parent, i), find(&mut parent, j));
+                if ra != rb {
+                    parent[rb] = ra;
+                    stats.merges += 1;
+                }
+            }
+        }
+    }
+
+    // Group clusters by root and fold each group into one cluster.
+    let mut groups: std::collections::HashMap<usize, Vec<Cluster>> = std::collections::HashMap::new();
+    for (i, c) in clusters.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(c);
+    }
+
+    let mut merged: Vec<Cluster> = Vec::with_capacity(groups.len());
+    for (_, mut group) in groups {
+        // Highest-vote representative wins.
+        group.sort_by(|a, b| {
+            b.representative_vote
+                .partial_cmp(&a.representative_vote)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut iter = group.into_iter();
+        let mut primary = iter.next().expect("groups are non-empty");
+        for other in iter {
+            let d = representative_merge_distance(&primary.representative, &other.representative);
+            primary.members.push(other.representative);
+            primary.member_distances.push(d);
+            primary.members.extend(other.members);
+            primary.member_distances.extend(other.member_distances);
+        }
+        merged.push(primary);
+    }
+    // Deterministic output order: by representative start time, then id.
+    merged.sort_by_key(|c| (c.representative.start_time(), c.representative.id));
+    for (i, c) in merged.iter_mut().enumerate() {
+        c.id = i;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ReTraTreeParams;
+    use hermes_trajectory::{Duration, Point, Timestamp, Trajectory};
+
+    fn tree_params() -> ReTraTreeParams {
+        ReTraTreeParams {
+            chunk_duration: Duration::from_hours(4),
+            subchunks_per_chunk: 4,
+            reorg_page_threshold: 2,
+            buffer_frames: 64,
+            s2t: S2TParams {
+                sigma: 60.0,
+                epsilon: 300.0,
+                min_duration_ms: 60_000,
+                ..S2TParams::default()
+            },
+        }
+    }
+
+    fn qut_params() -> QutParams {
+        QutParams {
+            s2t: tree_params().s2t,
+            merge_distance: 400.0,
+            merge_gap: Duration::from_mins(90),
+        }
+    }
+
+    fn traj(id: u64, y: f64, t0: i64, dur_ms: i64) -> Trajectory {
+        let n = 40usize;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                Point::new(
+                    i as f64 * 100.0,
+                    y,
+                    Timestamp(t0 + dur_ms * i as i64 / (n as i64 - 1)),
+                )
+            })
+            .collect();
+        Trajectory::new(id, id, pts).unwrap()
+    }
+
+    /// A MOD with a co-moving group in hour 0-1 and another in hours 8-9.
+    fn build_tree() -> ReTraTree {
+        let mut tree = ReTraTree::new(tree_params());
+        for i in 0..25 {
+            tree.insert_trajectory(&traj(i, i as f64 * 5.0, 0, 3_500_000));
+        }
+        for i in 25..50 {
+            tree.insert_trajectory(&traj(i, i as f64 * 5.0, 8 * 3_600_000, 3_500_000));
+        }
+        tree
+    }
+
+    #[test]
+    fn full_window_reuses_subchunk_clusterings() {
+        let tree = build_tree();
+        let w = TimeInterval::new(Timestamp(0), Timestamp(12 * 3_600_000));
+        let (result, stats) = qut_clustering(&tree, &w, &qut_params());
+        assert!(stats.reused_subchunks >= 2);
+        assert_eq!(stats.reclustered_subchunks, 0, "a chunk-aligned window needs no re-clustering");
+        assert!(result.num_clusters() >= 2, "both co-moving groups must appear");
+        // Every stored piece must be accounted for.
+        assert_eq!(result.total_sub_trajectories(), tree.total_population());
+    }
+
+    #[test]
+    fn narrow_window_returns_only_its_period() {
+        let tree = build_tree();
+        let w = TimeInterval::new(Timestamp(0), Timestamp(2 * 3_600_000));
+        let (result, _) = qut_clustering(&tree, &w, &qut_params());
+        assert!(result.num_clusters() >= 1);
+        for c in &result.clusters {
+            assert!(c.lifespan().intersects(&w));
+            assert!(c.representative.trajectory_id < 25, "only the morning group is in W");
+        }
+        let (later, _) = qut_clustering(
+            &tree,
+            &TimeInterval::new(Timestamp(8 * 3_600_000), Timestamp(10 * 3_600_000)),
+            &qut_params(),
+        );
+        for c in &later.clusters {
+            assert!(c.representative.trajectory_id >= 25);
+        }
+    }
+
+    #[test]
+    fn misaligned_window_reclusters_the_border() {
+        let tree = build_tree();
+        // Cuts through the first sub-chunk (sub-chunk = 1 h here).
+        let w = TimeInterval::new(Timestamp(20 * 60_000), Timestamp(100 * 60_000));
+        let (result, stats) = qut_clustering(&tree, &w, &qut_params());
+        assert!(stats.reclustered_subchunks >= 1);
+        // Everything returned must be inside (or clipped to) the window.
+        for c in &result.clusters {
+            for m in c.members.iter().chain(std::iter::once(&c.representative)) {
+                assert!(m.lifespan().intersects(&w));
+            }
+        }
+        assert!(result.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn qut_matches_rebuild_baseline_for_aligned_windows() {
+        let tree = build_tree();
+        let w = TimeInterval::new(Timestamp(0), Timestamp(4 * 3_600_000));
+        let (fast, _) = qut_clustering(&tree, &w, &qut_params());
+        let (slow, _) = range_query_then_cluster(&tree, &w, &qut_params().s2t);
+        // The two strategies agree on what co-moves: same number of clustered
+        // groups and the same total coverage of the window's data.
+        assert_eq!(fast.num_clusters(), slow.num_clusters());
+        assert_eq!(
+            fast.total_sub_trajectories(),
+            slow.total_sub_trajectories()
+        );
+    }
+
+    #[test]
+    fn clusters_spanning_subchunk_boundaries_are_merged() {
+        let mut tree = ReTraTree::new(tree_params());
+        // A co-moving group alive for two consecutive sub-chunks: each
+        // sub-chunk clusters its half, QuT must report one merged cluster.
+        // Enough objects that both halves overflow their outlier partitions
+        // and get their own representative.
+        for i in 0..60 {
+            tree.insert_trajectory(&traj(i, i as f64 * 5.0, 0, 2 * 3_600_000 - 100_000));
+        }
+        let w = TimeInterval::new(Timestamp(0), Timestamp(4 * 3_600_000));
+        let (result, stats) = qut_clustering(&tree, &w, &qut_params());
+        assert!(stats.merges >= 1, "expected at least one cross-boundary merge");
+        assert_eq!(
+            result.num_clusters(),
+            1,
+            "the group must be reported as a single cluster, got {}",
+            result.num_clusters()
+        );
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        let tree = build_tree();
+        let w = TimeInterval::new(Timestamp(30 * 3_600_000), Timestamp(40 * 3_600_000));
+        let (result, stats) = qut_clustering(&tree, &w, &qut_params());
+        assert_eq!(result.num_clusters(), 0);
+        assert_eq!(result.num_outliers(), 0);
+        assert_eq!(stats.loaded_sub_trajectories, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # hermes-s2t
+//!
+//! **S2T-Clustering** — Sampling-based Sub-Trajectory Clustering — the first
+//! of the two clustering modules of the Hermes@PostgreSQL demo (ICDE 2018),
+//! following the algorithm of Pelekis et al. (EDBT 2017).
+//!
+//! The pipeline has two phases:
+//!
+//! 1. **NaTS** — *Neighborhood-aware Trajectory Segmentation*:
+//!    * [`voting`] computes, for every 3D segment of every trajectory, how
+//!      many other objects co-move with it (a Gaussian kernel over the
+//!      time-synchronized segment-to-trajectory distance). The indexed
+//!      implementation prunes candidate voters with the `pg3D-Rtree` from
+//!      `hermes-gist`; [`voting::naive_voting`] is the quadratic baseline the
+//!      paper compares against ("corresponding PostgreSQL functions").
+//!    * [`segmentation`] splits each trajectory into sub-trajectories of
+//!      homogeneous voting (representativeness), irrespective of shape.
+//! 2. **SaCO** — *Sampling, Clustering, Outlier detection*:
+//!    * [`sampling`] greedily selects the most representative, least
+//!      redundant sub-trajectories as cluster seeds,
+//!    * [`clustering`] groups every remaining sub-trajectory around the
+//!      closest seed (within a distance bound) and isolates the outliers.
+//!
+//! [`pipeline::run_s2t`] wires the phases together; [`metrics`] quantifies
+//! result quality for the comparison experiments (E1/E2).
+
+pub mod clustering;
+pub mod metrics;
+pub mod params;
+pub mod pipeline;
+pub mod sampling;
+pub mod segmentation;
+pub mod voting;
+
+pub use clustering::{Cluster, ClusterId, ClusteringResult};
+pub use metrics::ClusteringQuality;
+pub use params::S2TParams;
+pub use pipeline::{run_s2t, run_s2t_naive, S2TOutcome, S2TPhaseTimings};
+pub use clustering::cluster_around_representatives;
+pub use pipeline::trajectories_from_subs;
+pub use sampling::select_representatives;
+pub use segmentation::{segment_all, segment_trajectory, VotedSubTrajectory};
+pub use voting::{indexed_voting, naive_voting, SegmentIndex, VotingProfile};

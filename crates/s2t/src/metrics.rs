@@ -1,0 +1,165 @@
+//! Clustering quality metrics.
+//!
+//! The demo compares S2T-Clustering against TRACLUS, T-OPTICS and Convoys
+//! (scenario 1) — the comparison needs method-agnostic quality numbers. The
+//! metrics here apply to any [`ClusteringResult`], whichever algorithm
+//! produced it.
+
+use crate::clustering::ClusteringResult;
+use hermes_trajectory::sub_trajectory_distance;
+
+/// Method-agnostic summary of a clustering result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringQuality {
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Number of outliers.
+    pub num_outliers: usize,
+    /// Total sub-trajectories considered.
+    pub total: usize,
+    /// Fraction of sub-trajectories assigned to a cluster.
+    pub coverage: f64,
+    /// Mean member-to-representative distance across all clusters (lower is
+    /// tighter).
+    pub mean_intra_cluster_distance: f64,
+    /// Mean pairwise synchronized distance between cluster representatives
+    /// that temporally co-exist (higher is better separated); 0 when fewer
+    /// than two representatives co-exist.
+    pub mean_inter_cluster_distance: f64,
+    /// Separation ratio `inter / max(intra, ε_machine)` — a crude silhouette
+    /// substitute that is comparable across methods.
+    pub separation_ratio: f64,
+    /// Mean cluster size (members + representative).
+    pub mean_cluster_size: f64,
+}
+
+impl ClusteringQuality {
+    /// Computes the quality metrics of a result.
+    pub fn compute(result: &ClusteringResult) -> Self {
+        let num_clusters = result.num_clusters();
+        let num_outliers = result.num_outliers();
+        let total = result.total_sub_trajectories();
+        let coverage = result.coverage();
+
+        let mut intra_sum = 0.0;
+        let mut intra_n = 0usize;
+        for c in &result.clusters {
+            for d in &c.member_distances {
+                intra_sum += d;
+                intra_n += 1;
+            }
+        }
+        let mean_intra = if intra_n > 0 { intra_sum / intra_n as f64 } else { 0.0 };
+
+        let mut inter_sum = 0.0;
+        let mut inter_n = 0usize;
+        for i in 0..result.clusters.len() {
+            for j in (i + 1)..result.clusters.len() {
+                if let Some(d) = sub_trajectory_distance(
+                    &result.clusters[i].representative,
+                    &result.clusters[j].representative,
+                ) {
+                    inter_sum += d;
+                    inter_n += 1;
+                }
+            }
+        }
+        let mean_inter = if inter_n > 0 { inter_sum / inter_n as f64 } else { 0.0 };
+
+        let separation_ratio = if mean_intra > 0.0 {
+            mean_inter / mean_intra
+        } else if mean_inter > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+
+        let mean_cluster_size = if num_clusters > 0 {
+            result.clusters.iter().map(|c| c.size()).sum::<usize>() as f64 / num_clusters as f64
+        } else {
+            0.0
+        };
+
+        ClusteringQuality {
+            num_clusters,
+            num_outliers,
+            total,
+            coverage,
+            mean_intra_cluster_distance: mean_intra,
+            mean_inter_cluster_distance: mean_inter,
+            separation_ratio,
+            mean_cluster_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::cluster_around_representatives;
+    use crate::segmentation::VotedSubTrajectory;
+    use crate::S2TParams;
+    use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
+
+    fn voted(id: u64, y: f64, mean_vote: f64) -> VotedSubTrajectory {
+        let sub = SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..10)
+                .map(|i| Point::new(i as f64 * 10.0, y, Timestamp(i as i64 * 60_000)))
+                .collect(),
+        );
+        VotedSubTrajectory {
+            sub,
+            mean_vote,
+            max_vote: mean_vote,
+        }
+    }
+
+    #[test]
+    fn quality_of_a_well_separated_clustering() {
+        // Two groups far apart, tight internally, plus one outlier.
+        let subs = vec![
+            voted(0, 0.0, 5.0),
+            voted(1, 5.0, 1.0),
+            voted(2, 10.0, 1.0),
+            voted(3, 5_000.0, 5.0),
+            voted(4, 5_005.0, 1.0),
+            voted(5, 50_000.0, 0.1),
+        ];
+        let params = S2TParams {
+            epsilon: 100.0,
+            ..S2TParams::default()
+        };
+        let result = cluster_around_representatives(&subs, &[0, 3], &params);
+        let q = ClusteringQuality::compute(&result);
+        assert_eq!(q.num_clusters, 2);
+        assert_eq!(q.num_outliers, 1);
+        assert_eq!(q.total, 6);
+        assert!(q.coverage > 0.8);
+        assert!(q.mean_intra_cluster_distance < 20.0);
+        assert!(q.mean_inter_cluster_distance > 1_000.0);
+        assert!(q.separation_ratio > 50.0);
+        assert!((q.mean_cluster_size - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_yields_zeroed_metrics() {
+        let q = ClusteringQuality::compute(&ClusteringResult::default());
+        assert_eq!(q.num_clusters, 0);
+        assert_eq!(q.coverage, 0.0);
+        assert_eq!(q.separation_ratio, 0.0);
+        assert_eq!(q.mean_cluster_size, 0.0);
+    }
+
+    #[test]
+    fn singleton_clusters_have_zero_intra_distance() {
+        let subs = vec![voted(0, 0.0, 5.0), voted(1, 5_000.0, 5.0)];
+        let params = S2TParams::default();
+        let result = cluster_around_representatives(&subs, &[0, 1], &params);
+        let q = ClusteringQuality::compute(&result);
+        assert_eq!(q.mean_intra_cluster_distance, 0.0);
+        assert!(q.separation_ratio.is_infinite());
+    }
+}

@@ -1,0 +1,137 @@
+//! Parameters of the S2T-Clustering pipeline.
+//!
+//! The SQL interface of the paper exposes the algorithm parameters directly
+//! (`SELECT QUT(D, Wi, We, τ, δ, t, d, γ)`); this struct is the Rust-side
+//! equivalent shared by S2T and the per-sub-chunk clustering inside the
+//! ReTraTree.
+
+/// Tunable parameters of S2T-Clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct S2TParams {
+    /// Bandwidth `σ` of the Gaussian voting kernel, in spatial units: a
+    /// trajectory at distance `σ` contributes `exp(-0.5) ≈ 0.61` of a vote.
+    pub sigma: f64,
+    /// Segmentation threshold `τ` ∈ (0, 1]: a new sub-trajectory starts when
+    /// the normalized voting signal jumps by more than `τ` relative to the
+    /// running segment average.
+    pub tau: f64,
+    /// Minimum marginal-gain fraction `δ` ∈ [0, 1) for the greedy sampling:
+    /// selection stops when the next candidate's gain drops below `δ` times
+    /// the first (best) gain.
+    pub delta: f64,
+    /// Minimum duration `t` (milliseconds) of a sub-trajectory produced by
+    /// segmentation; shorter pieces are merged with their neighbour.
+    pub min_duration_ms: i64,
+    /// Clustering distance bound `d` (a.k.a. ε): a sub-trajectory joins the
+    /// closest representative only if their spatio-temporal distance is at
+    /// most this value; otherwise it is an outlier.
+    pub epsilon: f64,
+    /// Upper bound on the number of representatives selected by sampling
+    /// (`0` means unbounded — selection stops on the `δ` criterion alone).
+    pub max_representatives: usize,
+    /// Weight converting one second of temporal separation into spatial
+    /// units for MBB pruning; kept at the workspace default unless a dataset
+    /// uses very different speed scales.
+    pub time_weight: f64,
+}
+
+impl Default for S2TParams {
+    fn default() -> Self {
+        S2TParams {
+            sigma: 50.0,
+            tau: 0.35,
+            delta: 0.05,
+            min_duration_ms: 60_000,
+            epsilon: 150.0,
+            max_representatives: 0,
+            time_weight: 1.0,
+        }
+    }
+}
+
+impl S2TParams {
+    /// Validates parameter ranges, returning a description of the first
+    /// violation. Used by the SQL layer to reject bad queries early.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.sigma > 0.0) {
+            return Err(format!("sigma must be positive, got {}", self.sigma));
+        }
+        if !(self.tau > 0.0 && self.tau <= 1.0) {
+            return Err(format!("tau must be in (0, 1], got {}", self.tau));
+        }
+        if !(0.0..1.0).contains(&self.delta) {
+            return Err(format!("delta must be in [0, 1), got {}", self.delta));
+        }
+        if self.min_duration_ms < 0 {
+            return Err(format!(
+                "min_duration_ms must be non-negative, got {}",
+                self.min_duration_ms
+            ));
+        }
+        if !(self.epsilon > 0.0) {
+            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+        }
+        if !(self.time_weight >= 0.0) {
+            return Err(format!(
+                "time_weight must be non-negative, got {}",
+                self.time_weight
+            ));
+        }
+        Ok(())
+    }
+
+    /// Radius (in spatial units) beyond which a voter's contribution is below
+    /// 1 % of a full vote; used to prune the index search window.
+    pub fn voting_cutoff_radius(&self) -> f64 {
+        // exp(-r²/(2σ²)) = 0.01  ⇒  r = σ·sqrt(2·ln(100)) ≈ 3.03·σ
+        self.sigma * (2.0 * (100.0f64).ln()).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        assert!(S2TParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_with_reasons() {
+        let mut p = S2TParams::default();
+        p.sigma = 0.0;
+        assert!(p.validate().unwrap_err().contains("sigma"));
+
+        let mut p = S2TParams::default();
+        p.tau = 1.5;
+        assert!(p.validate().unwrap_err().contains("tau"));
+
+        let mut p = S2TParams::default();
+        p.delta = 1.0;
+        assert!(p.validate().unwrap_err().contains("delta"));
+
+        let mut p = S2TParams::default();
+        p.min_duration_ms = -5;
+        assert!(p.validate().unwrap_err().contains("min_duration"));
+
+        let mut p = S2TParams::default();
+        p.epsilon = -1.0;
+        assert!(p.validate().unwrap_err().contains("epsilon"));
+
+        let mut p = S2TParams::default();
+        p.time_weight = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cutoff_radius_scales_with_sigma() {
+        let mut p = S2TParams::default();
+        p.sigma = 10.0;
+        let r10 = p.voting_cutoff_radius();
+        p.sigma = 20.0;
+        let r20 = p.voting_cutoff_radius();
+        assert!((r20 / r10 - 2.0).abs() < 1e-12);
+        assert!(r10 > 3.0 * 10.0 && r10 < 3.1 * 10.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The end-to-end S2T-Clustering pipeline.
+//!
+//! Wires the four steps together (voting → segmentation → sampling →
+//! clustering) and reports per-phase wall-clock timings, which the benchmark
+//! harness uses to regenerate the paper's speedup claims (experiments E1 and
+//! E3).
+
+use crate::clustering::{cluster_around_representatives, ClusteringResult};
+use crate::params::S2TParams;
+use crate::sampling::select_representatives;
+use crate::segmentation::{segment_all, VotedSubTrajectory};
+use crate::voting::{indexed_voting, naive_voting, SegmentIndex, VotingProfile};
+use hermes_trajectory::{SubTrajectory, Trajectory};
+use std::time::Instant;
+
+/// Wall-clock timings of the pipeline phases, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct S2TPhaseTimings {
+    /// Building the segment index (0 for the naive variant).
+    pub index_build_ms: f64,
+    /// Voting phase.
+    pub voting_ms: f64,
+    /// Segmentation phase.
+    pub segmentation_ms: f64,
+    /// Sampling (representative selection) phase.
+    pub sampling_ms: f64,
+    /// Greedy clustering / outlier detection phase.
+    pub clustering_ms: f64,
+}
+
+impl S2TPhaseTimings {
+    /// Total pipeline time.
+    pub fn total_ms(&self) -> f64 {
+        self.index_build_ms
+            + self.voting_ms
+            + self.segmentation_ms
+            + self.sampling_ms
+            + self.clustering_ms
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct S2TOutcome {
+    /// The clusters and outliers.
+    pub result: ClusteringResult,
+    /// The per-trajectory voting profiles (kept for VA exports and for the
+    /// incremental-maintenance path of the ReTraTree).
+    pub profiles: Vec<VotingProfile>,
+    /// All sub-trajectories produced by segmentation, in input order.
+    pub sub_trajectories: Vec<VotedSubTrajectory>,
+    /// Per-phase timings.
+    pub timings: S2TPhaseTimings,
+}
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn run_pipeline(
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    use_index: bool,
+) -> S2TOutcome {
+    let mut timings = S2TPhaseTimings::default();
+
+    let t0 = Instant::now();
+    let index = if use_index {
+        Some(SegmentIndex::build(trajectories))
+    } else {
+        None
+    };
+    timings.index_build_ms = if use_index { ms(t0) } else { 0.0 };
+
+    let t0 = Instant::now();
+    let profiles = match &index {
+        Some(idx) => indexed_voting(trajectories, idx, params),
+        None => naive_voting(trajectories, params),
+    };
+    timings.voting_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let subs = segment_all(trajectories, &profiles, params);
+    timings.segmentation_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let representatives = select_representatives(&subs, params);
+    timings.sampling_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let result = cluster_around_representatives(&subs, &representatives, params);
+    timings.clustering_ms = ms(t0);
+
+    S2TOutcome {
+        result,
+        profiles,
+        sub_trajectories: subs,
+        timings,
+    }
+}
+
+/// Runs the full S2T-Clustering pipeline with index-accelerated voting — the
+/// in-DBMS fast path of the paper.
+pub fn run_s2t(trajectories: &[Trajectory], params: &S2TParams) -> S2TOutcome {
+    run_pipeline(trajectories, params, true)
+}
+
+/// Runs the same pipeline with quadratic (index-free) voting — the baseline
+/// standing in for "corresponding PostgreSQL functions" in experiment E1.
+pub fn run_s2t_naive(trajectories: &[Trajectory], params: &S2TParams) -> S2TOutcome {
+    run_pipeline(trajectories, params, false)
+}
+
+/// Re-wraps sub-trajectories as standalone trajectories so the pipeline can
+/// be re-applied to the content of a single ReTraTree partition (the
+/// maintenance path of Fig. 2). Identifiers are preserved through
+/// `trajectory_id`/`object_id`; the offset survives in the sub-trajectory id.
+pub fn trajectories_from_subs(subs: &[SubTrajectory]) -> Vec<Trajectory> {
+    subs.iter()
+        .filter_map(|s| {
+            Trajectory::new(s.trajectory_id, s.object_id, s.points().to_vec()).ok()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, Timestamp};
+
+    /// Builds a small MOD with two co-moving groups and a pair of loners.
+    fn small_mod() -> Vec<Trajectory> {
+        let mut trajs = Vec::new();
+        let mut id = 0u64;
+        // Group 1: 4 objects flying east together.
+        for k in 0..4 {
+            let pts: Vec<Point> = (0..20)
+                .map(|i| {
+                    Point::new(
+                        i as f64 * 100.0,
+                        k as f64 * 20.0,
+                        Timestamp(i as i64 * 60_000),
+                    )
+                })
+                .collect();
+            trajs.push(Trajectory::new(id, id, pts).unwrap());
+            id += 1;
+        }
+        // Group 2: 3 objects flying north together, elsewhere.
+        for k in 0..3 {
+            let pts: Vec<Point> = (0..20)
+                .map(|i| {
+                    Point::new(
+                        50_000.0 + k as f64 * 20.0,
+                        i as f64 * 100.0,
+                        Timestamp(i as i64 * 60_000),
+                    )
+                })
+                .collect();
+            trajs.push(Trajectory::new(id, id, pts).unwrap());
+            id += 1;
+        }
+        // Two loners far from everything.
+        for k in 0..2 {
+            let pts: Vec<Point> = (0..20)
+                .map(|i| {
+                    Point::new(
+                        -30_000.0 - k as f64 * 10_000.0,
+                        -30_000.0,
+                        Timestamp(i as i64 * 60_000),
+                    )
+                })
+                .collect();
+            trajs.push(Trajectory::new(id, id, pts).unwrap());
+            id += 1;
+        }
+        trajs
+    }
+
+    fn params() -> S2TParams {
+        S2TParams {
+            sigma: 60.0,
+            epsilon: 300.0,
+            min_duration_ms: 120_000,
+            ..S2TParams::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_discovers_the_two_groups_and_the_loners() {
+        let trajs = small_mod();
+        let outcome = run_s2t(&trajs, &params());
+        let result = &outcome.result;
+        assert_eq!(result.num_clusters(), 2, "expected exactly the two co-moving groups");
+        let mut sizes: Vec<usize> = result.clusters.iter().map(|c| c.size()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 4]);
+        assert_eq!(result.num_outliers(), 2);
+        // Every input trajectory is accounted for exactly once.
+        assert_eq!(result.total_sub_trajectories(), outcome.sub_trajectories.len());
+    }
+
+    #[test]
+    fn indexed_and_naive_pipelines_agree() {
+        let trajs = small_mod();
+        let fast = run_s2t(&trajs, &params());
+        let slow = run_s2t_naive(&trajs, &params());
+        assert_eq!(fast.result.num_clusters(), slow.result.num_clusters());
+        assert_eq!(fast.result.num_outliers(), slow.result.num_outliers());
+        let sizes = |r: &ClusteringResult| {
+            let mut v: Vec<usize> = r.clusters.iter().map(|c| c.size()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes(&fast.result), sizes(&slow.result));
+        assert!(slow.timings.index_build_ms == 0.0);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let trajs = small_mod();
+        let outcome = run_s2t(&trajs, &params());
+        let t = outcome.timings;
+        assert!(t.total_ms() > 0.0);
+        assert!(t.voting_ms >= 0.0 && t.clustering_ms >= 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let outcome = run_s2t(&[], &params());
+        assert_eq!(outcome.result.num_clusters(), 0);
+        assert_eq!(outcome.result.num_outliers(), 0);
+        assert!(outcome.sub_trajectories.is_empty());
+    }
+
+    #[test]
+    fn trajectories_from_subs_round_trips_points() {
+        let trajs = small_mod();
+        let outcome = run_s2t(&trajs, &params());
+        let subs: Vec<_> = outcome.sub_trajectories.iter().map(|v| v.sub.clone()).collect();
+        let back = trajectories_from_subs(&subs);
+        assert_eq!(back.len(), subs.len());
+        for (t, s) in back.iter().zip(subs.iter()) {
+            assert_eq!(t.points(), s.points());
+            assert_eq!(t.id, s.trajectory_id);
+        }
+    }
+}

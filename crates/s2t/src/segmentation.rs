@@ -1,0 +1,274 @@
+//! The segmentation step of NaTS.
+//!
+//! "The goal of this step is to partition each trajectory into
+//! sub-trajectories having homogeneous representativeness, irrespectively of
+//! their shape complexity." (ICDE 2018, §II.A)
+//!
+//! Each trajectory's voting signal (one value per segment) is scanned once:
+//! a cut is placed wherever the next segment's normalized vote deviates from
+//! the running mean of the current piece by more than `τ`. Pieces shorter
+//! than the minimum duration `t` are then merged with their neighbours, so
+//! every produced sub-trajectory is long enough to be meaningful.
+
+use crate::params::S2TParams;
+use crate::voting::VotingProfile;
+use hermes_trajectory::{SubTrajectory, Trajectory};
+
+/// A sub-trajectory annotated with the voting evidence that produced it.
+#[derive(Debug, Clone)]
+pub struct VotedSubTrajectory {
+    /// The sub-trajectory itself.
+    pub sub: SubTrajectory,
+    /// Mean vote over the sub-trajectory's segments.
+    pub mean_vote: f64,
+    /// Maximum vote over the sub-trajectory's segments.
+    pub max_vote: f64,
+}
+
+impl VotedSubTrajectory {
+    /// Representativeness score used by the sampling step: highly voted and
+    /// long-lived sub-trajectories make the best cluster seeds.
+    pub fn representativeness(&self) -> f64 {
+        self.mean_vote * self.sub.duration().as_secs_f64().max(1.0).sqrt()
+    }
+}
+
+/// Splits one trajectory into sub-trajectories of homogeneous voting.
+///
+/// The voting profile must describe the same trajectory (one vote per
+/// segment); this is asserted in debug builds.
+pub fn segment_trajectory(
+    traj: &Trajectory,
+    profile: &VotingProfile,
+    params: &S2TParams,
+) -> Vec<VotedSubTrajectory> {
+    debug_assert_eq!(profile.votes.len(), traj.num_segments());
+    let votes = &profile.votes;
+    if votes.is_empty() {
+        return Vec::new();
+    }
+
+    // Normalize the signal to [0, 1] for threshold comparisons; a flat signal
+    // (max == 0) never triggers a cut.
+    let max_vote = votes.iter().copied().fold(0.0f64, f64::max);
+    let norm: Vec<f64> = if max_vote > 0.0 {
+        votes.iter().map(|v| v / max_vote).collect()
+    } else {
+        vec![0.0; votes.len()]
+    };
+
+    // Pass 1: place cuts where the signal jumps relative to the running mean
+    // of the current piece. `cut_points[i]` is a *point* index: the piece
+    // ends at point i (shared with the next piece).
+    let mut cut_points: Vec<usize> = Vec::new();
+    let mut run_sum = norm[0];
+    let mut run_len = 1usize;
+    for (i, &v) in norm.iter().enumerate().skip(1) {
+        let run_mean = run_sum / run_len as f64;
+        if (v - run_mean).abs() > params.tau {
+            // Segment i starts a new piece ⇒ cut at point i.
+            cut_points.push(i);
+            run_sum = v;
+            run_len = 1;
+        } else {
+            run_sum += v;
+            run_len += 1;
+        }
+    }
+
+    // Pass 2: enforce the minimum duration by dropping cuts that would leave
+    // a too-short piece on their left.
+    let mut kept: Vec<usize> = Vec::new();
+    let mut piece_start_point = 0usize;
+    for &cut in &cut_points {
+        let start_t = traj.points()[piece_start_point].t;
+        let end_t = traj.points()[cut].t;
+        if (end_t - start_t).millis() >= params.min_duration_ms {
+            kept.push(cut);
+            piece_start_point = cut;
+        }
+        // Otherwise merge: skip the cut, the running piece keeps growing.
+    }
+    // Drop a final cut that would leave a too-short tail.
+    while let Some(&last) = kept.last() {
+        let tail_ms = (traj.end_time() - traj.points()[last].t).millis();
+        if tail_ms < params.min_duration_ms {
+            kept.pop();
+        } else {
+            break;
+        }
+    }
+
+    let pieces = traj.split_at(&kept);
+
+    // Annotate each piece with its voting statistics. A piece covering points
+    // [a, b] covers segments [a, b-1].
+    pieces
+        .into_iter()
+        .map(|sub| {
+            let a = sub.parent_offset();
+            let b = a + sub.num_segments();
+            let slice = &votes[a..b];
+            let mean_vote = slice.iter().sum::<f64>() / slice.len() as f64;
+            let max_vote = slice.iter().copied().fold(0.0, f64::max);
+            VotedSubTrajectory {
+                sub,
+                mean_vote,
+                max_vote,
+            }
+        })
+        .collect()
+}
+
+/// Segments every trajectory of a dataset. Profiles must be in the same
+/// order as `trajectories` (as produced by the voting functions).
+pub fn segment_all(
+    trajectories: &[Trajectory],
+    profiles: &[VotingProfile],
+    params: &S2TParams,
+) -> Vec<VotedSubTrajectory> {
+    trajectories
+        .iter()
+        .zip(profiles.iter())
+        .flat_map(|(t, p)| segment_trajectory(t, p, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, Timestamp};
+
+    fn traj(n: usize) -> Trajectory {
+        Trajectory::new(
+            1,
+            1,
+            (0..n)
+                .map(|i| Point::new(i as f64 * 10.0, 0.0, Timestamp(i as i64 * 60_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn profile(votes: Vec<f64>) -> VotingProfile {
+        VotingProfile {
+            trajectory_id: 1,
+            trajectory_index: 0,
+            votes,
+        }
+    }
+
+    fn params() -> S2TParams {
+        S2TParams {
+            tau: 0.3,
+            min_duration_ms: 60_000,
+            ..S2TParams::default()
+        }
+    }
+
+    #[test]
+    fn homogeneous_votes_produce_a_single_piece() {
+        let t = traj(10);
+        let p = profile(vec![3.0; 9]);
+        let subs = segment_trajectory(&t, &p, &params());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].sub.len(), 10);
+        assert!((subs[0].mean_vote - 3.0).abs() < 1e-12);
+        assert!((subs[0].max_vote - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_sharp_change_in_voting_creates_a_cut() {
+        let t = traj(10);
+        // Five low-vote segments followed by four high-vote ones.
+        let p = profile(vec![0.5, 0.5, 0.5, 0.5, 0.5, 5.0, 5.0, 5.0, 5.0]);
+        let subs = segment_trajectory(&t, &p, &params());
+        assert_eq!(subs.len(), 2, "expected a cut at the vote jump");
+        assert!(subs[0].mean_vote < subs[1].mean_vote);
+        // The two pieces share the cut point, covering every segment exactly once.
+        let total_segments: usize = subs.iter().map(|s| s.sub.num_segments()).sum();
+        assert_eq!(total_segments, t.num_segments());
+    }
+
+    #[test]
+    fn pieces_cover_the_trajectory_without_gaps() {
+        let t = traj(20);
+        let votes: Vec<f64> = (0..19).map(|i| if i % 7 < 3 { 0.2 } else { 4.0 }).collect();
+        let subs = segment_trajectory(&t, &profile(votes), &params());
+        assert!(!subs.is_empty());
+        assert_eq!(subs.first().unwrap().sub.start_time(), t.start_time());
+        assert_eq!(subs.last().unwrap().sub.end_time(), t.end_time());
+        for w in subs.windows(2) {
+            assert_eq!(
+                w[0].sub.end_time(),
+                w[1].sub.start_time(),
+                "consecutive pieces must share their boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn min_duration_suppresses_tiny_pieces() {
+        let t = traj(10); // one sample per minute
+        // Alternating votes would cut everywhere, but a 3-minute minimum
+        // duration keeps the pieces long.
+        let votes = vec![0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0];
+        let p = S2TParams {
+            tau: 0.3,
+            min_duration_ms: 180_000,
+            ..S2TParams::default()
+        };
+        let subs = segment_trajectory(&t, &profile(votes), &p);
+        for s in &subs {
+            assert!(
+                s.sub.duration().millis() >= 180_000,
+                "piece shorter than the minimum duration: {}",
+                s.sub.duration()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_votes_everywhere_is_one_outlier_piece() {
+        let t = traj(8);
+        let subs = segment_trajectory(&t, &profile(vec![0.0; 7]), &params());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].mean_vote, 0.0);
+    }
+
+    #[test]
+    fn representativeness_prefers_long_and_highly_voted() {
+        let t = traj(10);
+        let subs = segment_trajectory(&t, &profile(vec![4.0; 9]), &params());
+        let long_high = subs[0].representativeness();
+
+        let t2 = traj(3);
+        let p2 = VotingProfile {
+            trajectory_id: 1,
+            trajectory_index: 0,
+            votes: vec![4.0, 4.0],
+        };
+        let subs2 = segment_trajectory(&t2, &p2, &params());
+        let short_high = subs2[0].representativeness();
+        assert!(long_high > short_high);
+    }
+
+    #[test]
+    fn segment_all_concatenates_per_trajectory_results() {
+        let t1 = traj(6);
+        let mut t2 = traj(6);
+        t2 = Trajectory::new(2, 2, t2.points().to_vec()).unwrap();
+        let profiles = vec![
+            profile(vec![1.0; 5]),
+            VotingProfile {
+                trajectory_id: 2,
+                trajectory_index: 1,
+                votes: vec![2.0; 5],
+            },
+        ];
+        let all = segment_all(&[t1, t2], &profiles, &params());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].sub.trajectory_id, 1);
+        assert_eq!(all[1].sub.trajectory_id, 2);
+    }
+}

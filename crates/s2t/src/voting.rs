@@ -1,0 +1,343 @@
+//! The voting step of NaTS.
+//!
+//! "During the adopted voting process each 3D trajectory segment of a given
+//! trajectory is voted by other trajectories w.r.t. their mutual distance.
+//! The voting received by each segment is a value ranging from 0 to N (N
+//! being the cardinality of the MOD) that has the physical meaning of how
+//! many trajectories co-move with that trajectory for a certain period of
+//! time." (ICDE 2018, §II.A)
+//!
+//! The contribution of voter trajectory `s` to segment `e` is a truncated
+//! Gaussian kernel of their time-synchronized distance:
+//!
+//! ```text
+//! vote_s(e) = exp(-d²(e, s) / (2σ²))   if d(e, s) ≤ cutoff(σ),  else 0
+//! d(e, s)   = min over segments e' of s alive during e of
+//!             mean synchronized distance(e, e')
+//! ```
+//!
+//! Two implementations are provided with identical semantics:
+//!
+//! * [`indexed_voting`] prunes candidate voters with the pg3D-Rtree
+//!   (`hermes-gist`), visiting only segments whose inflated MBB intersects
+//!   the voted segment — the in-DBMS fast path of the paper;
+//! * [`naive_voting`] compares every pair of segments — the
+//!   "corresponding PostgreSQL functions" baseline of experiment E1.
+
+use crate::params::S2TParams;
+use hermes_gist::RTree3D;
+use hermes_trajectory::{Trajectory, TrajectoryId};
+
+/// Per-trajectory voting descriptor: one value per segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VotingProfile {
+    /// The trajectory these votes describe.
+    pub trajectory_id: TrajectoryId,
+    /// Index of the trajectory in the input slice (kept so later phases can
+    /// find the trajectory without a lookup table).
+    pub trajectory_index: usize,
+    /// One vote value per segment, in `[0, N-1]`.
+    pub votes: Vec<f64>,
+}
+
+impl VotingProfile {
+    /// Mean vote over all segments (0 for an empty profile).
+    pub fn mean(&self) -> f64 {
+        if self.votes.is_empty() {
+            0.0
+        } else {
+            self.votes.iter().sum::<f64>() / self.votes.len() as f64
+        }
+    }
+
+    /// Maximum vote over all segments.
+    pub fn max(&self) -> f64 {
+        self.votes.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Reference to one segment of one trajectory, stored in the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegRef {
+    traj_index: usize,
+    seg_index: usize,
+}
+
+/// A 3D R-tree over every segment of a trajectory collection.
+pub struct SegmentIndex {
+    rtree: RTree3D<SegRef>,
+    num_segments: usize,
+}
+
+impl SegmentIndex {
+    /// Bulk-loads the index from all segments of `trajectories`.
+    pub fn build(trajectories: &[Trajectory]) -> Self {
+        let mut items = Vec::new();
+        for (ti, traj) in trajectories.iter().enumerate() {
+            for si in 0..traj.num_segments() {
+                let seg = traj.segment(si);
+                items.push((
+                    seg.mbb(),
+                    SegRef {
+                        traj_index: ti,
+                        seg_index: si,
+                    },
+                ));
+            }
+        }
+        let num_segments = items.len();
+        SegmentIndex {
+            rtree: RTree3D::bulk_load(items),
+            num_segments,
+        }
+    }
+
+    /// Number of indexed segments.
+    pub fn len(&self) -> usize {
+        self.num_segments
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_segments == 0
+    }
+}
+
+/// Gaussian kernel with a hard cutoff; both implementations share it so their
+/// results are bit-identical.
+fn kernel(distance: f64, sigma: f64, cutoff: f64) -> f64 {
+    if distance > cutoff {
+        0.0
+    } else {
+        (-(distance * distance) / (2.0 * sigma * sigma)).exp()
+    }
+}
+
+/// Index-accelerated voting: for each segment, only trajectories with a
+/// segment inside the cutoff-inflated MBB are evaluated.
+pub fn indexed_voting(
+    trajectories: &[Trajectory],
+    index: &SegmentIndex,
+    params: &S2TParams,
+) -> Vec<VotingProfile> {
+    let cutoff = params.voting_cutoff_radius();
+    let mut profiles = Vec::with_capacity(trajectories.len());
+    // Reused scratch: best (minimum) distance per candidate voter trajectory.
+    let mut best_per_voter: Vec<f64> = vec![f64::INFINITY; trajectories.len()];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for (ti, traj) in trajectories.iter().enumerate() {
+        let mut votes = Vec::with_capacity(traj.num_segments());
+        for si in 0..traj.num_segments() {
+            let seg = traj.segment(si);
+            let window = seg.mbb().inflate(cutoff, 0);
+
+            index.rtree.for_each_intersecting(&window, |_, r| {
+                if r.traj_index == ti {
+                    return;
+                }
+                let other_seg = trajectories[r.traj_index].segment(r.seg_index);
+                if let Some(d) = seg.mean_synchronized_distance(&other_seg) {
+                    if d < best_per_voter[r.traj_index] {
+                        if best_per_voter[r.traj_index].is_infinite() {
+                            touched.push(r.traj_index);
+                        }
+                        best_per_voter[r.traj_index] = d;
+                    }
+                }
+            });
+
+            let mut vote = 0.0;
+            for &voter in &touched {
+                vote += kernel(best_per_voter[voter], params.sigma, cutoff);
+                best_per_voter[voter] = f64::INFINITY;
+            }
+            touched.clear();
+            votes.push(vote);
+        }
+        profiles.push(VotingProfile {
+            trajectory_id: traj.id,
+            trajectory_index: ti,
+            votes,
+        });
+    }
+    profiles
+}
+
+/// Quadratic voting without any index: every segment is compared against
+/// every segment of every other trajectory. Semantics are identical to
+/// [`indexed_voting`]; only the candidate enumeration differs.
+pub fn naive_voting(trajectories: &[Trajectory], params: &S2TParams) -> Vec<VotingProfile> {
+    let cutoff = params.voting_cutoff_radius();
+    let mut profiles = Vec::with_capacity(trajectories.len());
+
+    for (ti, traj) in trajectories.iter().enumerate() {
+        let mut votes = Vec::with_capacity(traj.num_segments());
+        for si in 0..traj.num_segments() {
+            let seg = traj.segment(si);
+            let mut vote = 0.0;
+            for (tj, other) in trajectories.iter().enumerate() {
+                if tj == ti {
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                for sj in 0..other.num_segments() {
+                    let other_seg = other.segment(sj);
+                    if let Some(d) = seg.mean_synchronized_distance(&other_seg) {
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                }
+                if best.is_finite() {
+                    vote += kernel(best, params.sigma, cutoff);
+                }
+            }
+            votes.push(vote);
+        }
+        profiles.push(VotingProfile {
+            trajectory_id: traj.id,
+            trajectory_index: ti,
+            votes,
+        });
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, Timestamp};
+
+    /// A straight trajectory along x at constant speed, offset by `y0`, with
+    /// optional time offset.
+    fn line(id: u64, y0: f64, t0: i64, n: usize) -> Trajectory {
+        Trajectory::new(
+            id,
+            id,
+            (0..n)
+                .map(|i| Point::new(i as f64 * 10.0, y0, Timestamp(t0 + i as i64 * 10_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn params(sigma: f64) -> S2TParams {
+        S2TParams {
+            sigma,
+            ..S2TParams::default()
+        }
+    }
+
+    #[test]
+    fn co_moving_trajectories_vote_for_each_other() {
+        // Three objects moving together, one far away.
+        let trajs = vec![
+            line(0, 0.0, 0, 10),
+            line(1, 5.0, 0, 10),
+            line(2, 10.0, 0, 10),
+            line(3, 100_000.0, 0, 10),
+        ];
+        let p = params(20.0);
+        let profiles = naive_voting(&trajs, &p);
+        // The co-moving ones receive close to 2 votes on every segment.
+        for prof in &profiles[..3] {
+            assert!(prof.mean() > 1.5, "expected ~2 votes, got {}", prof.mean());
+        }
+        // The isolated one receives essentially nothing.
+        assert!(profiles[3].mean() < 0.01);
+    }
+
+    #[test]
+    fn temporally_disjoint_objects_do_not_vote() {
+        // Same path, but the second object flies it a day later.
+        let trajs = vec![line(0, 0.0, 0, 10), line(1, 0.0, 86_400_000, 10)];
+        let profiles = naive_voting(&trajs, &params(20.0));
+        assert!(profiles[0].mean() < 1e-12);
+        assert!(profiles[1].mean() < 1e-12);
+    }
+
+    #[test]
+    fn votes_are_bounded_by_mod_cardinality() {
+        let trajs: Vec<Trajectory> = (0..6).map(|i| line(i, i as f64, 0, 8)).collect();
+        let profiles = naive_voting(&trajs, &params(50.0));
+        for prof in &profiles {
+            assert_eq!(prof.votes.len(), 7);
+            for &v in &prof.votes {
+                assert!(v >= 0.0 && v <= 5.0 + 1e-9);
+            }
+            assert!(prof.max() <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn indexed_voting_matches_naive() {
+        let mut trajs = Vec::new();
+        // Two co-moving groups plus a loner, with varied time offsets.
+        for i in 0..4 {
+            trajs.push(line(i, i as f64 * 8.0, 0, 12));
+        }
+        for i in 4..7 {
+            trajs.push(line(i, 500.0 + i as f64 * 8.0, 30_000, 12));
+        }
+        trajs.push(line(7, 10_000.0, 0, 12));
+
+        let p = params(25.0);
+        let index = SegmentIndex::build(&trajs);
+        assert_eq!(index.len(), 8 * 11);
+        let fast = indexed_voting(&trajs, &index, &p);
+        let slow = naive_voting(&trajs, &p);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_eq!(f.trajectory_id, s.trajectory_id);
+            assert_eq!(f.votes.len(), s.votes.len());
+            for (a, b) in f.votes.iter().zip(s.votes.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "vote mismatch for trajectory {}: {a} vs {b}",
+                    f.trajectory_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closer_neighbours_yield_higher_votes() {
+        let trajs = vec![line(0, 0.0, 0, 10), line(1, 10.0, 0, 10), line(2, 40.0, 0, 10)];
+        let profiles = naive_voting(&trajs, &params(30.0));
+        // Trajectory 1 is near both others; trajectory 2 is near only one and
+        // farther away, so its votes must be lower.
+        assert!(profiles[1].mean() > profiles[2].mean());
+    }
+
+    #[test]
+    fn empty_and_single_trajectory_inputs() {
+        let p = params(10.0);
+        assert!(naive_voting(&[], &p).is_empty());
+        let single = vec![line(0, 0.0, 0, 5)];
+        let profiles = naive_voting(&single, &p);
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].votes.iter().all(|&v| v == 0.0));
+        let index = SegmentIndex::build(&single);
+        let fast = indexed_voting(&single, &index, &p);
+        assert_eq!(fast, profiles);
+    }
+
+    #[test]
+    fn voting_profile_statistics() {
+        let prof = VotingProfile {
+            trajectory_id: 1,
+            trajectory_index: 0,
+            votes: vec![1.0, 3.0, 2.0],
+        };
+        assert!((prof.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(prof.max(), 3.0);
+        let empty = VotingProfile {
+            trajectory_id: 2,
+            trajectory_index: 1,
+            votes: vec![],
+        };
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Executes parsed statements against a [`HermesEngine`].
+
+use crate::parser::{parse, ParseError, Statement};
+use hermes_core::{EngineError, HermesEngine};
+use hermes_retratree::{QutParams, ReTraTreeParams};
+use hermes_s2t::{ClusteringResult, S2TParams};
+use hermes_trajectory::{Duration, TimeInterval, Timestamp};
+use std::fmt;
+
+/// A tabular query result (every value rendered as text, like `psql`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows of values, one string per column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl QueryResult {
+    fn message(text: impl Into<String>) -> Self {
+        QueryResult {
+            columns: vec!["result".into()],
+            rows: vec![vec![text.into()]],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced while executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The statement failed to parse.
+    Parse(ParseError),
+    /// The engine rejected the operation.
+    Engine(EngineError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+impl From<EngineError> for SqlError {
+    fn from(e: EngineError) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+fn clusters_table(result: &ClusteringResult, elapsed_ms: f64) -> QueryResult {
+    let mut rows = Vec::new();
+    for c in &result.clusters {
+        rows.push(vec![
+            c.id.to_string(),
+            c.representative.trajectory_id.to_string(),
+            c.size().to_string(),
+            format!("{:.1}", c.mean_distance()),
+            c.lifespan().start.millis().to_string(),
+            c.lifespan().end.millis().to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "outliers".into(),
+        String::new(),
+        result.num_outliers().to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "elapsed_ms".into(),
+        String::new(),
+        format!("{elapsed_ms:.2}"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    QueryResult {
+        columns: vec![
+            "cluster".into(),
+            "representative".into(),
+            "size".into(),
+            "mean_distance".into(),
+            "start_ms".into(),
+            "end_ms".into(),
+        ],
+        rows,
+    }
+}
+
+/// Parses and executes one statement against the engine.
+pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryResult, SqlError> {
+    let stmt = parse(sql)?;
+    match stmt {
+        Statement::CreateDataset { name } => {
+            engine.create_dataset(&name)?;
+            Ok(QueryResult::message(format!("dataset '{name}' created")))
+        }
+        Statement::DropDataset { name } => {
+            engine.drop_dataset(&name)?;
+            Ok(QueryResult::message(format!("dataset '{name}' dropped")))
+        }
+        Statement::ShowDatasets => Ok(QueryResult {
+            columns: vec!["dataset".into()],
+            rows: engine.list_datasets().into_iter().map(|n| vec![n]).collect(),
+        }),
+        Statement::BuildIndex {
+            name,
+            chunk_hours,
+            sigma,
+            epsilon,
+        } => {
+            let mut s2t = S2TParams::default();
+            if let Some(s) = sigma {
+                s2t.sigma = s;
+            }
+            if let Some(e) = epsilon {
+                s2t.epsilon = e;
+            }
+            let params = ReTraTreeParams {
+                chunk_duration: Duration::from_millis((chunk_hours * 3_600_000.0) as i64),
+                s2t,
+                ..ReTraTreeParams::default()
+            };
+            engine.build_index(&name, params)?;
+            Ok(QueryResult::message(format!(
+                "ReTraTree built on '{name}' with {chunk_hours} hour chunks"
+            )))
+        }
+        Statement::Info { name } => {
+            let info = engine.dataset_info(&name)?;
+            Ok(QueryResult {
+                columns: vec![
+                    "dataset".into(),
+                    "trajectories".into(),
+                    "points".into(),
+                    "start_ms".into(),
+                    "end_ms".into(),
+                    "indexed".into(),
+                    "cluster_entries".into(),
+                ],
+                rows: vec![vec![
+                    info.name,
+                    info.num_trajectories.to_string(),
+                    info.num_points.to_string(),
+                    info.lifespan.map(|l| l.start.millis().to_string()).unwrap_or_default(),
+                    info.lifespan.map(|l| l.end.millis().to_string()).unwrap_or_default(),
+                    info.indexed.to_string(),
+                    info.num_cluster_entries.to_string(),
+                ]],
+            })
+        }
+        Statement::S2T {
+            name,
+            sigma,
+            tau,
+            delta,
+            min_duration_ms,
+            epsilon,
+            naive,
+        } => {
+            let params = S2TParams {
+                sigma,
+                tau,
+                delta,
+                min_duration_ms,
+                epsilon,
+                ..S2TParams::default()
+            };
+            let outcome = if naive {
+                engine.run_s2t_naive(&name, &params)?
+            } else {
+                engine.run_s2t(&name, &params)?
+            };
+            Ok(clusters_table(&outcome.result, outcome.timings.total_ms()))
+        }
+        Statement::Qut {
+            name,
+            wi,
+            we,
+            tau,
+            delta,
+            min_duration_ms,
+            merge_distance,
+            merge_gap_ms,
+            rebuild,
+        } => {
+            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
+            // τ, δ and t come from the query; the data-scale parameters
+            // (σ, ε) are inherited from the ReTraTree the dataset was indexed
+            // with, exactly as the in-DBMS QUT call operates on the clusters
+            // the index already maintains.
+            let base = engine.tree(&name)?.params().s2t.clone();
+            let s2t = S2TParams {
+                tau,
+                delta,
+                min_duration_ms,
+                ..base
+            };
+            if rebuild {
+                let (result, stats) = engine.run_window_rebuild(&name, &window, &s2t)?;
+                Ok(clusters_table(&result, stats.elapsed_ms))
+            } else {
+                let params = QutParams {
+                    s2t,
+                    merge_distance,
+                    merge_gap: Duration::from_millis(merge_gap_ms),
+                };
+                let (result, stats) = engine.run_qut(&name, &window, &params)?;
+                Ok(clusters_table(&result, stats.elapsed_ms))
+            }
+        }
+        Statement::Range { name, wi, we } => {
+            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
+            let tree = engine.tree(&name)?;
+            let subs = tree.window_sub_trajectories(&window);
+            Ok(QueryResult {
+                columns: vec!["sub_trajectories_in_window".into()],
+                rows: vec![vec![subs.len().to_string()]],
+            })
+        }
+        Statement::Histogram {
+            name,
+            wi,
+            we,
+            bucket_ms,
+        } => {
+            if bucket_ms <= 0 {
+                return Err(SqlError::Engine(EngineError::InvalidParameters(
+                    "histogram bucket width must be positive".into(),
+                )));
+            }
+            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
+            let params = QutParams {
+                s2t: engine.tree(&name)?.params().s2t.clone(),
+                ..QutParams::default()
+            };
+            let (result, _) = engine.run_qut(&name, &window, &params)?;
+            let hist = hermes_va::time_histogram(&result, Duration::from_millis(bucket_ms));
+            let mut rows = Vec::new();
+            for (b, start) in hist.bucket_starts.iter().enumerate() {
+                for (cluster, counts) in hist.counts.iter().enumerate() {
+                    rows.push(vec![
+                        start.millis().to_string(),
+                        cluster.to_string(),
+                        counts[b].to_string(),
+                    ]);
+                }
+                rows.push(vec![
+                    start.millis().to_string(),
+                    "-1".into(),
+                    hist.outlier_counts[b].to_string(),
+                ]);
+            }
+            Ok(QueryResult {
+                columns: vec!["bucket_start_ms".into(), "cluster".into(), "cardinality".into()],
+                rows,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, Trajectory};
+
+    fn traj(id: u64, y: f64, t0: i64) -> Trajectory {
+        Trajectory::new(
+            id,
+            id,
+            (0..30)
+                .map(|i| Point::new(i as f64 * 100.0, y, Timestamp(t0 + i as i64 * 60_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn engine() -> HermesEngine {
+        let mut e = HermesEngine::new();
+        execute(&mut e, "CREATE DATASET flights;").unwrap();
+        let trajs: Vec<Trajectory> = (0..12).map(|i| traj(i, i as f64 * 10.0, 0)).collect();
+        e.load_trajectories("flights", trajs).unwrap();
+        e
+    }
+
+    #[test]
+    fn ddl_round_trip() {
+        let mut e = HermesEngine::new();
+        execute(&mut e, "CREATE DATASET a;").unwrap();
+        execute(&mut e, "CREATE DATASET b;").unwrap();
+        let shown = execute(&mut e, "SHOW DATASETS;").unwrap();
+        assert_eq!(shown.rows, vec![vec!["a".to_string()], vec!["b".to_string()]]);
+        execute(&mut e, "DROP DATASET a;").unwrap();
+        assert_eq!(execute(&mut e, "SHOW DATASETS;").unwrap().len(), 1);
+        assert!(matches!(
+            execute(&mut e, "DROP DATASET nope;"),
+            Err(SqlError::Engine(EngineError::UnknownDataset(_)))
+        ));
+    }
+
+    #[test]
+    fn info_reports_the_loaded_data() {
+        let mut e = engine();
+        let info = execute(&mut e, "SELECT INFO(flights);").unwrap();
+        assert_eq!(info.rows[0][1], "12");
+        assert_eq!(info.rows[0][5], "false");
+    }
+
+    #[test]
+    fn s2t_via_sql_produces_a_cluster_table() {
+        let mut e = engine();
+        let result = execute(&mut e, "SELECT S2T(flights, 60, 0.35, 0.05, 120000, 400);").unwrap();
+        assert_eq!(result.columns[0], "cluster");
+        // One data row per cluster + the outlier and elapsed summary rows.
+        assert!(result.len() >= 3);
+        assert!(result.rows.iter().any(|r| r[0] == "outliers"));
+        let naive =
+            execute(&mut e, "SELECT S2T_NAIVE(flights, 60, 0.35, 0.05, 120000, 400);").unwrap();
+        assert_eq!(naive.len(), result.len());
+    }
+
+    #[test]
+    fn qut_via_sql_requires_and_uses_the_index() {
+        let mut e = engine();
+        let attempt = execute(
+            &mut e,
+            "SELECT QUT(flights, 0, 1800000, 0.35, 0.05, 120000, 400, 1800000);",
+        );
+        assert!(matches!(attempt, Err(SqlError::Engine(EngineError::NotIndexed(_)))));
+
+        execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+        let qut = execute(
+            &mut e,
+            "SELECT QUT(flights, 0, 1800000, 0.35, 0.05, 120000, 400, 1800000);",
+        )
+        .unwrap();
+        assert!(qut.len() >= 2);
+        let rebuild = execute(
+            &mut e,
+            "SELECT QUT_REBUILD(flights, 0, 1800000, 0.35, 0.05, 120000);",
+        )
+        .unwrap();
+        assert!(rebuild.len() >= 2);
+
+        let range = execute(&mut e, "SELECT RANGE(flights, 0, 1800000);").unwrap();
+        let count: usize = range.rows[0][0].parse().unwrap();
+        assert!(count > 0);
+
+        let hist = execute(&mut e, "SELECT HISTOGRAM(flights, 0, 1800000, 600000);").unwrap();
+        assert_eq!(hist.columns, vec!["bucket_start_ms", "cluster", "cardinality"]);
+        assert!(!hist.is_empty());
+        assert!(matches!(
+            execute(&mut e, "SELECT HISTOGRAM(flights, 0, 1800000, 0);"),
+            Err(SqlError::Engine(EngineError::InvalidParameters(_)))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut e = engine();
+        assert!(matches!(
+            execute(&mut e, "SELEKT S2T(flights);"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn query_result_renders_as_text() {
+        let mut e = engine();
+        let info = execute(&mut e, "SELECT INFO(flights);").unwrap();
+        let text = info.to_string();
+        assert!(text.contains("dataset"));
+        assert!(text.contains("flights"));
+        assert!(!info.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # hermes-sql
+//!
+//! The SQL face of the engine: the demo's selling point is that
+//! sub-trajectory clustering runs "via simple SQL" inside the DBMS, e.g.
+//!
+//! ```sql
+//! SELECT QUT(D, Wi, We, τ, δ, t, d, γ);
+//! ```
+//!
+//! This crate implements a small SQL dialect covering exactly the statements
+//! the demonstration walks through, parsed by a hand-written recursive
+//! descent parser and executed against a [`HermesEngine`]:
+//!
+//! | Statement | Effect |
+//! |---|---|
+//! | `CREATE DATASET name;` | register a dataset |
+//! | `DROP DATASET name;` | remove it |
+//! | `SHOW DATASETS;` | list registered datasets |
+//! | `BUILD INDEX ON name WITH CHUNK <hours> HOURS [SIGMA <σ> EPSILON <ε>];` | build the ReTraTree (σ/ε tune the per-sub-chunk S2T runs) |
+//! | `SELECT INFO(name);` | dataset summary |
+//! | `SELECT S2T(name, σ, τ, δ, t, ε);` | whole-dataset sub-trajectory clustering |
+//! | `SELECT S2T_NAIVE(name, σ, τ, δ, t, ε);` | the index-free baseline |
+//! | `SELECT QUT(name, Wi, We, τ, δ, t, d, γ);` | window-constrained clustering from the ReTraTree |
+//! | `SELECT QUT_REBUILD(name, Wi, We, τ, δ, t);` | the rebuild-from-scratch strategy QuT is compared against |
+//! | `SELECT RANGE(name, Wi, We);` | temporal range query (row count) |
+//! | `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` | cluster-cardinality time histogram over the window (Fig. 1 middle) |
+//!
+//! Numeric parameters follow the paper's ordering; times are milliseconds.
+//!
+//! [`HermesEngine`]: hermes_core::HermesEngine
+
+pub mod executor;
+pub mod parser;
+
+pub use executor::{execute, QueryResult};
+pub use parser::{parse, ParseError, Statement};

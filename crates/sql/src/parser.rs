@@ -1,0 +1,502 @@
+//! Lexer, AST and recursive-descent parser for the Hermes SQL dialect.
+
+use std::fmt;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE DATASET name;`
+    CreateDataset {
+        /// Dataset name.
+        name: String,
+    },
+    /// `DROP DATASET name;`
+    DropDataset {
+        /// Dataset name.
+        name: String,
+    },
+    /// `SHOW DATASETS;`
+    ShowDatasets,
+    /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s EPSILON e];`
+    BuildIndex {
+        /// Dataset name.
+        name: String,
+        /// Chunk duration in hours.
+        chunk_hours: f64,
+        /// Optional voting bandwidth σ for the per-sub-chunk S2T runs.
+        sigma: Option<f64>,
+        /// Optional clustering distance bound ε for the per-sub-chunk S2T runs.
+        epsilon: Option<f64>,
+    },
+    /// `SELECT INFO(name);`
+    Info {
+        /// Dataset name.
+        name: String,
+    },
+    /// `SELECT S2T(name, sigma, tau, delta, t, epsilon);` — `naive` selects
+    /// the index-free variant (`S2T_NAIVE`).
+    S2T {
+        /// Dataset name.
+        name: String,
+        /// Voting kernel bandwidth σ.
+        sigma: f64,
+        /// Segmentation threshold τ.
+        tau: f64,
+        /// Sampling stop criterion δ.
+        delta: f64,
+        /// Minimum sub-trajectory duration `t` in milliseconds.
+        min_duration_ms: i64,
+        /// Clustering distance bound ε.
+        epsilon: f64,
+        /// Use the index-free voting baseline.
+        naive: bool,
+    },
+    /// `SELECT QUT(name, Wi, We, tau, delta, t, d, gamma);` — `rebuild`
+    /// selects the range-query-then-recluster strategy (`QUT_REBUILD`, which
+    /// takes only `Wi, We, tau, delta, t`).
+    Qut {
+        /// Dataset name.
+        name: String,
+        /// Window start (ms).
+        wi: i64,
+        /// Window end (ms).
+        we: i64,
+        /// Segmentation threshold τ.
+        tau: f64,
+        /// Sampling stop criterion δ.
+        delta: f64,
+        /// Minimum sub-trajectory duration `t` in milliseconds.
+        min_duration_ms: i64,
+        /// Merge distance `d` (unused for the rebuild strategy).
+        merge_distance: f64,
+        /// Merge gap `γ` in milliseconds (unused for the rebuild strategy).
+        merge_gap_ms: i64,
+        /// Use the rebuild-from-scratch strategy.
+        rebuild: bool,
+    },
+    /// `SELECT RANGE(name, Wi, We);`
+    Range {
+        /// Dataset name.
+        name: String,
+        /// Window start (ms).
+        wi: i64,
+        /// Window end (ms).
+        we: i64,
+    },
+    /// `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` — the cluster-cardinality
+    /// time histogram of Fig. 1 (middle) over the clustering of window `W`.
+    Histogram {
+        /// Dataset name.
+        name: String,
+        /// Window start (ms).
+        wi: i64,
+        /// Window end (ms).
+        we: i64,
+        /// Histogram bucket width in milliseconds.
+        bucket_ms: i64,
+    },
+}
+
+/// A parse failure with a human-readable description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != quote {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(ParseError("unterminated string literal".into()));
+                }
+                tokens.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text
+                    .parse::<f64>()
+                    .map_err(|_| ParseError(format!("invalid number '{text}'")))?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(ParseError(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError(format!("expected an identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_token(&mut self, t: Token) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == t {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, ParseError> {
+        match self.next()? {
+            Token::Number(n) => Ok(n),
+            other => Err(ParseError(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    /// Parses `name, n1, n2, …` inside parentheses, given the expected number
+    /// of numeric arguments.
+    fn call_args(&mut self, expected_numbers: usize) -> Result<(String, Vec<f64>), ParseError> {
+        self.expect_token(Token::LParen)?;
+        let name = self.expect_ident()?;
+        let mut numbers = Vec::with_capacity(expected_numbers);
+        for _ in 0..expected_numbers {
+            self.expect_token(Token::Comma)?;
+            numbers.push(self.expect_number()?);
+        }
+        self.expect_token(Token::RParen)?;
+        Ok((name, numbers))
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+        if self.pos != self.tokens.len() {
+            return Err(ParseError("trailing tokens after statement".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Parses one statement.
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError("empty statement".into()));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let head = p.expect_ident()?;
+    let stmt = if head.eq_ignore_ascii_case("create") {
+        p.expect_keyword("dataset")?;
+        Statement::CreateDataset {
+            name: p.expect_ident()?,
+        }
+    } else if head.eq_ignore_ascii_case("drop") {
+        p.expect_keyword("dataset")?;
+        Statement::DropDataset {
+            name: p.expect_ident()?,
+        }
+    } else if head.eq_ignore_ascii_case("show") {
+        p.expect_keyword("datasets")?;
+        Statement::ShowDatasets
+    } else if head.eq_ignore_ascii_case("build") {
+        p.expect_keyword("index")?;
+        p.expect_keyword("on")?;
+        let name = p.expect_ident()?;
+        p.expect_keyword("with")?;
+        p.expect_keyword("chunk")?;
+        let chunk_hours = p.expect_number()?;
+        p.expect_keyword("hours")?;
+        let mut sigma = None;
+        let mut epsilon = None;
+        if matches!(p.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("sigma")) {
+            p.expect_keyword("sigma")?;
+            sigma = Some(p.expect_number()?);
+            p.expect_keyword("epsilon")?;
+            epsilon = Some(p.expect_number()?);
+        }
+        Statement::BuildIndex {
+            name,
+            chunk_hours,
+            sigma,
+            epsilon,
+        }
+    } else if head.eq_ignore_ascii_case("select") {
+        let func = p.expect_ident()?;
+        if func.eq_ignore_ascii_case("info") {
+            let (name, _) = p.call_args(0)?;
+            Statement::Info { name }
+        } else if func.eq_ignore_ascii_case("s2t") || func.eq_ignore_ascii_case("s2t_naive") {
+            let (name, args) = p.call_args(5)?;
+            Statement::S2T {
+                name,
+                sigma: args[0],
+                tau: args[1],
+                delta: args[2],
+                min_duration_ms: args[3] as i64,
+                epsilon: args[4],
+                naive: func.eq_ignore_ascii_case("s2t_naive"),
+            }
+        } else if func.eq_ignore_ascii_case("qut") {
+            let (name, args) = p.call_args(7)?;
+            Statement::Qut {
+                name,
+                wi: args[0] as i64,
+                we: args[1] as i64,
+                tau: args[2],
+                delta: args[3],
+                min_duration_ms: args[4] as i64,
+                merge_distance: args[5],
+                merge_gap_ms: args[6] as i64,
+                rebuild: false,
+            }
+        } else if func.eq_ignore_ascii_case("qut_rebuild") {
+            let (name, args) = p.call_args(5)?;
+            Statement::Qut {
+                name,
+                wi: args[0] as i64,
+                we: args[1] as i64,
+                tau: args[2],
+                delta: args[3],
+                min_duration_ms: args[4] as i64,
+                merge_distance: 0.0,
+                merge_gap_ms: 0,
+                rebuild: true,
+            }
+        } else if func.eq_ignore_ascii_case("range") {
+            let (name, args) = p.call_args(2)?;
+            Statement::Range {
+                name,
+                wi: args[0] as i64,
+                we: args[1] as i64,
+            }
+        } else if func.eq_ignore_ascii_case("histogram") {
+            let (name, args) = p.call_args(3)?;
+            Statement::Histogram {
+                name,
+                wi: args[0] as i64,
+                we: args[1] as i64,
+                bucket_ms: args[2] as i64,
+            }
+        } else {
+            return Err(ParseError(format!("unknown function '{func}'")));
+        }
+    } else {
+        return Err(ParseError(format!("unknown statement '{head}'")));
+    };
+    p.finish()?;
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_statements() {
+        assert_eq!(
+            parse("CREATE DATASET flights;").unwrap(),
+            Statement::CreateDataset {
+                name: "flights".into()
+            }
+        );
+        assert_eq!(
+            parse("drop dataset flights").unwrap(),
+            Statement::DropDataset {
+                name: "flights".into()
+            }
+        );
+        assert_eq!(parse("SHOW DATASETS;").unwrap(), Statement::ShowDatasets);
+        assert_eq!(
+            parse("BUILD INDEX ON flights WITH CHUNK 6 HOURS;").unwrap(),
+            Statement::BuildIndex {
+                name: "flights".into(),
+                chunk_hours: 6.0,
+                sigma: None,
+                epsilon: None,
+            }
+        );
+        assert_eq!(
+            parse("BUILD INDEX ON flights WITH CHUNK 2 HOURS SIGMA 2000 EPSILON 6000;").unwrap(),
+            Statement::BuildIndex {
+                name: "flights".into(),
+                chunk_hours: 2.0,
+                sigma: Some(2000.0),
+                epsilon: Some(6000.0),
+            }
+        );
+    }
+
+    #[test]
+    fn s2t_call_matches_the_paper_signature() {
+        let stmt = parse("SELECT S2T(flights, 2000, 0.35, 0.05, 120000, 5000);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::S2T {
+                name: "flights".into(),
+                sigma: 2000.0,
+                tau: 0.35,
+                delta: 0.05,
+                min_duration_ms: 120_000,
+                epsilon: 5000.0,
+                naive: false,
+            }
+        );
+        let naive = parse("SELECT S2T_NAIVE('flights', 2000, 0.35, 0.05, 120000, 5000);").unwrap();
+        assert!(matches!(naive, Statement::S2T { naive: true, .. }));
+    }
+
+    #[test]
+    fn qut_call_matches_the_paper_signature() {
+        // SELECT QUT(D, Wi, We, τ, δ, t, d, γ);
+        let stmt = parse("SELECT QUT(flights, 0, 7200000, 0.35, 0.05, 120000, 3000, 1800000);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Qut {
+                name: "flights".into(),
+                wi: 0,
+                we: 7_200_000,
+                tau: 0.35,
+                delta: 0.05,
+                min_duration_ms: 120_000,
+                merge_distance: 3000.0,
+                merge_gap_ms: 1_800_000,
+                rebuild: false,
+            }
+        );
+        let rebuild = parse("SELECT QUT_REBUILD(flights, 0, 7200000, 0.35, 0.05, 120000);").unwrap();
+        assert!(matches!(rebuild, Statement::Qut { rebuild: true, .. }));
+    }
+
+    #[test]
+    fn range_and_info() {
+        assert_eq!(
+            parse("SELECT RANGE(flights, 0, 3600000);").unwrap(),
+            Statement::Range {
+                name: "flights".into(),
+                wi: 0,
+                we: 3_600_000
+            }
+        );
+        assert_eq!(
+            parse("SELECT INFO(flights);").unwrap(),
+            Statement::Info {
+                name: "flights".into()
+            }
+        );
+        assert_eq!(
+            parse("SELECT HISTOGRAM(flights, 0, 7200000, 900000);").unwrap(),
+            Statement::Histogram {
+                name: "flights".into(),
+                wi: 0,
+                we: 7_200_000,
+                bucket_ms: 900_000
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("").unwrap_err().0.contains("empty"));
+        assert!(parse("SELECT NOPE(flights);").unwrap_err().0.contains("unknown function"));
+        assert!(parse("CREATE TABLE x;").unwrap_err().0.contains("expected 'dataset'"));
+        assert!(parse("SELECT S2T(flights, 1, 2);").is_err());
+        assert!(parse("SELECT RANGE(flights, 0, 10) extra;").unwrap_err().0.contains("trailing"));
+        assert!(parse("SELECT RANGE(flights, 0, 'ten');").is_err());
+        assert!(parse("SELECT INFO('unterminated);").unwrap_err().0.contains("unterminated"));
+        assert!(parse("€").is_err());
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let stmt = parse("SELECT RANGE(flights, -3600000, 1e7);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Range {
+                name: "flights".into(),
+                wi: -3_600_000,
+                we: 10_000_000
+            }
+        );
+    }
+}

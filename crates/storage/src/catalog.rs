@@ -1,0 +1,167 @@
+//! Dataset catalog.
+//!
+//! The SQL layer addresses data by name (`SELECT QUT('flights', …)`); the
+//! catalog maps names to dataset ids and remembers per-dataset metadata such
+//! as cardinality and temporal extent.
+
+use crate::error::StorageError;
+use crate::Result;
+use hermes_trajectory::TimeInterval;
+use std::collections::HashMap;
+
+/// Identifier of a registered dataset.
+pub type DatasetId = u64;
+
+/// Metadata kept per dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// Catalog identifier.
+    pub id: DatasetId,
+    /// User-facing name.
+    pub name: String,
+    /// Number of trajectories loaded.
+    pub num_trajectories: usize,
+    /// Total number of points loaded.
+    pub num_points: usize,
+    /// Temporal extent of the data, when known.
+    pub lifespan: Option<TimeInterval>,
+}
+
+/// Name → dataset registry.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    by_name: HashMap<String, DatasetId>,
+    by_id: HashMap<DatasetId, DatasetMeta>,
+    next_id: DatasetId,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a dataset name, failing if it already exists.
+    pub fn create(&mut self, name: &str) -> Result<DatasetId> {
+        if self.by_name.contains_key(name) {
+            return Err(StorageError::DatasetExists { name: name.into() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_name.insert(name.to_string(), id);
+        self.by_id.insert(
+            id,
+            DatasetMeta {
+                id,
+                name: name.to_string(),
+                num_trajectories: 0,
+                num_points: 0,
+                lifespan: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Result<&DatasetMeta> {
+        let id = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownDataset { name: name.into() })?;
+        Ok(&self.by_id[id])
+    }
+
+    /// Looks a dataset up by id.
+    pub fn get_by_id(&self, id: DatasetId) -> Option<&DatasetMeta> {
+        self.by_id.get(&id)
+    }
+
+    /// Updates the statistics of a dataset after loading data into it.
+    pub fn update_stats(
+        &mut self,
+        id: DatasetId,
+        num_trajectories: usize,
+        num_points: usize,
+        lifespan: Option<TimeInterval>,
+    ) {
+        if let Some(meta) = self.by_id.get_mut(&id) {
+            meta.num_trajectories = num_trajectories;
+            meta.num_points = num_points;
+            meta.lifespan = lifespan;
+        }
+    }
+
+    /// Removes a dataset by name.
+    pub fn drop_dataset(&mut self, name: &str) -> Result<DatasetMeta> {
+        let id = self
+            .by_name
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownDataset { name: name.into() })?;
+        Ok(self.by_id.remove(&id).expect("catalog maps are in sync"))
+    }
+
+    /// Iterates over all registered datasets.
+    pub fn list(&self) -> impl Iterator<Item = &DatasetMeta> {
+        self.by_id.values()
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::Timestamp;
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        let id = c.create("flights").unwrap();
+        assert_eq!(c.get("flights").unwrap().id, id);
+        assert!(matches!(
+            c.create("flights"),
+            Err(StorageError::DatasetExists { .. })
+        ));
+        assert!(matches!(
+            c.get("vessels"),
+            Err(StorageError::UnknownDataset { .. })
+        ));
+        let dropped = c.drop_dataset("flights").unwrap();
+        assert_eq!(dropped.name, "flights");
+        assert!(c.get("flights").is_err());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_update_round_trips() {
+        let mut c = Catalog::new();
+        let id = c.create("flights").unwrap();
+        let span = TimeInterval::new(Timestamp(0), Timestamp(1_000_000));
+        c.update_stats(id, 120, 36_000, Some(span));
+        let meta = c.get("flights").unwrap();
+        assert_eq!(meta.num_trajectories, 120);
+        assert_eq!(meta.num_points, 36_000);
+        assert_eq!(meta.lifespan, Some(span));
+        assert_eq!(c.get_by_id(id).unwrap().name, "flights");
+        assert_eq!(c.list().count(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut c = Catalog::new();
+        let a = c.create("a").unwrap();
+        let b = c.create("b").unwrap();
+        c.drop_dataset("a").unwrap();
+        let d = c.create("d").unwrap();
+        assert!(a < b && b < d);
+    }
+}

@@ -1,0 +1,138 @@
+//! Compact binary serialization of sub-trajectories.
+//!
+//! Records stored in partition pages are encoded with a small fixed layout
+//! (little-endian, no self-description) because the schema never varies:
+//!
+//! ```text
+//! sub_trajectory_id.trajectory_id : u64
+//! sub_trajectory_id.offset        : u32
+//! trajectory_id                   : u64
+//! object_id                       : u64
+//! point count                     : u32
+//! points                          : count × (f64 x, f64 y, i64 t)
+//! ```
+
+use crate::error::StorageError;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
+
+/// Serializes a sub-trajectory into bytes suitable for a page record.
+pub fn encode_sub_trajectory(sub: &SubTrajectory) -> Bytes {
+    let pts = sub.points();
+    let mut buf = BytesMut::with_capacity(8 + 4 + 8 + 8 + 4 + pts.len() * 24);
+    buf.put_u64_le(sub.id.trajectory_id);
+    buf.put_u32_le(sub.id.offset);
+    buf.put_u64_le(sub.trajectory_id);
+    buf.put_u64_le(sub.object_id);
+    buf.put_u32_le(pts.len() as u32);
+    for p in pts {
+        buf.put_f64_le(p.x);
+        buf.put_f64_le(p.y);
+        buf.put_i64_le(p.t.millis());
+    }
+    buf.freeze()
+}
+
+/// Decodes a sub-trajectory previously produced by [`encode_sub_trajectory`].
+pub fn decode_sub_trajectory(mut bytes: &[u8]) -> Result<SubTrajectory> {
+    const HEADER: usize = 8 + 4 + 8 + 8 + 4;
+    if bytes.len() < HEADER {
+        return Err(StorageError::Corrupt {
+            reason: format!("record of {} bytes is shorter than the header", bytes.len()),
+        });
+    }
+    let id_traj = bytes.get_u64_le();
+    let id_off = bytes.get_u32_le();
+    let trajectory_id = bytes.get_u64_le();
+    let object_id = bytes.get_u64_le();
+    let count = bytes.get_u32_le() as usize;
+    if count < 2 {
+        return Err(StorageError::Corrupt {
+            reason: format!("sub-trajectory record claims only {count} points"),
+        });
+    }
+    if bytes.remaining() < count * 24 {
+        return Err(StorageError::Corrupt {
+            reason: format!(
+                "record truncated: {} points declared but only {} bytes of payload",
+                count,
+                bytes.remaining()
+            ),
+        });
+    }
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = bytes.get_f64_le();
+        let y = bytes.get_f64_le();
+        let t = bytes.get_i64_le();
+        points.push(Point::new(x, y, Timestamp(t)));
+    }
+    Ok(SubTrajectory::from_points(
+        SubTrajectoryId::new(id_traj, id_off),
+        trajectory_id,
+        object_id,
+        points,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(42, 7),
+            42,
+            9,
+            vec![
+                Point::new(1.5, -2.25, Timestamp(1_000)),
+                Point::new(3.0, 4.0, Timestamp(2_000)),
+                Point::new(5.5, 6.5, Timestamp(3_500)),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sub = sample();
+        let bytes = encode_sub_trajectory(&sub);
+        let back = decode_sub_trajectory(&bytes).unwrap();
+        assert_eq!(back.id, sub.id);
+        assert_eq!(back.trajectory_id, sub.trajectory_id);
+        assert_eq!(back.object_id, sub.object_id);
+        assert_eq!(back.points(), sub.points());
+    }
+
+    #[test]
+    fn truncated_records_are_rejected() {
+        let bytes = encode_sub_trajectory(&sample());
+        assert!(matches!(
+            decode_sub_trajectory(&bytes[..10]),
+            Err(StorageError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            decode_sub_trajectory(&bytes[..bytes.len() - 4]),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn point_count_below_two_is_corrupt() {
+        let sub = sample();
+        let mut bytes = encode_sub_trajectory(&sub).to_vec();
+        // Overwrite the count field (offset 8+4+8+8 = 28) with 1.
+        bytes[28..32].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_sub_trajectory(&bytes),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_size_is_predictable() {
+        let sub = sample();
+        let bytes = encode_sub_trajectory(&sub);
+        assert_eq!(bytes.len(), 32 + 3 * 24);
+    }
+}

@@ -1,0 +1,86 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record was too large to fit in a single page.
+    RecordTooLarge {
+        /// Size of the record in bytes.
+        size: usize,
+        /// Maximum payload a page can hold.
+        max: usize,
+    },
+    /// A page id was out of range for the partition.
+    InvalidPage {
+        /// The offending page id.
+        page: u64,
+    },
+    /// A slot id did not exist on the page.
+    InvalidSlot {
+        /// The page.
+        page: u64,
+        /// The offending slot.
+        slot: u16,
+    },
+    /// A partition id was unknown.
+    UnknownPartition {
+        /// The offending partition id.
+        partition: u64,
+    },
+    /// A dataset name was not present in the catalog.
+    UnknownDataset {
+        /// The requested name.
+        name: String,
+    },
+    /// A dataset with the same name already exists.
+    DatasetExists {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A record could not be decoded (corrupt or truncated bytes).
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page payload capacity {max}")
+            }
+            StorageError::InvalidPage { page } => write!(f, "invalid page id {page}"),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid slot {slot} on page {page}")
+            }
+            StorageError::UnknownPartition { partition } => {
+                write!(f, "unknown partition {partition}")
+            }
+            StorageError::UnknownDataset { name } => write!(f, "unknown dataset '{name}'"),
+            StorageError::DatasetExists { name } => {
+                write!(f, "dataset '{name}' already exists")
+            }
+            StorageError::Corrupt { reason } => write!(f, "corrupt record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StorageError::RecordTooLarge { size: 10_000, max: 8_000 }
+            .to_string()
+            .contains("10000"));
+        assert!(StorageError::UnknownDataset { name: "flights".into() }
+            .to_string()
+            .contains("flights"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # hermes-storage
+//!
+//! The Moving Object Database storage engine underneath the ReTraTree.
+//!
+//! In the paper's architecture (Fig. 2) trajectories are "archived on disk in
+//! dedicated R-tree indexed partitions" — one partition per representative
+//! sub-trajectory — plus a separate partition for outliers. When a partition
+//! exceeds a pre-defined threshold, S2T-Clustering is re-run on it.
+//!
+//! This crate reproduces that storage layer natively:
+//!
+//! * [`page`] — fixed-size slotted pages holding serialized sub-trajectories,
+//! * [`buffer`] — a small buffer pool with LRU eviction and hit/miss
+//!   accounting, standing in for PostgreSQL's shared buffers (the benchmark
+//!   harness reports logical I/O through it),
+//! * [`codec`] — compact binary serialization of sub-trajectories,
+//! * [`partition`] — append-oriented partitions built from pages, with size
+//!   accounting to drive the re-clustering threshold,
+//! * [`catalog`] — the named-dataset catalog used by the SQL layer.
+
+pub mod buffer;
+pub mod catalog;
+pub mod codec;
+pub mod error;
+pub mod page;
+pub mod partition;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use catalog::{Catalog, DatasetId, DatasetMeta};
+pub use codec::{decode_sub_trajectory, encode_sub_trajectory};
+pub use error::StorageError;
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use partition::{Partition, PartitionId, PartitionKind, PartitionStore, RecordLocator};
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,371 @@
+//! Partitions: the on-"disk" unit of the ReTraTree's fourth level.
+//!
+//! Each representative sub-trajectory owns one partition holding its cluster
+//! members; outliers live in a separate partition (paper, Fig. 2). The
+//! [`PartitionStore`] tracks sizes so the maintenance loop can detect when a
+//! partition "exceeds a pre-defined threshold" and must be re-clustered.
+
+use crate::buffer::BufferPool;
+use crate::codec::{decode_sub_trajectory, encode_sub_trajectory};
+use crate::error::StorageError;
+use crate::page::{Page, PageId, SlotId};
+use crate::Result;
+use hermes_trajectory::SubTrajectory;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a partition within a dataset.
+pub type PartitionId = u64;
+
+/// What a partition stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// Members of the cluster around one representative sub-trajectory.
+    Cluster,
+    /// Sub-trajectories not (currently) assigned to any representative.
+    Outliers,
+}
+
+/// Physical address of a stored record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordLocator {
+    /// The partition holding the record.
+    pub partition: PartitionId,
+    /// The page within the partition.
+    pub page: PageId,
+    /// The slot within the page.
+    pub slot: SlotId,
+}
+
+/// An append-oriented collection of pages holding encoded sub-trajectories.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Identifier of this partition.
+    pub id: PartitionId,
+    /// Kind of content.
+    pub kind: PartitionKind,
+    pages: Vec<Page>,
+    live_records: usize,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new(id: PartitionId, kind: PartitionKind) -> Self {
+        Partition {
+            id,
+            kind,
+            pages: vec![Page::new()],
+            live_records: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live_records
+    }
+
+    /// True when the partition holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live_records == 0
+    }
+
+    /// Number of pages (logical size driving the re-clustering threshold).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Appends an encoded record, adding a page when the last one is full.
+    fn append_bytes(&mut self, bytes: &[u8]) -> Result<(PageId, SlotId)> {
+        let last = self.pages.len() - 1;
+        match self.pages[last].insert(bytes) {
+            Ok(slot) => {
+                self.live_records += 1;
+                Ok((last as PageId, slot))
+            }
+            Err(StorageError::RecordTooLarge { size, .. }) if size <= Page::max_record_size() => {
+                self.pages.push(Page::new());
+                let page = self.pages.len() - 1;
+                let slot = self.pages[page].insert(bytes)?;
+                self.live_records += 1;
+                Ok((page as PageId, slot))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends a sub-trajectory, returning where it was stored.
+    pub fn append(&mut self, sub: &SubTrajectory) -> Result<(PageId, SlotId)> {
+        self.append_bytes(&encode_sub_trajectory(sub))
+    }
+
+    /// Reads one record.
+    pub fn get(&self, page: PageId, slot: SlotId) -> Result<Option<SubTrajectory>> {
+        let p = self
+            .pages
+            .get(page as usize)
+            .ok_or(StorageError::InvalidPage { page })?;
+        match p.get(slot)? {
+            None => Ok(None),
+            Some(bytes) => decode_sub_trajectory(&bytes).map(Some),
+        }
+    }
+
+    /// Tombstones one record; true when something was actually deleted.
+    pub fn delete(&mut self, page: PageId, slot: SlotId) -> Result<bool> {
+        let p = self
+            .pages
+            .get_mut(page as usize)
+            .ok_or(StorageError::InvalidPage { page })?;
+        let deleted = p.delete(slot)?;
+        if deleted {
+            self.live_records -= 1;
+        }
+        Ok(deleted)
+    }
+
+    /// Decodes every live record in the partition.
+    pub fn scan(&self) -> Result<Vec<SubTrajectory>> {
+        let mut out = Vec::with_capacity(self.live_records);
+        for page in &self.pages {
+            for (_, bytes) in page.iter() {
+                out.push(decode_sub_trajectory(&bytes)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Access to a raw page (used by the buffer pool integration).
+    pub fn page(&self, page: PageId) -> Result<&Page> {
+        self.pages
+            .get(page as usize)
+            .ok_or(StorageError::InvalidPage { page })
+    }
+}
+
+/// All partitions of one dataset, plus the shared buffer pool and the page
+/// threshold that triggers re-clustering.
+pub struct PartitionStore {
+    partitions: HashMap<PartitionId, Partition>,
+    next_id: PartitionId,
+    /// Re-clustering threshold in pages (paper: "when the size of a partition
+    /// exceeds a pre-defined threshold, S2T-Clustering takes action").
+    pub page_threshold: usize,
+    buffer: Arc<BufferPool<Page>>,
+}
+
+impl PartitionStore {
+    /// Creates a store with the given re-clustering threshold (in pages) and
+    /// buffer-pool capacity (in frames).
+    pub fn new(page_threshold: usize, buffer_frames: usize) -> Self {
+        PartitionStore {
+            partitions: HashMap::new(),
+            next_id: 0,
+            page_threshold: page_threshold.max(1),
+            buffer: Arc::new(BufferPool::new(buffer_frames)),
+        }
+    }
+
+    /// Creates a new partition of the given kind and returns its id.
+    pub fn create_partition(&mut self, kind: PartitionKind) -> PartitionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.partitions.insert(id, Partition::new(id, kind));
+        id
+    }
+
+    /// Drops a partition entirely (used after its members are re-clustered).
+    pub fn drop_partition(&mut self, id: PartitionId) -> Result<Partition> {
+        self.buffer.invalidate_partition(id);
+        self.partitions
+            .remove(&id)
+            .ok_or(StorageError::UnknownPartition { partition: id })
+    }
+
+    /// Borrow a partition.
+    pub fn partition(&self, id: PartitionId) -> Result<&Partition> {
+        self.partitions
+            .get(&id)
+            .ok_or(StorageError::UnknownPartition { partition: id })
+    }
+
+    /// Appends a sub-trajectory to partition `id`.
+    pub fn append(&mut self, id: PartitionId, sub: &SubTrajectory) -> Result<RecordLocator> {
+        let p = self
+            .partitions
+            .get_mut(&id)
+            .ok_or(StorageError::UnknownPartition { partition: id })?;
+        let (page, slot) = p.append(sub)?;
+        // Keep the buffer coherent with the freshly written page.
+        self.buffer.put((id, page), p.page(page)?.clone());
+        Ok(RecordLocator {
+            partition: id,
+            page,
+            slot,
+        })
+    }
+
+    /// Reads a record through the buffer pool (counting hits/misses).
+    pub fn read(&self, loc: RecordLocator) -> Result<Option<SubTrajectory>> {
+        let part = self.partition(loc.partition)?;
+        let page = self
+            .buffer
+            .get_or_load((loc.partition, loc.page), || {
+                part.page(loc.page).cloned().unwrap_or_default()
+            });
+        match page.get(loc.slot)? {
+            None => Ok(None),
+            Some(bytes) => decode_sub_trajectory(&bytes).map(Some),
+        }
+    }
+
+    /// Deletes a record.
+    pub fn delete(&mut self, loc: RecordLocator) -> Result<bool> {
+        let p = self
+            .partitions
+            .get_mut(&loc.partition)
+            .ok_or(StorageError::UnknownPartition {
+                partition: loc.partition,
+            })?;
+        let deleted = p.delete(loc.page, loc.slot)?;
+        if deleted {
+            self.buffer.put((loc.partition, loc.page), p.page(loc.page)?.clone());
+        }
+        Ok(deleted)
+    }
+
+    /// Scans every live record of partition `id`.
+    pub fn scan(&self, id: PartitionId) -> Result<Vec<SubTrajectory>> {
+        self.partition(id)?.scan()
+    }
+
+    /// Ids of partitions whose page count exceeds the threshold — the
+    /// candidates for the S2T re-clustering pass of the maintenance loop.
+    pub fn over_threshold(&self) -> Vec<PartitionId> {
+        self.partitions
+            .values()
+            .filter(|p| p.num_pages() > self.page_threshold)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// All partition ids of a given kind.
+    pub fn partitions_of_kind(&self, kind: PartitionKind) -> Vec<PartitionId> {
+        self.partitions
+            .values()
+            .filter(|p| p.kind == kind)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of live records across all partitions.
+    pub fn total_records(&self) -> usize {
+        self.partitions.values().map(|p| p.len()).sum()
+    }
+
+    /// The shared buffer pool (for statistics reporting).
+    pub fn buffer(&self) -> &Arc<BufferPool<Page>> {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::{Point, SubTrajectoryId, Timestamp};
+
+    fn sub(id: u64, n: usize) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..n.max(2))
+                .map(|i| Point::new(i as f64, id as f64, Timestamp(i as i64 * 1000)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn append_read_delete_round_trip() {
+        let mut store = PartitionStore::new(4, 16);
+        let pid = store.create_partition(PartitionKind::Cluster);
+        let loc = store.append(pid, &sub(1, 5)).unwrap();
+        let back = store.read(loc).unwrap().unwrap();
+        assert_eq!(back.trajectory_id, 1);
+        assert_eq!(back.points().len(), 5);
+        assert!(store.delete(loc).unwrap());
+        assert_eq!(store.read(loc).unwrap(), None);
+        assert!(!store.delete(loc).unwrap());
+    }
+
+    #[test]
+    fn partition_grows_pages_and_reports_threshold() {
+        let mut store = PartitionStore::new(2, 16);
+        let pid = store.create_partition(PartitionKind::Cluster);
+        // Each record ~32 + 200*24 ≈ 4.8 KB, so a page holds one; 40 records
+        // produce well over 2 pages.
+        for i in 0..40 {
+            store.append(pid, &sub(i, 200)).unwrap();
+        }
+        assert!(store.partition(pid).unwrap().num_pages() > 2);
+        assert_eq!(store.over_threshold(), vec![pid]);
+        assert_eq!(store.total_records(), 40);
+    }
+
+    #[test]
+    fn scan_returns_only_live_records() {
+        let mut store = PartitionStore::new(8, 16);
+        let pid = store.create_partition(PartitionKind::Outliers);
+        let locs: Vec<_> = (0..10).map(|i| store.append(pid, &sub(i, 3)).unwrap()).collect();
+        store.delete(locs[3]).unwrap();
+        store.delete(locs[7]).unwrap();
+        let scanned = store.scan(pid).unwrap();
+        assert_eq!(scanned.len(), 8);
+        assert!(scanned.iter().all(|s| s.trajectory_id != 3 && s.trajectory_id != 7));
+    }
+
+    #[test]
+    fn unknown_partition_and_drop() {
+        let mut store = PartitionStore::new(4, 16);
+        assert!(matches!(
+            store.scan(99),
+            Err(StorageError::UnknownPartition { partition: 99 })
+        ));
+        let pid = store.create_partition(PartitionKind::Cluster);
+        store.append(pid, &sub(1, 3)).unwrap();
+        let dropped = store.drop_partition(pid).unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert!(store.partition(pid).is_err());
+    }
+
+    #[test]
+    fn kinds_are_tracked_separately() {
+        let mut store = PartitionStore::new(4, 16);
+        let c1 = store.create_partition(PartitionKind::Cluster);
+        let c2 = store.create_partition(PartitionKind::Cluster);
+        let o = store.create_partition(PartitionKind::Outliers);
+        let mut clusters = store.partitions_of_kind(PartitionKind::Cluster);
+        clusters.sort_unstable();
+        assert_eq!(clusters, vec![c1, c2]);
+        assert_eq!(store.partitions_of_kind(PartitionKind::Outliers), vec![o]);
+        assert_eq!(store.num_partitions(), 3);
+    }
+
+    #[test]
+    fn buffer_pool_reports_hits_on_repeated_reads() {
+        let mut store = PartitionStore::new(4, 16);
+        let pid = store.create_partition(PartitionKind::Cluster);
+        let loc = store.append(pid, &sub(1, 3)).unwrap();
+        store.buffer().reset_stats();
+        for _ in 0..5 {
+            store.read(loc).unwrap();
+        }
+        let stats = store.buffer().stats();
+        assert_eq!(stats.hits + stats.misses, 5);
+        assert!(stats.hits >= 4);
+    }
+}

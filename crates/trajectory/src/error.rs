@@ -1,0 +1,97 @@
+//! Error type for trajectory construction and manipulation.
+
+use crate::time::Timestamp;
+use std::fmt;
+
+/// Errors raised while building or slicing trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryError {
+    /// A trajectory needs at least two samples to describe movement.
+    TooFewPoints {
+        /// Number of points that were supplied.
+        got: usize,
+    },
+    /// Samples must be strictly increasing in time.
+    NonMonotonicTime {
+        /// Index of the offending sample.
+        index: usize,
+        /// Timestamp of the previous sample.
+        previous: Timestamp,
+        /// Timestamp of the offending sample.
+        current: Timestamp,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A requested temporal slice does not overlap the trajectory's lifespan.
+    EmptySlice,
+    /// A sub-trajectory range was out of bounds or inverted.
+    InvalidRange {
+        /// Requested start index (inclusive).
+        start: usize,
+        /// Requested end index (exclusive).
+        end: usize,
+        /// Number of points available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::TooFewPoints { got } => {
+                write!(f, "a trajectory requires at least 2 points, got {got}")
+            }
+            TrajectoryError::NonMonotonicTime {
+                index,
+                previous,
+                current,
+            } => write!(
+                f,
+                "sample {index} has timestamp {current} not after previous {previous}"
+            ),
+            TrajectoryError::NonFiniteCoordinate { index } => {
+                write!(f, "sample {index} has a non-finite coordinate")
+            }
+            TrajectoryError::EmptySlice => {
+                write!(f, "temporal slice does not overlap the trajectory lifespan")
+            }
+            TrajectoryError::InvalidRange { start, end, len } => {
+                write!(f, "invalid point range {start}..{end} for {len} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let msgs = [
+            TrajectoryError::TooFewPoints { got: 1 }.to_string(),
+            TrajectoryError::NonMonotonicTime {
+                index: 3,
+                previous: Timestamp(10),
+                current: Timestamp(5),
+            }
+            .to_string(),
+            TrajectoryError::NonFiniteCoordinate { index: 2 }.to_string(),
+            TrajectoryError::EmptySlice.to_string(),
+            TrajectoryError::InvalidRange {
+                start: 4,
+                end: 2,
+                len: 10,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Linear interpolation along a time-ordered sequence of samples.
+
+use crate::point::Point;
+use crate::time::Timestamp;
+
+/// Interpolated position of an object at time `t`, given its time-ordered
+/// samples. Returns `None` when `t` lies outside the sampled lifespan or the
+/// slice has fewer than one point.
+///
+/// Uses binary search, so repeated evaluations on long trajectories stay
+/// cheap (`O(log n)` per call).
+pub fn position_at(points: &[Point], t: Timestamp) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    if t < first.t || t > last.t {
+        return None;
+    }
+    // Index of the first sample with time >= t.
+    let idx = points.partition_point(|p| p.t < t);
+    if idx == 0 {
+        return Some(*first);
+    }
+    let after = &points[idx];
+    if after.t == t {
+        return Some(*after);
+    }
+    let before = &points[idx - 1];
+    let span = (after.t - before.t).millis();
+    if span == 0 {
+        return Some(*before);
+    }
+    let f = (t - before.t).millis() as f64 / span as f64;
+    Some(before.lerp(after, f))
+}
+
+/// Samples the interpolated positions of two synchronized objects at `n`
+/// evenly spaced instants over a common interval, returning the instants.
+/// Helper for distance kernels; exposed for testing.
+pub fn sample_instants(start: Timestamp, end: Timestamp, n: usize) -> Vec<Timestamp> {
+    assert!(n >= 2, "need at least two sample instants");
+    let span = (end - start).millis();
+    (0..n)
+        .map(|i| Timestamp(start.millis() + span * i as i64 / (n as i64 - 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64, i64)]) -> Vec<Point> {
+        v.iter()
+            .map(|&(x, y, t)| Point::new(x, y, Timestamp(t)))
+            .collect()
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let p = pts(&[(0.0, 0.0, 0), (10.0, 0.0, 10_000), (10.0, 10.0, 20_000)]);
+        assert_eq!(
+            position_at(&p, Timestamp(5_000)),
+            Some(Point::new(5.0, 0.0, Timestamp(5_000)))
+        );
+        assert_eq!(
+            position_at(&p, Timestamp(15_000)),
+            Some(Point::new(10.0, 5.0, Timestamp(15_000)))
+        );
+    }
+
+    #[test]
+    fn exact_sample_times_return_the_sample() {
+        let p = pts(&[(0.0, 0.0, 0), (10.0, 0.0, 10_000)]);
+        assert_eq!(position_at(&p, Timestamp(0)), Some(p[0]));
+        assert_eq!(position_at(&p, Timestamp(10_000)), Some(p[1]));
+    }
+
+    #[test]
+    fn outside_lifespan_is_none() {
+        let p = pts(&[(0.0, 0.0, 0), (10.0, 0.0, 10_000)]);
+        assert_eq!(position_at(&p, Timestamp(-1)), None);
+        assert_eq!(position_at(&p, Timestamp(10_001)), None);
+        assert_eq!(position_at(&[], Timestamp(0)), None);
+    }
+
+    #[test]
+    fn sample_instants_are_evenly_spaced_and_inclusive() {
+        let s = sample_instants(Timestamp(0), Timestamp(1_000), 5);
+        assert_eq!(
+            s,
+            vec![
+                Timestamp(0),
+                Timestamp(250),
+                Timestamp(500),
+                Timestamp(750),
+                Timestamp(1_000)
+            ]
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # hermes-trajectory
+//!
+//! Spatio-temporal geometry substrate for the Hermes time-aware sub-trajectory
+//! clustering engine.
+//!
+//! This crate provides the data model that every other crate in the workspace
+//! builds upon:
+//!
+//! * [`Timestamp`] / [`Duration`] — millisecond-resolution time axis,
+//! * [`Point`] — a 3D sample `(x, y, t)` of a moving object,
+//! * [`Mbb`] — 3D (space + time) minimum bounding boxes,
+//! * [`Segment`] — a straight-line movement between two consecutive samples,
+//! * [`Trajectory`] — the full history of one moving object,
+//! * [`SubTrajectory`] — a contiguous portion of a trajectory (the unit that
+//!   the S2T / QuT clustering algorithms group),
+//! * distance functions (time-synchronized Euclidean, Hausdorff-style,
+//!   segment-to-trajectory) in [`distance`],
+//! * simplification and resampling utilities.
+//!
+//! The Hermes@PostgreSQL paper (ICDE 2018) operates on "3D trajectory
+//! segments"; throughout this workspace the third dimension is always time.
+
+pub mod csvio;
+pub mod distance;
+pub mod error;
+pub mod geo;
+pub mod interpolate;
+pub mod mbb;
+pub mod point;
+pub mod segment;
+pub mod simplify;
+pub mod stats;
+pub mod subtrajectory;
+pub mod time;
+pub mod trajectory;
+
+pub use csvio::{parse_csv, parse_geo_csv, to_csv, CsvImport};
+pub use distance::{
+    hausdorff_distance, segment_to_trajectory_distance, spatiotemporal_distance,
+    sub_trajectory_distance, synchronized_euclidean,
+};
+pub use error::TrajectoryError;
+pub use geo::{haversine_distance, GeoPoint, LocalProjection};
+pub use mbb::Mbb;
+pub use point::Point;
+pub use segment::Segment;
+pub use simplify::douglas_peucker;
+pub use stats::TrajectoryStats;
+pub use subtrajectory::{SubTrajectory, SubTrajectoryId};
+pub use time::{Duration, TimeInterval, Timestamp};
+pub use trajectory::{ObjectId, Trajectory, TrajectoryBuilder, TrajectoryId};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TrajectoryError>;

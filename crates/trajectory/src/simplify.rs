@@ -1,0 +1,155 @@
+//! Trajectory simplification.
+//!
+//! TRACLUS-style methods partition trajectories at "characteristic points";
+//! the synchronized-distance based Douglas-Peucker variant here is used both
+//! by the TRACLUS baseline (as its partitioning fallback) and by the VA
+//! exports to thin dense trajectories before rendering.
+
+use crate::point::Point;
+
+/// Synchronized Euclidean deviation of point `p` from the straight movement
+/// between `a` and `b`: the spatial distance between `p` and the position a
+/// uniformly moving object (from `a` to `b`) would have at `p.t`.
+///
+/// Unlike the perpendicular distance of classic Douglas-Peucker this respects
+/// the temporal dimension, so a stop (many samples at the same place over a
+/// long time) is *not* simplified away.
+pub fn time_ratio_deviation(a: &Point, b: &Point, p: &Point) -> f64 {
+    let span = (b.t - a.t).millis();
+    if span <= 0 {
+        return p.spatial_distance(a);
+    }
+    let f = (p.t - a.t).millis() as f64 / span as f64;
+    let expected = a.lerp(b, f);
+    p.spatial_distance(&expected)
+}
+
+/// Douglas-Peucker simplification with the time-ratio deviation measure.
+/// Returns the indices of the retained points (always including the first and
+/// last). `epsilon` is the maximum tolerated deviation in spatial units.
+pub fn douglas_peucker_indices(points: &[Point], epsilon: f64) -> Vec<usize> {
+    let n = points.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+    // Explicit stack instead of recursion: trajectories can be long.
+    let mut stack = vec![(0usize, n - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst_idx, mut worst_dev) = (lo, 0.0f64);
+        for i in (lo + 1)..hi {
+            let dev = time_ratio_deviation(&points[lo], &points[hi], &points[i]);
+            if dev > worst_dev {
+                worst_dev = dev;
+                worst_idx = i;
+            }
+        }
+        if worst_dev > epsilon {
+            keep[worst_idx] = true;
+            stack.push((lo, worst_idx));
+            stack.push((worst_idx, hi));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| if k { Some(i) } else { None })
+        .collect()
+}
+
+/// Douglas-Peucker simplification returning the retained points themselves.
+pub fn douglas_peucker(points: &[Point], epsilon: f64) -> Vec<Point> {
+    douglas_peucker_indices(points, epsilon)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+/// Uniformly thins a point sequence down to at most `max_points` samples,
+/// always keeping the first and last. Used by the VA exports when an exact
+/// error bound is not needed.
+pub fn thin_to(points: &[Point], max_points: usize) -> Vec<Point> {
+    let n = points.len();
+    if max_points < 2 || n <= max_points {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    for i in 0..max_points {
+        let idx = i * (n - 1) / (max_points - 1);
+        out.push(points[idx]);
+    }
+    out.dedup_by(|a, b| a.t == b.t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn pts(v: &[(f64, f64, i64)]) -> Vec<Point> {
+        v.iter()
+            .map(|&(x, y, t)| Point::new(x, y, Timestamp(t)))
+            .collect()
+    }
+
+    #[test]
+    fn collinear_uniform_movement_collapses_to_endpoints() {
+        let p = pts(&[
+            (0.0, 0.0, 0),
+            (1.0, 0.0, 1_000),
+            (2.0, 0.0, 2_000),
+            (3.0, 0.0, 3_000),
+        ]);
+        assert_eq!(douglas_peucker_indices(&p, 0.01), vec![0, 3]);
+    }
+
+    #[test]
+    fn detour_above_epsilon_is_kept() {
+        let p = pts(&[
+            (0.0, 0.0, 0),
+            (5.0, 4.0, 5_000),
+            (10.0, 0.0, 10_000),
+        ]);
+        assert_eq!(douglas_peucker_indices(&p, 1.0), vec![0, 1, 2]);
+        assert_eq!(douglas_peucker_indices(&p, 10.0), vec![0, 2]);
+    }
+
+    #[test]
+    fn stops_are_preserved_by_time_ratio_measure() {
+        // Object moves, stops for a long time, then moves on. Geometrically the
+        // stop samples lie on the straight line, but a uniformly moving object
+        // would be elsewhere at those times, so the deviation is large.
+        let p = pts(&[
+            (0.0, 0.0, 0),
+            (10.0, 0.0, 10_000),
+            (10.0, 0.0, 110_000), // 100 s stop
+            (20.0, 0.0, 120_000),
+        ]);
+        let idx = douglas_peucker_indices(&p, 2.0);
+        assert!(idx.len() > 2, "stop must survive simplification: {idx:?}");
+    }
+
+    #[test]
+    fn deviation_for_degenerate_span_falls_back_to_distance() {
+        let a = Point::new(0.0, 0.0, Timestamp(0));
+        let b = Point::new(10.0, 0.0, Timestamp(0));
+        let p = Point::new(3.0, 4.0, Timestamp(0));
+        assert_eq!(time_ratio_deviation(&a, &b, &p), 5.0);
+    }
+
+    #[test]
+    fn thin_to_keeps_endpoints_and_bounds_size() {
+        let p = pts(&(0..100).map(|i| (i as f64, 0.0, i as i64 * 1000)).collect::<Vec<_>>());
+        let t = thin_to(&p, 10);
+        assert!(t.len() <= 10);
+        assert_eq!(t.first(), p.first());
+        assert_eq!(t.last(), p.last());
+        // No-op when already small enough.
+        assert_eq!(thin_to(&p, 1000).len(), 100);
+    }
+}

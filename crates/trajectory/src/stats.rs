@@ -1,0 +1,142 @@
+//! Per-trajectory descriptive statistics.
+//!
+//! Used by the VA exports (speed/heading summaries shown alongside the map
+//! view) and by the synthetic data generators' self-checks.
+
+use crate::trajectory::Trajectory;
+
+/// Summary statistics of one trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStats {
+    /// Number of samples.
+    pub num_points: usize,
+    /// Number of segments.
+    pub num_segments: usize,
+    /// Total travelled length (spatial units).
+    pub total_length: f64,
+    /// Lifespan in seconds.
+    pub duration_secs: f64,
+    /// Mean speed over all segments (length-weighted).
+    pub mean_speed: f64,
+    /// Maximum instantaneous (per-segment) speed.
+    pub max_speed: f64,
+    /// Mean sampling period in seconds.
+    pub mean_sampling_period_secs: f64,
+    /// Straight-line distance between the first and last sample.
+    pub displacement: f64,
+    /// `total_length / displacement` (1.0 for a straight path, large for
+    /// loops such as aircraft holding patterns). Infinite when the start and
+    /// end coincide but the path has positive length.
+    pub sinuosity: f64,
+}
+
+impl TrajectoryStats {
+    /// Computes the statistics of a trajectory.
+    pub fn compute(traj: &Trajectory) -> Self {
+        let num_points = traj.len();
+        let num_segments = traj.num_segments();
+        let total_length = traj.length();
+        let duration_secs = traj.duration().as_secs_f64();
+        let mut max_speed = 0.0f64;
+        for s in traj.segments() {
+            max_speed = max_speed.max(s.speed());
+        }
+        let mean_speed = if duration_secs > 0.0 {
+            total_length / duration_secs
+        } else {
+            0.0
+        };
+        let mean_sampling_period_secs = if num_segments > 0 {
+            duration_secs / num_segments as f64
+        } else {
+            0.0
+        };
+        let displacement = traj.points()[0].spatial_distance(&traj.points()[num_points - 1]);
+        let sinuosity = if displacement > 0.0 {
+            total_length / displacement
+        } else if total_length > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        TrajectoryStats {
+            num_points,
+            num_segments,
+            total_length,
+            duration_secs,
+            mean_speed,
+            max_speed,
+            mean_sampling_period_secs,
+            displacement,
+            sinuosity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use crate::time::Timestamp;
+
+    fn traj(pts: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::new(
+            1,
+            1,
+            pts.iter()
+                .map(|&(x, y, t)| Point::new(x, y, Timestamp(t)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_constant_speed_path() {
+        let s = TrajectoryStats::compute(&traj(&[
+            (0.0, 0.0, 0),
+            (10.0, 0.0, 10_000),
+            (20.0, 0.0, 20_000),
+        ]));
+        assert_eq!(s.num_points, 3);
+        assert_eq!(s.num_segments, 2);
+        assert_eq!(s.total_length, 20.0);
+        assert_eq!(s.duration_secs, 20.0);
+        assert!((s.mean_speed - 1.0).abs() < 1e-12);
+        assert!((s.max_speed - 1.0).abs() < 1e-12);
+        assert!((s.mean_sampling_period_secs - 10.0).abs() < 1e-12);
+        assert!((s.sinuosity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_has_high_sinuosity() {
+        // Square loop returning near the start.
+        let s = TrajectoryStats::compute(&traj(&[
+            (0.0, 0.0, 0),
+            (10.0, 0.0, 10_000),
+            (10.0, 10.0, 20_000),
+            (0.0, 10.0, 30_000),
+            (0.0, 0.5, 40_000),
+        ]));
+        assert!(s.sinuosity > 10.0, "loops must show high sinuosity: {}", s.sinuosity);
+    }
+
+    #[test]
+    fn closed_loop_has_infinite_sinuosity() {
+        let s = TrajectoryStats::compute(&traj(&[
+            (0.0, 0.0, 0),
+            (10.0, 0.0, 10_000),
+            (0.0, 0.0, 20_000),
+        ]));
+        assert!(s.sinuosity.is_infinite());
+    }
+
+    #[test]
+    fn max_speed_captures_fastest_segment() {
+        let s = TrajectoryStats::compute(&traj(&[
+            (0.0, 0.0, 0),
+            (1.0, 0.0, 10_000),  // 0.1 u/s
+            (21.0, 0.0, 20_000), // 2.0 u/s
+        ]));
+        assert!((s.max_speed - 2.0).abs() < 1e-12);
+    }
+}

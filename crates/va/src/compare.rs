@@ -1,0 +1,156 @@
+//! Comparison of two clustering runs (Fig. 3): "cluster representatives from
+//! two different runs of S2T-Clustering are visually compared by means of a
+//! 3D display". The data-side equivalent pairs up representatives of the two
+//! runs by synchronized distance and reports which clusters are common and
+//! which are unique to one run.
+
+use hermes_s2t::ClusteringResult;
+use hermes_trajectory::{hausdorff_distance, sub_trajectory_distance};
+
+/// Outcome of comparing two clustering runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunComparison {
+    /// Pairs `(cluster id in A, cluster id in B, distance)` of representatives
+    /// matched within the tolerance.
+    pub matched: Vec<(usize, usize, f64)>,
+    /// Cluster ids present only in run A.
+    pub only_in_a: Vec<usize>,
+    /// Cluster ids present only in run B.
+    pub only_in_b: Vec<usize>,
+}
+
+impl RunComparison {
+    /// Jaccard-style agreement between the two runs: matched clusters over
+    /// all distinct clusters.
+    pub fn agreement(&self) -> f64 {
+        let total = self.matched.len() + self.only_in_a.len() + self.only_in_b.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.matched.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Greedily matches representatives of two runs: each cluster of `a` is
+/// paired with the closest unmatched cluster of `b` whose representative
+/// distance is at most `tolerance`.
+pub fn compare_runs(a: &ClusteringResult, b: &ClusteringResult, tolerance: f64) -> RunComparison {
+    let dist = |i: usize, j: usize| -> f64 {
+        let ra = &a.clusters[i].representative;
+        let rb = &b.clusters[j].representative;
+        match sub_trajectory_distance(ra, rb) {
+            Some(d) => d,
+            None => hausdorff_distance(ra.points(), rb.points()),
+        }
+    };
+
+    let mut matched = Vec::new();
+    let mut used_b = vec![false; b.clusters.len()];
+    for i in 0..a.clusters.len() {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..b.clusters.len() {
+            if used_b[j] {
+                continue;
+            }
+            let d = dist(i, j);
+            if d <= tolerance && best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((j, d));
+            }
+        }
+        if let Some((j, d)) = best {
+            used_b[j] = true;
+            matched.push((i, j, d));
+        }
+    }
+    let matched_a: Vec<usize> = matched.iter().map(|m| m.0).collect();
+    let only_in_a = (0..a.clusters.len()).filter(|i| !matched_a.contains(i)).collect();
+    let only_in_b = (0..b.clusters.len()).filter(|j| !used_b[*j]).collect();
+    RunComparison {
+        matched,
+        only_in_a,
+        only_in_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_s2t::Cluster;
+    use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
+
+    fn sub(id: u64, y: f64) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..10)
+                .map(|i| Point::new(i as f64 * 100.0, y, Timestamp(i as i64 * 60_000)))
+                .collect(),
+        )
+    }
+
+    fn run(ys: &[f64]) -> ClusteringResult {
+        ClusteringResult {
+            clusters: ys
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| Cluster {
+                    id: i,
+                    representative: sub(i as u64, y),
+                    representative_vote: 1.0,
+                    members: vec![],
+                    member_distances: vec![],
+                })
+                .collect(),
+            outliers: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_runs_fully_agree() {
+        let a = run(&[0.0, 1_000.0]);
+        let cmp = compare_runs(&a, &a, 50.0);
+        assert_eq!(cmp.matched.len(), 2);
+        assert!(cmp.only_in_a.is_empty() && cmp.only_in_b.is_empty());
+        assert_eq!(cmp.agreement(), 1.0);
+    }
+
+    #[test]
+    fn extra_cluster_in_one_run_is_reported() {
+        let a = run(&[0.0, 1_000.0]);
+        let b = run(&[10.0, 1_010.0, 50_000.0]);
+        let cmp = compare_runs(&a, &b, 50.0);
+        assert_eq!(cmp.matched.len(), 2);
+        assert!(cmp.only_in_a.is_empty());
+        assert_eq!(cmp.only_in_b, vec![2]);
+        assert!((cmp.agreement() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_bounds_matching() {
+        let a = run(&[0.0]);
+        let b = run(&[200.0]);
+        let strict = compare_runs(&a, &b, 50.0);
+        assert!(strict.matched.is_empty());
+        assert_eq!(strict.agreement(), 0.0);
+        let loose = compare_runs(&a, &b, 500.0);
+        assert_eq!(loose.matched.len(), 1);
+    }
+
+    #[test]
+    fn each_cluster_matches_at_most_once() {
+        let a = run(&[0.0, 5.0]);
+        let b = run(&[2.0]);
+        let cmp = compare_runs(&a, &b, 100.0);
+        assert_eq!(cmp.matched.len(), 1);
+        assert_eq!(cmp.only_in_a.len(), 1);
+        assert!(cmp.only_in_b.is_empty());
+    }
+
+    #[test]
+    fn empty_runs_agree_trivially() {
+        let cmp = compare_runs(&ClusteringResult::default(), &ClusteringResult::default(), 10.0);
+        assert_eq!(cmp.agreement(), 1.0);
+    }
+}

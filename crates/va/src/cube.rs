@@ -1,0 +1,90 @@
+//! Space–time cube export (Fig. 1 bottom, Fig. 3): 3D polylines — x, y and
+//! time as the vertical axis — for each cluster member, as CSV consumable by
+//! external 3D viewers.
+
+use hermes_s2t::ClusteringResult;
+use std::fmt::Write as _;
+
+/// Exports every sub-trajectory of the result as space–time cube rows:
+/// `run,kind,cluster_id,trajectory_id,x,y,t_ms`. The `run` label lets two
+/// results (e.g. the two S2T runs of Fig. 3) share one file.
+pub fn space_time_cube_csv(run: &str, result: &ClusteringResult) -> String {
+    let mut out = String::from("run,kind,cluster_id,trajectory_id,x,y,t_ms\n");
+    append_space_time_cube(&mut out, run, result);
+    out
+}
+
+/// Appends the rows of `result` to an existing export (no header).
+pub fn append_space_time_cube(out: &mut String, run: &str, result: &ClusteringResult) {
+    let mut rows = |kind: &str, cluster: Option<usize>, s: &hermes_trajectory::SubTrajectory| {
+        let cid = cluster.map(|c| c.to_string()).unwrap_or_default();
+        for p in s.points() {
+            let _ = writeln!(
+                out,
+                "{run},{kind},{cid},{},{:.3},{:.3},{}",
+                s.trajectory_id,
+                p.x,
+                p.y,
+                p.t.millis()
+            );
+        }
+    };
+    for c in &result.clusters {
+        rows("representative", Some(c.id), &c.representative);
+        for m in &c.members {
+            rows("member", Some(c.id), m);
+        }
+    }
+    for o in &result.outliers {
+        rows("outlier", None, o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_s2t::Cluster;
+    use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
+
+    fn sub(id: u64) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..3)
+                .map(|i| Point::new(i as f64, id as f64, Timestamp(i as i64 * 1_000)))
+                .collect(),
+        )
+    }
+
+    fn result() -> ClusteringResult {
+        ClusteringResult {
+            clusters: vec![Cluster {
+                id: 0,
+                representative: sub(1),
+                representative_vote: 1.0,
+                members: vec![sub(2)],
+                member_distances: vec![1.0],
+            }],
+            outliers: vec![sub(7)],
+        }
+    }
+
+    #[test]
+    fn one_row_per_point_with_run_label() {
+        let csv = space_time_cube_csv("run-A", &result());
+        assert_eq!(csv.lines().count(), 1 + 3 * 3);
+        assert!(csv.lines().skip(1).all(|l| l.starts_with("run-A,")));
+        assert!(csv.contains("run-A,outlier,,7,"));
+    }
+
+    #[test]
+    fn two_runs_can_share_a_file() {
+        let mut csv = space_time_cube_csv("run-A", &result());
+        append_space_time_cube(&mut csv, "run-B", &result());
+        let a = csv.lines().filter(|l| l.starts_with("run-A,")).count();
+        let b = csv.lines().filter(|l| l.starts_with("run-B,")).count();
+        assert_eq!(a, b);
+        assert_eq!(csv.lines().count(), 1 + a + b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Holding-pattern discovery (Fig. 4): "the user experiences in discovering
+//! and visualizing other interesting patterns, such as the holding patterns
+//! typically performed by aircrafts as they approach to their destination".
+//!
+//! A holding pattern shows up as a sub-trajectory whose path keeps turning
+//! back on itself: long travelled length over a short displacement (high
+//! sinuosity) combined with sustained heading change. The detector flags
+//! cluster representatives and outliers that look like racetrack loops.
+
+use hermes_s2t::ClusteringResult;
+use hermes_trajectory::{SubTrajectory, TrajectoryId};
+use std::f64::consts::PI;
+
+/// A detected holding pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoldingPattern {
+    /// Trajectory exhibiting the pattern.
+    pub trajectory_id: TrajectoryId,
+    /// Cluster the sub-trajectory belongs to (None for outliers).
+    pub cluster_id: Option<usize>,
+    /// Ratio of travelled length to displacement.
+    pub sinuosity: f64,
+    /// Total absolute heading change in full turns (2π rad = 1 turn).
+    pub total_turns: f64,
+}
+
+fn sinuosity(sub: &SubTrajectory) -> f64 {
+    let length: f64 = sub.segments().map(|s| s.length()).sum();
+    let pts = sub.points();
+    let displacement = pts[0].spatial_distance(&pts[pts.len() - 1]);
+    if displacement <= f64::EPSILON {
+        if length > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    } else {
+        length / displacement
+    }
+}
+
+fn total_turns(sub: &SubTrajectory) -> f64 {
+    let headings: Vec<f64> = sub.segments().map(|s| s.heading()).collect();
+    let mut total = 0.0;
+    for w in headings.windows(2) {
+        let mut d = w[1] - w[0];
+        while d > PI {
+            d -= 2.0 * PI;
+        }
+        while d < -PI {
+            d += 2.0 * PI;
+        }
+        total += d.abs();
+    }
+    total / (2.0 * PI)
+}
+
+/// Scans a sub-trajectory for holding behaviour.
+fn check(sub: &SubTrajectory, cluster_id: Option<usize>, min_sinuosity: f64, min_turns: f64) -> Option<HoldingPattern> {
+    let s = sinuosity(sub);
+    let t = total_turns(sub);
+    if s >= min_sinuosity && t >= min_turns {
+        Some(HoldingPattern {
+            trajectory_id: sub.trajectory_id,
+            cluster_id,
+            sinuosity: s,
+            total_turns: t,
+        })
+    } else {
+        None
+    }
+}
+
+/// Detects holding patterns among the representatives, members and outliers
+/// of a clustering result.
+///
+/// `min_sinuosity` is the minimum length/displacement ratio (a straight
+/// approach is ≈1, one racetrack loop pushes it well above 2) and
+/// `min_turns` the minimum number of full turns flown.
+pub fn detect_holding_patterns(
+    result: &ClusteringResult,
+    min_sinuosity: f64,
+    min_turns: f64,
+) -> Vec<HoldingPattern> {
+    let mut out = Vec::new();
+    for c in &result.clusters {
+        for s in std::iter::once(&c.representative).chain(c.members.iter()) {
+            if let Some(h) = check(s, Some(c.id), min_sinuosity, min_turns) {
+                out.push(h);
+            }
+        }
+    }
+    for o in &result.outliers {
+        if let Some(h) = check(o, None, min_sinuosity, min_turns) {
+            out.push(h);
+        }
+    }
+    // De-duplicate per trajectory, keeping the strongest evidence.
+    out.sort_by(|a, b| {
+        a.trajectory_id
+            .cmp(&b.trajectory_id)
+            .then(b.total_turns.partial_cmp(&a.total_turns).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    out.dedup_by_key(|h| h.trajectory_id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_s2t::Cluster;
+    use hermes_trajectory::{Point, SubTrajectoryId, Timestamp};
+
+    fn straight(id: u64) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..20)
+                .map(|i| Point::new(i as f64 * 1_000.0, 0.0, Timestamp(i as i64 * 60_000)))
+                .collect(),
+        )
+    }
+
+    /// A racetrack: approach, two full loops, then continue.
+    fn holding(id: u64) -> SubTrajectory {
+        let mut pts = Vec::new();
+        let mut t = 0i64;
+        for i in 0..5 {
+            pts.push(Point::new(i as f64 * 1_000.0, 0.0, Timestamp(t)));
+            t += 60_000;
+        }
+        let (cx, cy, r) = (5_000.0, 0.0, 1_500.0);
+        for loopn in 0..2 {
+            for s in 0..12 {
+                let a = 2.0 * PI * (loopn * 12 + s) as f64 / 12.0;
+                pts.push(Point::new(cx + r * a.cos(), cy + r * a.sin(), Timestamp(t)));
+                t += 30_000;
+            }
+        }
+        for i in 0..5 {
+            pts.push(Point::new(6_500.0 + i as f64 * 1_000.0, 0.0, Timestamp(t)));
+            t += 60_000;
+        }
+        SubTrajectory::from_points(SubTrajectoryId::new(id, 0), id, id, pts)
+    }
+
+    fn result() -> ClusteringResult {
+        ClusteringResult {
+            clusters: vec![Cluster {
+                id: 0,
+                representative: straight(1),
+                representative_vote: 1.0,
+                members: vec![holding(2), straight(3)],
+                member_distances: vec![1.0, 1.0],
+            }],
+            outliers: vec![holding(9)],
+        }
+    }
+
+    #[test]
+    fn detects_loops_and_ignores_straight_approaches() {
+        let found = detect_holding_patterns(&result(), 1.5, 1.0);
+        let ids: Vec<u64> = found.iter().map(|h| h.trajectory_id).collect();
+        assert_eq!(ids, vec![2, 9]);
+        assert_eq!(found[0].cluster_id, Some(0));
+        assert_eq!(found[1].cluster_id, None);
+        assert!(found[0].total_turns >= 1.5, "two loops ≈ 2 turns, got {}", found[0].total_turns);
+        assert!(found[0].sinuosity > 1.5);
+    }
+
+    #[test]
+    fn thresholds_filter_out_weak_evidence() {
+        let found = detect_holding_patterns(&result(), 10.0, 10.0);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn empty_result_finds_nothing() {
+        assert!(detect_holding_patterns(&ClusteringResult::default(), 1.5, 1.0).is_empty());
+    }
+}

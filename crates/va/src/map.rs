@@ -1,0 +1,174 @@
+//! Map display export: cluster members on the x/y plane, colour-coded by
+//! cluster (Fig. 1, top).
+
+use hermes_s2t::ClusteringResult;
+use hermes_trajectory::SubTrajectory;
+use std::fmt::Write as _;
+
+/// A fixed, colour-blind-friendly palette; clusters cycle through it.
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+fn bounds(result: &ClusteringResult) -> (f64, f64, f64, f64) {
+    let (mut min_x, mut max_x, mut min_y, mut max_y) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let mut update = |s: &SubTrajectory| {
+        for p in s.points() {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+    };
+    for c in &result.clusters {
+        update(&c.representative);
+        for m in &c.members {
+            update(m);
+        }
+    }
+    for o in &result.outliers {
+        update(o);
+    }
+    if !min_x.is_finite() {
+        (0.0, 1.0, 0.0, 1.0)
+    } else {
+        (min_x, max_x.max(min_x + 1.0), min_y, max_y.max(min_y + 1.0))
+    }
+}
+
+/// Renders the clustering result as an SVG map: one polyline per
+/// sub-trajectory, cluster members coloured by cluster, outliers in grey,
+/// representatives drawn thicker.
+pub fn cluster_map_svg(result: &ClusteringResult, width: u32, height: u32) -> String {
+    let (min_x, max_x, min_y, max_y) = bounds(result);
+    let sx = width as f64 / (max_x - min_x);
+    let sy = height as f64 / (max_y - min_y);
+    let project = |x: f64, y: f64| -> (f64, f64) {
+        ((x - min_x) * sx, height as f64 - (y - min_y) * sy)
+    };
+    let polyline = |s: &SubTrajectory, colour: &str, stroke: f64| -> String {
+        let pts: Vec<String> = s
+            .points()
+            .iter()
+            .map(|p| {
+                let (x, y) = project(p.x, p.y);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        format!(
+            "  <polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{:.1}\" />\n",
+            pts.join(" "),
+            colour,
+            stroke
+        )
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">\n"
+    );
+    for o in &result.outliers {
+        svg.push_str(&polyline(o, "#cccccc", 1.0));
+    }
+    for c in &result.clusters {
+        let colour = PALETTE[c.id % PALETTE.len()];
+        for m in &c.members {
+            svg.push_str(&polyline(m, colour, 1.2));
+        }
+        svg.push_str(&polyline(&c.representative, colour, 3.0));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Exports the map as CSV rows:
+/// `kind,cluster_id,trajectory_id,point_index,x,y,t_ms` where `kind` is
+/// `representative`, `member` or `outlier`.
+pub fn cluster_map_csv(result: &ClusteringResult) -> String {
+    let mut out = String::from("kind,cluster_id,trajectory_id,point_index,x,y,t_ms\n");
+    let mut rows = |kind: &str, cluster: Option<usize>, s: &SubTrajectory| {
+        for (i, p) in s.points().iter().enumerate() {
+            let cid = cluster.map(|c| c.to_string()).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{kind},{cid},{},{i},{:.3},{:.3},{}",
+                s.trajectory_id,
+                p.x,
+                p.y,
+                p.t.millis()
+            );
+        }
+    };
+    for c in &result.clusters {
+        rows("representative", Some(c.id), &c.representative);
+        for m in &c.members {
+            rows("member", Some(c.id), m);
+        }
+    }
+    for o in &result.outliers {
+        rows("outlier", None, o);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_s2t::Cluster;
+    use hermes_trajectory::{Point, SubTrajectoryId, Timestamp};
+
+    fn sub(id: u64, y: f64) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, 0),
+            id,
+            id,
+            (0..5)
+                .map(|i| Point::new(i as f64 * 10.0, y, Timestamp(i as i64 * 1_000)))
+                .collect(),
+        )
+    }
+
+    fn result() -> ClusteringResult {
+        ClusteringResult {
+            clusters: vec![Cluster {
+                id: 0,
+                representative: sub(1, 0.0),
+                representative_vote: 2.0,
+                members: vec![sub(2, 5.0), sub(3, 10.0)],
+                member_distances: vec![5.0, 10.0],
+            }],
+            outliers: vec![sub(9, 500.0)],
+        }
+    }
+
+    #[test]
+    fn svg_contains_one_polyline_per_sub_trajectory() {
+        let svg = cluster_map_svg(&result(), 800, 600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 4);
+        assert!(svg.contains("#cccccc"), "outliers are grey");
+        assert!(svg.contains(PALETTE[0]), "cluster 0 uses the first palette colour");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_point_plus_header() {
+        let csv = cluster_map_csv(&result());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4 * 5);
+        assert!(lines[0].starts_with("kind,"));
+        assert!(lines.iter().any(|l| l.starts_with("representative,0,1,")));
+        assert!(lines.iter().any(|l| l.starts_with("outlier,,9,")));
+    }
+
+    #[test]
+    fn empty_result_renders_valid_svg() {
+        let svg = cluster_map_svg(&ClusteringResult::default(), 100, 100);
+        assert!(svg.contains("<svg"));
+        let csv = cluster_map_csv(&ClusteringResult::default());
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Scenario 1 of the demonstration: S2T-Clustering on terminal-area flights,
+//! comparison of two parameterisations (Fig. 3), comparison against the
+//! TRACLUS / T-OPTICS / Convoys baselines, holding-pattern discovery
+//! (Fig. 4), and the VA exports (map SVG, time histogram, space–time cube).
+//!
+//! Run with `cargo run --release --example flight_analysis`.
+//! Output files are written to `target/va-exports/`.
+
+use hermes::baselines::{discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams};
+use hermes::prelude::*;
+use hermes::va::{cluster_map_csv, space_time_cube_csv};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let scenario = AircraftScenarioBuilder {
+        seed: 7,
+        num_streams: 4,
+        waves_per_stream: 2,
+        flights_per_wave: 6,
+        num_stragglers: 4,
+        holding_probability: 0.3,
+        ..AircraftScenarioBuilder::default()
+    }
+    .build();
+    println!(
+        "dataset: {} flights, {} known holding patterns, {} stragglers",
+        scenario.len(),
+        scenario.holding_flight_ids.len(),
+        scenario.straggler_ids.len()
+    );
+
+    // --- Two S2T runs with different parameters (Fig. 3) -------------------
+    let tight = S2TParams {
+        sigma: 1_500.0,
+        epsilon: 4_000.0,
+        min_duration_ms: 5 * 60_000,
+        ..S2TParams::default()
+    };
+    let loose = S2TParams {
+        sigma: 3_000.0,
+        epsilon: 9_000.0,
+        min_duration_ms: 5 * 60_000,
+        ..S2TParams::default()
+    };
+    let run_a = run_s2t(&scenario.trajectories, &tight);
+    let run_b = run_s2t(&scenario.trajectories, &loose);
+    let qa = ClusteringQuality::compute(&run_a.result);
+    let qb = ClusteringQuality::compute(&run_b.result);
+    println!("\n-- two S2T runs (Fig. 3) --");
+    println!(
+        "run A (σ={:.0}, ε={:.0}): {} clusters, {} outliers, coverage {:.0}%",
+        tight.sigma, tight.epsilon, qa.num_clusters, qa.num_outliers, qa.coverage * 100.0
+    );
+    println!(
+        "run B (σ={:.0}, ε={:.0}): {} clusters, {} outliers, coverage {:.0}%",
+        loose.sigma, loose.epsilon, qb.num_clusters, qb.num_outliers, qb.coverage * 100.0
+    );
+    let cmp = compare_runs(&run_a.result, &run_b.result, 5_000.0);
+    println!(
+        "matched representatives: {} | only in A: {} | only in B: {} | agreement {:.0}%",
+        cmp.matched.len(),
+        cmp.only_in_a.len(),
+        cmp.only_in_b.len(),
+        cmp.agreement() * 100.0
+    );
+
+    // --- Baselines (scenario 1 comparison) ----------------------------------
+    println!("\n-- baselines --");
+    let tr = traclus(
+        &scenario.trajectories,
+        &TraclusParams {
+            eps: 3_000.0,
+            min_lns: 4,
+            ..TraclusParams::default()
+        },
+    );
+    println!(
+        "TRACLUS:  {} segment clusters, {} noise segments (time-agnostic)",
+        tr.num_clusters,
+        tr.num_noise_segments()
+    );
+    let to = t_optics(
+        &scenario.trajectories,
+        &TOpticsParams {
+            eps: 20_000.0,
+            min_pts: 3,
+            reachability_threshold: 9_000.0,
+        },
+    );
+    println!(
+        "T-OPTICS: {} whole-trajectory clusters, {} noise trajectories",
+        to.num_clusters,
+        to.num_noise()
+    );
+    let convoys = discover_convoys(
+        &scenario.trajectories,
+        &ConvoyParams {
+            eps: 4_000.0,
+            min_objects: 3,
+            min_snapshots: 3,
+            snapshot_period: Duration::from_mins(2),
+        },
+    );
+    println!("Convoys:  {} convoys discovered", convoys.len());
+
+    // --- Holding patterns (Fig. 4) ------------------------------------------
+    let holdings = detect_holding_patterns(&run_b.result, 1.4, 1.0);
+    let detected: Vec<u64> = holdings.iter().map(|h| h.trajectory_id).collect();
+    let hits = scenario
+        .holding_flight_ids
+        .iter()
+        .filter(|id| detected.contains(id))
+        .count();
+    println!("\n-- holding patterns (Fig. 4) --");
+    println!(
+        "detected {} candidates; {}/{} known holding flights recovered",
+        holdings.len(),
+        hits,
+        scenario.holding_flight_ids.len()
+    );
+
+    // --- VA exports (Fig. 1) -------------------------------------------------
+    let out_dir = Path::new("target/va-exports");
+    fs::create_dir_all(out_dir).expect("create export directory");
+    fs::write(out_dir.join("cluster_map.svg"), cluster_map_svg(&run_b.result, 1200, 900)).unwrap();
+    fs::write(out_dir.join("cluster_map.csv"), cluster_map_csv(&run_b.result)).unwrap();
+    let hist = time_histogram(&run_b.result, Duration::from_mins(15));
+    fs::write(out_dir.join("time_histogram.csv"), hist.to_csv()).unwrap();
+    let mut cube = space_time_cube_csv("run-A", &run_a.result);
+    hermes::va::cube::append_space_time_cube(&mut cube, "run-B", &run_b.result);
+    fs::write(out_dir.join("space_time_cube.csv"), cube).unwrap();
+    println!("\nVA exports written to {}", out_dir.display());
+    if let Some((peak_start, peak)) = hist.peak_bucket() {
+        println!(
+            "peak traffic bucket starts at t={} ms with {} active sub-trajectories",
+            peak_start.millis(),
+            peak
+        );
+    }
+}

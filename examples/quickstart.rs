@@ -1,0 +1,106 @@
+//! Quickstart: generate a synthetic terminal-area dataset, cluster it with
+//! S2T-Clustering, build a ReTraTree and ask a couple of QuT questions —
+//! first through the Rust API, then through the SQL interface.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hermes::prelude::*;
+use hermes::retratree::QutParams;
+use hermes::sql;
+
+fn main() {
+    // 1. Synthesize a small aircraft MOD (the paper demonstrates on flights
+    //    approaching the London airports; we generate an equivalent).
+    let scenario = AircraftScenarioBuilder {
+        seed: 42,
+        num_streams: 3,
+        waves_per_stream: 2,
+        flights_per_wave: 5,
+        num_stragglers: 3,
+        ..AircraftScenarioBuilder::default()
+    }
+    .build();
+    println!(
+        "generated {} flights ({} stragglers, {} with holding patterns)",
+        scenario.len(),
+        scenario.straggler_ids.len(),
+        scenario.holding_flight_ids.len()
+    );
+
+    // 2. Whole-dataset S2T-Clustering through the library API.
+    let params = S2TParams {
+        sigma: 2_000.0,
+        epsilon: 6_000.0,
+        min_duration_ms: 5 * 60_000,
+        ..S2TParams::default()
+    };
+    let outcome = run_s2t(&scenario.trajectories, &params);
+    println!(
+        "S2T: {} clusters, {} outliers (voting {:.0} ms, clustering {:.0} ms)",
+        outcome.result.num_clusters(),
+        outcome.result.num_outliers(),
+        outcome.timings.voting_ms,
+        outcome.timings.clustering_ms
+    );
+    let quality = ClusteringQuality::compute(&outcome.result);
+    println!(
+        "     coverage {:.0}%, mean cluster size {:.1}",
+        quality.coverage * 100.0,
+        quality.mean_cluster_size
+    );
+
+    // 3. The same engine through SQL, plus a time-aware QuT query.
+    let mut engine = HermesEngine::new();
+    engine.create_dataset("flights").unwrap();
+    engine
+        .load_trajectories("flights", scenario.trajectories.clone())
+        .unwrap();
+    engine
+        .build_index(
+            "flights",
+            ReTraTreeParams {
+                chunk_duration: Duration::from_hours(2),
+                s2t: params.clone(),
+                ..ReTraTreeParams::default()
+            },
+        )
+        .unwrap();
+
+    for stmt in [
+        "SELECT INFO(flights);",
+        "SELECT RANGE(flights, 0, 3600000);",
+        "SELECT QUT(flights, 0, 5400000, 0.35, 0.05, 300000, 6000, 1800000);",
+    ] {
+        println!("\nhermes=# {stmt}");
+        match sql::execute(&mut engine, stmt) {
+            Ok(table) => print!("{table}"),
+            Err(e) => println!("ERROR: {e}"),
+        }
+    }
+
+    // 4. Progressive analysis: widen the window and watch the clusters grow
+    //    without re-processing the archived periods (the QuT selling point).
+    let qut = QutParams {
+        s2t: params,
+        merge_distance: 6_000.0,
+        merge_gap: Duration::from_mins(30),
+    };
+    let full_span = engine.tree("flights").unwrap().lifespan().unwrap();
+    for fraction in [0.25, 0.5, 1.0] {
+        let w = TimeInterval::new(
+            full_span.start,
+            full_span.start
+                + Duration::from_millis((full_span.length().millis() as f64 * fraction) as i64),
+        );
+        let (result, stats) = engine.run_qut("flights", &w, &qut).unwrap();
+        println!(
+            "QuT over {:>3.0}% of the timeline: {} clusters, {} outliers, reused {} sub-chunks, re-clustered {} ({:.1} ms)",
+            fraction * 100.0,
+            result.num_clusters(),
+            result.num_outliers(),
+            stats.reused_subchunks,
+            stats.reclustered_subchunks,
+            stats.elapsed_ms
+        );
+    }
+}

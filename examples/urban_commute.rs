@@ -1,0 +1,109 @@
+//! Urban-traffic example: sub-trajectory clustering of commuter vehicles on a
+//! city grid, plus the incremental-maintenance path of the architecture
+//! (Fig. 2) — new vehicles streaming into an already-indexed dataset.
+//!
+//! Run with `cargo run --release --example urban_commute`.
+
+use hermes::prelude::*;
+use hermes::retratree::QutParams;
+
+fn main() {
+    let scenario = UrbanScenarioBuilder {
+        seed: 2024,
+        grid_size: 12,
+        num_corridors: 4,
+        vehicles_per_corridor: 8,
+        num_random_vehicles: 10,
+        ..UrbanScenarioBuilder::default()
+    }
+    .build();
+    println!(
+        "dataset: {} vehicles on a {}x{} grid ({} corridor commuters, {} random)",
+        scenario.trajectories.len(),
+        12,
+        12,
+        scenario.corridor_of.len(),
+        scenario.random_ids.len()
+    );
+
+    let s2t = S2TParams {
+        sigma: 60.0,
+        epsilon: 250.0,
+        min_duration_ms: 3 * 60_000,
+        ..S2TParams::default()
+    };
+
+    // Split the data: the first 80% is loaded up front, the rest streams in.
+    let split = scenario.trajectories.len() * 4 / 5;
+    let (initial, streaming) = scenario.trajectories.split_at(split);
+
+    let mut engine = HermesEngine::new();
+    engine.create_dataset("commute").unwrap();
+    engine.load_trajectories("commute", initial.to_vec()).unwrap();
+    engine
+        .build_index(
+            "commute",
+            ReTraTreeParams {
+                chunk_duration: Duration::from_hours(1),
+                subchunks_per_chunk: 4,
+                reorg_page_threshold: 2,
+                s2t: s2t.clone(),
+                ..ReTraTreeParams::default()
+            },
+        )
+        .unwrap();
+
+    let before = engine.tree("commute").unwrap().stats();
+    println!(
+        "after bulk build: {} cluster entries, {} reorganizations",
+        engine.tree("commute").unwrap().total_clusters(),
+        before.reorganizations
+    );
+
+    // Stream the remaining vehicles one by one (the maintenance loop of
+    // Fig. 2: assign to an existing representative or park as outlier,
+    // re-cluster when a partition overflows).
+    for t in streaming {
+        engine.load_trajectories("commute", vec![t.clone()]).unwrap();
+    }
+    let after = engine.tree("commute").unwrap().stats();
+    println!(
+        "after streaming {} more vehicles: assigned-to-existing {}, parked-as-outlier {}, reorganizations {}, promoted representatives {}",
+        streaming.len(),
+        after.assigned_to_existing - before.assigned_to_existing,
+        after.parked_as_outliers - before.parked_as_outliers,
+        after.reorganizations,
+        after.promoted_representatives
+    );
+
+    // Cluster the rush hour only.
+    let span = engine.tree("commute").unwrap().lifespan().unwrap();
+    let rush = TimeInterval::new(span.start, span.start + Duration::from_mins(30));
+    let (result, stats) = engine
+        .run_qut(
+            "commute",
+            &rush,
+            &QutParams {
+                s2t,
+                merge_distance: 250.0,
+                merge_gap: Duration::from_mins(10),
+            },
+        )
+        .unwrap();
+    println!(
+        "\nQuT over the first 30 minutes: {} clusters, {} outliers ({:.1} ms, {} pieces loaded)",
+        result.num_clusters(),
+        result.num_outliers(),
+        stats.elapsed_ms,
+        stats.loaded_sub_trajectories
+    );
+    for c in &result.clusters {
+        println!(
+            "  cluster {:>2}: {:>2} vehicles, lifespan {} → {}",
+            c.id,
+            c.size(),
+            c.lifespan().start,
+            c.lifespan().end
+        );
+    }
+}

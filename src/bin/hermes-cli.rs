@@ -1,0 +1,177 @@
+//! `hermes-cli` — a small command-line front end for the engine.
+//!
+//! ```text
+//! hermes-cli demo                      # generate the demo aircraft MOD and open a SQL shell
+//! hermes-cli generate aircraft out.csv # write a synthetic dataset as CSV
+//! hermes-cli load data.csv             # load a planar CSV (object_id,trajectory_id,x,y,t_ms) and open a SQL shell
+//! hermes-cli load-geo data.csv         # same, but lon/lat input projected to local metres
+//! ```
+//!
+//! Inside the shell, any statement of the `hermes-sql` dialect works, e.g.
+//! `SELECT S2T(data, 2000, 0.35, 0.05, 300000, 6000);` or
+//! `SELECT QUT(data, 0, 7200000, 0.35, 0.05, 300000, 6000, 1800000);`.
+//! `\q` quits, `\help` lists the statements.
+
+use hermes::datagen::{AircraftScenarioBuilder, MaritimeScenarioBuilder, UrbanScenarioBuilder};
+use hermes::prelude::*;
+use hermes::sql;
+use hermes::trajectory::{parse_csv, parse_geo_csv, to_csv};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+hermes-cli — time-aware sub-trajectory clustering
+
+USAGE:
+    hermes-cli demo
+    hermes-cli generate <aircraft|maritime|urban> <out.csv> [seed]
+    hermes-cli load <data.csv>
+    hermes-cli load-geo <data.csv>
+
+The `demo`, `load` and `load-geo` commands open an interactive SQL shell over
+a dataset named `data`. Statements: CREATE/DROP DATASET, SHOW DATASETS,
+BUILD INDEX ON <name> WITH CHUNK <h> HOURS, SELECT INFO/S2T/S2T_NAIVE/QUT/
+QUT_REBUILD/RANGE/HISTOGRAM(...). Type \\q to quit, \\help for this text.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("demo") => shell(demo_trajectories()),
+        Some("generate") => generate(&args[1..]),
+        Some("load") => match load_file(args.get(1), false) {
+            Ok(trajs) => shell(trajs),
+            Err(e) => fail(&e),
+        },
+        Some("load-geo") => match load_file(args.get(1), true) {
+            Ok(trajs) => shell(trajs),
+            Err(e) => fail(&e),
+        },
+        Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command '{other}'\n\n{HELP}")),
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn demo_trajectories() -> Vec<Trajectory> {
+    AircraftScenarioBuilder {
+        seed: 42,
+        num_streams: 3,
+        waves_per_stream: 2,
+        flights_per_wave: 5,
+        num_stragglers: 3,
+        ..AircraftScenarioBuilder::default()
+    }
+    .build()
+    .trajectories
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let (Some(kind), Some(out)) = (args.first(), args.get(1)) else {
+        return fail("usage: hermes-cli generate <aircraft|maritime|urban> <out.csv> [seed]");
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let trajectories = match kind.as_str() {
+        "aircraft" => {
+            AircraftScenarioBuilder {
+                seed,
+                ..AircraftScenarioBuilder::default()
+            }
+            .build()
+            .trajectories
+        }
+        "maritime" => {
+            MaritimeScenarioBuilder {
+                seed,
+                ..MaritimeScenarioBuilder::default()
+            }
+            .build()
+            .trajectories
+        }
+        "urban" => {
+            UrbanScenarioBuilder {
+                seed,
+                ..UrbanScenarioBuilder::default()
+            }
+            .build()
+            .trajectories
+        }
+        other => return fail(&format!("unknown generator '{other}'")),
+    };
+    let csv = to_csv(&trajectories);
+    if let Err(e) = std::fs::write(out, csv) {
+        return fail(&format!("cannot write {out}: {e}"));
+    }
+    println!("wrote {} trajectories to {out}", trajectories.len());
+    ExitCode::SUCCESS
+}
+
+fn load_file(path: Option<&String>, geodetic: bool) -> Result<Vec<Trajectory>, String> {
+    let path = path.ok_or("usage: hermes-cli load <data.csv>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let import = if geodetic {
+        parse_geo_csv(&text).0
+    } else {
+        parse_csv(&text)
+    };
+    for (line, reason) in import.rejected.iter().take(10) {
+        eprintln!("warning: line {line}: {reason}");
+    }
+    if import.rejected.len() > 10 {
+        eprintln!("warning: {} further rows rejected", import.rejected.len() - 10);
+    }
+    if import.trajectories.is_empty() {
+        return Err("no usable trajectories in the file".into());
+    }
+    Ok(import.trajectories)
+}
+
+fn shell(trajectories: Vec<Trajectory>) -> ExitCode {
+    let mut engine = HermesEngine::new();
+    engine.create_dataset("data").expect("fresh engine");
+    let n = trajectories.len();
+    engine
+        .load_trajectories("data", trajectories)
+        .expect("dataset exists");
+    println!("loaded {n} trajectories into dataset 'data'");
+    println!("hint: BUILD INDEX ON data WITH CHUNK 2 HOURS;  then  SELECT QUT(data, ...);  (\\help for more)");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("hermes=# ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error reading input: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        if line == "\\help" {
+            print!("{HELP}");
+            continue;
+        }
+        match sql::execute(&mut engine, line) {
+            Ok(table) => print!("{table}"),
+            Err(e) => eprintln!("ERROR: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

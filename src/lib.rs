@@ -1,0 +1,63 @@
+//! # hermes — time-aware sub-trajectory clustering
+//!
+//! A Rust reproduction of *"Time-aware Sub-Trajectory Clustering in
+//! Hermes@PostgreSQL"* (Tampakis et al., ICDE 2018) and of the two algorithms
+//! it demonstrates: **S2T-Clustering** (EDBT 2017) and **QuT-Clustering** on
+//! the **ReTraTree** index (DMKD 2017).
+//!
+//! This crate is a façade: it re-exports the workspace crates under one roof
+//! so applications can depend on `hermes` alone.
+//!
+//! ```
+//! use hermes::prelude::*;
+//!
+//! // Generate a small synthetic terminal-area scenario…
+//! let scenario = AircraftScenarioBuilder {
+//!     num_streams: 2,
+//!     waves_per_stream: 1,
+//!     flights_per_wave: 4,
+//!     num_stragglers: 1,
+//!     ..AircraftScenarioBuilder::default()
+//! }
+//! .build();
+//!
+//! // …load it into the engine and cluster it via SQL.
+//! let mut engine = HermesEngine::new();
+//! engine.create_dataset("flights").unwrap();
+//! engine
+//!     .load_trajectories("flights", scenario.trajectories.clone())
+//!     .unwrap();
+//! let result = hermes::sql::execute(
+//!     &mut engine,
+//!     "SELECT S2T(flights, 2000, 0.35, 0.05, 120000, 5000);",
+//! )
+//! .unwrap();
+//! assert!(result.len() >= 2);
+//! ```
+
+pub use hermes_baselines as baselines;
+pub use hermes_core as core;
+pub use hermes_datagen as datagen;
+pub use hermes_gist as gist;
+pub use hermes_retratree as retratree;
+pub use hermes_s2t as s2t;
+pub use hermes_sql as sql;
+pub use hermes_storage as storage;
+pub use hermes_trajectory as trajectory;
+pub use hermes_va as va;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use hermes_core::{DatasetInfo, EngineError, HermesEngine};
+    pub use hermes_datagen::{
+        AircraftScenarioBuilder, MaritimeScenarioBuilder, NoiseModel, UrbanScenarioBuilder,
+    };
+    pub use hermes_retratree::{QutParams, ReTraTree, ReTraTreeParams};
+    pub use hermes_s2t::{run_s2t, ClusteringQuality, ClusteringResult, S2TParams};
+    pub use hermes_trajectory::{
+        Duration, Mbb, Point, SubTrajectory, TimeInterval, Timestamp, Trajectory,
+    };
+    pub use hermes_va::{
+        cluster_map_svg, compare_runs, detect_holding_patterns, time_histogram,
+    };
+}

@@ -1,0 +1,284 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants the clustering pipeline relies on.
+
+use hermes::gist::RTree3D;
+use hermes::s2t::{
+    cluster_around_representatives, segment_trajectory, select_representatives, S2TParams,
+    VotingProfile,
+};
+use hermes::sql;
+use hermes::storage::{decode_sub_trajectory, encode_sub_trajectory};
+use hermes::trajectory::{
+    interpolate, Mbb, Point, SubTrajectory, SubTrajectoryId, TimeInterval, Timestamp, Trajectory,
+};
+use proptest::prelude::*;
+
+// --- generators -------------------------------------------------------------
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000.0f64..1_000.0, -1_000.0f64..1_000.0, 0i64..10_000_000)
+        .prop_map(|(x, y, t)| Point::new(x, y, Timestamp(t)))
+}
+
+fn arb_mbb() -> impl Strategy<Value = Mbb> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| {
+        let mut m = Mbb::from_point(&a);
+        m.expand_point(&b);
+        m
+    })
+}
+
+/// A valid trajectory: strictly increasing times, finite coordinates.
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    (
+        2usize..40,
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        1i64..120_000,
+    )
+        .prop_flat_map(|(n, x0, y0, step)| {
+            (
+                proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), n),
+                Just((x0, y0, step)),
+            )
+        })
+        .prop_map(|(deltas, (x0, y0, step))| {
+            let mut pts = Vec::with_capacity(deltas.len());
+            let (mut x, mut y) = (x0, y0);
+            for (i, (dx, dy)) in deltas.into_iter().enumerate() {
+                x += dx;
+                y += dy;
+                pts.push(Point::new(x, y, Timestamp(i as i64 * step)));
+            }
+            Trajectory::new(1, 1, pts).expect("generated trajectories are valid")
+        })
+}
+
+// --- Mbb laws ----------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mbb_union_is_commutative_and_contains_both(a in arb_mbb(), b in arb_mbb()) {
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        prop_assert_eq!(u1, u2);
+        prop_assert!(u1.contains(&a));
+        prop_assert!(u1.contains(&b));
+        prop_assert!(u1.volume(1.0) + 1e-9 >= a.volume(1.0).max(b.volume(1.0)));
+    }
+
+    #[test]
+    fn mbb_intersection_is_contained_in_both(a in arb_mbb(), b in arb_mbb()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+                prop_assert!(a.intersects(&b));
+            }
+            None => prop_assert!(!a.intersects(&b)),
+        }
+    }
+
+    #[test]
+    fn mbb_min_distance_is_zero_iff_intersecting(a in arb_mbb(), b in arb_mbb()) {
+        let d = a.min_distance(&b, 1.0);
+        if a.intersects(&b) {
+            prop_assert!(d == 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+}
+
+// --- R-tree equivalence with a linear scan ------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn rtree_range_query_matches_linear_scan(
+        boxes in proptest::collection::vec(arb_mbb(), 1..120),
+        query in arb_mbb(),
+    ) {
+        let mut tree = RTree3D::new();
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, i);
+        }
+        let mut from_tree: Vec<usize> = tree.query_intersecting(&query).into_iter().copied().collect();
+        from_tree.sort_unstable();
+        let expected: Vec<usize> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(from_tree, expected);
+    }
+
+    #[test]
+    fn rtree_bulk_load_matches_incremental(
+        boxes in proptest::collection::vec(arb_mbb(), 1..120),
+        query in arb_mbb(),
+    ) {
+        let items: Vec<(Mbb, usize)> = boxes.iter().copied().enumerate().map(|(i, b)| (b, i)).collect();
+        let bulk = RTree3D::bulk_load(items.clone());
+        let mut incr = RTree3D::new();
+        for (b, v) in items {
+            incr.insert(b, v);
+        }
+        let mut a: Vec<usize> = bulk.query_intersecting(&query).into_iter().copied().collect();
+        let mut b: Vec<usize> = incr.query_intersecting(&query).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(bulk.len(), incr.len());
+    }
+}
+
+// --- interpolation -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interpolated_positions_stay_inside_the_mbb(traj in arb_trajectory(), f in 0.0f64..1.0) {
+        let span = traj.lifespan();
+        let t = Timestamp(span.start.millis()
+            + ((span.end.millis() - span.start.millis()) as f64 * f) as i64);
+        let p = traj.position_at(t).expect("t is inside the lifespan");
+        let mbb = traj.mbb();
+        prop_assert!(p.x >= mbb.x_min - 1e-9 && p.x <= mbb.x_max + 1e-9);
+        prop_assert!(p.y >= mbb.y_min - 1e-9 && p.y <= mbb.y_max + 1e-9);
+        prop_assert!(interpolate::position_at(traj.points(), Timestamp(span.end.millis() + 1)).is_none());
+    }
+
+    #[test]
+    fn temporal_slice_is_within_window_and_lossless_on_full_window(traj in arb_trajectory()) {
+        let span = traj.lifespan();
+        let full = traj.temporal_slice(&span).unwrap();
+        prop_assert_eq!(full.points(), traj.points());
+
+        let mid = Timestamp((span.start.millis() + span.end.millis()) / 2);
+        if mid > span.start {
+            let w = TimeInterval::new(span.start, mid);
+            if let Ok(slice) = traj.temporal_slice(&w) {
+                prop_assert!(slice.start_time() >= w.start);
+                prop_assert!(slice.end_time() <= w.end);
+            }
+        }
+    }
+}
+
+// --- segmentation invariants ------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn segmentation_partitions_the_trajectory_exactly(
+        traj in arb_trajectory(),
+        tau in 0.05f64..0.9,
+        votes_seed in 0u64..1000,
+    ) {
+        let votes: Vec<f64> = (0..traj.num_segments())
+            .map(|i| ((i as u64 * 2654435761 + votes_seed) % 100) as f64 / 10.0)
+            .collect();
+        let profile = VotingProfile { trajectory_id: traj.id, trajectory_index: 0, votes };
+        let params = S2TParams { tau, min_duration_ms: 0, ..S2TParams::default() };
+        let subs = segment_trajectory(&traj, &profile, &params);
+
+        prop_assert!(!subs.is_empty());
+        // Pieces tile the trajectory: boundaries chain, segments sum up.
+        prop_assert_eq!(subs.first().unwrap().sub.start_time(), traj.start_time());
+        prop_assert_eq!(subs.last().unwrap().sub.end_time(), traj.end_time());
+        for w in subs.windows(2) {
+            prop_assert_eq!(w[0].sub.end_time(), w[1].sub.start_time());
+        }
+        let total_segments: usize = subs.iter().map(|s| s.sub.num_segments()).sum();
+        prop_assert_eq!(total_segments, traj.num_segments());
+    }
+}
+
+// --- clustering invariants ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn every_sub_trajectory_is_clustered_or_outlier_exactly_once(
+        ys in proptest::collection::vec(0.0f64..5_000.0, 2..25),
+        votes in proptest::collection::vec(0.0f64..5.0, 2..25),
+        epsilon in 50.0f64..2_000.0,
+    ) {
+        let n = ys.len().min(votes.len());
+        let subs: Vec<hermes::s2t::VotedSubTrajectory> = (0..n)
+            .map(|i| {
+                let sub = SubTrajectory::from_points(
+                    SubTrajectoryId::new(i as u64, 0),
+                    i as u64,
+                    i as u64,
+                    (0..5)
+                        .map(|k| Point::new(k as f64 * 100.0, ys[i], Timestamp(k as i64 * 60_000)))
+                        .collect(),
+                );
+                hermes::s2t::VotedSubTrajectory { sub, mean_vote: votes[i], max_vote: votes[i] }
+            })
+            .collect();
+        let params = S2TParams { epsilon, ..S2TParams::default() };
+        let reps = select_representatives(&subs, &params);
+        let result = cluster_around_representatives(&subs, &reps, &params);
+
+        // Conservation: every input ends up exactly once somewhere.
+        prop_assert_eq!(result.total_sub_trajectories(), subs.len());
+        // Members respect the distance bound.
+        for c in &result.clusters {
+            for d in &c.member_distances {
+                prop_assert!(*d <= epsilon + 1e-9);
+            }
+        }
+        // Representatives have positive votes.
+        for c in &result.clusters {
+            prop_assert!(c.representative_vote > 0.0);
+        }
+    }
+}
+
+// --- storage codec -------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sub_trajectory_codec_round_trips(
+        pts in proptest::collection::vec((-1_000.0f64..1_000.0, -1_000.0f64..1_000.0), 2..60),
+        traj_id in 0u64..u64::MAX / 2,
+        offset in 0u32..10_000,
+    ) {
+        let points: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, Timestamp(i as i64 * 1_000)))
+            .collect();
+        let sub = SubTrajectory::from_points(
+            SubTrajectoryId::new(traj_id, offset),
+            traj_id,
+            traj_id / 2,
+            points,
+        );
+        let bytes = encode_sub_trajectory(&sub);
+        let back = decode_sub_trajectory(&bytes).unwrap();
+        prop_assert_eq!(back.id, sub.id);
+        prop_assert_eq!(back.object_id, sub.object_id);
+        prop_assert_eq!(back.points(), sub.points());
+    }
+}
+
+// --- SQL parser robustness --------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sql_parser_never_panics(input in ".{0,120}") {
+        // Any input must either parse or produce a ParseError — never panic.
+        let _ = sql::parse(&input);
+    }
+
+    #[test]
+    fn sql_range_statement_round_trips(wi in -1_000_000i64..1_000_000, we in -1_000_000i64..1_000_000) {
+        let text = format!("SELECT RANGE(flights, {wi}, {we});");
+        let stmt = sql::parse(&text).unwrap();
+        prop_assert_eq!(stmt, sql::Statement::Range { name: "flights".into(), wi, we });
+    }
+}
