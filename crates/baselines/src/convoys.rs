@@ -118,8 +118,7 @@ pub fn discover_convoys(trajectories: &[Trajectory], params: &ConvoyParams) -> V
         for group in &snapshot_groups {
             let mut extended_any = false;
             for cand in &candidates {
-                let inter: BTreeSet<ObjectId> =
-                    cand.objects.intersection(group).copied().collect();
+                let inter: BTreeSet<ObjectId> = cand.objects.intersection(group).copied().collect();
                 if inter.len() >= params.min_objects {
                     extended_any = true;
                     let c = Candidate {
@@ -128,7 +127,10 @@ pub fn discover_convoys(trajectories: &[Trajectory], params: &ConvoyParams) -> V
                         end: t,
                         snapshots: cand.snapshots + 1,
                     };
-                    if !next.iter().any(|o: &Candidate| o.objects == c.objects && o.start == c.start) {
+                    if !next
+                        .iter()
+                        .any(|o: &Candidate| o.objects == c.objects && o.start == c.start)
+                    {
                         next.push(c);
                     }
                 }
@@ -232,7 +234,9 @@ mod tests {
         assert!(!convoys.is_empty());
         let best = convoys.iter().max_by_key(|c| c.size()).unwrap();
         assert_eq!(best.size(), 3);
-        assert!(best.objects.contains(&0) && best.objects.contains(&1) && best.objects.contains(&2));
+        assert!(
+            best.objects.contains(&0) && best.objects.contains(&1) && best.objects.contains(&2)
+        );
         assert!(best.lifespan().length() >= Duration::from_mins(4));
     }
 
@@ -249,13 +253,25 @@ mod tests {
             .map(|i| Point::new(i as f64 * 200.0, 0.0, Timestamp(i as i64 * 60_000)))
             .collect();
         let b: Vec<Point> = (0..20)
-            .map(|i| Point::new(i as f64 * 200.0, 4_000.0 - i as f64 * 400.0, Timestamp(i as i64 * 60_000)))
+            .map(|i| {
+                Point::new(
+                    i as f64 * 200.0,
+                    4_000.0 - i as f64 * 400.0,
+                    Timestamp(i as i64 * 60_000),
+                )
+            })
             .collect();
         let c: Vec<Point> = (0..20)
             .map(|i| Point::new(i as f64 * 200.0, 20.0, Timestamp(i as i64 * 60_000)))
             .collect();
         let d: Vec<Point> = (0..20)
-            .map(|i| Point::new(i as f64 * 200.0, 4_020.0 - i as f64 * 400.0, Timestamp(i as i64 * 60_000)))
+            .map(|i| {
+                Point::new(
+                    i as f64 * 200.0,
+                    4_020.0 - i as f64 * 400.0,
+                    Timestamp(i as i64 * 60_000),
+                )
+            })
             .collect();
         let trajs = vec![
             Trajectory::new(0, 0, a).unwrap(),

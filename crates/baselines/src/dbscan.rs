@@ -24,13 +24,16 @@ impl DbscanLabel {
 /// `eps` is the neighbourhood radius, `min_pts` the core-point threshold
 /// (neighbourhood size *including* the point itself). Runs in O(n²) distance
 /// evaluations, which is what the original TRACLUS and convoy papers use.
-pub fn dbscan(n: usize, eps: f64, min_pts: usize, dist: impl Fn(usize, usize) -> f64) -> Vec<DbscanLabel> {
+pub fn dbscan(
+    n: usize,
+    eps: f64,
+    min_pts: usize,
+    dist: impl Fn(usize, usize) -> f64,
+) -> Vec<DbscanLabel> {
     let mut labels = vec![None::<DbscanLabel>; n];
     let mut next_cluster = 0usize;
 
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| dist(i, j) <= eps).collect()
-    };
+    let neighbours = |i: usize| -> Vec<usize> { (0..n).filter(|&j| dist(i, j) <= eps).collect() };
 
     for i in 0..n {
         if labels[i].is_some() {
@@ -64,7 +67,10 @@ pub fn dbscan(n: usize, eps: f64, min_pts: usize, dist: impl Fn(usize, usize) ->
         }
     }
 
-    labels.into_iter().map(|l| l.unwrap_or(DbscanLabel::Noise)).collect()
+    labels
+        .into_iter()
+        .map(|l| l.unwrap_or(DbscanLabel::Noise))
+        .collect()
 }
 
 #[cfg(test)]

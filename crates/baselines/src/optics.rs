@@ -61,10 +61,10 @@ pub fn optics_order(
         // Seed list ordered by reachability.
         let mut seeds: Vec<usize> = Vec::new();
         let update = |seeds: &mut Vec<usize>,
-                          reachability: &mut Vec<f64>,
-                          center_core: f64,
-                          nbrs: &[(usize, f64)],
-                          processed: &[bool]| {
+                      reachability: &mut Vec<f64>,
+                      center_core: f64,
+                      nbrs: &[(usize, f64)],
+                      processed: &[bool]| {
             for &(j, d) in nbrs {
                 if processed[j] {
                     continue;
@@ -85,11 +85,7 @@ pub fn optics_order(
             let (pos, &next) = seeds
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    reachability[*a.1]
-                        .partial_cmp(&reachability[*b.1])
-                        .unwrap()
-                })
+                .min_by(|a, b| reachability[*a.1].partial_cmp(&reachability[*b.1]).unwrap())
                 .unwrap();
             seeds.swap_remove(pos);
             if processed[next] {

@@ -106,7 +106,10 @@ mod tests {
         let result = t_optics(&trajs, &TOpticsParams::default());
         assert_eq!(result.num_clusters, 2);
         assert_eq!(result.num_noise(), 1);
-        assert_eq!(result.cluster_members(0).len() + result.cluster_members(1).len(), 9);
+        assert_eq!(
+            result.cluster_members(0).len() + result.cluster_members(1).len(),
+            9
+        );
     }
 
     #[test]
@@ -146,7 +149,11 @@ mod tests {
             .collect();
         let b: Vec<Point> = (0..20)
             .map(|i| {
-                let y = if i < 10 { 10.0 } else { 10.0 + (i - 9) as f64 * 2_000.0 };
+                let y = if i < 10 {
+                    10.0
+                } else {
+                    10.0 + (i - 9) as f64 * 2_000.0
+                };
                 Point::new(i as f64 * 100.0, y, Timestamp(i as i64 * 60_000))
             })
             .collect();
@@ -162,7 +169,10 @@ mod tests {
                 reachability_threshold: 100.0,
             },
         );
-        assert_eq!(result.num_clusters, 0, "whole-trajectory distance hides the shared half");
+        assert_eq!(
+            result.num_clusters, 0,
+            "whole-trajectory distance hides the shared half"
+        );
     }
 
     #[test]

@@ -195,7 +195,11 @@ pub fn partition_trajectory(points: &[Point]) -> Vec<usize> {
 /// components (all weights 1, as in the reference implementation).
 pub fn segment_distance(a: &LineSegment, b: &LineSegment) -> f64 {
     // Use the longer segment as the base.
-    let (longer, shorter) = if a.length() >= b.length() { (a, b) } else { (b, a) };
+    let (longer, shorter) = if a.length() >= b.length() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let (perp, angle) =
         perpendicular_and_angle(&longer.start, &longer.end, &shorter.start, &shorter.end);
 
@@ -277,7 +281,10 @@ mod tests {
         // An L-shaped path: the corner must be a characteristic point.
         let pts: Vec<Point> = (0..=10)
             .map(|i| Point::new(i as f64 * 100.0, 0.0, Timestamp(i * 10_000)))
-            .chain((1..=10).map(|i| Point::new(1_000.0, i as f64 * 100.0, Timestamp((10 + i) * 10_000))))
+            .chain(
+                (1..=10)
+                    .map(|i| Point::new(1_000.0, i as f64 * 100.0, Timestamp((10 + i) * 10_000))),
+            )
             .collect();
         let cps = partition_trajectory(&pts);
         assert_eq!(*cps.first().unwrap(), 0);
@@ -312,18 +319,25 @@ mod tests {
         for k in 0..5 {
             trajs.push(traj(
                 k,
-                &(0..=10).map(|i| (i as f64 * 100.0, k as f64 * 10.0)).collect::<Vec<_>>(),
+                &(0..=10)
+                    .map(|i| (i as f64 * 100.0, k as f64 * 10.0))
+                    .collect::<Vec<_>>(),
             ));
         }
         // One far-away trajectory heading elsewhere.
         trajs.push(traj(
             9,
-            &(0..=10).map(|i| (i as f64 * 100.0, 50_000.0)).collect::<Vec<_>>(),
+            &(0..=10)
+                .map(|i| (i as f64 * 100.0, 50_000.0))
+                .collect::<Vec<_>>(),
         ));
         let result = traclus(&trajs, &TraclusParams::default());
         assert!(result.num_clusters >= 1);
         let members = result.cluster_trajectories(0);
-        assert!(members.len() >= 4, "the bundle must cluster together: {members:?}");
+        assert!(
+            members.len() >= 4,
+            "the bundle must cluster together: {members:?}"
+        );
         assert!(!members.contains(&9));
         assert!(result.num_noise_segments() >= 1);
     }
@@ -339,17 +353,32 @@ mod tests {
             .map(|i| Point::new(i as f64 * 100.0, 5.0, Timestamp(86_400_000 + i * 10_000)))
             .collect();
         let c: Vec<Point> = (0..=10)
-            .map(|i| Point::new(i as f64 * 100.0, 10.0, Timestamp(2 * 86_400_000 + i * 10_000)))
+            .map(|i| {
+                Point::new(
+                    i as f64 * 100.0,
+                    10.0,
+                    Timestamp(2 * 86_400_000 + i * 10_000),
+                )
+            })
             .collect();
         let trajs = vec![
             Trajectory::new(1, 1, a).unwrap(),
             Trajectory::new(2, 2, b).unwrap(),
             Trajectory::new(3, 3, c).unwrap(),
         ];
-        let result = traclus(&trajs, &TraclusParams { min_lns: 2, ..TraclusParams::default() });
+        let result = traclus(
+            &trajs,
+            &TraclusParams {
+                min_lns: 2,
+                ..TraclusParams::default()
+            },
+        );
         assert!(result.num_clusters >= 1);
         let members = result.cluster_trajectories(0);
-        assert!(members.len() >= 2, "purely spatial clustering merges time-shifted movers");
+        assert!(
+            members.len() >= 2,
+            "purely spatial clustering merges time-shifted movers"
+        );
     }
 
     #[test]

@@ -3,53 +3,50 @@
 //!
 //! Measures the full S2T-Clustering pipeline with index-accelerated voting
 //! (the in-DBMS fast path) against the quadratic, index-free baseline, for a
-//! sweep of dataset cardinalities. Criterion reports the per-variant times;
-//! the summary table printed at the end gives the speedup series.
+//! sweep of dataset cardinalities. The summary table printed at the end gives
+//! the speedup series recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{aircraft_s2t_params, aircraft_with};
 use hermes_s2t::{run_s2t, run_s2t_naive};
-use std::hint::black_box;
-use std::time::Instant;
 
-fn bench_e1(c: &mut Criterion) {
+fn main() {
     let params = aircraft_s2t_params();
     let sizes = [12usize, 24, 48];
 
-    let mut group = c.benchmark_group("e1_s2t_vs_naive");
-    group.sample_size(10);
+    let mut samples = Vec::new();
     for &n in &sizes {
         let scenario = aircraft_with(n, 0xE1);
-        group.bench_with_input(BenchmarkId::new("indexed", scenario.len()), &scenario, |b, s| {
-            b.iter(|| black_box(run_s2t(&s.trajectories, &params)))
-        });
-        group.bench_with_input(BenchmarkId::new("naive", scenario.len()), &scenario, |b, s| {
-            b.iter(|| black_box(run_s2t_naive(&s.trajectories, &params)))
-        });
+        samples.push(bench(format!("indexed/{}", scenario.len()), 10, || {
+            run_s2t(&scenario.trajectories, &params)
+        }));
+        samples.push(bench(format!("naive/{}", scenario.len()), 10, || {
+            run_s2t_naive(&scenario.trajectories, &params)
+        }));
     }
-    group.finish();
+    report("e1_s2t_vs_naive", &samples);
 
     // Summary series (the numbers recorded in EXPERIMENTS.md).
-    eprintln!("\n# E1 summary: indexed vs naive S2T (single run each)");
-    eprintln!("{:>8} {:>12} {:>12} {:>9}", "flights", "indexed_ms", "naive_ms", "speedup");
+    eprintln!("\n# E1 summary: indexed vs naive S2T");
+    eprintln!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "flights", "indexed_ms", "naive_ms", "speedup"
+    );
     for &n in &sizes {
         let scenario = aircraft_with(n, 0xE1);
-        let t0 = Instant::now();
-        let fast = run_s2t(&scenario.trajectories, &params);
-        let fast_ms = t0.elapsed().as_secs_f64() * 1_000.0;
-        let t0 = Instant::now();
-        let slow = run_s2t_naive(&scenario.trajectories, &params);
-        let slow_ms = t0.elapsed().as_secs_f64() * 1_000.0;
-        assert_eq!(fast.result.num_clusters(), slow.result.num_clusters());
+        let fast = bench("indexed", 3, || run_s2t(&scenario.trajectories, &params));
+        let slow = bench("naive", 3, || {
+            run_s2t_naive(&scenario.trajectories, &params)
+        });
+        let a = run_s2t(&scenario.trajectories, &params);
+        let b = run_s2t_naive(&scenario.trajectories, &params);
+        assert_eq!(a.result.num_clusters(), b.result.num_clusters());
         eprintln!(
             "{:>8} {:>12.1} {:>12.1} {:>8.1}x",
             scenario.len(),
-            fast_ms,
-            slow_ms,
-            slow_ms / fast_ms.max(1e-9)
+            fast.median_ms,
+            slow.median_ms,
+            slow.median_ms / fast.median_ms.max(1e-9)
         );
     }
 }
-
-criterion_group!(benches, bench_e1);
-criterion_main!(benches);

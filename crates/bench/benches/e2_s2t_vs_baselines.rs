@@ -2,17 +2,17 @@
 //! methods the demo lets the user play with (TRACLUS, T-OPTICS, Convoys),
 //! plus the comparison of two S2T parameterisations.
 //!
-//! Criterion times each method on the same aircraft workload; the printed
-//! table reports the method-agnostic quality numbers recorded in
-//! EXPERIMENTS.md.
+//! Each method is timed on the same aircraft workload; the printed table
+//! reports the method-agnostic quality numbers recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use hermes_baselines::{discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams};
+use hermes_baselines::{
+    discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams,
+};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{aircraft_s2t_params, aircraft_with};
 use hermes_s2t::{run_s2t, ClusteringQuality, S2TParams};
 use hermes_trajectory::Duration;
 use hermes_va::compare_runs;
-use std::hint::black_box;
 
 fn traclus_params() -> TraclusParams {
     TraclusParams {
@@ -39,25 +39,23 @@ fn convoy_params() -> ConvoyParams {
     }
 }
 
-fn bench_e2(c: &mut Criterion) {
+fn main() {
     let scenario = aircraft_with(36, 0xE2);
     let s2t_params = aircraft_s2t_params();
 
-    let mut group = c.benchmark_group("e2_methods");
-    group.sample_size(10);
-    group.bench_function("s2t", |b| {
-        b.iter(|| black_box(run_s2t(&scenario.trajectories, &s2t_params)))
-    });
-    group.bench_function("traclus", |b| {
-        b.iter(|| black_box(traclus(&scenario.trajectories, &traclus_params())))
-    });
-    group.bench_function("t_optics", |b| {
-        b.iter(|| black_box(t_optics(&scenario.trajectories, &toptics_params())))
-    });
-    group.bench_function("convoys", |b| {
-        b.iter(|| black_box(discover_convoys(&scenario.trajectories, &convoy_params())))
-    });
-    group.finish();
+    let samples = vec![
+        bench("s2t", 10, || run_s2t(&scenario.trajectories, &s2t_params)),
+        bench("traclus", 10, || {
+            traclus(&scenario.trajectories, &traclus_params())
+        }),
+        bench("t_optics", 10, || {
+            t_optics(&scenario.trajectories, &toptics_params())
+        }),
+        bench("convoys", 10, || {
+            discover_convoys(&scenario.trajectories, &convoy_params())
+        }),
+    ];
+    report("e2_methods", &samples);
 
     // Quality summary (the table of EXPERIMENTS.md).
     let s2t = run_s2t(&scenario.trajectories, &s2t_params);
@@ -66,12 +64,39 @@ fn bench_e2(c: &mut Criterion) {
     let to = t_optics(&scenario.trajectories, &toptics_params());
     let cv = discover_convoys(&scenario.trajectories, &convoy_params());
 
-    eprintln!("\n# E2 summary: method comparison on {} flights", scenario.len());
-    eprintln!("{:>10} {:>10} {:>10} {:>18}", "method", "clusters", "noise", "unit");
-    eprintln!("{:>10} {:>10} {:>10} {:>18}", "S2T", q.num_clusters, q.num_outliers, "sub-trajectories");
-    eprintln!("{:>10} {:>10} {:>10} {:>18}", "TRACLUS", tr.num_clusters, tr.num_noise_segments(), "line segments");
-    eprintln!("{:>10} {:>10} {:>10} {:>18}", "T-OPTICS", to.num_clusters, to.num_noise(), "whole trajectories");
-    eprintln!("{:>10} {:>10} {:>10} {:>18}", "Convoys", cv.len(), "-", "object groups");
+    eprintln!(
+        "\n# E2 summary: method comparison on {} flights",
+        scenario.len()
+    );
+    eprintln!(
+        "{:>10} {:>10} {:>10} {:>18}",
+        "method", "clusters", "noise", "unit"
+    );
+    eprintln!(
+        "{:>10} {:>10} {:>10} {:>18}",
+        "S2T", q.num_clusters, q.num_outliers, "sub-trajectories"
+    );
+    eprintln!(
+        "{:>10} {:>10} {:>10} {:>18}",
+        "TRACLUS",
+        tr.num_clusters,
+        tr.num_noise_segments(),
+        "line segments"
+    );
+    eprintln!(
+        "{:>10} {:>10} {:>10} {:>18}",
+        "T-OPTICS",
+        to.num_clusters,
+        to.num_noise(),
+        "whole trajectories"
+    );
+    eprintln!(
+        "{:>10} {:>10} {:>10} {:>18}",
+        "Convoys",
+        cv.len(),
+        "-",
+        "object groups"
+    );
 
     // Fig. 3: two S2T runs under different parameters.
     let loose = run_s2t(
@@ -91,6 +116,3 @@ fn bench_e2(c: &mut Criterion) {
         cmp.agreement() * 100.0
     );
 }
-
-criterion_group!(benches, bench_e2);
-criterion_main!(benches);

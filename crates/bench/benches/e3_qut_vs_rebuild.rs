@@ -7,13 +7,12 @@
 //! This is the paper's central quantitative comparison; the printed series is
 //! recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{maritime_s2t_params, maritime_standard, qut_params, tree_params};
 use hermes_retratree::{qut_clustering, range_query_then_cluster, ReTraTree};
 use hermes_trajectory::{Duration, TimeInterval};
-use std::hint::black_box;
 
-fn bench_e3(c: &mut Criterion) {
+fn main() {
     let scenario = maritime_standard(0xE3);
     let s2t = maritime_s2t_params();
     let tree = ReTraTree::build_from(tree_params(s2t.clone()), &scenario.trajectories);
@@ -21,21 +20,20 @@ fn bench_e3(c: &mut Criterion) {
     let span = tree.lifespan().expect("tree holds data");
     let fractions = [10i64, 25, 50, 75, 100];
 
-    let mut group = c.benchmark_group("e3_window_clustering");
-    group.sample_size(10);
+    let mut samples = Vec::new();
     for &pct in &fractions {
         let w = TimeInterval::new(
             span.start,
             span.start + Duration::from_millis(span.length().millis() * pct / 100),
         );
-        group.bench_with_input(BenchmarkId::new("qut", pct), &w, |b, w| {
-            b.iter(|| black_box(qut_clustering(&tree, w, &qut)))
-        });
-        group.bench_with_input(BenchmarkId::new("rebuild", pct), &w, |b, w| {
-            b.iter(|| black_box(range_query_then_cluster(&tree, w, &s2t)))
-        });
+        samples.push(bench(format!("qut/{pct}%"), 10, || {
+            qut_clustering(&tree, &w, &qut)
+        }));
+        samples.push(bench(format!("rebuild/{pct}%"), 10, || {
+            range_query_then_cluster(&tree, &w, &s2t)
+        }));
     }
-    group.finish();
+    report("e3_window_clustering", &samples);
 
     eprintln!("\n# E3 summary: QuT vs range-query-then-recluster (single run each)");
     eprintln!(
@@ -61,6 +59,3 @@ fn bench_e3(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_e3);
-criterion_main!(benches);

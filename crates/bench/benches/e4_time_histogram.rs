@@ -5,33 +5,42 @@
 //! Benches the histogram construction for several bucket widths and prints
 //! the peak-traffic series recorded in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{aircraft_s2t_params, aircraft_with};
 use hermes_s2t::run_s2t;
 use hermes_trajectory::Duration;
 use hermes_va::time_histogram;
-use std::hint::black_box;
 
-fn bench_e4(c: &mut Criterion) {
+fn main() {
     let scenario = aircraft_with(36, 0xE4);
     let outcome = run_s2t(&scenario.trajectories, &aircraft_s2t_params());
     let widths_min = [5i64, 15, 60];
 
-    let mut group = c.benchmark_group("e4_time_histogram");
-    group.sample_size(10);
-    for &m in &widths_min {
-        group.bench_with_input(BenchmarkId::new("bucket_min", m), &m, |b, &m| {
-            b.iter(|| black_box(time_histogram(&outcome.result, Duration::from_mins(m))))
-        });
-    }
-    group.finish();
+    let samples: Vec<_> = widths_min
+        .iter()
+        .map(|&m| {
+            bench(format!("bucket_min/{m}"), 10, || {
+                time_histogram(&outcome.result, Duration::from_mins(m))
+            })
+        })
+        .collect();
+    report("e4_time_histogram", &samples);
 
     eprintln!("\n# E4 summary: cluster-cardinality histogram (Fig. 1 middle)");
-    eprintln!("{:>12} {:>10} {:>14} {:>12}", "bucket_min", "buckets", "peak_at_ms", "peak_count");
+    eprintln!(
+        "{:>12} {:>10} {:>14} {:>12}",
+        "bucket_min", "buckets", "peak_at_ms", "peak_count"
+    );
     for &m in &widths_min {
         let h = time_histogram(&outcome.result, Duration::from_mins(m));
         let (peak_at, peak) = h.peak_bucket().expect("non-empty result");
-        eprintln!("{:>12} {:>10} {:>14} {:>12}", m, h.num_buckets(), peak_at.millis(), peak);
+        eprintln!(
+            "{:>12} {:>10} {:>14} {:>12}",
+            m,
+            h.num_buckets(),
+            peak_at.millis(),
+            peak
+        );
     }
     // The stacked series itself (first 12 buckets at 15-minute resolution),
     // i.e. the data behind the figure.
@@ -41,6 +50,3 @@ fn bench_e4(c: &mut Criterion) {
         eprintln!("{}, {}", start.millis(), total);
     }
 }
-
-criterion_group!(benches, bench_e4);
-criterion_main!(benches);

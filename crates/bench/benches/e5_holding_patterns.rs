@@ -6,14 +6,13 @@
 //! timing the detector we can report recall/precision — the ground-truth-based
 //! counterpart of the figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_bench::aircraft_s2t_params;
+use hermes_bench::harness::{bench, report};
 use hermes_datagen::AircraftScenarioBuilder;
 use hermes_s2t::run_s2t;
-use hermes_bench::aircraft_s2t_params;
 use hermes_va::detect_holding_patterns;
-use std::hint::black_box;
 
-fn bench_e5(c: &mut Criterion) {
+fn main() {
     let scenario = AircraftScenarioBuilder {
         seed: 0xE5,
         num_streams: 4,
@@ -26,12 +25,10 @@ fn bench_e5(c: &mut Criterion) {
     .build();
     let outcome = run_s2t(&scenario.trajectories, &aircraft_s2t_params());
 
-    let mut group = c.benchmark_group("e5_holding_patterns");
-    group.sample_size(10);
-    group.bench_function("detect", |b| {
-        b.iter(|| black_box(detect_holding_patterns(&outcome.result, 1.4, 1.0)))
-    });
-    group.finish();
+    let samples = vec![bench("detect", 10, || {
+        detect_holding_patterns(&outcome.result, 1.4, 1.0)
+    })];
+    report("e5_holding_patterns", &samples);
 
     let found = detect_holding_patterns(&outcome.result, 1.4, 1.0);
     let detected: Vec<u64> = found.iter().map(|h| h.trajectory_id).collect();
@@ -59,6 +56,3 @@ fn bench_e5(c: &mut Criterion) {
         );
     }
 }
-
-criterion_group!(benches, bench_e5);
-criterion_main!(benches);

@@ -6,11 +6,10 @@
 //! Benches streaming-insertion throughput for a sweep of the re-clustering
 //! page threshold and prints the maintenance counters.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{maritime_s2t_params, maritime_standard};
 use hermes_retratree::{ReTraTree, ReTraTreeParams};
 use hermes_trajectory::Duration;
-use std::hint::black_box;
 
 fn params_with_threshold(pages: usize) -> ReTraTreeParams {
     ReTraTreeParams {
@@ -22,30 +21,28 @@ fn params_with_threshold(pages: usize) -> ReTraTreeParams {
     }
 }
 
-fn bench_e6(c: &mut Criterion) {
+fn main() {
     let scenario = maritime_standard(0xE6);
     let thresholds = [2usize, 4, 8];
 
-    let mut group = c.benchmark_group("e6_streaming_insert");
-    group.sample_size(10);
-    for &pages in &thresholds {
-        group.bench_with_input(
-            BenchmarkId::new("page_threshold", pages),
-            &pages,
-            |b, &pages| {
-                b.iter(|| {
-                    let mut tree = ReTraTree::new(params_with_threshold(pages));
-                    for t in &scenario.trajectories {
-                        tree.insert_trajectory(t);
-                    }
-                    black_box(tree.total_population())
-                })
-            },
-        );
-    }
-    group.finish();
+    let samples: Vec<_> = thresholds
+        .iter()
+        .map(|&pages| {
+            bench(format!("page_threshold/{pages}"), 10, || {
+                let mut tree = ReTraTree::new(params_with_threshold(pages));
+                for t in &scenario.trajectories {
+                    tree.insert_trajectory(t);
+                }
+                tree.total_population()
+            })
+        })
+        .collect();
+    report("e6_streaming_insert", &samples);
 
-    eprintln!("\n# E6 summary: incremental maintenance (Fig. 2 loop), {} vessels", scenario.trajectories.len());
+    eprintln!(
+        "\n# E6 summary: incremental maintenance (Fig. 2 loop), {} vessels",
+        scenario.trajectories.len()
+    );
     eprintln!(
         "{:>10} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10}",
         "threshold", "pieces", "assigned", "outliers", "reorgs", "promoted", "clusters"
@@ -80,6 +77,3 @@ fn bench_e6(c: &mut Criterion) {
         b.hit_ratio() * 100.0
     );
 }
-
-criterion_group!(benches, bench_e6);
-criterion_main!(benches);

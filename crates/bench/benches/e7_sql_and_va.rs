@@ -1,18 +1,19 @@
 //! E7 — Fig. 1 (top/bottom) and §II.C: the SQL interface and the VA exports.
 //!
 //! Benches the end-to-end latency of the `SELECT QUT(...)` / `SELECT S2T(...)`
-//! statements through the SQL layer (parse → plan → execute), and the cost of
-//! regenerating the map/space-time-cube exports behind the figures.
+//! statements through the SQL layer — once per-execution (parse → execute)
+//! and once through a prepared statement that binds `$n` windows against the
+//! cached plan — plus the cost of regenerating the map/space-time-cube
+//! exports behind the figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hermes_bench::harness::{bench, report};
 use hermes_bench::{aircraft_s2t_params, aircraft_with, tree_params};
 use hermes_core::HermesEngine;
 use hermes_s2t::run_s2t;
-use hermes_sql::execute;
+use hermes_sql::{execute, Session, Value};
 use hermes_va::{cluster_map_svg, space_time_cube_csv};
-use std::hint::black_box;
 
-fn bench_e7(c: &mut Criterion) {
+fn main() {
     let scenario = aircraft_with(24, 0xE7);
     let mut engine = HermesEngine::new();
     engine.create_dataset("flights").unwrap();
@@ -27,41 +28,51 @@ fn bench_e7(c: &mut Criterion) {
     let qut_stmt = "SELECT QUT(flights, 0, 7200000, 0.35, 0.05, 300000, 6000, 1800000);";
     let range_stmt = "SELECT RANGE(flights, 0, 3600000);";
 
-    let mut group = c.benchmark_group("e7_sql");
-    group.sample_size(10);
-    group.bench_function("parse_only", |b| {
-        b.iter(|| black_box(hermes_sql::parse(qut_stmt).unwrap()))
-    });
-    group.bench_function("select_range", |b| {
-        b.iter(|| black_box(execute(&mut engine, range_stmt).unwrap()))
-    });
-    group.bench_function("select_qut", |b| {
-        b.iter(|| black_box(execute(&mut engine, qut_stmt).unwrap()))
-    });
-    group.bench_function("select_s2t", |b| {
-        b.iter(|| black_box(execute(&mut engine, s2t_stmt).unwrap()))
-    });
-    group.finish();
+    let mut samples = vec![
+        bench("parse_only", 10, || hermes_sql::parse(qut_stmt).unwrap()),
+        bench("select_range", 10, || {
+            execute(&mut engine, range_stmt).unwrap()
+        }),
+        bench("select_qut", 10, || execute(&mut engine, qut_stmt).unwrap()),
+        bench("select_s2t", 10, || execute(&mut engine, s2t_stmt).unwrap()),
+    ];
+    // The prepared path: bind two window parameters against the cached AST.
+    let mut session = Session::new(&mut engine);
+    let prepared = session
+        .prepare("SELECT QUT(flights, $1, $2, 0.35, 0.05, 300000, 6000, 1800000);")
+        .unwrap();
+    samples.push(bench("prepared_qut_bind_execute", 10, || {
+        session
+            .execute_prepared(prepared, &[Value::Int(0), Value::Int(7_200_000)])
+            .unwrap()
+    }));
+    report("e7_sql", &samples);
+    eprintln!(
+        "prepared path: {} parses for {} executions",
+        session.stats().parses,
+        session.stats().executions
+    );
 
     let outcome = run_s2t(&scenario.trajectories, &aircraft_s2t_params());
-    let mut group = c.benchmark_group("e7_va_exports");
-    group.sample_size(10);
-    group.bench_function("map_svg", |b| {
-        b.iter(|| black_box(cluster_map_svg(&outcome.result, 1200, 900)))
-    });
-    group.bench_function("space_time_cube_csv", |b| {
-        b.iter(|| black_box(space_time_cube_csv("run", &outcome.result)))
-    });
-    group.finish();
+    let va_samples = vec![
+        bench("map_svg", 10, || {
+            cluster_map_svg(&outcome.result, 1200, 900)
+        }),
+        bench("space_time_cube_csv", 10, || {
+            space_time_cube_csv("run", &outcome.result)
+        }),
+    ];
+    report("e7_va_exports", &va_samples);
 
     let qut_rows = execute(&mut engine, qut_stmt).unwrap();
     let svg = cluster_map_svg(&outcome.result, 1200, 900);
     let cube = space_time_cube_csv("run", &outcome.result);
     eprintln!("\n# E7 summary: SQL interface and VA exports");
-    eprintln!("QUT statement returned {} rows", qut_rows.len());
-    eprintln!("map SVG: {} bytes, {} polylines", svg.len(), svg.matches("<polyline").count());
+    eprintln!("QUT statement returned {} rows", qut_rows.num_rows());
+    eprintln!(
+        "map SVG: {} bytes, {} polylines",
+        svg.len(),
+        svg.matches("<polyline").count()
+    );
     eprintln!("space-time cube CSV: {} rows", cube.lines().count() - 1);
 }
-
-criterion_group!(benches, bench_e7);
-criterion_main!(benches);

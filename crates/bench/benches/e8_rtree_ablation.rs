@@ -7,11 +7,10 @@
 //! clustering practical; this bench quantifies the index's contribution in
 //! isolation from the clustering pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_bench::aircraft_with;
+use hermes_bench::harness::{bench, report};
 use hermes_gist::RTree3D;
 use hermes_trajectory::{Mbb, Point, Timestamp};
-use std::hint::black_box;
 
 fn segment_boxes(n_flights: usize) -> Vec<(Mbb, usize)> {
     let scenario = aircraft_with(n_flights, 0xE8);
@@ -35,70 +34,42 @@ fn query_windows(items: &[(Mbb, usize)]) -> Vec<Mbb> {
         .collect()
 }
 
-fn bench_e8(c: &mut Criterion) {
+fn main() {
     let sizes = [12usize, 48];
 
-    let mut group = c.benchmark_group("e8_rtree_vs_scan");
-    group.sample_size(10);
+    let mut samples = Vec::new();
     for &n in &sizes {
         let items = segment_boxes(n);
         let tree = RTree3D::bulk_load(items.clone());
         let queries = query_windows(&items);
+        let len = items.len();
 
-        group.bench_with_input(
-            BenchmarkId::new("rtree_range", items.len()),
-            &(&tree, &queries),
-            |b, (tree, queries)| {
-                b.iter(|| {
-                    let mut hits = 0usize;
-                    for q in queries.iter() {
-                        hits += tree.query_intersecting(q).len();
-                    }
-                    black_box(hits)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("linear_scan", items.len()),
-            &(&items, &queries),
-            |b, (items, queries)| {
-                b.iter(|| {
-                    let mut hits = 0usize;
-                    for q in queries.iter() {
-                        hits += items.iter().filter(|(b, _)| b.intersects(q)).count();
-                    }
-                    black_box(hits)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("bulk_load", items.len()),
-            &items,
-            |b, items| b.iter(|| black_box(RTree3D::bulk_load(items.clone())).len()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("incremental_build", items.len()),
-            &items,
-            |b, items| {
-                b.iter(|| {
-                    let mut t = RTree3D::new();
-                    for (m, v) in items.iter() {
-                        t.insert(*m, *v);
-                    }
-                    black_box(t.len())
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("knn_10", items.len()),
-            &tree,
-            |b, tree| {
-                let p = Point::new(0.0, 0.0, Timestamp(30 * 60_000));
-                b.iter(|| black_box(tree.nearest(&p, 10)))
-            },
-        );
+        samples.push(bench(format!("rtree_range/{len}"), 10, || {
+            queries
+                .iter()
+                .map(|q| tree.query_intersecting(q).len())
+                .sum::<usize>()
+        }));
+        samples.push(bench(format!("linear_scan/{len}"), 10, || {
+            queries
+                .iter()
+                .map(|q| items.iter().filter(|(b, _)| b.intersects(q)).count())
+                .sum::<usize>()
+        }));
+        samples.push(bench(format!("bulk_load/{len}"), 10, || {
+            RTree3D::bulk_load(items.clone()).len()
+        }));
+        samples.push(bench(format!("incremental_build/{len}"), 10, || {
+            let mut t = RTree3D::new();
+            for (m, v) in items.iter() {
+                t.insert(*m, *v);
+            }
+            t.len()
+        }));
+        let p = Point::new(0.0, 0.0, Timestamp(30 * 60_000));
+        samples.push(bench(format!("knn_10/{len}"), 10, || tree.nearest(&p, 10)));
     }
-    group.finish();
+    report("e8_rtree_vs_scan", &samples);
 
     eprintln!("\n# E8 summary: pg3D-Rtree structure");
     for &n in &sizes {
@@ -107,7 +78,10 @@ fn bench_e8(c: &mut Criterion) {
         let stats = tree.stats();
         // Correctness cross-check: the index and the scan agree.
         let queries = query_windows(&items);
-        let tree_hits: usize = queries.iter().map(|q| tree.query_intersecting(q).len()).sum();
+        let tree_hits: usize = queries
+            .iter()
+            .map(|q| tree.query_intersecting(q).len())
+            .sum();
         let scan_hits: usize = queries
             .iter()
             .map(|q| items.iter().filter(|(b, _)| b.intersects(q)).count())
@@ -115,10 +89,12 @@ fn bench_e8(c: &mut Criterion) {
         assert_eq!(tree_hits, scan_hits);
         eprintln!(
             "{} segments → height {}, {} leaves, {} internal nodes, {} hits over {} query windows",
-            stats.len, stats.height, stats.leaf_nodes, stats.internal_nodes, tree_hits, queries.len()
+            stats.len,
+            stats.height,
+            stats.leaf_nodes,
+            stats.internal_nodes,
+            tree_hits,
+            queries.len()
         );
     }
 }
-
-criterion_group!(benches, bench_e8);
-criterion_main!(benches);

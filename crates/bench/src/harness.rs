@@ -1,0 +1,96 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The experiment targets in `benches/` are plain `harness = false`
+//! executables: each calls [`bench`] per measured variant and [`report`] to
+//! print an aligned summary, keeping the whole workspace buildable offline.
+//! Timings are wall-clock medians over a fixed iteration count with one
+//! warm-up run — adequate for the order-of-magnitude comparisons the paper's
+//! experiments make (indexed vs naive, QuT vs rebuild).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Case label, e.g. `qut/25%`.
+    pub label: String,
+    /// Iterations measured (after one warm-up).
+    pub iters: u32,
+    /// Median per-iteration time in milliseconds.
+    pub median_ms: f64,
+    /// Fastest observed iteration in milliseconds.
+    pub min_ms: f64,
+    /// Slowest observed iteration in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Times `f` for `iters` iterations (plus one warm-up) and returns the
+/// sample. The closure's result is passed through [`black_box`] so the work
+/// is not optimized away.
+pub fn bench<T>(label: impl Into<String>, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+    let iters = iters.max(1);
+    black_box(f());
+    let mut times_ms: Vec<f64> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            black_box(f());
+            started.elapsed().as_secs_f64() * 1_000.0
+        })
+        .collect();
+    times_ms.sort_by(f64::total_cmp);
+    Sample {
+        label: label.into(),
+        iters,
+        median_ms: times_ms[times_ms.len() / 2],
+        min_ms: times_ms[0],
+        max_ms: times_ms[times_ms.len() - 1],
+    }
+}
+
+/// Prints samples as an aligned table on stderr (matching the summary style
+/// the experiment targets already use).
+pub fn report(title: &str, samples: &[Sample]) {
+    eprintln!("\n## {title}");
+    let width = samples
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(0)
+        .max("case".len());
+    eprintln!(
+        "{:>width$} {:>7} {:>12} {:>12} {:>12}",
+        "case", "iters", "median_ms", "min_ms", "max_ms"
+    );
+    for s in samples {
+        eprintln!(
+            "{:>width$} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            s.label, s.iters, s.median_ms, s.min_ms, s.max_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_labels() {
+        let mut calls = 0u32;
+        let s = bench("spin", 5, || {
+            calls += 1;
+            (0..1000).sum::<u64>()
+        });
+        assert_eq!(s.label, "spin");
+        assert_eq!(s.iters, 5);
+        assert_eq!(calls, 6, "one warm-up plus five measured iterations");
+        assert!(s.min_ms <= s.median_ms && s.median_ms <= s.max_ms);
+        report("test", &[s]);
+    }
+
+    #[test]
+    fn zero_iterations_are_clamped() {
+        let s = bench("once", 0, || 1 + 1);
+        assert_eq!(s.iters, 1);
+    }
+}

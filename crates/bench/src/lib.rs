@@ -12,6 +12,8 @@ use hermes_retratree::{QutParams, ReTraTreeParams};
 use hermes_s2t::S2TParams;
 use hermes_trajectory::Duration;
 
+pub mod harness;
+
 /// The S2T parameter set used for aircraft workloads across the experiments.
 pub fn aircraft_s2t_params() -> S2TParams {
     S2TParams {

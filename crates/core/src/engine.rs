@@ -100,8 +100,10 @@ impl HermesEngine {
         Ok(())
     }
 
-    /// Builds (or rebuilds) the ReTraTree of a dataset.
-    pub fn build_index(&mut self, name: &str, params: ReTraTreeParams) -> Result<()> {
+    /// Builds (or rebuilds) the ReTraTree of a dataset, returning the number
+    /// of trajectories indexed (the SQL layer reports it as the command's
+    /// affected count).
+    pub fn build_index(&mut self, name: &str, params: ReTraTreeParams) -> Result<usize> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let id = self.dataset_id(name)?;
         let ds = self
@@ -112,7 +114,7 @@ impl HermesEngine {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
         ds.tree = Some(ReTraTree::build_from(params, &ds.trajectories));
-        Ok(())
+        Ok(ds.trajectories.len())
     }
 
     /// Access to a dataset's ReTraTree (for statistics and benchmarks).
@@ -326,7 +328,8 @@ mod tests {
         let mut e = engine_with_data();
         e.build_index("flights", tree_params()).unwrap();
         let before = e.tree("flights").unwrap().total_population();
-        e.load_trajectories("flights", vec![traj(99, 40.0, 0)]).unwrap();
+        e.load_trajectories("flights", vec![traj(99, 40.0, 0)])
+            .unwrap();
         let after = e.tree("flights").unwrap().total_population();
         assert!(after > before);
         assert_eq!(e.dataset_info("flights").unwrap().num_trajectories, 19);

@@ -58,6 +58,8 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e: EngineError = StorageError::InvalidPage { page: 3 }.into();
         assert!(matches!(e, EngineError::Storage(_)));
-        assert!(EngineError::NotIndexed("d".into()).to_string().contains("ReTraTree"));
+        assert!(EngineError::NotIndexed("d".into())
+            .to_string()
+            .contains("ReTraTree"));
     }
 }

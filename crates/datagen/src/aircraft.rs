@@ -124,7 +124,8 @@ impl AircraftScenarioBuilder {
                     + (stream as i64 * self.wave_spacing_ms / self.num_streams.max(1) as i64)
                     + wave as i64 * self.wave_spacing_ms;
                 for _ in 0..self.flights_per_wave {
-                    let depart = wave_start + (rng.next_f64() * self.intra_wave_jitter_ms as f64) as i64;
+                    let depart =
+                        wave_start + (rng.next_f64() * self.intra_wave_jitter_ms as f64) as i64;
                     let holds = rng.chance(self.holding_probability);
                     let lateral = rng.gaussian() * self.corridor_spread;
                     let traj = self.flight(next_id, entry_angle, lateral, depart, holds, &mut rng);
@@ -217,8 +218,14 @@ impl AircraftScenarioBuilder {
         // Offset the chord so it misses the airport (where corridors converge).
         let offset = self.terminal_radius * 0.45 + rng.range(0.0, self.terminal_radius * 0.2);
         let off_dir = a + PI / 2.0;
-        let from = (a.cos() * r + off_dir.cos() * offset, a.sin() * r + off_dir.sin() * offset);
-        let to = (b.cos() * r + off_dir.cos() * offset, b.sin() * r + off_dir.sin() * offset);
+        let from = (
+            a.cos() * r + off_dir.cos() * offset,
+            a.sin() * r + off_dir.sin() * offset,
+        );
+        let to = (
+            b.cos() * r + off_dir.cos() * offset,
+            b.sin() * r + off_dir.sin() * offset,
+        );
         let depart = self.start.millis()
             + (rng.next_f64() * self.waves_per_stream as f64 * self.wave_spacing_ms as f64) as i64;
         self.sample_path(id, &[from, to], depart, self.approach_speed * 1.6, rng)
@@ -344,7 +351,11 @@ mod tests {
             let t = s.trajectories.iter().find(|t| t.id == id).unwrap();
             TrajectoryStats::compute(t).sinuosity
         };
-        let holding_mean: f64 = s.holding_flight_ids.iter().map(|&i| sinuosity(i)).sum::<f64>()
+        let holding_mean: f64 = s
+            .holding_flight_ids
+            .iter()
+            .map(|&i| sinuosity(i))
+            .sum::<f64>()
             / s.holding_flight_ids.len() as f64;
         let normal: Vec<u64> = s
             .trajectories

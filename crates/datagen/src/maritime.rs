@@ -102,10 +102,7 @@ impl MaritimeScenarioBuilder {
                 rng.range(0.0, self.lane_length),
                 -self.lane_length * 0.5 - rng.range(0.0, self.lane_length * 0.3),
             );
-            let to = (
-                rng.range(0.0, self.lane_length),
-                -self.lane_length * 1.2,
-            );
+            let to = (rng.range(0.0, self.lane_length), -self.lane_length * 1.2);
             let depart =
                 self.start.millis() + (rng.next_f64() * self.departure_spread_ms as f64) as i64;
             let traj = self.sail(id, from, to, depart, &mut rng);

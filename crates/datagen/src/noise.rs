@@ -42,12 +42,19 @@ impl NoiseModel {
 
 /// Applies a noise model to an entire trajectory, preserving strict temporal
 /// order by sorting and de-duplicating timestamps afterwards.
-pub fn perturb_trajectory(traj: &Trajectory, noise: &NoiseModel, rng: &mut SplitMix64) -> Trajectory {
-    let mut pts: Vec<Point> = traj.points().iter().map(|p| noise.perturb(*p, rng)).collect();
+pub fn perturb_trajectory(
+    traj: &Trajectory,
+    noise: &NoiseModel,
+    rng: &mut SplitMix64,
+) -> Trajectory {
+    let mut pts: Vec<Point> = traj
+        .points()
+        .iter()
+        .map(|p| noise.perturb(*p, rng))
+        .collect();
     pts.sort_by_key(|p| p.t);
     pts.dedup_by_key(|p| p.t);
-    Trajectory::new(traj.id, traj.object_id, pts)
-        .unwrap_or_else(|_| traj.clone())
+    Trajectory::new(traj.id, traj.object_id, pts).unwrap_or_else(|_| traj.clone())
 }
 
 #[cfg(test)]
@@ -102,8 +109,14 @@ mod tests {
     fn perturbation_magnitude_tracks_sigma() {
         let t = straight(1);
         let mut rng = SplitMix64::new(9);
-        let small = NoiseModel { position_sigma: 1.0, time_sigma_ms: 0.0 };
-        let large = NoiseModel { position_sigma: 50.0, time_sigma_ms: 0.0 };
+        let small = NoiseModel {
+            position_sigma: 1.0,
+            time_sigma_ms: 0.0,
+        };
+        let large = NoiseModel {
+            position_sigma: 50.0,
+            time_sigma_ms: 0.0,
+        };
         let mean_displacement = |n: &Trajectory| {
             n.points()
                 .iter()

@@ -101,7 +101,11 @@ mod tests {
         let tree = build(n);
         tree.check_invariants();
         let w = iv(50 * 1_800_000, 60 * 1_800_000);
-        let mut hits: Vec<i64> = tree.query(&IntervalQuery::Overlaps(w)).into_iter().copied().collect();
+        let mut hits: Vec<i64> = tree
+            .query(&IntervalQuery::Overlaps(w))
+            .into_iter()
+            .copied()
+            .collect();
         hits.sort_unstable();
         let expected: Vec<i64> = (0..n)
             .filter(|&i| iv(i * 1_800_000, i * 1_800_000 + 3_600_000).intersects(&w))
@@ -154,7 +158,11 @@ mod tests {
         let w = iv(0, 10 * 1_800_000);
         let removed = tree.remove_where(&IntervalQuery::Overlaps(w), |&v| v < 5);
         assert_eq!(removed, 5);
-        let hits: Vec<i64> = tree.query(&IntervalQuery::Overlaps(w)).into_iter().copied().collect();
+        let hits: Vec<i64> = tree
+            .query(&IntervalQuery::Overlaps(w))
+            .into_iter()
+            .copied()
+            .collect();
         assert!(hits.iter().all(|&v| v >= 5));
     }
 }

@@ -106,9 +106,7 @@ impl OpClass for Box3OpClass {
                 let volume = lu.volume(DEFAULT_TIME_WEIGHT) + ru.volume(DEFAULT_TIME_WEIGHT);
                 let better = match &best {
                     None => true,
-                    Some((bo, bv, _, _)) => {
-                        overlap < *bo || (overlap == *bo && volume < *bv)
-                    }
+                    Some((bo, bv, _, _)) => overlap < *bo || (overlap == *bo && volume < *bv),
                 };
                 if better {
                     best = Some((overlap, volume, left, right));
@@ -121,9 +119,7 @@ impl OpClass for Box3OpClass {
 
     fn distance(key: &Mbb, query: &RangeQuery) -> f64 {
         match query {
-            RangeQuery::NearestTo(p) => {
-                key.min_distance(&Mbb::from_point(p), DEFAULT_TIME_WEIGHT)
-            }
+            RangeQuery::NearestTo(p) => key.min_distance(&Mbb::from_point(p), DEFAULT_TIME_WEIGHT),
             // Range queries are unordered; any constant keeps the scan valid.
             _ => 0.0,
         }
@@ -237,7 +233,14 @@ mod tests {
 
     fn unit_box_at(i: usize) -> Mbb {
         let f = i as f64;
-        boxy(f, f + 1.0, f * 2.0, f * 2.0 + 1.0, i as i64 * 1000, i as i64 * 1000 + 1000)
+        boxy(
+            f,
+            f + 1.0,
+            f * 2.0,
+            f * 2.0 + 1.0,
+            i as i64 * 1000,
+            i as i64 * 1000 + 1000,
+        )
     }
 
     #[test]
@@ -381,7 +384,9 @@ mod tests {
     fn empty_tree_behaviour() {
         let t: RTree3D<u32> = RTree3D::new();
         assert!(t.is_empty());
-        assert!(t.query_intersecting(&boxy(0.0, 1.0, 0.0, 1.0, 0, 1)).is_empty());
+        assert!(t
+            .query_intersecting(&boxy(0.0, 1.0, 0.0, 1.0, 0, 1))
+            .is_empty());
         assert!(t.nearest(&Point::new(0.0, 0.0, Timestamp(0)), 3).is_empty());
         let empty_bulk: RTree3D<u32> = RTree3D::bulk_load(Vec::new());
         assert!(empty_bulk.is_empty());

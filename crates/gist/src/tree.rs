@@ -23,12 +23,8 @@ pub struct Gist<O: OpClass, V> {
 }
 
 enum Node<K, V> {
-    Internal {
-        entries: Vec<(K, usize)>,
-    },
-    Leaf {
-        entries: Vec<(K, V)>,
-    },
+    Internal { entries: Vec<(K, usize)> },
+    Leaf { entries: Vec<(K, V)> },
 }
 
 /// Structural statistics of a tree, used by the benchmarks and by tests that
@@ -517,9 +513,7 @@ impl<O: OpClass, V: Clone> Gist<O, V> {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             let leaves_needed = items.len().div_ceil(leaf_cap);
-            let slabs = (leaves_needed as f64)
-                .powf(1.0 / (D - dim) as f64)
-                .ceil() as usize;
+            let slabs = (leaves_needed as f64).powf(1.0 / (D - dim) as f64).ceil() as usize;
             let slab_size = items.len().div_ceil(slabs.max(1));
             let mut rest = items;
             while !rest.is_empty() {

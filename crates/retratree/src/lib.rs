@@ -35,6 +35,6 @@ pub mod qut;
 pub mod tree;
 
 pub use node::{Chunk, ClusterEntry, SubChunk};
-pub use params::{QutParams, ReTraTreeParams};
+pub use params::{QutParams, QutParamsBuilder, ReTraTreeParams, ReTraTreeParamsBuilder};
 pub use qut::{qut_clustering, range_query_then_cluster, QutStats};
 pub use tree::{MaintenanceStats, ReTraTree};

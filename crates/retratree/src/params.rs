@@ -36,7 +36,68 @@ impl Default for ReTraTreeParams {
     }
 }
 
+/// Builder for [`ReTraTreeParams`], with validation folded into
+/// [`ReTraTreeParamsBuilder::build`].
+///
+/// ```
+/// use hermes_retratree::ReTraTreeParams;
+/// use hermes_trajectory::Duration;
+/// let params = ReTraTreeParams::builder()
+///     .chunk_duration(Duration::from_hours(2))
+///     .subchunks_per_chunk(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.subchunk_duration(), Duration::from_mins(30));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReTraTreeParamsBuilder {
+    params: ReTraTreeParams,
+}
+
+impl ReTraTreeParamsBuilder {
+    /// Sets the level-1 chunk duration.
+    pub fn chunk_duration(mut self, d: Duration) -> Self {
+        self.params.chunk_duration = d;
+        self
+    }
+
+    /// Sets the level-2 fan-out (sub-chunks per chunk).
+    pub fn subchunks_per_chunk(mut self, n: usize) -> Self {
+        self.params.subchunks_per_chunk = n;
+        self
+    }
+
+    /// Sets the outlier-partition page threshold triggering re-clustering.
+    pub fn reorg_page_threshold(mut self, pages: usize) -> Self {
+        self.params.reorg_page_threshold = pages;
+        self
+    }
+
+    /// Sets the buffer-pool capacity in frames.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.params.buffer_frames = frames;
+        self
+    }
+
+    /// Sets the S2T parameters for the per-sub-chunk clustering runs.
+    pub fn s2t(mut self, s2t: S2TParams) -> Self {
+        self.params.s2t = s2t;
+        self
+    }
+
+    /// Validates and returns the parameters, or the first violation.
+    pub fn build(self) -> Result<ReTraTreeParams, String> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
 impl ReTraTreeParams {
+    /// Starts a builder over the default parameters.
+    pub fn builder() -> ReTraTreeParamsBuilder {
+        ReTraTreeParamsBuilder::default()
+    }
+
     /// Validates the parameters, returning the first violation.
     pub fn validate(&self) -> Result<(), String> {
         if self.chunk_duration.millis() <= 0 {
@@ -90,8 +151,48 @@ impl Default for QutParams {
     }
 }
 
+/// Builder for [`QutParams`], with validation folded into
+/// [`QutParamsBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct QutParamsBuilder {
+    params: QutParams,
+}
+
+impl QutParamsBuilder {
+    /// Sets the S2T parameters used for on-the-fly border re-clustering.
+    pub fn s2t(mut self, s2t: S2TParams) -> Self {
+        self.params.s2t = s2t;
+        self
+    }
+
+    /// Sets the cross-sub-chunk merge distance `d`.
+    pub fn merge_distance(mut self, d: f64) -> Self {
+        self.params.merge_distance = d;
+        self
+    }
+
+    /// Sets the maximum temporal merge gap `γ`.
+    pub fn merge_gap(mut self, gap: Duration) -> Self {
+        self.params.merge_gap = gap;
+        self
+    }
+
+    /// Validates and returns the parameters, or the first violation.
+    pub fn build(self) -> Result<QutParams, String> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
 impl QutParams {
+    /// Starts a builder over the default parameters.
+    pub fn builder() -> QutParamsBuilder {
+        QutParamsBuilder::default()
+    }
+
     /// Validates the parameters.
+    // The negated comparison deliberately rejects NaN too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.merge_distance > 0.0) {
             return Err(format!(
@@ -126,30 +227,68 @@ mod tests {
     }
 
     #[test]
+    fn builders_set_knobs_and_validate() {
+        let p = ReTraTreeParams::builder()
+            .chunk_duration(Duration::from_hours(2))
+            .subchunks_per_chunk(8)
+            .reorg_page_threshold(3)
+            .buffer_frames(64)
+            .s2t(S2TParams::builder().sigma(9.0).build().unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(p.subchunks_per_chunk, 8);
+        assert_eq!(p.s2t.sigma, 9.0);
+        assert!(ReTraTreeParams::builder()
+            .subchunks_per_chunk(0)
+            .build()
+            .is_err());
+
+        let q = QutParams::builder()
+            .merge_distance(2_500.0)
+            .merge_gap(Duration::from_mins(45))
+            .build()
+            .unwrap();
+        assert_eq!(q.merge_gap, Duration::from_mins(45));
+        assert!(QutParams::builder().merge_distance(-1.0).build().is_err());
+    }
+
+    #[test]
     fn invalid_parameters_are_rejected() {
-        let mut p = ReTraTreeParams::default();
-        p.chunk_duration = Duration::from_millis(0);
+        let p = ReTraTreeParams {
+            chunk_duration: Duration::from_millis(0),
+            ..ReTraTreeParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = ReTraTreeParams::default();
-        p.subchunks_per_chunk = 0;
+        let p = ReTraTreeParams {
+            subchunks_per_chunk: 0,
+            ..ReTraTreeParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = ReTraTreeParams::default();
-        p.chunk_duration = Duration::from_millis(1_000_003);
-        p.subchunks_per_chunk = 4;
+        let p = ReTraTreeParams {
+            chunk_duration: Duration::from_millis(1_000_003),
+            subchunks_per_chunk: 4,
+            ..ReTraTreeParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("divisible"));
 
-        let mut p = ReTraTreeParams::default();
-        p.reorg_page_threshold = 0;
+        let p = ReTraTreeParams {
+            reorg_page_threshold: 0,
+            ..ReTraTreeParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut q = QutParams::default();
-        q.merge_distance = 0.0;
+        let q = QutParams {
+            merge_distance: 0.0,
+            ..QutParams::default()
+        };
         assert!(q.validate().is_err());
 
-        let mut q = QutParams::default();
-        q.merge_gap = Duration::from_millis(-1);
+        let q = QutParams {
+            merge_gap: Duration::from_millis(-1),
+            ..QutParams::default()
+        };
         assert!(q.validate().is_err());
     }
 }

@@ -185,8 +185,14 @@ fn representative_merge_distance(a: &SubTrajectory, b: &SubTrajectory) -> f64 {
         // Degenerate single-instant overlap: compare shapes.
         return hausdorff_distance(a.points(), b.points());
     };
-    let end = earlier.points().last().expect("sub-trajectories are non-empty");
-    let start = later.points().first().expect("sub-trajectories are non-empty");
+    let end = earlier
+        .points()
+        .last()
+        .expect("sub-trajectories are non-empty");
+    let start = later
+        .points()
+        .first()
+        .expect("sub-trajectories are non-empty");
     end.spatial_distance(start)
 }
 
@@ -235,7 +241,8 @@ fn merge_adjacent_clusters(
     }
 
     // Group clusters by root and fold each group into one cluster.
-    let mut groups: std::collections::HashMap<usize, Vec<Cluster>> = std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<Cluster>> =
+        std::collections::HashMap::new();
     for (i, c) in clusters.into_iter().enumerate() {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(c);
@@ -329,8 +336,14 @@ mod tests {
         let w = TimeInterval::new(Timestamp(0), Timestamp(12 * 3_600_000));
         let (result, stats) = qut_clustering(&tree, &w, &qut_params());
         assert!(stats.reused_subchunks >= 2);
-        assert_eq!(stats.reclustered_subchunks, 0, "a chunk-aligned window needs no re-clustering");
-        assert!(result.num_clusters() >= 2, "both co-moving groups must appear");
+        assert_eq!(
+            stats.reclustered_subchunks, 0,
+            "a chunk-aligned window needs no re-clustering"
+        );
+        assert!(
+            result.num_clusters() >= 2,
+            "both co-moving groups must appear"
+        );
         // Every stored piece must be accounted for.
         assert_eq!(result.total_sub_trajectories(), tree.total_population());
     }
@@ -343,7 +356,10 @@ mod tests {
         assert!(result.num_clusters() >= 1);
         for c in &result.clusters {
             assert!(c.lifespan().intersects(&w));
-            assert!(c.representative.trajectory_id < 25, "only the morning group is in W");
+            assert!(
+                c.representative.trajectory_id < 25,
+                "only the morning group is in W"
+            );
         }
         let (later, _) = qut_clustering(
             &tree,
@@ -380,10 +396,7 @@ mod tests {
         // The two strategies agree on what co-moves: same number of clustered
         // groups and the same total coverage of the window's data.
         assert_eq!(fast.num_clusters(), slow.num_clusters());
-        assert_eq!(
-            fast.total_sub_trajectories(),
-            slow.total_sub_trajectories()
-        );
+        assert_eq!(fast.total_sub_trajectories(), slow.total_sub_trajectories());
     }
 
     #[test]
@@ -398,7 +411,10 @@ mod tests {
         }
         let w = TimeInterval::new(Timestamp(0), Timestamp(4 * 3_600_000));
         let (result, stats) = qut_clustering(&tree, &w, &qut_params());
-        assert!(stats.merges >= 1, "expected at least one cross-boundary merge");
+        assert!(
+            stats.merges >= 1,
+            "expected at least one cross-boundary merge"
+        );
         assert_eq!(
             result.num_clusters(),
             1,

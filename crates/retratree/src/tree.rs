@@ -112,10 +112,7 @@ impl ReTraTree {
         }
         let chunk_len = self.params.chunk_duration.millis();
         let sub_len = self.params.subchunk_duration().millis();
-        let interval = TimeInterval::new(
-            Timestamp(start_ms),
-            Timestamp(start_ms + chunk_len),
-        );
+        let interval = TimeInterval::new(Timestamp(start_ms), Timestamp(start_ms + chunk_len));
         let mut subchunks = Vec::with_capacity(self.params.subchunks_per_chunk);
         for i in 0..self.params.subchunks_per_chunk {
             let s = Timestamp(start_ms + i as i64 * sub_len);
@@ -123,7 +120,13 @@ impl ReTraTree {
             let outlier_partition = self.store.create_partition(PartitionKind::Outliers);
             subchunks.push(SubChunk::new(TimeInterval::new(s, e), outlier_partition));
         }
-        self.chunks.insert(start_ms, Chunk { interval, subchunks });
+        self.chunks.insert(
+            start_ms,
+            Chunk {
+                interval,
+                subchunks,
+            },
+        );
     }
 
     /// Inserts a whole trajectory: it is cut at chunk and sub-chunk
@@ -167,7 +170,10 @@ impl ReTraTree {
 
         // Try to cluster the piece under an existing representative.
         let epsilon = self.params.s2t.epsilon;
-        let chunk = self.chunks.get_mut(&chunk_key).expect("chunk ensured above");
+        let chunk = self
+            .chunks
+            .get_mut(&chunk_key)
+            .expect("chunk ensured above");
         let sc = &mut chunk.subchunks[sc_index];
         let mut best: Option<(usize, f64)> = None;
         for (ci, entry) in sc.clusters.iter().enumerate() {
@@ -375,7 +381,12 @@ impl ReTraTree {
         let mut rows = Vec::new();
         for chunk in self.chunks.values() {
             for sc in &chunk.subchunks {
-                rows.push((chunk.interval, sc.interval, sc.num_clusters(), sc.population()));
+                rows.push((
+                    chunk.interval,
+                    sc.interval,
+                    sc.num_clusters(),
+                    sc.population(),
+                ));
             }
         }
         rows
@@ -431,7 +442,11 @@ mod tests {
         assert_eq!(tree.num_chunks(), 1);
         let s = tree.stats();
         assert_eq!(s.inserted_trajectories, 1);
-        assert!(s.inserted_pieces >= 2, "expected at least 2 pieces, got {}", s.inserted_pieces);
+        assert!(
+            s.inserted_pieces >= 2,
+            "expected at least 2 pieces, got {}",
+            s.inserted_pieces
+        );
         assert_eq!(tree.total_population(), s.inserted_pieces);
     }
 
@@ -456,7 +471,10 @@ mod tests {
             tree.insert_trajectory(&traj(i, i as f64 * 5.0, 0, 3_500_000));
         }
         let s = tree.stats();
-        assert!(s.reorganizations >= 1, "expected at least one reorganization");
+        assert!(
+            s.reorganizations >= 1,
+            "expected at least one reorganization"
+        );
         assert!(s.promoted_representatives >= 1);
         assert!(tree.total_clusters() >= 1);
         // Later, similar trajectories are assigned directly to the promoted
@@ -491,7 +509,9 @@ mod tests {
 
     #[test]
     fn build_from_is_equivalent_to_sequential_insertion() {
-        let data: Vec<Trajectory> = (0..10).map(|i| traj(i, i as f64 * 10.0, 0, 3_500_000)).collect();
+        let data: Vec<Trajectory> = (0..10)
+            .map(|i| traj(i, i as f64 * 10.0, 0, 3_500_000))
+            .collect();
         let bulk = ReTraTree::build_from(params(), &data);
         let mut seq = ReTraTree::new(params());
         for t in &data {

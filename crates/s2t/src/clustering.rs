@@ -141,10 +141,8 @@ pub fn cluster_around_representatives(
         let mut best: Option<(usize, f64)> = None;
         for (ci, c) in clusters.iter().enumerate() {
             let d = spatiotemporal_distance(&s.sub, &c.representative);
-            if d.is_finite() && d <= params.epsilon {
-                if best.map(|(_, bd)| d < bd).unwrap_or(true) {
-                    best = Some((ci, d));
-                }
+            if d.is_finite() && d <= params.epsilon && best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((ci, d));
             }
         }
         match best {
@@ -225,7 +223,11 @@ mod tests {
 
     #[test]
     fn cluster_statistics() {
-        let subs = vec![voted(0, 0.0, 0, 5.0), voted(1, 10.0, 0, 1.0), voted(2, 20.0, 0, 1.0)];
+        let subs = vec![
+            voted(0, 0.0, 0, 5.0),
+            voted(1, 10.0, 0, 1.0),
+            voted(2, 20.0, 0, 1.0),
+        ];
         let result = cluster_around_representatives(&subs, &[0], &params(100.0));
         let c = &result.clusters[0];
         assert_eq!(c.size(), 3);
@@ -247,10 +249,8 @@ mod tests {
         ];
         let result = cluster_around_representatives(&subs, &[0, 2], &params(100.0));
         assert_eq!(result.num_clusters(), 2);
-        let morning = result.restrict_to_window(&TimeInterval::new(
-            Timestamp(0),
-            Timestamp(3_600_000),
-        ));
+        let morning =
+            result.restrict_to_window(&TimeInterval::new(Timestamp(0), Timestamp(3_600_000)));
         assert_eq!(morning.num_clusters(), 1);
         assert_eq!(morning.clusters[0].id, 0);
         assert_eq!(morning.clusters[0].representative.trajectory_id, 0);

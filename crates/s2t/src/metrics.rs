@@ -49,7 +49,11 @@ impl ClusteringQuality {
                 intra_n += 1;
             }
         }
-        let mean_intra = if intra_n > 0 { intra_sum / intra_n as f64 } else { 0.0 };
+        let mean_intra = if intra_n > 0 {
+            intra_sum / intra_n as f64
+        } else {
+            0.0
+        };
 
         let mut inter_sum = 0.0;
         let mut inter_n = 0usize;
@@ -64,7 +68,11 @@ impl ClusteringQuality {
                 }
             }
         }
-        let mean_inter = if inter_n > 0 { inter_sum / inter_n as f64 } else { 0.0 };
+        let mean_inter = if inter_n > 0 {
+            inter_sum / inter_n as f64
+        } else {
+            0.0
+        };
 
         let separation_ratio = if mean_intra > 0.0 {
             mean_inter / mean_intra

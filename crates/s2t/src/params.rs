@@ -49,9 +49,86 @@ impl Default for S2TParams {
     }
 }
 
+/// Builder for [`S2TParams`]: named setters over the defaults, with
+/// validation folded into [`S2TParamsBuilder::build`], so call sites stay
+/// correct when new knobs are added (no positional argument lists to break).
+///
+/// ```
+/// use hermes_s2t::S2TParams;
+/// let params = S2TParams::builder()
+///     .sigma(2000.0)
+///     .epsilon(6000.0)
+///     .min_duration_ms(300_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.sigma, 2000.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct S2TParamsBuilder {
+    params: S2TParams,
+}
+
+impl S2TParamsBuilder {
+    /// Sets the voting kernel bandwidth σ.
+    pub fn sigma(mut self, sigma: f64) -> Self {
+        self.params.sigma = sigma;
+        self
+    }
+
+    /// Sets the segmentation threshold τ.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.params.tau = tau;
+        self
+    }
+
+    /// Sets the sampling stop criterion δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.params.delta = delta;
+        self
+    }
+
+    /// Sets the minimum sub-trajectory duration `t` in milliseconds.
+    pub fn min_duration_ms(mut self, ms: i64) -> Self {
+        self.params.min_duration_ms = ms;
+        self
+    }
+
+    /// Sets the clustering distance bound ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.params.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the representative-count cap (0 = unbounded).
+    pub fn max_representatives(mut self, n: usize) -> Self {
+        self.params.max_representatives = n;
+        self
+    }
+
+    /// Sets the temporal weight for MBB pruning.
+    pub fn time_weight(mut self, w: f64) -> Self {
+        self.params.time_weight = w;
+        self
+    }
+
+    /// Validates and returns the parameters, or the first violation.
+    pub fn build(self) -> Result<S2TParams, String> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
 impl S2TParams {
+    /// Starts a builder over the default parameters.
+    pub fn builder() -> S2TParamsBuilder {
+        S2TParamsBuilder::default()
+    }
+
     /// Validates parameter ranges, returning a description of the first
     /// violation. Used by the SQL layer to reject bad queries early.
+    // Negated comparisons are deliberate: they reject NaN along with
+    // out-of-range values.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), String> {
         if !(self.sigma > 0.0) {
             return Err(format!("sigma must be positive, got {}", self.sigma));
@@ -99,35 +176,80 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected_with_reasons() {
-        let mut p = S2TParams::default();
-        p.sigma = 0.0;
+        let p = S2TParams {
+            sigma: 0.0,
+            ..S2TParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("sigma"));
 
-        let mut p = S2TParams::default();
-        p.tau = 1.5;
+        let p = S2TParams {
+            tau: 1.5,
+            ..S2TParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("tau"));
 
-        let mut p = S2TParams::default();
-        p.delta = 1.0;
+        let p = S2TParams {
+            delta: 1.0,
+            ..S2TParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("delta"));
 
-        let mut p = S2TParams::default();
-        p.min_duration_ms = -5;
+        let p = S2TParams {
+            min_duration_ms: -5,
+            ..S2TParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("min_duration"));
 
-        let mut p = S2TParams::default();
-        p.epsilon = -1.0;
+        let p = S2TParams {
+            epsilon: -1.0,
+            ..S2TParams::default()
+        };
         assert!(p.validate().unwrap_err().contains("epsilon"));
 
-        let mut p = S2TParams::default();
-        p.time_weight = f64::NAN;
+        let p = S2TParams {
+            time_weight: f64::NAN,
+            ..S2TParams::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
+    fn builder_sets_knobs_and_validates() {
+        let p = S2TParams::builder()
+            .sigma(2000.0)
+            .tau(0.4)
+            .delta(0.1)
+            .min_duration_ms(300_000)
+            .epsilon(6000.0)
+            .max_representatives(32)
+            .time_weight(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.sigma, 2000.0);
+        assert_eq!(p.tau, 0.4);
+        assert_eq!(p.max_representatives, 32);
+        // Unset knobs keep their defaults.
+        let d = S2TParams::builder().sigma(9.0).build().unwrap();
+        assert_eq!(d.epsilon, S2TParams::default().epsilon);
+        // Validation is folded into build().
+        assert!(S2TParams::builder()
+            .sigma(-1.0)
+            .build()
+            .unwrap_err()
+            .contains("sigma"));
+        assert!(S2TParams::builder()
+            .tau(2.0)
+            .build()
+            .unwrap_err()
+            .contains("tau"));
+    }
+
+    #[test]
     fn cutoff_radius_scales_with_sigma() {
-        let mut p = S2TParams::default();
-        p.sigma = 10.0;
+        let mut p = S2TParams {
+            sigma: 10.0,
+            ..S2TParams::default()
+        };
         let r10 = p.voting_cutoff_radius();
         p.sigma = 20.0;
         let r20 = p.voting_cutoff_radius();

@@ -57,11 +57,7 @@ fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1_000.0
 }
 
-fn run_pipeline(
-    trajectories: &[Trajectory],
-    params: &S2TParams,
-    use_index: bool,
-) -> S2TOutcome {
+fn run_pipeline(trajectories: &[Trajectory], params: &S2TParams, use_index: bool) -> S2TOutcome {
     let mut timings = S2TPhaseTimings::default();
 
     let t0 = Instant::now();
@@ -117,9 +113,7 @@ pub fn run_s2t_naive(trajectories: &[Trajectory], params: &S2TParams) -> S2TOutc
 /// `trajectory_id`/`object_id`; the offset survives in the sub-trajectory id.
 pub fn trajectories_from_subs(subs: &[SubTrajectory]) -> Vec<Trajectory> {
     subs.iter()
-        .filter_map(|s| {
-            Trajectory::new(s.trajectory_id, s.object_id, s.points().to_vec()).ok()
-        })
+        .filter_map(|s| Trajectory::new(s.trajectory_id, s.object_id, s.points().to_vec()).ok())
         .collect()
 }
 
@@ -191,13 +185,20 @@ mod tests {
         let trajs = small_mod();
         let outcome = run_s2t(&trajs, &params());
         let result = &outcome.result;
-        assert_eq!(result.num_clusters(), 2, "expected exactly the two co-moving groups");
+        assert_eq!(
+            result.num_clusters(),
+            2,
+            "expected exactly the two co-moving groups"
+        );
         let mut sizes: Vec<usize> = result.clusters.iter().map(|c| c.size()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![3, 4]);
         assert_eq!(result.num_outliers(), 2);
         // Every input trajectory is accounted for exactly once.
-        assert_eq!(result.total_sub_trajectories(), outcome.sub_trajectories.len());
+        assert_eq!(
+            result.total_sub_trajectories(),
+            outcome.sub_trajectories.len()
+        );
     }
 
     #[test]
@@ -237,7 +238,11 @@ mod tests {
     fn trajectories_from_subs_round_trips_points() {
         let trajs = small_mod();
         let outcome = run_s2t(&trajs, &params());
-        let subs: Vec<_> = outcome.sub_trajectories.iter().map(|v| v.sub.clone()).collect();
+        let subs: Vec<_> = outcome
+            .sub_trajectories
+            .iter()
+            .map(|v| v.sub.clone())
+            .collect();
         let back = trajectories_from_subs(&subs);
         assert_eq!(back.len(), subs.len());
         for (t, s) in back.iter().zip(subs.iter()) {

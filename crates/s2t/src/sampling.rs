@@ -17,7 +17,11 @@ use hermes_trajectory::spatiotemporal_distance;
 /// Similarity in [0, 1] describing how much of `candidate`'s neighbourhood an
 /// already-selected representative covers: 1 when they coincide, 0 when they
 /// are at least `2ε` apart (or never co-exist).
-fn coverage_overlap(candidate: &VotedSubTrajectory, selected: &VotedSubTrajectory, epsilon: f64) -> f64 {
+fn coverage_overlap(
+    candidate: &VotedSubTrajectory,
+    selected: &VotedSubTrajectory,
+    epsilon: f64,
+) -> f64 {
     let d = spatiotemporal_distance(&candidate.sub, &selected.sub);
     if !d.is_finite() {
         return 0.0;
@@ -179,7 +183,11 @@ mod tests {
             subs.push(voted(i, i as f64, 0, 20, 9.0));
         }
         let sel = select_representatives(&subs, &params(500.0, 0.5, 0));
-        assert_eq!(sel.len(), 1, "redundant candidates must not pass the δ bar: {sel:?}");
+        assert_eq!(
+            sel.len(),
+            1,
+            "redundant candidates must not pass the δ bar: {sel:?}"
+        );
     }
 
     #[test]
@@ -190,7 +198,10 @@ mod tests {
     #[test]
     fn temporally_disjoint_candidates_are_not_redundant() {
         // Same place, different days: both deserve to be representatives.
-        let subs = vec![voted(1, 0.0, 0, 10, 3.0), voted(2, 0.0, 86_400_000, 10, 3.0)];
+        let subs = vec![
+            voted(1, 0.0, 0, 10, 3.0),
+            voted(2, 0.0, 86_400_000, 10, 3.0),
+        ];
         let sel = select_representatives(&subs, &params(100.0, 0.05, 0));
         assert_eq!(sel.len(), 2);
     }

@@ -210,8 +210,8 @@ mod tests {
     #[test]
     fn min_duration_suppresses_tiny_pieces() {
         let t = traj(10); // one sample per minute
-        // Alternating votes would cut everywhere, but a 3-minute minimum
-        // duration keeps the pieces long.
+                          // Alternating votes would cut everywhere, but a 3-minute minimum
+                          // duration keeps the pieces long.
         let votes = vec![0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0, 5.0, 0.0];
         let p = S2TParams {
             tau: 0.3,

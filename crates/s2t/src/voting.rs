@@ -264,7 +264,7 @@ mod tests {
         for prof in &profiles {
             assert_eq!(prof.votes.len(), 7);
             for &v in &prof.votes {
-                assert!(v >= 0.0 && v <= 5.0 + 1e-9);
+                assert!((0.0..=5.0 + 1e-9).contains(&v));
             }
             assert!(prof.max() <= 5.0 + 1e-9);
         }
@@ -303,7 +303,11 @@ mod tests {
 
     #[test]
     fn closer_neighbours_yield_higher_votes() {
-        let trajs = vec![line(0, 0.0, 0, 10), line(1, 10.0, 0, 10), line(2, 40.0, 0, 10)];
+        let trajs = vec![
+            line(0, 0.0, 0, 10),
+            line(1, 10.0, 0, 10),
+            line(2, 40.0, 0, 10),
+        ];
         let profiles = naive_voting(&trajs, &params(30.0));
         // Trajectory 1 is near both others; trajectory 2 is near only one and
         // farther away, so its votes must be lower.

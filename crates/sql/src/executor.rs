@@ -1,55 +1,23 @@
-//! Executes parsed statements against a [`HermesEngine`].
+//! Executes parsed statements against a [`HermesEngine`], emitting typed
+//! [`Frame`]s and [`CommandStatus`]es — never strings (rendering is the
+//! display edge's job, see [`crate::fmt`]).
 
+use crate::frame::{CommandStatus, CommandTag, Frame, QueryOutcome};
 use crate::parser::{parse, ParseError, Statement};
+use crate::value::{Value, ValueType};
 use hermes_core::{EngineError, HermesEngine};
-use hermes_retratree::{QutParams, ReTraTreeParams};
+use hermes_retratree::{QutParams, QutStats, ReTraTreeParams};
 use hermes_s2t::{ClusteringResult, S2TParams};
 use hermes_trajectory::{Duration, TimeInterval, Timestamp};
 use std::fmt;
-
-/// A tabular query result (every value rendered as text, like `psql`).
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryResult {
-    /// Column names.
-    pub columns: Vec<String>,
-    /// Rows of values, one string per column.
-    pub rows: Vec<Vec<String>>,
-}
-
-impl QueryResult {
-    fn message(text: impl Into<String>) -> Self {
-        QueryResult {
-            columns: vec!["result".into()],
-            rows: vec![vec![text.into()]],
-        }
-    }
-
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// True when the result has no rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-}
-
-impl fmt::Display for QueryResult {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}", self.columns.join(" | "))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(" | "))?;
-        }
-        Ok(())
-    }
-}
 
 /// Errors produced while executing a statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlError {
     /// The statement failed to parse.
     Parse(ParseError),
+    /// A placeholder stayed unbound or a bound value had the wrong type.
+    Bind(String),
     /// The engine rejected the operation.
     Engine(EngineError),
 }
@@ -58,6 +26,7 @@ impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Bind(reason) => write!(f, "SQL bind error: {reason}"),
             SqlError::Engine(e) => write!(f, "{e}"),
         }
     }
@@ -77,108 +46,189 @@ impl From<EngineError> for SqlError {
     }
 }
 
-fn clusters_table(result: &ClusteringResult, elapsed_ms: f64) -> QueryResult {
-    let mut rows = Vec::new();
-    for c in &result.clusters {
-        rows.push(vec![
-            c.id.to_string(),
-            c.representative.trajectory_id.to_string(),
-            c.size().to_string(),
-            format!("{:.1}", c.mean_distance()),
-            c.lifespan().start.millis().to_string(),
-            c.lifespan().end.millis().to_string(),
-        ]);
-    }
-    rows.push(vec![
-        "outliers".into(),
-        String::new(),
-        result.num_outliers().to_string(),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    rows.push(vec![
-        "elapsed_ms".into(),
-        String::new(),
-        format!("{elapsed_ms:.2}"),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    QueryResult {
-        columns: vec![
-            "cluster".into(),
-            "representative".into(),
-            "size".into(),
-            "mean_distance".into(),
-            "start_ms".into(),
-            "end_ms".into(),
-        ],
-        rows,
-    }
+fn push(frame: &mut Frame, row: Vec<Value>) {
+    frame
+        .push_row(row)
+        .expect("executor rows match their frame schema");
 }
 
-/// Parses and executes one statement against the engine.
-pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryResult, SqlError> {
-    let stmt = parse(sql)?;
+/// One row per cluster plus a trailing outlier row (`cluster = -1`, matching
+/// the histogram's outlier label), with window bounds as real timestamps.
+fn clusters_frame(result: &ClusteringResult) -> Frame {
+    let mut frame = Frame::with_columns(&[
+        ("cluster", ValueType::Int),
+        ("representative", ValueType::Int),
+        ("size", ValueType::Int),
+        ("mean_distance", ValueType::Float),
+        ("start", ValueType::Timestamp),
+        ("end", ValueType::Timestamp),
+    ]);
+    for c in &result.clusters {
+        let lifespan = c.lifespan();
+        push(
+            &mut frame,
+            vec![
+                Value::Int(c.id as i64),
+                Value::Int(c.representative.trajectory_id as i64),
+                Value::Int(c.size() as i64),
+                Value::Float(c.mean_distance()),
+                Value::Timestamp(lifespan.start),
+                Value::Timestamp(lifespan.end),
+            ],
+        );
+    }
+    push(
+        &mut frame,
+        vec![
+            Value::Int(-1),
+            Value::Null,
+            Value::Int(result.num_outliers() as i64),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ],
+    );
+    frame
+}
+
+/// The `\timing` companion of a whole-dataset clustering run.
+fn s2t_stats_frame(result: &ClusteringResult, elapsed_ms: f64) -> Frame {
+    let mut stats = Frame::with_columns(&[
+        ("elapsed_ms", ValueType::Float),
+        ("clusters", ValueType::Int),
+        ("outliers", ValueType::Int),
+    ]);
+    push(
+        &mut stats,
+        vec![
+            Value::Float(elapsed_ms),
+            Value::Int(result.num_clusters() as i64),
+            Value::Int(result.num_outliers() as i64),
+        ],
+    );
+    stats
+}
+
+/// The `\timing` companion of a window (QuT / rebuild) run, including the
+/// reuse counters that make the QuT-vs-rebuild tradeoff visible.
+fn qut_stats_frame(result: &ClusteringResult, stats: &QutStats) -> Frame {
+    let mut frame = Frame::with_columns(&[
+        ("elapsed_ms", ValueType::Float),
+        ("clusters", ValueType::Int),
+        ("outliers", ValueType::Int),
+        ("reused_subchunks", ValueType::Int),
+        ("reclustered_subchunks", ValueType::Int),
+        ("loaded_sub_trajectories", ValueType::Int),
+    ]);
+    push(
+        &mut frame,
+        vec![
+            Value::Float(stats.elapsed_ms),
+            Value::Int(result.num_clusters() as i64),
+            Value::Int(result.num_outliers() as i64),
+            Value::Int(stats.reused_subchunks as i64),
+            Value::Int(stats.reclustered_subchunks as i64),
+            Value::Int(stats.loaded_sub_trajectories as i64),
+        ],
+    );
+    frame
+}
+
+fn window(wi: i64, we: i64) -> TimeInterval {
+    TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)))
+}
+
+/// Parses and executes one statement against the engine. Statements with
+/// placeholders must go through [`Statement::bind`] (or a
+/// [`Session`](crate::Session)) first; an unbound placeholder surfaces as
+/// [`SqlError::Bind`].
+pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryOutcome, SqlError> {
+    execute_statement(engine, &parse(sql)?)
+}
+
+/// Executes an already parsed (and fully bound) statement. This is the entry
+/// point prepared statements re-enter per execution, skipping the parser.
+pub fn execute_statement(
+    engine: &mut HermesEngine,
+    stmt: &Statement,
+) -> Result<QueryOutcome, SqlError> {
+    let f64_of = |s: &crate::parser::Scalar| s.as_f64().map_err(SqlError::Bind);
+    let i64_of = |s: &crate::parser::Scalar| s.as_i64().map_err(SqlError::Bind);
     match stmt {
         Statement::CreateDataset { name } => {
-            engine.create_dataset(&name)?;
-            Ok(QueryResult::message(format!("dataset '{name}' created")))
+            engine.create_dataset(name)?;
+            Ok(QueryOutcome::Command(CommandStatus {
+                tag: CommandTag::CreateDataset,
+                affected: 1,
+            }))
         }
         Statement::DropDataset { name } => {
-            engine.drop_dataset(&name)?;
-            Ok(QueryResult::message(format!("dataset '{name}' dropped")))
+            engine.drop_dataset(name)?;
+            Ok(QueryOutcome::Command(CommandStatus {
+                tag: CommandTag::DropDataset,
+                affected: 1,
+            }))
         }
-        Statement::ShowDatasets => Ok(QueryResult {
-            columns: vec!["dataset".into()],
-            rows: engine.list_datasets().into_iter().map(|n| vec![n]).collect(),
-        }),
+        Statement::ShowDatasets => {
+            let mut frame = Frame::with_columns(&[("dataset", ValueType::Text)]);
+            for name in engine.list_datasets() {
+                push(&mut frame, vec![Value::Text(name)]);
+            }
+            Ok(QueryOutcome::rows(frame))
+        }
         Statement::BuildIndex {
             name,
             chunk_hours,
             sigma,
             epsilon,
         } => {
-            let mut s2t = S2TParams::default();
+            let mut s2t = S2TParams::builder();
             if let Some(s) = sigma {
-                s2t.sigma = s;
+                s2t = s2t.sigma(f64_of(s)?);
             }
             if let Some(e) = epsilon {
-                s2t.epsilon = e;
+                s2t = s2t.epsilon(f64_of(e)?);
             }
-            let params = ReTraTreeParams {
-                chunk_duration: Duration::from_millis((chunk_hours * 3_600_000.0) as i64),
-                s2t,
-                ..ReTraTreeParams::default()
-            };
-            engine.build_index(&name, params)?;
-            Ok(QueryResult::message(format!(
-                "ReTraTree built on '{name}' with {chunk_hours} hour chunks"
-            )))
+            let chunk_ms = (f64_of(chunk_hours)? * 3_600_000.0) as i64;
+            let params = ReTraTreeParams::builder()
+                .chunk_duration(Duration::from_millis(chunk_ms))
+                .s2t(s2t.build().map_err(EngineError::InvalidParameters)?)
+                .build()
+                .map_err(EngineError::InvalidParameters)?;
+            let indexed = engine.build_index(name, params)?;
+            Ok(QueryOutcome::Command(CommandStatus {
+                tag: CommandTag::BuildIndex,
+                affected: indexed as u64,
+            }))
         }
         Statement::Info { name } => {
-            let info = engine.dataset_info(&name)?;
-            Ok(QueryResult {
-                columns: vec![
-                    "dataset".into(),
-                    "trajectories".into(),
-                    "points".into(),
-                    "start_ms".into(),
-                    "end_ms".into(),
-                    "indexed".into(),
-                    "cluster_entries".into(),
+            let info = engine.dataset_info(name)?;
+            let mut frame = Frame::with_columns(&[
+                ("dataset", ValueType::Text),
+                ("trajectories", ValueType::Int),
+                ("points", ValueType::Int),
+                ("start", ValueType::Timestamp),
+                ("end", ValueType::Timestamp),
+                ("indexed", ValueType::Bool),
+                ("cluster_entries", ValueType::Int),
+            ]);
+            push(
+                &mut frame,
+                vec![
+                    Value::Text(info.name),
+                    Value::Int(info.num_trajectories as i64),
+                    Value::Int(info.num_points as i64),
+                    info.lifespan
+                        .map(|l| Value::Timestamp(l.start))
+                        .unwrap_or(Value::Null),
+                    info.lifespan
+                        .map(|l| Value::Timestamp(l.end))
+                        .unwrap_or(Value::Null),
+                    Value::Bool(info.indexed),
+                    Value::Int(info.num_cluster_entries as i64),
                 ],
-                rows: vec![vec![
-                    info.name,
-                    info.num_trajectories.to_string(),
-                    info.num_points.to_string(),
-                    info.lifespan.map(|l| l.start.millis().to_string()).unwrap_or_default(),
-                    info.lifespan.map(|l| l.end.millis().to_string()).unwrap_or_default(),
-                    info.indexed.to_string(),
-                    info.num_cluster_entries.to_string(),
-                ]],
-            })
+            );
+            Ok(QueryOutcome::rows(frame))
         }
         Statement::S2T {
             name,
@@ -189,20 +239,23 @@ pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryResult, SqlE
             epsilon,
             naive,
         } => {
-            let params = S2TParams {
-                sigma,
-                tau,
-                delta,
-                min_duration_ms,
-                epsilon,
-                ..S2TParams::default()
-            };
-            let outcome = if naive {
-                engine.run_s2t_naive(&name, &params)?
+            let params = S2TParams::builder()
+                .sigma(f64_of(sigma)?)
+                .tau(f64_of(tau)?)
+                .delta(f64_of(delta)?)
+                .min_duration_ms(i64_of(min_duration_ms)?)
+                .epsilon(f64_of(epsilon)?)
+                .build()
+                .map_err(EngineError::InvalidParameters)?;
+            let outcome = if *naive {
+                engine.run_s2t_naive(name, &params)?
             } else {
-                engine.run_s2t(&name, &params)?
+                engine.run_s2t(name, &params)?
             };
-            Ok(clusters_table(&outcome.result, outcome.timings.total_ms()))
+            Ok(QueryOutcome::Rows {
+                frame: clusters_frame(&outcome.result),
+                stats: Some(s2t_stats_frame(&outcome.result, outcome.timings.total_ms())),
+            })
         }
         Statement::Qut {
             name,
@@ -215,39 +268,45 @@ pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryResult, SqlE
             merge_gap_ms,
             rebuild,
         } => {
-            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
+            let w = window(i64_of(wi)?, i64_of(we)?);
             // τ, δ and t come from the query; the data-scale parameters
             // (σ, ε) are inherited from the ReTraTree the dataset was indexed
             // with, exactly as the in-DBMS QUT call operates on the clusters
             // the index already maintains.
-            let base = engine.tree(&name)?.params().s2t.clone();
+            let base = engine.tree(name)?.params().s2t.clone();
             let s2t = S2TParams {
-                tau,
-                delta,
-                min_duration_ms,
+                tau: f64_of(tau)?,
+                delta: f64_of(delta)?,
+                min_duration_ms: i64_of(min_duration_ms)?,
                 ..base
             };
-            if rebuild {
-                let (result, stats) = engine.run_window_rebuild(&name, &window, &s2t)?;
-                Ok(clusters_table(&result, stats.elapsed_ms))
+            if *rebuild {
+                let (result, stats) = engine.run_window_rebuild(name, &w, &s2t)?;
+                Ok(QueryOutcome::Rows {
+                    frame: clusters_frame(&result),
+                    stats: Some(qut_stats_frame(&result, &stats)),
+                })
             } else {
-                let params = QutParams {
-                    s2t,
-                    merge_distance,
-                    merge_gap: Duration::from_millis(merge_gap_ms),
-                };
-                let (result, stats) = engine.run_qut(&name, &window, &params)?;
-                Ok(clusters_table(&result, stats.elapsed_ms))
+                let params = QutParams::builder()
+                    .s2t(s2t)
+                    .merge_distance(f64_of(merge_distance)?)
+                    .merge_gap(Duration::from_millis(i64_of(merge_gap_ms)?))
+                    .build()
+                    .map_err(EngineError::InvalidParameters)?;
+                let (result, stats) = engine.run_qut(name, &w, &params)?;
+                Ok(QueryOutcome::Rows {
+                    frame: clusters_frame(&result),
+                    stats: Some(qut_stats_frame(&result, &stats)),
+                })
             }
         }
         Statement::Range { name, wi, we } => {
-            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
-            let tree = engine.tree(&name)?;
-            let subs = tree.window_sub_trajectories(&window);
-            Ok(QueryResult {
-                columns: vec!["sub_trajectories_in_window".into()],
-                rows: vec![vec![subs.len().to_string()]],
-            })
+            let w = window(i64_of(wi)?, i64_of(we)?);
+            let tree = engine.tree(name)?;
+            let subs = tree.window_sub_trajectories(&w);
+            let mut frame = Frame::with_columns(&[("sub_trajectories_in_window", ValueType::Int)]);
+            push(&mut frame, vec![Value::Int(subs.len() as i64)]);
+            Ok(QueryOutcome::rows(frame))
         }
         Statement::Histogram {
             name,
@@ -255,37 +314,45 @@ pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryResult, SqlE
             we,
             bucket_ms,
         } => {
+            let bucket_ms = i64_of(bucket_ms)?;
             if bucket_ms <= 0 {
                 return Err(SqlError::Engine(EngineError::InvalidParameters(
                     "histogram bucket width must be positive".into(),
                 )));
             }
-            let window = TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)));
+            let w = window(i64_of(wi)?, i64_of(we)?);
             let params = QutParams {
-                s2t: engine.tree(&name)?.params().s2t.clone(),
+                s2t: engine.tree(name)?.params().s2t.clone(),
                 ..QutParams::default()
             };
-            let (result, _) = engine.run_qut(&name, &window, &params)?;
+            let (result, _) = engine.run_qut(name, &w, &params)?;
             let hist = hermes_va::time_histogram(&result, Duration::from_millis(bucket_ms));
-            let mut rows = Vec::new();
+            let mut frame = Frame::with_columns(&[
+                ("bucket_start", ValueType::Timestamp),
+                ("cluster", ValueType::Int),
+                ("cardinality", ValueType::Int),
+            ]);
             for (b, start) in hist.bucket_starts.iter().enumerate() {
                 for (cluster, counts) in hist.counts.iter().enumerate() {
-                    rows.push(vec![
-                        start.millis().to_string(),
-                        cluster.to_string(),
-                        counts[b].to_string(),
-                    ]);
+                    push(
+                        &mut frame,
+                        vec![
+                            Value::Timestamp(*start),
+                            Value::Int(cluster as i64),
+                            Value::Int(counts[b] as i64),
+                        ],
+                    );
                 }
-                rows.push(vec![
-                    start.millis().to_string(),
-                    "-1".into(),
-                    hist.outlier_counts[b].to_string(),
-                ]);
+                push(
+                    &mut frame,
+                    vec![
+                        Value::Timestamp(*start),
+                        Value::Int(-1),
+                        Value::Int(hist.outlier_counts[b] as i64),
+                    ],
+                );
             }
-            Ok(QueryResult {
-                columns: vec!["bucket_start_ms".into(), "cluster".into(), "cardinality".into()],
-                rows,
-            })
+            Ok(QueryOutcome::rows(frame))
         }
     }
 }
@@ -315,14 +382,31 @@ mod tests {
     }
 
     #[test]
-    fn ddl_round_trip() {
+    fn ddl_returns_typed_command_status() {
         let mut e = HermesEngine::new();
-        execute(&mut e, "CREATE DATASET a;").unwrap();
+        let created = execute(&mut e, "CREATE DATASET a;").unwrap();
+        assert_eq!(
+            created.command(),
+            Some(&CommandStatus {
+                tag: CommandTag::CreateDataset,
+                affected: 1
+            })
+        );
+        assert!(
+            created.frame().is_none(),
+            "DDL must not fabricate a row table"
+        );
         execute(&mut e, "CREATE DATASET b;").unwrap();
         let shown = execute(&mut e, "SHOW DATASETS;").unwrap();
-        assert_eq!(shown.rows, vec![vec!["a".to_string()], vec!["b".to_string()]]);
-        execute(&mut e, "DROP DATASET a;").unwrap();
-        assert_eq!(execute(&mut e, "SHOW DATASETS;").unwrap().len(), 1);
+        let names = shown
+            .expect_frame("SHOW DATASETS")
+            .column("dataset")
+            .unwrap()
+            .to_vec();
+        assert_eq!(names, vec![Value::from("a"), Value::from("b")]);
+        let dropped = execute(&mut e, "DROP DATASET a;").unwrap();
+        assert_eq!(dropped.command().unwrap().tag, CommandTag::DropDataset);
+        assert_eq!(execute(&mut e, "SHOW DATASETS;").unwrap().num_rows(), 1);
         assert!(matches!(
             execute(&mut e, "DROP DATASET nope;"),
             Err(SqlError::Engine(EngineError::UnknownDataset(_)))
@@ -330,24 +414,62 @@ mod tests {
     }
 
     #[test]
-    fn info_reports_the_loaded_data() {
+    fn info_reports_the_loaded_data_in_typed_columns() {
         let mut e = engine();
         let info = execute(&mut e, "SELECT INFO(flights);").unwrap();
-        assert_eq!(info.rows[0][1], "12");
-        assert_eq!(info.rows[0][5], "false");
+        let frame = info.expect_frame("INFO");
+        assert_eq!(frame.get(0, "trajectories"), Some(&Value::Int(12)));
+        assert_eq!(frame.get(0, "indexed"), Some(&Value::Bool(false)));
+        assert_eq!(frame.get(0, "start"), Some(&Value::Timestamp(Timestamp(0))));
+        assert_eq!(
+            frame.schema()[frame.column_index("end").unwrap()].ty,
+            ValueType::Timestamp
+        );
     }
 
     #[test]
-    fn s2t_via_sql_produces_a_cluster_table() {
+    fn build_index_reports_indexed_trajectories() {
+        let mut e = engine();
+        let built = execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+        assert_eq!(
+            built.command(),
+            Some(&CommandStatus {
+                tag: CommandTag::BuildIndex,
+                affected: 12
+            })
+        );
+    }
+
+    #[test]
+    fn s2t_via_sql_produces_a_typed_cluster_frame() {
         let mut e = engine();
         let result = execute(&mut e, "SELECT S2T(flights, 60, 0.35, 0.05, 120000, 400);").unwrap();
-        assert_eq!(result.columns[0], "cluster");
-        // One data row per cluster + the outlier and elapsed summary rows.
-        assert!(result.len() >= 3);
-        assert!(result.rows.iter().any(|r| r[0] == "outliers"));
-        let naive =
-            execute(&mut e, "SELECT S2T_NAIVE(flights, 60, 0.35, 0.05, 120000, 400);").unwrap();
-        assert_eq!(naive.len(), result.len());
+        let frame = result.expect_frame("S2T");
+        assert_eq!(frame.schema()[0].name, "cluster");
+        assert!(frame.num_rows() >= 2);
+        // The trailing outlier row is labelled cluster = -1.
+        let clusters = frame.column("cluster").unwrap();
+        assert_eq!(clusters.last(), Some(&Value::Int(-1)));
+        // Lifespans are typed timestamps, not strings.
+        assert!(matches!(frame.get(0, "start"), Some(Value::Timestamp(_))));
+        assert!(matches!(
+            frame.get(0, "mean_distance"),
+            Some(Value::Float(_))
+        ));
+        // Execution statistics ride along as a one-row typed frame.
+        let stats = result.stats().unwrap();
+        assert!(matches!(stats.get(0, "elapsed_ms"), Some(Value::Float(_))));
+        assert_eq!(
+            stats.get(0, "clusters"),
+            Some(&Value::Int((frame.num_rows() - 1) as i64))
+        );
+
+        let naive = execute(
+            &mut e,
+            "SELECT S2T_NAIVE(flights, 60, 0.35, 0.05, 120000, 400);",
+        )
+        .unwrap();
+        assert_eq!(naive.num_rows(), result.num_rows());
     }
 
     #[test]
@@ -357,7 +479,10 @@ mod tests {
             &mut e,
             "SELECT QUT(flights, 0, 1800000, 0.35, 0.05, 120000, 400, 1800000);",
         );
-        assert!(matches!(attempt, Err(SqlError::Engine(EngineError::NotIndexed(_)))));
+        assert!(matches!(
+            attempt,
+            Err(SqlError::Engine(EngineError::NotIndexed(_)))
+        ));
 
         execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
         let qut = execute(
@@ -365,25 +490,58 @@ mod tests {
             "SELECT QUT(flights, 0, 1800000, 0.35, 0.05, 120000, 400, 1800000);",
         )
         .unwrap();
-        assert!(qut.len() >= 2);
+        assert!(qut.num_rows() >= 1);
+        let stats = qut.stats().unwrap();
+        assert!(matches!(
+            stats.get(0, "reused_subchunks"),
+            Some(Value::Int(_))
+        ));
         let rebuild = execute(
             &mut e,
             "SELECT QUT_REBUILD(flights, 0, 1800000, 0.35, 0.05, 120000);",
         )
         .unwrap();
-        assert!(rebuild.len() >= 2);
+        assert!(rebuild.num_rows() >= 1);
 
         let range = execute(&mut e, "SELECT RANGE(flights, 0, 1800000);").unwrap();
-        let count: usize = range.rows[0][0].parse().unwrap();
+        let count = range
+            .expect_frame("RANGE")
+            .get(0, "sub_trajectories_in_window")
+            .unwrap()
+            .as_i64()
+            .unwrap();
         assert!(count > 0);
 
         let hist = execute(&mut e, "SELECT HISTOGRAM(flights, 0, 1800000, 600000);").unwrap();
-        assert_eq!(hist.columns, vec!["bucket_start_ms", "cluster", "cardinality"]);
-        assert!(!hist.is_empty());
+        let frame = hist.expect_frame("HISTOGRAM");
+        assert_eq!(
+            frame
+                .schema()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["bucket_start", "cluster", "cardinality"]
+        );
+        assert_eq!(frame.schema()[0].ty, ValueType::Timestamp);
+        assert!(!frame.is_empty());
         assert!(matches!(
             execute(&mut e, "SELECT HISTOGRAM(flights, 0, 1800000, 0);"),
             Err(SqlError::Engine(EngineError::InvalidParameters(_)))
         ));
+    }
+
+    #[test]
+    fn unbound_placeholders_are_a_bind_error() {
+        let mut e = engine();
+        execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+        let stmt = parse("SELECT RANGE(flights, $1, $2);").unwrap();
+        let err = execute_statement(&mut e, &stmt).unwrap_err();
+        assert!(
+            matches!(err, SqlError::Bind(ref m) if m.contains("$1")),
+            "{err}"
+        );
+        let bound = stmt.bind(&[Value::Int(0), Value::Int(1_800_000)]).unwrap();
+        assert!(execute_statement(&mut e, &bound).unwrap().num_rows() == 1);
     }
 
     #[test]
@@ -396,12 +554,12 @@ mod tests {
     }
 
     #[test]
-    fn query_result_renders_as_text() {
+    fn outcome_renders_as_text_at_the_display_edge() {
         let mut e = engine();
         let info = execute(&mut e, "SELECT INFO(flights);").unwrap();
         let text = info.to_string();
         assert!(text.contains("dataset"));
         assert!(text.contains("flights"));
-        assert!(!info.is_empty());
+        assert!(text.ends_with("(1 row)\n"));
     }
 }

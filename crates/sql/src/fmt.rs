@@ -1,0 +1,166 @@
+//! The display edge: everything that turns typed results into text lives
+//! here, and only here. The executor, the `Session` and the engine never
+//! stringify values; front ends call [`render_frame`] / [`render_outcome`]
+//! (or the `Display` impls that delegate to them) at the last moment.
+
+use crate::frame::{Frame, QueryOutcome};
+
+/// Renders a frame as a psql-style aligned table:
+///
+/// ```text
+///  dataset | trajectories
+/// ---------+--------------
+///  flights |           36
+/// (1 row)
+/// ```
+///
+/// Numeric columns (ints, floats, timestamps, intervals) are right-aligned,
+/// text and booleans left-aligned; nulls render as empty cells.
+pub fn render_frame(frame: &Frame) -> String {
+    let cells: Vec<Vec<String>> = frame
+        .rows()
+        .map(|row| row.iter().map(|v| v.to_string()).collect())
+        .collect();
+    let widths: Vec<usize> = frame
+        .schema()
+        .iter()
+        .enumerate()
+        .map(|(c, def)| {
+            cells
+                .iter()
+                .map(|row| row[c].len())
+                .chain(std::iter::once(def.name.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+
+    let mut out = String::new();
+    for (c, def) in frame.schema().iter().enumerate() {
+        if c > 0 {
+            out.push('|');
+        }
+        out.push(' ');
+        out.push_str(&format!("{:^width$}", def.name, width = widths[c]));
+        out.push(' ');
+    }
+    out.push('\n');
+    for (c, w) in widths.iter().enumerate() {
+        if c > 0 {
+            out.push('+');
+        }
+        out.push_str(&"-".repeat(w + 2));
+    }
+    out.push('\n');
+    for row in &cells {
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                out.push('|');
+            }
+            out.push(' ');
+            if frame.schema()[c].ty.is_numeric() {
+                out.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            } else {
+                out.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    let n = frame.num_rows();
+    out.push_str(&format!("({n} row{})\n", if n == 1 { "" } else { "s" }));
+    out
+}
+
+/// Renders a full statement outcome: the result table for row-producing
+/// statements, the command tag (`CREATE DATASET 1`) for commands. Execution
+/// statistics are *not* included — front ends opt into them via
+/// [`render_stats`] (the CLI's `\timing`).
+pub fn render_outcome(outcome: &QueryOutcome) -> String {
+    match outcome {
+        QueryOutcome::Rows { frame, .. } => render_frame(frame),
+        QueryOutcome::Command(status) => format!("{status}\n"),
+    }
+}
+
+/// Renders the one-row statistics frame of an outcome as a compact
+/// `name: value` line, e.g. `elapsed_ms: 12.51, outliers: 4`. Empty when the
+/// statement measured nothing.
+pub fn render_stats(outcome: &QueryOutcome) -> String {
+    let Some(stats) = outcome.stats() else {
+        return String::new();
+    };
+    let mut parts = Vec::with_capacity(stats.num_columns());
+    if let Some(row) = stats.rows().next() {
+        for (def, value) in stats.schema().iter().zip(row) {
+            parts.push(format!("{}: {}", def.name, value));
+        }
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{CommandStatus, CommandTag};
+    use crate::value::{Value, ValueType};
+
+    fn frame() -> Frame {
+        let mut f = Frame::with_columns(&[
+            ("dataset", ValueType::Text),
+            ("points", ValueType::Int),
+            ("elapsed", ValueType::Float),
+        ]);
+        f.push_row(vec![
+            Value::from("flights"),
+            Value::Int(540),
+            Value::Float(1.5),
+        ])
+        .unwrap();
+        f.push_row(vec![Value::from("ships"), Value::Null, Value::Float(0.25)])
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn table_is_aligned_and_counts_rows() {
+        let text = render_frame(&frame());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("dataset"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[1].contains('+'));
+        // Numeric columns right-aligned: the int 540 ends at its column edge.
+        assert!(lines[2].contains("540 |"), "{text}");
+        assert!(text.ends_with("(2 rows)\n"));
+        let one_row = {
+            let mut f = Frame::with_columns(&[("n", ValueType::Int)]);
+            f.push_row(vec![Value::Int(1)]).unwrap();
+            f
+        };
+        assert!(render_frame(&one_row).ends_with("(1 row)\n"));
+    }
+
+    #[test]
+    fn outcome_rendering() {
+        let cmd = QueryOutcome::Command(CommandStatus {
+            tag: CommandTag::CreateDataset,
+            affected: 1,
+        });
+        assert_eq!(render_outcome(&cmd), "CREATE DATASET 1\n");
+        assert_eq!(render_stats(&cmd), "");
+
+        let mut stats = Frame::with_columns(&[
+            ("elapsed_ms", ValueType::Float),
+            ("outliers", ValueType::Int),
+        ]);
+        stats
+            .push_row(vec![Value::Float(12.5), Value::Int(4)])
+            .unwrap();
+        let rows = QueryOutcome::Rows {
+            frame: frame(),
+            stats: Some(stats),
+        };
+        assert_eq!(render_stats(&rows), "elapsed_ms: 12.5, outliers: 4");
+        assert!(render_outcome(&rows).contains("flights"));
+    }
+}

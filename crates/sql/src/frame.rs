@@ -1,0 +1,291 @@
+//! Columnar, schema-carrying result frames — the typed replacement for the
+//! stringly `columns: Vec<String> / rows: Vec<Vec<String>>` result tables.
+//!
+//! A [`Frame`] stores one `Vec<Value>` per column plus a schema of
+//! [`ColumnDef`]s, so consumers (the CLI renderer, tests, future wire
+//! protocols) read `Timestamp`/`Float` cells as what they are. DDL and
+//! utility statements do not produce rows at all: they complete with a
+//! [`CommandStatus`], PostgreSQL-command-tag style. [`QueryOutcome`] is the
+//! sum of the two.
+
+use crate::value::{Value, ValueType};
+use std::fmt;
+
+/// Name and type of one frame column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type; cells are values of this type or [`Value::Null`].
+    pub ty: ValueType,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A typed, columnar query result: a schema plus one value vector per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    schema: Vec<ColumnDef>,
+    columns: Vec<Vec<Value>>,
+}
+
+impl Frame {
+    /// Creates an empty frame with the given schema.
+    pub fn new(schema: Vec<ColumnDef>) -> Self {
+        let columns = schema.iter().map(|_| Vec::new()).collect();
+        Frame { schema, columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn with_columns(defs: &[(&str, ValueType)]) -> Self {
+        Frame::new(
+            defs.iter()
+                .map(|(name, ty)| ColumnDef::new(*name, *ty))
+                .collect(),
+        )
+    }
+
+    /// The frame schema.
+    pub fn schema(&self) -> &[ColumnDef] {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// True when the frame holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|c| c.name == name)
+    }
+
+    /// The values of the column named `name`.
+    pub fn column(&self, name: &str) -> Option<&[Value]> {
+        self.column_index(name).map(|i| self.columns[i].as_slice())
+    }
+
+    /// The cell at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// The cell at `row` in the column named `name`.
+    pub fn get(&self, row: usize, name: &str) -> Option<&Value> {
+        self.column(name).and_then(|c| c.get(row))
+    }
+
+    /// Iterates over the rows, materializing each as a `Vec<&Value>`.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<&Value>> + '_ {
+        (0..self.num_rows()).map(move |r| self.columns.iter().map(|c| &c[r]).collect())
+    }
+
+    /// Appends one row. Each cell must match its column's type or be
+    /// [`Value::Null`]; on mismatch the frame is unchanged and an error
+    /// naming the offending column is returned.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), String> {
+        if row.len() != self.schema.len() {
+            return Err(format!(
+                "row has {} cells but the frame has {} columns",
+                row.len(),
+                self.schema.len()
+            ));
+        }
+        for (cell, def) in row.iter().zip(&self.schema) {
+            if let Some(ty) = cell.type_of() {
+                if ty != def.ty {
+                    return Err(format!(
+                        "column '{}' holds {} values, got {}",
+                        def.name, def.ty, ty
+                    ));
+                }
+            }
+        }
+        for (column, cell) in self.columns.iter_mut().zip(row) {
+            column.push(cell);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::fmt::render_frame(self))
+    }
+}
+
+/// What a completed DDL/utility command did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandTag {
+    /// `CREATE DATASET`.
+    CreateDataset,
+    /// `DROP DATASET`.
+    DropDataset,
+    /// `BUILD INDEX`.
+    BuildIndex,
+}
+
+impl fmt::Display for CommandTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self {
+            CommandTag::CreateDataset => "CREATE DATASET",
+            CommandTag::DropDataset => "DROP DATASET",
+            CommandTag::BuildIndex => "BUILD INDEX",
+        };
+        f.write_str(tag)
+    }
+}
+
+/// Typed completion status of a statement that returns no rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandStatus {
+    /// Which command completed.
+    pub tag: CommandTag,
+    /// Objects affected: datasets created/dropped, trajectories indexed.
+    pub affected: u64,
+}
+
+impl fmt::Display for CommandStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.tag, self.affected)
+    }
+}
+
+/// The result of executing one statement: rows or a command status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// A query produced rows, and possibly a one-row frame of typed
+    /// execution statistics (elapsed milliseconds, outlier counts, reuse
+    /// counters) rendered by `\timing`-style front ends.
+    Rows {
+        /// The result rows.
+        frame: Frame,
+        /// Typed per-execution statistics, when the statement measures any.
+        stats: Option<Frame>,
+    },
+    /// A DDL/utility command completed without producing rows.
+    Command(CommandStatus),
+}
+
+impl QueryOutcome {
+    /// Wraps a frame with no statistics.
+    pub fn rows(frame: Frame) -> Self {
+        QueryOutcome::Rows { frame, stats: None }
+    }
+
+    /// The result frame, if the statement produced rows.
+    pub fn frame(&self) -> Option<&Frame> {
+        match self {
+            QueryOutcome::Rows { frame, .. } => Some(frame),
+            QueryOutcome::Command(_) => None,
+        }
+    }
+
+    /// The statistics frame, if the statement measured any.
+    pub fn stats(&self) -> Option<&Frame> {
+        match self {
+            QueryOutcome::Rows { stats, .. } => stats.as_ref(),
+            QueryOutcome::Command(_) => None,
+        }
+    }
+
+    /// The command status, if the statement was a command.
+    pub fn command(&self) -> Option<&CommandStatus> {
+        match self {
+            QueryOutcome::Rows { .. } => None,
+            QueryOutcome::Command(status) => Some(status),
+        }
+    }
+
+    /// Number of result rows (0 for commands).
+    pub fn num_rows(&self) -> usize {
+        self.frame().map(Frame::num_rows).unwrap_or(0)
+    }
+
+    /// The result frame, panicking with `context` when the statement was a
+    /// command. For callers (tests, examples) that know the statement kind.
+    pub fn expect_frame(&self, context: &str) -> &Frame {
+        self.frame()
+            .unwrap_or_else(|| panic!("expected rows, got a command status: {context}"))
+    }
+}
+
+impl fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::fmt::render_outcome(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        let mut f = Frame::with_columns(&[("name", ValueType::Text), ("n", ValueType::Int)]);
+        f.push_row(vec![Value::from("ships"), Value::Int(3)])
+            .unwrap();
+        f.push_row(vec![Value::from("flights"), Value::Null])
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let f = sample();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.num_columns(), 2);
+        assert!(!f.is_empty());
+        assert_eq!(f.column_index("n"), Some(1));
+        assert_eq!(f.get(0, "n"), Some(&Value::Int(3)));
+        assert_eq!(f.value(1, 1), &Value::Null);
+        assert_eq!(f.rows().count(), 2);
+        assert_eq!(f.column("missing"), None);
+    }
+
+    #[test]
+    fn push_row_type_checks() {
+        let mut f = sample();
+        let err = f.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap_err();
+        assert!(err.contains("'name'"), "{err}");
+        let err = f.push_row(vec![Value::from("x")]).unwrap_err();
+        assert!(err.contains("2 columns"), "{err}");
+        // Nulls are admissible in any column.
+        f.push_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(f.num_rows(), 3);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let rows = QueryOutcome::rows(sample());
+        assert_eq!(rows.num_rows(), 2);
+        assert!(rows.command().is_none());
+        assert!(rows.stats().is_none());
+        assert_eq!(rows.expect_frame("test").num_columns(), 2);
+
+        let cmd = QueryOutcome::Command(CommandStatus {
+            tag: CommandTag::BuildIndex,
+            affected: 18,
+        });
+        assert_eq!(cmd.num_rows(), 0);
+        assert!(cmd.frame().is_none());
+        assert_eq!(cmd.command().unwrap().to_string(), "BUILD INDEX 18");
+    }
+}

@@ -11,26 +11,49 @@
 //! the demonstration walks through, parsed by a hand-written recursive
 //! descent parser and executed against a [`HermesEngine`]:
 //!
-//! | Statement | Effect |
-//! |---|---|
-//! | `CREATE DATASET name;` | register a dataset |
-//! | `DROP DATASET name;` | remove it |
-//! | `SHOW DATASETS;` | list registered datasets |
-//! | `BUILD INDEX ON name WITH CHUNK <hours> HOURS [SIGMA <σ> EPSILON <ε>];` | build the ReTraTree (σ/ε tune the per-sub-chunk S2T runs) |
-//! | `SELECT INFO(name);` | dataset summary |
-//! | `SELECT S2T(name, σ, τ, δ, t, ε);` | whole-dataset sub-trajectory clustering |
-//! | `SELECT S2T_NAIVE(name, σ, τ, δ, t, ε);` | the index-free baseline |
-//! | `SELECT QUT(name, Wi, We, τ, δ, t, d, γ);` | window-constrained clustering from the ReTraTree |
-//! | `SELECT QUT_REBUILD(name, Wi, We, τ, δ, t);` | the rebuild-from-scratch strategy QuT is compared against |
-//! | `SELECT RANGE(name, Wi, We);` | temporal range query (row count) |
-//! | `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` | cluster-cardinality time histogram over the window (Fig. 1 middle) |
+//! | Statement | Effect | Result |
+//! |---|---|---|
+//! | `CREATE DATASET name;` | register a dataset | command status |
+//! | `DROP DATASET name;` | remove it | command status |
+//! | `SHOW DATASETS;` | list registered datasets | frame |
+//! | `BUILD INDEX ON name WITH CHUNK <hours> HOURS [SIGMA <σ>] [EPSILON <ε>];` | build the ReTraTree (σ/ε tune the per-sub-chunk S2T runs) | command status (trajectories indexed) |
+//! | `SELECT INFO(name);` | dataset summary | frame |
+//! | `SELECT S2T(name, σ, τ, δ, t, ε);` | whole-dataset sub-trajectory clustering | frame + stats |
+//! | `SELECT S2T_NAIVE(name, σ, τ, δ, t, ε);` | the index-free baseline | frame + stats |
+//! | `SELECT QUT(name, Wi, We, τ, δ, t, d, γ);` | window-constrained clustering from the ReTraTree | frame + stats |
+//! | `SELECT QUT_REBUILD(name, Wi, We, τ, δ, t);` | the rebuild-from-scratch strategy QuT is compared against | frame + stats |
+//! | `SELECT RANGE(name, Wi, We);` | temporal range query (row count) | frame |
+//! | `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` | cluster-cardinality time histogram over the window (Fig. 1 middle) | frame |
 //!
 //! Numeric parameters follow the paper's ordering; times are milliseconds.
+//!
+//! ## Placeholders and prepared statements
+//!
+//! Every numeric argument position also accepts a PostgreSQL-style `$n`
+//! placeholder (1-based):
+//!
+//! ```sql
+//! SELECT QUT(data, $1, $2, 0.35, 0.05, 300000, 6000, 1800000);
+//! ```
+//!
+//! A statement with placeholders is prepared through a [`Session`], which
+//! parses it once and binds typed [`Value`]s (ints, floats, timestamps,
+//! intervals) per execution — see [`Session::prepare`] and
+//! [`Session::execute_prepared`]. Results come back as columnar, typed
+//! [`Frame`]s (or a [`CommandStatus`] for DDL); rendering to text happens
+//! only at the display edge, in [`fmt`].
 //!
 //! [`HermesEngine`]: hermes_core::HermesEngine
 
 pub mod executor;
+pub mod fmt;
+pub mod frame;
 pub mod parser;
+pub mod session;
+pub mod value;
 
-pub use executor::{execute, QueryResult};
-pub use parser::{parse, ParseError, Statement};
+pub use executor::{execute, execute_statement, SqlError};
+pub use frame::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome};
+pub use parser::{parse, ParseError, Scalar, Statement};
+pub use session::{Prepared, Session, SessionStats};
+pub use value::{Value, ValueType};

@@ -1,6 +1,104 @@
 //! Lexer, AST and recursive-descent parser for the Hermes SQL dialect.
+//!
+//! Numeric argument positions accept either a literal or a `$n` placeholder
+//! (1-based, PostgreSQL style). A statement with placeholders is *prepared*:
+//! it parses once and is completed per execution by [`Statement::bind`],
+//! which substitutes [`Value`]s for the placeholders without re-parsing.
 
+use crate::value::{fmt_float, Value};
 use std::fmt;
+
+/// A numeric argument position: a literal value or a `$n` placeholder
+/// awaiting a bind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A literal parsed from the statement text.
+    Lit(Value),
+    /// The 1-based placeholder `$n`.
+    Param(usize),
+}
+
+impl Scalar {
+    /// Literal integer shorthand.
+    pub fn int(v: i64) -> Self {
+        Scalar::Lit(Value::Int(v))
+    }
+
+    /// Literal float shorthand.
+    pub fn float(v: f64) -> Self {
+        Scalar::Lit(Value::Float(v))
+    }
+
+    /// The scalar as an `f64`; errors on unbound placeholders and non-numeric
+    /// bound values.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Scalar::Lit(v) => v
+                .as_f64()
+                .or_else(|| v.as_i64().map(|i| i as f64))
+                .ok_or_else(|| format!("expected a number, got {v:?}")),
+            Scalar::Param(n) => Err(format!("placeholder ${n} is unbound")),
+        }
+    }
+
+    /// The scalar as an `i64` (integers, integral floats, timestamps and
+    /// intervals as milliseconds); errors on unbound placeholders.
+    pub fn as_i64(&self) -> Result<i64, String> {
+        match self {
+            Scalar::Lit(v) => v
+                .as_i64()
+                .ok_or_else(|| format!("expected an integer, got {v:?}")),
+            Scalar::Param(n) => Err(format!("placeholder ${n} is unbound")),
+        }
+    }
+
+    fn bind_with(&self, params: &[Value]) -> Result<Scalar, ParseError> {
+        match self {
+            Scalar::Lit(v) => Ok(Scalar::Lit(v.clone())),
+            Scalar::Param(n) => n
+                .checked_sub(1)
+                .and_then(|i| params.get(i))
+                .map(|v| Scalar::Lit(v.clone()))
+                .ok_or_else(|| {
+                    ParseError(format!(
+                        "no value bound for placeholder ${n} ({} provided)",
+                        params.len()
+                    ))
+                }),
+        }
+    }
+
+    fn param_index(&self) -> usize {
+        match self {
+            Scalar::Lit(_) => 0,
+            // A hand-built `Param(0)` (the lexer rejects `$0`) still counts
+            // as a placeholder so `is_fully_bound` cannot claim otherwise.
+            Scalar::Param(n) => (*n).max(1),
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::float(v)
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Lit(Value::Float(v)) => f.write_str(&fmt_float(*v)),
+            Scalar::Lit(v) => write!(f, "{v}"),
+            Scalar::Param(n) => write!(f, "${n}"),
+        }
+    }
+}
 
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,16 +115,16 @@ pub enum Statement {
     },
     /// `SHOW DATASETS;`
     ShowDatasets,
-    /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s EPSILON e];`
+    /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s] [EPSILON e];`
     BuildIndex {
         /// Dataset name.
         name: String,
         /// Chunk duration in hours.
-        chunk_hours: f64,
+        chunk_hours: Scalar,
         /// Optional voting bandwidth σ for the per-sub-chunk S2T runs.
-        sigma: Option<f64>,
+        sigma: Option<Scalar>,
         /// Optional clustering distance bound ε for the per-sub-chunk S2T runs.
-        epsilon: Option<f64>,
+        epsilon: Option<Scalar>,
     },
     /// `SELECT INFO(name);`
     Info {
@@ -39,15 +137,15 @@ pub enum Statement {
         /// Dataset name.
         name: String,
         /// Voting kernel bandwidth σ.
-        sigma: f64,
+        sigma: Scalar,
         /// Segmentation threshold τ.
-        tau: f64,
+        tau: Scalar,
         /// Sampling stop criterion δ.
-        delta: f64,
+        delta: Scalar,
         /// Minimum sub-trajectory duration `t` in milliseconds.
-        min_duration_ms: i64,
+        min_duration_ms: Scalar,
         /// Clustering distance bound ε.
-        epsilon: f64,
+        epsilon: Scalar,
         /// Use the index-free voting baseline.
         naive: bool,
     },
@@ -58,19 +156,19 @@ pub enum Statement {
         /// Dataset name.
         name: String,
         /// Window start (ms).
-        wi: i64,
+        wi: Scalar,
         /// Window end (ms).
-        we: i64,
+        we: Scalar,
         /// Segmentation threshold τ.
-        tau: f64,
+        tau: Scalar,
         /// Sampling stop criterion δ.
-        delta: f64,
+        delta: Scalar,
         /// Minimum sub-trajectory duration `t` in milliseconds.
-        min_duration_ms: i64,
+        min_duration_ms: Scalar,
         /// Merge distance `d` (unused for the rebuild strategy).
-        merge_distance: f64,
+        merge_distance: Scalar,
         /// Merge gap `γ` in milliseconds (unused for the rebuild strategy).
-        merge_gap_ms: i64,
+        merge_gap_ms: Scalar,
         /// Use the rebuild-from-scratch strategy.
         rebuild: bool,
     },
@@ -79,9 +177,9 @@ pub enum Statement {
         /// Dataset name.
         name: String,
         /// Window start (ms).
-        wi: i64,
+        wi: Scalar,
         /// Window end (ms).
-        we: i64,
+        we: Scalar,
     },
     /// `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` — the cluster-cardinality
     /// time histogram of Fig. 1 (middle) over the clustering of window `W`.
@@ -89,12 +187,228 @@ pub enum Statement {
         /// Dataset name.
         name: String,
         /// Window start (ms).
-        wi: i64,
+        wi: Scalar,
         /// Window end (ms).
-        we: i64,
+        we: Scalar,
         /// Histogram bucket width in milliseconds.
-        bucket_ms: i64,
+        bucket_ms: Scalar,
     },
+}
+
+impl Statement {
+    fn scalars(&self) -> Vec<&Scalar> {
+        match self {
+            Statement::CreateDataset { .. }
+            | Statement::DropDataset { .. }
+            | Statement::ShowDatasets
+            | Statement::Info { .. } => Vec::new(),
+            Statement::BuildIndex {
+                chunk_hours,
+                sigma,
+                epsilon,
+                ..
+            } => std::iter::once(chunk_hours)
+                .chain(sigma.iter())
+                .chain(epsilon.iter())
+                .collect(),
+            Statement::S2T {
+                sigma,
+                tau,
+                delta,
+                min_duration_ms,
+                epsilon,
+                ..
+            } => vec![sigma, tau, delta, min_duration_ms, epsilon],
+            Statement::Qut {
+                wi,
+                we,
+                tau,
+                delta,
+                min_duration_ms,
+                merge_distance,
+                merge_gap_ms,
+                ..
+            } => vec![
+                wi,
+                we,
+                tau,
+                delta,
+                min_duration_ms,
+                merge_distance,
+                merge_gap_ms,
+            ],
+            Statement::Range { wi, we, .. } => vec![wi, we],
+            Statement::Histogram {
+                wi, we, bucket_ms, ..
+            } => vec![wi, we, bucket_ms],
+        }
+    }
+
+    /// Number of parameters the statement expects: the highest `$n` used
+    /// (0 when fully literal).
+    pub fn num_placeholders(&self) -> usize {
+        self.scalars()
+            .into_iter()
+            .map(Scalar::param_index)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when every argument position holds a literal.
+    pub fn is_fully_bound(&self) -> bool {
+        self.num_placeholders() == 0
+    }
+
+    /// Substitutes `params` (1-based: `params[0]` binds `$1`) for the
+    /// placeholders, returning a fully bound copy. The receiver is unchanged,
+    /// so a prepared statement binds any number of times without re-parsing.
+    pub fn bind(&self, params: &[Value]) -> Result<Statement, ParseError> {
+        let b = |s: &Scalar| s.bind_with(params);
+        Ok(match self {
+            Statement::CreateDataset { name } => Statement::CreateDataset { name: name.clone() },
+            Statement::DropDataset { name } => Statement::DropDataset { name: name.clone() },
+            Statement::ShowDatasets => Statement::ShowDatasets,
+            Statement::Info { name } => Statement::Info { name: name.clone() },
+            Statement::BuildIndex {
+                name,
+                chunk_hours,
+                sigma,
+                epsilon,
+            } => Statement::BuildIndex {
+                name: name.clone(),
+                chunk_hours: b(chunk_hours)?,
+                sigma: sigma.as_ref().map(&b).transpose()?,
+                epsilon: epsilon.as_ref().map(&b).transpose()?,
+            },
+            Statement::S2T {
+                name,
+                sigma,
+                tau,
+                delta,
+                min_duration_ms,
+                epsilon,
+                naive,
+            } => Statement::S2T {
+                name: name.clone(),
+                sigma: b(sigma)?,
+                tau: b(tau)?,
+                delta: b(delta)?,
+                min_duration_ms: b(min_duration_ms)?,
+                epsilon: b(epsilon)?,
+                naive: *naive,
+            },
+            Statement::Qut {
+                name,
+                wi,
+                we,
+                tau,
+                delta,
+                min_duration_ms,
+                merge_distance,
+                merge_gap_ms,
+                rebuild,
+            } => Statement::Qut {
+                name: name.clone(),
+                wi: b(wi)?,
+                we: b(we)?,
+                tau: b(tau)?,
+                delta: b(delta)?,
+                min_duration_ms: b(min_duration_ms)?,
+                merge_distance: b(merge_distance)?,
+                merge_gap_ms: b(merge_gap_ms)?,
+                rebuild: *rebuild,
+            },
+            Statement::Range { name, wi, we } => Statement::Range {
+                name: name.clone(),
+                wi: b(wi)?,
+                we: b(we)?,
+            },
+            Statement::Histogram {
+                name,
+                wi,
+                we,
+                bucket_ms,
+            } => Statement::Histogram {
+                name: name.clone(),
+                wi: b(wi)?,
+                we: b(we)?,
+                bucket_ms: b(bucket_ms)?,
+            },
+        })
+    }
+}
+
+impl fmt::Display for Statement {
+    /// Renders the statement back to dialect text; `parse(render(stmt))`
+    /// reproduces `stmt` (the round-trip property the test suite checks).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateDataset { name } => write!(f, "CREATE DATASET {name};"),
+            Statement::DropDataset { name } => write!(f, "DROP DATASET {name};"),
+            Statement::ShowDatasets => write!(f, "SHOW DATASETS;"),
+            Statement::BuildIndex {
+                name,
+                chunk_hours,
+                sigma,
+                epsilon,
+            } => {
+                write!(f, "BUILD INDEX ON {name} WITH CHUNK {chunk_hours} HOURS")?;
+                if let Some(s) = sigma {
+                    write!(f, " SIGMA {s}")?;
+                }
+                if let Some(e) = epsilon {
+                    write!(f, " EPSILON {e}")?;
+                }
+                write!(f, ";")
+            }
+            Statement::Info { name } => write!(f, "SELECT INFO({name});"),
+            Statement::S2T {
+                name,
+                sigma,
+                tau,
+                delta,
+                min_duration_ms,
+                epsilon,
+                naive,
+            } => {
+                let func = if *naive { "S2T_NAIVE" } else { "S2T" };
+                write!(
+                    f,
+                    "SELECT {func}({name}, {sigma}, {tau}, {delta}, {min_duration_ms}, {epsilon});"
+                )
+            }
+            Statement::Qut {
+                name,
+                wi,
+                we,
+                tau,
+                delta,
+                min_duration_ms,
+                merge_distance,
+                merge_gap_ms,
+                rebuild,
+            } => {
+                if *rebuild {
+                    write!(
+                        f,
+                        "SELECT QUT_REBUILD({name}, {wi}, {we}, {tau}, {delta}, {min_duration_ms});"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "SELECT QUT({name}, {wi}, {we}, {tau}, {delta}, {min_duration_ms}, {merge_distance}, {merge_gap_ms});"
+                    )
+                }
+            }
+            Statement::Range { name, wi, we } => write!(f, "SELECT RANGE({name}, {wi}, {we});"),
+            Statement::Histogram {
+                name,
+                wi,
+                we,
+                bucket_ms,
+            } => write!(f, "SELECT HISTOGRAM({name}, {wi}, {we}, {bucket_ms});"),
+        }
+    }
 }
 
 /// A parse failure with a human-readable description.
@@ -112,11 +426,26 @@ impl std::error::Error for ParseError {}
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Ident(String),
-    Number(f64),
+    Number(Value),
+    Placeholder(usize),
     LParen,
     RParen,
     Comma,
     Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "'{s}'"),
+            Token::Number(v) => write!(f, "number {v}"),
+            Token::Placeholder(n) => write!(f, "placeholder ${n}"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Comma => write!(f, "','"),
+            Token::Semicolon => write!(f, "';'"),
+        }
+    }
 }
 
 fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
@@ -143,6 +472,25 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 tokens.push(Token::Semicolon);
                 i += 1;
             }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ParseError("expected digits after '$'".into()));
+                }
+                let text: String = chars[start..j].iter().collect();
+                let n = text
+                    .parse::<usize>()
+                    .map_err(|_| ParseError(format!("invalid placeholder '${text}'")))?;
+                if n == 0 {
+                    return Err(ParseError("placeholders are numbered from $1".into()));
+                }
+                tokens.push(Token::Placeholder(n));
+                i = j;
+            }
             '\'' | '"' => {
                 let quote = c;
                 let start = i + 1;
@@ -160,14 +508,25 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
                 let start = i;
                 i += 1;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E')
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '-' || chars[i] == '+')
+                            && matches!(chars[i - 1], 'e' | 'E')))
                 {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let value = text
-                    .parse::<f64>()
-                    .map_err(|_| ParseError(format!("invalid number '{text}'")))?;
+                // Plain digit runs become Int; a '.', exponent, or i64
+                // overflow falls back to Float.
+                let value = match text.parse::<i64>() {
+                    Ok(v) if !text.contains(['.', 'e', 'E']) => Value::Int(v),
+                    _ => Value::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| ParseError(format!("invalid number '{text}'")))?,
+                    ),
+                };
                 tokens.push(Token::Number(value));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -206,14 +565,14 @@ impl Parser {
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError(format!("expected '{kw}', found {other:?}"))),
+            other => Err(ParseError(format!("expected '{kw}', found {other}"))),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(ParseError(format!("expected an identifier, found {other:?}"))),
+            other => Err(ParseError(format!("expected an identifier, found {other}"))),
         }
     }
 
@@ -222,29 +581,41 @@ impl Parser {
         if got == t {
             Ok(())
         } else {
-            Err(ParseError(format!("expected {t:?}, found {got:?}")))
+            Err(ParseError(format!("expected {t}, found {got}")))
         }
     }
 
-    fn expect_number(&mut self) -> Result<f64, ParseError> {
+    fn expect_scalar(&mut self) -> Result<Scalar, ParseError> {
         match self.next()? {
-            Token::Number(n) => Ok(n),
-            other => Err(ParseError(format!("expected a number, found {other:?}"))),
+            Token::Number(v) => Ok(Scalar::Lit(v)),
+            Token::Placeholder(n) => Ok(Scalar::Param(n)),
+            other => Err(ParseError(format!(
+                "expected a number or placeholder, found {other}"
+            ))),
         }
     }
 
-    /// Parses `name, n1, n2, …` inside parentheses, given the expected number
-    /// of numeric arguments.
-    fn call_args(&mut self, expected_numbers: usize) -> Result<(String, Vec<f64>), ParseError> {
+    /// Parses `(name, s1, s2, …)` and checks the argument count against the
+    /// function's arity, so wrong-arity calls report "expected N" instead of
+    /// a token-level error.
+    fn call_args(&mut self, func: &str, arity: usize) -> Result<(String, Vec<Scalar>), ParseError> {
         self.expect_token(Token::LParen)?;
         let name = self.expect_ident()?;
-        let mut numbers = Vec::with_capacity(expected_numbers);
-        for _ in 0..expected_numbers {
-            self.expect_token(Token::Comma)?;
-            numbers.push(self.expect_number()?);
+        let mut scalars = Vec::with_capacity(arity);
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            scalars.push(self.expect_scalar()?);
         }
         self.expect_token(Token::RParen)?;
-        Ok((name, numbers))
+        if scalars.len() != arity {
+            return Err(ParseError(format!(
+                "{} expects {arity} numeric argument{} after the dataset name, got {}",
+                func.to_ascii_uppercase(),
+                if arity == 1 { "" } else { "s" },
+                scalars.len()
+            )));
+        }
+        Ok((name, scalars))
     }
 
     fn finish(&mut self) -> Result<(), ParseError> {
@@ -285,15 +656,24 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
         let name = p.expect_ident()?;
         p.expect_keyword("with")?;
         p.expect_keyword("chunk")?;
-        let chunk_hours = p.expect_number()?;
+        let chunk_hours = p.expect_scalar()?;
         p.expect_keyword("hours")?;
+        // SIGMA and EPSILON are independent optional clauses (each at most
+        // once, any order), so every representable AST has a rendering.
         let mut sigma = None;
         let mut epsilon = None;
-        if matches!(p.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("sigma")) {
-            p.expect_keyword("sigma")?;
-            sigma = Some(p.expect_number()?);
-            p.expect_keyword("epsilon")?;
-            epsilon = Some(p.expect_number()?);
+        loop {
+            match p.peek() {
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("sigma") && sigma.is_none() => {
+                    p.pos += 1;
+                    sigma = Some(p.expect_scalar()?);
+                }
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("epsilon") && epsilon.is_none() => {
+                    p.pos += 1;
+                    epsilon = Some(p.expect_scalar()?);
+                }
+                _ => break,
+            }
         }
         Statement::BuildIndex {
             name,
@@ -304,59 +684,64 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
     } else if head.eq_ignore_ascii_case("select") {
         let func = p.expect_ident()?;
         if func.eq_ignore_ascii_case("info") {
-            let (name, _) = p.call_args(0)?;
+            let (name, _) = p.call_args(&func, 0)?;
             Statement::Info { name }
         } else if func.eq_ignore_ascii_case("s2t") || func.eq_ignore_ascii_case("s2t_naive") {
-            let (name, args) = p.call_args(5)?;
+            let (name, mut args) = p.call_args(&func, 5)?;
+            let mut take = || args.remove(0);
             Statement::S2T {
                 name,
-                sigma: args[0],
-                tau: args[1],
-                delta: args[2],
-                min_duration_ms: args[3] as i64,
-                epsilon: args[4],
+                sigma: take(),
+                tau: take(),
+                delta: take(),
+                min_duration_ms: take(),
+                epsilon: take(),
                 naive: func.eq_ignore_ascii_case("s2t_naive"),
             }
         } else if func.eq_ignore_ascii_case("qut") {
-            let (name, args) = p.call_args(7)?;
+            let (name, mut args) = p.call_args(&func, 7)?;
+            let mut take = || args.remove(0);
             Statement::Qut {
                 name,
-                wi: args[0] as i64,
-                we: args[1] as i64,
-                tau: args[2],
-                delta: args[3],
-                min_duration_ms: args[4] as i64,
-                merge_distance: args[5],
-                merge_gap_ms: args[6] as i64,
+                wi: take(),
+                we: take(),
+                tau: take(),
+                delta: take(),
+                min_duration_ms: take(),
+                merge_distance: take(),
+                merge_gap_ms: take(),
                 rebuild: false,
             }
         } else if func.eq_ignore_ascii_case("qut_rebuild") {
-            let (name, args) = p.call_args(5)?;
+            let (name, mut args) = p.call_args(&func, 5)?;
+            let mut take = || args.remove(0);
             Statement::Qut {
                 name,
-                wi: args[0] as i64,
-                we: args[1] as i64,
-                tau: args[2],
-                delta: args[3],
-                min_duration_ms: args[4] as i64,
-                merge_distance: 0.0,
-                merge_gap_ms: 0,
+                wi: take(),
+                we: take(),
+                tau: take(),
+                delta: take(),
+                min_duration_ms: take(),
+                merge_distance: Scalar::float(0.0),
+                merge_gap_ms: Scalar::int(0),
                 rebuild: true,
             }
         } else if func.eq_ignore_ascii_case("range") {
-            let (name, args) = p.call_args(2)?;
+            let (name, mut args) = p.call_args(&func, 2)?;
+            let mut take = || args.remove(0);
             Statement::Range {
                 name,
-                wi: args[0] as i64,
-                we: args[1] as i64,
+                wi: take(),
+                we: take(),
             }
         } else if func.eq_ignore_ascii_case("histogram") {
-            let (name, args) = p.call_args(3)?;
+            let (name, mut args) = p.call_args(&func, 3)?;
+            let mut take = || args.remove(0);
             Statement::Histogram {
                 name,
-                wi: args[0] as i64,
-                we: args[1] as i64,
-                bucket_ms: args[2] as i64,
+                wi: take(),
+                we: take(),
+                bucket_ms: take(),
             }
         } else {
             return Err(ParseError(format!("unknown function '{func}'")));
@@ -391,7 +776,7 @@ mod tests {
             parse("BUILD INDEX ON flights WITH CHUNK 6 HOURS;").unwrap(),
             Statement::BuildIndex {
                 name: "flights".into(),
-                chunk_hours: 6.0,
+                chunk_hours: Scalar::int(6),
                 sigma: None,
                 epsilon: None,
             }
@@ -400,9 +785,9 @@ mod tests {
             parse("BUILD INDEX ON flights WITH CHUNK 2 HOURS SIGMA 2000 EPSILON 6000;").unwrap(),
             Statement::BuildIndex {
                 name: "flights".into(),
-                chunk_hours: 2.0,
-                sigma: Some(2000.0),
-                epsilon: Some(6000.0),
+                chunk_hours: Scalar::int(2),
+                sigma: Some(Scalar::int(2000)),
+                epsilon: Some(Scalar::int(6000)),
             }
         );
     }
@@ -414,11 +799,11 @@ mod tests {
             stmt,
             Statement::S2T {
                 name: "flights".into(),
-                sigma: 2000.0,
-                tau: 0.35,
-                delta: 0.05,
-                min_duration_ms: 120_000,
-                epsilon: 5000.0,
+                sigma: Scalar::int(2000),
+                tau: Scalar::float(0.35),
+                delta: Scalar::float(0.05),
+                min_duration_ms: Scalar::int(120_000),
+                epsilon: Scalar::int(5000),
                 naive: false,
             }
         );
@@ -429,22 +814,24 @@ mod tests {
     #[test]
     fn qut_call_matches_the_paper_signature() {
         // SELECT QUT(D, Wi, We, τ, δ, t, d, γ);
-        let stmt = parse("SELECT QUT(flights, 0, 7200000, 0.35, 0.05, 120000, 3000, 1800000);").unwrap();
+        let stmt =
+            parse("SELECT QUT(flights, 0, 7200000, 0.35, 0.05, 120000, 3000, 1800000);").unwrap();
         assert_eq!(
             stmt,
             Statement::Qut {
                 name: "flights".into(),
-                wi: 0,
-                we: 7_200_000,
-                tau: 0.35,
-                delta: 0.05,
-                min_duration_ms: 120_000,
-                merge_distance: 3000.0,
-                merge_gap_ms: 1_800_000,
+                wi: Scalar::int(0),
+                we: Scalar::int(7_200_000),
+                tau: Scalar::float(0.35),
+                delta: Scalar::float(0.05),
+                min_duration_ms: Scalar::int(120_000),
+                merge_distance: Scalar::int(3000),
+                merge_gap_ms: Scalar::int(1_800_000),
                 rebuild: false,
             }
         );
-        let rebuild = parse("SELECT QUT_REBUILD(flights, 0, 7200000, 0.35, 0.05, 120000);").unwrap();
+        let rebuild =
+            parse("SELECT QUT_REBUILD(flights, 0, 7200000, 0.35, 0.05, 120000);").unwrap();
         assert!(matches!(rebuild, Statement::Qut { rebuild: true, .. }));
     }
 
@@ -454,8 +841,8 @@ mod tests {
             parse("SELECT RANGE(flights, 0, 3600000);").unwrap(),
             Statement::Range {
                 name: "flights".into(),
-                wi: 0,
-                we: 3_600_000
+                wi: Scalar::int(0),
+                we: Scalar::int(3_600_000)
             }
         );
         assert_eq!(
@@ -468,22 +855,133 @@ mod tests {
             parse("SELECT HISTOGRAM(flights, 0, 7200000, 900000);").unwrap(),
             Statement::Histogram {
                 name: "flights".into(),
-                wi: 0,
-                we: 7_200_000,
-                bucket_ms: 900_000
+                wi: Scalar::int(0),
+                we: Scalar::int(7_200_000),
+                bucket_ms: Scalar::int(900_000)
             }
         );
     }
 
     #[test]
+    fn placeholders_parse_and_bind() {
+        let stmt =
+            parse("SELECT QUT(flights, $1, $2, 0.35, 0.05, 120000, 3000, 1800000);").unwrap();
+        assert_eq!(stmt.num_placeholders(), 2);
+        assert!(!stmt.is_fully_bound());
+
+        let bound = stmt.bind(&[Value::Int(0), Value::Int(7_200_000)]).unwrap();
+        assert!(bound.is_fully_bound());
+        assert!(matches!(
+            bound,
+            Statement::Qut { ref wi, ref we, .. }
+                if *wi == Scalar::int(0) && *we == Scalar::int(7_200_000)
+        ));
+        // The prepared statement is unchanged and binds again.
+        let again = stmt
+            .bind(&[
+                Value::Timestamp(hermes_trajectory::Timestamp(100)),
+                Value::Timestamp(hermes_trajectory::Timestamp(200)),
+            ])
+            .unwrap();
+        assert!(again.is_fully_bound());
+        assert_eq!(stmt.num_placeholders(), 2);
+
+        // Binding with too few values is a descriptive error.
+        let err = stmt.bind(&[Value::Int(0)]).unwrap_err();
+        assert!(err.0.contains("$2"), "{err}");
+        // Unbound placeholders refuse scalar conversion.
+        if let Statement::Qut { wi, .. } = &stmt {
+            assert!(wi.as_i64().unwrap_err().contains("unbound"));
+            assert!(wi.as_f64().unwrap_err().contains("unbound"));
+        }
+    }
+
+    #[test]
+    fn hand_built_param_zero_is_a_bind_error_not_a_panic() {
+        let stmt = Statement::Range {
+            name: "flights".into(),
+            wi: Scalar::Param(0),
+            we: Scalar::int(10),
+        };
+        assert!(!stmt.is_fully_bound());
+        let err = stmt.bind(&[Value::Int(1)]).unwrap_err();
+        assert!(err.0.contains("$0"), "{err}");
+    }
+
+    #[test]
+    fn sigma_and_epsilon_clauses_are_independent() {
+        let sigma_only = parse("BUILD INDEX ON d WITH CHUNK 2 HOURS SIGMA 900;").unwrap();
+        assert_eq!(
+            sigma_only,
+            Statement::BuildIndex {
+                name: "d".into(),
+                chunk_hours: Scalar::int(2),
+                sigma: Some(Scalar::int(900)),
+                epsilon: None,
+            }
+        );
+        let epsilon_only = parse("BUILD INDEX ON d WITH CHUNK 2 HOURS EPSILON 400;").unwrap();
+        assert!(matches!(
+            epsilon_only,
+            Statement::BuildIndex {
+                sigma: None,
+                epsilon: Some(_),
+                ..
+            }
+        ));
+        // Any order parses; rendering canonicalizes to SIGMA then EPSILON and
+        // round-trips, including the half-set forms.
+        let both = parse("BUILD INDEX ON d WITH CHUNK 2 HOURS EPSILON 400 SIGMA 900;").unwrap();
+        for stmt in [sigma_only, epsilon_only, both] {
+            assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        }
+        // Duplicate clauses are rejected.
+        assert!(parse("BUILD INDEX ON d WITH CHUNK 2 HOURS SIGMA 1 SIGMA 2;").is_err());
+    }
+
+    #[test]
+    fn placeholder_lexing_errors() {
+        assert!(parse("SELECT RANGE(flights, $, 1);")
+            .unwrap_err()
+            .0
+            .contains("digits"));
+        assert!(parse("SELECT RANGE(flights, $0, 1);")
+            .unwrap_err()
+            .0
+            .contains("numbered from $1"));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported_with_the_expected_count() {
+        let err = parse("SELECT S2T(flights, 1, 2);").unwrap_err();
+        assert!(err.0.contains("S2T expects 5"), "{err}");
+        assert!(err.0.contains("got 2"), "{err}");
+        let err = parse("SELECT QUT(flights, 0, 1, 2, 3, 4, 5, 6, 7);").unwrap_err();
+        assert!(err.0.contains("QUT expects 7"), "{err}");
+        let err = parse("SELECT INFO(flights, 9);").unwrap_err();
+        assert!(err.0.contains("expects 0"), "{err}");
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         assert!(parse("").unwrap_err().0.contains("empty"));
-        assert!(parse("SELECT NOPE(flights);").unwrap_err().0.contains("unknown function"));
-        assert!(parse("CREATE TABLE x;").unwrap_err().0.contains("expected 'dataset'"));
-        assert!(parse("SELECT S2T(flights, 1, 2);").is_err());
-        assert!(parse("SELECT RANGE(flights, 0, 10) extra;").unwrap_err().0.contains("trailing"));
+        assert!(parse("SELECT NOPE(flights);")
+            .unwrap_err()
+            .0
+            .contains("unknown function"));
+        assert!(parse("CREATE TABLE x;")
+            .unwrap_err()
+            .0
+            .contains("expected 'dataset'"));
+        assert!(parse("SELECT RANGE(flights, 0, 10) extra;")
+            .unwrap_err()
+            .0
+            .contains("trailing"));
         assert!(parse("SELECT RANGE(flights, 0, 'ten');").is_err());
-        assert!(parse("SELECT INFO('unterminated);").unwrap_err().0.contains("unterminated"));
+        assert!(parse("SELECT INFO('unterminated);")
+            .unwrap_err()
+            .0
+            .contains("unterminated"));
         assert!(parse("€").is_err());
     }
 
@@ -494,9 +992,45 @@ mod tests {
             stmt,
             Statement::Range {
                 name: "flights".into(),
-                wi: -3_600_000,
-                we: 10_000_000
+                wi: Scalar::int(-3_600_000),
+                we: Scalar::float(10_000_000.0)
             }
         );
+        // Negative exponents keep their sign inside the number token.
+        let stmt = parse("SELECT RANGE(flights, 1e-3, 2E+4);").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Range {
+                name: "flights".into(),
+                wi: Scalar::float(0.001),
+                we: Scalar::float(20_000.0)
+            }
+        );
+    }
+
+    #[test]
+    fn statements_render_back_to_parseable_text() {
+        for sql in [
+            "CREATE DATASET flights;",
+            "DROP DATASET flights;",
+            "SHOW DATASETS;",
+            "BUILD INDEX ON flights WITH CHUNK 6 HOURS;",
+            "BUILD INDEX ON flights WITH CHUNK 2 HOURS SIGMA 2000 EPSILON 6000;",
+            "SELECT INFO(flights);",
+            "SELECT S2T(flights, 2000, 0.35, 0.05, 120000, 5000);",
+            "SELECT S2T_NAIVE(flights, 2000, 0.35, 0.05, 120000, 5000);",
+            "SELECT QUT(flights, $1, $2, 0.35, 0.05, 120000, 3000, 1800000);",
+            "SELECT QUT_REBUILD(flights, 0, 7200000, 0.35, 0.05, 120000);",
+            "SELECT RANGE(flights, -5, 1e7);",
+            "SELECT HISTOGRAM(flights, 0, 7200000, 900000);",
+        ] {
+            let stmt = parse(sql).unwrap();
+            let rendered = stmt.to_string();
+            assert_eq!(
+                parse(&rendered).unwrap(),
+                stmt,
+                "render of {sql}: {rendered}"
+            );
+        }
     }
 }

@@ -1,0 +1,287 @@
+//! The client-facing [`Session`]: a connection-like wrapper around the
+//! engine that owns prepared statements.
+//!
+//! ```
+//! use hermes_core::HermesEngine;
+//! use hermes_sql::{Session, Value};
+//!
+//! let mut engine = HermesEngine::new();
+//! let mut session = Session::new(&mut engine);
+//! session.execute("CREATE DATASET flights;").unwrap();
+//! // Parse once…
+//! let range = session.prepare("SELECT RANGE(flights, $1, $2);").unwrap();
+//! // …bind per execution (would run if the dataset were indexed):
+//! let _ = session.execute_prepared(range, &[Value::Int(0), Value::Int(3_600_000)]);
+//! let _ = session.execute_prepared(range, &[Value::Int(0), Value::Int(7_200_000)]);
+//! assert_eq!(session.stats().parses, 2); // CREATE + the prepared RANGE
+//! ```
+
+use crate::executor::{execute_statement, SqlError};
+use crate::frame::QueryOutcome;
+use crate::parser::{parse, Statement};
+use crate::value::Value;
+use hermes_core::HermesEngine;
+use std::collections::HashMap;
+
+/// Handle to a statement prepared in a [`Session`]. Copyable; only
+/// meaningful with the session that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prepared(usize);
+
+/// Parser- and cache-activity counters of a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Times the parser actually ran.
+    pub parses: usize,
+    /// Statement texts answered from the prepared-statement cache.
+    pub cache_hits: usize,
+    /// Statements executed (prepared or direct).
+    pub executions: usize,
+}
+
+/// A client session over a [`HermesEngine`].
+///
+/// The session owns the prepared-statement cache: [`Session::prepare`] parses
+/// a statement once and returns a [`Prepared`] handle; every
+/// [`Session::execute_prepared`] binds fresh parameter [`Value`]s into the
+/// cached AST without touching the parser again. Plain [`Session::execute`]
+/// also consults the cache (keyed by statement text), so a front end looping
+/// over the same statement re-parses nothing.
+pub struct Session<'e> {
+    engine: &'e mut HermesEngine,
+    statements: Vec<Statement>,
+    by_text: HashMap<String, Prepared>,
+    stats: SessionStats,
+}
+
+impl<'e> Session<'e> {
+    /// Most distinct statement texts [`Session::execute`] will cache
+    /// implicitly. Explicit [`Session::prepare`] calls are not capped.
+    pub const IMPLICIT_CACHE_CAP: usize = 256;
+
+    /// Opens a session over an engine.
+    pub fn new(engine: &'e mut HermesEngine) -> Self {
+        Session {
+            engine,
+            statements: Vec::new(),
+            by_text: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Parses `sql` once and caches the AST, keyed by the (trimmed)
+    /// statement text. Preparing the same text again is a cache hit and
+    /// returns the existing handle.
+    pub fn prepare(&mut self, sql: &str) -> Result<Prepared, SqlError> {
+        let key = sql.trim();
+        if let Some(&handle) = self.by_text.get(key) {
+            self.stats.cache_hits += 1;
+            return Ok(handle);
+        }
+        self.stats.parses += 1;
+        let stmt = parse(key)?;
+        let handle = Prepared(self.statements.len());
+        self.statements.push(stmt);
+        self.by_text.insert(key.to_string(), handle);
+        Ok(handle)
+    }
+
+    /// The cached AST behind a handle.
+    pub fn statement(&self, handle: Prepared) -> Option<&Statement> {
+        self.statements.get(handle.0)
+    }
+
+    /// Executes a prepared statement with `params` bound to its `$n`
+    /// placeholders (`params[0]` binds `$1`). The cached AST is not
+    /// re-parsed and stays available for further executions.
+    pub fn execute_prepared(
+        &mut self,
+        handle: Prepared,
+        params: &[Value],
+    ) -> Result<QueryOutcome, SqlError> {
+        let stmt = self
+            .statements
+            .get(handle.0)
+            .ok_or_else(|| SqlError::Bind(format!("unknown prepared statement {handle:?}")))?;
+        let bound = stmt.bind(params).map_err(|e| SqlError::Bind(e.0))?;
+        self.stats.executions += 1;
+        execute_statement(self.engine, &bound)
+    }
+
+    /// Prepares (or finds in the cache) and executes a placeholder-free
+    /// statement in one call.
+    ///
+    /// Unlike explicit [`Session::prepare`], the implicit caching here is
+    /// capped at [`Session::IMPLICIT_CACHE_CAP`] distinct statement texts: a
+    /// front end looping over literal-only statements (every window a new
+    /// text) must not grow the session without bound. Past the cap the
+    /// statement still executes, just without being cached.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutcome, SqlError> {
+        let key = sql.trim();
+        if self.by_text.contains_key(key) || self.by_text.len() < Self::IMPLICIT_CACHE_CAP {
+            let handle = self.prepare(key)?;
+            return self.execute_prepared(handle, &[]);
+        }
+        self.stats.parses += 1;
+        let stmt = parse(key)?;
+        let bound = stmt.bind(&[]).map_err(|e| SqlError::Bind(e.0))?;
+        self.stats.executions += 1;
+        execute_statement(self.engine, &bound)
+    }
+
+    /// Parser/cache counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of distinct statements held in the cache.
+    pub fn cached_statements(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Direct access to the underlying engine (e.g. to load trajectories).
+    pub fn engine(&mut self) -> &mut HermesEngine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+    use hermes_trajectory::{Point, Timestamp, Trajectory};
+
+    fn traj(id: u64, y: f64) -> Trajectory {
+        Trajectory::new(
+            id,
+            id,
+            (0..30)
+                .map(|i| Point::new(i as f64 * 100.0, y, Timestamp(i as i64 * 60_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn engine() -> HermesEngine {
+        let mut e = HermesEngine::new();
+        e.create_dataset("flights").unwrap();
+        let trajs: Vec<Trajectory> = (0..12).map(|i| traj(i, i as f64 * 10.0)).collect();
+        e.load_trajectories("flights", trajs).unwrap();
+        e
+    }
+
+    #[test]
+    fn prepared_statement_executes_twice_without_reparsing() {
+        let mut e = engine();
+        let mut session = Session::new(&mut e);
+        session
+            .execute("BUILD INDEX ON flights WITH CHUNK 4 HOURS SIGMA 60 EPSILON 400;")
+            .unwrap();
+        let parses_before = session.stats().parses;
+
+        let qut = session
+            .prepare("SELECT QUT(flights, $1, $2, 0.35, 0.05, 120000, 400, 1800000)")
+            .unwrap();
+        assert_eq!(session.stats().parses, parses_before + 1);
+
+        let first = session
+            .execute_prepared(qut, &[Value::Int(0), Value::Int(900_000)])
+            .unwrap();
+        let second = session
+            .execute_prepared(qut, &[Value::Int(0), Value::Int(1_800_000)])
+            .unwrap();
+        // Two different windows executed, exactly one parse.
+        assert_eq!(session.stats().parses, parses_before + 1);
+        assert_eq!(session.stats().executions, 3);
+        assert!(first.num_rows() >= 1 && second.num_rows() >= 1);
+        // Timestamps may bind as typed values, not just ints.
+        let third = session
+            .execute_prepared(
+                qut,
+                &[
+                    Value::Timestamp(Timestamp(0)),
+                    Value::Timestamp(Timestamp(1_800_000)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(third.num_rows(), second.num_rows());
+    }
+
+    #[test]
+    fn execute_hits_the_cache_on_repeated_text() {
+        let mut e = engine();
+        let mut session = Session::new(&mut e);
+        session.execute("SELECT INFO(flights);").unwrap();
+        session.execute("SELECT INFO(flights);").unwrap();
+        session.execute("  SELECT INFO(flights);  ").unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.parses, 1);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.executions, 3);
+        assert_eq!(session.cached_statements(), 1);
+    }
+
+    #[test]
+    fn implicit_cache_is_capped_but_execution_continues() {
+        let mut e = engine();
+        e.build_index(
+            "flights",
+            hermes_retratree::ReTraTreeParams::builder()
+                .chunk_duration(hermes_trajectory::Duration::from_hours(4))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut session = Session::new(&mut e);
+        // Every statement text is distinct, as in a shell loop over literal
+        // windows.
+        for i in 0..Session::IMPLICIT_CACHE_CAP + 10 {
+            session
+                .execute(&format!("SELECT RANGE(flights, 0, {});", 60_000 + i))
+                .unwrap();
+        }
+        assert_eq!(session.cached_statements(), Session::IMPLICIT_CACHE_CAP);
+        // Everything still executed.
+        assert_eq!(session.stats().executions, Session::IMPLICIT_CACHE_CAP + 10);
+        // Explicit prepare is not capped.
+        let h = session.prepare("SELECT RANGE(flights, $1, $2);").unwrap();
+        assert!(session.cached_statements() > Session::IMPLICIT_CACHE_CAP);
+        assert!(session.statement(h).is_some());
+    }
+
+    #[test]
+    fn binding_errors_are_surfaced() {
+        let mut e = engine();
+        let mut session = Session::new(&mut e);
+        let range = session.prepare("SELECT RANGE(flights, $1, $2);").unwrap();
+        let err = session
+            .execute_prepared(range, &[Value::Int(0)])
+            .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Bind(ref m) if m.contains("$2")),
+            "{err}"
+        );
+        // Executing a statement with placeholders directly is a bind error.
+        let err = session
+            .execute("SELECT RANGE(flights, $1, $2);")
+            .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Bind(ref m) if m.contains("$1")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn session_results_are_typed_frames() {
+        let mut e = engine();
+        let mut session = Session::new(&mut e);
+        let info = session.execute("SELECT INFO(flights);").unwrap();
+        let frame = info.expect_frame("INFO");
+        assert_eq!(frame.schema()[1].ty, ValueType::Int);
+        assert_eq!(frame.get(0, "trajectories"), Some(&Value::Int(12)));
+        assert!(session
+            .engine()
+            .list_datasets()
+            .contains(&"flights".to_string()));
+    }
+}

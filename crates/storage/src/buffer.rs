@@ -7,8 +7,8 @@
 //! re-reading and re-processing" effect is visible even though everything is
 //! ultimately in memory.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Key of a buffered page: (partition id, page id).
 pub type FrameKey = (u64, u64);
@@ -49,6 +49,10 @@ pub struct BufferPool<T> {
 }
 
 impl<T: Clone> BufferPool<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().expect("buffer pool lock poisoned")
+    }
+
     /// Creates a pool holding at most `capacity` frames (at least 1).
     pub fn new(capacity: usize) -> Self {
         BufferPool {
@@ -64,7 +68,7 @@ impl<T: Clone> BufferPool<T> {
     /// Returns the cached value for `key`, or loads it with `load`, caching
     /// the result (evicting the least recently used frame if full).
     pub fn get_or_load(&self, key: FrameKey, load: impl FnOnce() -> T) -> T {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         g.clock += 1;
         let now = g.clock;
         if let Some((v, used)) = g.frames.get_mut(&key) {
@@ -87,7 +91,7 @@ impl<T: Clone> BufferPool<T> {
 
     /// Replaces (or inserts) the cached value for `key` after a write.
     pub fn put(&self, key: FrameKey, value: T) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         g.clock += 1;
         let now = g.clock;
         if g.frames.len() >= g.capacity && !g.frames.contains_key(&key) {
@@ -101,20 +105,17 @@ impl<T: Clone> BufferPool<T> {
 
     /// Drops the cached value for `key` (e.g. after the partition is dropped).
     pub fn invalidate(&self, key: &FrameKey) {
-        self.inner.lock().frames.remove(key);
+        self.lock().frames.remove(key);
     }
 
     /// Removes every frame belonging to `partition`.
     pub fn invalidate_partition(&self, partition: u64) {
-        self.inner
-            .lock()
-            .frames
-            .retain(|(p, _), _| *p != partition);
+        self.lock().frames.retain(|(p, _), _| *p != partition);
     }
 
     /// Current number of cached frames.
     pub fn len(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.lock().frames.len()
     }
 
     /// True when nothing is cached.
@@ -124,12 +125,12 @@ impl<T: Clone> BufferPool<T> {
 
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        self.lock().stats
     }
 
     /// Resets the hit/miss counters (the benchmarks do this between phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BufferStats::default();
+        self.lock().stats = BufferStats::default();
     }
 }
 

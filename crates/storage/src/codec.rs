@@ -14,58 +14,91 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
 
-/// Serializes a sub-trajectory into bytes suitable for a page record.
-pub fn encode_sub_trajectory(sub: &SubTrajectory) -> Bytes {
-    let pts = sub.points();
-    let mut buf = BytesMut::with_capacity(8 + 4 + 8 + 8 + 4 + pts.len() * 24);
-    buf.put_u64_le(sub.id.trajectory_id);
-    buf.put_u32_le(sub.id.offset);
-    buf.put_u64_le(sub.trajectory_id);
-    buf.put_u64_le(sub.object_id);
-    buf.put_u32_le(pts.len() as u32);
-    for p in pts {
-        buf.put_f64_le(p.x);
-        buf.put_f64_le(p.y);
-        buf.put_i64_le(p.t.millis());
+/// A little-endian read cursor over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len()
     }
-    buf.freeze()
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.bytes.split_at(N);
+        self.bytes = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+}
+
+/// Serializes a sub-trajectory into bytes suitable for a page record.
+pub fn encode_sub_trajectory(sub: &SubTrajectory) -> Vec<u8> {
+    let pts = sub.points();
+    let mut buf = Vec::with_capacity(8 + 4 + 8 + 8 + 4 + pts.len() * 24);
+    buf.extend_from_slice(&sub.id.trajectory_id.to_le_bytes());
+    buf.extend_from_slice(&sub.id.offset.to_le_bytes());
+    buf.extend_from_slice(&sub.trajectory_id.to_le_bytes());
+    buf.extend_from_slice(&sub.object_id.to_le_bytes());
+    buf.extend_from_slice(&(pts.len() as u32).to_le_bytes());
+    for p in pts {
+        buf.extend_from_slice(&p.x.to_le_bytes());
+        buf.extend_from_slice(&p.y.to_le_bytes());
+        buf.extend_from_slice(&p.t.millis().to_le_bytes());
+    }
+    buf
 }
 
 /// Decodes a sub-trajectory previously produced by [`encode_sub_trajectory`].
-pub fn decode_sub_trajectory(mut bytes: &[u8]) -> Result<SubTrajectory> {
+pub fn decode_sub_trajectory(bytes: &[u8]) -> Result<SubTrajectory> {
     const HEADER: usize = 8 + 4 + 8 + 8 + 4;
     if bytes.len() < HEADER {
         return Err(StorageError::Corrupt {
             reason: format!("record of {} bytes is shorter than the header", bytes.len()),
         });
     }
-    let id_traj = bytes.get_u64_le();
-    let id_off = bytes.get_u32_le();
-    let trajectory_id = bytes.get_u64_le();
-    let object_id = bytes.get_u64_le();
-    let count = bytes.get_u32_le() as usize;
+    let mut r = Reader { bytes };
+    let id_traj = r.get_u64_le();
+    let id_off = r.get_u32_le();
+    let trajectory_id = r.get_u64_le();
+    let object_id = r.get_u64_le();
+    let count = r.get_u32_le() as usize;
     if count < 2 {
         return Err(StorageError::Corrupt {
             reason: format!("sub-trajectory record claims only {count} points"),
         });
     }
-    if bytes.remaining() < count * 24 {
+    if r.remaining() < count * 24 {
         return Err(StorageError::Corrupt {
             reason: format!(
                 "record truncated: {} points declared but only {} bytes of payload",
                 count,
-                bytes.remaining()
+                r.remaining()
             ),
         });
     }
     let mut points = Vec::with_capacity(count);
     for _ in 0..count {
-        let x = bytes.get_f64_le();
-        let y = bytes.get_f64_le();
-        let t = bytes.get_i64_le();
+        let x = r.get_f64_le();
+        let y = r.get_f64_le();
+        let t = r.get_i64_le();
         points.push(Point::new(x, y, Timestamp(t)));
     }
     Ok(SubTrajectory::from_points(

@@ -50,7 +50,10 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds page payload capacity {max}")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds page payload capacity {max}"
+                )
             }
             StorageError::InvalidPage { page } => write!(f, "invalid page id {page}"),
             StorageError::InvalidSlot { page, slot } => {
@@ -76,11 +79,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(StorageError::RecordTooLarge { size: 10_000, max: 8_000 }
-            .to_string()
-            .contains("10000"));
-        assert!(StorageError::UnknownDataset { name: "flights".into() }
-            .to_string()
-            .contains("flights"));
+        assert!(StorageError::RecordTooLarge {
+            size: 10_000,
+            max: 8_000
+        }
+        .to_string()
+        .contains("10000"));
+        assert!(StorageError::UnknownDataset {
+            name: "flights".into()
+        }
+        .to_string()
+        .contains("flights"));
     }
 }

@@ -9,7 +9,6 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use bytes::{Bytes, BytesMut};
 
 /// Page size in bytes (PostgreSQL's default block size).
 pub const PAGE_SIZE: usize = 8192;
@@ -27,7 +26,7 @@ pub type SlotId = u16;
 /// A fixed-size slotted data page.
 #[derive(Debug, Clone)]
 pub struct Page {
-    data: BytesMut,
+    data: Vec<u8>,
 }
 
 impl Default for Page {
@@ -39,7 +38,7 @@ impl Default for Page {
 impl Page {
     /// Creates an empty page.
     pub fn new() -> Self {
-        let mut data = BytesMut::zeroed(PAGE_SIZE);
+        let mut data = vec![0u8; PAGE_SIZE];
         // slot count = 0
         data[0..2].copy_from_slice(&0u16.to_le_bytes());
         // free space pointer = end of page
@@ -120,7 +119,7 @@ impl Page {
     }
 
     /// Reads the record stored in `slot`; `None` if the slot was deleted.
-    pub fn get(&self, slot: SlotId) -> Result<Option<Bytes>> {
+    pub fn get(&self, slot: SlotId) -> Result<Option<Vec<u8>>> {
         if slot >= self.slot_count() {
             return Err(StorageError::InvalidSlot { page: 0, slot });
         }
@@ -128,9 +127,9 @@ impl Page {
         if len == 0 {
             return Ok(None);
         }
-        Ok(Some(Bytes::copy_from_slice(
-            &self.data[off as usize..off as usize + len as usize],
-        )))
+        Ok(Some(
+            self.data[off as usize..off as usize + len as usize].to_vec(),
+        ))
     }
 
     /// Tombstones the record in `slot` (space is not reclaimed in place, as in
@@ -148,7 +147,7 @@ impl Page {
     }
 
     /// Iterates over `(slot, bytes)` of live records.
-    pub fn iter(&self) -> impl Iterator<Item = (SlotId, Bytes)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, Vec<u8>)> + '_ {
         (0..self.slot_count()).filter_map(move |s| {
             let (off, len) = self.slot(s);
             if len == 0 {
@@ -156,7 +155,7 @@ impl Page {
             } else {
                 Some((
                     s,
-                    Bytes::copy_from_slice(&self.data[off as usize..off as usize + len as usize]),
+                    self.data[off as usize..off as usize + len as usize].to_vec(),
                 ))
             }
         })
@@ -172,8 +171,8 @@ mod tests {
         let mut p = Page::new();
         let a = p.insert(b"hello").unwrap();
         let b = p.insert(b"world!").unwrap();
-        assert_eq!(p.get(a).unwrap().unwrap().as_ref(), b"hello");
-        assert_eq!(p.get(b).unwrap().unwrap().as_ref(), b"world!");
+        assert_eq!(p.get(a).unwrap().unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap().unwrap(), b"world!");
         assert_eq!(p.live_records(), 2);
     }
 
@@ -185,7 +184,7 @@ mod tests {
         assert!(p.delete(a).unwrap());
         assert!(!p.delete(a).unwrap(), "double delete reports false");
         assert_eq!(p.get(a).unwrap(), None);
-        assert_eq!(p.get(b).unwrap().unwrap().as_ref(), b"bbb");
+        assert_eq!(p.get(b).unwrap().unwrap(), b"bbb");
         assert_eq!(p.live_records(), 1);
         assert_eq!(p.iter().count(), 1);
     }
@@ -204,7 +203,10 @@ mod tests {
         while p.insert(&rec).is_ok() {
             inserted += 1;
         }
-        assert!(inserted >= 7, "an 8 KiB page should hold at least 7 KiB of records");
+        assert!(
+            inserted >= 7,
+            "an 8 KiB page should hold at least 7 KiB of records"
+        );
         assert!(p.free_space() < rec.len());
     }
 
@@ -213,7 +215,10 @@ mod tests {
         let p = Page::new();
         assert!(matches!(p.get(3), Err(StorageError::InvalidSlot { .. })));
         let mut p2 = Page::new();
-        assert!(matches!(p2.delete(0), Err(StorageError::InvalidSlot { .. })));
+        assert!(matches!(
+            p2.delete(0),
+            Err(StorageError::InvalidSlot { .. })
+        ));
     }
 
     #[test]

@@ -207,11 +207,9 @@ impl PartitionStore {
     /// Reads a record through the buffer pool (counting hits/misses).
     pub fn read(&self, loc: RecordLocator) -> Result<Option<SubTrajectory>> {
         let part = self.partition(loc.partition)?;
-        let page = self
-            .buffer
-            .get_or_load((loc.partition, loc.page), || {
-                part.page(loc.page).cloned().unwrap_or_default()
-            });
+        let page = self.buffer.get_or_load((loc.partition, loc.page), || {
+            part.page(loc.page).cloned().unwrap_or_default()
+        });
         match page.get(loc.slot)? {
             None => Ok(None),
             Some(bytes) => decode_sub_trajectory(&bytes).map(Some),
@@ -228,7 +226,8 @@ impl PartitionStore {
             })?;
         let deleted = p.delete(loc.page, loc.slot)?;
         if deleted {
-            self.buffer.put((loc.partition, loc.page), p.page(loc.page)?.clone());
+            self.buffer
+                .put((loc.partition, loc.page), p.page(loc.page)?.clone());
         }
         Ok(deleted)
     }
@@ -320,12 +319,16 @@ mod tests {
     fn scan_returns_only_live_records() {
         let mut store = PartitionStore::new(8, 16);
         let pid = store.create_partition(PartitionKind::Outliers);
-        let locs: Vec<_> = (0..10).map(|i| store.append(pid, &sub(i, 3)).unwrap()).collect();
+        let locs: Vec<_> = (0..10)
+            .map(|i| store.append(pid, &sub(i, 3)).unwrap())
+            .collect();
         store.delete(locs[3]).unwrap();
         store.delete(locs[7]).unwrap();
         let scanned = store.scan(pid).unwrap();
         assert_eq!(scanned.len(), 8);
-        assert!(scanned.iter().all(|s| s.trajectory_id != 3 && s.trajectory_id != 7));
+        assert!(scanned
+            .iter()
+            .all(|s| s.trajectory_id != 3 && s.trajectory_id != 7));
     }
 
     #[test]

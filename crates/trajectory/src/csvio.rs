@@ -45,13 +45,18 @@ pub fn parse_csv(input: &str) -> CsvImport {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() != 5 {
-            rejected.push((lineno + 1, format!("expected 5 fields, got {}", fields.len())));
+            rejected.push((
+                lineno + 1,
+                format!("expected 5 fields, got {}", fields.len()),
+            ));
             continue;
         }
         let parsed = (|| -> Result<(u64, u64, f64, f64, i64), String> {
             Ok((
                 fields[0].parse().map_err(|_| "bad object_id".to_string())?,
-                fields[1].parse().map_err(|_| "bad trajectory_id".to_string())?,
+                fields[1]
+                    .parse()
+                    .map_err(|_| "bad trajectory_id".to_string())?,
                 fields[2].parse().map_err(|_| "bad x".to_string())?,
                 fields[3].parse().map_err(|_| "bad y".to_string())?,
                 fields[4].parse().map_err(|_| "bad t_ms".to_string())?,
@@ -147,7 +152,15 @@ pub fn to_csv(trajectories: &[Trajectory]) -> String {
     out.push('\n');
     for t in trajectories {
         for p in t.points() {
-            let _ = writeln!(out, "{},{},{},{},{}", t.object_id, t.id, p.x, p.y, p.t.millis());
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
+                t.object_id,
+                t.id,
+                p.x,
+                p.y,
+                p.t.millis()
+            );
         }
     }
     out
@@ -218,8 +231,14 @@ mod tests {
         assert_eq!(import.trajectories.len(), 1);
         assert_eq!(import.rejected.len(), 3);
         assert!(import.rejected.iter().any(|(_, r)| r.contains("5 fields")));
-        assert!(import.rejected.iter().any(|(_, r)| r.contains("non-finite")));
-        assert!(import.rejected.iter().any(|(_, r)| r.contains("only 1 usable")));
+        assert!(import
+            .rejected
+            .iter()
+            .any(|(_, r)| r.contains("non-finite")));
+        assert!(import
+            .rejected
+            .iter()
+            .any(|(_, r)| r.contains("only 1 usable")));
     }
 
     #[test]

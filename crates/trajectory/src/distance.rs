@@ -184,7 +184,10 @@ mod tests {
         let a = traj(1, &[(0.0, 0.0, 0), (1000.0, 0.0, 1_000_000)]);
         let b = traj(2, &[(0.0, 0.0, 500_000), (1000.0, 0.0, 1_500_000)]);
         let d = synchronized_euclidean(&a, &b).unwrap();
-        assert!(d > 400.0, "time-aware distance must expose the lag, got {d}");
+        assert!(
+            d > 400.0,
+            "time-aware distance must expose the lag, got {d}"
+        );
         // A purely spatial Hausdorff distance would report ~0.
         assert!(hausdorff_distance(a.points(), b.points()) < 1e-9);
     }
@@ -239,8 +242,14 @@ mod tests {
 
     #[test]
     fn synchronized_distance_is_symmetric() {
-        let a = traj(1, &[(0.0, 0.0, 0), (50.0, 10.0, 60_000), (100.0, 0.0, 120_000)]);
-        let b = traj(2, &[(5.0, 5.0, 0), (45.0, 20.0, 60_000), (90.0, 10.0, 120_000)]);
+        let a = traj(
+            1,
+            &[(0.0, 0.0, 0), (50.0, 10.0, 60_000), (100.0, 0.0, 120_000)],
+        );
+        let b = traj(
+            2,
+            &[(5.0, 5.0, 0), (45.0, 20.0, 60_000), (90.0, 10.0, 120_000)],
+        );
         let d1 = synchronized_euclidean(&a, &b).unwrap();
         let d2 = synchronized_euclidean(&b, &a).unwrap();
         assert!((d1 - d2).abs() < 1e-9);

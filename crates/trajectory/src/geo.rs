@@ -162,7 +162,13 @@ mod tests {
     fn project_track_preserves_order_and_timestamps() {
         let proj = LocalProjection::new(0.0, 45.0);
         let track: Vec<GeoPoint> = (0..5)
-            .map(|i| GeoPoint::new(0.01 * i as f64, 45.0 + 0.01 * i as f64, Timestamp(i * 1_000)))
+            .map(|i| {
+                GeoPoint::new(
+                    0.01 * i as f64,
+                    45.0 + 0.01 * i as f64,
+                    Timestamp(i * 1_000),
+                )
+            })
             .collect();
         let planar = proj.project_track(&track);
         assert_eq!(planar.len(), 5);
@@ -170,6 +176,8 @@ mod tests {
             assert_eq!(g.t, p.t);
         }
         // Moving north-east gives increasing x and y.
-        assert!(planar.windows(2).all(|w| w[1].x > w[0].x && w[1].y > w[0].y));
+        assert!(planar
+            .windows(2)
+            .all(|w| w[1].x > w[0].x && w[1].y > w[0].y));
     }
 }

@@ -62,7 +62,9 @@ impl Point {
         Point {
             x: self.x + (other.x - self.x) * f,
             y: self.y + (other.y - self.y) * f,
-            t: Timestamp(self.t.millis() + ((other.t.millis() - self.t.millis()) as f64 * f).round() as i64),
+            t: Timestamp(
+                self.t.millis() + ((other.t.millis() - self.t.millis()) as f64 * f).round() as i64,
+            ),
         }
     }
 

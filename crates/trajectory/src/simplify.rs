@@ -110,11 +110,7 @@ mod tests {
 
     #[test]
     fn detour_above_epsilon_is_kept() {
-        let p = pts(&[
-            (0.0, 0.0, 0),
-            (5.0, 4.0, 5_000),
-            (10.0, 0.0, 10_000),
-        ]);
+        let p = pts(&[(0.0, 0.0, 0), (5.0, 4.0, 5_000), (10.0, 0.0, 10_000)]);
         assert_eq!(douglas_peucker_indices(&p, 1.0), vec![0, 1, 2]);
         assert_eq!(douglas_peucker_indices(&p, 10.0), vec![0, 2]);
     }
@@ -144,7 +140,9 @@ mod tests {
 
     #[test]
     fn thin_to_keeps_endpoints_and_bounds_size() {
-        let p = pts(&(0..100).map(|i| (i as f64, 0.0, i as i64 * 1000)).collect::<Vec<_>>());
+        let p = pts(&(0..100)
+            .map(|i| (i as f64, 0.0, i as i64 * 1000))
+            .collect::<Vec<_>>());
         let t = thin_to(&p, 10);
         assert!(t.len() <= 10);
         assert_eq!(t.first(), p.first());

@@ -117,7 +117,11 @@ mod tests {
             (0.0, 10.0, 30_000),
             (0.0, 0.5, 40_000),
         ]));
-        assert!(s.sinuosity > 10.0, "loops must show high sinuosity: {}", s.sinuosity);
+        assert!(
+            s.sinuosity > 10.0,
+            "loops must show high sinuosity: {}",
+            s.sinuosity
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl SubTrajectory {
         start: usize,
         end: usize,
     ) -> Self {
-        assert!(end <= points.len() && start + 2 <= end, "invalid sub-trajectory range");
+        assert!(
+            end <= points.len() && start + 2 <= end,
+            "invalid sub-trajectory range"
+        );
         let mbb = Mbb::from_points(&points[start..end]);
         SubTrajectory {
             id,
@@ -91,7 +94,10 @@ impl SubTrajectory {
         object_id: ObjectId,
         points: Vec<Point>,
     ) -> Self {
-        assert!(points.len() >= 2, "a sub-trajectory needs at least two points");
+        assert!(
+            points.len() >= 2,
+            "a sub-trajectory needs at least two points"
+        );
         let mbb = Mbb::from_points(&points);
         let len = points.len();
         SubTrajectory {
@@ -237,7 +243,12 @@ mod tests {
 
     #[test]
     fn shares_points_with_parent() {
-        let t = traj(&[(0.0, 0.0, 0), (1.0, 0.0, 1_000), (2.0, 0.0, 2_000), (3.0, 0.0, 3_000)]);
+        let t = traj(&[
+            (0.0, 0.0, 0),
+            (1.0, 0.0, 1_000),
+            (2.0, 0.0, 2_000),
+            (3.0, 0.0, 3_000),
+        ]);
         let s = t.sub_trajectory(1, 4).unwrap();
         assert_eq!(s.len(), 3);
         assert_eq!(s.parent_offset(), 1);

@@ -354,7 +354,10 @@ mod tests {
         assert_eq!(t.num_segments(), 2);
         assert_eq!(t.length(), 5.0);
         assert_eq!(t.duration(), Duration::from_secs(2));
-        assert_eq!(t.lifespan(), TimeInterval::new(Timestamp(0), Timestamp(2_000)));
+        assert_eq!(
+            t.lifespan(),
+            TimeInterval::new(Timestamp(0), Timestamp(2_000))
+        );
         assert_eq!(t.segment(0).length(), 5.0);
         assert_eq!(t.segments().count(), 2);
     }
@@ -372,12 +375,21 @@ mod tests {
 
     #[test]
     fn temporal_slice_cuts_and_interpolates() {
-        let t = traj(1, &[(0.0, 0.0, 0), (10.0, 0.0, 10_000), (10.0, 10.0, 20_000)]);
+        let t = traj(
+            1,
+            &[(0.0, 0.0, 0), (10.0, 0.0, 10_000), (10.0, 10.0, 20_000)],
+        );
         let s = t
             .temporal_slice(&TimeInterval::new(Timestamp(5_000), Timestamp(15_000)))
             .unwrap();
-        assert_eq!(s.points().first().unwrap(), &Point::new(5.0, 0.0, Timestamp(5_000)));
-        assert_eq!(s.points().last().unwrap(), &Point::new(10.0, 5.0, Timestamp(15_000)));
+        assert_eq!(
+            s.points().first().unwrap(),
+            &Point::new(5.0, 0.0, Timestamp(5_000))
+        );
+        assert_eq!(
+            s.points().last().unwrap(),
+            &Point::new(10.0, 5.0, Timestamp(15_000))
+        );
         assert_eq!(s.len(), 3);
 
         assert!(t
@@ -422,7 +434,8 @@ mod tests {
     #[test]
     fn builder_round_trips() {
         let mut b = TrajectoryBuilder::new(5, 9);
-        b.push(0.0, 0.0, Timestamp(0)).push(1.0, 1.0, Timestamp(1_000));
+        b.push(0.0, 0.0, Timestamp(0))
+            .push(1.0, 1.0, Timestamp(1_000));
         assert_eq!(b.len(), 2);
         let t = b.build().unwrap();
         assert_eq!(t.id, 5);

@@ -49,8 +49,8 @@ pub fn compare_runs(a: &ClusteringResult, b: &ClusteringResult, tolerance: f64) 
     let mut used_b = vec![false; b.clusters.len()];
     for i in 0..a.clusters.len() {
         let mut best: Option<(usize, f64)> = None;
-        for j in 0..b.clusters.len() {
-            if used_b[j] {
+        for (j, used) in used_b.iter().enumerate() {
+            if *used {
                 continue;
             }
             let d = dist(i, j);
@@ -64,7 +64,9 @@ pub fn compare_runs(a: &ClusteringResult, b: &ClusteringResult, tolerance: f64) 
         }
     }
     let matched_a: Vec<usize> = matched.iter().map(|m| m.0).collect();
-    let only_in_a = (0..a.clusters.len()).filter(|i| !matched_a.contains(i)).collect();
+    let only_in_a = (0..a.clusters.len())
+        .filter(|i| !matched_a.contains(i))
+        .collect();
     let only_in_b = (0..b.clusters.len()).filter(|j| !used_b[*j]).collect();
     RunComparison {
         matched,
@@ -150,7 +152,11 @@ mod tests {
 
     #[test]
     fn empty_runs_agree_trivially() {
-        let cmp = compare_runs(&ClusteringResult::default(), &ClusteringResult::default(), 10.0);
+        let cmp = compare_runs(
+            &ClusteringResult::default(),
+            &ClusteringResult::default(),
+            10.0,
+        );
         assert_eq!(cmp.agreement(), 1.0);
     }
 }

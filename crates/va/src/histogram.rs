@@ -31,9 +31,7 @@ impl TimeHistogram {
     /// Total cardinality (all clusters + outliers) per bucket.
     pub fn totals(&self) -> Vec<usize> {
         (0..self.num_buckets())
-            .map(|b| {
-                self.counts.iter().map(|c| c[b]).sum::<usize>() + self.outlier_counts[b]
-            })
+            .map(|b| self.counts.iter().map(|c| c[b]).sum::<usize>() + self.outlier_counts[b])
             .collect()
     }
 
@@ -102,16 +100,16 @@ pub fn time_histogram(result: &ClusteringResult, bucket_width: Duration) -> Time
     for (ci, c) in result.clusters.iter().enumerate() {
         for s in std::iter::once(&c.representative).chain(c.members.iter()) {
             let (lo, hi) = bucket_of(s.lifespan());
-            for b in lo..=hi {
-                counts[ci][b] += 1;
+            for slot in &mut counts[ci][lo..=hi] {
+                *slot += 1;
             }
         }
     }
     let mut outlier_counts = vec![0usize; num_buckets];
     for o in &result.outliers {
         let (lo, hi) = bucket_of(o.lifespan());
-        for b in lo..=hi {
-            outlier_counts[b] += 1;
+        for slot in &mut outlier_counts[lo..=hi] {
+            *slot += 1;
         }
     }
 
@@ -167,7 +165,7 @@ mod tests {
     fn buckets_cover_the_extent_and_counts_track_lifespans() {
         let h = time_histogram(&result(), Duration::from_hours(1));
         assert_eq!(h.num_buckets(), 4); // hours 0..3 inclusive
-        // Cluster 0 is alive in hours 0 and 1 (the late member starts at 0.5 h).
+                                        // Cluster 0 is alive in hours 0 and 1 (the late member starts at 0.5 h).
         assert_eq!(h.counts[0][0], 3);
         assert!(h.counts[0][1] >= 1);
         assert_eq!(h.counts[0][3], 0);

@@ -56,7 +56,12 @@ fn total_turns(sub: &SubTrajectory) -> f64 {
 }
 
 /// Scans a sub-trajectory for holding behaviour.
-fn check(sub: &SubTrajectory, cluster_id: Option<usize>, min_sinuosity: f64, min_turns: f64) -> Option<HoldingPattern> {
+fn check(
+    sub: &SubTrajectory,
+    cluster_id: Option<usize>,
+    min_sinuosity: f64,
+    min_turns: f64,
+) -> Option<HoldingPattern> {
     let s = sinuosity(sub);
     let t = total_turns(sub);
     if s >= min_sinuosity && t >= min_turns {
@@ -97,9 +102,11 @@ pub fn detect_holding_patterns(
     }
     // De-duplicate per trajectory, keeping the strongest evidence.
     out.sort_by(|a, b| {
-        a.trajectory_id
-            .cmp(&b.trajectory_id)
-            .then(b.total_turns.partial_cmp(&a.total_turns).unwrap_or(std::cmp::Ordering::Equal))
+        a.trajectory_id.cmp(&b.trajectory_id).then(
+            b.total_turns
+                .partial_cmp(&a.total_turns)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     out.dedup_by_key(|h| h.trajectory_id);
     out
@@ -165,7 +172,11 @@ mod tests {
         assert_eq!(ids, vec![2, 9]);
         assert_eq!(found[0].cluster_id, Some(0));
         assert_eq!(found[1].cluster_id, None);
-        assert!(found[0].total_turns >= 1.5, "two loops ≈ 2 turns, got {}", found[0].total_turns);
+        assert!(
+            found[0].total_turns >= 1.5,
+            "two loops ≈ 2 turns, got {}",
+            found[0].total_turns
+        );
         assert!(found[0].sinuosity > 1.5);
     }
 

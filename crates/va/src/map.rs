@@ -12,8 +12,12 @@ const PALETTE: [&str; 10] = [
 ];
 
 fn bounds(result: &ClusteringResult) -> (f64, f64, f64, f64) {
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
     let mut update = |s: &SubTrajectory| {
         for p in s.points() {
             min_x = min_x.min(p.x);
@@ -45,9 +49,8 @@ pub fn cluster_map_svg(result: &ClusteringResult, width: u32, height: u32) -> St
     let (min_x, max_x, min_y, max_y) = bounds(result);
     let sx = width as f64 / (max_x - min_x);
     let sy = height as f64 / (max_y - min_y);
-    let project = |x: f64, y: f64| -> (f64, f64) {
-        ((x - min_x) * sx, height as f64 - (y - min_y) * sy)
-    };
+    let project =
+        |x: f64, y: f64| -> (f64, f64) { ((x - min_x) * sx, height as f64 - (y - min_y) * sy) };
     let polyline = |s: &SubTrajectory, colour: &str, stroke: f64| -> String {
         let pts: Vec<String> = s
             .points()
@@ -66,9 +69,9 @@ pub fn cluster_map_svg(result: &ClusteringResult, width: u32, height: u32) -> St
     };
 
     let mut svg = String::new();
-    let _ = write!(
+    let _ = writeln!(
         svg,
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">\n"
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">"
     );
     for o in &result.outliers {
         svg.push_str(&polyline(o, "#cccccc", 1.0));
@@ -151,7 +154,10 @@ mod tests {
         assert!(svg.ends_with("</svg>\n"));
         assert_eq!(svg.matches("<polyline").count(), 4);
         assert!(svg.contains("#cccccc"), "outliers are grey");
-        assert!(svg.contains(PALETTE[0]), "cluster 0 uses the first palette colour");
+        assert!(
+            svg.contains(PALETTE[0]),
+            "cluster 0 uses the first palette colour"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! Run with `cargo run --release --example flight_analysis`.
 //! Output files are written to `target/va-exports/`.
 
-use hermes::baselines::{discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams};
+use hermes::baselines::{
+    discover_convoys, t_optics, traclus, ConvoyParams, TOpticsParams, TraclusParams,
+};
 use hermes::prelude::*;
 use hermes::va::{cluster_map_csv, space_time_cube_csv};
 use std::fs;
@@ -31,18 +33,18 @@ fn main() {
     );
 
     // --- Two S2T runs with different parameters (Fig. 3) -------------------
-    let tight = S2TParams {
-        sigma: 1_500.0,
-        epsilon: 4_000.0,
-        min_duration_ms: 5 * 60_000,
-        ..S2TParams::default()
-    };
-    let loose = S2TParams {
-        sigma: 3_000.0,
-        epsilon: 9_000.0,
-        min_duration_ms: 5 * 60_000,
-        ..S2TParams::default()
-    };
+    let tight = S2TParams::builder()
+        .sigma(1_500.0)
+        .epsilon(4_000.0)
+        .min_duration_ms(5 * 60_000)
+        .build()
+        .expect("valid S2T parameters");
+    let loose = S2TParams::builder()
+        .sigma(3_000.0)
+        .epsilon(9_000.0)
+        .min_duration_ms(5 * 60_000)
+        .build()
+        .expect("valid S2T parameters");
     let run_a = run_s2t(&scenario.trajectories, &tight);
     let run_b = run_s2t(&scenario.trajectories, &loose);
     let qa = ClusteringQuality::compute(&run_a.result);
@@ -50,11 +52,19 @@ fn main() {
     println!("\n-- two S2T runs (Fig. 3) --");
     println!(
         "run A (σ={:.0}, ε={:.0}): {} clusters, {} outliers, coverage {:.0}%",
-        tight.sigma, tight.epsilon, qa.num_clusters, qa.num_outliers, qa.coverage * 100.0
+        tight.sigma,
+        tight.epsilon,
+        qa.num_clusters,
+        qa.num_outliers,
+        qa.coverage * 100.0
     );
     println!(
         "run B (σ={:.0}, ε={:.0}): {} clusters, {} outliers, coverage {:.0}%",
-        loose.sigma, loose.epsilon, qb.num_clusters, qb.num_outliers, qb.coverage * 100.0
+        loose.sigma,
+        loose.epsilon,
+        qb.num_clusters,
+        qb.num_outliers,
+        qb.coverage * 100.0
     );
     let cmp = compare_runs(&run_a.result, &run_b.result, 5_000.0);
     println!(
@@ -123,8 +133,16 @@ fn main() {
     // --- VA exports (Fig. 1) -------------------------------------------------
     let out_dir = Path::new("target/va-exports");
     fs::create_dir_all(out_dir).expect("create export directory");
-    fs::write(out_dir.join("cluster_map.svg"), cluster_map_svg(&run_b.result, 1200, 900)).unwrap();
-    fs::write(out_dir.join("cluster_map.csv"), cluster_map_csv(&run_b.result)).unwrap();
+    fs::write(
+        out_dir.join("cluster_map.svg"),
+        cluster_map_svg(&run_b.result, 1200, 900),
+    )
+    .unwrap();
+    fs::write(
+        out_dir.join("cluster_map.csv"),
+        cluster_map_csv(&run_b.result),
+    )
+    .unwrap();
     let hist = time_histogram(&run_b.result, Duration::from_mins(15));
     fs::write(out_dir.join("time_histogram.csv"), hist.to_csv()).unwrap();
     let mut cube = space_time_cube_csv("run-A", &run_a.result);

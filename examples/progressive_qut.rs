@@ -27,12 +27,12 @@ fn main() {
     .build();
     println!("dataset: {} vessels", scenario.trajectories.len());
 
-    let s2t = S2TParams {
-        sigma: 800.0,
-        epsilon: 2_500.0,
-        min_duration_ms: 10 * 60_000,
-        ..S2TParams::default()
-    };
+    let s2t = S2TParams::builder()
+        .sigma(800.0)
+        .epsilon(2_500.0)
+        .min_duration_ms(10 * 60_000)
+        .build()
+        .expect("valid S2T parameters");
     let mut engine = HermesEngine::new();
     engine.create_dataset("vessels").unwrap();
     engine
@@ -41,12 +41,12 @@ fn main() {
     engine
         .build_index(
             "vessels",
-            ReTraTreeParams {
-                chunk_duration: Duration::from_hours(2),
-                subchunks_per_chunk: 4,
-                s2t: s2t.clone(),
-                ..ReTraTreeParams::default()
-            },
+            ReTraTreeParams::builder()
+                .chunk_duration(Duration::from_hours(2))
+                .subchunks_per_chunk(4)
+                .s2t(s2t.clone())
+                .build()
+                .expect("valid tree parameters"),
         )
         .unwrap();
     let tree = engine.tree("vessels").unwrap();
@@ -57,14 +57,18 @@ fn main() {
         tree.total_population()
     );
 
-    let qut = QutParams {
-        s2t: s2t.clone(),
-        merge_distance: 2_500.0,
-        merge_gap: Duration::from_mins(45),
-    };
+    let qut = QutParams::builder()
+        .s2t(s2t.clone())
+        .merge_distance(2_500.0)
+        .merge_gap(Duration::from_mins(45))
+        .build()
+        .expect("valid QuT parameters");
     let span = tree.lifespan().unwrap();
 
-    println!("\n{:>6} | {:>10} | {:>12} | {:>12} | {:>8}", "W (%)", "clusters", "QuT (ms)", "rebuild (ms)", "speedup");
+    println!(
+        "\n{:>6} | {:>10} | {:>12} | {:>12} | {:>8}",
+        "W (%)", "clusters", "QuT (ms)", "rebuild (ms)", "speedup"
+    );
     println!("{}", "-".repeat(62));
     for pct in [10, 25, 50, 75, 100] {
         let w = TimeInterval::new(

@@ -1,12 +1,12 @@
 //! Quickstart: generate a synthetic terminal-area dataset, cluster it with
 //! S2T-Clustering, build a ReTraTree and ask a couple of QuT questions —
-//! first through the Rust API, then through the SQL interface.
+//! first through the Rust API, then through a SQL [`Session`] with a
+//! prepared, placeholder-parameterised statement.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use hermes::prelude::*;
 use hermes::retratree::QutParams;
-use hermes::sql;
 
 fn main() {
     // 1. Synthesize a small aircraft MOD (the paper demonstrates on flights
@@ -27,13 +27,14 @@ fn main() {
         scenario.holding_flight_ids.len()
     );
 
-    // 2. Whole-dataset S2T-Clustering through the library API.
-    let params = S2TParams {
-        sigma: 2_000.0,
-        epsilon: 6_000.0,
-        min_duration_ms: 5 * 60_000,
-        ..S2TParams::default()
-    };
+    // 2. Whole-dataset S2T-Clustering through the library API. Parameters are
+    //    built by name, so adding knobs never breaks this call site.
+    let params = S2TParams::builder()
+        .sigma(2_000.0)
+        .epsilon(6_000.0)
+        .min_duration_ms(5 * 60_000)
+        .build()
+        .expect("valid S2T parameters");
     let outcome = run_s2t(&scenario.trajectories, &params);
     println!(
         "S2T: {} clusters, {} outliers (voting {:.0} ms, clustering {:.0} ms)",
@@ -49,7 +50,7 @@ fn main() {
         quality.mean_cluster_size
     );
 
-    // 3. The same engine through SQL, plus a time-aware QuT query.
+    // 3. The same engine through a SQL session.
     let mut engine = HermesEngine::new();
     engine.create_dataset("flights").unwrap();
     engine
@@ -58,49 +59,78 @@ fn main() {
     engine
         .build_index(
             "flights",
-            ReTraTreeParams {
-                chunk_duration: Duration::from_hours(2),
-                s2t: params.clone(),
-                ..ReTraTreeParams::default()
-            },
+            ReTraTreeParams::builder()
+                .chunk_duration(Duration::from_hours(2))
+                .s2t(params.clone())
+                .build()
+                .expect("valid tree parameters"),
         )
         .unwrap();
 
+    let mut session = Session::new(&mut engine);
     for stmt in [
         "SELECT INFO(flights);",
         "SELECT RANGE(flights, 0, 3600000);",
         "SELECT QUT(flights, 0, 5400000, 0.35, 0.05, 300000, 6000, 1800000);",
     ] {
         println!("\nhermes=# {stmt}");
-        match sql::execute(&mut engine, stmt) {
-            Ok(table) => print!("{table}"),
+        match session.execute(stmt) {
+            Ok(outcome) => print!("{outcome}"),
             Err(e) => println!("ERROR: {e}"),
         }
     }
 
-    // 4. Progressive analysis: widen the window and watch the clusters grow
-    //    without re-processing the archived periods (the QuT selling point).
-    let qut = QutParams {
-        s2t: params,
-        merge_distance: 6_000.0,
-        merge_gap: Duration::from_mins(30),
-    };
-    let full_span = engine.tree("flights").unwrap().lifespan().unwrap();
+    // 4. Progressive analysis with a *prepared* statement: the window is a
+    //    pair of $n placeholders, so the statement parses once and each
+    //    widening binds fresh timestamps — no re-parsing, no re-processing of
+    //    the archived periods (the QuT selling point).
+    let qut = session
+        .prepare("SELECT QUT(flights, $1, $2, 0.35, 0.05, 300000, 6000, 1800000);")
+        .expect("statement parses");
+    let full_span = session
+        .engine()
+        .tree("flights")
+        .unwrap()
+        .lifespan()
+        .unwrap();
+    println!("\nprogressive widening through one prepared statement:");
     for fraction in [0.25, 0.5, 1.0] {
-        let w = TimeInterval::new(
-            full_span.start,
-            full_span.start
-                + Duration::from_millis((full_span.length().millis() as f64 * fraction) as i64),
-        );
-        let (result, stats) = engine.run_qut("flights", &w, &qut).unwrap();
+        let end = full_span.start
+            + Duration::from_millis((full_span.length().millis() as f64 * fraction) as i64);
+        let outcome = session
+            .execute_prepared(
+                qut,
+                &[Value::Timestamp(full_span.start), Value::Timestamp(end)],
+            )
+            .expect("prepared QUT executes");
+        let stats = outcome.stats().expect("QUT reports statistics");
         println!(
             "QuT over {:>3.0}% of the timeline: {} clusters, {} outliers, reused {} sub-chunks, re-clustered {} ({:.1} ms)",
             fraction * 100.0,
-            result.num_clusters(),
-            result.num_outliers(),
-            stats.reused_subchunks,
-            stats.reclustered_subchunks,
-            stats.elapsed_ms
+            stats.get(0, "clusters").unwrap(),
+            stats.get(0, "outliers").unwrap(),
+            stats.get(0, "reused_subchunks").unwrap(),
+            stats.get(0, "reclustered_subchunks").unwrap(),
+            stats.get(0, "elapsed_ms").unwrap().as_f64().unwrap()
         );
     }
+    let s = session.stats();
+    println!(
+        "session parsed {} statements for {} executions ({} cache hits)",
+        s.parses, s.executions, s.cache_hits
+    );
+
+    // 5. The equivalent typed API call, for comparison.
+    let qut_params = QutParams::builder()
+        .s2t(params)
+        .merge_distance(6_000.0)
+        .merge_gap(Duration::from_mins(30))
+        .build()
+        .expect("valid QuT parameters");
+    let (result, stats) = engine.run_qut("flights", &full_span, &qut_params).unwrap();
+    println!(
+        "typed API over the full span: {} clusters ({:.1} ms)",
+        result.num_clusters(),
+        stats.elapsed_ms
+    );
 }

@@ -26,12 +26,12 @@ fn main() {
         scenario.random_ids.len()
     );
 
-    let s2t = S2TParams {
-        sigma: 60.0,
-        epsilon: 250.0,
-        min_duration_ms: 3 * 60_000,
-        ..S2TParams::default()
-    };
+    let s2t = S2TParams::builder()
+        .sigma(60.0)
+        .epsilon(250.0)
+        .min_duration_ms(3 * 60_000)
+        .build()
+        .expect("valid S2T parameters");
 
     // Split the data: the first 80% is loaded up front, the rest streams in.
     let split = scenario.trajectories.len() * 4 / 5;
@@ -39,17 +39,19 @@ fn main() {
 
     let mut engine = HermesEngine::new();
     engine.create_dataset("commute").unwrap();
-    engine.load_trajectories("commute", initial.to_vec()).unwrap();
+    engine
+        .load_trajectories("commute", initial.to_vec())
+        .unwrap();
     engine
         .build_index(
             "commute",
-            ReTraTreeParams {
-                chunk_duration: Duration::from_hours(1),
-                subchunks_per_chunk: 4,
-                reorg_page_threshold: 2,
-                s2t: s2t.clone(),
-                ..ReTraTreeParams::default()
-            },
+            ReTraTreeParams::builder()
+                .chunk_duration(Duration::from_hours(1))
+                .subchunks_per_chunk(4)
+                .reorg_page_threshold(2)
+                .s2t(s2t.clone())
+                .build()
+                .expect("valid tree parameters"),
         )
         .unwrap();
 
@@ -64,7 +66,9 @@ fn main() {
     // Fig. 2: assign to an existing representative or park as outlier,
     // re-cluster when a partition overflows).
     for t in streaming {
-        engine.load_trajectories("commute", vec![t.clone()]).unwrap();
+        engine
+            .load_trajectories("commute", vec![t.clone()])
+            .unwrap();
     }
     let after = engine.tree("commute").unwrap().stats();
     println!(
@@ -83,11 +87,12 @@ fn main() {
         .run_qut(
             "commute",
             &rush,
-            &QutParams {
-                s2t,
-                merge_distance: 250.0,
-                merge_gap: Duration::from_mins(10),
-            },
+            &QutParams::builder()
+                .s2t(s2t)
+                .merge_distance(250.0)
+                .merge_gap(Duration::from_mins(10))
+                .build()
+                .expect("valid QuT parameters"),
         )
         .unwrap();
     println!(

@@ -10,14 +10,19 @@
 //! Inside the shell, any statement of the `hermes-sql` dialect works, e.g.
 //! `SELECT S2T(data, 2000, 0.35, 0.05, 300000, 6000);` or
 //! `SELECT QUT(data, 0, 7200000, 0.35, 0.05, 300000, 6000, 1800000);`.
-//! `\q` quits, `\help` lists the statements.
+//! The shell runs over a [`Session`], so repeating a statement re-uses its
+//! cached plan instead of re-parsing. `\timing` toggles the typed
+//! per-statement statistics (elapsed milliseconds, outliers, sub-chunk reuse),
+//! `\stats` shows the session's parse/cache counters, `\q` quits and `\help`
+//! lists the statements.
 
 use hermes::datagen::{AircraftScenarioBuilder, MaritimeScenarioBuilder, UrbanScenarioBuilder};
 use hermes::prelude::*;
-use hermes::sql;
+use hermes::sql::fmt::render_stats;
 use hermes::trajectory::{parse_csv, parse_geo_csv, to_csv};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const HELP: &str = "\
 hermes-cli — time-aware sub-trajectory clustering
@@ -31,7 +36,12 @@ USAGE:
 The `demo`, `load` and `load-geo` commands open an interactive SQL shell over
 a dataset named `data`. Statements: CREATE/DROP DATASET, SHOW DATASETS,
 BUILD INDEX ON <name> WITH CHUNK <h> HOURS, SELECT INFO/S2T/S2T_NAIVE/QUT/
-QUT_REBUILD/RANGE/HISTOGRAM(...). Type \\q to quit, \\help for this text.
+QUT_REBUILD/RANGE/HISTOGRAM(...). Numeric arguments accept $n placeholders
+when prepared through the library API.
+
+Shell commands: \\timing toggles per-statement execution statistics,
+\\stats shows the session's parse/cache counters, \\q quits, \\help prints
+this text.
 ";
 
 fn main() -> ExitCode {
@@ -125,7 +135,10 @@ fn load_file(path: Option<&String>, geodetic: bool) -> Result<Vec<Trajectory>, S
         eprintln!("warning: line {line}: {reason}");
     }
     if import.rejected.len() > 10 {
-        eprintln!("warning: {} further rows rejected", import.rejected.len() - 10);
+        eprintln!(
+            "warning: {} further rows rejected",
+            import.rejected.len() - 10
+        );
     }
     if import.trajectories.is_empty() {
         return Err("no usable trajectories in the file".into());
@@ -143,6 +156,8 @@ fn shell(trajectories: Vec<Trajectory>) -> ExitCode {
     println!("loaded {n} trajectories into dataset 'data'");
     println!("hint: BUILD INDEX ON data WITH CHUNK 2 HOURS;  then  SELECT QUT(data, ...);  (\\help for more)");
 
+    let mut session = Session::new(&mut engine);
+    let mut timing = false;
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -168,8 +183,39 @@ fn shell(trajectories: Vec<Trajectory>) -> ExitCode {
             print!("{HELP}");
             continue;
         }
-        match sql::execute(&mut engine, line) {
-            Ok(table) => print!("{table}"),
+        if line == "\\timing" {
+            timing = !timing;
+            println!("Timing is {}.", if timing { "on" } else { "off" });
+            continue;
+        }
+        if line == "\\stats" {
+            let s = session.stats();
+            println!(
+                "session: {} parses, {} cache hits, {} executions, {} cached statements",
+                s.parses,
+                s.cache_hits,
+                s.executions,
+                session.cached_statements()
+            );
+            continue;
+        }
+        let started = Instant::now();
+        let result = session.execute(line);
+        // Stop the clock before rendering: the reported time covers parse +
+        // execute, not table formatting (matching psql's \timing).
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        match result {
+            Ok(outcome) => {
+                print!("{outcome}");
+                if timing {
+                    let engine_stats = render_stats(&outcome);
+                    if engine_stats.is_empty() {
+                        println!("Time: {elapsed_ms:.3} ms");
+                    } else {
+                        println!("Time: {elapsed_ms:.3} ms ({engine_stats})");
+                    }
+                }
+            }
             Err(e) => eprintln!("ERROR: {e}"),
         }
     }

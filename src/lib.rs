@@ -21,18 +21,20 @@
 //! }
 //! .build();
 //!
-//! // …load it into the engine and cluster it via SQL.
+//! // …load it into the engine and cluster it through a SQL session.
 //! let mut engine = HermesEngine::new();
 //! engine.create_dataset("flights").unwrap();
 //! engine
 //!     .load_trajectories("flights", scenario.trajectories.clone())
 //!     .unwrap();
-//! let result = hermes::sql::execute(
-//!     &mut engine,
-//!     "SELECT S2T(flights, 2000, 0.35, 0.05, 120000, 5000);",
-//! )
-//! .unwrap();
-//! assert!(result.len() >= 2);
+//! let mut session = Session::new(&mut engine);
+//! let result = session
+//!     .execute("SELECT S2T(flights, 2000, 0.35, 0.05, 120000, 5000);")
+//!     .unwrap();
+//! // Results are typed, columnar frames — strings appear only when rendering.
+//! let frame = result.frame().unwrap();
+//! assert!(frame.num_rows() >= 2);
+//! assert!(matches!(frame.get(0, "start"), Some(Value::Timestamp(_))));
 //! ```
 
 pub use hermes_baselines as baselines;
@@ -54,10 +56,9 @@ pub mod prelude {
     };
     pub use hermes_retratree::{QutParams, ReTraTree, ReTraTreeParams};
     pub use hermes_s2t::{run_s2t, ClusteringQuality, ClusteringResult, S2TParams};
+    pub use hermes_sql::{Frame, QueryOutcome, Session, SqlError, Value, ValueType};
     pub use hermes_trajectory::{
         Duration, Mbb, Point, SubTrajectory, TimeInterval, Timestamp, Trajectory,
     };
-    pub use hermes_va::{
-        cluster_map_svg, compare_runs, detect_holding_patterns, time_histogram,
-    };
+    pub use hermes_va::{cluster_map_svg, compare_runs, detect_holding_patterns, time_histogram};
 }

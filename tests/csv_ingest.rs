@@ -28,7 +28,13 @@ fn geo_csv() -> String {
     }
     // A loner far away.
     for i in 0..20i64 {
-        let _ = writeln!(csv, "9,9,{},{},{}", -1.5 + 0.005 * i as f64, 50.2, i * 60_000);
+        let _ = writeln!(
+            csv,
+            "9,9,{},{},{}",
+            -1.5 + 0.005 * i as f64,
+            50.2,
+            i * 60_000
+        );
     }
     csv
 }
@@ -53,8 +59,15 @@ fn geodetic_csv_flows_into_the_clustering_pipeline() {
         ..S2TParams::default()
     };
     let outcome = run_s2t(&import.trajectories, &params);
-    assert_eq!(outcome.result.num_clusters(), 2, "the two streams must be found");
-    assert!(outcome.result.num_outliers() >= 1, "the loner must stay unclustered");
+    assert_eq!(
+        outcome.result.num_clusters(),
+        2,
+        "the two streams must be found"
+    );
+    assert!(
+        outcome.result.num_outliers() >= 1,
+        "the loner must stay unclustered"
+    );
 
     // Results map back to geographic coordinates near the input area.
     let rep = &outcome.result.clusters[0].representative;

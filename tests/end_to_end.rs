@@ -5,6 +5,7 @@
 use hermes::prelude::*;
 use hermes::retratree::QutParams;
 use hermes::sql;
+use hermes::sql::{CommandTag, Value};
 use hermes::va::{cluster_map_csv, space_time_cube_csv};
 
 fn aircraft() -> hermes::datagen::AircraftScenario {
@@ -62,7 +63,11 @@ fn s2t_accounts_for_every_flight_and_finds_the_streams() {
     // The arrival streams produce genuine co-movement: several clusters and a
     // high coverage.
     let quality = ClusteringQuality::compute(&outcome.result);
-    assert!(quality.num_clusters >= 3, "expected several stream clusters, got {}", quality.num_clusters);
+    assert!(
+        quality.num_clusters >= 3,
+        "expected several stream clusters, got {}",
+        quality.num_clusters
+    );
     assert!(quality.coverage > 0.5, "coverage {}", quality.coverage);
     // Stragglers should mostly stay unclustered.
     let clustered_stragglers = outcome
@@ -141,7 +146,9 @@ fn qut_and_rebuild_agree_on_cluster_count_for_aligned_windows() {
     // Chunk-aligned window: first chunk only.
     let w = TimeInterval::new(span.start, span.start + Duration::from_hours(2));
     let (fast, fast_stats) = engine.run_qut("flights", &w, &qut).unwrap();
-    let (slow, _) = engine.run_window_rebuild("flights", &w, &s2t_params()).unwrap();
+    let (slow, _) = engine
+        .run_window_rebuild("flights", &w, &s2t_params())
+        .unwrap();
     assert_eq!(fast_stats.reclustered_subchunks, 0);
     assert_eq!(fast.total_sub_trajectories(), slow.total_sub_trajectories());
     // Cluster counts may differ by cross-boundary merges only.
@@ -152,10 +159,14 @@ fn qut_and_rebuild_agree_on_cluster_count_for_aligned_windows() {
 #[test]
 fn incremental_inserts_keep_the_tree_queryable() {
     let scenario = aircraft();
-    let (initial, streamed) = scenario.trajectories.split_at(scenario.trajectories.len() / 2);
+    let (initial, streamed) = scenario
+        .trajectories
+        .split_at(scenario.trajectories.len() / 2);
     let mut engine = HermesEngine::new();
     engine.create_dataset("flights").unwrap();
-    engine.load_trajectories("flights", initial.to_vec()).unwrap();
+    engine
+        .load_trajectories("flights", initial.to_vec())
+        .unwrap();
     engine
         .build_index(
             "flights",
@@ -169,7 +180,9 @@ fn incremental_inserts_keep_the_tree_queryable() {
         .unwrap();
     let before = engine.tree("flights").unwrap().total_population();
     for t in streamed {
-        engine.load_trajectories("flights", vec![t.clone()]).unwrap();
+        engine
+            .load_trajectories("flights", vec![t.clone()])
+            .unwrap();
     }
     let tree = engine.tree("flights").unwrap();
     assert!(tree.total_population() > before);
@@ -195,24 +208,45 @@ fn incremental_inserts_keep_the_tree_queryable() {
 fn sql_session_covers_the_demo_walkthrough() {
     let scenario = aircraft();
     let mut engine = HermesEngine::new();
-    sql::execute(&mut engine, "CREATE DATASET flights;").unwrap();
+    let created = sql::execute(&mut engine, "CREATE DATASET flights;").unwrap();
+    assert_eq!(created.command().unwrap().tag, CommandTag::CreateDataset);
     engine
         .load_trajectories("flights", scenario.trajectories.clone())
         .unwrap();
 
     let info = sql::execute(&mut engine, "SELECT INFO(flights);").unwrap();
-    assert_eq!(info.rows[0][1], scenario.trajectories.len().to_string());
+    assert_eq!(
+        info.expect_frame("INFO").get(0, "trajectories"),
+        Some(&Value::Int(scenario.trajectories.len() as i64))
+    );
 
     let s2t = sql::execute(
         &mut engine,
         "SELECT S2T(flights, 2000, 0.35, 0.05, 300000, 6000);",
     )
     .unwrap();
-    assert!(s2t.len() > 2);
+    assert!(s2t.num_rows() > 2);
+    // The cluster frame is typed: window bounds are timestamps, distances
+    // floats — no strings anywhere before the display edge.
+    let frame = s2t.expect_frame("S2T");
+    assert!(matches!(frame.get(0, "start"), Some(Value::Timestamp(_))));
+    assert!(matches!(
+        frame.get(0, "mean_distance"),
+        Some(Value::Float(_))
+    ));
 
-    sql::execute(&mut engine, "BUILD INDEX ON flights WITH CHUNK 2 HOURS;").unwrap();
+    let built = sql::execute(&mut engine, "BUILD INDEX ON flights WITH CHUNK 2 HOURS;").unwrap();
+    assert_eq!(
+        built.command().unwrap().affected,
+        scenario.trajectories.len() as u64
+    );
     let range = sql::execute(&mut engine, "SELECT RANGE(flights, 0, 3600000);").unwrap();
-    let in_window: usize = range.rows[0][0].parse().unwrap();
+    let in_window = range
+        .expect_frame("RANGE")
+        .get(0, "sub_trajectories_in_window")
+        .unwrap()
+        .as_i64()
+        .unwrap();
     assert!(in_window > 0);
 
     let qut = sql::execute(
@@ -220,16 +254,68 @@ fn sql_session_covers_the_demo_walkthrough() {
         "SELECT QUT(flights, 0, 7200000, 0.35, 0.05, 300000, 6000, 1800000);",
     )
     .unwrap();
-    assert!(qut.len() >= 2);
+    assert!(qut.num_rows() >= 2);
     let rebuild = sql::execute(
         &mut engine,
         "SELECT QUT_REBUILD(flights, 0, 7200000, 0.35, 0.05, 300000);",
     )
     .unwrap();
-    assert!(rebuild.len() >= 2);
+    assert!(rebuild.num_rows() >= 2);
 
     let shown = sql::execute(&mut engine, "SHOW DATASETS;").unwrap();
-    assert_eq!(shown.rows, vec![vec!["flights".to_string()]]);
+    assert_eq!(
+        shown.expect_frame("SHOW").column("dataset"),
+        Some(&[Value::from("flights")][..])
+    );
+}
+
+#[test]
+fn prepared_qut_windows_execute_without_reparsing() {
+    let scenario = aircraft();
+    let mut engine = indexed_engine(&scenario);
+    let span = engine.tree("flights").unwrap().lifespan().unwrap();
+    let mut session = Session::new(&mut engine);
+
+    let qut = session
+        .prepare("SELECT QUT(flights, $1, $2, 0.35, 0.05, 300000, 6000, 1800000);")
+        .unwrap();
+    assert_eq!(session.stats().parses, 1);
+
+    // Two different windows through the one cached plan.
+    let half = span.start + Duration::from_millis(span.length().millis() / 2);
+    let first = session
+        .execute_prepared(qut, &[Value::Timestamp(span.start), Value::Timestamp(half)])
+        .unwrap();
+    let second = session
+        .execute_prepared(
+            qut,
+            &[Value::Timestamp(span.start), Value::Timestamp(span.end)],
+        )
+        .unwrap();
+    // The cache-hit/parse-count assertion: one parse, two executions.
+    assert_eq!(session.stats().parses, 1);
+    assert_eq!(session.stats().executions, 2);
+
+    // Both executions answered from the tree, the wider window seeing at
+    // least as much data.
+    let loaded = |o: &hermes::sql::QueryOutcome| {
+        o.stats()
+            .unwrap()
+            .get(0, "loaded_sub_trajectories")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    };
+    assert!(loaded(&second) >= loaded(&first));
+    assert!(first.num_rows() >= 1 && second.num_rows() >= 1);
+
+    // Preparing the same text again is a cache hit, not a parse.
+    let again = session
+        .prepare("SELECT QUT(flights, $1, $2, 0.35, 0.05, 300000, 6000, 1800000);")
+        .unwrap();
+    assert_eq!(again, qut);
+    assert_eq!(session.stats().parses, 1);
+    assert_eq!(session.stats().cache_hits, 1);
 }
 
 #[test]
@@ -282,7 +368,10 @@ fn two_parameterisations_compare_like_figure_3() {
         },
     );
     let cmp = compare_runs(&tight.result, &loose.result, 6_000.0);
-    assert!(!cmp.matched.is_empty(), "the dominant streams must appear in both runs");
+    assert!(
+        !cmp.matched.is_empty(),
+        "the dominant streams must appear in both runs"
+    );
     assert!(cmp.agreement() > 0.0 && cmp.agreement() <= 1.0);
     // The looser run keeps at least as many flights clustered.
     assert!(
