@@ -1,0 +1,95 @@
+//! E9 — server throughput under concurrent clients: queries/sec through the
+//! TCP loopback for 1/2/4/8 client threads, each with its own connection
+//! (and therefore its own server-side session).
+//!
+//! The workload is the read path the shared-engine refactor parallelizes:
+//! `RANGE` probes plus `QUT` window clusterings over a pre-built ReTraTree.
+//! Scaling beyond one client demonstrates that readers really do proceed
+//! concurrently under the engine's read lock; the wire protocol and
+//! per-connection sessions are included in the measured path.
+
+use hermes_bench::harness::{bench, report, Sample};
+use hermes_bench::{aircraft_s2t_params, aircraft_with};
+use hermes_core::SharedEngine;
+use hermes_retratree::ReTraTreeParams;
+use hermes_server::{HermesClient, Server, ServerConfig};
+use hermes_trajectory::Duration;
+use std::net::SocketAddr;
+use std::thread;
+
+const QUERIES_PER_CLIENT: usize = 20;
+
+fn run_client(addr: SocketAddr, queries: usize) {
+    let mut client = HermesClient::connect(addr).expect("connect");
+    for i in 0..queries {
+        let window_end = 1_800_000 + (i as i64 % 4) * 900_000;
+        client
+            .query(&format!("SELECT RANGE(data, 0, {window_end});"))
+            .expect("range query");
+        if i % 4 == 0 {
+            client
+                .query(&format!(
+                    "SELECT QUT(data, 0, {window_end}, 0.35, 0.05, 300000, 6000, 1800000);"
+                ))
+                .expect("qut query");
+        }
+    }
+}
+
+fn main() {
+    let scenario = aircraft_with(60, 0xE9);
+    let engine = SharedEngine::default();
+    engine.with_write(|e| {
+        e.create_dataset("data").unwrap();
+        e.load_trajectories("data", scenario.trajectories.clone())
+            .unwrap();
+        e.build_index(
+            "data",
+            ReTraTreeParams {
+                chunk_duration: Duration::from_hours(2),
+                s2t: aircraft_s2t_params(),
+                ..ReTraTreeParams::default()
+            },
+        )
+        .unwrap();
+    });
+    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = server.addr();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut qps: Vec<(usize, f64)> = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let sample = bench(format!("clients/{clients}"), 5, || {
+            let workers: Vec<_> = (0..clients)
+                .map(|_| thread::spawn(move || run_client(addr, QUERIES_PER_CLIENT)))
+                .collect();
+            for w in workers {
+                w.join().expect("client thread");
+            }
+        });
+        // Each iteration issues RANGE every step and QUT every fourth step.
+        let queries = clients * (QUERIES_PER_CLIENT + QUERIES_PER_CLIENT.div_ceil(4));
+        qps.push((clients, queries as f64 / (sample.median_ms / 1_000.0)));
+        samples.push(sample);
+    }
+    report("e9_concurrent_clients", &samples);
+
+    eprintln!("\n# E9 summary: loopback throughput vs. client count");
+    eprintln!("{:>8} {:>12}", "clients", "queries/s");
+    for (clients, rate) in &qps {
+        eprintln!("{clients:>8} {rate:>12.1}");
+    }
+    let metrics = server.metrics();
+    eprintln!(
+        "server totals: {} queries, {} bytes in, {} bytes out",
+        metrics
+            .queries_served
+            .load(std::sync::atomic::Ordering::Relaxed),
+        metrics.bytes_in.load(std::sync::atomic::Ordering::Relaxed),
+        metrics.bytes_out.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    server.shutdown();
+}

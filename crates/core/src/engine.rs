@@ -6,7 +6,7 @@ use hermes_retratree::{
     qut_clustering, range_query_then_cluster, QutParams, QutStats, ReTraTree, ReTraTreeParams,
 };
 use hermes_s2t::{run_s2t, run_s2t_naive, ClusteringResult, S2TOutcome, S2TParams};
-use hermes_storage::{Catalog, DatasetId};
+use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
 use std::collections::HashMap;
 
@@ -32,6 +32,23 @@ pub struct DatasetInfo {
     /// Number of level-3 cluster entries in the ReTraTree (0 when not
     /// indexed).
     pub num_cluster_entries: usize,
+}
+
+/// Engine-wide resource counters, aggregated over every dataset's ReTraTree
+/// storage. Surfaced by `SHOW STATS` and the CLI's `\stats` so the buffer
+/// pool's behaviour is observable outside the benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Registered datasets.
+    pub datasets: usize,
+    /// Datasets with a built ReTraTree.
+    pub indexed_datasets: usize,
+    /// Level-4 partitions across every built index.
+    pub indexed_partitions: usize,
+    /// Sub-trajectory records stored across every built index.
+    pub stored_records: usize,
+    /// Buffer-pool hit/miss/eviction counters summed over every index.
+    pub buffer: BufferStats,
 }
 
 /// The Moving Object Database engine.
@@ -190,6 +207,28 @@ impl HermesEngine {
         })
     }
 
+    /// Aggregated resource counters over every dataset.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats {
+            datasets: self.datasets.len(),
+            ..EngineStats::default()
+        };
+        for ds in self.datasets.values() {
+            let Some(tree) = ds.tree.as_ref() else {
+                continue;
+            };
+            stats.indexed_datasets += 1;
+            let store = tree.store();
+            stats.indexed_partitions += store.num_partitions();
+            stats.stored_records += store.total_records();
+            let b = store.buffer().stats();
+            stats.buffer.hits += b.hits;
+            stats.buffer.misses += b.misses;
+            stats.buffer.evictions += b.evictions;
+        }
+        stats
+    }
+
     /// Names of every registered dataset, sorted.
     pub fn list_datasets(&self) -> Vec<String> {
         let mut names: Vec<String> = self.catalog.list().map(|m| m.name.clone()).collect();
@@ -333,6 +372,25 @@ mod tests {
         let after = e.tree("flights").unwrap().total_population();
         assert!(after > before);
         assert_eq!(e.dataset_info("flights").unwrap().num_trajectories, 19);
+    }
+
+    #[test]
+    fn stats_aggregate_storage_counters() {
+        let mut e = engine_with_data();
+        let before = e.stats();
+        assert_eq!(before.datasets, 1);
+        assert_eq!(before.indexed_datasets, 0);
+        assert_eq!(before.indexed_partitions, 0);
+
+        e.build_index("flights", tree_params()).unwrap();
+        // Touch the storage through a window query so the pool sees traffic.
+        let w = TimeInterval::new(Timestamp(0), Timestamp(3_600_000));
+        let _ = e.tree("flights").unwrap().window_sub_trajectories(&w);
+        let after = e.stats();
+        assert_eq!(after.indexed_datasets, 1);
+        assert!(after.indexed_partitions > 0);
+        assert!(after.stored_records > 0);
+        assert!(after.buffer.hits + after.buffer.misses > 0);
     }
 
     #[test]

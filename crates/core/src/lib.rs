@@ -12,9 +12,11 @@
 
 pub mod engine;
 pub mod error;
+pub mod shared;
 
-pub use engine::{DatasetInfo, HermesEngine};
+pub use engine::{DatasetInfo, EngineStats, HermesEngine};
 pub use error::EngineError;
+pub use shared::SharedEngine;
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

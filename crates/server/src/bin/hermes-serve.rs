@@ -1,0 +1,75 @@
+//! `hermes-serve` — the Hermes network server.
+//!
+//! ```text
+//! hermes-serve                          # listen on 127.0.0.1:8650
+//! hermes-serve --addr 0.0.0.0:9000     # explicit bind address
+//! hermes-serve --addr 127.0.0.1:0      # ephemeral port (printed on stdout)
+//! hermes-serve --max-connections 16    # cap simultaneous connections
+//! ```
+//!
+//! The server starts with an empty engine; clients create datasets and load
+//! data over the wire (`hermes-cli load data.csv --connect host:port`, or
+//! `HermesClient::ingest`). The bound address is announced on stdout as
+//! `hermes-serve listening on <addr>` so scripts (like the CI smoke test)
+//! can scrape the ephemeral port.
+
+use hermes_core::SharedEngine;
+use hermes_server::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+hermes-serve — the Hermes network server
+
+USAGE:
+    hermes-serve [--addr <host:port>] [--max-connections <n>]
+
+OPTIONS:
+    --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
+                             picks an ephemeral port)
+    --max-connections <n>    Simultaneous connection cap (default 64)
+    -h, --help               Print this text
+";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8650".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return fail("--addr requires a host:port value"),
+            },
+            "--max-connections" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.max_connections = n,
+                _ => return fail("--max-connections requires a positive integer"),
+            },
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument '{other}'\n\n{HELP}")),
+        }
+    }
+
+    let server = match Server::bind(&addr, SharedEngine::default(), config) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return fail(&format!("cannot resolve bound address: {e}")),
+    };
+    println!("hermes-serve listening on {bound}");
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        return fail(&format!("server terminated: {e}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}

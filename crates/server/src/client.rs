@@ -1,0 +1,161 @@
+//! [`HermesClient`]: the client side of the wire protocol, used by the CLI's
+//! remote mode, the concurrency tests and the `e9_concurrent_clients` bench.
+
+use crate::protocol::{read_response, write_request, DecodeError, Request, Response};
+use hermes_sql::{QueryOutcome, Value};
+use hermes_trajectory::Trajectory;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A statement prepared on the server, scoped to the connection that
+/// prepared it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemotePrepared(pub u32);
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection broke (or could not be established).
+    Io(io::Error),
+    /// The server answered with an error (SQL error, capacity, …); the
+    /// connection remains usable unless the server also closed it.
+    Server(String),
+    /// The server sent a response this request cannot accept.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A synchronous connection to a `hermes-serve` instance.
+///
+/// The request/response cycle is strictly alternating, so a client is
+/// naturally `!Sync`; open one client per thread for concurrent load (the
+/// server pairs each with its own session).
+pub struct HermesClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl HermesClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(HermesClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.writer, request)?;
+        let (response, _) = read_response(&mut self.reader)?;
+        if let Response::Error { message } = response {
+            return Err(ClientError::Server(message));
+        }
+        Ok(response)
+    }
+
+    /// Parses and executes one statement on the server, returning the same
+    /// typed [`QueryOutcome`] a local session would.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, ClientError> {
+        let response = self.round_trip(&Request::Query {
+            sql: sql.to_string(),
+        })?;
+        Ok(response.into_outcome()?)
+    }
+
+    /// Prepares a statement (placeholders allowed) on the server.
+    pub fn prepare(&mut self, sql: &str) -> Result<RemotePrepared, ClientError> {
+        match self.round_trip(&Request::Prepare {
+            sql: sql.to_string(),
+        })? {
+            Response::Prepared { handle } => Ok(RemotePrepared(handle)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a Prepared response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes a prepared statement with `params` bound to `$1..$n`.
+    pub fn execute_prepared(
+        &mut self,
+        handle: RemotePrepared,
+        params: &[Value],
+    ) -> Result<QueryOutcome, ClientError> {
+        let response = self.round_trip(&Request::ExecutePrepared {
+            handle: handle.0,
+            params: params.to_vec(),
+        })?;
+        Ok(response.into_outcome()?)
+    }
+
+    /// Bulk-loads trajectories into `dataset` (created on first ingest),
+    /// returning the number of trajectories the server accepted.
+    ///
+    /// Loads larger than one wire message allows are split transparently
+    /// into multiple `Ingest` requests, so arbitrarily large datasets stream
+    /// through the fixed [`MAX_MESSAGE_BYTES`](crate::MAX_MESSAGE_BYTES) cap.
+    pub fn ingest(
+        &mut self,
+        dataset: &str,
+        trajectories: &[Trajectory],
+    ) -> Result<u64, ClientError> {
+        // Encoded size: 20-byte trajectory header + 24 bytes per point.
+        // Batch under half the message cap to leave generous framing slack.
+        const BATCH_BUDGET: usize = (crate::MAX_MESSAGE_BYTES as usize) / 2;
+        let mut total = 0u64;
+        let mut batch_start = 0;
+        let mut batch_bytes = 0usize;
+        for (i, t) in trajectories.iter().enumerate() {
+            let encoded = 20 + 24 * t.points().len();
+            if batch_bytes + encoded > BATCH_BUDGET && i > batch_start {
+                total += self.ingest_batch(dataset, &trajectories[batch_start..i])?;
+                batch_start = i;
+                batch_bytes = 0;
+            }
+            batch_bytes += encoded;
+        }
+        total += self.ingest_batch(dataset, &trajectories[batch_start..])?;
+        Ok(total)
+    }
+
+    fn ingest_batch(
+        &mut self,
+        dataset: &str,
+        trajectories: &[Trajectory],
+    ) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::Ingest {
+            dataset: dataset.to_string(),
+            trajectories: trajectories.to_vec(),
+        })? {
+            Response::Command(status) => Ok(status.affected),
+            other => Err(ClientError::Protocol(format!(
+                "expected a Command response, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hermes-server
+//!
+//! The network subsystem: Hermes as a process instead of a library.
+//!
+//! Three layers, all `std`-only (`std::net` + `std::thread`):
+//!
+//! - [`protocol`] — a length-prefixed binary wire protocol whose payloads are
+//!   the engine's own typed [`Value`](hermes_sql::Value)/
+//!   [`Frame`](hermes_sql::Frame) results (layouts in `docs/PROTOCOL.md`);
+//! - [`server`] — a thread-per-connection TCP server where every connection
+//!   gets its own [`Session`](hermes_sql::Session) over one shared,
+//!   read/write-locked engine, plus [`metrics`] surfaced through
+//!   `SHOW STATS`;
+//! - [`client`] — [`HermesClient`], the blocking client library used by
+//!   `hermes-cli --connect`, the tests and the benchmarks.
+//!
+//! ```no_run
+//! use hermes_core::SharedEngine;
+//! use hermes_server::{HermesClient, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", SharedEngine::default(), ServerConfig::default())
+//!     .unwrap()
+//!     .spawn()
+//!     .unwrap();
+//! let mut client = HermesClient::connect(server.addr()).unwrap();
+//! client.query("CREATE DATASET flights;").unwrap();
+//! let shown = client.query("SHOW DATASETS;").unwrap();
+//! assert_eq!(shown.num_rows(), 1);
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, HermesClient, RemotePrepared};
+pub use metrics::{LatencyHistogram, ServerMetrics, LATENCY_BUCKETS_US};
+pub use protocol::{DecodeError, Request, Response, MAX_MESSAGE_BYTES};
+pub use server::{Server, ServerConfig, ServerHandle};

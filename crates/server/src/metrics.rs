@@ -1,0 +1,153 @@
+//! Server-side observability: lock-free counters and a per-query latency
+//! histogram, surfaced to clients through `SHOW STATS` (scope `server`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bucket bounds of the latency histogram, in microseconds. The last
+/// bucket is open-ended.
+pub const LATENCY_BUCKETS_US: [u64; 12] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram. Buckets are non-cumulative: each counts
+/// the queries whose latency fell between the previous bound and its own.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    total_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one query latency.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recorded queries.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded latencies in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// `(label, count)` per bucket, e.g. `("latency_us_le_100", 3)`; the
+    /// open-ended tail is labelled `latency_us_gt_1000000`.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let label = match LATENCY_BUCKETS_US.get(i) {
+                Some(bound) => format!("latency_us_le_{bound}"),
+                None => format!("latency_us_gt_{}", LATENCY_BUCKETS_US.last().unwrap()),
+            };
+            out.push((label, bucket.load(Ordering::Relaxed)));
+        }
+        out
+    }
+}
+
+/// Counters describing a running server. All loads/stores are relaxed: the
+/// metrics are monotone tallies, not synchronization points.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Connections admitted into a session.
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away at the connection cap.
+    pub connections_rejected: AtomicU64,
+    /// Connections currently in a session.
+    pub connections_active: AtomicU64,
+    /// Query/Prepare/ExecutePrepared/Ingest requests answered successfully.
+    pub queries_served: AtomicU64,
+    /// Requests answered with an error response.
+    pub query_errors: AtomicU64,
+    /// Bytes read off client sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to client sockets.
+    pub bytes_out: AtomicU64,
+    /// Per-query latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// The `(metric, value)` rows a server appends to `SHOW STATS` under the
+    /// `server` scope.
+    pub fn rows(&self) -> Vec<(String, i64)> {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as i64;
+        let mut rows = vec![
+            (
+                "connections_accepted".to_string(),
+                load(&self.connections_accepted),
+            ),
+            (
+                "connections_rejected".to_string(),
+                load(&self.connections_rejected),
+            ),
+            (
+                "connections_active".to_string(),
+                load(&self.connections_active),
+            ),
+            ("queries_served".to_string(), load(&self.queries_served)),
+            ("query_errors".to_string(), load(&self.query_errors)),
+            ("bytes_in".to_string(), load(&self.bytes_in)),
+            ("bytes_out".to_string(), load(&self.bytes_out)),
+            (
+                "latency_us_total".to_string(),
+                self.latency.total_us() as i64,
+            ),
+        ];
+        for (label, count) in self.latency.snapshot() {
+            rows.push((label, count as i64));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(50)); // le_100
+        h.record(Duration::from_micros(100)); // le_100 (inclusive bound)
+        h.record(Duration::from_micros(700)); // le_1000
+        h.record(Duration::from_secs(5)); // open tail
+        assert_eq!(h.count(), 4);
+        let snap = h.snapshot();
+        let get = |label: &str| snap.iter().find(|(l, _)| l == label).unwrap().1;
+        assert_eq!(get("latency_us_le_100"), 2);
+        assert_eq!(get("latency_us_le_1000"), 1);
+        assert_eq!(get("latency_us_gt_1000000"), 1);
+        assert_eq!(snap.iter().map(|(_, c)| c).sum::<u64>(), 4);
+        assert!(h.total_us() >= 5_000_000);
+    }
+
+    #[test]
+    fn metrics_rows_cover_every_counter() {
+        let m = ServerMetrics::default();
+        m.queries_served.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(10));
+        let rows = m.rows();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(l, _)| l == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("queries_served"), 3);
+        assert_eq!(get("latency_us_le_100"), 1);
+        assert_eq!(get("connections_active"), 0);
+    }
+}

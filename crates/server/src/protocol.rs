@@ -1,0 +1,745 @@
+//! The Hermes wire protocol: length-prefixed binary messages carrying the
+//! typed [`Value`]/[`Frame`] results across a TCP connection.
+//!
+//! Every message is one *wire frame*:
+//!
+//! ```text
+//! +-----------------+-----------+------------------+
+//! | length: u32 BE  | kind: u8  | payload bytes    |
+//! +-----------------+-----------+------------------+
+//! ```
+//!
+//! `length` counts the kind byte plus the payload, so an empty message has
+//! length 1. All integers are big-endian; floats travel as their IEEE-754
+//! bit pattern; strings as `u32` byte length + UTF-8 bytes. The full message
+//! catalogue and payload layouts are documented in `docs/PROTOCOL.md`.
+//!
+//! The encoding is deliberately symmetric: [`Request`]s flow client → server,
+//! [`Response`]s flow back, and both sides use the same
+//! [`read_message`]/[`write_message`] pair, which also report the byte counts
+//! feeding the server's `bytes_in`/`bytes_out` metrics.
+
+use hermes_sql::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome, Value, ValueType};
+use hermes_trajectory::{Point, Timestamp, Trajectory};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one wire frame (kind byte + payload). Large enough for a
+/// bulk trajectory ingest, small enough to stop a corrupt length prefix from
+/// asking the peer to allocate gigabytes.
+pub const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
+
+/// A malformed message (bad tag, truncated payload, non-UTF-8 string, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire protocol decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for io::Error {
+    fn from(e: DecodeError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse and execute one statement.
+    Query {
+        /// Statement text in the Hermes SQL dialect.
+        sql: String,
+    },
+    /// Parse a statement (placeholders allowed) into a server-side prepared
+    /// statement; answered by [`Response::Prepared`].
+    Prepare {
+        /// Statement text, may contain `$n` placeholders.
+        sql: String,
+    },
+    /// Execute a prepared statement with parameters bound to its
+    /// placeholders. Handles are per connection.
+    ExecutePrepared {
+        /// Handle from [`Response::Prepared`].
+        handle: u32,
+        /// Values for `$1..$n`.
+        params: Vec<Value>,
+    },
+    /// Bulk-load trajectories into a dataset (created on first ingest).
+    Ingest {
+        /// Target dataset.
+        dataset: String,
+        /// The trajectories to append.
+        trajectories: Vec<Trajectory>,
+    },
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query produced rows (and possibly a statistics frame).
+    Rows {
+        /// The result rows.
+        frame: Frame,
+        /// The `\timing` statistics frame, when the statement measured any.
+        stats: Option<Frame>,
+    },
+    /// A command completed without rows.
+    Command(CommandStatus),
+    /// A statement was prepared under this connection-scoped handle.
+    Prepared {
+        /// Handle to pass to [`Request::ExecutePrepared`].
+        handle: u32,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Converts a row/command response into the typed [`QueryOutcome`] the
+    /// local execution path produces, so remote and local callers handle one
+    /// result type.
+    pub fn into_outcome(self) -> Result<QueryOutcome, DecodeError> {
+        match self {
+            Response::Rows { frame, stats } => Ok(QueryOutcome::Rows { frame, stats }),
+            Response::Command(status) => Ok(QueryOutcome::Command(status)),
+            other => Err(DecodeError(format!(
+                "expected a rows/command response, got {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DecodeError(format!("message truncated (wanted {n} more bytes)")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError("string is not valid UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / Frame / CommandStatus encoding
+// ---------------------------------------------------------------------------
+
+const VALUE_NULL: u8 = 0;
+const VALUE_BOOL: u8 = 1;
+const VALUE_INT: u8 = 2;
+const VALUE_FLOAT: u8 = 3;
+const VALUE_TEXT: u8 = 4;
+const VALUE_TIMESTAMP: u8 = 5;
+const VALUE_INTERVAL: u8 = 6;
+
+fn write_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.u8(VALUE_NULL),
+        Value::Bool(b) => {
+            w.u8(VALUE_BOOL);
+            w.u8(*b as u8);
+        }
+        Value::Int(i) => {
+            w.u8(VALUE_INT);
+            w.i64(*i);
+        }
+        Value::Float(f) => {
+            w.u8(VALUE_FLOAT);
+            w.f64(*f);
+        }
+        Value::Text(s) => {
+            w.u8(VALUE_TEXT);
+            w.str(s);
+        }
+        Value::Timestamp(t) => {
+            w.u8(VALUE_TIMESTAMP);
+            w.i64(t.millis());
+        }
+        Value::Interval(d) => {
+            w.u8(VALUE_INTERVAL);
+            w.i64(d.millis());
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    Ok(match r.u8()? {
+        VALUE_NULL => Value::Null,
+        VALUE_BOOL => Value::Bool(r.u8()? != 0),
+        VALUE_INT => Value::Int(r.i64()?),
+        VALUE_FLOAT => Value::Float(r.f64()?),
+        VALUE_TEXT => Value::Text(r.str()?),
+        VALUE_TIMESTAMP => Value::Timestamp(Timestamp(r.i64()?)),
+        VALUE_INTERVAL => Value::Interval(hermes_trajectory::Duration::from_millis(r.i64()?)),
+        tag => return Err(DecodeError(format!("unknown value tag {tag}"))),
+    })
+}
+
+fn type_code(ty: ValueType) -> u8 {
+    match ty {
+        ValueType::Bool => VALUE_BOOL,
+        ValueType::Int => VALUE_INT,
+        ValueType::Float => VALUE_FLOAT,
+        ValueType::Text => VALUE_TEXT,
+        ValueType::Timestamp => VALUE_TIMESTAMP,
+        ValueType::Interval => VALUE_INTERVAL,
+    }
+}
+
+fn type_of_code(code: u8) -> Result<ValueType, DecodeError> {
+    Ok(match code {
+        VALUE_BOOL => ValueType::Bool,
+        VALUE_INT => ValueType::Int,
+        VALUE_FLOAT => ValueType::Float,
+        VALUE_TEXT => ValueType::Text,
+        VALUE_TIMESTAMP => ValueType::Timestamp,
+        VALUE_INTERVAL => ValueType::Interval,
+        tag => return Err(DecodeError(format!("unknown column type code {tag}"))),
+    })
+}
+
+fn write_frame_payload(w: &mut Writer, frame: &Frame) {
+    w.u16(frame.num_columns() as u16);
+    for col in frame.schema() {
+        w.str(&col.name);
+        w.u8(type_code(col.ty));
+    }
+    w.u32(frame.num_rows() as u32);
+    for row in frame.rows() {
+        for cell in row {
+            write_value(w, cell);
+        }
+    }
+}
+
+fn read_frame_payload(r: &mut Reader<'_>) -> Result<Frame, DecodeError> {
+    let ncols = r.u16()? as usize;
+    let mut schema = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let ty = type_of_code(r.u8()?)?;
+        schema.push(ColumnDef::new(name, ty));
+    }
+    let mut frame = Frame::new(schema);
+    let nrows = r.u32()? as usize;
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(read_value(r)?);
+        }
+        frame.push_row(row).map_err(DecodeError)?;
+    }
+    Ok(frame)
+}
+
+fn command_tag_code(tag: CommandTag) -> u8 {
+    match tag {
+        CommandTag::CreateDataset => 1,
+        CommandTag::DropDataset => 2,
+        CommandTag::BuildIndex => 3,
+        CommandTag::Ingest => 4,
+    }
+}
+
+fn command_tag_of_code(code: u8) -> Result<CommandTag, DecodeError> {
+    Ok(match code {
+        1 => CommandTag::CreateDataset,
+        2 => CommandTag::DropDataset,
+        3 => CommandTag::BuildIndex,
+        4 => CommandTag::Ingest,
+        tag => return Err(DecodeError(format!("unknown command tag code {tag}"))),
+    })
+}
+
+fn write_trajectory(w: &mut Writer, t: &Trajectory) {
+    w.u64(t.id);
+    w.u64(t.object_id);
+    w.u32(t.points().len() as u32);
+    for p in t.points() {
+        w.f64(p.x);
+        w.f64(p.y);
+        w.i64(p.t.millis());
+    }
+}
+
+fn read_trajectory(r: &mut Reader<'_>) -> Result<Trajectory, DecodeError> {
+    let id = r.u64()?;
+    let object_id = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut points = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let t = Timestamp(r.i64()?);
+        points.push(Point::new(x, y, t));
+    }
+    Trajectory::new(id, object_id, points)
+        .map_err(|e| DecodeError(format!("invalid trajectory {id}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+const REQ_QUERY: u8 = 1;
+const REQ_PREPARE: u8 = 2;
+const REQ_EXECUTE_PREPARED: u8 = 3;
+const REQ_INGEST: u8 = 4;
+
+const RESP_ROWS: u8 = 101;
+const RESP_COMMAND: u8 = 102;
+const RESP_PREPARED: u8 = 103;
+const RESP_ERROR: u8 = 104;
+
+fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+    let mut w = Writer::new();
+    let kind = match req {
+        Request::Query { sql } => {
+            w.str(sql);
+            REQ_QUERY
+        }
+        Request::Prepare { sql } => {
+            w.str(sql);
+            REQ_PREPARE
+        }
+        Request::ExecutePrepared { handle, params } => {
+            w.u32(*handle);
+            w.u16(params.len() as u16);
+            for p in params {
+                write_value(&mut w, p);
+            }
+            REQ_EXECUTE_PREPARED
+        }
+        Request::Ingest {
+            dataset,
+            trajectories,
+        } => {
+            w.str(dataset);
+            w.u32(trajectories.len() as u32);
+            for t in trajectories {
+                write_trajectory(&mut w, t);
+            }
+            REQ_INGEST
+        }
+    };
+    (kind, w.buf)
+}
+
+fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut r = Reader::new(payload);
+    let req = match kind {
+        REQ_QUERY => Request::Query { sql: r.str()? },
+        REQ_PREPARE => Request::Prepare { sql: r.str()? },
+        REQ_EXECUTE_PREPARED => {
+            let handle = r.u32()?;
+            let n = r.u16()? as usize;
+            let mut params = Vec::with_capacity(n);
+            for _ in 0..n {
+                params.push(read_value(&mut r)?);
+            }
+            Request::ExecutePrepared { handle, params }
+        }
+        REQ_INGEST => {
+            let dataset = r.str()?;
+            let n = r.u32()? as usize;
+            let mut trajectories = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                trajectories.push(read_trajectory(&mut r)?);
+            }
+            Request::Ingest {
+                dataset,
+                trajectories,
+            }
+        }
+        tag => return Err(DecodeError(format!("unknown request kind {tag}"))),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
+    let mut w = Writer::new();
+    let kind = match resp {
+        Response::Rows { frame, stats } => {
+            w.u8(stats.is_some() as u8);
+            write_frame_payload(&mut w, frame);
+            if let Some(stats) = stats {
+                write_frame_payload(&mut w, stats);
+            }
+            RESP_ROWS
+        }
+        Response::Command(status) => {
+            w.u8(command_tag_code(status.tag));
+            w.u64(status.affected);
+            RESP_COMMAND
+        }
+        Response::Prepared { handle } => {
+            w.u32(*handle);
+            RESP_PREPARED
+        }
+        Response::Error { message } => {
+            w.str(message);
+            RESP_ERROR
+        }
+    };
+    (kind, w.buf)
+}
+
+fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut r = Reader::new(payload);
+    let resp = match kind {
+        RESP_ROWS => {
+            let has_stats = r.u8()? != 0;
+            let frame = read_frame_payload(&mut r)?;
+            let stats = if has_stats {
+                Some(read_frame_payload(&mut r)?)
+            } else {
+                None
+            };
+            Response::Rows { frame, stats }
+        }
+        RESP_COMMAND => Response::Command(CommandStatus {
+            tag: command_tag_of_code(r.u8()?)?,
+            affected: r.u64()?,
+        }),
+        RESP_PREPARED => Response::Prepared { handle: r.u32()? },
+        RESP_ERROR => Response::Error { message: r.str()? },
+        tag => return Err(DecodeError(format!("unknown response kind {tag}"))),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing
+// ---------------------------------------------------------------------------
+
+fn write_wire_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<u64> {
+    let length = 1 + payload.len();
+    if length > MAX_MESSAGE_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("message of {length} bytes exceeds the {MAX_MESSAGE_BYTES} byte cap"),
+        ));
+    }
+    let length = length as u32;
+    w.write_all(&length.to_be_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(4 + length as u64)
+}
+
+fn read_wire_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>, u64)> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let length = u32::from_be_bytes(len_bytes);
+    if length == 0 || length > MAX_MESSAGE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid message length {length}"),
+        ));
+    }
+    let mut body = vec![0u8; length as usize];
+    r.read_exact(&mut body)?;
+    let kind = body[0];
+    let payload = body.split_off(1);
+    Ok((kind, payload, 4 + length as u64))
+}
+
+/// Writes one request, returning the bytes put on the wire.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<u64> {
+    let (kind, payload) = encode_request(req);
+    write_wire_frame(w, kind, &payload)
+}
+
+/// Reads one request, returning it with the bytes taken off the wire.
+/// `ErrorKind::UnexpectedEof` means the peer closed the connection.
+pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u64)> {
+    let (kind, payload, n) = read_wire_frame(r)?;
+    Ok((decode_request(kind, &payload)?, n))
+}
+
+/// Writes one response, returning the bytes put on the wire.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<u64> {
+    let (kind, payload) = encode_response(resp);
+    write_wire_frame(w, kind, &payload)
+}
+
+/// Reads one response, returning it with the bytes taken off the wire.
+pub fn read_response(r: &mut impl Read) -> io::Result<(Response, u64)> {
+    let (kind, payload, n) = read_wire_frame(r)?;
+    Ok((decode_response(kind, &payload)?, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trajectory::Duration;
+
+    fn round_trip_request(req: Request) -> Request {
+        let mut buf = Vec::new();
+        let written = write_request(&mut buf, &req).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let (back, read) = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        back
+    }
+
+    fn round_trip_response(resp: Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        read_response(&mut buf.as_slice()).unwrap().0
+    }
+
+    fn sample_frame() -> Frame {
+        let mut f = Frame::with_columns(&[
+            ("name", ValueType::Text),
+            ("n", ValueType::Int),
+            ("score", ValueType::Float),
+            ("at", ValueType::Timestamp),
+            ("gap", ValueType::Interval),
+            ("ok", ValueType::Bool),
+        ]);
+        f.push_row(vec![
+            Value::from("ships"),
+            Value::Int(-3),
+            Value::Float(0.5),
+            Value::Timestamp(Timestamp(42)),
+            Value::Interval(Duration::from_secs(9)),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        f.push_row(vec![
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ])
+        .unwrap();
+        f
+    }
+
+    fn traj(id: u64) -> Trajectory {
+        Trajectory::new(
+            id,
+            id * 10,
+            (0..5)
+                .map(|i| Point::new(i as f64, -1.5 * i as f64, Timestamp(i * 1000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Query {
+                sql: "SHOW DATASETS;".into(),
+            },
+            Request::Prepare {
+                sql: "SELECT RANGE(d, $1, $2);".into(),
+            },
+            Request::ExecutePrepared {
+                handle: 7,
+                params: vec![
+                    Value::Int(0),
+                    Value::Timestamp(Timestamp(99)),
+                    Value::Float(1.5),
+                    Value::Null,
+                ],
+            },
+            Request::Ingest {
+                dataset: "flights".into(),
+                trajectories: vec![traj(1), traj(2)],
+            },
+        ] {
+            assert_eq!(round_trip_request(req.clone()), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Rows {
+                frame: sample_frame(),
+                stats: None,
+            },
+            Response::Rows {
+                frame: sample_frame(),
+                stats: Some(sample_frame()),
+            },
+            Response::Command(CommandStatus {
+                tag: CommandTag::BuildIndex,
+                affected: 12,
+            }),
+            Response::Command(CommandStatus {
+                tag: CommandTag::Ingest,
+                affected: 640,
+            }),
+            Response::Prepared { handle: 3 },
+            Response::Error {
+                message: "unknown dataset 'x'".into(),
+            },
+        ] {
+            assert_eq!(round_trip_response(resp.clone()), resp);
+        }
+    }
+
+    #[test]
+    fn into_outcome_maps_rows_and_commands() {
+        let rows = Response::Rows {
+            frame: sample_frame(),
+            stats: None,
+        };
+        assert_eq!(rows.into_outcome().unwrap().num_rows(), 2);
+        let cmd = Response::Command(CommandStatus {
+            tag: CommandTag::CreateDataset,
+            affected: 1,
+        });
+        assert!(cmd.into_outcome().unwrap().command().is_some());
+        assert!(Response::Prepared { handle: 0 }.into_outcome().is_err());
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected_not_panicked() {
+        // Unknown kind.
+        let mut buf = Vec::new();
+        write_wire_frame(&mut buf, 250, &[]).unwrap();
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Query {
+                sql: "SHOW DATASETS;".into(),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_request(&mut buf.as_slice()).is_err());
+        // Oversized / zero length prefixes.
+        let huge = (MAX_MESSAGE_BYTES + 1).to_be_bytes();
+        assert!(read_wire_frame(&mut huge.as_slice()).is_err());
+        let zero = 0u32.to_be_bytes();
+        assert!(read_wire_frame(&mut zero.as_slice()).is_err());
+        // Trailing garbage after a valid message body.
+        let mut w = Writer::new();
+        w.str("SHOW DATASETS;");
+        w.u8(99);
+        assert!(decode_request(REQ_QUERY, &w.buf).is_err());
+    }
+
+    #[test]
+    fn eof_reads_as_unexpected_eof() {
+        let empty: &[u8] = &[];
+        let err = read_request(&mut &*empty).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

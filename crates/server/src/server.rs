@@ -1,0 +1,378 @@
+//! The TCP server: a `std::net`/`std::thread` accept loop giving every
+//! connection its own [`Session`] over one [`SharedEngine`].
+//!
+//! Concurrency model: thread-per-connection behind a configurable cap. Each
+//! connection thread owns a session (and thus its own prepared-statement
+//! cache) whose backend is the shared engine — read statements execute in
+//! parallel under the engine's read lock while `BUILD INDEX`, DDL and ingest
+//! serialize through the write lock. Nothing here is async: the workload is
+//! long-running analytical queries, where a blocked thread is the cheap part.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{read_request, write_response, Request, Response};
+use hermes_core::{EngineError, SharedEngine};
+use hermes_sql::{
+    push_stat, CommandStatus, CommandTag, Prepared, QueryOutcome, Session, Statement,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most simultaneous connections admitted; further clients receive an
+    /// error response to their first request and are disconnected.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: SharedEngine,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener (port 0 picks an ephemeral port) over an engine.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: SharedEngine,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            config,
+            metrics: Arc::new(ServerMetrics::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's metric counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Runs the accept loop on the calling thread until shut down.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept failures (EMFILE, aborted handshakes)
+                // must not take the server down.
+                Err(_) => continue,
+            };
+            let active = self.metrics.connections_active.load(Ordering::Relaxed);
+            if active >= self.config.max_connections as u64 {
+                self.metrics
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let max_connections = self.config.max_connections;
+                thread::spawn(move || reject_connection(stream, max_connections));
+                continue;
+            }
+            self.metrics
+                .connections_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .connections_active
+                .fetch_add(1, Ordering::Relaxed);
+            let engine = self.engine.clone();
+            let metrics = Arc::clone(&self.metrics);
+            thread::spawn(move || {
+                let _ = handle_connection(stream, engine, &metrics);
+                metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle that
+    /// shuts the server down when asked (or dropped).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let metrics = self.metrics();
+        let shutdown = Arc::clone(&self.shutdown);
+        let engine = self.engine.clone();
+        let thread = thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(ServerHandle {
+            addr,
+            metrics,
+            shutdown,
+            engine,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    engine: SharedEngine,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle to the engine the server serves (e.g. to preload data).
+    pub fn engine(&self) -> SharedEngine {
+        self.engine.clone()
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connections
+    /// already in a session run until their client disconnects.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Turns away a connection over the cap. The client's first request is read
+/// (with a timeout, so a silent client cannot stall the accept loop) before
+/// the error response goes out — answering before the request arrives would
+/// race the client's write against the close and can surface as a connection
+/// reset instead of the capacity message.
+fn reject_connection(stream: TcpStream, max_connections: usize) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    if let Ok(mut reader) = stream.try_clone().map(BufReader::new) {
+        let _ = read_request(&mut reader);
+    }
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response(
+        &mut writer,
+        &Response::Error {
+            message: format!("server at connection capacity ({max_connections} active)"),
+        },
+    );
+}
+
+/// Per-connection request loop: read a request, answer it through the
+/// connection's session, record metrics, repeat until the client hangs up.
+fn handle_connection(
+    stream: TcpStream,
+    engine: SharedEngine,
+    metrics: &ServerMetrics,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session: Session<SharedEngine> = Session::new(engine.clone());
+    // Wire handles are indexes into this connection-private table, so one
+    // connection can never execute (or even see) another's statements.
+    let mut prepared: Vec<Prepared> = Vec::new();
+
+    loop {
+        let (request, n_in) = match read_request(&mut reader) {
+            Ok(v) => v,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // A malformed frame leaves the stream unparseable: report and
+                // drop the connection rather than guessing at a resync point.
+                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.bytes_in.fetch_add(n_in, Ordering::Relaxed);
+
+        let started = Instant::now();
+        let response = answer(&mut session, &mut prepared, &engine, metrics, request);
+        metrics.latency.record(started.elapsed());
+        match &response {
+            Response::Error { .. } => metrics.query_errors.fetch_add(1, Ordering::Relaxed),
+            _ => metrics.queries_served.fetch_add(1, Ordering::Relaxed),
+        };
+        let n_out = match write_response(&mut writer, &response) {
+            Ok(n) => n,
+            // An over-cap result frame is rejected before any byte hits the
+            // wire, so the stream is still in sync: tell the client why
+            // instead of silently dropping the connection.
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("result too large for the wire protocol: {e}"),
+                    },
+                )?
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.bytes_out.fetch_add(n_out, Ordering::Relaxed);
+    }
+}
+
+fn answer(
+    session: &mut Session<SharedEngine>,
+    prepared: &mut Vec<Prepared>,
+    engine: &SharedEngine,
+    metrics: &ServerMetrics,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Query { sql } => match session.execute(&sql) {
+            Ok(outcome) => finish_outcome(outcome, is_show_stats_text(&sql), metrics),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Prepare { sql } => match session.prepare(&sql) {
+            Ok(handle) => {
+                // Re-preparing a cached text returns the same session handle;
+                // mirror that de-duplication on the wire.
+                let wire = match prepared.iter().position(|&h| h == handle) {
+                    Some(i) => i,
+                    None => {
+                        prepared.push(handle);
+                        prepared.len() - 1
+                    }
+                };
+                Response::Prepared {
+                    handle: wire as u32,
+                }
+            }
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::ExecutePrepared { handle, params } => {
+            let Some(&session_handle) = prepared.get(handle as usize) else {
+                return Response::Error {
+                    message: format!(
+                        "unknown prepared statement handle {handle} on this connection"
+                    ),
+                };
+            };
+            let show_stats = matches!(
+                session.statement(session_handle),
+                Some(Statement::ShowStats)
+            );
+            match session.execute_prepared(session_handle, &params) {
+                Ok(outcome) => finish_outcome(outcome, show_stats, metrics),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Ingest {
+            dataset,
+            trajectories,
+        } => {
+            let n = trajectories.len() as u64;
+            let loaded = engine.with_write(|e| {
+                if matches!(
+                    e.dataset_info(&dataset),
+                    Err(EngineError::UnknownDataset(_))
+                ) {
+                    e.create_dataset(&dataset)?;
+                }
+                e.load_trajectories(&dataset, trajectories)
+            });
+            match loaded {
+                Ok(()) => Response::Command(CommandStatus {
+                    tag: CommandTag::Ingest,
+                    affected: n,
+                }),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+    }
+}
+
+/// Wraps an outcome as a response, appending the `server` scope to
+/// `SHOW STATS` results on the way out.
+fn finish_outcome(outcome: QueryOutcome, show_stats: bool, metrics: &ServerMetrics) -> Response {
+    match outcome {
+        QueryOutcome::Rows { mut frame, stats } => {
+            if show_stats {
+                for (metric, value) in metrics.rows() {
+                    push_stat(&mut frame, "server", &metric, value);
+                }
+            }
+            Response::Rows { frame, stats }
+        }
+        QueryOutcome::Command(status) => Response::Command(status),
+    }
+}
+
+/// True when `sql` is a `SHOW STATS` statement (the only statement whose
+/// result the server augments), without paying for a parse.
+fn is_show_stats_text(sql: &str) -> bool {
+    let mut words = sql.trim().trim_end_matches(';').split_whitespace();
+    matches!(
+        (words.next(), words.next(), words.next()),
+        (Some(a), Some(b), None)
+            if a.eq_ignore_ascii_case("show") && b.eq_ignore_ascii_case("stats")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn show_stats_detection() {
+        assert!(is_show_stats_text("SHOW STATS;"));
+        assert!(is_show_stats_text("  show   stats  "));
+        assert!(!is_show_stats_text("SHOW DATASETS;"));
+        assert!(!is_show_stats_text("SELECT INFO(show);"));
+    }
+}

@@ -1,0 +1,55 @@
+//! How a [`Session`](crate::Session) reaches an engine.
+//!
+//! A [`EngineBackend`] hides whether the session owns exclusive access to a
+//! [`HermesEngine`] (`&mut` — the single-threaded CLI and tests) or shares
+//! one behind a lock (a [`SharedEngine`] — every server connection). The
+//! shared implementation is where the read/write split pays off: statements
+//! for which [`is_write_statement`] is false run under the read lock, so any
+//! number of sessions answer queries in parallel while `BUILD INDEX`, ingest
+//! and DDL serialize through the write lock.
+
+use crate::executor::{execute_read_statement, execute_statement, is_write_statement, SqlError};
+use crate::frame::QueryOutcome;
+use crate::parser::Statement;
+use hermes_core::{HermesEngine, SharedEngine};
+
+/// An execution target for fully bound statements.
+pub trait EngineBackend {
+    /// Executes one fully bound statement.
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryOutcome, SqlError>;
+}
+
+impl EngineBackend for &mut HermesEngine {
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryOutcome, SqlError> {
+        execute_statement(self, stmt)
+    }
+}
+
+impl EngineBackend for SharedEngine {
+    fn execute(&mut self, stmt: &Statement) -> Result<QueryOutcome, SqlError> {
+        if is_write_statement(stmt) {
+            execute_statement(&mut self.write(), stmt)
+        } else {
+            execute_read_statement(&self.read(), stmt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn shared_backend_routes_reads_and_writes() {
+        let mut shared = SharedEngine::default();
+        let create = parse("CREATE DATASET a;").unwrap();
+        shared.execute(&create).unwrap();
+        let show = parse("SHOW DATASETS;").unwrap();
+        let outcome = shared.execute(&show).unwrap();
+        assert_eq!(outcome.num_rows(), 1);
+        // A clone sees the same engine.
+        let mut other = shared.clone();
+        assert_eq!(other.execute(&show).unwrap().num_rows(), 1);
+    }
+}

@@ -20,6 +20,9 @@ pub enum SqlError {
     Bind(String),
     /// The engine rejected the operation.
     Engine(EngineError),
+    /// A mutating statement reached a read-only execution path (see
+    /// [`execute_read_statement`]).
+    ReadOnly(String),
 }
 
 impl fmt::Display for SqlError {
@@ -28,6 +31,12 @@ impl fmt::Display for SqlError {
             SqlError::Parse(e) => write!(f, "{e}"),
             SqlError::Bind(reason) => write!(f, "SQL bind error: {reason}"),
             SqlError::Engine(e) => write!(f, "{e}"),
+            SqlError::ReadOnly(stmt) => {
+                write!(
+                    f,
+                    "statement '{stmt}' mutates the engine and cannot run on a read-only path"
+                )
+            }
         }
     }
 }
@@ -134,6 +143,44 @@ fn qut_stats_frame(result: &ClusteringResult, stats: &QutStats) -> Frame {
     frame
 }
 
+/// The `(scope, metric, value)` schema shared by every `SHOW STATS` scope:
+/// the executor fills the `engine` scope, a [`Session`](crate::Session)
+/// appends its `session` scope, and a server appends its own.
+pub fn stats_frame() -> Frame {
+    Frame::with_columns(&[
+        ("scope", ValueType::Text),
+        ("metric", ValueType::Text),
+        ("value", ValueType::Int),
+    ])
+}
+
+/// Appends one `SHOW STATS` row to a [`stats_frame`]-shaped frame.
+pub fn push_stat(frame: &mut Frame, scope: &str, metric: &str, value: i64) {
+    push(
+        frame,
+        vec![
+            Value::Text(scope.to_string()),
+            Value::Text(metric.to_string()),
+            Value::Int(value),
+        ],
+    );
+}
+
+fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
+    let s = engine.stats();
+    for (metric, value) in [
+        ("datasets", s.datasets as i64),
+        ("indexed_datasets", s.indexed_datasets as i64),
+        ("indexed_partitions", s.indexed_partitions as i64),
+        ("stored_records", s.stored_records as i64),
+        ("buffer_hits", s.buffer.hits as i64),
+        ("buffer_misses", s.buffer.misses as i64),
+        ("buffer_evictions", s.buffer.evictions as i64),
+    ] {
+        push_stat(frame, "engine", metric, value);
+    }
+}
+
 fn window(wi: i64, we: i64) -> TimeInterval {
     TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)))
 }
@@ -146,6 +193,18 @@ pub fn execute(engine: &mut HermesEngine, sql: &str) -> Result<QueryOutcome, Sql
     execute_statement(engine, &parse(sql)?)
 }
 
+/// True when executing the statement mutates engine state. Shared deployments
+/// (the server's [`SharedEngine`](hermes_core::SharedEngine)) route these
+/// through the write lock and everything else through the read lock.
+pub fn is_write_statement(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::CreateDataset { .. }
+            | Statement::DropDataset { .. }
+            | Statement::BuildIndex { .. }
+    )
+}
+
 /// Executes an already parsed (and fully bound) statement. This is the entry
 /// point prepared statements re-enter per execution, skipping the parser.
 pub fn execute_statement(
@@ -153,7 +212,6 @@ pub fn execute_statement(
     stmt: &Statement,
 ) -> Result<QueryOutcome, SqlError> {
     let f64_of = |s: &crate::parser::Scalar| s.as_f64().map_err(SqlError::Bind);
-    let i64_of = |s: &crate::parser::Scalar| s.as_i64().map_err(SqlError::Bind);
     match stmt {
         Statement::CreateDataset { name } => {
             engine.create_dataset(name)?;
@@ -168,13 +226,6 @@ pub fn execute_statement(
                 tag: CommandTag::DropDataset,
                 affected: 1,
             }))
-        }
-        Statement::ShowDatasets => {
-            let mut frame = Frame::with_columns(&[("dataset", ValueType::Text)]);
-            for name in engine.list_datasets() {
-                push(&mut frame, vec![Value::Text(name)]);
-            }
-            Ok(QueryOutcome::rows(frame))
         }
         Statement::BuildIndex {
             name,
@@ -200,6 +251,37 @@ pub fn execute_statement(
                 tag: CommandTag::BuildIndex,
                 affected: indexed as u64,
             }))
+        }
+        _ => execute_read_statement(engine, stmt),
+    }
+}
+
+/// Executes a read-only statement against a shared engine reference. Every
+/// statement for which [`is_write_statement`] is false runs here — this is
+/// what lets concurrent sessions answer queries in parallel under a read
+/// lock while `BUILD INDEX` waits for the write lock. Mutating statements
+/// are rejected with [`SqlError::ReadOnly`].
+pub fn execute_read_statement(
+    engine: &HermesEngine,
+    stmt: &Statement,
+) -> Result<QueryOutcome, SqlError> {
+    let f64_of = |s: &crate::parser::Scalar| s.as_f64().map_err(SqlError::Bind);
+    let i64_of = |s: &crate::parser::Scalar| s.as_i64().map_err(SqlError::Bind);
+    match stmt {
+        Statement::CreateDataset { .. }
+        | Statement::DropDataset { .. }
+        | Statement::BuildIndex { .. } => Err(SqlError::ReadOnly(stmt.to_string())),
+        Statement::ShowDatasets => {
+            let mut frame = Frame::with_columns(&[("dataset", ValueType::Text)]);
+            for name in engine.list_datasets() {
+                push(&mut frame, vec![Value::Text(name)]);
+            }
+            Ok(QueryOutcome::rows(frame))
+        }
+        Statement::ShowStats => {
+            let mut frame = stats_frame();
+            push_engine_stats(&mut frame, engine);
+            Ok(QueryOutcome::rows(frame))
         }
         Statement::Info { name } => {
             let info = engine.dataset_info(name)?;
@@ -528,6 +610,50 @@ mod tests {
             execute(&mut e, "SELECT HISTOGRAM(flights, 0, 1800000, 0);"),
             Err(SqlError::Engine(EngineError::InvalidParameters(_)))
         ));
+    }
+
+    #[test]
+    fn read_statements_run_on_a_shared_reference() {
+        let mut e = engine();
+        execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+        let range = parse("SELECT RANGE(flights, 0, 1800000);").unwrap();
+        assert!(!is_write_statement(&range));
+        assert_eq!(execute_read_statement(&e, &range).unwrap().num_rows(), 1);
+
+        let ddl = parse("CREATE DATASET other;").unwrap();
+        assert!(is_write_statement(&ddl));
+        let err = execute_read_statement(&e, &ddl).unwrap_err();
+        assert!(
+            matches!(err, SqlError::ReadOnly(ref s) if s.contains("CREATE DATASET")),
+            "{err}"
+        );
+        assert!(err.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn show_stats_surfaces_buffer_and_index_counters() {
+        let mut e = engine();
+        execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+        execute(&mut e, "SELECT RANGE(flights, 0, 1800000);").unwrap();
+        let outcome = execute(&mut e, "SHOW STATS;").unwrap();
+        let frame = outcome.expect_frame("SHOW STATS");
+        let metric = |name: &str| -> i64 {
+            frame
+                .rows()
+                .find(|row| row[1].as_str() == Some(name))
+                .and_then(|row| row[2].as_i64())
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(metric("datasets"), 1);
+        assert_eq!(metric("indexed_datasets"), 1);
+        assert!(metric("indexed_partitions") > 0);
+        assert!(metric("stored_records") > 0);
+        assert!(metric("buffer_hits") + metric("buffer_misses") > 0);
+        assert!(frame
+            .column("scope")
+            .unwrap()
+            .iter()
+            .all(|v| v.as_str() == Some("engine")));
     }
 
     #[test]

@@ -141,6 +141,9 @@ pub enum CommandTag {
     DropDataset,
     /// `BUILD INDEX`.
     BuildIndex,
+    /// A bulk trajectory load (the server's ingest path; there is no SQL
+    /// spelling — clients send it as a protocol message).
+    Ingest,
 }
 
 impl fmt::Display for CommandTag {
@@ -149,6 +152,7 @@ impl fmt::Display for CommandTag {
             CommandTag::CreateDataset => "CREATE DATASET",
             CommandTag::DropDataset => "DROP DATASET",
             CommandTag::BuildIndex => "BUILD INDEX",
+            CommandTag::Ingest => "INGEST",
         };
         f.write_str(tag)
     }

@@ -45,6 +45,7 @@
 //!
 //! [`HermesEngine`]: hermes_core::HermesEngine
 
+pub mod backend;
 pub mod executor;
 pub mod fmt;
 pub mod frame;
@@ -52,7 +53,11 @@ pub mod parser;
 pub mod session;
 pub mod value;
 
-pub use executor::{execute, execute_statement, SqlError};
+pub use backend::EngineBackend;
+pub use executor::{
+    execute, execute_read_statement, execute_statement, is_write_statement, push_stat, stats_frame,
+    SqlError,
+};
 pub use frame::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome};
 pub use parser::{parse, ParseError, Scalar, Statement};
 pub use session::{Prepared, Session, SessionStats};

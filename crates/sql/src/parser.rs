@@ -115,6 +115,10 @@ pub enum Statement {
     },
     /// `SHOW DATASETS;`
     ShowDatasets,
+    /// `SHOW STATS;` — engine resource counters (buffer pool hits/misses,
+    /// indexed partitions), plus whatever scope the executing front end adds
+    /// (session parse/cache counters, server connection metrics).
+    ShowStats,
     /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s] [EPSILON e];`
     BuildIndex {
         /// Dataset name.
@@ -201,6 +205,7 @@ impl Statement {
             Statement::CreateDataset { .. }
             | Statement::DropDataset { .. }
             | Statement::ShowDatasets
+            | Statement::ShowStats
             | Statement::Info { .. } => Vec::new(),
             Statement::BuildIndex {
                 chunk_hours,
@@ -268,6 +273,7 @@ impl Statement {
             Statement::CreateDataset { name } => Statement::CreateDataset { name: name.clone() },
             Statement::DropDataset { name } => Statement::DropDataset { name: name.clone() },
             Statement::ShowDatasets => Statement::ShowDatasets,
+            Statement::ShowStats => Statement::ShowStats,
             Statement::Info { name } => Statement::Info { name: name.clone() },
             Statement::BuildIndex {
                 name,
@@ -346,6 +352,7 @@ impl fmt::Display for Statement {
             Statement::CreateDataset { name } => write!(f, "CREATE DATASET {name};"),
             Statement::DropDataset { name } => write!(f, "DROP DATASET {name};"),
             Statement::ShowDatasets => write!(f, "SHOW DATASETS;"),
+            Statement::ShowStats => write!(f, "SHOW STATS;"),
             Statement::BuildIndex {
                 name,
                 chunk_hours,
@@ -648,8 +655,15 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
             name: p.expect_ident()?,
         }
     } else if head.eq_ignore_ascii_case("show") {
-        p.expect_keyword("datasets")?;
-        Statement::ShowDatasets
+        match p.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case("datasets") => Statement::ShowDatasets,
+            Token::Ident(s) if s.eq_ignore_ascii_case("stats") => Statement::ShowStats,
+            other => {
+                return Err(ParseError(format!(
+                    "expected 'DATASETS' or 'STATS', found {other}"
+                )))
+            }
+        }
     } else if head.eq_ignore_ascii_case("build") {
         p.expect_keyword("index")?;
         p.expect_keyword("on")?;
@@ -772,6 +786,11 @@ mod tests {
             }
         );
         assert_eq!(parse("SHOW DATASETS;").unwrap(), Statement::ShowDatasets);
+        assert_eq!(parse("show stats").unwrap(), Statement::ShowStats);
+        assert!(parse("SHOW TABLES;")
+            .unwrap_err()
+            .0
+            .contains("'DATASETS' or 'STATS'"));
         assert_eq!(
             parse("BUILD INDEX ON flights WITH CHUNK 6 HOURS;").unwrap(),
             Statement::BuildIndex {
@@ -1014,6 +1033,7 @@ mod tests {
             "CREATE DATASET flights;",
             "DROP DATASET flights;",
             "SHOW DATASETS;",
+            "SHOW STATS;",
             "BUILD INDEX ON flights WITH CHUNK 6 HOURS;",
             "BUILD INDEX ON flights WITH CHUNK 2 HOURS SIGMA 2000 EPSILON 6000;",
             "SELECT INFO(flights);",

@@ -16,12 +16,18 @@
 //! assert_eq!(session.stats().parses, 2); // CREATE + the prepared RANGE
 //! ```
 
-use crate::executor::{execute_statement, SqlError};
+use crate::backend::EngineBackend;
+use crate::executor::{push_stat, SqlError};
 use crate::frame::QueryOutcome;
 use crate::parser::{parse, Statement};
 use crate::value::Value;
 use hermes_core::HermesEngine;
 use std::collections::HashMap;
+
+/// Most distinct statement texts [`Session::execute`] will cache implicitly
+/// (also available as `Session::IMPLICIT_CACHE_CAP`). Explicit
+/// [`Session::prepare`] calls are not capped.
+pub const IMPLICIT_CACHE_CAP: usize = 256;
 
 /// Handle to a statement prepared in a [`Session`]. Copyable; only
 /// meaningful with the session that issued it.
@@ -39,7 +45,7 @@ pub struct SessionStats {
     pub executions: usize,
 }
 
-/// A client session over a [`HermesEngine`].
+/// A client session over an engine backend.
 ///
 /// The session owns the prepared-statement cache: [`Session::prepare`] parses
 /// a statement once and returns a [`Prepared`] handle; every
@@ -47,22 +53,28 @@ pub struct SessionStats {
 /// cached AST without touching the parser again. Plain [`Session::execute`]
 /// also consults the cache (keyed by statement text), so a front end looping
 /// over the same statement re-parses nothing.
-pub struct Session<'e> {
-    engine: &'e mut HermesEngine,
+///
+/// The backend decides how the engine is reached: `&mut HermesEngine` for
+/// exclusive single-threaded use, or a
+/// [`SharedEngine`](hermes_core::SharedEngine) where each server connection
+/// opens its own session (with its own statement cache) over one engine and
+/// read statements proceed concurrently.
+pub struct Session<B: EngineBackend> {
+    backend: B,
     statements: Vec<Statement>,
     by_text: HashMap<String, Prepared>,
     stats: SessionStats,
 }
 
-impl<'e> Session<'e> {
+impl<B: EngineBackend> Session<B> {
     /// Most distinct statement texts [`Session::execute`] will cache
     /// implicitly. Explicit [`Session::prepare`] calls are not capped.
-    pub const IMPLICIT_CACHE_CAP: usize = 256;
+    pub const IMPLICIT_CACHE_CAP: usize = IMPLICIT_CACHE_CAP;
 
-    /// Opens a session over an engine.
-    pub fn new(engine: &'e mut HermesEngine) -> Self {
+    /// Opens a session over a backend.
+    pub fn new(backend: B) -> Self {
         Session {
-            engine,
+            backend,
             statements: Vec::new(),
             by_text: HashMap::new(),
             stats: SessionStats::default(),
@@ -105,7 +117,9 @@ impl<'e> Session<'e> {
             .ok_or_else(|| SqlError::Bind(format!("unknown prepared statement {handle:?}")))?;
         let bound = stmt.bind(params).map_err(|e| SqlError::Bind(e.0))?;
         self.stats.executions += 1;
-        execute_statement(self.engine, &bound)
+        let mut outcome = self.backend.execute(&bound)?;
+        self.append_session_stats(&bound, &mut outcome);
+        Ok(outcome)
     }
 
     /// Prepares (or finds in the cache) and executes a placeholder-free
@@ -126,7 +140,27 @@ impl<'e> Session<'e> {
         let stmt = parse(key)?;
         let bound = stmt.bind(&[]).map_err(|e| SqlError::Bind(e.0))?;
         self.stats.executions += 1;
-        execute_statement(self.engine, &bound)
+        let mut outcome = self.backend.execute(&bound)?;
+        self.append_session_stats(&bound, &mut outcome);
+        Ok(outcome)
+    }
+
+    /// `SHOW STATS` results gain a `session` scope on top of the executor's
+    /// `engine` rows: this session's parse/cache counters.
+    fn append_session_stats(&self, stmt: &Statement, outcome: &mut QueryOutcome) {
+        if !matches!(stmt, Statement::ShowStats) {
+            return;
+        }
+        if let QueryOutcome::Rows { frame, .. } = outcome {
+            for (metric, value) in [
+                ("parses", self.stats.parses),
+                ("cache_hits", self.stats.cache_hits),
+                ("executions", self.stats.executions),
+                ("cached_statements", self.statements.len()),
+            ] {
+                push_stat(frame, "session", metric, value as i64);
+            }
+        }
     }
 
     /// Parser/cache counters.
@@ -138,10 +172,14 @@ impl<'e> Session<'e> {
     pub fn cached_statements(&self) -> usize {
         self.statements.len()
     }
+}
 
+impl Session<&mut HermesEngine> {
     /// Direct access to the underlying engine (e.g. to load trajectories).
+    /// Only exclusive-access sessions expose this; shared sessions go through
+    /// [`SharedEngine`](hermes_core::SharedEngine) locks instead.
     pub fn engine(&mut self) -> &mut HermesEngine {
-        self.engine
+        self.backend
     }
 }
 
@@ -235,18 +273,73 @@ mod tests {
         let mut session = Session::new(&mut e);
         // Every statement text is distinct, as in a shell loop over literal
         // windows.
-        for i in 0..Session::IMPLICIT_CACHE_CAP + 10 {
+        for i in 0..IMPLICIT_CACHE_CAP + 10 {
             session
                 .execute(&format!("SELECT RANGE(flights, 0, {});", 60_000 + i))
                 .unwrap();
         }
-        assert_eq!(session.cached_statements(), Session::IMPLICIT_CACHE_CAP);
+        assert_eq!(session.cached_statements(), IMPLICIT_CACHE_CAP);
         // Everything still executed.
-        assert_eq!(session.stats().executions, Session::IMPLICIT_CACHE_CAP + 10);
+        assert_eq!(session.stats().executions, IMPLICIT_CACHE_CAP + 10);
         // Explicit prepare is not capped.
         let h = session.prepare("SELECT RANGE(flights, $1, $2);").unwrap();
-        assert!(session.cached_statements() > Session::IMPLICIT_CACHE_CAP);
+        assert!(session.cached_statements() > IMPLICIT_CACHE_CAP);
         assert!(session.statement(h).is_some());
+    }
+
+    #[test]
+    fn show_stats_includes_the_session_scope() {
+        let mut e = engine();
+        let mut session = Session::new(&mut e);
+        session.execute("SELECT INFO(flights);").unwrap();
+        let outcome = session.execute("SHOW STATS;").unwrap();
+        let frame = outcome.expect_frame("SHOW STATS");
+        let session_row = |metric: &str| -> i64 {
+            frame
+                .rows()
+                .find(|r| r[0].as_str() == Some("session") && r[1].as_str() == Some(metric))
+                .and_then(|r| r[2].as_i64())
+                .unwrap_or_else(|| panic!("session metric {metric} missing"))
+        };
+        // Both scopes are present: the executor's engine rows and ours.
+        assert!(frame
+            .column("scope")
+            .unwrap()
+            .iter()
+            .any(|v| v.as_str() == Some("engine")));
+        assert_eq!(session_row("parses"), 2);
+        assert_eq!(session_row("executions"), 2);
+    }
+
+    #[test]
+    fn sessions_share_one_engine_through_a_shared_backend() {
+        use hermes_core::SharedEngine;
+        let shared = SharedEngine::default();
+        {
+            let mut e = shared.write();
+            e.create_dataset("flights").unwrap();
+            e.load_trajectories(
+                "flights",
+                (0..12).map(|i| traj(i, i as f64 * 10.0)).collect(),
+            )
+            .unwrap();
+        }
+        let mut a = Session::new(shared.clone());
+        let mut b = Session::new(shared.clone());
+        a.execute("BUILD INDEX ON flights WITH CHUNK 4 HOURS;")
+            .unwrap();
+        // b sees the index a built, through the read lock.
+        assert_eq!(
+            b.execute("SELECT RANGE(flights, 0, 1800000);")
+                .unwrap()
+                .num_rows(),
+            1
+        );
+        // Prepared-statement caches are per session.
+        let ha = a.prepare("SELECT RANGE(flights, $1, $2);").unwrap();
+        assert!(a.statement(ha).is_some());
+        assert!(b.statement(ha).is_none());
+        assert_eq!(b.stats().parses, 1);
     }
 
     #[test]

@@ -1,20 +1,27 @@
-//! `hermes-cli` — a small command-line front end for the engine.
+//! `hermes-cli` — a command-line front end for the engine.
 //!
 //! ```text
 //! hermes-cli demo                      # generate the demo aircraft MOD and open a SQL shell
 //! hermes-cli generate aircraft out.csv # write a synthetic dataset as CSV
 //! hermes-cli load data.csv             # load a planar CSV (object_id,trajectory_id,x,y,t_ms) and open a SQL shell
 //! hermes-cli load-geo data.csv         # same, but lon/lat input projected to local metres
+//! hermes-cli --connect host:port       # open a SQL shell against a hermes-serve instance
+//! hermes-cli -c "SHOW DATASETS;"       # one-shot statement(s); nonzero exit on error
 //! ```
 //!
 //! Inside the shell, any statement of the `hermes-sql` dialect works, e.g.
 //! `SELECT S2T(data, 2000, 0.35, 0.05, 300000, 6000);` or
 //! `SELECT QUT(data, 0, 7200000, 0.35, 0.05, 300000, 6000, 1800000);`.
-//! The shell runs over a [`Session`], so repeating a statement re-uses its
-//! cached plan instead of re-parsing. `\timing` toggles the typed
-//! per-statement statistics (elapsed milliseconds, outliers, sub-chunk reuse),
-//! `\stats` shows the session's parse/cache counters, `\q` quits and `\help`
-//! lists the statements.
+//! Local shells run over a [`Session`], so repeating a statement re-uses its
+//! cached plan instead of re-parsing; with `--connect` the statements execute
+//! remotely over the wire protocol and the typed frames come back across the
+//! network. `\timing` toggles the typed per-statement statistics, `\stats`
+//! runs `SHOW STATS;` (engine, session and — remotely — server scopes),
+//! `\q` quits and `\help` lists the statements.
+//!
+//! `load`/`load-geo`/`demo` combined with `--connect` ingest the trajectories
+//! into the server's `data` dataset instead of a local engine — that is how a
+//! scripted client session (CI's smoke test) populates a fresh server.
 
 use hermes::datagen::{AircraftScenarioBuilder, MaritimeScenarioBuilder, UrbanScenarioBuilder};
 use hermes::prelude::*;
@@ -28,36 +35,116 @@ const HELP: &str = "\
 hermes-cli — time-aware sub-trajectory clustering
 
 USAGE:
-    hermes-cli demo
+    hermes-cli demo [-c <sql>]...
     hermes-cli generate <aircraft|maritime|urban> <out.csv> [seed]
-    hermes-cli load <data.csv>
-    hermes-cli load-geo <data.csv>
+    hermes-cli load <data.csv> [-c <sql>]...
+    hermes-cli load-geo <data.csv> [-c <sql>]...
+    hermes-cli --connect <host:port> [demo|load <csv>|load-geo <csv>] [-c <sql>]...
+
+OPTIONS:
+    --connect <host:port>  Execute against a running hermes-serve instead of
+                           a local engine. demo/load/load-geo then ingest
+                           their trajectories into the server's 'data'
+                           dataset over the wire.
+    -c <sql>               Run one statement non-interactively and print the
+                           rendered frame; repeatable, executed in order. The
+                           exit code is nonzero if any statement fails.
 
 The `demo`, `load` and `load-geo` commands open an interactive SQL shell over
-a dataset named `data`. Statements: CREATE/DROP DATASET, SHOW DATASETS,
+a dataset named `data` (unless -c statements are given). Statements:
+CREATE/DROP DATASET, SHOW DATASETS, SHOW STATS,
 BUILD INDEX ON <name> WITH CHUNK <h> HOURS, SELECT INFO/S2T/S2T_NAIVE/QUT/
 QUT_REBUILD/RANGE/HISTOGRAM(...). Numeric arguments accept $n placeholders
 when prepared through the library API.
 
 Shell commands: \\timing toggles per-statement execution statistics,
-\\stats shows the session's parse/cache counters, \\q quits, \\help prints
-this text.
+\\stats runs SHOW STATS;, \\q quits, \\help prints this text.
 ";
 
+/// One statement executor, local or remote; the shell and one-shot runner
+/// only see this surface.
+trait Exec {
+    fn run(&mut self, sql: &str) -> Result<QueryOutcome, String>;
+}
+
+struct LocalExec<'e>(Session<&'e mut HermesEngine>);
+
+impl Exec for LocalExec<'_> {
+    fn run(&mut self, sql: &str) -> Result<QueryOutcome, String> {
+        self.0.execute(sql).map_err(|e| e.to_string())
+    }
+}
+
+struct RemoteExec(HermesClient);
+
+impl Exec for RemoteExec {
+    fn run(&mut self, sql: &str) -> Result<QueryOutcome, String> {
+        self.0.query(sql).map_err(|e| e.to_string())
+    }
+}
+
+struct CliArgs {
+    connect: Option<String>,
+    commands: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<CliArgs, String> {
+    let mut args = CliArgs {
+        connect: None,
+        commands: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut raw = raw.peekable();
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--connect" => match raw.next() {
+                Some(addr) => args.connect = Some(addr),
+                None => return Err("--connect requires a host:port value".into()),
+            },
+            "-c" => match raw.next() {
+                Some(sql) => args.commands.push(sql),
+                None => return Err("-c requires a statement".into()),
+            },
+            _ => args.positional.push(arg),
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("demo") => shell(demo_trajectories()),
-        Some("generate") => generate(&args[1..]),
-        Some("load") => match load_file(args.get(1), false) {
-            Ok(trajs) => shell(trajs),
-            Err(e) => fail(&e),
-        },
-        Some("load-geo") => match load_file(args.get(1), true) {
-            Ok(trajs) => shell(trajs),
-            Err(e) => fail(&e),
-        },
-        Some("--help") | Some("-h") | None => {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    match args.positional.first().map(String::as_str) {
+        Some("demo") => with_source(args, demo_trajectories()),
+        Some("generate") => {
+            if args.connect.is_some() || !args.commands.is_empty() {
+                // Silently dropping them would let a script believe its SQL ran.
+                return fail("generate does not take --connect or -c");
+            }
+            generate(&args.positional[1..])
+        }
+        Some("load") | Some("load-geo") => {
+            let geodetic = args.positional[0] == "load-geo";
+            match load_file(args.positional.get(1), geodetic) {
+                Ok(trajs) => with_source(args, trajs),
+                Err(e) => fail(&e),
+            }
+        }
+        Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        None if args.connect.is_some() || !args.commands.is_empty() => {
+            // Pure client mode: no local data to stage.
+            match args.connect {
+                Some(_) => connect_and_run(args, None),
+                None => fail("-c without a data source needs --connect (or demo/load)"),
+            }
+        }
+        None => {
             print!("{HELP}");
             ExitCode::SUCCESS
         }
@@ -68,6 +155,62 @@ fn main() -> ExitCode {
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+/// Runs `-c` statements or the shell over trajectories staged either into a
+/// local engine or, with `--connect`, into the server's `data` dataset.
+fn with_source(args: CliArgs, trajectories: Vec<Trajectory>) -> ExitCode {
+    if args.connect.is_some() {
+        return connect_and_run(args, Some(trajectories));
+    }
+    let mut engine = HermesEngine::new();
+    engine.create_dataset("data").expect("fresh engine");
+    let n = trajectories.len();
+    engine
+        .load_trajectories("data", trajectories)
+        .expect("dataset exists");
+    eprintln!("loaded {n} trajectories into dataset 'data'");
+    let mut exec = LocalExec(Session::new(&mut engine));
+    if args.commands.is_empty() {
+        eprintln!("hint: BUILD INDEX ON data WITH CHUNK 2 HOURS;  then  SELECT QUT(data, ...);  (\\help for more)");
+        shell(&mut exec)
+    } else {
+        one_shot(&mut exec, &args.commands)
+    }
+}
+
+fn connect_and_run(args: CliArgs, trajectories: Option<Vec<Trajectory>>) -> ExitCode {
+    let addr = args.connect.as_deref().expect("checked by caller");
+    let client = match HermesClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let mut exec = RemoteExec(client);
+    if let Some(trajs) = trajectories {
+        match exec.0.ingest("data", &trajs) {
+            Ok(n) => eprintln!("ingested {n} trajectories into remote dataset 'data'"),
+            Err(e) => return fail(&format!("ingest failed: {e}")),
+        }
+    }
+    if args.commands.is_empty() {
+        eprintln!("connected to {addr}");
+        shell(&mut exec)
+    } else {
+        one_shot(&mut exec, &args.commands)
+    }
+}
+
+/// Executes statements in order, rendering each result to stdout. The first
+/// failure prints to stderr and exits nonzero, so scripts and CI can assert
+/// on the CLI.
+fn one_shot(exec: &mut impl Exec, commands: &[String]) -> ExitCode {
+    for sql in commands {
+        match exec.run(sql) {
+            Ok(outcome) => print!("{outcome}"),
+            Err(e) => return fail(&e),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn demo_trajectories() -> Vec<Trajectory> {
@@ -146,17 +289,7 @@ fn load_file(path: Option<&String>, geodetic: bool) -> Result<Vec<Trajectory>, S
     Ok(import.trajectories)
 }
 
-fn shell(trajectories: Vec<Trajectory>) -> ExitCode {
-    let mut engine = HermesEngine::new();
-    engine.create_dataset("data").expect("fresh engine");
-    let n = trajectories.len();
-    engine
-        .load_trajectories("data", trajectories)
-        .expect("dataset exists");
-    println!("loaded {n} trajectories into dataset 'data'");
-    println!("hint: BUILD INDEX ON data WITH CHUNK 2 HOURS;  then  SELECT QUT(data, ...);  (\\help for more)");
-
-    let mut session = Session::new(&mut engine);
+fn shell(exec: &mut impl Exec) -> ExitCode {
     let mut timing = false;
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -188,21 +321,16 @@ fn shell(trajectories: Vec<Trajectory>) -> ExitCode {
             println!("Timing is {}.", if timing { "on" } else { "off" });
             continue;
         }
-        if line == "\\stats" {
-            let s = session.stats();
-            println!(
-                "session: {} parses, {} cache hits, {} executions, {} cached statements",
-                s.parses,
-                s.cache_hits,
-                s.executions,
-                session.cached_statements()
-            );
-            continue;
-        }
+        let statement = if line == "\\stats" {
+            "SHOW STATS;"
+        } else {
+            line
+        };
         let started = Instant::now();
-        let result = session.execute(line);
+        let result = exec.run(statement);
         // Stop the clock before rendering: the reported time covers parse +
-        // execute, not table formatting (matching psql's \timing).
+        // execute (+ the network, remotely), not table formatting (matching
+        // psql's \timing).
         let elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
         match result {
             Ok(outcome) => {

@@ -43,6 +43,7 @@ pub use hermes_datagen as datagen;
 pub use hermes_gist as gist;
 pub use hermes_retratree as retratree;
 pub use hermes_s2t as s2t;
+pub use hermes_server as server;
 pub use hermes_sql as sql;
 pub use hermes_storage as storage;
 pub use hermes_trajectory as trajectory;
@@ -50,12 +51,13 @@ pub use hermes_va as va;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use hermes_core::{DatasetInfo, EngineError, HermesEngine};
+    pub use hermes_core::{DatasetInfo, EngineError, EngineStats, HermesEngine, SharedEngine};
     pub use hermes_datagen::{
         AircraftScenarioBuilder, MaritimeScenarioBuilder, NoiseModel, UrbanScenarioBuilder,
     };
     pub use hermes_retratree::{QutParams, ReTraTree, ReTraTreeParams};
     pub use hermes_s2t::{run_s2t, ClusteringQuality, ClusteringResult, S2TParams};
+    pub use hermes_server::{ClientError, HermesClient, Server, ServerConfig};
     pub use hermes_sql::{Frame, QueryOutcome, Session, SqlError, Value, ValueType};
     pub use hermes_trajectory::{
         Duration, Mbb, Point, SubTrajectory, TimeInterval, Timestamp, Trajectory,
