@@ -1,0 +1,119 @@
+//! E10 — intra-query parallel scaling: one S2T / QuT query fanned out over
+//! the `hermes-exec` thread pool at 1/2/4/8 threads, reported as speedup
+//! over the serial executor.
+//!
+//! The S2T workload is the E2-sized aircraft scenario (same generator, same
+//! seed); QuT runs the standard maritime tree with a misaligned window so
+//! both level-3 reuse and border re-clustering are on the clock. Before any
+//! timing, every parallel configuration's answer is asserted equal to the
+//! serial answer — the scheduler is only allowed to change *when* work runs,
+//! never *what* comes out.
+
+use hermes_bench::harness::{bench, report, Sample};
+use hermes_bench::{
+    aircraft_s2t_params, aircraft_with, maritime_s2t_params, maritime_standard, qut_params,
+    tree_params,
+};
+use hermes_exec::{ExecPolicy, Executor};
+use hermes_retratree::{qut_clustering_with, ReTraTree};
+use hermes_s2t::run_s2t_with;
+use hermes_trajectory::{TimeInterval, Timestamp};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn speedup_table(title: &str, samples: &[Sample]) {
+    eprintln!("\n# E10 summary: {title}");
+    eprintln!("{:>8} {:>12} {:>9}", "threads", "median_ms", "speedup");
+    let serial_ms = samples[0].median_ms;
+    for (t, s) in THREADS.iter().zip(samples.iter()) {
+        eprintln!(
+            "{:>8} {:>12.1} {:>8.2}x",
+            t,
+            s.median_ms,
+            serial_ms / s.median_ms.max(1e-9)
+        );
+    }
+}
+
+fn main() {
+    // --- S2T scaling on the E2-sized aircraft workload ------------------
+    let scenario = aircraft_with(36, 0xE2);
+    let params = aircraft_s2t_params();
+    let executors: Vec<(usize, Executor)> = THREADS
+        .iter()
+        .map(|&threads| (threads, Executor::new(ExecPolicy { threads })))
+        .collect();
+
+    // Correctness gate: every thread count produces the serial answer.
+    let reference = run_s2t_with(&scenario.trajectories, &params, &executors[0].1);
+    for (threads, exec) in &executors[1..] {
+        let outcome = run_s2t_with(&scenario.trajectories, &params, exec);
+        assert_eq!(
+            outcome.profiles, reference.profiles,
+            "threads={threads}: votes diverged from serial"
+        );
+        assert_eq!(
+            outcome.result.num_clusters(),
+            reference.result.num_clusters(),
+            "threads={threads}: clusters diverged from serial"
+        );
+    }
+
+    // Where the serial time goes (every phase except the index build fans
+    // out, so this is the parallelizable fraction Amdahl's law works on).
+    let t = reference.timings;
+    eprintln!(
+        "serial S2T phases: index_build {:.1} ms | voting {:.1} ms | segmentation {:.1} ms | \
+         sampling {:.1} ms | clustering {:.1} ms",
+        t.index_build_ms, t.voting_ms, t.segmentation_ms, t.sampling_ms, t.clustering_ms
+    );
+
+    let s2t_samples: Vec<Sample> = executors
+        .iter()
+        .map(|(threads, exec)| {
+            bench(format!("s2t/threads={threads}"), 10, || {
+                run_s2t_with(&scenario.trajectories, &params, exec)
+            })
+        })
+        .collect();
+    report("e10_parallel_scaling (S2T)", &s2t_samples);
+
+    // --- QuT scaling on the standard maritime tree ----------------------
+    let maritime = maritime_standard(0xE10);
+    let tree = ReTraTree::build_from(tree_params(maritime_s2t_params()), &maritime.trajectories);
+    let qp = qut_params(maritime_s2t_params());
+    let span = tree.lifespan().expect("populated tree");
+    // Misaligned window: reuse in the middle, re-clustering at the borders.
+    let w = TimeInterval::new(
+        Timestamp(span.start.millis() + 20 * 60_000),
+        Timestamp(span.end.millis() - 20 * 60_000),
+    );
+
+    let (qut_reference, _) = qut_clustering_with(&tree, &w, &qp, &executors[0].1);
+    for (threads, exec) in &executors[1..] {
+        let (result, _) = qut_clustering_with(&tree, &w, &qp, exec);
+        assert_eq!(
+            result.num_clusters(),
+            qut_reference.num_clusters(),
+            "threads={threads}: QuT clusters diverged from serial"
+        );
+        assert_eq!(
+            result.num_outliers(),
+            qut_reference.num_outliers(),
+            "threads={threads}: QuT outliers diverged from serial"
+        );
+    }
+
+    let qut_samples: Vec<Sample> = executors
+        .iter()
+        .map(|(threads, exec)| {
+            bench(format!("qut/threads={threads}"), 10, || {
+                qut_clustering_with(&tree, &w, &qp, exec)
+            })
+        })
+        .collect();
+    report("e10_parallel_scaling (QuT)", &qut_samples);
+
+    speedup_table("S2T throughput vs serial", &s2t_samples);
+    speedup_table("QuT throughput vs serial", &qut_samples);
+}

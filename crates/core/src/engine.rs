@@ -2,10 +2,12 @@
 
 use crate::error::EngineError;
 use crate::Result;
+use hermes_exec::{ExecPolicy, Executor};
 use hermes_retratree::{
-    qut_clustering, range_query_then_cluster, QutParams, QutStats, ReTraTree, ReTraTreeParams,
+    qut_clustering_with, range_query_then_cluster_with, QutParams, QutStats, ReTraTree,
+    ReTraTreeParams,
 };
-use hermes_s2t::{run_s2t, run_s2t_naive, ClusteringResult, S2TOutcome, S2TParams};
+use hermes_s2t::{run_s2t_naive_with, run_s2t_with, ClusteringResult, S2TOutcome, S2TParams};
 use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
 use std::collections::HashMap;
@@ -49,19 +51,70 @@ pub struct EngineStats {
     pub stored_records: usize,
     /// Buffer-pool hit/miss/eviction counters summed over every index.
     pub buffer: BufferStats,
+    /// Intra-query compute threads the engine currently uses.
+    pub threads: usize,
 }
 
 /// The Moving Object Database engine.
-#[derive(Default)]
 pub struct HermesEngine {
     catalog: Catalog,
     datasets: HashMap<DatasetId, Dataset>,
+    /// Intra-query parallelism: the policy and the executor built from it.
+    /// Every compute entry point (S2T, QuT, `BUILD INDEX`) fans out on this
+    /// executor; serial (1 thread) means everything runs inline.
+    exec_policy: ExecPolicy,
+    exec: Executor,
+}
+
+impl Default for HermesEngine {
+    fn default() -> Self {
+        HermesEngine::new()
+    }
 }
 
 impl HermesEngine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with the deployment-default execution policy
+    /// ([`ExecPolicy::from_env`]: `HERMES_THREADS`, else the machine's
+    /// available parallelism).
     pub fn new() -> Self {
-        HermesEngine::default()
+        HermesEngine::with_exec_policy(ExecPolicy::from_env())
+    }
+
+    /// Creates an empty engine with an explicit execution policy.
+    pub fn with_exec_policy(policy: ExecPolicy) -> Self {
+        HermesEngine {
+            catalog: Catalog::default(),
+            datasets: HashMap::new(),
+            exec_policy: policy,
+            exec: Executor::new(policy),
+        }
+    }
+
+    /// The current execution policy (surfaced by `SHOW THREADS`).
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec_policy
+    }
+
+    /// The engine's executor, for callers driving the compute crates
+    /// directly (benchmarks, examples).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Re-points the engine at a new execution policy (the `SET threads = N`
+    /// statement). The count is validated by [`ExecPolicy::new`] (`0` and
+    /// counts beyond [`ExecPolicy::MAX_THREADS`] are rejected — each pool
+    /// worker is a real OS thread, so this is reachable from remote
+    /// clients); an unchanged thread count keeps the existing pool (no
+    /// worker churn).
+    pub fn set_exec_policy(&mut self, policy: ExecPolicy) -> Result<()> {
+        let policy = ExecPolicy::new(policy.threads)
+            .map_err(|m| EngineError::InvalidParameters(format!("SET {m}")))?;
+        if policy.threads != self.exec_policy.threads {
+            self.exec = Executor::new(policy);
+            self.exec_policy = policy;
+        }
+        Ok(())
     }
 
     /// Registers a new, empty dataset.
@@ -130,7 +183,11 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        ds.tree = Some(ReTraTree::build_from(params, &ds.trajectories));
+        ds.tree = Some(ReTraTree::build_from_with(
+            params,
+            &ds.trajectories,
+            &self.exec,
+        ));
         Ok(ds.trajectories.len())
     }
 
@@ -154,7 +211,7 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        Ok(run_s2t(&ds.trajectories, params))
+        Ok(run_s2t_with(&ds.trajectories, params, &self.exec))
     }
 
     /// Runs S2T-Clustering with the naive (index-free) voting — the
@@ -165,7 +222,7 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        Ok(run_s2t_naive(&ds.trajectories, params))
+        Ok(run_s2t_naive_with(&ds.trajectories, params, &self.exec))
     }
 
     /// Answers `QUT(D, Wi, We, …)` from the dataset's ReTraTree.
@@ -177,7 +234,7 @@ impl HermesEngine {
     ) -> Result<(ClusteringResult, QutStats)> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let tree = self.tree(name)?;
-        Ok(qut_clustering(tree, window, params))
+        Ok(qut_clustering_with(tree, window, params, &self.exec))
     }
 
     /// The rebuild-from-scratch strategy the demo compares QuT against
@@ -190,7 +247,9 @@ impl HermesEngine {
     ) -> Result<(ClusteringResult, QutStats)> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let tree = self.tree(name)?;
-        Ok(range_query_then_cluster(tree, window, params))
+        Ok(range_query_then_cluster_with(
+            tree, window, params, &self.exec,
+        ))
     }
 
     /// Summary of a dataset.
@@ -211,6 +270,7 @@ impl HermesEngine {
     pub fn stats(&self) -> EngineStats {
         let mut stats = EngineStats {
             datasets: self.datasets.len(),
+            threads: self.exec_policy.threads,
             ..EngineStats::default()
         };
         for ds in self.datasets.values() {
@@ -391,6 +451,69 @@ mod tests {
         assert!(after.indexed_partitions > 0);
         assert!(after.stored_records > 0);
         assert!(after.buffer.hits + after.buffer.misses > 0);
+    }
+
+    #[test]
+    fn exec_policy_is_settable_and_rejects_zero() {
+        let mut e = HermesEngine::with_exec_policy(ExecPolicy::serial());
+        assert_eq!(e.exec_policy().threads, 1);
+        assert!(!e.executor().is_parallel());
+        e.set_exec_policy(ExecPolicy { threads: 3 }).unwrap();
+        assert_eq!(e.exec_policy().threads, 3);
+        assert!(e.executor().is_parallel());
+        assert_eq!(e.stats().threads, 3);
+        let err = e.set_exec_policy(ExecPolicy { threads: 0 }).unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidParameters(ref m) if m.contains("positive")),
+            "{err}"
+        );
+        // Unbounded requests are rejected too — each worker is an OS thread.
+        let err = e
+            .set_exec_policy(ExecPolicy { threads: 1_000_000 })
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::InvalidParameters(ref m) if m.contains("at most")),
+            "{err}"
+        );
+        // The rejected policies left the engine untouched.
+        assert_eq!(e.exec_policy().threads, 3);
+    }
+
+    #[test]
+    fn parallel_engine_results_match_serial() {
+        let serial = {
+            let mut e = HermesEngine::with_exec_policy(ExecPolicy::serial());
+            populate(&mut e);
+            e
+        };
+        let parallel = {
+            let mut e = HermesEngine::with_exec_policy(ExecPolicy { threads: 4 });
+            populate(&mut e);
+            e
+        };
+        let a = serial.run_s2t("flights", &s2t_params()).unwrap();
+        let b = parallel.run_s2t("flights", &s2t_params()).unwrap();
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.result.num_clusters(), b.result.num_clusters());
+        assert_eq!(a.result.num_outliers(), b.result.num_outliers());
+
+        let w = TimeInterval::new(Timestamp(0), Timestamp(3_600_000));
+        let qp = QutParams {
+            s2t: s2t_params(),
+            ..QutParams::default()
+        };
+        let (ra, sa) = serial.run_qut("flights", &w, &qp).unwrap();
+        let (rb, sb) = parallel.run_qut("flights", &w, &qp).unwrap();
+        assert_eq!(ra.num_clusters(), rb.num_clusters());
+        assert_eq!(ra.num_outliers(), rb.num_outliers());
+        assert_eq!(sa.loaded_sub_trajectories, sb.loaded_sub_trajectories);
+
+        fn populate(e: &mut HermesEngine) {
+            e.create_dataset("flights").unwrap();
+            let trajs: Vec<Trajectory> = (0..14).map(|i| traj(i, i as f64 * 10.0, 0)).collect();
+            e.load_trajectories("flights", trajs).unwrap();
+            e.build_index("flights", tree_params()).unwrap();
+        }
     }
 
     #[test]

@@ -18,5 +18,9 @@ pub use engine::{DatasetInfo, EngineStats, HermesEngine};
 pub use error::EngineError;
 pub use shared::SharedEngine;
 
+// Re-exported so front ends (SQL executor, server, CLI) can configure
+// intra-query parallelism without depending on `hermes-exec` directly.
+pub use hermes_exec::{ExecPolicy, Executor};
+
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

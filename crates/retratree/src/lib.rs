@@ -36,5 +36,8 @@ pub mod tree;
 
 pub use node::{Chunk, ClusterEntry, SubChunk};
 pub use params::{QutParams, QutParamsBuilder, ReTraTreeParams, ReTraTreeParamsBuilder};
-pub use qut::{qut_clustering, range_query_then_cluster, QutStats};
+pub use qut::{
+    qut_clustering, qut_clustering_with, range_query_then_cluster, range_query_then_cluster_with,
+    QutStats,
+};
 pub use tree::{MaintenanceStats, ReTraTree};

@@ -12,9 +12,11 @@
 //! sub-chunks are merged when their representatives are close in space and
 //! time, so a cluster that spans a chunk boundary is reported once.
 
+use crate::node::SubChunk;
 use crate::params::QutParams;
 use crate::tree::ReTraTree;
-use hermes_s2t::{run_s2t, trajectories_from_subs, Cluster, ClusteringResult, S2TParams};
+use hermes_exec::Executor;
+use hermes_s2t::{run_s2t_with, trajectories_from_subs, Cluster, ClusteringResult, S2TParams};
 use hermes_trajectory::{
     hausdorff_distance, spatiotemporal_distance, sub_trajectory_distance, SubTrajectory,
     TimeInterval,
@@ -36,79 +38,144 @@ pub struct QutStats {
     pub elapsed_ms: f64,
 }
 
+impl QutStats {
+    /// Folds another worker's counters into this one. Under parallel QuT each
+    /// sub-chunk task accumulates into its own `QutStats`; the single merge
+    /// pass sums them in temporal order, so `SHOW STATS`-visible counters are
+    /// exact (no concurrent increments, hence no lost updates). `elapsed_ms`
+    /// is deliberately not summed — per-task times overlap in wall-clock; the
+    /// query sets it once at the end.
+    pub fn merge(&mut self, other: &QutStats) {
+        self.reused_subchunks += other.reused_subchunks;
+        self.reclustered_subchunks += other.reclustered_subchunks;
+        self.loaded_sub_trajectories += other.loaded_sub_trajectories;
+        self.merges += other.merges;
+    }
+}
+
+/// What one sub-chunk contributes to a window answer: clusters (ids assigned
+/// later, during the deterministic merge), outliers, and its own counters.
+struct SubChunkAnswer {
+    clusters: Vec<Cluster>,
+    outliers: Vec<SubTrajectory>,
+    stats: QutStats,
+}
+
+/// Answers one sub-chunk of `QUT(W)`: reuse the level-3 entries when `W`
+/// fully covers the sub-chunk, re-cluster the window overlap otherwise.
+/// Reads only (`&ReTraTree`; storage reads go through the `Mutex`-guarded
+/// buffer pool), so any number of these run in parallel.
+fn answer_subchunk(
+    tree: &ReTraTree,
+    sc: &SubChunk,
+    w: &TimeInterval,
+    params: &QutParams,
+    exec: &Executor,
+) -> SubChunkAnswer {
+    let mut answer = SubChunkAnswer {
+        clusters: Vec::new(),
+        outliers: Vec::new(),
+        stats: QutStats::default(),
+    };
+    if w.contains_interval(&sc.interval) {
+        // Fully covered: reuse the level-3 entries as they are.
+        answer.stats.reused_subchunks += 1;
+        for entry in &sc.clusters {
+            let mut members = Vec::with_capacity(entry.members.len());
+            let mut member_distances = Vec::with_capacity(entry.members.len());
+            for loc in &entry.members {
+                if let Some(sub) = tree.load(*loc) {
+                    answer.stats.loaded_sub_trajectories += 1;
+                    let d = spatiotemporal_distance(&sub, &entry.representative);
+                    members.push(sub);
+                    member_distances.push(if d.is_finite() { d } else { f64::MAX });
+                }
+            }
+            answer.clusters.push(Cluster {
+                id: 0, // assigned during the sequential merge
+                representative: entry.representative.clone(),
+                representative_vote: entry.representative_vote,
+                members,
+                member_distances,
+            });
+        }
+        for loc in &sc.outliers {
+            if let Some(sub) = tree.load(*loc) {
+                answer.stats.loaded_sub_trajectories += 1;
+                answer.outliers.push(sub);
+            }
+        }
+    } else {
+        // Border sub-chunk: restrict the stored data to W and re-cluster it
+        // on the fly.
+        answer.stats.reclustered_subchunks += 1;
+        let overlap = sc
+            .interval
+            .intersection(w)
+            .expect("caller checked intersects(w)");
+        let mut clipped: Vec<SubTrajectory> = Vec::new();
+        for loc in sc.index.query_temporal(&overlap) {
+            if let Some(sub) = tree.load(*loc) {
+                answer.stats.loaded_sub_trajectories += 1;
+                if let Some(c) = sub.temporal_clip(&overlap) {
+                    clipped.push(c);
+                }
+            }
+        }
+        let (border_clusters, border_outliers) =
+            cluster_sub_trajectories(&clipped, &params.s2t, exec);
+        answer.clusters = border_clusters;
+        answer.outliers = border_outliers;
+    }
+    answer
+}
+
 /// Answers `QUT(W)` against a ReTraTree.
 pub fn qut_clustering(
     tree: &ReTraTree,
     w: &TimeInterval,
     params: &QutParams,
 ) -> (ClusteringResult, QutStats) {
+    qut_clustering_with(tree, w, params, &Executor::serial())
+}
+
+/// [`qut_clustering`] fanned out over the ReTraTree's temporal partitions on
+/// `exec`: every intersecting sub-chunk is answered independently (level-3
+/// reuse or border re-clustering — the latter itself fans out through the
+/// same executor), then the per-sub-chunk answers are folded in temporal
+/// order. Cluster ids, the cross-boundary merge and the final sort are all
+/// sequential over that deterministic order, so the result is identical to
+/// the serial path for any thread count.
+pub fn qut_clustering_with(
+    tree: &ReTraTree,
+    w: &TimeInterval,
+    params: &QutParams,
+    exec: &Executor,
+) -> (ClusteringResult, QutStats) {
     let start = Instant::now();
+
+    // The sub-chunks intersecting W, in temporal order.
+    let targets: Vec<&SubChunk> = tree
+        .chunks()
+        .filter(|chunk| chunk.interval.intersects(w))
+        .flat_map(|chunk| chunk.subchunks.iter())
+        .filter(|sc| sc.interval.intersects(w))
+        .collect();
+
+    // Fan out: one task per sub-chunk, each with its own QutStats.
+    let answers = exec.map(&targets, |_, sc| answer_subchunk(tree, sc, w, params, exec));
+
+    // Deterministic fold in temporal order.
     let mut stats = QutStats::default();
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut outliers: Vec<SubTrajectory> = Vec::new();
-
-    for chunk in tree.chunks() {
-        if !chunk.interval.intersects(w) {
-            continue;
+    for mut answer in answers {
+        stats.merge(&answer.stats);
+        for mut c in answer.clusters.drain(..) {
+            c.id = clusters.len();
+            clusters.push(c);
         }
-        for sc in &chunk.subchunks {
-            if !sc.interval.intersects(w) {
-                continue;
-            }
-            if w.contains_interval(&sc.interval) {
-                // Fully covered: reuse the level-3 entries as they are.
-                stats.reused_subchunks += 1;
-                for entry in &sc.clusters {
-                    let mut members = Vec::with_capacity(entry.members.len());
-                    let mut member_distances = Vec::with_capacity(entry.members.len());
-                    for loc in &entry.members {
-                        if let Some(sub) = tree.load(*loc) {
-                            stats.loaded_sub_trajectories += 1;
-                            let d = spatiotemporal_distance(&sub, &entry.representative);
-                            members.push(sub);
-                            member_distances.push(if d.is_finite() { d } else { f64::MAX });
-                        }
-                    }
-                    clusters.push(Cluster {
-                        id: clusters.len(),
-                        representative: entry.representative.clone(),
-                        representative_vote: entry.representative_vote,
-                        members,
-                        member_distances,
-                    });
-                }
-                for loc in &sc.outliers {
-                    if let Some(sub) = tree.load(*loc) {
-                        stats.loaded_sub_trajectories += 1;
-                        outliers.push(sub);
-                    }
-                }
-            } else {
-                // Border sub-chunk: restrict the stored data to W and
-                // re-cluster it on the fly.
-                stats.reclustered_subchunks += 1;
-                let overlap = sc
-                    .interval
-                    .intersection(w)
-                    .expect("intersects(w) checked above");
-                let mut clipped: Vec<SubTrajectory> = Vec::new();
-                for loc in sc.index.query_temporal(&overlap) {
-                    if let Some(sub) = tree.load(*loc) {
-                        stats.loaded_sub_trajectories += 1;
-                        if let Some(c) = sub.temporal_clip(&overlap) {
-                            clipped.push(c);
-                        }
-                    }
-                }
-                let (mut border_clusters, mut border_outliers) =
-                    cluster_sub_trajectories(&clipped, &params.s2t);
-                for mut c in border_clusters.drain(..) {
-                    c.id = clusters.len();
-                    clusters.push(c);
-                }
-                outliers.append(&mut border_outliers);
-            }
-        }
+        outliers.append(&mut answer.outliers);
     }
 
     // Merge clusters that continue across sub-chunk boundaries.
@@ -133,6 +200,16 @@ pub fn range_query_then_cluster(
     w: &TimeInterval,
     s2t: &S2TParams,
 ) -> (ClusteringResult, QutStats) {
+    range_query_then_cluster_with(tree, w, s2t, &Executor::serial())
+}
+
+/// [`range_query_then_cluster`] with the fresh S2T run fanned out on `exec`.
+pub fn range_query_then_cluster_with(
+    tree: &ReTraTree,
+    w: &TimeInterval,
+    s2t: &S2TParams,
+    exec: &Executor,
+) -> (ClusteringResult, QutStats) {
     let start = Instant::now();
     let mut stats = QutStats::default();
 
@@ -143,7 +220,7 @@ pub fn range_query_then_cluster(
 
     // (ii) + (iii): run_s2t builds its segment index (the fresh R-tree) and
     // applies the full clustering pipeline from scratch.
-    let (clusters, outliers) = cluster_sub_trajectories(&clipped, s2t);
+    let (clusters, outliers) = cluster_sub_trajectories(&clipped, s2t, exec);
 
     stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
     (ClusteringResult { clusters, outliers }, stats)
@@ -154,12 +231,13 @@ pub fn range_query_then_cluster(
 fn cluster_sub_trajectories(
     subs: &[SubTrajectory],
     s2t: &S2TParams,
+    exec: &Executor,
 ) -> (Vec<Cluster>, Vec<SubTrajectory>) {
     if subs.is_empty() {
         return (Vec::new(), Vec::new());
     }
     let trajs = trajectories_from_subs(subs);
-    let outcome = run_s2t(&trajs, s2t);
+    let outcome = run_s2t_with(&trajs, s2t, exec);
     (outcome.result.clusters, outcome.result.outliers)
 }
 
@@ -421,6 +499,62 @@ mod tests {
             "the group must be reported as a single cluster, got {}",
             result.num_clusters()
         );
+    }
+
+    #[test]
+    fn parallel_qut_matches_serial_exactly() {
+        let tree = build_tree();
+        // A misaligned window forces both code paths: level-3 reuse for the
+        // covered sub-chunks and border re-clustering at the edges.
+        let w = TimeInterval::new(Timestamp(20 * 60_000), Timestamp(9 * 3_600_000));
+        let (serial, serial_stats) = qut_clustering(&tree, &w, &qut_params());
+        for threads in [2usize, 4] {
+            let exec = Executor::new(hermes_exec::ExecPolicy { threads });
+            let (parallel, stats) = qut_clustering_with(&tree, &w, &qut_params(), &exec);
+            assert_eq!(parallel.num_clusters(), serial.num_clusters());
+            assert_eq!(parallel.num_outliers(), serial.num_outliers());
+            for (a, b) in parallel.clusters.iter().zip(serial.clusters.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.representative.id, b.representative.id);
+                assert_eq!(a.representative.points(), b.representative.points());
+                assert_eq!(a.member_distances, b.member_distances);
+            }
+            // Every counter except wall-clock time is exact.
+            assert_eq!(stats.reused_subchunks, serial_stats.reused_subchunks);
+            assert_eq!(
+                stats.reclustered_subchunks,
+                serial_stats.reclustered_subchunks
+            );
+            assert_eq!(
+                stats.loaded_sub_trajectories,
+                serial_stats.loaded_sub_trajectories
+            );
+            assert_eq!(stats.merges, serial_stats.merges);
+        }
+    }
+
+    #[test]
+    fn qut_stats_merge_sums_counters_but_not_time() {
+        let mut a = QutStats {
+            reused_subchunks: 1,
+            reclustered_subchunks: 2,
+            loaded_sub_trajectories: 30,
+            merges: 4,
+            elapsed_ms: 10.0,
+        };
+        let b = QutStats {
+            reused_subchunks: 5,
+            reclustered_subchunks: 6,
+            loaded_sub_trajectories: 70,
+            merges: 8,
+            elapsed_ms: 99.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.reused_subchunks, 6);
+        assert_eq!(a.reclustered_subchunks, 8);
+        assert_eq!(a.loaded_sub_trajectories, 100);
+        assert_eq!(a.merges, 12);
+        assert_eq!(a.elapsed_ms, 10.0, "overlapping wall-clock must not sum");
     }
 
     #[test]

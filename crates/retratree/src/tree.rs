@@ -3,7 +3,8 @@
 
 use crate::node::{Chunk, ClusterEntry, SubChunk};
 use crate::params::ReTraTreeParams;
-use hermes_s2t::{run_s2t, trajectories_from_subs};
+use hermes_exec::Executor;
+use hermes_s2t::{run_s2t_with, trajectories_from_subs, S2TOutcome};
 use hermes_storage::{PartitionKind, PartitionStore, RecordLocator};
 use hermes_trajectory::{
     spatiotemporal_distance, Duration, SubTrajectory, SubTrajectoryId, TimeInterval, Timestamp,
@@ -226,23 +227,39 @@ impl ReTraTree {
     /// new representatives and re-parking whatever remains unclustered — the
     /// Voting → Segmentation → Sampling → GreedyClustering loop of Fig. 2.
     fn reorganize_subchunk(&mut self, chunk_key: i64, sc_index: usize) {
-        self.stats.reorganizations += 1;
+        let outcome = self.cluster_subchunk_outliers(chunk_key, sc_index, &Executor::serial());
+        self.apply_reorganization(chunk_key, sc_index, &outcome);
+    }
 
-        // 1. Pull the current outliers out of storage.
-        let (old_partition, outlier_locs) = {
-            let sc = &self.chunks[&chunk_key].subchunks[sc_index];
-            (sc.outlier_partition, sc.outliers.clone())
-        };
-        let mut outlier_subs = Vec::with_capacity(outlier_locs.len());
-        for loc in &outlier_locs {
+    /// The read-only half of a reorganization: load the sub-chunk's current
+    /// outliers and run S2T on them. Takes `&self` (storage reads go through
+    /// the `Mutex`-guarded buffer pool), so [`ReTraTree::reorganize_all_with`]
+    /// fans these out over sub-chunks in parallel.
+    fn cluster_subchunk_outliers(
+        &self,
+        chunk_key: i64,
+        sc_index: usize,
+        exec: &Executor,
+    ) -> S2TOutcome {
+        let sc = &self.chunks[&chunk_key].subchunks[sc_index];
+        let mut outlier_subs = Vec::with_capacity(sc.outliers.len());
+        for loc in &sc.outliers {
             if let Ok(Some(sub)) = self.store.read(*loc) {
                 outlier_subs.push(sub);
             }
         }
-
-        // 2. Run S2T on them.
         let trajs = trajectories_from_subs(&outlier_subs);
-        let outcome = run_s2t(&trajs, &self.params.s2t);
+        run_s2t_with(&trajs, &self.params.s2t, exec)
+    }
+
+    /// The mutating half of a reorganization: install the clustering computed
+    /// by [`ReTraTree::cluster_subchunk_outliers`] into the sub-chunk. Always
+    /// runs sequentially (it allocates partitions and appends records), so
+    /// partition ids and locators come out in the same order however the
+    /// clustering phase was scheduled.
+    fn apply_reorganization(&mut self, chunk_key: i64, sc_index: usize, outcome: &S2TOutcome) {
+        self.stats.reorganizations += 1;
+        let old_partition = self.chunks[&chunk_key].subchunks[sc_index].outlier_partition;
 
         // 3. Rebuild the sub-chunk's outlier partition and add the promoted
         //    representatives with their member partitions.
@@ -344,6 +361,15 @@ impl ReTraTree {
     /// clustering, which QuT later reuses. Returns the number of sub-chunks
     /// reorganized.
     pub fn reorganize_all(&mut self, min_outliers: usize) -> usize {
+        self.reorganize_all_with(min_outliers, &Executor::serial())
+    }
+
+    /// [`ReTraTree::reorganize_all`] with the per-sub-chunk S2T runs fanned
+    /// out on `exec`. Construction is two-phase: every target sub-chunk's
+    /// outliers are clustered in parallel (reads only), then the results are
+    /// installed sequentially in temporal order — so partition allocation,
+    /// locators and maintenance counters are identical to the serial build.
+    pub fn reorganize_all_with(&mut self, min_outliers: usize, exec: &Executor) -> usize {
         let targets: Vec<(i64, usize)> = self
             .chunks
             .iter()
@@ -357,8 +383,14 @@ impl ReTraTree {
                     .collect::<Vec<_>>()
             })
             .collect();
-        for (key, sc_index) in &targets {
-            self.reorganize_subchunk(*key, *sc_index);
+        let outcomes = {
+            let this: &ReTraTree = self;
+            exec.map(&targets, |_, &(key, sc_index)| {
+                this.cluster_subchunk_outliers(key, sc_index, exec)
+            })
+        };
+        for (&(key, sc_index), outcome) in targets.iter().zip(&outcomes) {
+            self.apply_reorganization(key, sc_index, outcome);
         }
         targets.len()
     }
@@ -367,11 +399,23 @@ impl ReTraTree {
     /// then each populated sub-chunk is clustered (the construction algorithm
     /// of the DMKD paper). Incremental maintenance continues from there.
     pub fn build_from(params: ReTraTreeParams, trajectories: &[Trajectory]) -> Self {
+        Self::build_from_with(params, trajectories, &Executor::serial())
+    }
+
+    /// [`ReTraTree::build_from`] with the bulk clustering pass fanned out on
+    /// `exec`. Insertion (temporal routing) stays sequential — it is cheap
+    /// and order-sensitive; the expensive per-partition S2T runs parallelize.
+    /// The resulting tree is identical to the serial build.
+    pub fn build_from_with(
+        params: ReTraTreeParams,
+        trajectories: &[Trajectory],
+        exec: &Executor,
+    ) -> Self {
         let mut tree = ReTraTree::new(params);
         for t in trajectories {
             tree.insert_trajectory(t);
         }
-        tree.reorganize_all(2);
+        tree.reorganize_all_with(2, exec);
         tree
     }
 
@@ -505,6 +549,33 @@ mod tests {
         assert_eq!(rows.len(), 4, "one chunk × 4 sub-chunks");
         let populated: usize = rows.iter().map(|r| r.3).sum();
         assert_eq!(populated, tree.total_population());
+    }
+
+    #[test]
+    fn parallel_build_produces_an_identical_tree() {
+        let data: Vec<Trajectory> = (0..40)
+            .map(|i| traj(i, i as f64 * 5.0, (i as i64 % 3) * 3_600_000, 3_500_000))
+            .collect();
+        let serial = ReTraTree::build_from(params(), &data);
+        let exec = Executor::new(hermes_exec::ExecPolicy { threads: 4 });
+        let parallel = ReTraTree::build_from_with(params(), &data, &exec);
+        assert_eq!(parallel.total_population(), serial.total_population());
+        assert_eq!(parallel.total_clusters(), serial.total_clusters());
+        assert_eq!(parallel.stats(), serial.stats());
+        assert_eq!(parallel.describe(), serial.describe());
+        // The level-3 entries line up one-to-one, representative by
+        // representative, partition id by partition id.
+        for (sp, pp) in serial.chunks().zip(parallel.chunks()) {
+            for (ss, ps) in sp.subchunks.iter().zip(pp.subchunks.iter()) {
+                assert_eq!(ss.num_clusters(), ps.num_clusters());
+                for (a, b) in ss.clusters.iter().zip(ps.clusters.iter()) {
+                    assert_eq!(a.representative.id, b.representative.id);
+                    assert_eq!(a.partition, b.partition);
+                    assert_eq!(a.members, b.members);
+                }
+                assert_eq!(ss.outliers, ps.outliers);
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::params::S2TParams;
 use crate::segmentation::VotedSubTrajectory;
+use hermes_exec::Executor;
 use hermes_trajectory::{spatiotemporal_distance, SubTrajectory, TimeInterval};
 
 /// Identifier of a cluster within one clustering result.
@@ -114,12 +115,33 @@ impl ClusteringResult {
     }
 }
 
+/// How one sub-trajectory relates to the representatives: it is one itself,
+/// joins the closest one, or fits none.
+enum Assignment {
+    Seed,
+    Member(usize, f64),
+    Outlier,
+}
+
 /// Groups `subs` around the representatives at `representative_indices`
 /// (produced by [`crate::sampling::select_representatives`]).
 pub fn cluster_around_representatives(
     subs: &[VotedSubTrajectory],
     representative_indices: &[usize],
     params: &S2TParams,
+) -> ClusteringResult {
+    cluster_around_representatives_with(subs, representative_indices, params, &Executor::serial())
+}
+
+/// [`cluster_around_representatives`] with the per-sub-trajectory
+/// nearest-representative searches fanned out on `exec`. Assignments are
+/// applied in input order, so member lists and outliers come out exactly as
+/// in the serial pass.
+pub fn cluster_around_representatives_with(
+    subs: &[VotedSubTrajectory],
+    representative_indices: &[usize],
+    params: &S2TParams,
+    exec: &Executor,
 ) -> ClusteringResult {
     let mut clusters: Vec<Cluster> = representative_indices
         .iter()
@@ -134,9 +156,9 @@ pub fn cluster_around_representatives(
         .collect();
     let mut outliers = Vec::new();
 
-    for (i, s) in subs.iter().enumerate() {
+    let assignments = exec.map(subs, |i, s| {
         if representative_indices.contains(&i) {
-            continue;
+            return Assignment::Seed;
         }
         let mut best: Option<(usize, f64)> = None;
         for (ci, c) in clusters.iter().enumerate() {
@@ -146,11 +168,19 @@ pub fn cluster_around_representatives(
             }
         }
         match best {
-            Some((ci, d)) => {
-                clusters[ci].members.push(s.sub.clone());
+            Some((ci, d)) => Assignment::Member(ci, d),
+            None => Assignment::Outlier,
+        }
+    });
+
+    for (i, assignment) in assignments.into_iter().enumerate() {
+        match assignment {
+            Assignment::Seed => {}
+            Assignment::Member(ci, d) => {
+                clusters[ci].members.push(subs[i].sub.clone());
                 clusters[ci].member_distances.push(d);
             }
-            None => outliers.push(s.sub.clone()),
+            Assignment::Outlier => outliers.push(subs[i].sub.clone()),
         }
     }
 

@@ -32,12 +32,17 @@ pub mod sampling;
 pub mod segmentation;
 pub mod voting;
 
-pub use clustering::cluster_around_representatives;
+pub use clustering::{cluster_around_representatives, cluster_around_representatives_with};
 pub use clustering::{Cluster, ClusterId, ClusteringResult};
 pub use metrics::ClusteringQuality;
 pub use params::{S2TParams, S2TParamsBuilder};
 pub use pipeline::trajectories_from_subs;
-pub use pipeline::{run_s2t, run_s2t_naive, S2TOutcome, S2TPhaseTimings};
-pub use sampling::select_representatives;
-pub use segmentation::{segment_all, segment_trajectory, VotedSubTrajectory};
-pub use voting::{indexed_voting, naive_voting, SegmentIndex, VotingProfile};
+pub use pipeline::{
+    run_s2t, run_s2t_naive, run_s2t_naive_with, run_s2t_with, S2TOutcome, S2TPhaseTimings,
+};
+pub use sampling::{select_representatives, select_representatives_with};
+pub use segmentation::{segment_all, segment_all_with, segment_trajectory, VotedSubTrajectory};
+pub use voting::{
+    indexed_voting, indexed_voting_with, naive_voting, naive_voting_with, SegmentIndex,
+    VotingProfile,
+};

@@ -5,11 +5,12 @@
 //! harness uses to regenerate the paper's speedup claims (experiments E1 and
 //! E3).
 
-use crate::clustering::{cluster_around_representatives, ClusteringResult};
+use crate::clustering::{cluster_around_representatives_with, ClusteringResult};
 use crate::params::S2TParams;
-use crate::sampling::select_representatives;
-use crate::segmentation::{segment_all, VotedSubTrajectory};
-use crate::voting::{indexed_voting, naive_voting, SegmentIndex, VotingProfile};
+use crate::sampling::select_representatives_with;
+use crate::segmentation::{segment_all_with, VotedSubTrajectory};
+use crate::voting::{indexed_voting_with, naive_voting_with, SegmentIndex, VotingProfile};
+use hermes_exec::Executor;
 use hermes_trajectory::{SubTrajectory, Trajectory};
 use std::time::Instant;
 
@@ -57,7 +58,12 @@ fn ms(from: Instant) -> f64 {
     from.elapsed().as_secs_f64() * 1_000.0
 }
 
-fn run_pipeline(trajectories: &[Trajectory], params: &S2TParams, use_index: bool) -> S2TOutcome {
+fn run_pipeline(
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    use_index: bool,
+    exec: &Executor,
+) -> S2TOutcome {
     let mut timings = S2TPhaseTimings::default();
 
     let t0 = Instant::now();
@@ -70,21 +76,21 @@ fn run_pipeline(trajectories: &[Trajectory], params: &S2TParams, use_index: bool
 
     let t0 = Instant::now();
     let profiles = match &index {
-        Some(idx) => indexed_voting(trajectories, idx, params),
-        None => naive_voting(trajectories, params),
+        Some(idx) => indexed_voting_with(trajectories, idx, params, exec),
+        None => naive_voting_with(trajectories, params, exec),
     };
     timings.voting_ms = ms(t0);
 
     let t0 = Instant::now();
-    let subs = segment_all(trajectories, &profiles, params);
+    let subs = segment_all_with(trajectories, &profiles, params, exec);
     timings.segmentation_ms = ms(t0);
 
     let t0 = Instant::now();
-    let representatives = select_representatives(&subs, params);
+    let representatives = select_representatives_with(&subs, params, exec);
     timings.sampling_ms = ms(t0);
 
     let t0 = Instant::now();
-    let result = cluster_around_representatives(&subs, &representatives, params);
+    let result = cluster_around_representatives_with(&subs, &representatives, params, exec);
     timings.clustering_ms = ms(t0);
 
     S2TOutcome {
@@ -98,13 +104,33 @@ fn run_pipeline(trajectories: &[Trajectory], params: &S2TParams, use_index: bool
 /// Runs the full S2T-Clustering pipeline with index-accelerated voting — the
 /// in-DBMS fast path of the paper.
 pub fn run_s2t(trajectories: &[Trajectory], params: &S2TParams) -> S2TOutcome {
-    run_pipeline(trajectories, params, true)
+    run_pipeline(trajectories, params, true, &Executor::serial())
+}
+
+/// [`run_s2t`] with every data-parallel phase (voting, segmentation, the
+/// sampling discount sweep, clustering) fanned out on `exec`. The result is
+/// bit-identical to [`run_s2t`] for any thread count.
+pub fn run_s2t_with(
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    exec: &Executor,
+) -> S2TOutcome {
+    run_pipeline(trajectories, params, true, exec)
 }
 
 /// Runs the same pipeline with quadratic (index-free) voting — the baseline
 /// standing in for "corresponding PostgreSQL functions" in experiment E1.
 pub fn run_s2t_naive(trajectories: &[Trajectory], params: &S2TParams) -> S2TOutcome {
-    run_pipeline(trajectories, params, false)
+    run_pipeline(trajectories, params, false, &Executor::serial())
+}
+
+/// [`run_s2t_naive`] fanned out on `exec`.
+pub fn run_s2t_naive_with(
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    exec: &Executor,
+) -> S2TOutcome {
+    run_pipeline(trajectories, params, false, exec)
 }
 
 /// Re-wraps sub-trajectories as standalone trajectories so the pipeline can

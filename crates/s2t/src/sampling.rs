@@ -12,6 +12,7 @@
 
 use crate::params::S2TParams;
 use crate::segmentation::VotedSubTrajectory;
+use hermes_exec::Executor;
 use hermes_trajectory::spatiotemporal_distance;
 
 /// Similarity in [0, 1] describing how much of `candidate`'s neighbourhood an
@@ -32,6 +33,20 @@ fn coverage_overlap(
 /// Greedily selects the indices of the sub-trajectories that will seed the
 /// clusters, in selection order.
 pub fn select_representatives(subs: &[VotedSubTrajectory], params: &S2TParams) -> Vec<usize> {
+    select_representatives_with(subs, params, &Executor::serial())
+}
+
+/// [`select_representatives`] with the per-pick coverage-discount sweep (the
+/// `O(candidates)` spatio-temporal distance evaluations after every
+/// selection) fanned out on `exec`. The greedy selection itself stays
+/// sequential — each pick depends on all previous discounts — and the
+/// discounts are applied in index order, so selection is identical to the
+/// serial path.
+pub fn select_representatives_with(
+    subs: &[VotedSubTrajectory],
+    params: &S2TParams,
+    exec: &Executor,
+) -> Vec<usize> {
     if subs.is_empty() {
         return Vec::new();
     }
@@ -83,18 +98,42 @@ pub fn select_representatives(subs: &[VotedSubTrajectory], params: &S2TParams) -
 
         selected.push(idx);
         // Discount the remaining candidates by their overlap with the new
-        // pick, and retire those already covered by it.
-        for (i, g) in gain.iter_mut().enumerate() {
-            if !eligible[i] || selected.contains(&i) {
-                continue;
+        // pick, and retire those already covered by it. The distance
+        // evaluations are independent per candidate, so on a parallel
+        // executor they fan out and the updates are applied in index order —
+        // the same order the serial in-place sweep produces.
+        if exec.is_parallel() {
+            let updates: Vec<Option<(f64, bool)>> = exec.map_indices(subs.len(), |i| {
+                if !eligible[i] || selected.contains(&i) {
+                    return None;
+                }
+                let d = spatiotemporal_distance(&subs[i].sub, &subs[idx].sub);
+                if d <= params.epsilon {
+                    return Some((0.0, false));
+                }
+                let overlap = coverage_overlap(&subs[i], &subs[idx], params.epsilon);
+                Some((gain[i] * (1.0 - overlap), true))
+            });
+            for (i, update) in updates.into_iter().enumerate() {
+                match update {
+                    Some((g, true)) => gain[i] = g,
+                    Some((_, false)) => eligible[i] = false,
+                    None => {}
+                }
             }
-            let d = spatiotemporal_distance(&subs[i].sub, &subs[idx].sub);
-            if d <= params.epsilon {
-                eligible[i] = false;
-                continue;
+        } else {
+            for (i, g) in gain.iter_mut().enumerate() {
+                if !eligible[i] || selected.contains(&i) {
+                    continue;
+                }
+                let d = spatiotemporal_distance(&subs[i].sub, &subs[idx].sub);
+                if d <= params.epsilon {
+                    eligible[i] = false;
+                    continue;
+                }
+                let overlap = coverage_overlap(&subs[i], &subs[idx], params.epsilon);
+                *g *= 1.0 - overlap;
             }
-            let overlap = coverage_overlap(&subs[i], &subs[idx], params.epsilon);
-            *g *= 1.0 - overlap;
         }
     }
     selected

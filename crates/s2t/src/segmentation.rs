@@ -12,6 +12,7 @@
 
 use crate::params::S2TParams;
 use crate::voting::VotingProfile;
+use hermes_exec::Executor;
 use hermes_trajectory::{SubTrajectory, Trajectory};
 
 /// A sub-trajectory annotated with the voting evidence that produced it.
@@ -127,11 +128,25 @@ pub fn segment_all(
     profiles: &[VotingProfile],
     params: &S2TParams,
 ) -> Vec<VotedSubTrajectory> {
-    trajectories
-        .iter()
-        .zip(profiles.iter())
-        .flat_map(|(t, p)| segment_trajectory(t, p, params))
-        .collect()
+    segment_all_with(trajectories, profiles, params, &Executor::serial())
+}
+
+/// [`segment_all`] fanned out over trajectories on `exec`: each (trajectory,
+/// profile) pair segments independently, and the per-trajectory piece lists
+/// are concatenated in input order — identical to the serial `flat_map`.
+pub fn segment_all_with(
+    trajectories: &[Trajectory],
+    profiles: &[VotingProfile],
+    params: &S2TParams,
+    exec: &Executor,
+) -> Vec<VotedSubTrajectory> {
+    let n = trajectories.len().min(profiles.len());
+    exec.map_indices(n, |i| {
+        segment_trajectory(&trajectories[i], &profiles[i], params)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -23,8 +23,14 @@
 //!   the voted segment — the in-DBMS fast path of the paper;
 //! * [`naive_voting`] compares every pair of segments — the
 //!   "corresponding PostgreSQL functions" baseline of experiment E1.
+//!
+//! Both fan out over trajectories through a [`hermes_exec::Executor`]
+//! (`*_with` variants): each trajectory's votes depend only on the immutable
+//! input, so the profiles are computed in parallel and collected in input
+//! order — parallel output is bit-identical to serial.
 
 use crate::params::S2TParams;
+use hermes_exec::Executor;
 use hermes_gist::RTree3D;
 use hermes_trajectory::{Trajectory, TrajectoryId};
 
@@ -113,95 +119,193 @@ fn kernel(distance: f64, sigma: f64, cutoff: f64) -> f64 {
     }
 }
 
+thread_local! {
+    /// Best (minimum) distance per candidate voter trajectory, reused across
+    /// every trajectory a thread votes. Invariant: all entries are
+    /// `f64::INFINITY` between uses — each segment resets exactly the
+    /// entries it touched — so a worker picks it up clean without an O(n)
+    /// refill per trajectory.
+    static BEST_PER_VOTER: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Restores the scratch invariant if the voting loop unwinds mid-segment:
+/// the pool catches task panics and keeps the worker thread alive, so a
+/// half-reset scratch would silently corrupt every later query on that
+/// thread. The refill is O(n) but runs only on the panic path.
+struct ScratchGuard<'a> {
+    scratch: &'a mut [f64],
+    completed: bool,
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.scratch.fill(f64::INFINITY);
+        }
+    }
+}
+
+/// Computes the votes of one trajectory against the indexed collection.
+/// Scratch lives in thread-locals, so concurrent tasks never share state
+/// while each worker still reuses its allocations across trajectories.
+fn vote_trajectory_indexed(
+    ti: usize,
+    traj: &Trajectory,
+    trajectories: &[Trajectory],
+    index: &SegmentIndex,
+    params: &S2TParams,
+    cutoff: f64,
+) -> VotingProfile {
+    BEST_PER_VOTER.with(|scratch| {
+        let mut best_per_voter = scratch.borrow_mut();
+        if best_per_voter.len() < trajectories.len() {
+            best_per_voter.resize(trajectories.len(), f64::INFINITY);
+        }
+        let mut guard = ScratchGuard {
+            scratch: &mut best_per_voter,
+            completed: false,
+        };
+        let profile = vote_trajectory_indexed_inner(
+            ti,
+            traj,
+            trajectories,
+            index,
+            params,
+            cutoff,
+            &mut *guard.scratch,
+        );
+        guard.completed = true;
+        profile
+    })
+}
+
+fn vote_trajectory_indexed_inner(
+    ti: usize,
+    traj: &Trajectory,
+    trajectories: &[Trajectory],
+    index: &SegmentIndex,
+    params: &S2TParams,
+    cutoff: f64,
+    best_per_voter: &mut [f64],
+) -> VotingProfile {
+    let mut touched: Vec<usize> = Vec::new();
+    let mut votes = Vec::with_capacity(traj.num_segments());
+    for si in 0..traj.num_segments() {
+        let seg = traj.segment(si);
+        let window = seg.mbb().inflate(cutoff, 0);
+
+        index.rtree.for_each_intersecting(&window, |_, r| {
+            if r.traj_index == ti {
+                return;
+            }
+            let other_seg = trajectories[r.traj_index].segment(r.seg_index);
+            if let Some(d) = seg.mean_synchronized_distance(&other_seg) {
+                if d < best_per_voter[r.traj_index] {
+                    if best_per_voter[r.traj_index].is_infinite() {
+                        touched.push(r.traj_index);
+                    }
+                    best_per_voter[r.traj_index] = d;
+                }
+            }
+        });
+
+        let mut vote = 0.0;
+        for &voter in touched.iter() {
+            vote += kernel(best_per_voter[voter], params.sigma, cutoff);
+            best_per_voter[voter] = f64::INFINITY;
+        }
+        touched.clear();
+        votes.push(vote);
+    }
+    VotingProfile {
+        trajectory_id: traj.id,
+        trajectory_index: ti,
+        votes,
+    }
+}
+
 /// Index-accelerated voting: for each segment, only trajectories with a
-/// segment inside the cutoff-inflated MBB are evaluated.
+/// segment inside the cutoff-inflated MBB are evaluated. Serial shorthand
+/// for [`indexed_voting_with`].
 pub fn indexed_voting(
     trajectories: &[Trajectory],
     index: &SegmentIndex,
     params: &S2TParams,
 ) -> Vec<VotingProfile> {
+    indexed_voting_with(trajectories, index, params, &Executor::serial())
+}
+
+/// [`indexed_voting`] fanned out over trajectories on `exec`. Profiles come
+/// back in input order and every vote is computed by exactly one task, so
+/// the result is bit-identical to the serial path.
+pub fn indexed_voting_with(
+    trajectories: &[Trajectory],
+    index: &SegmentIndex,
+    params: &S2TParams,
+    exec: &Executor,
+) -> Vec<VotingProfile> {
     let cutoff = params.voting_cutoff_radius();
-    let mut profiles = Vec::with_capacity(trajectories.len());
-    // Reused scratch: best (minimum) distance per candidate voter trajectory.
-    let mut best_per_voter: Vec<f64> = vec![f64::INFINITY; trajectories.len()];
-    let mut touched: Vec<usize> = Vec::new();
+    exec.map(trajectories, |ti, traj| {
+        vote_trajectory_indexed(ti, traj, trajectories, index, params, cutoff)
+    })
+}
 
-    for (ti, traj) in trajectories.iter().enumerate() {
-        let mut votes = Vec::with_capacity(traj.num_segments());
-        for si in 0..traj.num_segments() {
-            let seg = traj.segment(si);
-            let window = seg.mbb().inflate(cutoff, 0);
-
-            index.rtree.for_each_intersecting(&window, |_, r| {
-                if r.traj_index == ti {
-                    return;
-                }
-                let other_seg = trajectories[r.traj_index].segment(r.seg_index);
+/// The votes of one trajectory under the quadratic enumeration.
+fn vote_trajectory_naive(
+    ti: usize,
+    traj: &Trajectory,
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    cutoff: f64,
+) -> VotingProfile {
+    let mut votes = Vec::with_capacity(traj.num_segments());
+    for si in 0..traj.num_segments() {
+        let seg = traj.segment(si);
+        let mut vote = 0.0;
+        for (tj, other) in trajectories.iter().enumerate() {
+            if tj == ti {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for sj in 0..other.num_segments() {
+                let other_seg = other.segment(sj);
                 if let Some(d) = seg.mean_synchronized_distance(&other_seg) {
-                    if d < best_per_voter[r.traj_index] {
-                        if best_per_voter[r.traj_index].is_infinite() {
-                            touched.push(r.traj_index);
-                        }
-                        best_per_voter[r.traj_index] = d;
+                    if d < best {
+                        best = d;
                     }
                 }
-            });
-
-            let mut vote = 0.0;
-            for &voter in &touched {
-                vote += kernel(best_per_voter[voter], params.sigma, cutoff);
-                best_per_voter[voter] = f64::INFINITY;
             }
-            touched.clear();
-            votes.push(vote);
+            if best.is_finite() {
+                vote += kernel(best, params.sigma, cutoff);
+            }
         }
-        profiles.push(VotingProfile {
-            trajectory_id: traj.id,
-            trajectory_index: ti,
-            votes,
-        });
+        votes.push(vote);
     }
-    profiles
+    VotingProfile {
+        trajectory_id: traj.id,
+        trajectory_index: ti,
+        votes,
+    }
 }
 
 /// Quadratic voting without any index: every segment is compared against
 /// every segment of every other trajectory. Semantics are identical to
 /// [`indexed_voting`]; only the candidate enumeration differs.
 pub fn naive_voting(trajectories: &[Trajectory], params: &S2TParams) -> Vec<VotingProfile> {
-    let cutoff = params.voting_cutoff_radius();
-    let mut profiles = Vec::with_capacity(trajectories.len());
+    naive_voting_with(trajectories, params, &Executor::serial())
+}
 
-    for (ti, traj) in trajectories.iter().enumerate() {
-        let mut votes = Vec::with_capacity(traj.num_segments());
-        for si in 0..traj.num_segments() {
-            let seg = traj.segment(si);
-            let mut vote = 0.0;
-            for (tj, other) in trajectories.iter().enumerate() {
-                if tj == ti {
-                    continue;
-                }
-                let mut best = f64::INFINITY;
-                for sj in 0..other.num_segments() {
-                    let other_seg = other.segment(sj);
-                    if let Some(d) = seg.mean_synchronized_distance(&other_seg) {
-                        if d < best {
-                            best = d;
-                        }
-                    }
-                }
-                if best.is_finite() {
-                    vote += kernel(best, params.sigma, cutoff);
-                }
-            }
-            votes.push(vote);
-        }
-        profiles.push(VotingProfile {
-            trajectory_id: traj.id,
-            trajectory_index: ti,
-            votes,
-        });
-    }
-    profiles
+/// [`naive_voting`] fanned out over trajectories on `exec`.
+pub fn naive_voting_with(
+    trajectories: &[Trajectory],
+    params: &S2TParams,
+    exec: &Executor,
+) -> Vec<VotingProfile> {
+    let cutoff = params.voting_cutoff_radius();
+    exec.map(trajectories, |ti, traj| {
+        vote_trajectory_naive(ti, traj, trajectories, params, cutoff)
+    })
 }
 
 #[cfg(test)]
@@ -325,6 +429,22 @@ mod tests {
         let index = SegmentIndex::build(&single);
         let fast = indexed_voting(&single, &index, &p);
         assert_eq!(fast, profiles);
+    }
+
+    #[test]
+    fn parallel_voting_is_bit_identical_to_serial() {
+        let trajs: Vec<Trajectory> = (0..12).map(|i| line(i, i as f64 * 6.0, 0, 10)).collect();
+        let p = params(25.0);
+        let index = SegmentIndex::build(&trajs);
+        let serial_fast = indexed_voting(&trajs, &index, &p);
+        let serial_slow = naive_voting(&trajs, &p);
+        for threads in [2usize, 4] {
+            let exec = Executor::new(hermes_exec::ExecPolicy { threads });
+            // Exact equality, not approximate: the parallel fan-out must not
+            // change a single bit of any vote.
+            assert_eq!(indexed_voting_with(&trajs, &index, &p, &exec), serial_fast);
+            assert_eq!(naive_voting_with(&trajs, &p, &exec), serial_slow);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! hermes-serve --addr 0.0.0.0:9000     # explicit bind address
 //! hermes-serve --addr 127.0.0.1:0      # ephemeral port (printed on stdout)
 //! hermes-serve --max-connections 16    # cap simultaneous connections
+//! hermes-serve --threads 8             # intra-query compute threads
 //! ```
 //!
 //! The server starts with an empty engine; clients create datasets and load
@@ -13,7 +14,7 @@
 //! `hermes-serve listening on <addr>` so scripts (like the CI smoke test)
 //! can scrape the ephemeral port.
 
-use hermes_core::SharedEngine;
+use hermes_core::{ExecPolicy, HermesEngine, SharedEngine};
 use hermes_server::{Server, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -22,18 +23,23 @@ const HELP: &str = "\
 hermes-serve — the Hermes network server
 
 USAGE:
-    hermes-serve [--addr <host:port>] [--max-connections <n>]
+    hermes-serve [--addr <host:port>] [--max-connections <n>] [--threads <n>]
 
 OPTIONS:
     --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
                              picks an ephemeral port)
     --max-connections <n>    Simultaneous connection cap (default 64)
+    --threads <n>            Intra-query compute threads for S2T/QuT/BUILD
+                             INDEX (default: HERMES_THREADS or all cores;
+                             1 = serial). Clients can change it at runtime
+                             with SET threads = n;
     -h, --help               Print this text
 ";
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8650".to_string();
     let mut config = ServerConfig::default();
+    let mut policy = ExecPolicy::from_env();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +51,15 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => config.max_connections = n,
                 _ => return fail("--max-connections requires a positive integer"),
             },
+            "--threads" => match args
+                .next()
+                .and_then(|n| n.parse().ok())
+                .map(ExecPolicy::new)
+            {
+                Some(Ok(p)) => policy = p,
+                Some(Err(m)) => return fail(&format!("--{m}")),
+                None => return fail("--threads requires a positive integer"),
+            },
             "-h" | "--help" => {
                 print!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -53,7 +68,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let server = match Server::bind(&addr, SharedEngine::default(), config) {
+    let engine = SharedEngine::new(HermesEngine::with_exec_policy(policy));
+    let server = match Server::bind(&addr, engine, config) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
     };

@@ -342,6 +342,7 @@ fn command_tag_code(tag: CommandTag) -> u8 {
         CommandTag::DropDataset => 2,
         CommandTag::BuildIndex => 3,
         CommandTag::Ingest => 4,
+        CommandTag::Set => 5,
     }
 }
 
@@ -351,6 +352,7 @@ fn command_tag_of_code(code: u8) -> Result<CommandTag, DecodeError> {
         2 => CommandTag::DropDataset,
         3 => CommandTag::BuildIndex,
         4 => CommandTag::Ingest,
+        5 => CommandTag::Set,
         tag => return Err(DecodeError(format!("unknown command tag code {tag}"))),
     })
 }

@@ -239,6 +239,41 @@ fn large_ingests_are_split_across_wire_messages() {
 }
 
 #[test]
+fn set_threads_is_honored_over_the_wire_unchanged() {
+    // No protocol change: SET/SHOW THREADS travel as ordinary Query text and
+    // come back as a Command / one-row frame.
+    let server = spawn_server(ServerConfig::default());
+    let mut a = HermesClient::connect(server.addr()).unwrap();
+    let mut b = HermesClient::connect(server.addr()).unwrap();
+
+    let set = a.query("SET threads = 2;").unwrap();
+    let status = set.command().unwrap();
+    assert_eq!(status.tag, CommandTag::Set);
+    assert_eq!(status.affected, 2);
+
+    // The engine-wide setting is visible from another connection, and the
+    // queries it governs still answer correctly.
+    let shown = b.query("SHOW THREADS;").unwrap();
+    assert_eq!(
+        shown.expect_frame("SHOW THREADS").get(0, "threads"),
+        Some(&Value::Int(2))
+    );
+    b.query(BUILD).unwrap();
+    let qut = b
+        .query("SELECT QUT(flights, 0, 1800000, 0.35, 0.05, 120000, 400, 1800000);")
+        .unwrap();
+    assert!(qut.num_rows() >= 1);
+
+    // Rejection carries the arity-style message across the wire.
+    let err = a.query("SET threads = 0;").unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ref m) if m.contains("positive thread count")),
+        "{err:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn ingest_creates_the_dataset_and_stats_report_all_scopes() {
     let server = spawn_server(ServerConfig::default());
     let mut client = HermesClient::connect(server.addr()).unwrap();

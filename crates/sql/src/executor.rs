@@ -5,7 +5,7 @@
 use crate::frame::{CommandStatus, CommandTag, Frame, QueryOutcome};
 use crate::parser::{parse, ParseError, Statement};
 use crate::value::{Value, ValueType};
-use hermes_core::{EngineError, HermesEngine};
+use hermes_core::{EngineError, ExecPolicy, HermesEngine};
 use hermes_retratree::{QutParams, QutStats, ReTraTreeParams};
 use hermes_s2t::{ClusteringResult, S2TParams};
 use hermes_trajectory::{Duration, TimeInterval, Timestamp};
@@ -176,6 +176,7 @@ fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
         ("buffer_hits", s.buffer.hits as i64),
         ("buffer_misses", s.buffer.misses as i64),
         ("buffer_evictions", s.buffer.evictions as i64),
+        ("threads", s.threads as i64),
     ] {
         push_stat(frame, "engine", metric, value);
     }
@@ -202,6 +203,7 @@ pub fn is_write_statement(stmt: &Statement) -> bool {
         Statement::CreateDataset { .. }
             | Statement::DropDataset { .. }
             | Statement::BuildIndex { .. }
+            | Statement::SetThreads { .. }
     )
 }
 
@@ -252,6 +254,22 @@ pub fn execute_statement(
                 affected: indexed as u64,
             }))
         }
+        Statement::SetThreads { threads } => {
+            let n = threads.as_i64().map_err(SqlError::Bind)?;
+            // A negative count cannot reach ExecPolicy (usize); report it
+            // with the same arity-style wording the engine's validation uses
+            // for 0 and for counts over the cap.
+            let count = usize::try_from(n).map_err(|_| {
+                SqlError::Engine(EngineError::InvalidParameters(format!(
+                    "SET threads expects a positive thread count, got {n}"
+                )))
+            })?;
+            engine.set_exec_policy(ExecPolicy { threads: count })?;
+            Ok(QueryOutcome::Command(CommandStatus {
+                tag: CommandTag::Set,
+                affected: count as u64,
+            }))
+        }
         _ => execute_read_statement(engine, stmt),
     }
 }
@@ -270,7 +288,16 @@ pub fn execute_read_statement(
     match stmt {
         Statement::CreateDataset { .. }
         | Statement::DropDataset { .. }
-        | Statement::BuildIndex { .. } => Err(SqlError::ReadOnly(stmt.to_string())),
+        | Statement::BuildIndex { .. }
+        | Statement::SetThreads { .. } => Err(SqlError::ReadOnly(stmt.to_string())),
+        Statement::ShowThreads => {
+            let mut frame = Frame::with_columns(&[("threads", ValueType::Int)]);
+            push(
+                &mut frame,
+                vec![Value::Int(engine.exec_policy().threads as i64)],
+            );
+            Ok(QueryOutcome::rows(frame))
+        }
         Statement::ShowDatasets => {
             let mut frame = Frame::with_columns(&[("dataset", ValueType::Text)]);
             for name in engine.list_datasets() {
@@ -654,6 +681,67 @@ mod tests {
             .unwrap()
             .iter()
             .all(|v| v.as_str() == Some("engine")));
+    }
+
+    #[test]
+    fn set_threads_round_trips_and_rejects_nonpositive_counts() {
+        let mut e = engine();
+        let set = execute(&mut e, "SET threads = 3;").unwrap();
+        assert_eq!(
+            set.command(),
+            Some(&CommandStatus {
+                tag: CommandTag::Set,
+                affected: 3
+            })
+        );
+        let shown = execute(&mut e, "SHOW THREADS;").unwrap();
+        assert_eq!(
+            shown.expect_frame("SHOW THREADS").get(0, "threads"),
+            Some(&Value::Int(3))
+        );
+        // SHOW STATS surfaces the same value in the engine scope.
+        let stats = execute(&mut e, "SHOW STATS;").unwrap();
+        let frame = stats.expect_frame("SHOW STATS");
+        let threads = frame
+            .rows()
+            .find(|r| r[1].as_str() == Some("threads"))
+            .and_then(|r| r[2].as_i64());
+        assert_eq!(threads, Some(3));
+
+        for bad in ["SET threads = 0;", "SET threads = -2;"] {
+            let err = execute(&mut e, bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SqlError::Engine(EngineError::InvalidParameters(ref m))
+                        if m.contains("positive thread count")
+                ),
+                "{bad}: {err}"
+            );
+        }
+        // An absurd count is rejected before any thread is spawned.
+        let err = execute(&mut e, "SET threads = 1000000;").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SqlError::Engine(EngineError::InvalidParameters(ref m)) if m.contains("at most")
+            ),
+            "{err}"
+        );
+        // The failed statements left the setting untouched.
+        let shown = execute(&mut e, "SHOW THREADS;").unwrap();
+        assert_eq!(
+            shown.expect_frame("SHOW THREADS").get(0, "threads"),
+            Some(&Value::Int(3))
+        );
+        // SET mutates the engine, so it is a write statement and refuses the
+        // read-only path.
+        let stmt = parse("SET threads = 2;").unwrap();
+        assert!(is_write_statement(&stmt));
+        assert!(matches!(
+            execute_read_statement(&e, &stmt),
+            Err(SqlError::ReadOnly(_))
+        ));
     }
 
     #[test]

@@ -144,6 +144,8 @@ pub enum CommandTag {
     /// A bulk trajectory load (the server's ingest path; there is no SQL
     /// spelling — clients send it as a protocol message).
     Ingest,
+    /// `SET threads = N` (the affected count carries the new value).
+    Set,
 }
 
 impl fmt::Display for CommandTag {
@@ -153,6 +155,7 @@ impl fmt::Display for CommandTag {
             CommandTag::DropDataset => "DROP DATASET",
             CommandTag::BuildIndex => "BUILD INDEX",
             CommandTag::Ingest => "INGEST",
+            CommandTag::Set => "SET",
         };
         f.write_str(tag)
     }

@@ -119,6 +119,15 @@ pub enum Statement {
     /// indexed partitions), plus whatever scope the executing front end adds
     /// (session parse/cache counters, server connection metrics).
     ShowStats,
+    /// `SET threads = N;` — intra-query parallelism: how many compute
+    /// threads S2T/QuT/`BUILD INDEX` may fan out on (1 = serial). `N = 0` is
+    /// rejected at execution with a descriptive error.
+    SetThreads {
+        /// The requested thread count.
+        threads: Scalar,
+    },
+    /// `SHOW THREADS;` — the current thread count as a one-row frame.
+    ShowThreads,
     /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s] [EPSILON e];`
     BuildIndex {
         /// Dataset name.
@@ -206,7 +215,9 @@ impl Statement {
             | Statement::DropDataset { .. }
             | Statement::ShowDatasets
             | Statement::ShowStats
+            | Statement::ShowThreads
             | Statement::Info { .. } => Vec::new(),
+            Statement::SetThreads { threads } => vec![threads],
             Statement::BuildIndex {
                 chunk_hours,
                 sigma,
@@ -274,6 +285,10 @@ impl Statement {
             Statement::DropDataset { name } => Statement::DropDataset { name: name.clone() },
             Statement::ShowDatasets => Statement::ShowDatasets,
             Statement::ShowStats => Statement::ShowStats,
+            Statement::ShowThreads => Statement::ShowThreads,
+            Statement::SetThreads { threads } => Statement::SetThreads {
+                threads: b(threads)?,
+            },
             Statement::Info { name } => Statement::Info { name: name.clone() },
             Statement::BuildIndex {
                 name,
@@ -353,6 +368,8 @@ impl fmt::Display for Statement {
             Statement::DropDataset { name } => write!(f, "DROP DATASET {name};"),
             Statement::ShowDatasets => write!(f, "SHOW DATASETS;"),
             Statement::ShowStats => write!(f, "SHOW STATS;"),
+            Statement::ShowThreads => write!(f, "SHOW THREADS;"),
+            Statement::SetThreads { threads } => write!(f, "SET threads = {threads};"),
             Statement::BuildIndex {
                 name,
                 chunk_hours,
@@ -439,6 +456,7 @@ enum Token {
     RParen,
     Comma,
     Semicolon,
+    Equals,
 }
 
 impl fmt::Display for Token {
@@ -451,6 +469,7 @@ impl fmt::Display for Token {
             Token::RParen => write!(f, "')'"),
             Token::Comma => write!(f, "','"),
             Token::Semicolon => write!(f, "';'"),
+            Token::Equals => write!(f, "'='"),
         }
     }
 }
@@ -477,6 +496,10 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             ';' => {
                 tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
                 i += 1;
             }
             '$' => {
@@ -658,11 +681,23 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
         match p.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case("datasets") => Statement::ShowDatasets,
             Token::Ident(s) if s.eq_ignore_ascii_case("stats") => Statement::ShowStats,
+            Token::Ident(s) if s.eq_ignore_ascii_case("threads") => Statement::ShowThreads,
             other => {
                 return Err(ParseError(format!(
-                    "expected 'DATASETS' or 'STATS', found {other}"
+                    "expected 'DATASETS', 'STATS' or 'THREADS', found {other}"
                 )))
             }
+        }
+    } else if head.eq_ignore_ascii_case("set") {
+        let variable = p.expect_ident()?;
+        if !variable.eq_ignore_ascii_case("threads") {
+            return Err(ParseError(format!(
+                "unknown session variable '{variable}' (expected 'threads')"
+            )));
+        }
+        p.expect_token(Token::Equals)?;
+        Statement::SetThreads {
+            threads: p.expect_scalar()?,
         }
     } else if head.eq_ignore_ascii_case("build") {
         p.expect_keyword("index")?;
@@ -790,7 +825,7 @@ mod tests {
         assert!(parse("SHOW TABLES;")
             .unwrap_err()
             .0
-            .contains("'DATASETS' or 'STATS'"));
+            .contains("'DATASETS', 'STATS' or 'THREADS'"));
         assert_eq!(
             parse("BUILD INDEX ON flights WITH CHUNK 6 HOURS;").unwrap(),
             Statement::BuildIndex {
@@ -809,6 +844,39 @@ mod tests {
                 epsilon: Some(Scalar::int(6000)),
             }
         );
+    }
+
+    #[test]
+    fn set_and_show_threads() {
+        assert_eq!(
+            parse("SET threads = 4;").unwrap(),
+            Statement::SetThreads {
+                threads: Scalar::int(4)
+            }
+        );
+        assert_eq!(
+            parse("set THREADS=8").unwrap(),
+            Statement::SetThreads {
+                threads: Scalar::int(8)
+            }
+        );
+        assert_eq!(parse("SHOW THREADS;").unwrap(), Statement::ShowThreads);
+        // Placeholders bind like any other scalar position.
+        let stmt = parse("SET threads = $1;").unwrap();
+        assert_eq!(stmt.num_placeholders(), 1);
+        let bound = stmt.bind(&[Value::Int(2)]).unwrap();
+        assert_eq!(
+            bound,
+            Statement::SetThreads {
+                threads: Scalar::int(2)
+            }
+        );
+        // Unknown variables and missing '=' are descriptive errors.
+        assert!(parse("SET sockets = 4;")
+            .unwrap_err()
+            .0
+            .contains("unknown session variable"));
+        assert!(parse("SET threads 4;").unwrap_err().0.contains("'='"));
     }
 
     #[test]
@@ -1034,6 +1102,9 @@ mod tests {
             "DROP DATASET flights;",
             "SHOW DATASETS;",
             "SHOW STATS;",
+            "SHOW THREADS;",
+            "SET threads = 4;",
+            "SET threads = $1;",
             "BUILD INDEX ON flights WITH CHUNK 6 HOURS;",
             "BUILD INDEX ON flights WITH CHUNK 2 HOURS SIGMA 2000 EPSILON 6000;",
             "SELECT INFO(flights);",

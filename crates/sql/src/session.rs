@@ -343,6 +343,29 @@ mod tests {
     }
 
     #[test]
+    fn set_threads_works_through_sessions_and_shared_backends() {
+        use hermes_core::SharedEngine;
+        let shared = SharedEngine::default();
+        let mut a = Session::new(shared.clone());
+        let mut b = Session::new(shared.clone());
+        // SET goes through the write lock; the engine-wide setting is visible
+        // to every session over the same engine.
+        a.execute("SET threads = 2;").unwrap();
+        let shown = b.execute("SHOW THREADS;").unwrap();
+        assert_eq!(
+            shown.expect_frame("SHOW THREADS").get(0, "threads"),
+            Some(&Value::Int(2))
+        );
+        // Prepared SET with a placeholder binds like any other statement.
+        let h = a.prepare("SET threads = $1;").unwrap();
+        a.execute_prepared(h, &[Value::Int(1)]).unwrap();
+        assert_eq!(shared.read().exec_policy().threads, 1);
+        // N = 0 is rejected with the arity-style message.
+        let err = a.execute_prepared(h, &[Value::Int(0)]).unwrap_err();
+        assert!(err.to_string().contains("positive thread count"), "{err}");
+    }
+
+    #[test]
     fn binding_errors_are_surfaced() {
         let mut e = engine();
         let mut session = Session::new(&mut e);

@@ -46,6 +46,12 @@ OPTIONS:
                            a local engine. demo/load/load-geo then ingest
                            their trajectories into the server's 'data'
                            dataset over the wire.
+    --threads <n>          Intra-query compute threads for S2T/QuT/BUILD
+                           INDEX (default: HERMES_THREADS or all cores;
+                           1 = serial). Locally this sets the engine policy;
+                           with --connect it is sent as SET threads = n.
+                           Also available at runtime: SET threads = n; and
+                           SHOW THREADS;
     -c <sql>               Run one statement non-interactively and print the
                            rendered frame; repeatable, executed in order. The
                            exit code is nonzero if any statement fails.
@@ -85,6 +91,7 @@ impl Exec for RemoteExec {
 
 struct CliArgs {
     connect: Option<String>,
+    threads: Option<usize>,
     commands: Vec<String>,
     positional: Vec<String>,
 }
@@ -92,6 +99,7 @@ struct CliArgs {
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<CliArgs, String> {
     let mut args = CliArgs {
         connect: None,
+        threads: None,
         commands: Vec::new(),
         positional: Vec::new(),
     };
@@ -101,6 +109,15 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<CliArgs, String> {
             "--connect" => match raw.next() {
                 Some(addr) => args.connect = Some(addr),
                 None => return Err("--connect requires a host:port value".into()),
+            },
+            "--threads" => match raw
+                .next()
+                .and_then(|n| n.parse().ok())
+                .map(hermes::exec::ExecPolicy::new)
+            {
+                Some(Ok(p)) => args.threads = Some(p.threads),
+                Some(Err(m)) => return Err(format!("--{m}")),
+                None => return Err("--threads requires a positive integer".into()),
             },
             "-c" => match raw.next() {
                 Some(sql) => args.commands.push(sql),
@@ -120,9 +137,9 @@ fn main() -> ExitCode {
     match args.positional.first().map(String::as_str) {
         Some("demo") => with_source(args, demo_trajectories()),
         Some("generate") => {
-            if args.connect.is_some() || !args.commands.is_empty() {
+            if args.connect.is_some() || !args.commands.is_empty() || args.threads.is_some() {
                 // Silently dropping them would let a script believe its SQL ran.
-                return fail("generate does not take --connect or -c");
+                return fail("generate does not take --connect, --threads or -c");
             }
             generate(&args.positional[1..])
         }
@@ -163,7 +180,9 @@ fn with_source(args: CliArgs, trajectories: Vec<Trajectory>) -> ExitCode {
     if args.connect.is_some() {
         return connect_and_run(args, Some(trajectories));
     }
-    let mut engine = HermesEngine::new();
+    let mut engine = args.threads.map_or_else(HermesEngine::new, |threads| {
+        HermesEngine::with_exec_policy(hermes::exec::ExecPolicy { threads })
+    });
     engine.create_dataset("data").expect("fresh engine");
     let n = trajectories.len();
     engine
@@ -186,6 +205,12 @@ fn connect_and_run(args: CliArgs, trajectories: Option<Vec<Trajectory>>) -> Exit
         Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
     };
     let mut exec = RemoteExec(client);
+    if let Some(threads) = args.threads {
+        // The wire protocol carries it as an ordinary statement.
+        if let Err(e) = exec.run(&format!("SET threads = {threads};")) {
+            return fail(&format!("SET threads failed: {e}"));
+        }
+    }
     if let Some(trajs) = trajectories {
         match exec.0.ingest("data", &trajs) {
             Ok(n) => eprintln!("ingested {n} trajectories into remote dataset 'data'"),

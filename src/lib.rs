@@ -40,6 +40,7 @@
 pub use hermes_baselines as baselines;
 pub use hermes_core as core;
 pub use hermes_datagen as datagen;
+pub use hermes_exec as exec;
 pub use hermes_gist as gist;
 pub use hermes_retratree as retratree;
 pub use hermes_s2t as s2t;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use hermes_datagen::{
         AircraftScenarioBuilder, MaritimeScenarioBuilder, NoiseModel, UrbanScenarioBuilder,
     };
+    pub use hermes_exec::{ExecPolicy, Executor};
     pub use hermes_retratree::{QutParams, ReTraTree, ReTraTreeParams};
     pub use hermes_s2t::{run_s2t, ClusteringQuality, ClusteringResult, S2TParams};
     pub use hermes_server::{ClientError, HermesClient, Server, ServerConfig};
