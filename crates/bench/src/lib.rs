@@ -7,6 +7,7 @@
 
 use hermes_datagen::{
     AircraftScenario, AircraftScenarioBuilder, MaritimeScenario, MaritimeScenarioBuilder,
+    UrbanScenario, UrbanScenarioBuilder,
 };
 use hermes_retratree::{QutParams, ReTraTreeParams};
 use hermes_s2t::S2TParams;
@@ -22,6 +23,32 @@ pub fn aircraft_s2t_params() -> S2TParams {
         min_duration_ms: 5 * 60_000,
         ..S2TParams::default()
     }
+}
+
+/// The S2T parameter set used for urban (commute-grid) workloads.
+pub fn urban_s2t_params() -> S2TParams {
+    S2TParams {
+        sigma: 60.0,
+        epsilon: 250.0,
+        min_duration_ms: 3 * 60_000,
+        ..S2TParams::default()
+    }
+}
+
+/// An urban commute scenario with roughly `vehicles` vehicles (corridor
+/// traffic plus ~25% random routes), deterministic in `seed`. The standard
+/// voting-hot-path workload: dense grids with many co-moving segments.
+pub fn urban_with(vehicles: usize, seed: u64) -> UrbanScenario {
+    let per_corridor = (vehicles * 3 / 4 / 3).max(1);
+    UrbanScenarioBuilder {
+        seed,
+        grid_size: 12,
+        num_corridors: 3,
+        vehicles_per_corridor: per_corridor,
+        num_random_vehicles: (vehicles / 4).max(1),
+        ..UrbanScenarioBuilder::default()
+    }
+    .build()
 }
 
 /// The S2T parameter set used for maritime workloads.

@@ -7,10 +7,13 @@ use hermes_retratree::{
     qut_clustering_with, range_query_then_cluster_with, QutParams, QutStats, ReTraTree,
     ReTraTreeParams,
 };
-use hermes_s2t::{run_s2t_naive_with, run_s2t_with, ClusteringResult, S2TOutcome, S2TParams};
+use hermes_s2t::{
+    run_s2t_naive_with, run_s2t_with, ClusteringResult, S2TOutcome, S2TParams, S2TPhaseTimings,
+};
 use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-dataset state held by the engine.
 struct Dataset {
@@ -36,6 +39,24 @@ pub struct DatasetInfo {
     pub num_cluster_entries: usize,
 }
 
+/// Cumulative per-phase compute milliseconds, summed over every clustering
+/// query the engine has answered (S2T direct or through QuT border
+/// re-clustering / window rebuild). Under parallel execution per-task phase
+/// times overlap in wall-clock, so these count *work*, like CPU time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCountersMs {
+    /// Segment arena + packed index construction.
+    pub index_build_ms: u64,
+    /// Voting phase.
+    pub voting_ms: u64,
+    /// Segmentation phase.
+    pub segmentation_ms: u64,
+    /// Sampling (representative selection) phase.
+    pub sampling_ms: u64,
+    /// Greedy clustering / outlier detection phase.
+    pub clustering_ms: u64,
+}
+
 /// Engine-wide resource counters, aggregated over every dataset's ReTraTree
 /// storage. Surfaced by `SHOW STATS` and the CLI's `\stats` so the buffer
 /// pool's behaviour is observable outside the benchmarks.
@@ -53,6 +74,47 @@ pub struct EngineStats {
     pub buffer: BufferStats,
     /// Intra-query compute threads the engine currently uses.
     pub threads: usize,
+    /// Cumulative S2T pipeline phase timings across every clustering query.
+    pub phases: PhaseCountersMs,
+}
+
+/// Lock-free accumulator behind [`PhaseCountersMs`]: the clustering entry
+/// points take `&self` (shared deployments answer reads concurrently under a
+/// read lock), so the counters are atomics, recorded in microseconds to keep
+/// sub-millisecond phases from vanishing into rounding.
+#[derive(Default)]
+struct PhaseAccumulator {
+    index_build_us: AtomicU64,
+    voting_us: AtomicU64,
+    segmentation_us: AtomicU64,
+    sampling_us: AtomicU64,
+    clustering_us: AtomicU64,
+}
+
+impl PhaseAccumulator {
+    fn record(&self, t: &S2TPhaseTimings) {
+        let us = |ms: f64| (ms * 1_000.0).max(0.0) as u64;
+        self.index_build_us
+            .fetch_add(us(t.index_build_ms), Ordering::Relaxed);
+        self.voting_us.fetch_add(us(t.voting_ms), Ordering::Relaxed);
+        self.segmentation_us
+            .fetch_add(us(t.segmentation_ms), Ordering::Relaxed);
+        self.sampling_us
+            .fetch_add(us(t.sampling_ms), Ordering::Relaxed);
+        self.clustering_us
+            .fetch_add(us(t.clustering_ms), Ordering::Relaxed);
+    }
+
+    fn snapshot_ms(&self) -> PhaseCountersMs {
+        let ms = |c: &AtomicU64| c.load(Ordering::Relaxed) / 1_000;
+        PhaseCountersMs {
+            index_build_ms: ms(&self.index_build_us),
+            voting_ms: ms(&self.voting_us),
+            segmentation_ms: ms(&self.segmentation_us),
+            sampling_ms: ms(&self.sampling_us),
+            clustering_ms: ms(&self.clustering_us),
+        }
+    }
 }
 
 /// The Moving Object Database engine.
@@ -64,6 +126,8 @@ pub struct HermesEngine {
     /// executor; serial (1 thread) means everything runs inline.
     exec_policy: ExecPolicy,
     exec: Executor,
+    /// Cumulative per-phase compute time over every clustering query.
+    phase_totals: PhaseAccumulator,
 }
 
 impl Default for HermesEngine {
@@ -87,6 +151,7 @@ impl HermesEngine {
             datasets: HashMap::new(),
             exec_policy: policy,
             exec: Executor::new(policy),
+            phase_totals: PhaseAccumulator::default(),
         }
     }
 
@@ -211,7 +276,9 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        Ok(run_s2t_with(&ds.trajectories, params, &self.exec))
+        let outcome = run_s2t_with(&ds.trajectories, params, &self.exec);
+        self.phase_totals.record(&outcome.timings);
+        Ok(outcome)
     }
 
     /// Runs S2T-Clustering with the naive (index-free) voting — the
@@ -222,7 +289,9 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        Ok(run_s2t_naive_with(&ds.trajectories, params, &self.exec))
+        let outcome = run_s2t_naive_with(&ds.trajectories, params, &self.exec);
+        self.phase_totals.record(&outcome.timings);
+        Ok(outcome)
     }
 
     /// Answers `QUT(D, Wi, We, …)` from the dataset's ReTraTree.
@@ -234,7 +303,9 @@ impl HermesEngine {
     ) -> Result<(ClusteringResult, QutStats)> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let tree = self.tree(name)?;
-        Ok(qut_clustering_with(tree, window, params, &self.exec))
+        let (result, stats) = qut_clustering_with(tree, window, params, &self.exec);
+        self.phase_totals.record(&stats.phases);
+        Ok((result, stats))
     }
 
     /// The rebuild-from-scratch strategy the demo compares QuT against
@@ -247,9 +318,9 @@ impl HermesEngine {
     ) -> Result<(ClusteringResult, QutStats)> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let tree = self.tree(name)?;
-        Ok(range_query_then_cluster_with(
-            tree, window, params, &self.exec,
-        ))
+        let (result, stats) = range_query_then_cluster_with(tree, window, params, &self.exec);
+        self.phase_totals.record(&stats.phases);
+        Ok((result, stats))
     }
 
     /// Summary of a dataset.
@@ -271,6 +342,7 @@ impl HermesEngine {
         let mut stats = EngineStats {
             datasets: self.datasets.len(),
             threads: self.exec_policy.threads,
+            phases: self.phase_totals.snapshot_ms(),
             ..EngineStats::default()
         };
         for ds in self.datasets.values() {
@@ -451,6 +523,46 @@ mod tests {
         assert!(after.indexed_partitions > 0);
         assert!(after.stored_records > 0);
         assert!(after.buffer.hits + after.buffer.misses > 0);
+    }
+
+    #[test]
+    fn phase_counters_accumulate_across_queries() {
+        let mut e = engine_with_data();
+        assert_eq!(e.stats().phases, PhaseCountersMs::default());
+
+        // Several runs so the per-phase microsecond counts survive the
+        // millisecond truncation in the snapshot.
+        for _ in 0..50 {
+            e.run_s2t("flights", &s2t_params()).unwrap();
+        }
+        let after_s2t = e.stats().phases;
+        let total = after_s2t.index_build_ms
+            + after_s2t.voting_ms
+            + after_s2t.segmentation_ms
+            + after_s2t.sampling_ms
+            + after_s2t.clustering_ms;
+        assert!(total > 0, "50 S2T runs must accumulate visible phase time");
+
+        // QuT with a misaligned window re-clusters borders, adding more work.
+        e.build_index("flights", tree_params()).unwrap();
+        let w = TimeInterval::new(Timestamp(10 * 60_000), Timestamp(3_600_000));
+        let qp = QutParams {
+            s2t: s2t_params(),
+            ..QutParams::default()
+        };
+        for _ in 0..50 {
+            e.run_qut("flights", &w, &qp).unwrap();
+        }
+        let after_qut = e.stats().phases;
+        let qut_total = after_qut.index_build_ms
+            + after_qut.voting_ms
+            + after_qut.segmentation_ms
+            + after_qut.sampling_ms
+            + after_qut.clustering_ms;
+        assert!(
+            qut_total >= total,
+            "counters are cumulative: {qut_total} vs {total}"
+        );
     }
 
     #[test]

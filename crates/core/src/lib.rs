@@ -14,7 +14,7 @@ pub mod engine;
 pub mod error;
 pub mod shared;
 
-pub use engine::{DatasetInfo, EngineStats, HermesEngine};
+pub use engine::{DatasetInfo, EngineStats, HermesEngine, PhaseCountersMs};
 pub use error::EngineError;
 pub use shared::SharedEngine;
 

@@ -17,16 +17,22 @@
 //!   (spatio-temporal boxes) plus the convenient [`RTree3D`] wrapper used by
 //!   the rest of the workspace,
 //! * STR bulk loading for building an index over an existing partition in one
-//!   pass.
+//!   pass,
+//! * [`packed`] — a static, structure-of-arrays [`PackedRTree`] for
+//!   read-mostly hot paths: STR-packed into flat lanes, queried with zero
+//!   per-query allocation (the S2T voting index and the packed base of the
+//!   ReTraTree's sub-chunk leaf indexes).
 //!
 //! [`Mbb`]: hermes_trajectory::Mbb
 
 pub mod interval;
 pub mod opclass;
+pub mod packed;
 pub mod rtree3d;
 pub mod tree;
 
 pub use interval::{IntervalOpClass, IntervalQuery, IntervalTree};
 pub use opclass::OpClass;
+pub use packed::{axis_gap, PackedRTree};
 pub use rtree3d::{Box3OpClass, RTree3D, RangeQuery};
 pub use tree::{Gist, GistStats};

@@ -88,33 +88,65 @@ impl OpClass for Box3OpClass {
             }
         };
 
-        let mut best: Option<(f64, f64, Vec<usize>, Vec<usize>)> = None; // (overlap, volume, l, r)
-        for axis in axes {
+        // (overlap, volume, axis index, split position) — the winning order
+        // is re-derived once at the end, so no candidate ever clones a Vec.
+        let mut best: Option<(f64, f64, usize, usize)> = None;
+        let mut prefix: Vec<Mbb> = Vec::with_capacity(keys.len());
+        let mut suffix: Vec<Mbb> = Vec::with_capacity(keys.len());
+        for (axis_idx, axis) in axes.into_iter().enumerate() {
             let mut order: Vec<usize> = (0..keys.len()).collect();
             order.sort_by(|&a, &b| {
                 center(&keys[a], axis)
                     .partial_cmp(&center(&keys[b], axis))
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
+            // Running unions over `keys` indexed through `order` directly:
+            // prefix[i] covers order[..=i], suffix[i] covers order[i..]. Box
+            // union is a pure min/max fold, so these incremental unions are
+            // bit-identical to re-folding each candidate side from scratch —
+            // at O(n) per axis instead of the old O(n²) `collect` per split.
+            prefix.clear();
+            let mut acc = Mbb::empty();
+            for &i in &order {
+                acc.expand(&keys[i]);
+                prefix.push(acc);
+            }
+            suffix.clear();
+            suffix.resize(keys.len(), Mbb::empty());
+            let mut acc = Mbb::empty();
+            for (slot, &i) in order.iter().enumerate().rev() {
+                acc.expand(&keys[i]);
+                suffix[slot] = acc;
+            }
             let min_fill = MIN_ENTRIES.max(1);
             for split_at in min_fill..=(keys.len() - min_fill) {
-                let left: Vec<usize> = order[..split_at].to_vec();
-                let right: Vec<usize> = order[split_at..].to_vec();
-                let lu = Self::union(&left.iter().map(|&i| keys[i]).collect::<Vec<_>>());
-                let ru = Self::union(&right.iter().map(|&i| keys[i]).collect::<Vec<_>>());
-                let overlap = lu.overlap_volume(&ru, DEFAULT_TIME_WEIGHT);
+                let lu = &prefix[split_at - 1];
+                let ru = &suffix[split_at];
+                let overlap = lu.overlap_volume(ru, DEFAULT_TIME_WEIGHT);
                 let volume = lu.volume(DEFAULT_TIME_WEIGHT) + ru.volume(DEFAULT_TIME_WEIGHT);
                 let better = match &best {
                     None => true,
                     Some((bo, bv, _, _)) => overlap < *bo || (overlap == *bo && volume < *bv),
                 };
                 if better {
-                    best = Some((overlap, volume, left, right));
+                    best = Some((overlap, volume, axis_idx, split_at));
                 }
             }
         }
-        let (_, _, l, r) = best.expect("picksplit called with enough keys to split");
-        (l, r)
+        let (_, _, axis_idx, split_at) = best.expect("picksplit called with enough keys to split");
+        // Re-derive the winning axis order once (the sort is deterministic,
+        // so this reproduces exactly the order the winner was scored on).
+        let axis = axes[axis_idx];
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| {
+            center(&keys[a], axis)
+                .partial_cmp(&center(&keys[b], axis))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let right = order[split_at..].to_vec();
+        let mut left = order;
+        left.truncate(split_at);
+        (left, right)
     }
 
     fn distance(key: &Mbb, query: &RangeQuery) -> f64 {

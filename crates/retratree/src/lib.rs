@@ -29,11 +29,13 @@
 //! of every sub-chunk fully covered by `W`, re-clustering only the border
 //! sub-chunks, and merging cluster entries across chunk boundaries.
 
+pub mod leaf_index;
 pub mod node;
 pub mod params;
 pub mod qut;
 pub mod tree;
 
+pub use leaf_index::LeafIndex;
 pub use node::{Chunk, ClusterEntry, SubChunk};
 pub use params::{QutParams, QutParamsBuilder, ReTraTreeParams, ReTraTreeParamsBuilder};
 pub use qut::{

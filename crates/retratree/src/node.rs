@@ -1,6 +1,6 @@
 //! The node types of the four ReTraTree levels.
 
-use hermes_gist::RTree3D;
+use crate::leaf_index::LeafIndex;
 use hermes_storage::{PartitionId, RecordLocator};
 use hermes_trajectory::{SubTrajectory, TimeInterval};
 
@@ -46,9 +46,11 @@ pub struct SubChunk {
     pub outlier_partition: PartitionId,
     /// Locators of the outliers inside the outlier partition.
     pub outliers: Vec<RecordLocator>,
-    /// pg3D-Rtree over every sub-trajectory stored in this sub-chunk
-    /// (members and outliers alike), mapping MBBs to record locators.
-    pub index: RTree3D<RecordLocator>,
+    /// Leaf index over every sub-trajectory stored in this sub-chunk
+    /// (members and outliers alike), mapping MBBs to record locators:
+    /// an STR-packed base rebuilt on reorganisation plus a small dynamic
+    /// delta for insertions in between (see [`LeafIndex`]).
+    pub index: LeafIndex,
 }
 
 impl SubChunk {
@@ -59,7 +61,7 @@ impl SubChunk {
             clusters: Vec::new(),
             outlier_partition,
             outliers: Vec::new(),
-            index: RTree3D::new(),
+            index: LeafIndex::new(),
         }
     }
 

@@ -16,7 +16,9 @@ use crate::node::SubChunk;
 use crate::params::QutParams;
 use crate::tree::ReTraTree;
 use hermes_exec::Executor;
-use hermes_s2t::{run_s2t_with, trajectories_from_subs, Cluster, ClusteringResult, S2TParams};
+use hermes_s2t::{
+    run_s2t_with, trajectories_from_subs, Cluster, ClusteringResult, S2TParams, S2TPhaseTimings,
+};
 use hermes_trajectory::{
     hausdorff_distance, spatiotemporal_distance, sub_trajectory_distance, SubTrajectory,
     TimeInterval,
@@ -36,6 +38,12 @@ pub struct QutStats {
     pub merges: usize,
     /// Wall-clock time of the whole query in milliseconds.
     pub elapsed_ms: f64,
+    /// Aggregated S2T phase timings of every clustering run the query
+    /// performed (border re-clustering for QuT, the fresh pipeline for the
+    /// rebuild baseline). Under parallel execution per-task times overlap in
+    /// wall-clock, so these sum to *work*, not elapsed time — the same
+    /// convention `SHOW STATS` uses for its cumulative phase counters.
+    pub phases: S2TPhaseTimings,
 }
 
 impl QutStats {
@@ -50,6 +58,7 @@ impl QutStats {
         self.reclustered_subchunks += other.reclustered_subchunks;
         self.loaded_sub_trajectories += other.loaded_sub_trajectories;
         self.merges += other.merges;
+        self.phases.accumulate(&other.phases);
     }
 }
 
@@ -122,10 +131,11 @@ fn answer_subchunk(
                 }
             }
         }
-        let (border_clusters, border_outliers) =
+        let (border_clusters, border_outliers, phases) =
             cluster_sub_trajectories(&clipped, &params.s2t, exec);
         answer.clusters = border_clusters;
         answer.outliers = border_outliers;
+        answer.stats.phases = phases;
     }
     answer
 }
@@ -220,25 +230,30 @@ pub fn range_query_then_cluster_with(
 
     // (ii) + (iii): run_s2t builds its segment index (the fresh R-tree) and
     // applies the full clustering pipeline from scratch.
-    let (clusters, outliers) = cluster_sub_trajectories(&clipped, s2t, exec);
+    let (clusters, outliers, phases) = cluster_sub_trajectories(&clipped, s2t, exec);
+    stats.phases = phases;
 
     stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
     (ClusteringResult { clusters, outliers }, stats)
 }
 
 /// Runs S2T over a bag of sub-trajectories (treating each as a trajectory)
-/// and returns its clusters and outliers.
+/// and returns its clusters, outliers and per-phase timings.
 fn cluster_sub_trajectories(
     subs: &[SubTrajectory],
     s2t: &S2TParams,
     exec: &Executor,
-) -> (Vec<Cluster>, Vec<SubTrajectory>) {
+) -> (Vec<Cluster>, Vec<SubTrajectory>, S2TPhaseTimings) {
     if subs.is_empty() {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), S2TPhaseTimings::default());
     }
     let trajs = trajectories_from_subs(subs);
     let outcome = run_s2t_with(&trajs, s2t, exec);
-    (outcome.result.clusters, outcome.result.outliers)
+    (
+        outcome.result.clusters,
+        outcome.result.outliers,
+        outcome.timings,
+    )
 }
 
 /// Distance used to decide whether two cluster representatives describe the
@@ -541,6 +556,10 @@ mod tests {
             loaded_sub_trajectories: 30,
             merges: 4,
             elapsed_ms: 10.0,
+            phases: S2TPhaseTimings {
+                voting_ms: 3.0,
+                ..S2TPhaseTimings::default()
+            },
         };
         let b = QutStats {
             reused_subchunks: 5,
@@ -548,6 +567,11 @@ mod tests {
             loaded_sub_trajectories: 70,
             merges: 8,
             elapsed_ms: 99.0,
+            phases: S2TPhaseTimings {
+                voting_ms: 4.0,
+                clustering_ms: 2.0,
+                ..S2TPhaseTimings::default()
+            },
         };
         a.merge(&b);
         assert_eq!(a.reused_subchunks, 6);
@@ -555,6 +579,28 @@ mod tests {
         assert_eq!(a.loaded_sub_trajectories, 100);
         assert_eq!(a.merges, 12);
         assert_eq!(a.elapsed_ms, 10.0, "overlapping wall-clock must not sum");
+        // Phase timings are work counters: they do sum.
+        assert_eq!(a.phases.voting_ms, 7.0);
+        assert_eq!(a.phases.clustering_ms, 2.0);
+    }
+
+    #[test]
+    fn border_reclustering_populates_phase_timings() {
+        let tree = build_tree();
+        // A misaligned window forces at least one border re-clustering, whose
+        // pipeline timings must surface through the query stats.
+        let w = TimeInterval::new(Timestamp(20 * 60_000), Timestamp(100 * 60_000));
+        let (_, stats) = qut_clustering(&tree, &w, &qut_params());
+        assert!(stats.reclustered_subchunks >= 1);
+        assert!(stats.phases.total_ms() > 0.0);
+        assert!(stats.phases.voting_ms >= 0.0);
+
+        // A chunk-aligned window reuses level-3 entries — no pipeline runs,
+        // no phase work.
+        let aligned = TimeInterval::new(Timestamp(0), Timestamp(12 * 3_600_000));
+        let (_, stats) = qut_clustering(&tree, &aligned, &qut_params());
+        assert_eq!(stats.reclustered_subchunks, 0);
+        assert_eq!(stats.phases, S2TPhaseTimings::default());
     }
 
     #[test]

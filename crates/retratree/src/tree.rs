@@ -319,7 +319,7 @@ impl ReTraTree {
         sc.clusters.extend(new_entries);
         sc.outlier_partition = new_outlier_partition;
         sc.outliers = new_outliers;
-        sc.index = hermes_gist::RTree3D::bulk_load(new_index_entries);
+        sc.index.rebuild(new_index_entries);
 
         // 5. Drop the old outlier partition.
         let _ = self.store.drop_partition(old_partition);

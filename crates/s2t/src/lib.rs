@@ -9,10 +9,14 @@
 //! 1. **NaTS** — *Neighborhood-aware Trajectory Segmentation*:
 //!    * [`voting`] computes, for every 3D segment of every trajectory, how
 //!      many other objects co-move with it (a Gaussian kernel over the
-//!      time-synchronized segment-to-trajectory distance). The indexed
-//!      implementation prunes candidate voters with the `pg3D-Rtree` from
-//!      `hermes-gist`; [`voting::naive_voting`] is the quadratic baseline the
-//!      paper compares against ("corresponding PostgreSQL functions").
+//!      time-synchronized segment-to-trajectory distance). The hot path is
+//!      [`arena`]: a structure-of-arrays [`SegmentArena`] plus a packed STR
+//!      R-tree, voted over flat `f64` lanes with zero allocation in the
+//!      inner loop. [`voting::indexed_voting`] is the object-graph
+//!      `pg3D-Rtree` implementation (kept as the reference the arena path is
+//!      proven bit-identical against); [`voting::naive_voting`] is the
+//!      quadratic baseline the paper compares against ("corresponding
+//!      PostgreSQL functions").
 //!    * [`segmentation`] splits each trajectory into sub-trajectories of
 //!      homogeneous voting (representativeness), irrespective of shape.
 //! 2. **SaCO** — *Sampling, Clustering, Outlier detection*:
@@ -24,6 +28,7 @@
 //! [`pipeline::run_s2t`] wires the phases together; [`metrics`] quantifies
 //! result quality for the comparison experiments (E1/E2).
 
+pub mod arena;
 pub mod clustering;
 pub mod metrics;
 pub mod params;
@@ -32,6 +37,10 @@ pub mod sampling;
 pub mod segmentation;
 pub mod voting;
 
+pub use arena::{
+    arena_voting, arena_voting_with, vote_trajectory_into, ArenaVoteScratch, PackedSegmentIndex,
+    SegmentArena,
+};
 pub use clustering::{cluster_around_representatives, cluster_around_representatives_with};
 pub use clustering::{Cluster, ClusterId, ClusteringResult};
 pub use metrics::ClusteringQuality;

@@ -5,11 +5,12 @@
 //! harness uses to regenerate the paper's speedup claims (experiments E1 and
 //! E3).
 
+use crate::arena::{arena_voting_with, PackedSegmentIndex, SegmentArena};
 use crate::clustering::{cluster_around_representatives_with, ClusteringResult};
 use crate::params::S2TParams;
 use crate::sampling::select_representatives_with;
 use crate::segmentation::{segment_all_with, VotedSubTrajectory};
-use crate::voting::{indexed_voting_with, naive_voting_with, SegmentIndex, VotingProfile};
+use crate::voting::{naive_voting_with, VotingProfile};
 use hermes_exec::Executor;
 use hermes_trajectory::{SubTrajectory, Trajectory};
 use std::time::Instant;
@@ -37,6 +38,17 @@ impl S2TPhaseTimings {
             + self.segmentation_ms
             + self.sampling_ms
             + self.clustering_ms
+    }
+
+    /// Adds another run's timings phase by phase — how QuT aggregates the
+    /// pipelines of its border sub-chunks and how the engine accumulates its
+    /// `SHOW STATS` phase counters.
+    pub fn accumulate(&mut self, other: &S2TPhaseTimings) {
+        self.index_build_ms += other.index_build_ms;
+        self.voting_ms += other.voting_ms;
+        self.segmentation_ms += other.segmentation_ms;
+        self.sampling_ms += other.sampling_ms;
+        self.clustering_ms += other.clustering_ms;
     }
 }
 
@@ -66,9 +78,16 @@ fn run_pipeline(
 ) -> S2TOutcome {
     let mut timings = S2TPhaseTimings::default();
 
+    // Indexed voting runs on the flat hot path: the collection is flattened
+    // into a SoA `SegmentArena` and STR-packed into a `PackedSegmentIndex`
+    // (both timed as index build), then voted over cache-linear lanes. The
+    // votes are bit-identical to the object-graph `indexed_voting` and to
+    // `naive_voting` (see `crate::arena` for the exactness argument).
     let t0 = Instant::now();
     let index = if use_index {
-        Some(SegmentIndex::build(trajectories))
+        let arena = SegmentArena::build(trajectories);
+        let packed = PackedSegmentIndex::build(&arena);
+        Some((arena, packed))
     } else {
         None
     };
@@ -76,7 +95,7 @@ fn run_pipeline(
 
     let t0 = Instant::now();
     let profiles = match &index {
-        Some(idx) => indexed_voting_with(trajectories, idx, params, exec),
+        Some((arena, packed)) => arena_voting_with(arena, packed, params, exec),
         None => naive_voting_with(trajectories, params, exec),
     };
     timings.voting_ms = ms(t0);

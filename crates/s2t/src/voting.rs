@@ -57,8 +57,17 @@ impl VotingProfile {
     }
 
     /// Maximum vote over all segments.
+    ///
+    /// Convention: an **empty profile reports `0.0`**, consistent with
+    /// [`VotingProfile::mean`] — a trajectory with no segments received no
+    /// votes. Votes are non-negative by construction (sums of Gaussian
+    /// kernel values), so `0.0` is also the true infimum of the vote range.
     pub fn max(&self) -> f64 {
-        self.votes.iter().copied().fold(0.0, f64::max)
+        if self.votes.is_empty() {
+            0.0
+        } else {
+            self.votes.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
     }
 }
 
@@ -78,7 +87,10 @@ pub struct SegmentIndex {
 impl SegmentIndex {
     /// Bulk-loads the index from all segments of `trajectories`.
     pub fn build(trajectories: &[Trajectory]) -> Self {
-        let mut items = Vec::new();
+        // Pre-size with the exact segment count: the collection pass below
+        // appends once per segment, so growth doubling never kicks in.
+        let total: usize = trajectories.iter().map(|t| t.num_segments()).sum();
+        let mut items = Vec::with_capacity(total);
         for (ti, traj) in trajectories.iter().enumerate() {
             for si in 0..traj.num_segments() {
                 let seg = traj.segment(si);
@@ -109,9 +121,9 @@ impl SegmentIndex {
     }
 }
 
-/// Gaussian kernel with a hard cutoff; both implementations share it so their
-/// results are bit-identical.
-fn kernel(distance: f64, sigma: f64, cutoff: f64) -> f64 {
+/// Gaussian kernel with a hard cutoff; every implementation (naive, indexed,
+/// arena) shares it so their results are bit-identical.
+pub(crate) fn kernel(distance: f64, sigma: f64, cutoff: f64) -> f64 {
     if distance > cutoff {
         0.0
     } else {
@@ -210,6 +222,11 @@ fn vote_trajectory_indexed_inner(
             }
         });
 
+        // Canonical summation order (ascending voter index): the floating
+        // sum must not depend on which order the R-tree surfaced candidates,
+        // so every voting implementation — naive enumeration, this one, and
+        // the arena/packed hot path — produces bit-identical votes.
+        touched.sort_unstable();
         let mut vote = 0.0;
         for &voter in touched.iter() {
             vote += kernel(best_per_voter[voter], params.sigma, cutoff);
@@ -463,5 +480,27 @@ mod tests {
         };
         assert_eq!(empty.mean(), 0.0);
         assert_eq!(empty.max(), 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_profiles_agree_on_the_zero_convention() {
+        // Documented convention: mean and max both report 0.0 for an empty
+        // profile, and for a singleton both report the single vote.
+        let empty = VotingProfile {
+            trajectory_id: 9,
+            trajectory_index: 0,
+            votes: vec![],
+        };
+        assert_eq!(empty.mean(), empty.max());
+        assert_eq!(empty.max(), 0.0);
+        for v in [0.0, 0.25, 4.5] {
+            let singleton = VotingProfile {
+                trajectory_id: 10,
+                trajectory_index: 1,
+                votes: vec![v],
+            };
+            assert_eq!(singleton.mean(), v);
+            assert_eq!(singleton.max(), v);
+        }
     }
 }

@@ -177,6 +177,14 @@ fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
         ("buffer_misses", s.buffer.misses as i64),
         ("buffer_evictions", s.buffer.evictions as i64),
         ("threads", s.threads as i64),
+        // Cumulative S2T pipeline phase work (milliseconds) across every
+        // clustering query — S2T direct, QuT border re-clustering and the
+        // window-rebuild baseline alike.
+        ("s2t_index_build_ms", s.phases.index_build_ms as i64),
+        ("s2t_voting_ms", s.phases.voting_ms as i64),
+        ("s2t_segmentation_ms", s.phases.segmentation_ms as i64),
+        ("s2t_sampling_ms", s.phases.sampling_ms as i64),
+        ("s2t_clustering_ms", s.phases.clustering_ms as i64),
     ] {
         push_stat(frame, "engine", metric, value);
     }
@@ -676,11 +684,50 @@ mod tests {
         assert!(metric("indexed_partitions") > 0);
         assert!(metric("stored_records") > 0);
         assert!(metric("buffer_hits") + metric("buffer_misses") > 0);
+        // The cumulative phase counters are always present (non-negative,
+        // zero until enough clustering work accumulates a millisecond).
+        for phase in [
+            "s2t_index_build_ms",
+            "s2t_voting_ms",
+            "s2t_segmentation_ms",
+            "s2t_sampling_ms",
+            "s2t_clustering_ms",
+        ] {
+            assert!(metric(phase) >= 0, "{phase}");
+        }
         assert!(frame
             .column("scope")
             .unwrap()
             .iter()
             .all(|v| v.as_str() == Some("engine")));
+    }
+
+    #[test]
+    fn show_stats_phase_counters_grow_with_clustering_work() {
+        let mut e = engine();
+        let metric = |e: &mut HermesEngine, name: &str| -> i64 {
+            let outcome = execute(e, "SHOW STATS;").unwrap();
+            let frame = outcome.expect_frame("SHOW STATS");
+            let value = frame
+                .rows()
+                .find(|row| row[1].as_str() == Some(name))
+                .and_then(|row| row[2].as_i64())
+                .unwrap_or_else(|| panic!("metric {name} missing"));
+            value
+        };
+        let before = metric(&mut e, "s2t_voting_ms");
+        for _ in 0..50 {
+            execute(&mut e, "SELECT S2T(flights, 60, 0.35, 0.05, 120000, 400);").unwrap();
+        }
+        let after = metric(&mut e, "s2t_voting_ms")
+            + metric(&mut e, "s2t_index_build_ms")
+            + metric(&mut e, "s2t_segmentation_ms")
+            + metric(&mut e, "s2t_sampling_ms")
+            + metric(&mut e, "s2t_clustering_ms");
+        assert!(
+            after > before,
+            "phase counters must accumulate: {after} vs {before}"
+        );
     }
 
     #[test]

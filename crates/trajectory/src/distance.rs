@@ -7,7 +7,7 @@
 //! paper calls out ("focusing on the spatial and ignoring the temporal
 //! dimension").
 
-use crate::interpolate::{position_at, sample_instants};
+use crate::interpolate::{position_at, sample_instants_iter};
 use crate::point::Point;
 use crate::segment::Segment;
 use crate::subtrajectory::SubTrajectory;
@@ -33,10 +33,10 @@ pub fn synchronized_euclidean_points(a: &[Point], b: &[Point]) -> Option<f64> {
     if common.length().millis() == 0 {
         return None;
     }
-    let instants = sample_instants(common.start, common.end, SYNC_SAMPLES);
+    // Lazy instants: the whole integral runs without a heap allocation.
     let mut sum = 0.0;
     let mut n = 0usize;
-    for t in instants {
+    for t in sample_instants_iter(common.start, common.end, SYNC_SAMPLES) {
         if let (Some(p), Some(q)) = (position_at(a, t), position_at(b, t)) {
             sum += p.spatial_distance(&q);
             n += 1;

@@ -36,15 +36,58 @@ pub fn position_at(points: &[Point], t: Timestamp) -> Option<Point> {
     Some(before.lerp(after, f))
 }
 
+/// Iterator over `n` evenly spaced instants covering `[start, end]`
+/// inclusive. The allocation-free form of [`sample_instants`]: the distance
+/// kernels iterate it directly so the integral distances never heap-allocate
+/// a per-pair instant buffer.
+#[derive(Debug, Clone)]
+pub struct SampleInstants {
+    start_ms: i64,
+    span_ms: i64,
+    n: usize,
+    i: usize,
+}
+
+impl Iterator for SampleInstants {
+    type Item = Timestamp;
+
+    #[inline]
+    fn next(&mut self) -> Option<Timestamp> {
+        if self.i >= self.n {
+            return None;
+        }
+        let t = Timestamp(self.start_ms + self.span_ms * self.i as i64 / (self.n as i64 - 1));
+        self.i += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SampleInstants {}
+
+/// The instants of [`sample_instants`] as a lazy iterator (no allocation).
+/// Panics if `n < 2`, like the eager form.
+pub fn sample_instants_iter(start: Timestamp, end: Timestamp, n: usize) -> SampleInstants {
+    assert!(n >= 2, "need at least two sample instants");
+    SampleInstants {
+        start_ms: start.millis(),
+        span_ms: (end - start).millis(),
+        n,
+        i: 0,
+    }
+}
+
 /// Samples the interpolated positions of two synchronized objects at `n`
 /// evenly spaced instants over a common interval, returning the instants.
-/// Helper for distance kernels; exposed for testing.
+/// Helper for distance kernels; exposed for testing. Hot paths should prefer
+/// [`sample_instants_iter`], which yields the same instants without the
+/// intermediate `Vec`.
 pub fn sample_instants(start: Timestamp, end: Timestamp, n: usize) -> Vec<Timestamp> {
-    assert!(n >= 2, "need at least two sample instants");
-    let span = (end - start).millis();
-    (0..n)
-        .map(|i| Timestamp(start.millis() + span * i as i64 / (n as i64 - 1)))
-        .collect()
+    sample_instants_iter(start, end, n).collect()
 }
 
 #[cfg(test)]
@@ -98,5 +141,16 @@ mod tests {
                 Timestamp(1_000)
             ]
         );
+    }
+
+    #[test]
+    fn iterator_form_yields_exactly_the_eager_instants() {
+        for (a, b, n) in [(0i64, 1_000i64, 5usize), (-7, 13, 2), (0, 1, 32), (5, 5, 3)] {
+            let eager = sample_instants(Timestamp(a), Timestamp(b), n);
+            let iter = sample_instants_iter(Timestamp(a), Timestamp(b), n);
+            assert_eq!(iter.len(), n);
+            let lazy: Vec<Timestamp> = iter.collect();
+            assert_eq!(eager, lazy, "start={a} end={b} n={n}");
+        }
     }
 }

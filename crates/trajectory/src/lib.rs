@@ -25,6 +25,7 @@ pub mod distance;
 pub mod error;
 pub mod geo;
 pub mod interpolate;
+pub mod kernel;
 pub mod mbb;
 pub mod point;
 pub mod segment;
@@ -41,6 +42,7 @@ pub use distance::{
 };
 pub use error::TrajectoryError;
 pub use geo::{haversine_distance, GeoPoint, LocalProjection};
+pub use kernel::{mean_sync_distance, SegLanes};
 pub use mbb::Mbb;
 pub use point::Point;
 pub use segment::Segment;

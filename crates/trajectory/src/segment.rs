@@ -2,6 +2,7 @@
 //! consecutive samples. The voting step of S2T-Clustering operates on
 //! segments ("each 3D trajectory segment ... is voted by other trajectories").
 
+use crate::kernel::{self, SegLanes};
 use crate::mbb::Mbb;
 use crate::point::Point;
 use crate::time::{TimeInterval, Timestamp};
@@ -128,19 +129,29 @@ impl Segment {
         Some(best)
     }
 
+    /// The segment's endpoints as flat scalar lanes, the form the
+    /// allocation-free kernels in [`crate::kernel`] operate on.
+    pub fn lanes(&self) -> SegLanes {
+        SegLanes {
+            x0: self.start.x,
+            y0: self.start.y,
+            x1: self.end.x,
+            y1: self.end.y,
+            t0: self.start.t.millis(),
+            t1: self.end.t.millis(),
+        }
+    }
+
     /// Mean synchronized distance over the common lifespan (None when the
     /// lifespans are disjoint). Because the relative displacement is linear,
     /// the mean of its norm is approximated by Simpson's rule on the three
     /// anchor instants, which is exact for linear and quadratic profiles.
+    ///
+    /// Delegates to [`kernel::mean_sync_distance`], the flat kernel the
+    /// SoA voting hot path also calls — the two paths are bit-identical by
+    /// construction.
     pub fn mean_synchronized_distance(&self, other: &Segment) -> Option<f64> {
-        let common = self.interval().intersection(&other.interval())?;
-        let mid = Timestamp((common.start.millis() + common.end.millis()) / 2);
-        let d = |t: Timestamp| {
-            let p = self.position_at(t);
-            let q = other.position_at(t);
-            p.spatial_distance(&q)
-        };
-        Some((d(common.start) + 4.0 * d(mid) + d(common.end)) / 6.0)
+        kernel::mean_sync_distance(&self.lanes(), &other.lanes())
     }
 }
 

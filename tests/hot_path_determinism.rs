@@ -1,0 +1,162 @@
+//! The flat hot path must not change a single bit of any answer.
+//!
+//! Three voting implementations coexist: the quadratic `naive_voting`, the
+//! object-graph `indexed_voting` (`SegmentIndex`/`RTree3D`), and the SoA
+//! `arena_voting` (`SegmentArena` + `PackedSegmentIndex`) the pipeline now
+//! runs on. On seeded urban, maritime and aircraft datasets, at 1, 4 and 8
+//! compute threads, all three must agree **exactly** — same `f64` bits in
+//! every vote — and the arena-backed pipeline must reproduce the legacy
+//! voting verbatim end to end.
+
+use hermes::exec::{ExecPolicy, Executor};
+use hermes::prelude::*;
+use hermes::s2t::{
+    arena_voting_with, indexed_voting_with, naive_voting_with, run_s2t, PackedSegmentIndex,
+    SegmentArena, SegmentIndex, VotingProfile,
+};
+
+fn urban_trajectories() -> Vec<Trajectory> {
+    UrbanScenarioBuilder {
+        seed: 0x407_ACE,
+        grid_size: 12,
+        num_corridors: 3,
+        vehicles_per_corridor: 5,
+        num_random_vehicles: 7,
+        ..UrbanScenarioBuilder::default()
+    }
+    .build()
+    .trajectories
+}
+
+fn maritime_trajectories() -> Vec<Trajectory> {
+    MaritimeScenarioBuilder {
+        seed: 0x5EA_F00D,
+        num_lanes: 3,
+        vessels_per_lane: 6,
+        num_rogues: 4,
+        departure_spread_ms: 30 * 60_000,
+        ..MaritimeScenarioBuilder::default()
+    }
+    .build()
+    .trajectories
+}
+
+fn aircraft_trajectories() -> Vec<Trajectory> {
+    AircraftScenarioBuilder {
+        seed: 0xA1_4C4A,
+        num_streams: 3,
+        waves_per_stream: 2,
+        flights_per_wave: 4,
+        num_stragglers: 3,
+        holding_probability: 0.3,
+        ..AircraftScenarioBuilder::default()
+    }
+    .build()
+    .trajectories
+}
+
+fn workloads() -> Vec<(&'static str, Vec<Trajectory>, S2TParams)> {
+    let p = |sigma: f64, epsilon: f64, min_ms: i64| {
+        S2TParams::builder()
+            .sigma(sigma)
+            .epsilon(epsilon)
+            .min_duration_ms(min_ms)
+            .build()
+            .unwrap()
+    };
+    vec![
+        ("urban", urban_trajectories(), p(60.0, 250.0, 3 * 60_000)),
+        (
+            "maritime",
+            maritime_trajectories(),
+            p(800.0, 2_500.0, 10 * 60_000),
+        ),
+        (
+            "aircraft",
+            aircraft_trajectories(),
+            p(2_000.0, 6_000.0, 5 * 60_000),
+        ),
+    ]
+}
+
+/// The thread counts of the satellite task: serial plus two pool sizes.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn assert_profiles_bit_identical(a: &[VotingProfile], b: &[VotingProfile], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: profile count");
+    for (pa, pb) in a.iter().zip(b.iter()) {
+        assert_eq!(pa.trajectory_id, pb.trajectory_id, "{label}: ids");
+        assert_eq!(pa.trajectory_index, pb.trajectory_index, "{label}: order");
+        // Exact f64 equality — one flipped bit fails the suite.
+        assert_eq!(pa.votes, pb.votes, "{label}: votes of {}", pa.trajectory_id);
+    }
+}
+
+#[test]
+fn arena_voting_is_bit_identical_to_indexed_and_naive_paths() {
+    for (name, trajs, params) in workloads() {
+        assert!(
+            trajs.len() >= 10,
+            "{name}: workload too small to be meaningful"
+        );
+        let arena = SegmentArena::build(&trajs);
+        let packed = PackedSegmentIndex::build(&arena);
+        let legacy = SegmentIndex::build(&trajs);
+        assert_eq!(packed.len(), legacy.len(), "{name}: index cardinality");
+
+        let serial = Executor::serial();
+        let reference = arena_voting_with(&arena, &packed, &params, &serial);
+        for threads in THREAD_COUNTS {
+            let exec = Executor::new(ExecPolicy { threads });
+            let label = format!("{name}@{threads}");
+            assert_profiles_bit_identical(
+                &arena_voting_with(&arena, &packed, &params, &exec),
+                &reference,
+                &format!("{label}/arena"),
+            );
+            assert_profiles_bit_identical(
+                &indexed_voting_with(&trajs, &legacy, &params, &exec),
+                &reference,
+                &format!("{label}/indexed"),
+            );
+            assert_profiles_bit_identical(
+                &naive_voting_with(&trajs, &params, &exec),
+                &reference,
+                &format!("{label}/naive"),
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_runs_on_the_arena_and_reproduces_legacy_voting_verbatim() {
+    for (name, trajs, params) in workloads() {
+        let outcome = run_s2t(&trajs, &params);
+        let legacy = SegmentIndex::build(&trajs);
+        let via_legacy = indexed_voting_with(&trajs, &legacy, &params, &Executor::serial());
+        assert_profiles_bit_identical(&outcome.profiles, &via_legacy, name);
+        // The timing surface knows about the new index build phase.
+        assert!(outcome.timings.index_build_ms >= 0.0);
+        assert!(outcome.timings.total_ms() > 0.0);
+    }
+}
+
+#[test]
+fn packed_segment_index_matches_legacy_cardinality_and_geometry() {
+    for (name, trajs, _params) in workloads() {
+        let arena = SegmentArena::build(&trajs);
+        let packed = PackedSegmentIndex::build(&arena);
+        let expected: usize = trajs.iter().map(|t| t.num_segments()).sum();
+        assert_eq!(arena.num_segments(), expected, "{name}");
+        assert_eq!(packed.len(), expected, "{name}");
+        // Every tree item maps back to the arena segment it was keyed by.
+        for i in 0..packed.len() {
+            let gs = *packed.tree().value(i) as usize;
+            assert_eq!(
+                packed.tree().item_mbb(i),
+                arena.segment_mbb(gs),
+                "{name}/{i}"
+            );
+        }
+    }
+}
