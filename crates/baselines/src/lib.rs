@@ -5,17 +5,21 @@
 //! algorithm as well as related methods, such as T-OPTICS, TRACLUS and
 //! Convoys".
 //!
-//! * [`traclus`] — TRACLUS (Lee, Han & Whang, SIGMOD 2007): MDL-based
+//! * [`mod@traclus`] — TRACLUS (Lee, Han & Whang, SIGMOD 2007): MDL-based
 //!   trajectory partitioning followed by density-based clustering of the
 //!   resulting line segments. Purely spatial — the method the paper positions
 //!   S2T against ("focusing on the spatial and ignoring the temporal
 //!   dimension").
-//! * [`toptics`] — T-OPTICS (Nanni & Pedreschi, JIIS 2006): OPTICS over whole
+//! * [`mod@toptics`] — T-OPTICS (Nanni & Pedreschi, JIIS 2006): OPTICS over whole
 //!   trajectories with a time-synchronized distance.
-//! * [`convoys`] — Convoy discovery (Jeung et al., PVLDB 2008): per-snapshot
+//! * [`mod@convoys`] — Convoy discovery (Jeung et al., PVLDB 2008): per-snapshot
 //!   DBSCAN groups intersected over at least `k` consecutive snapshots.
-//! * [`dbscan`] / [`optics`] — the generic density-clustering machinery the
+//! * [`mod@dbscan`] / [`mod@optics`] — the generic density-clustering machinery the
 //!   three methods above share.
+//!
+//! **Layer:** comparison-only compute, beside `hermes-s2t`; used by the
+//! E2 bench and nothing in the serving path (`docs/ARCHITECTURE.md` has
+//! the layer map).
 
 pub mod convoys;
 pub mod dbscan;

@@ -1,0 +1,153 @@
+//! E11 — durability: checkpoint and recovery wall-time vs dataset size on
+//! the seeded urban workload.
+//!
+//! Three costs are charted per dataset size:
+//!
+//! * `checkpoint` — serialize the whole engine (catalog, trajectories, the
+//!   built ReTraTree with its partition pages and leaf-index entry lists)
+//!   into the checksummed snapshot container and truncate the WAL,
+//! * `recover_snapshot` — reopen the data directory from that snapshot
+//!   (decode + rebuild leaf indexes, no re-clustering),
+//! * `recover_wal_replay` — reopen a directory that never checkpointed, so
+//!   `CREATE` + ingest + `BUILD INDEX` all replay from the log (the build
+//!   re-runs its deterministic clustering — the cost a checkpoint avoids).
+//!
+//! The correctness gate asserts the recovered engine answers a QUT window
+//! with a frame identical to the live engine's before any timing is
+//! trusted; the bench aborts on a mismatch. Counters record snapshot and
+//! WAL sizes so the JSON charts bytes alongside milliseconds.
+//!
+//! Env knobs: `HERMES_BENCH_QUICK=1` shrinks the sweep for CI smoke runs;
+//! `HERMES_BENCH_DIR` redirects the JSON output (`BENCH_e11_persistence.json`).
+
+use hermes_bench::harness::{bench, report, JsonReport};
+use hermes_bench::{tree_params, urban_s2t_params, urban_with};
+use hermes_core::HermesEngine;
+use hermes_sql::execute;
+use std::path::PathBuf;
+
+/// The window query both sides of the correctness gate must answer
+/// identically.
+const GATE_QUERY: &str = "SELECT QUT(data, 0, 1800000, 0.35, 0.05, 120000, 500, 900000);";
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hermes-bench-e11-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens a durable engine over `dir` and stages the workload into it.
+fn populate(dir: &PathBuf, trajectories: &[hermes_trajectory::Trajectory]) -> HermesEngine {
+    let mut engine = HermesEngine::open(dir).expect("open data directory");
+    engine.create_dataset("data").expect("fresh directory");
+    engine
+        .load_trajectories("data", trajectories.to_vec())
+        .expect("ingest");
+    engine
+        .build_index("data", tree_params(urban_s2t_params()))
+        .expect("build index");
+    engine
+}
+
+fn main() {
+    let quick = std::env::var("HERMES_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if quick { &[24] } else { &[24, 48, 96, 192] };
+    let iters: u32 = if quick { 3 } else { 7 };
+
+    let mut samples = Vec::new();
+    let mut json = JsonReport::new("e11_persistence");
+
+    for &n in sizes {
+        let scenario = urban_with(n, 0xE11);
+        let trajs = &scenario.trajectories;
+        let label = |kind: &str| format!("{kind}/{}", trajs.len());
+
+        // --- Checkpoint cost (and the sizes it produces).
+        let ckpt_dir = scratch_dir(&format!("ckpt-{n}"));
+        let mut live = populate(&ckpt_dir, trajs);
+        let wal_bytes_before = live.stats().wal_bytes;
+        let ckpt = bench(label("checkpoint"), iters, || {
+            live.checkpoint().expect("checkpoint").snapshot_bytes
+        });
+        let info = live.checkpoint().expect("checkpoint");
+
+        // --- Correctness gate: the engine recovered from that snapshot
+        // answers bit-identically to the live one.
+        let live_frame = execute(&mut live, GATE_QUERY)
+            .expect("gate query on the live engine")
+            .expect_frame(GATE_QUERY)
+            .clone();
+        // The data-directory lock admits one engine at a time: release the
+        // live engine before recovery opens the directory.
+        drop(live);
+        let mut recovered = HermesEngine::open(&ckpt_dir).expect("recover");
+        let recovered_frame = execute(&mut recovered, GATE_QUERY)
+            .expect("gate query on the recovered engine")
+            .expect_frame(GATE_QUERY)
+            .clone();
+        assert_eq!(
+            live_frame, recovered_frame,
+            "recovered engine diverged from the live engine"
+        );
+        drop(recovered);
+        eprintln!(
+            "gate ok: {} trajectories, snapshot {} B, identical QUT frames",
+            trajs.len(),
+            info.snapshot_bytes
+        );
+
+        // --- Recovery from the snapshot (WAL is empty after checkpoint).
+        let rec_snapshot = bench(label("recover_snapshot"), iters, || {
+            HermesEngine::open(&ckpt_dir)
+                .expect("recover")
+                .stats()
+                .stored_records
+        });
+
+        // --- Recovery from pure WAL replay (no checkpoint ever ran): the
+        // BUILD INDEX re-runs, so this charts what checkpoints save.
+        let wal_dir = scratch_dir(&format!("wal-{n}"));
+        let wal_engine = populate(&wal_dir, trajs);
+        let wal_bytes = wal_engine.stats().wal_bytes;
+        drop(wal_engine);
+        let rec_replay = bench(label("recover_wal_replay"), iters, || {
+            HermesEngine::open(&wal_dir)
+                .expect("replay")
+                .stats()
+                .stored_records
+        });
+
+        let counters = |extra: Vec<(String, f64)>| {
+            let mut base = vec![
+                ("trajectories".to_string(), trajs.len() as f64),
+                ("snapshot_bytes".to_string(), info.snapshot_bytes as f64),
+                ("wal_bytes_full".to_string(), wal_bytes as f64),
+                (
+                    "wal_bytes_at_checkpoint".to_string(),
+                    wal_bytes_before as f64,
+                ),
+                ("gate_identical_frames".to_string(), 1.0),
+            ];
+            base.extend(extra);
+            base
+        };
+        json.push_with(ckpt.clone(), counters(Vec::new()));
+        json.push_with(
+            rec_snapshot.clone(),
+            counters(vec![(
+                "speedup_vs_replay".to_string(),
+                rec_replay.median_ms / rec_snapshot.median_ms.max(1e-9),
+            )]),
+        );
+        json.push_with(rec_replay.clone(), counters(Vec::new()));
+        samples.push(ckpt);
+        samples.push(rec_snapshot);
+        samples.push(rec_replay);
+
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+
+    report("e11_persistence", &samples);
+    json.write().expect("write BENCH_e11_persistence.json");
+}

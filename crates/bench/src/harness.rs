@@ -1,7 +1,7 @@
 //! A dependency-free micro-benchmark harness.
 //!
 //! The experiment targets in `benches/` are plain `harness = false`
-//! executables: each calls [`bench`] per measured variant and [`report`] to
+//! executables: each calls [`bench()`] per measured variant and [`report`] to
 //! print an aligned summary, keeping the whole workspace buildable offline.
 //! Timings are wall-clock medians over a fixed iteration count with one
 //! warm-up run — adequate for the order-of-magnitude comparisons the paper's

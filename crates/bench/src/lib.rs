@@ -4,6 +4,12 @@
 //! EXPERIMENTS.md (one table/figure/claim of the ICDE 2018 demo paper). The
 //! helpers here build the standard synthetic workloads and parameter sets so
 //! the benches and the documentation agree on what exactly was measured.
+//!
+//! **Layer:** out-of-band measurement over the public surface of every
+//! other crate. Reports land as `BENCH_<name>.json` (see the README's
+//! "Benchmark reports" section); the formats and subsystems under test are
+//! documented in `docs/ARCHITECTURE.md`, `docs/PROTOCOL.md` and
+//! `docs/STORAGE.md`.
 
 use hermes_datagen::{
     AircraftScenario, AircraftScenarioBuilder, MaritimeScenario, MaritimeScenarioBuilder,

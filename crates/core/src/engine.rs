@@ -1,6 +1,7 @@
 //! The [`HermesEngine`] façade.
 
 use crate::error::EngineError;
+use crate::persist::Durability;
 use crate::Result;
 use hermes_exec::{ExecPolicy, Executor};
 use hermes_retratree::{
@@ -16,9 +17,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-dataset state held by the engine.
-struct Dataset {
-    trajectories: Vec<Trajectory>,
-    tree: Option<ReTraTree>,
+pub(crate) struct Dataset {
+    pub(crate) trajectories: Vec<Trajectory>,
+    pub(crate) tree: Option<ReTraTree>,
 }
 
 /// Summary of a registered dataset.
@@ -76,6 +77,17 @@ pub struct EngineStats {
     pub threads: usize,
     /// Cumulative S2T pipeline phase timings across every clustering query.
     pub phases: PhaseCountersMs,
+    /// True when the engine was opened over a data directory (snapshot + WAL
+    /// durability). The three counters below are 0 when false.
+    pub durable: bool,
+    /// Size in bytes of the newest snapshot file (0 before the first
+    /// checkpoint of a fresh data directory).
+    pub snapshot_bytes: u64,
+    /// Current write-ahead-log size in bytes (header included).
+    pub wal_bytes: u64,
+    /// Wall-clock milliseconds the most recent [`HermesEngine::checkpoint`]
+    /// took (0 until one runs in this process).
+    pub last_checkpoint_ms: u64,
 }
 
 /// Lock-free accumulator behind [`PhaseCountersMs`]: the clustering entry
@@ -119,8 +131,8 @@ impl PhaseAccumulator {
 
 /// The Moving Object Database engine.
 pub struct HermesEngine {
-    catalog: Catalog,
-    datasets: HashMap<DatasetId, Dataset>,
+    pub(crate) catalog: Catalog,
+    pub(crate) datasets: HashMap<DatasetId, Dataset>,
     /// Intra-query parallelism: the policy and the executor built from it.
     /// Every compute entry point (S2T, QuT, `BUILD INDEX`) fans out on this
     /// executor; serial (1 thread) means everything runs inline.
@@ -128,6 +140,10 @@ pub struct HermesEngine {
     exec: Executor,
     /// Cumulative per-phase compute time over every clustering query.
     phase_totals: PhaseAccumulator,
+    /// Snapshot + WAL persistence, present when the engine was opened over a
+    /// data directory ([`HermesEngine::open`]). `None` means a plain
+    /// in-memory engine — every mutator skips logging.
+    pub(crate) durability: Option<Durability>,
 }
 
 impl Default for HermesEngine {
@@ -152,6 +168,7 @@ impl HermesEngine {
             exec_policy: policy,
             exec: Executor::new(policy),
             phase_totals: PhaseAccumulator::default(),
+            durability: None,
         }
     }
 
@@ -182,8 +199,15 @@ impl HermesEngine {
         Ok(())
     }
 
-    /// Registers a new, empty dataset.
+    /// Registers a new, empty dataset. Durable engines log the operation to
+    /// the write-ahead log once it has applied.
     pub fn create_dataset(&mut self, name: &str) -> Result<DatasetId> {
+        let id = self.apply_create_dataset(name)?;
+        self.log_create_dataset(name)?;
+        Ok(id)
+    }
+
+    pub(crate) fn apply_create_dataset(&mut self, name: &str) -> Result<DatasetId> {
         let id = self.catalog.create(name)?;
         self.datasets.insert(
             id,
@@ -195,8 +219,14 @@ impl HermesEngine {
         Ok(id)
     }
 
-    /// Drops a dataset and everything loaded into it.
+    /// Drops a dataset and everything loaded into it (logged when durable).
     pub fn drop_dataset(&mut self, name: &str) -> Result<()> {
+        self.apply_drop_dataset(name)?;
+        self.log_drop_dataset(name)?;
+        Ok(())
+    }
+
+    pub(crate) fn apply_drop_dataset(&mut self, name: &str) -> Result<()> {
         let meta = self.catalog.drop_dataset(name)?;
         self.datasets.remove(&meta.id);
         Ok(())
@@ -215,8 +245,27 @@ impl HermesEngine {
 
     /// Appends trajectories to a dataset. If the dataset is already indexed,
     /// the new trajectories are also inserted incrementally into its
-    /// ReTraTree (the maintenance path of the architecture figure).
+    /// ReTraTree (the maintenance path of the architecture figure). Durable
+    /// engines log the batch to the write-ahead log.
     pub fn load_trajectories(&mut self, name: &str, trajectories: Vec<Trajectory>) -> Result<()> {
+        // Encode the record before the Vec is consumed; append it only once
+        // the ingest has applied, so a rejected batch is never logged.
+        let record = self
+            .durability
+            .is_some()
+            .then(|| crate::persist::encode_wal_ingest(name, &trajectories));
+        self.apply_load_trajectories(name, trajectories)?;
+        if let Some(record) = record {
+            self.log_record(&record)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn apply_load_trajectories(
+        &mut self,
+        name: &str,
+        trajectories: Vec<Trajectory>,
+    ) -> Result<()> {
         let id = self.dataset_id(name)?;
         let ds = self
             .datasets
@@ -237,8 +286,20 @@ impl HermesEngine {
 
     /// Builds (or rebuilds) the ReTraTree of a dataset, returning the number
     /// of trajectories indexed (the SQL layer reports it as the command's
-    /// affected count).
+    /// affected count). Durable engines log the parameters; replay re-runs
+    /// the (deterministic) build, and the next checkpoint absorbs the tree
+    /// into the snapshot so recovery stops paying for it.
     pub fn build_index(&mut self, name: &str, params: ReTraTreeParams) -> Result<usize> {
+        let indexed = self.apply_build_index(name, params.clone())?;
+        self.log_build_index(name, &params)?;
+        Ok(indexed)
+    }
+
+    pub(crate) fn apply_build_index(
+        &mut self,
+        name: &str,
+        params: ReTraTreeParams,
+    ) -> Result<usize> {
         params.validate().map_err(EngineError::InvalidParameters)?;
         let id = self.dataset_id(name)?;
         let ds = self
@@ -343,6 +404,22 @@ impl HermesEngine {
             datasets: self.datasets.len(),
             threads: self.exec_policy.threads,
             phases: self.phase_totals.snapshot_ms(),
+            durable: self.durability.is_some(),
+            snapshot_bytes: self
+                .durability
+                .as_ref()
+                .map(|d| d.snapshot_bytes)
+                .unwrap_or(0),
+            wal_bytes: self
+                .durability
+                .as_ref()
+                .map(|d| d.wal.size_bytes())
+                .unwrap_or(0),
+            last_checkpoint_ms: self
+                .durability
+                .as_ref()
+                .map(|d| d.last_checkpoint_ms)
+                .unwrap_or(0),
             ..EngineStats::default()
         };
         for ds in self.datasets.values() {

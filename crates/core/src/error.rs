@@ -16,6 +16,9 @@ pub enum EngineError {
     EmptyDataset(String),
     /// A parameter failed validation.
     InvalidParameters(String),
+    /// A durability-only operation (`CHECKPOINT`) reached an in-memory
+    /// engine — open the engine over a data directory first.
+    NotDurable,
     /// An error bubbled up from the storage layer.
     Storage(StorageError),
 }
@@ -30,6 +33,10 @@ impl fmt::Display for EngineError {
             }
             EngineError::EmptyDataset(name) => write!(f, "dataset '{name}' holds no trajectories"),
             EngineError::InvalidParameters(reason) => write!(f, "invalid parameters: {reason}"),
+            EngineError::NotDurable => write!(
+                f,
+                "engine has no data directory; open it with --data-dir (or HermesEngine::open) to checkpoint"
+            ),
             EngineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

@@ -9,13 +9,21 @@
 //! [`HermesEngine::run_s2t`] and window-constrained [`HermesEngine::run_qut`]
 //! — plus the naive execution strategies the demo benchmarks against, so the
 //! SQL layer (`hermes-sql`) and the examples talk to a single object.
+//!
+//! Engines come in two flavours: in-memory ([`HermesEngine::new`]) and
+//! durable ([`HermesEngine::open`] over a data directory), the latter backed
+//! by the snapshot + write-ahead-log [`persist`] layer —
+//! [`HermesEngine::checkpoint`] makes the current state the recovery point.
+//! The on-disk formats are specified in `docs/STORAGE.md`.
 
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod shared;
 
 pub use engine::{DatasetInfo, EngineStats, HermesEngine, PhaseCountersMs};
 pub use error::EngineError;
+pub use persist::{CheckpointInfo, WalRecord};
 pub use shared::SharedEngine;
 
 // Re-exported so front ends (SQL executor, server, CLI) can configure

@@ -20,6 +20,11 @@
 //! embedded so the crate does not depend on `rand`'s distribution details for
 //! reproducibility across versions; `rand` is still used where a generator
 //! benefits from higher-level sampling).
+//!
+//! **Layer:** test/bench support — seeded, deterministic inputs for the
+//! determinism harnesses (`tests/*_determinism.rs`, `tests/persistence.rs`)
+//! and the experiments in `crates/bench`. See `docs/ARCHITECTURE.md` for
+//! where the workloads are consumed.
 
 pub mod aircraft;
 pub mod maritime;

@@ -29,6 +29,11 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]); // input order, always
 //! assert_eq!(exec.threads(), 4);
 //! ```
+//!
+//! **Layer:** infrastructure under every compute crate. Key types:
+//! [`ExecPolicy`], [`Executor`], [`ThreadPool`]. The pool design, fork-join
+//! points and lock interaction are documented in
+//! `docs/ARCHITECTURE.md` § "Execution model".
 
 mod pool;
 

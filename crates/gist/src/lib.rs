@@ -24,6 +24,11 @@
 //!   ReTraTree's sub-chunk leaf indexes).
 //!
 //! [`Mbb`]: hermes_trajectory::Mbb
+//!
+//! **Layer:** index substrate under `hermes-retratree` and the S2T voting
+//! hot path. Key types: [`Gist`], [`OpClass`], [`RTree3D`], [`PackedRTree`].
+//! Where each index sits in a query's life is mapped in
+//! `docs/ARCHITECTURE.md`.
 
 pub mod interval;
 pub mod opclass;

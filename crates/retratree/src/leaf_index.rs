@@ -18,12 +18,22 @@ use hermes_gist::{PackedRTree, RTree3D};
 use hermes_storage::RecordLocator;
 use hermes_trajectory::{Mbb, TimeInterval};
 
+/// An ordered list of `(bounding box, record locator)` index entries — the
+/// exchange format of [`LeafIndex::export_entries`] /
+/// [`LeafIndex::import_entries`].
+pub type IndexEntries = Vec<(Mbb, RecordLocator)>;
+
 /// Hybrid packed/dynamic index over a sub-chunk's stored records.
 pub struct LeafIndex {
     /// STR-packed base, rebuilt wholesale on reorganisation.
     packed: PackedRTree<RecordLocator>,
     /// Incremental overlay for records inserted since the last rebuild.
     delta: RTree3D<RecordLocator>,
+    /// The delta entries in insertion order — the trickle between rebuilds is
+    /// small, and remembering it makes the index state exportable: a snapshot
+    /// replays exactly these insertions on load, reproducing the delta tree
+    /// bit for bit (see [`LeafIndex::export_entries`]).
+    delta_log: Vec<(Mbb, RecordLocator)>,
 }
 
 impl Default for LeafIndex {
@@ -38,6 +48,7 @@ impl LeafIndex {
         LeafIndex {
             packed: PackedRTree::bulk_load(Vec::new()),
             delta: RTree3D::new(),
+            delta_log: Vec::new(),
         }
     }
 
@@ -64,14 +75,43 @@ impl LeafIndex {
     /// Inserts one record into the delta overlay.
     pub fn insert(&mut self, mbb: Mbb, loc: RecordLocator) {
         self.delta.insert(mbb, loc);
+        self.delta_log.push((mbb, loc));
     }
 
     /// Replaces the whole index with an STR-packed base over `entries`
     /// (clearing the delta) — called by sub-chunk reorganisation, which
     /// rewrites every locator anyway.
-    pub fn rebuild(&mut self, entries: Vec<(Mbb, RecordLocator)>) {
+    ///
+    /// The entries are first put in a canonical order (ascending locator —
+    /// a unique key), which makes the packed layout, and therefore every
+    /// query's visit order, a pure function of the entry *set*. That is what
+    /// lets a snapshot restore the base from any enumeration of its entries
+    /// and still reproduce bit-identical downstream results.
+    pub fn rebuild(&mut self, mut entries: Vec<(Mbb, RecordLocator)>) {
+        entries.sort_by_key(|(_, loc)| (loc.partition, loc.page, loc.slot));
         self.packed = PackedRTree::bulk_load(entries);
         self.delta = RTree3D::new();
+        self.delta_log = Vec::new();
+    }
+
+    /// The index state as `(base entries, delta entries)`: the packed base in
+    /// lane order (any order round-trips — [`LeafIndex::rebuild`]
+    /// canonicalizes) and the delta in insertion order. Feeding both to
+    /// [`LeafIndex::import_entries`] reproduces an index whose every query
+    /// answers in the same order as this one.
+    pub fn export_entries(&self) -> (IndexEntries, IndexEntries) {
+        let base = self.packed.iter().map(|(mbb, loc)| (mbb, *loc)).collect();
+        (base, self.delta_log.clone())
+    }
+
+    /// Rebuilds the index from an [`LeafIndex::export_entries`] pair.
+    pub fn import_entries(base: IndexEntries, delta: IndexEntries) -> Self {
+        let mut index = LeafIndex::new();
+        index.rebuild(base);
+        for (mbb, loc) in delta {
+            index.insert(mbb, loc);
+        }
+        index
     }
 
     /// Every record whose lifespan intersects the temporal window, packed
@@ -174,6 +214,47 @@ mod tests {
         let q = boxy(5.4, 5.6, 5_100, 5_800);
         let box_hits = idx.query_intersecting(&q);
         assert!(box_hits.iter().any(|l| l.slot == 999));
+    }
+
+    #[test]
+    fn rebuild_is_permutation_invariant_and_export_round_trips() {
+        let entries: Vec<(Mbb, RecordLocator)> = (0..40)
+            .map(|i| {
+                (
+                    boxy(i as f64, i as f64 + 1.0, i * 500, i * 500 + 400),
+                    loc(i as u64),
+                )
+            })
+            .collect();
+        let mut forward = LeafIndex::new();
+        forward.rebuild(entries.clone());
+        let mut reversed = LeafIndex::new();
+        reversed.rebuild(entries.iter().rev().cloned().collect());
+
+        let w = TimeInterval::new(Timestamp(3_000), Timestamp(12_000));
+        let order = |idx: &LeafIndex| -> Vec<RecordLocator> {
+            idx.query_temporal(&w).into_iter().copied().collect()
+        };
+        // The canonical sort makes the layout a function of the entry set.
+        assert_eq!(order(&forward), order(&reversed));
+
+        // Delta insertions and the base both survive an export/import cycle
+        // with identical visit order.
+        forward.insert(boxy(100.0, 101.0, 4_000, 4_500), loc(900));
+        forward.insert(boxy(200.0, 201.0, 5_000, 5_500), loc(901));
+        let (base, delta) = forward.export_entries();
+        assert_eq!(base.len(), 40);
+        assert_eq!(delta.len(), 2);
+        let imported = LeafIndex::import_entries(base, delta);
+        assert_eq!(order(&forward), order(&imported));
+        assert_eq!(imported.packed_len(), forward.packed_len());
+        assert_eq!(imported.delta_len(), forward.delta_len());
+
+        let q = boxy(0.0, 300.0, 0, 20_000);
+        let box_order = |idx: &LeafIndex| -> Vec<RecordLocator> {
+            idx.query_intersecting(&q).into_iter().copied().collect()
+        };
+        assert_eq!(box_order(&forward), box_order(&imported));
     }
 
     #[test]

@@ -29,15 +29,23 @@
 //! of every sub-chunk fully covered by `W`, re-clustering only the border
 //! sub-chunks, and merging cluster entries across chunk boundaries.
 
+//!
+//! Durable deployments serialize the whole structure through [`persist`]
+//! (parameters, cluster entries, partition pages, leaf-index entry lists) so
+//! an engine restart restores the index without re-clustering — the on-disk
+//! layout is specified in `docs/STORAGE.md`.
+
 pub mod leaf_index;
 pub mod node;
 pub mod params;
+pub mod persist;
 pub mod qut;
 pub mod tree;
 
 pub use leaf_index::LeafIndex;
 pub use node::{Chunk, ClusterEntry, SubChunk};
 pub use params::{QutParams, QutParamsBuilder, ReTraTreeParams, ReTraTreeParamsBuilder};
+pub use persist::{decode_params_from, decode_tree, encode_params_into, encode_tree};
 pub use qut::{
     qut_clustering, qut_clustering_with, range_query_then_cluster, range_query_then_cluster_with,
     QutStats,

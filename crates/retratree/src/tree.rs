@@ -31,12 +31,12 @@ pub struct MaintenanceStats {
 
 /// The Representative Trajectory Tree.
 pub struct ReTraTree {
-    params: ReTraTreeParams,
+    pub(crate) params: ReTraTreeParams,
     /// Level-1 chunks keyed by their start time in milliseconds.
-    chunks: BTreeMap<i64, Chunk>,
+    pub(crate) chunks: BTreeMap<i64, Chunk>,
     /// Level-4 storage shared by every partition of the tree.
-    store: PartitionStore,
-    stats: MaintenanceStats,
+    pub(crate) store: PartitionStore,
+    pub(crate) stats: MaintenanceStats,
 }
 
 impl ReTraTree {

@@ -27,6 +27,11 @@
 //!
 //! [`pipeline::run_s2t`] wires the phases together; [`metrics`] quantifies
 //! result quality for the comparison experiments (E1/E2).
+//!
+//! **Layer:** the whole-dataset clustering compute layer between
+//! `hermes-trajectory` and the engine. The flat data layout of the voting
+//! hot path is documented in `docs/ARCHITECTURE.md` § "Data layout & hot
+//! path".
 
 pub mod arena;
 pub mod clustering;

@@ -6,13 +6,21 @@
 //! hermes-serve --addr 127.0.0.1:0      # ephemeral port (printed on stdout)
 //! hermes-serve --max-connections 16    # cap simultaneous connections
 //! hermes-serve --threads 8             # intra-query compute threads
+//! hermes-serve --data-dir ./hermes     # durable engine: recover on start,
+//!                                      # checkpoint on SIGTERM/SIGINT
 //! ```
 //!
-//! The server starts with an empty engine; clients create datasets and load
-//! data over the wire (`hermes-cli load data.csv --connect host:port`, or
-//! `HermesClient::ingest`). The bound address is announced on stdout as
-//! `hermes-serve listening on <addr>` so scripts (like the CI smoke test)
-//! can scrape the ephemeral port.
+//! Without `--data-dir` the server starts with an empty in-memory engine;
+//! clients create datasets and load data over the wire (`hermes-cli load
+//! data.csv --connect host:port`, or `HermesClient::ingest`) and everything
+//! is lost when the process exits. With `--data-dir` the engine recovers the
+//! newest snapshot plus the write-ahead log on startup, journals every
+//! mutation, and a graceful shutdown (SIGTERM or Ctrl-C) checkpoints before
+//! exiting — clients can also run `CHECKPOINT;` at any time. See
+//! `docs/STORAGE.md` for the on-disk formats and recovery semantics.
+//!
+//! The bound address is announced on stdout as `hermes-serve listening on
+//! <addr>` so scripts (like the CI smoke test) can scrape the ephemeral port.
 
 use hermes_core::{ExecPolicy, HermesEngine, SharedEngine};
 use hermes_server::{Server, ServerConfig};
@@ -24,6 +32,7 @@ hermes-serve — the Hermes network server
 
 USAGE:
     hermes-serve [--addr <host:port>] [--max-connections <n>] [--threads <n>]
+                 [--data-dir <dir>]
 
 OPTIONS:
     --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
@@ -33,6 +42,10 @@ OPTIONS:
                              INDEX (default: HERMES_THREADS or all cores;
                              1 = serial). Clients can change it at runtime
                              with SET threads = n;
+    --data-dir <dir>         Durable engine over <dir>: recover snapshot +
+                             WAL on start, journal every mutation, and
+                             checkpoint on SIGTERM/SIGINT. Clients can also
+                             run CHECKPOINT; at any time.
     -h, --help               Print this text
 ";
 
@@ -40,6 +53,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8650".to_string();
     let mut config = ServerConfig::default();
     let mut policy = ExecPolicy::from_env();
+    let mut data_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,6 +74,10 @@ fn main() -> ExitCode {
                 Some(Err(m)) => return fail(&format!("--{m}")),
                 None => return fail("--threads requires a positive integer"),
             },
+            "--data-dir" => match args.next() {
+                Some(dir) => data_dir = Some(dir),
+                None => return fail("--data-dir requires a directory path"),
+            },
             "-h" | "--help" => {
                 print!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -68,8 +86,23 @@ fn main() -> ExitCode {
         }
     }
 
-    let engine = SharedEngine::new(HermesEngine::with_exec_policy(policy));
-    let server = match Server::bind(&addr, engine, config) {
+    let durable = data_dir.is_some();
+    let engine = match &data_dir {
+        Some(dir) => match HermesEngine::open_with_exec_policy(dir, policy) {
+            Ok(engine) => {
+                let stats = engine.stats();
+                eprintln!(
+                    "recovered {} dataset(s) from {dir} (snapshot {} B, wal {} B)",
+                    stats.datasets, stats.snapshot_bytes, stats.wal_bytes
+                );
+                SharedEngine::new(engine)
+            }
+            Err(e) => return fail(&format!("cannot open data directory {dir}: {e}")),
+        },
+        None => SharedEngine::new(HermesEngine::with_exec_policy(policy)),
+    };
+
+    let server = match Server::bind(&addr, engine.clone(), config) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
     };
@@ -77,10 +110,27 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return fail(&format!("cannot resolve bound address: {e}")),
     };
+    let handle = match server.spawn() {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("cannot start the accept loop: {e}")),
+    };
     println!("hermes-serve listening on {bound}");
     let _ = std::io::stdout().flush();
-    if let Err(e) = server.run() {
-        return fail(&format!("server terminated: {e}"));
+
+    // Block until the process is asked to stop, then shut down gracefully:
+    // stop accepting connections, and on a durable engine make the current
+    // state the recovery point.
+    wait_for_termination();
+    eprintln!("hermes-serve: shutting down");
+    handle.shutdown();
+    if durable {
+        match engine.with_write(|e| e.checkpoint()) {
+            Ok(info) => eprintln!(
+                "hermes-serve: checkpointed {} B (discarded {} B of wal) in {} ms",
+                info.snapshot_bytes, info.wal_bytes_discarded, info.elapsed_ms
+            ),
+            Err(e) => return fail(&format!("shutdown checkpoint failed: {e}")),
+        }
     }
     ExitCode::SUCCESS
 }
@@ -88,4 +138,64 @@ fn main() -> ExitCode {
 fn fail(message: &str) -> ExitCode {
     eprintln!("error: {message}");
     ExitCode::FAILURE
+}
+
+/// Blocks until SIGTERM or SIGINT arrives (unix). Signal handlers may only
+/// do async-signal-safe work, so the handler writes one byte into a
+/// self-pipe and the main thread blocks reading it — the classic self-pipe
+/// trick, built on the C library symbols std already links against.
+#[cfg(unix)]
+fn wait_for_termination() {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let _ = unsafe { write(fd, b"x".as_ptr(), 1) };
+        }
+    }
+
+    let mut fds = [-1i32; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        // No pipe, no graceful shutdown — behave like the pre-durability
+        // server and simply run until killed.
+        loop {
+            std::thread::park();
+        }
+    }
+    WRITE_FD.store(fds[1], Ordering::SeqCst);
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    let mut buf = [0u8; 1];
+    loop {
+        let n = unsafe { read(fds[0], buf.as_mut_ptr(), 1) };
+        if n >= 1 {
+            return;
+        }
+        // n < 0 is EINTR from the very signal we are waiting for (or a
+        // spurious wakeup): retry, the handler's byte is (or will be) in
+        // the pipe.
+    }
+}
+
+/// Non-unix fallback: no signal plumbing, run until killed.
+#[cfg(not(unix))]
+fn wait_for_termination() {
+    loop {
+        std::thread::park();
+    }
 }

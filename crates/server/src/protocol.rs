@@ -16,8 +16,9 @@
 //!
 //! The encoding is deliberately symmetric: [`Request`]s flow client → server,
 //! [`Response`]s flow back, and both sides use the same
-//! [`read_message`]/[`write_message`] pair, which also report the byte counts
-//! feeding the server's `bytes_in`/`bytes_out` metrics.
+//! [`read_request`]/[`write_response`] (and [`read_response`]/
+//! [`write_request`]) pairs, which also report the byte counts feeding the
+//! server's `bytes_in`/`bytes_out` metrics.
 
 use hermes_sql::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome, Value, ValueType};
 use hermes_trajectory::{Point, Timestamp, Trajectory};
@@ -343,6 +344,7 @@ fn command_tag_code(tag: CommandTag) -> u8 {
         CommandTag::BuildIndex => 3,
         CommandTag::Ingest => 4,
         CommandTag::Set => 5,
+        CommandTag::Checkpoint => 6,
     }
 }
 
@@ -353,6 +355,7 @@ fn command_tag_of_code(code: u8) -> Result<CommandTag, DecodeError> {
         3 => CommandTag::BuildIndex,
         4 => CommandTag::Ingest,
         5 => CommandTag::Set,
+        6 => CommandTag::Checkpoint,
         tag => return Err(DecodeError(format!("unknown command tag code {tag}"))),
     })
 }
@@ -684,6 +687,10 @@ mod tests {
             Response::Command(CommandStatus {
                 tag: CommandTag::Ingest,
                 affected: 640,
+            }),
+            Response::Command(CommandStatus {
+                tag: CommandTag::Checkpoint,
+                affected: 123_456,
             }),
             Response::Prepared { handle: 3 },
             Response::Error {

@@ -185,6 +185,11 @@ fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
         ("s2t_segmentation_ms", s.phases.segmentation_ms as i64),
         ("s2t_sampling_ms", s.phases.sampling_ms as i64),
         ("s2t_clustering_ms", s.phases.clustering_ms as i64),
+        // Persistence scope: all zero on an in-memory engine (durable = 0).
+        ("durable", s.durable as i64),
+        ("snapshot_bytes", s.snapshot_bytes as i64),
+        ("wal_bytes", s.wal_bytes as i64),
+        ("last_checkpoint_ms", s.last_checkpoint_ms as i64),
     ] {
         push_stat(frame, "engine", metric, value);
     }
@@ -212,6 +217,7 @@ pub fn is_write_statement(stmt: &Statement) -> bool {
             | Statement::DropDataset { .. }
             | Statement::BuildIndex { .. }
             | Statement::SetThreads { .. }
+            | Statement::Checkpoint
     )
 }
 
@@ -262,6 +268,15 @@ pub fn execute_statement(
                 affected: indexed as u64,
             }))
         }
+        Statement::Checkpoint => {
+            // Snapshot + WAL truncation; the affected count carries the
+            // snapshot size so scripts can assert something observable.
+            let info = engine.checkpoint()?;
+            Ok(QueryOutcome::Command(CommandStatus {
+                tag: CommandTag::Checkpoint,
+                affected: info.snapshot_bytes,
+            }))
+        }
         Statement::SetThreads { threads } => {
             let n = threads.as_i64().map_err(SqlError::Bind)?;
             // A negative count cannot reach ExecPolicy (usize); report it
@@ -297,7 +312,8 @@ pub fn execute_read_statement(
         Statement::CreateDataset { .. }
         | Statement::DropDataset { .. }
         | Statement::BuildIndex { .. }
-        | Statement::SetThreads { .. } => Err(SqlError::ReadOnly(stmt.to_string())),
+        | Statement::SetThreads { .. }
+        | Statement::Checkpoint => Err(SqlError::ReadOnly(stmt.to_string())),
         Statement::ShowThreads => {
             let mut frame = Frame::with_columns(&[("threads", ValueType::Int)]);
             push(
@@ -789,6 +805,61 @@ mod tests {
             execute_read_statement(&e, &stmt),
             Err(SqlError::ReadOnly(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_engine() {
+        let mut e = engine();
+        let err = execute(&mut e, "CHECKPOINT;").unwrap_err();
+        assert!(
+            matches!(err, SqlError::Engine(EngineError::NotDurable)),
+            "{err}"
+        );
+        // CHECKPOINT mutates durable state: write statement, read path refuses.
+        let stmt = parse("CHECKPOINT;").unwrap();
+        assert!(is_write_statement(&stmt));
+        assert!(matches!(
+            execute_read_statement(&e, &stmt),
+            Err(SqlError::ReadOnly(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_and_persistence_stats_over_a_durable_engine() {
+        let dir =
+            std::env::temp_dir().join(format!("hermes-sql-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut e = HermesEngine::open(&dir).unwrap();
+        execute(&mut e, "CREATE DATASET flights;").unwrap();
+        let trajs: Vec<Trajectory> = (0..12).map(|i| traj(i, i as f64 * 10.0, 0)).collect();
+        e.load_trajectories("flights", trajs).unwrap();
+        execute(&mut e, "BUILD INDEX ON flights WITH CHUNK 4 HOURS;").unwrap();
+
+        let metric = |e: &mut HermesEngine, name: &str| -> i64 {
+            let outcome = execute(e, "SHOW STATS;").unwrap();
+            let frame = outcome.expect_frame("SHOW STATS");
+            let value = frame
+                .rows()
+                .find(|row| row[1].as_str() == Some(name))
+                .and_then(|row| row[2].as_i64())
+                .unwrap_or_else(|| panic!("metric {name} missing"));
+            value
+        };
+        assert_eq!(metric(&mut e, "durable"), 1);
+        assert!(metric(&mut e, "wal_bytes") > 8, "mutations were journaled");
+        assert_eq!(metric(&mut e, "snapshot_bytes"), 0);
+
+        let outcome = execute(&mut e, "CHECKPOINT;").unwrap();
+        let status = outcome.command().unwrap();
+        assert_eq!(status.tag, CommandTag::Checkpoint);
+        assert!(status.affected > 0, "affected carries the snapshot bytes");
+        assert_eq!(
+            outcome.to_string(),
+            format!("CHECKPOINT {}\n", status.affected)
+        );
+        assert_eq!(metric(&mut e, "snapshot_bytes"), status.affected as i64);
+        assert_eq!(metric(&mut e, "wal_bytes"), 8, "log reset to its header");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -146,6 +146,8 @@ pub enum CommandTag {
     Ingest,
     /// `SET threads = N` (the affected count carries the new value).
     Set,
+    /// `CHECKPOINT` (the affected count carries the snapshot size in bytes).
+    Checkpoint,
 }
 
 impl fmt::Display for CommandTag {
@@ -156,6 +158,7 @@ impl fmt::Display for CommandTag {
             CommandTag::BuildIndex => "BUILD INDEX",
             CommandTag::Ingest => "INGEST",
             CommandTag::Set => "SET",
+            CommandTag::Checkpoint => "CHECKPOINT",
         };
         f.write_str(tag)
     }

@@ -24,6 +24,7 @@
 //! | `SELECT QUT_REBUILD(name, Wi, We, τ, δ, t);` | the rebuild-from-scratch strategy QuT is compared against | frame + stats |
 //! | `SELECT RANGE(name, Wi, We);` | temporal range query (row count) | frame |
 //! | `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` | cluster-cardinality time histogram over the window (Fig. 1 middle) | frame |
+//! | `CHECKPOINT;` | snapshot the engine state, truncate the WAL (durable engines only, see `docs/STORAGE.md`) | command status (snapshot bytes) |
 //!
 //! Numeric parameters follow the paper's ordering; times are milliseconds.
 //!
@@ -44,6 +45,8 @@
 //! only at the display edge, in [`fmt`].
 //!
 //! [`HermesEngine`]: hermes_core::HermesEngine
+
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod executor;

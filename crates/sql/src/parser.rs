@@ -128,6 +128,10 @@ pub enum Statement {
     },
     /// `SHOW THREADS;` — the current thread count as a one-row frame.
     ShowThreads,
+    /// `CHECKPOINT;` — write a snapshot of the whole engine state and
+    /// truncate the write-ahead log. Only meaningful on an engine opened
+    /// over a data directory; in-memory engines reject it at execution.
+    Checkpoint,
     /// `BUILD INDEX ON name WITH CHUNK h HOURS [SIGMA s] [EPSILON e];`
     BuildIndex {
         /// Dataset name.
@@ -216,6 +220,7 @@ impl Statement {
             | Statement::ShowDatasets
             | Statement::ShowStats
             | Statement::ShowThreads
+            | Statement::Checkpoint
             | Statement::Info { .. } => Vec::new(),
             Statement::SetThreads { threads } => vec![threads],
             Statement::BuildIndex {
@@ -286,6 +291,7 @@ impl Statement {
             Statement::ShowDatasets => Statement::ShowDatasets,
             Statement::ShowStats => Statement::ShowStats,
             Statement::ShowThreads => Statement::ShowThreads,
+            Statement::Checkpoint => Statement::Checkpoint,
             Statement::SetThreads { threads } => Statement::SetThreads {
                 threads: b(threads)?,
             },
@@ -369,6 +375,7 @@ impl fmt::Display for Statement {
             Statement::ShowDatasets => write!(f, "SHOW DATASETS;"),
             Statement::ShowStats => write!(f, "SHOW STATS;"),
             Statement::ShowThreads => write!(f, "SHOW THREADS;"),
+            Statement::Checkpoint => write!(f, "CHECKPOINT;"),
             Statement::SetThreads { threads } => write!(f, "SET threads = {threads};"),
             Statement::BuildIndex {
                 name,
@@ -688,6 +695,8 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
                 )))
             }
         }
+    } else if head.eq_ignore_ascii_case("checkpoint") {
+        Statement::Checkpoint
     } else if head.eq_ignore_ascii_case("set") {
         let variable = p.expect_ident()?;
         if !variable.eq_ignore_ascii_case("threads") {
@@ -844,6 +853,16 @@ mod tests {
                 epsilon: Some(Scalar::int(6000)),
             }
         );
+    }
+
+    #[test]
+    fn checkpoint_parses_and_round_trips() {
+        assert_eq!(parse("CHECKPOINT;").unwrap(), Statement::Checkpoint);
+        assert_eq!(parse("checkpoint").unwrap(), Statement::Checkpoint);
+        let stmt = parse("CHECKPOINT;").unwrap();
+        assert!(stmt.is_fully_bound());
+        assert_eq!(stmt.bind(&[]).unwrap(), Statement::Checkpoint);
+        assert!(parse("CHECKPOINT now;").unwrap_err().0.contains("trailing"));
     }
 
     #[test]
@@ -1103,6 +1122,7 @@ mod tests {
             "SHOW DATASETS;",
             "SHOW STATS;",
             "SHOW THREADS;",
+            "CHECKPOINT;",
             "SET threads = 4;",
             "SET threads = $1;",
             "BUILD INDEX ON flights WITH CHUNK 6 HOURS;",

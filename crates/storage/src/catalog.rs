@@ -114,6 +114,44 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.by_id.is_empty()
     }
+
+    /// The id the next [`Catalog::create`] will hand out — serialized into
+    /// snapshots so dataset ids stay unique across restarts even after drops.
+    pub fn next_id(&self) -> DatasetId {
+        self.next_id
+    }
+
+    /// Rebuilds a catalog from snapshot parts: the metadata rows and the id
+    /// allocator. Rejects duplicate ids/names and ids at or beyond the
+    /// allocator, so a corrupt snapshot cannot produce a catalog that later
+    /// hands out a colliding id.
+    pub fn from_parts(metas: Vec<DatasetMeta>, next_id: DatasetId) -> Result<Catalog> {
+        let mut catalog = Catalog {
+            next_id,
+            ..Catalog::default()
+        };
+        for meta in metas {
+            if meta.id >= next_id {
+                return Err(StorageError::Corrupt {
+                    reason: format!(
+                        "dataset id {} is at or beyond the allocator ({next_id})",
+                        meta.id
+                    ),
+                });
+            }
+            if catalog.by_name.insert(meta.name.clone(), meta.id).is_some() {
+                return Err(StorageError::DatasetExists {
+                    name: meta.name.clone(),
+                });
+            }
+            if catalog.by_id.insert(meta.id, meta).is_some() {
+                return Err(StorageError::Corrupt {
+                    reason: "duplicate dataset id in snapshot".into(),
+                });
+            }
+        }
+        Ok(catalog)
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,7 @@
-//! Compact binary serialization of sub-trajectories.
+//! Compact binary serialization of sub-trajectories and trajectories, plus
+//! the little-endian [`ByteWriter`]/[`ByteReader`] primitives every durable
+//! format in the workspace is built from (snapshot bodies, WAL record
+//! payloads, the ReTraTree state encoding — see `docs/STORAGE.md`).
 //!
 //! Records stored in partition pages are encoded with a small fixed layout
 //! (little-endian, no self-description) because the schema never varies:
@@ -14,38 +17,212 @@
 
 use crate::error::StorageError;
 use crate::Result;
-use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp};
+use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp, Trajectory};
 
-/// A little-endian read cursor over a byte slice.
-struct Reader<'a> {
+/// An append-only little-endian encoder: the writing half of the byte-level
+/// codec shared by every durable format (snapshot bodies, WAL records, the
+/// ReTraTree state encoding).
+///
+/// Variable-length payloads ([`ByteWriter::bytes`], [`ByteWriter::str`]) are
+/// written with a `u32` length prefix; fixed-width integers and floats are
+/// written raw, little-endian. [`ByteReader`] mirrors every method.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// An empty writer pre-sized for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian (two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, little-endian — the
+    /// round trip is bit-exact, which the restart-equivalence guarantee
+    /// relies on.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a `u32` length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a UTF-8 string with a `u32` length prefix.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-layout payloads whose
+    /// size the reader already knows, e.g. whole pages).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// The fallible reading half of the byte-level codec: every accessor checks
+/// the remaining length and returns [`StorageError::Corrupt`] instead of
+/// panicking, so decoding a damaged snapshot or WAL record surfaces as an
+/// error the recovery path can act on.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
     bytes: &'a [u8],
 }
 
-impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
         self.bytes.len()
     }
 
-    fn take<const N: usize>(&mut self) -> [u8; N] {
-        let (head, tail) = self.bytes.split_at(N);
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.bytes.len() < n {
+            return Err(StorageError::Corrupt {
+                reason: format!(
+                    "truncated input: {what} needs {n} bytes but only {} remain",
+                    self.bytes.len()
+                ),
+            });
+        }
+        let (head, tail) = self.bytes.split_at(n);
         self.bytes = tail;
-        head.try_into().expect("split_at returned N bytes")
+        Ok(head)
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        u32::from_le_bytes(self.take())
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N]> {
+        Ok(self
+            .take(N, what)?
+            .try_into()
+            .expect("take returned N bytes"))
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        u64::from_le_bytes(self.take())
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.array::<1>("u8")?[0])
     }
 
-    fn get_i64_le(&mut self) -> i64 {
-        i64::from_le_bytes(self.take())
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.array("u16")?))
     }
 
-    fn get_f64_le(&mut self) -> f64 {
-        f64::from_le_bytes(self.take())
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.array("u32")?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.array("u64")?))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.array("i64")?))
+    }
+
+    /// Reads a little-endian IEEE-754 `f64` (bit-exact).
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.array("f64")?))
+    }
+
+    /// Reads a `bool` byte, rejecting anything other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Corrupt {
+                reason: format!("invalid bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| StorageError::Corrupt {
+            reason: "length-prefixed string is not valid UTF-8".into(),
+        })
+    }
+
+    /// Reads `n` raw bytes (no length prefix).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n, "raw bytes")
     }
 }
 
@@ -74,18 +251,18 @@ pub fn decode_sub_trajectory(bytes: &[u8]) -> Result<SubTrajectory> {
             reason: format!("record of {} bytes is shorter than the header", bytes.len()),
         });
     }
-    let mut r = Reader { bytes };
-    let id_traj = r.get_u64_le();
-    let id_off = r.get_u32_le();
-    let trajectory_id = r.get_u64_le();
-    let object_id = r.get_u64_le();
-    let count = r.get_u32_le() as usize;
+    let mut r = ByteReader::new(bytes);
+    let id_traj = r.u64()?;
+    let id_off = r.u32()?;
+    let trajectory_id = r.u64()?;
+    let object_id = r.u64()?;
+    let count = r.u32()? as usize;
     if count < 2 {
         return Err(StorageError::Corrupt {
             reason: format!("sub-trajectory record claims only {count} points"),
         });
     }
-    if r.remaining() < count * 24 {
+    if r.remaining() < count.saturating_mul(24) {
         return Err(StorageError::Corrupt {
             reason: format!(
                 "record truncated: {} points declared but only {} bytes of payload",
@@ -96,9 +273,9 @@ pub fn decode_sub_trajectory(bytes: &[u8]) -> Result<SubTrajectory> {
     }
     let mut points = Vec::with_capacity(count);
     for _ in 0..count {
-        let x = r.get_f64_le();
-        let y = r.get_f64_le();
-        let t = r.get_i64_le();
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let t = r.i64()?;
         points.push(Point::new(x, y, Timestamp(t)));
     }
     Ok(SubTrajectory::from_points(
@@ -107,6 +284,66 @@ pub fn decode_sub_trajectory(bytes: &[u8]) -> Result<SubTrajectory> {
         object_id,
         points,
     ))
+}
+
+/// Appends a sub-trajectory record (the page-record layout above) to a
+/// [`ByteWriter`] as a `u32`-length-prefixed payload, so container formats
+/// (snapshots, WAL records) can embed records without an extra allocation
+/// per record.
+pub fn encode_sub_trajectory_into(w: &mut ByteWriter, sub: &SubTrajectory) {
+    w.bytes(&encode_sub_trajectory(sub));
+}
+
+/// Reads a sub-trajectory embedded by [`encode_sub_trajectory_into`].
+pub fn decode_sub_trajectory_from(r: &mut ByteReader<'_>) -> Result<SubTrajectory> {
+    decode_sub_trajectory(r.bytes()?)
+}
+
+/// Appends a whole trajectory to a [`ByteWriter`]:
+///
+/// ```text
+/// id          : u64
+/// object_id   : u64
+/// point count : u32
+/// points      : count × (f64 x, f64 y, i64 t)
+/// ```
+pub fn encode_trajectory_into(w: &mut ByteWriter, t: &Trajectory) {
+    let pts = t.points();
+    w.u64(t.id);
+    w.u64(t.object_id);
+    w.u32(pts.len() as u32);
+    for p in pts {
+        w.f64(p.x);
+        w.f64(p.y);
+        w.i64(p.t.millis());
+    }
+}
+
+/// Reads a trajectory written by [`encode_trajectory_into`], re-validating
+/// the construction invariants (≥ 2 points, finite coordinates, strictly
+/// increasing time) so corrupt input cannot build an invalid trajectory.
+pub fn decode_trajectory_from(r: &mut ByteReader<'_>) -> Result<Trajectory> {
+    let id = r.u64()?;
+    let object_id = r.u64()?;
+    let count = r.u32()? as usize;
+    if r.remaining() < count.saturating_mul(24) {
+        return Err(StorageError::Corrupt {
+            reason: format!(
+                "trajectory {id} truncated: {count} points declared but only {} bytes remain",
+                r.remaining()
+            ),
+        });
+    }
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let t = r.i64()?;
+        points.push(Point::new(x, y, Timestamp(t)));
+    }
+    Trajectory::new(id, object_id, points).map_err(|e| StorageError::Corrupt {
+        reason: format!("trajectory {id} fails validation: {e}"),
+    })
 }
 
 #[cfg(test)]
@@ -167,5 +404,131 @@ mod tests {
         let sub = sample();
         let bytes = encode_sub_trajectory(&sub);
         assert_eq!(bytes.len(), 32 + 3 * 24);
+    }
+
+    #[test]
+    fn byte_writer_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(123_456);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(-0.125);
+        w.bool(true);
+        w.bool(false);
+        w.bytes(b"payload");
+        w.str("héllo");
+        w.raw(&[1, 2, 3]);
+        let buf = w.into_bytes();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.raw(3).unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_reader_rejects_truncation_and_bad_values() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(StorageError::Corrupt { .. })));
+
+        // A length prefix pointing past the end is corrupt, not a panic.
+        let mut w = ByteWriter::new();
+        w.u32(1_000);
+        w.raw(b"short");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.bytes(), Err(StorageError::Corrupt { .. })));
+
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(StorageError::Corrupt { .. })));
+        let mut r = ByteReader::new(&[4, 0, 0, 0, 0xFF, 0xFE, 0xFD, 0xFC]);
+        assert!(matches!(r.str(), Err(StorageError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn trajectory_round_trip_is_bit_exact() {
+        let t = Trajectory::new(
+            9,
+            4,
+            vec![
+                Point::new(1.0 / 3.0, -2.25, Timestamp(-5)),
+                Point::new(f64::MIN_POSITIVE, 4.0e18, Timestamp(2_000)),
+                Point::new(5.5, 6.5, Timestamp(3_500)),
+            ],
+        )
+        .unwrap();
+        let mut w = ByteWriter::new();
+        encode_trajectory_into(&mut w, &t);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let back = decode_trajectory_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.id, t.id);
+        assert_eq!(back.object_id, t.object_id);
+        for (a, b) in back.points().iter().zip(t.points()) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.t, b.t);
+        }
+    }
+
+    #[test]
+    fn corrupt_trajectories_are_rejected() {
+        let t = Trajectory::new(
+            1,
+            1,
+            vec![
+                Point::new(0.0, 0.0, Timestamp(0)),
+                Point::new(1.0, 1.0, Timestamp(1_000)),
+            ],
+        )
+        .unwrap();
+        let mut w = ByteWriter::new();
+        encode_trajectory_into(&mut w, &t);
+        let buf = w.into_bytes();
+        // Truncated payload.
+        let mut r = ByteReader::new(&buf[..buf.len() - 8]);
+        assert!(matches!(
+            decode_trajectory_from(&mut r),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Non-monotonic time fails Trajectory::new's re-validation.
+        let mut bad = buf.clone();
+        let t_off = 8 + 8 + 4 + 16; // first point's timestamp
+        bad[t_off..t_off + 8].copy_from_slice(&5_000i64.to_le_bytes());
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            decode_trajectory_from(&mut r),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn embedded_sub_trajectory_round_trip() {
+        let sub = sample();
+        let mut w = ByteWriter::new();
+        encode_sub_trajectory_into(&mut w, &sub);
+        encode_sub_trajectory_into(&mut w, &sub);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let a = decode_sub_trajectory_from(&mut r).unwrap();
+        let b = decode_sub_trajectory_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(a, sub);
+        assert_eq!(b, sub);
     }
 }

@@ -1,0 +1,114 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) for on-disk integrity.
+//!
+//! Both durable formats frame their bytes with this checksum: the snapshot
+//! container covers header + body with one trailing CRC, and every WAL
+//! record carries the CRC of its payload (see `docs/STORAGE.md`). The
+//! implementation is the standard reflected table-driven one — polynomial
+//! `0xEDB88320`, initial value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF` —
+//! matching zlib's `crc32()`, so an independent decoder can use any stock
+//! CRC-32 library to verify files.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// A streaming CRC-32 state, for checksumming data produced in pieces
+/// (e.g. a snapshot header followed by its body).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"snapshot header | snapshot body | more body bytes";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"a torn or corrupted record must not verify";
+        let baseline = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x01;
+            assert_ne!(crc32(&copy), baseline, "flip at byte {i}");
+            copy[i] ^= 0x01;
+        }
+    }
+}

@@ -44,6 +44,25 @@ pub enum StorageError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A filesystem operation failed. The underlying `std::io::Error` is
+    /// flattened to text so the error type stays `Clone`/`PartialEq` (the
+    /// whole error surface is comparable in tests).
+    Io {
+        /// What was being done and to which path.
+        context: String,
+        /// The rendered `std::io::Error`.
+        source: String,
+    },
+}
+
+impl StorageError {
+    /// Wraps an `std::io::Error` with a human-readable context string.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        StorageError::Io {
+            context: context.into(),
+            source: source.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +86,7 @@ impl fmt::Display for StorageError {
                 write!(f, "dataset '{name}' already exists")
             }
             StorageError::Corrupt { reason } => write!(f, "corrupt record: {reason}"),
+            StorageError::Io { context, source } => write!(f, "I/O error {context}: {source}"),
         }
     }
 }

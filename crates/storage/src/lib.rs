@@ -13,24 +13,39 @@
 //! * [`buffer`] — a small buffer pool with LRU eviction and hit/miss
 //!   accounting, standing in for PostgreSQL's shared buffers (the benchmark
 //!   harness reports logical I/O through it),
-//! * [`codec`] — compact binary serialization of sub-trajectories,
+//! * [`codec`] — compact binary serialization of (sub-)trajectories plus the
+//!   [`ByteWriter`]/[`ByteReader`] primitives every durable format uses,
 //! * [`partition`] — append-oriented partitions built from pages, with size
 //!   accounting to drive the re-clustering threshold,
 //! * [`catalog`] — the named-dataset catalog used by the SQL layer.
+//!
+//! Since the durability PR this crate also owns the on-disk formats — the
+//! checksummed [`snapshot`] container, the [`wal`] write-ahead log and the
+//! [`crc`] checksum both share. The byte-level layouts are normatively
+//! specified in `docs/STORAGE.md`; higher layers (`hermes-retratree`,
+//! `hermes-core`) encode their state through these building blocks.
+
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod catalog;
 pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod page;
 pub mod partition;
+pub mod snapshot;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use catalog::{Catalog, DatasetId, DatasetMeta};
-pub use codec::{decode_sub_trajectory, encode_sub_trajectory};
+pub use codec::{decode_sub_trajectory, encode_sub_trajectory, ByteReader, ByteWriter};
+pub use crc::{crc32, Crc32};
 pub use error::StorageError;
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use partition::{Partition, PartitionId, PartitionKind, PartitionStore, RecordLocator};
+pub use snapshot::{read_snapshot_file, write_snapshot_file};
+pub use wal::{Wal, WalRecovery};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -146,6 +146,51 @@ impl Page {
         Ok(true)
     }
 
+    /// The raw page image — exactly [`PAGE_SIZE`] bytes, written verbatim
+    /// into snapshots so record locators survive a restart unchanged.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuilds a page from a raw image produced by [`Page::as_bytes`],
+    /// validating the structural invariants (size, slot directory and free
+    /// pointer in bounds, every slot inside the payload area) so a corrupt
+    /// snapshot cannot build a page whose accessors would slice out of
+    /// bounds.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Page> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt {
+                reason: format!("page image is {} bytes, expected {PAGE_SIZE}", bytes.len()),
+            });
+        }
+        let page = Page {
+            data: bytes.to_vec(),
+        };
+        let slots = page.slot_count() as usize;
+        let dir_end = HEADER + slots * SLOT_ENTRY;
+        let free = page.free_ptr() as usize;
+        if dir_end > free || free > PAGE_SIZE {
+            return Err(StorageError::Corrupt {
+                reason: format!(
+                    "page directory ({slots} slots) overlaps the payload area (free pointer {free})"
+                ),
+            });
+        }
+        for s in 0..slots {
+            let (off, len) = page.slot(s as SlotId);
+            if len == 0 {
+                continue; // tombstone
+            }
+            let (off, len) = (off as usize, len as usize);
+            if off < free || off + len > PAGE_SIZE {
+                return Err(StorageError::Corrupt {
+                    reason: format!("slot {s} points outside the payload area ({off}+{len})"),
+                });
+            }
+        }
+        Ok(page)
+    }
+
     /// Iterates over `(slot, bytes)` of live records.
     pub fn iter(&self) -> impl Iterator<Item = (SlotId, Vec<u8>)> + '_ {
         (0..self.slot_count()).filter_map(move |s| {
@@ -218,6 +263,40 @@ mod tests {
         assert!(matches!(
             p2.delete(0),
             Err(StorageError::InvalidSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_image_round_trips_and_rejects_corruption() {
+        let mut p = Page::new();
+        let a = p.insert(b"alpha").unwrap();
+        let b = p.insert(b"bravo!").unwrap();
+        p.delete(a).unwrap();
+        let image = p.as_bytes().to_vec();
+        assert_eq!(image.len(), PAGE_SIZE);
+
+        let back = Page::from_bytes(&image).unwrap();
+        assert_eq!(back.get(a).unwrap(), None);
+        assert_eq!(back.get(b).unwrap().unwrap(), b"bravo!");
+        assert_eq!(back.live_records(), 1);
+
+        assert!(matches!(
+            Page::from_bytes(&image[..100]),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // A slot count implying a directory past the free pointer is corrupt.
+        let mut bad = image.clone();
+        bad[0..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(
+            Page::from_bytes(&bad),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // A slot offset pointing outside the payload area is corrupt.
+        let mut bad = image;
+        bad[HEADER + SLOT_ENTRY..HEADER + SLOT_ENTRY + 2].copy_from_slice(&10u16.to_le_bytes());
+        assert!(matches!(
+            Page::from_bytes(&bad),
+            Err(StorageError::Corrupt { .. })
         ));
     }
 

@@ -6,9 +6,9 @@
 //! partition "exceeds a pre-defined threshold" and must be re-clustered.
 
 use crate::buffer::BufferPool;
-use crate::codec::{decode_sub_trajectory, encode_sub_trajectory};
+use crate::codec::{decode_sub_trajectory, encode_sub_trajectory, ByteReader, ByteWriter};
 use crate::error::StorageError;
-use crate::page::{Page, PageId, SlotId};
+use crate::page::{Page, PageId, SlotId, PAGE_SIZE};
 use crate::Result;
 use hermes_trajectory::SubTrajectory;
 use std::collections::HashMap;
@@ -270,6 +270,88 @@ impl PartitionStore {
     pub fn buffer(&self) -> &Arc<BufferPool<Page>> {
         &self.buffer
     }
+
+    /// Serializes the store into `w`: allocation counter, then every
+    /// partition sorted by id, each as `(id, kind, page count, raw page
+    /// images)`. Pages go out verbatim, so every [`RecordLocator`] held by
+    /// higher layers stays valid after [`PartitionStore::decode_from`]
+    /// rebuilds the store. See `docs/STORAGE.md` for the normative layout.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.u64(self.next_id);
+        let mut ids: Vec<PartitionId> = self.partitions.keys().copied().collect();
+        ids.sort_unstable();
+        w.u32(ids.len() as u32);
+        for id in ids {
+            let p = &self.partitions[&id];
+            w.u64(p.id);
+            w.u8(match p.kind {
+                PartitionKind::Cluster => 0,
+                PartitionKind::Outliers => 1,
+            });
+            w.u32(p.pages.len() as u32);
+            for page in &p.pages {
+                w.raw(page.as_bytes());
+            }
+        }
+    }
+
+    /// Rebuilds a store serialized by [`PartitionStore::encode_into`]. The
+    /// buffer pool starts cold (it is a cache, not state); live-record counts
+    /// are recomputed from the page images.
+    pub fn decode_from(
+        r: &mut ByteReader<'_>,
+        page_threshold: usize,
+        buffer_frames: usize,
+    ) -> Result<PartitionStore> {
+        let next_id = r.u64()?;
+        let num_partitions = r.u32()? as usize;
+        let mut partitions = HashMap::with_capacity(num_partitions);
+        for _ in 0..num_partitions {
+            let id = r.u64()?;
+            let kind = match r.u8()? {
+                0 => PartitionKind::Cluster,
+                1 => PartitionKind::Outliers,
+                other => {
+                    return Err(StorageError::Corrupt {
+                        reason: format!("unknown partition kind byte {other}"),
+                    })
+                }
+            };
+            let num_pages = r.u32()? as usize;
+            if num_pages == 0 {
+                return Err(StorageError::Corrupt {
+                    reason: format!("partition {id} declares zero pages"),
+                });
+            }
+            let mut pages = Vec::with_capacity(num_pages);
+            let mut live_records = 0;
+            for _ in 0..num_pages {
+                let page = Page::from_bytes(r.raw(PAGE_SIZE)?)?;
+                live_records += page.live_records();
+                pages.push(page);
+            }
+            if id >= next_id || partitions.contains_key(&id) {
+                return Err(StorageError::Corrupt {
+                    reason: format!("partition id {id} is duplicated or beyond the allocator"),
+                });
+            }
+            partitions.insert(
+                id,
+                Partition {
+                    id,
+                    kind,
+                    pages,
+                    live_records,
+                },
+            );
+        }
+        Ok(PartitionStore {
+            partitions,
+            next_id,
+            page_threshold: page_threshold.max(1),
+            buffer: Arc::new(BufferPool::new(buffer_frames)),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -356,6 +438,51 @@ mod tests {
         assert_eq!(clusters, vec![c1, c2]);
         assert_eq!(store.partitions_of_kind(PartitionKind::Outliers), vec![o]);
         assert_eq!(store.num_partitions(), 3);
+    }
+
+    #[test]
+    fn store_serialization_preserves_locators_and_records() {
+        let mut store = PartitionStore::new(3, 16);
+        let c = store.create_partition(PartitionKind::Cluster);
+        let o = store.create_partition(PartitionKind::Outliers);
+        let locs: Vec<_> = (0..25)
+            .map(|i| {
+                store
+                    .append(if i % 3 == 0 { o } else { c }, &sub(i, 50))
+                    .unwrap()
+            })
+            .collect();
+        store.delete(locs[4]).unwrap();
+        let dropped = store.create_partition(PartitionKind::Cluster);
+        store.drop_partition(dropped).unwrap();
+
+        let mut w = ByteWriter::new();
+        store.encode_into(&mut w);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let mut back = PartitionStore::decode_from(&mut r, 3, 16).unwrap();
+        assert!(r.is_empty());
+
+        assert_eq!(back.num_partitions(), store.num_partitions());
+        assert_eq!(back.total_records(), store.total_records());
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(back.read(*loc).unwrap(), store.read(*loc).unwrap(), "{i}");
+        }
+        // The id allocator continues past the dropped partition.
+        let next = back.create_partition(PartitionKind::Cluster);
+        assert_eq!(next, dropped + 1);
+        // Kinds survive.
+        assert_eq!(back.partitions_of_kind(PartitionKind::Outliers), vec![o]);
+
+        // Corrupt kind bytes are rejected.
+        let mut bad = buf.clone();
+        let kind_off = 8 + 4 + 8; // next_id, count, first partition id
+        bad[kind_off] = 9;
+        let mut r = ByteReader::new(&bad);
+        assert!(matches!(
+            PartitionStore::decode_from(&mut r, 3, 16),
+            Err(StorageError::Corrupt { .. })
+        ));
     }
 
     #[test]

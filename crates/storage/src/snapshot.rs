@@ -1,0 +1,223 @@
+//! The snapshot file container: magic, version, length, CRC, atomic replace.
+//!
+//! A snapshot is one self-validating file holding an opaque body (the engine
+//! encodes its whole state into the body with [`crate::codec::ByteWriter`];
+//! this module neither knows nor cares what is inside). The container layout
+//! is normatively specified in `docs/STORAGE.md`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "HSNP"
+//! 4       2     container version (u16 LE, currently 1)
+//! 6       2     flags (u16 LE, must be 0)
+//! 8       8     body length in bytes (u64 LE)
+//! 16      n     body
+//! 16+n    4     CRC-32 (u32 LE) over bytes [0, 16+n)
+//! ```
+//!
+//! Writes are atomic with respect to crashes: the new file is written to
+//! `<path>.tmp`, fsynced, then renamed over `<path>` (and the directory is
+//! fsynced), so a reader never observes a half-written snapshot — it sees
+//! either the old file or the new one. A snapshot that fails any validation
+//! step (magic, version, length, CRC) is rejected with
+//! [`StorageError::Corrupt`] rather than partially applied.
+
+use crate::crc::{crc32, Crc32};
+use crate::error::StorageError;
+use crate::Result;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// The four magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"HSNP";
+
+/// The container version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Fixed container header size (magic + version + flags + body length).
+const HEADER_LEN: usize = 16;
+
+/// Writes `body` as a snapshot file at `path`, atomically replacing whatever
+/// was there. Returns the total file size in bytes.
+pub fn write_snapshot_file(path: &Path, body: &[u8]) -> Result<u64> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&SNAPSHOT_MAGIC);
+    header[4..6].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&0u16.to_le_bytes());
+    header[8..16].copy_from_slice(&(body.len() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    crc.update(body);
+
+    let tmp = path.with_extension("tmp");
+    let write_all = || -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&header)?;
+        f.write_all(body)?;
+        f.write_all(&crc.finish().to_le_bytes())?;
+        f.sync_all()?;
+        Ok(())
+    };
+    write_all().map_err(|e| StorageError::io(format!("writing {}", tmp.display()), e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        StorageError::io(
+            format!("renaming {} over {}", tmp.display(), path.display()),
+            e,
+        )
+    })?;
+    // Persist the rename itself. Directory fsync is best-effort on platforms
+    // where opening a directory is not supported.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok((HEADER_LEN + body.len() + 4) as u64)
+}
+
+/// Reads and validates the snapshot at `path`, returning its body.
+///
+/// `Ok(None)` means no snapshot exists (a fresh data directory); every other
+/// failure — including a truncated or bit-flipped file — is an error, because
+/// silently ignoring a damaged snapshot would roll the database back to
+/// empty.
+pub fn read_snapshot_file(path: &Path) -> Result<Option<Vec<u8>>> {
+    let raw = match fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StorageError::io(format!("reading {}", path.display()), e)),
+    };
+    if raw.len() < HEADER_LEN + 4 {
+        return Err(StorageError::Corrupt {
+            reason: format!(
+                "snapshot file is {} bytes, shorter than the minimal container",
+                raw.len()
+            ),
+        });
+    }
+    if raw[0..4] != SNAPSHOT_MAGIC {
+        return Err(StorageError::Corrupt {
+            reason: "snapshot magic mismatch (not a Hermes snapshot)".into(),
+        });
+    }
+    let version = u16::from_le_bytes([raw[4], raw[5]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::Corrupt {
+            reason: format!("unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"),
+        });
+    }
+    let flags = u16::from_le_bytes([raw[6], raw[7]]);
+    if flags != 0 {
+        return Err(StorageError::Corrupt {
+            reason: format!("unsupported snapshot flags {flags:#06x}"),
+        });
+    }
+    let body_len = u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")) as usize;
+    if raw.len() != HEADER_LEN + body_len + 4 {
+        return Err(StorageError::Corrupt {
+            reason: format!(
+                "snapshot declares a {body_len}-byte body but the file holds {} bytes",
+                raw.len()
+            ),
+        });
+    }
+    let stored_crc = u32::from_le_bytes(raw[raw.len() - 4..].try_into().expect("4 bytes"));
+    let actual_crc = crc32(&raw[..raw.len() - 4]);
+    if stored_crc != actual_crc {
+        return Err(StorageError::Corrupt {
+            reason: format!(
+                "snapshot CRC mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            ),
+        });
+    }
+    Ok(Some(raw[HEADER_LEN..HEADER_LEN + body_len].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hermes-snap-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_replace() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("snapshot.hsnap");
+        assert_eq!(read_snapshot_file(&path).unwrap(), None);
+
+        let total = write_snapshot_file(&path, b"first body").unwrap();
+        assert_eq!(total, 16 + 10 + 4);
+        assert_eq!(
+            read_snapshot_file(&path).unwrap().unwrap(),
+            b"first body".to_vec()
+        );
+
+        // Atomic replace: the new body wins, no .tmp file remains.
+        write_snapshot_file(&path, b"second, longer body").unwrap();
+        assert_eq!(
+            read_snapshot_file(&path).unwrap().unwrap(),
+            b"second, longer body".to_vec()
+        );
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_body_is_valid() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("snapshot.hsnap");
+        write_snapshot_file(&path, b"").unwrap();
+        assert_eq!(
+            read_snapshot_file(&path).unwrap().unwrap(),
+            Vec::<u8>::new()
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("snapshot.hsnap");
+        write_snapshot_file(&path, b"the body under test").unwrap();
+        let pristine = fs::read(&path).unwrap();
+
+        // Any single-byte flip anywhere in the file fails validation.
+        for i in 0..pristine.len() {
+            let mut bad = pristine.clone();
+            bad[i] ^= 0x40;
+            fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(read_snapshot_file(&path), Err(StorageError::Corrupt { .. })),
+                "flip at byte {i} must be detected"
+            );
+        }
+        // Any truncation fails validation.
+        for cut in 0..pristine.len() {
+            fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(
+                matches!(read_snapshot_file(&path), Err(StorageError::Corrupt { .. })),
+                "truncation to {cut} bytes must be detected"
+            );
+        }
+        // Trailing garbage fails the length check.
+        let mut long = pristine.clone();
+        long.push(0);
+        fs::write(&path, &long).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,489 @@
+//! The write-ahead log: CRC-framed appends, batched fsync, torn-tail
+//! recovery, truncate-on-checkpoint.
+//!
+//! Between snapshots, every mutating operation is logged here as an opaque
+//! payload (the engine encodes logical records with
+//! [`crate::codec::ByteWriter`]; this module only frames bytes). The file
+//! layout is normatively specified in `docs/STORAGE.md`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "HWAL"
+//! 4       2     log version (u16 LE, currently 1)
+//! 6       2     flags (u16 LE, must be 0)
+//! 8       …     records, back to back
+//!
+//! record: length  u32 LE   payload length in bytes
+//!         crc     u32 LE   CRC-32 of the payload
+//!         payload length bytes
+//! ```
+//!
+//! Recovery reads records front to back and stops at the first frame that
+//! does not verify — a short header, a length running past end-of-file, or a
+//! CRC mismatch. Everything before that point is the durable prefix; the bad
+//! tail is the torn remnant of an append cut short by a crash and is
+//! discarded by truncating the file, so the next append starts from a clean
+//! boundary. Corruption is only ever treated as a tail condition: a WAL is
+//! append-only, so the first bad frame means nothing after it was
+//! acknowledged.
+//!
+//! Durability is batched (group commit): appends are written to the OS
+//! immediately but `fsync` runs only once `sync_interval_bytes` have
+//! accumulated — or on [`Wal::sync`] / [`Wal::truncate`]. A crash can
+//! therefore lose at most the unsynced suffix, which recovery trims cleanly.
+
+use crate::crc::crc32;
+use crate::error::StorageError;
+use crate::Result;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The four magic bytes opening every WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"HWAL";
+
+/// The log version this build writes and accepts.
+pub const WAL_VERSION: u16 = 1;
+
+/// Fixed file header size (magic + version + flags).
+const HEADER_LEN: u64 = 8;
+
+/// Per-record frame overhead (length + CRC).
+const FRAME_LEN: usize = 8;
+
+/// Hard cap on one record's payload — far above any real logical record, it
+/// only exists so a corrupted length field cannot ask for an absurd
+/// allocation before the CRC check gets a chance to reject the frame.
+pub const MAX_RECORD_LEN: usize = 1 << 30;
+
+/// How many appended-but-unsynced bytes accumulate before an append issues
+/// an fsync (see [`Wal::set_sync_interval`]).
+pub const DEFAULT_SYNC_INTERVAL_BYTES: u64 = 1 << 20;
+
+/// What [`Wal::open`] found in an existing log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// The durable record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn tail discarded past the durable prefix (0 for a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log positioned for appending.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Current durable-format file length (header + intact records).
+    len: u64,
+    /// Bytes appended since the last fsync.
+    unsynced: u64,
+    sync_interval_bytes: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying the durable records
+    /// and truncating any torn tail. The returned [`Wal`] is positioned to
+    /// append after the last intact record.
+    pub fn open(path: &Path) -> Result<(Wal, WalRecovery)> {
+        let io = |what: &str, e: std::io::Error| {
+            StorageError::io(format!("{what} {}", path.display()), e)
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io("opening", e))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw).map_err(|e| io("reading", e))?;
+
+        let mut canonical_header = [0u8; HEADER_LEN as usize];
+        canonical_header[0..4].copy_from_slice(&WAL_MAGIC);
+        canonical_header[4..6].copy_from_slice(&WAL_VERSION.to_le_bytes());
+
+        // Fresh log, or a crash mid-header-write: the header bytes are a
+        // deterministic constant, so a short file that is a prefix of it
+        // cannot have held any acknowledged record — re-stamp it. A short
+        // file that is NOT such a prefix is some other file entirely.
+        if raw.len() < HEADER_LEN as usize {
+            if raw != canonical_header[..raw.len()] {
+                return Err(StorageError::Corrupt {
+                    reason: format!("{} is not a Hermes WAL (bad header)", path.display()),
+                });
+            }
+            file.set_len(0).map_err(|e| io("truncating", e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io("seeking", e))?;
+            file.write_all(&canonical_header)
+                .map_err(|e| io("initializing", e))?;
+            file.sync_all().map_err(|e| io("syncing", e))?;
+            let wal = Wal {
+                file,
+                path: path.to_path_buf(),
+                len: HEADER_LEN,
+                unsynced: 0,
+                sync_interval_bytes: DEFAULT_SYNC_INTERVAL_BYTES,
+            };
+            return Ok((
+                wal,
+                WalRecovery {
+                    records: Vec::new(),
+                    truncated_bytes: 0,
+                },
+            ));
+        }
+
+        // The header is complete and fsynced before the first append, so a
+        // full-length file with a mismatched header is not a Hermes WAL.
+        if raw[0..4] != WAL_MAGIC {
+            return Err(StorageError::Corrupt {
+                reason: format!("{} is not a Hermes WAL (bad header)", path.display()),
+            });
+        }
+        let version = u16::from_le_bytes([raw[4], raw[5]]);
+        if version != WAL_VERSION {
+            return Err(StorageError::Corrupt {
+                reason: format!("unsupported WAL version {version} (expected {WAL_VERSION})"),
+            });
+        }
+        let flags = u16::from_le_bytes([raw[6], raw[7]]);
+        if flags != 0 {
+            return Err(StorageError::Corrupt {
+                reason: format!("unsupported WAL flags {flags:#06x}"),
+            });
+        }
+
+        // Walk the frames; stop at the first one that does not verify.
+        let mut records = Vec::new();
+        let mut at = HEADER_LEN as usize;
+        loop {
+            let rest = &raw[at..];
+            if rest.len() < FRAME_LEN {
+                break;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+            let stored_crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN || rest.len() - FRAME_LEN < len {
+                break;
+            }
+            let payload = &rest[FRAME_LEN..FRAME_LEN + len];
+            if crc32(payload) != stored_crc {
+                break;
+            }
+            records.push(payload.to_vec());
+            at += FRAME_LEN + len;
+        }
+
+        let truncated_bytes = (raw.len() - at) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(at as u64).map_err(|e| io("truncating", e))?;
+            file.sync_all().map_err(|e| io("syncing", e))?;
+        }
+        file.seek(SeekFrom::Start(at as u64))
+            .map_err(|e| io("seeking", e))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            len: at as u64,
+            unsynced: 0,
+            sync_interval_bytes: DEFAULT_SYNC_INTERVAL_BYTES,
+        };
+        Ok((
+            wal,
+            WalRecovery {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// The file this log lives in.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log size in bytes (header + intact records).
+    pub fn size_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Changes the group-commit threshold: an append fsyncs once at least
+    /// this many unsynced bytes have accumulated. `0` means every append
+    /// syncs (strict durability, one fsync per operation).
+    pub fn set_sync_interval(&mut self, bytes: u64) {
+        self.sync_interval_bytes = bytes;
+    }
+
+    /// Appends one record and returns the new log size. The bytes reach the
+    /// OS before this returns; they reach the platter on the batched fsync
+    /// schedule (or an explicit [`Wal::sync`]).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: MAX_RECORD_LEN,
+            });
+        }
+        let io = |e: std::io::Error| {
+            StorageError::io(format!("appending to {}", self.path.display()), e)
+        };
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame).map_err(io)?;
+        self.len += frame.len() as u64;
+        self.unsynced += frame.len() as u64;
+        if self.unsynced >= self.sync_interval_bytes {
+            self.sync()?;
+        }
+        Ok(self.len)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::io(format!("syncing {}", self.path.display()), e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Discards every record, resetting the log to its header — the
+    /// checkpoint step after a snapshot has made the records redundant.
+    /// The truncation is fsynced before returning.
+    pub fn truncate(&mut self) -> Result<u64> {
+        let io = |what: &str, e: std::io::Error| {
+            StorageError::io(format!("{what} {}", self.path.display()), e)
+        };
+        let dropped = self.len - HEADER_LEN;
+        self.file
+            .set_len(HEADER_LEN)
+            .map_err(|e| io("truncating", e))?;
+        self.file
+            .seek(SeekFrom::Start(HEADER_LEN))
+            .map_err(|e| io("seeking", e))?;
+        self.file.sync_all().map_err(|e| io("syncing", e))?;
+        self.len = HEADER_LEN;
+        self.unsynced = 0;
+        Ok(dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hermes-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn payloads() -> Vec<Vec<u8>> {
+        vec![
+            b"create dataset flights".to_vec(),
+            vec![0u8; 100],
+            b"x".to_vec(),
+            (0..=255u8).collect(),
+        ]
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = tmp_dir("replay");
+        let path = dir.join("wal.hlog");
+        {
+            let (mut wal, rec) = Wal::open(&path).unwrap();
+            assert!(rec.records.is_empty());
+            for p in payloads() {
+                wal.append(&p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (wal, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.records, payloads());
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(wal.size_bytes() > HEADER_LEN);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_resets_to_header_and_appends_continue() {
+        let dir = tmp_dir("truncate");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for p in payloads() {
+            wal.append(&p).unwrap();
+        }
+        let dropped = wal.truncate().unwrap();
+        assert!(dropped > 0);
+        assert_eq!(wal.size_bytes(), HEADER_LEN);
+        wal.append(b"after checkpoint").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"after checkpoint".to_vec()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_sweep_recovers_the_durable_prefix() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let all = payloads();
+        let mut len_before_last = 0u64;
+        for (i, p) in all.iter().enumerate() {
+            if i == all.len() - 1 {
+                len_before_last = wal.size_bytes();
+            }
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        let full_len = wal.size_bytes();
+        drop(wal);
+        let pristine = fs::read(&path).unwrap();
+        assert_eq!(pristine.len() as u64, full_len);
+
+        // Kill mid-append at every byte boundary of the tail record: the
+        // durable prefix (all records but the last) must come back intact and
+        // the torn bytes must be discarded.
+        for cut in len_before_last..full_len {
+            fs::write(&path, &pristine[..cut as usize]).unwrap();
+            let (wal, rec) = Wal::open(&path).unwrap();
+            assert_eq!(
+                rec.records,
+                all[..all.len() - 1].to_vec(),
+                "cut at byte {cut}"
+            );
+            assert_eq!(rec.truncated_bytes, cut - len_before_last, "cut at {cut}");
+            assert_eq!(wal.size_bytes(), len_before_last);
+            // The file itself was trimmed to the durable prefix.
+            drop(wal);
+            assert_eq!(fs::metadata(&path).unwrap().len(), len_before_last);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flips_in_the_tail_record_are_discarded() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"first, durable record").unwrap();
+        let tail_start = wal.size_bytes();
+        wal.append(b"tail record that gets damaged").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let pristine = fs::read(&path).unwrap();
+
+        for i in tail_start as usize..pristine.len() {
+            let mut bad = pristine.clone();
+            bad[i] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert_eq!(
+                rec.records,
+                vec![b"first, durable record".to_vec()],
+                "flip at byte {i}"
+            );
+            assert!(rec.truncated_bytes > 0, "flip at byte {i}");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_header_prefix_is_restamped_not_fatal() {
+        let dir = tmp_dir("partialheader");
+        let path = dir.join("wal.hlog");
+        // A crash mid-header-write leaves a strict prefix of the canonical
+        // 8 bytes; no record can have been acknowledged, so open recovers.
+        for cut in 0..8usize {
+            let mut header = Vec::new();
+            header.extend_from_slice(&WAL_MAGIC);
+            header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+            header.extend_from_slice(&0u16.to_le_bytes());
+            fs::write(&path, &header[..cut]).unwrap();
+            let (mut wal, rec) = Wal::open(&path).unwrap();
+            assert!(rec.records.is_empty(), "cut at {cut}");
+            wal.append(b"works after restamp").unwrap();
+            wal.sync().unwrap();
+            drop(wal);
+            let (_, rec) = Wal::open(&path).unwrap();
+            assert_eq!(rec.records, vec![b"works after restamp".to_vec()]);
+        }
+        // A short file that is NOT a prefix of the header is rejected.
+        fs::write(&path, b"HW?").unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_header_is_an_error_not_a_silent_reset() {
+        let dir = tmp_dir("header");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"record").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let pristine = fs::read(&path).unwrap();
+
+        let mut bad = pristine.clone();
+        bad[0] = b'X';
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let mut bad = pristine.clone();
+        bad[4] = 99; // version
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Wal::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_interval_batches_and_zero_syncs_every_append() {
+        let dir = tmp_dir("syncpolicy");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.set_sync_interval(0);
+        wal.append(b"strict").unwrap();
+        assert_eq!(wal.unsynced, 0, "interval 0 syncs inline");
+        wal.set_sync_interval(1 << 20);
+        wal.append(b"batched").unwrap();
+        assert!(wal.unsynced > 0, "small appends stay buffered");
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_records_are_rejected_up_front() {
+        let dir = tmp_dir("oversize");
+        let path = dir.join("wal.hlog");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        // An untouched zeroed allocation stays virtual, so this is cheap; the
+        // append must refuse before writing a single byte.
+        let too_big = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(matches!(
+            wal.append(&too_big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        assert_eq!(wal.size_bytes(), HEADER_LEN);
+        assert!(wal.append(&[0u8; 1024]).is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,6 +19,10 @@
 //!
 //! The Hermes@PostgreSQL paper (ICDE 2018) operates on "3D trajectory
 //! segments"; throughout this workspace the third dimension is always time.
+//!
+//! **Layer:** the geometry substrate everything else builds on — no
+//! dependencies on other workspace crates. The layer map lives in
+//! `docs/ARCHITECTURE.md`.
 
 pub mod csvio;
 pub mod distance;

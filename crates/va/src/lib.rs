@@ -14,6 +14,9 @@
 //! * [`compare`] — side-by-side comparison of two clustering runs (Fig. 3),
 //! * [`holding`] — detection of holding patterns among cluster
 //!   representatives (Fig. 4).
+//!
+//! **Layer:** a read-only consumer of clustering results, above the engine;
+//! nothing depends on it. See `docs/ARCHITECTURE.md` for the layer map.
 
 pub mod compare;
 pub mod cube;

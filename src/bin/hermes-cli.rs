@@ -7,6 +7,7 @@
 //! hermes-cli load-geo data.csv         # same, but lon/lat input projected to local metres
 //! hermes-cli --connect host:port       # open a SQL shell against a hermes-serve instance
 //! hermes-cli -c "SHOW DATASETS;"       # one-shot statement(s); nonzero exit on error
+//! hermes-cli --data-dir ./hermes       # durable local engine: recover, journal, \checkpoint
 //! ```
 //!
 //! Inside the shell, any statement of the `hermes-sql` dialect works, e.g.
@@ -40,12 +41,18 @@ USAGE:
     hermes-cli load <data.csv> [-c <sql>]...
     hermes-cli load-geo <data.csv> [-c <sql>]...
     hermes-cli --connect <host:port> [demo|load <csv>|load-geo <csv>] [-c <sql>]...
+    hermes-cli --data-dir <dir> [demo|load <csv>|load-geo <csv>] [-c <sql>]...
 
 OPTIONS:
     --connect <host:port>  Execute against a running hermes-serve instead of
                            a local engine. demo/load/load-geo then ingest
                            their trajectories into the server's 'data'
                            dataset over the wire.
+    --data-dir <dir>       Durable local engine over <dir>: recover the
+                           snapshot + write-ahead log on start and journal
+                           every mutation. CHECKPOINT; (or \\checkpoint)
+                           makes the current state the recovery point.
+                           Cannot be combined with --connect.
     --threads <n>          Intra-query compute threads for S2T/QuT/BUILD
                            INDEX (default: HERMES_THREADS or all cores;
                            1 = serial). Locally this sets the engine policy;
@@ -64,7 +71,8 @@ QUT_REBUILD/RANGE/HISTOGRAM(...). Numeric arguments accept $n placeholders
 when prepared through the library API.
 
 Shell commands: \\timing toggles per-statement execution statistics,
-\\stats runs SHOW STATS;, \\q quits, \\help prints this text.
+\\stats runs SHOW STATS;, \\checkpoint runs CHECKPOINT; (durable engines),
+\\q quits, \\help prints this text.
 ";
 
 /// One statement executor, local or remote; the shell and one-shot runner
@@ -91,6 +99,7 @@ impl Exec for RemoteExec {
 
 struct CliArgs {
     connect: Option<String>,
+    data_dir: Option<String>,
     threads: Option<usize>,
     commands: Vec<String>,
     positional: Vec<String>,
@@ -99,6 +108,7 @@ struct CliArgs {
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<CliArgs, String> {
     let mut args = CliArgs {
         connect: None,
+        data_dir: None,
         threads: None,
         commands: Vec::new(),
         positional: Vec::new(),
@@ -109,6 +119,10 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<CliArgs, String> {
             "--connect" => match raw.next() {
                 Some(addr) => args.connect = Some(addr),
                 None => return Err("--connect requires a host:port value".into()),
+            },
+            "--data-dir" => match raw.next() {
+                Some(dir) => args.data_dir = Some(dir),
+                None => return Err("--data-dir requires a directory path".into()),
             },
             "--threads" => match raw
                 .next()
@@ -134,12 +148,19 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
+    if args.connect.is_some() && args.data_dir.is_some() {
+        return fail("--data-dir is local persistence; it cannot be combined with --connect");
+    }
     match args.positional.first().map(String::as_str) {
         Some("demo") => with_source(args, demo_trajectories()),
         Some("generate") => {
-            if args.connect.is_some() || !args.commands.is_empty() || args.threads.is_some() {
+            if args.connect.is_some()
+                || args.data_dir.is_some()
+                || !args.commands.is_empty()
+                || args.threads.is_some()
+            {
                 // Silently dropping them would let a script believe its SQL ran.
-                return fail("generate does not take --connect, --threads or -c");
+                return fail("generate does not take --connect, --data-dir, --threads or -c");
             }
             generate(&args.positional[1..])
         }
@@ -154,11 +175,15 @@ fn main() -> ExitCode {
             print!("{HELP}");
             ExitCode::SUCCESS
         }
-        None if args.connect.is_some() || !args.commands.is_empty() => {
-            // Pure client mode: no local data to stage.
-            match args.connect {
-                Some(_) => connect_and_run(args, None),
-                None => fail("-c without a data source needs --connect (or demo/load)"),
+        None if args.connect.is_some() || args.data_dir.is_some() || !args.commands.is_empty() => {
+            // Pure client mode (remote server or persisted local state): no
+            // data to stage.
+            if args.connect.is_some() {
+                connect_and_run(args, None)
+            } else if args.data_dir.is_some() {
+                with_data_dir_only(args)
+            } else {
+                fail("-c without a data source needs --connect, --data-dir or demo/load")
             }
         }
         None => {
@@ -174,24 +199,70 @@ fn fail(message: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Builds the local engine an interactive or one-shot run drives: durable
+/// over `--data-dir` (recovering whatever is there), in-memory otherwise.
+fn local_engine(args: &CliArgs) -> Result<HermesEngine, String> {
+    let policy = args
+        .threads
+        .map(|threads| hermes::exec::ExecPolicy { threads });
+    match &args.data_dir {
+        Some(dir) => {
+            let engine = match policy {
+                Some(p) => HermesEngine::open_with_exec_policy(dir, p),
+                None => HermesEngine::open(dir),
+            }
+            .map_err(|e| format!("cannot open data directory {dir}: {e}"))?;
+            let stats = engine.stats();
+            eprintln!(
+                "opened data directory '{dir}': {} dataset(s), snapshot {} B, wal {} B",
+                stats.datasets, stats.snapshot_bytes, stats.wal_bytes
+            );
+            Ok(engine)
+        }
+        None => Ok(policy.map_or_else(HermesEngine::new, HermesEngine::with_exec_policy)),
+    }
+}
+
 /// Runs `-c` statements or the shell over trajectories staged either into a
 /// local engine or, with `--connect`, into the server's `data` dataset.
 fn with_source(args: CliArgs, trajectories: Vec<Trajectory>) -> ExitCode {
     if args.connect.is_some() {
         return connect_and_run(args, Some(trajectories));
     }
-    let mut engine = args.threads.map_or_else(HermesEngine::new, |threads| {
-        HermesEngine::with_exec_policy(hermes::exec::ExecPolicy { threads })
-    });
-    engine.create_dataset("data").expect("fresh engine");
+    let mut engine = match local_engine(&args) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    // A recovered data directory may already hold the 'data' dataset; the
+    // new trajectories append to it (and are journaled when durable).
+    if engine.dataset_info("data").is_err() {
+        if let Err(e) = engine.create_dataset("data") {
+            return fail(&format!("cannot create dataset 'data': {e}"));
+        }
+    }
     let n = trajectories.len();
-    engine
-        .load_trajectories("data", trajectories)
-        .expect("dataset exists");
+    if let Err(e) = engine.load_trajectories("data", trajectories) {
+        return fail(&format!("cannot load into dataset 'data': {e}"));
+    }
     eprintln!("loaded {n} trajectories into dataset 'data'");
     let mut exec = LocalExec(Session::new(&mut engine));
     if args.commands.is_empty() {
         eprintln!("hint: BUILD INDEX ON data WITH CHUNK 2 HOURS;  then  SELECT QUT(data, ...);  (\\help for more)");
+        shell(&mut exec)
+    } else {
+        one_shot(&mut exec, &args.commands)
+    }
+}
+
+/// `--data-dir` with no data source: drive whatever state the directory
+/// already holds (the restart half of a durable workflow).
+fn with_data_dir_only(args: CliArgs) -> ExitCode {
+    let mut engine = match local_engine(&args) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    let mut exec = LocalExec(Session::new(&mut engine));
+    if args.commands.is_empty() {
         shell(&mut exec)
     } else {
         one_shot(&mut exec, &args.commands)
@@ -348,6 +419,8 @@ fn shell(exec: &mut impl Exec) -> ExitCode {
         }
         let statement = if line == "\\stats" {
             "SHOW STATS;"
+        } else if line == "\\checkpoint" {
+            "CHECKPOINT;"
         } else {
             line
         };

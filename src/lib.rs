@@ -36,6 +36,11 @@
 //! assert!(frame.num_rows() >= 2);
 //! assert!(matches!(frame.get(0, "start"), Some(Value::Timestamp(_))));
 //! ```
+//!
+//! The workspace's deeper documentation lives beside the code:
+//! `docs/ARCHITECTURE.md` (layer map, execution model, durability),
+//! `docs/PROTOCOL.md` (the wire format) and `docs/STORAGE.md` (the on-disk
+//! snapshot + WAL formats, normative).
 
 pub use hermes_baselines as baselines;
 pub use hermes_core as core;
