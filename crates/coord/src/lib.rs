@@ -1,0 +1,38 @@
+//! # hermes-coord
+//!
+//! The multi-node subsystem: one coordinator in front of N `hermes-serve`
+//! shards, each owning a static half-open temporal slice of the data.
+//!
+//! Upstream the coordinator speaks the exact same wire protocol as a
+//! single-node server — `hermes-cli --connect` works unchanged — and
+//! downstream it fans statements out over pooled
+//! [`HermesClient`](hermes_server::HermesClient) connections:
+//!
+//! - [`shardmap`] — the static shard map (TOML-subset file or repeated
+//!   `--shard` flags) and its partition-of-the-time-axis validation;
+//! - [`registry`] — per-shard liveness, latency/byte counters and the
+//!   connection pool, surfaced through `SHOW STATS`;
+//! - [`router`] — verbatim forwarding for single-shard statements, parallel
+//!   fan-out plus the border-merging reassembly (bit-identical to a single
+//!   node, see `docs/SHARDING.md`) for multi-shard reads, and all-or-error
+//!   broadcasts for writes;
+//! - [`server`] — the upstream accept loop, `hermes-server`'s
+//!   thread-per-connection shape with the engine swapped for a
+//!   [`Coordinator`].
+//!
+//! The `hermes-coord` binary wires these together behind `--shard` /
+//! `--shard-map` flags.
+
+#![deny(missing_docs)]
+
+pub mod registry;
+pub mod router;
+pub mod server;
+pub mod shardmap;
+
+pub use registry::{CoordError, Shard};
+pub use router::{Coordinator, ForwardSpec};
+pub use server::{CoordServer, CoordServerHandle};
+pub use shardmap::{
+    parse_shard_flag, parse_shard_map, validate_shard_map, ShardMapError, ShardSpec,
+};

@@ -1,0 +1,229 @@
+//! Per-shard control-plane state: liveness, counters and a connection pool.
+//!
+//! Every downstream call goes through [`Shard::with_conn`], which checks a
+//! pooled [`HermesClient`] out (dialing a fresh one when the pool is dry),
+//! runs the exchange, and folds the outcome into the shard's counters:
+//!
+//! - a clean answer marks the shard alive and returns the connection to the
+//!   pool;
+//! - a *server-answered* error (unknown dataset, bad parameters, …) keeps
+//!   the connection — the stream is still in sync — and surfaces the
+//!   message **verbatim**, because it is exactly what a single-node engine
+//!   would have said;
+//! - an I/O or protocol failure drops the connection, marks the shard dead
+//!   and surfaces a [`CoordError::Shard`] naming the shard, so a client
+//!   always learns *which* node failed.
+
+use crate::shardmap::ShardSpec;
+use hermes_server::{ClientError, ConnectOptions, HermesClient};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Idle connections kept per shard; extras are dropped on check-in.
+const POOL_KEEP: usize = 8;
+
+/// A coordinator-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// An error whose text is exactly what a single-node engine would
+    /// produce (shard-answered SQL/engine errors, or errors the coordinator
+    /// mirrors from the executor's own validation).
+    Data(String),
+    /// A shard became unreachable or spoke garbage; names the culprit.
+    Shard {
+        /// The failing shard's name from the shard map.
+        name: String,
+        /// The failing shard's address.
+        addr: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Data(m) => f.write_str(m),
+            CoordError::Shard { name, addr, detail } => {
+                write!(f, "shard '{name}' ({addr}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// One shard's registry entry: its spec, liveness, cumulative counters and
+/// pooled connections. All counters are atomics — `SHOW STATS` reads them
+/// without stopping traffic.
+pub struct Shard {
+    /// The shard's name, address and owned slice.
+    pub spec: ShardSpec,
+    opts: ConnectOptions,
+    alive: AtomicBool,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    latency_us: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    idle: Mutex<Vec<HermesClient>>,
+}
+
+impl Shard {
+    /// Creates the registry entry; no connection is attempted until the
+    /// first [`Shard::with_conn`] (or [`Shard::probe`]).
+    pub fn new(spec: ShardSpec, opts: ConnectOptions) -> Shard {
+        Shard {
+            spec,
+            opts,
+            alive: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_us: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shard's owned `[start_ms, end_ms)` slice.
+    pub fn slice(&self) -> (i64, i64) {
+        (self.spec.start_ms, self.spec.end_ms)
+    }
+
+    /// Last observed liveness (updated by every exchange and by probes).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Health probe: one cheap round trip (`SHOW THREADS;`). Updates the
+    /// liveness flag and returns it.
+    pub fn probe(&self) -> bool {
+        self.with_conn(|c| c.query("SHOW THREADS;").map(|_| ()))
+            .is_ok()
+    }
+
+    fn named(&self, detail: String) -> CoordError {
+        CoordError::Shard {
+            name: self.spec.name.clone(),
+            addr: self.spec.addr.clone(),
+            detail,
+        }
+    }
+
+    /// Runs `f` over a pooled connection to this shard, accounting the
+    /// exchange (liveness, latency, bytes, query/error counts) on the way
+    /// out. See the module docs for the error taxonomy.
+    pub fn with_conn<T>(
+        &self,
+        f: impl FnOnce(&mut HermesClient) -> Result<T, ClientError>,
+    ) -> Result<T, CoordError> {
+        let pooled = self.idle.lock().unwrap().pop();
+        let mut conn = match pooled {
+            Some(conn) => conn,
+            None => match HermesClient::connect_with(self.spec.addr.as_str(), &self.opts) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.alive.store(false, Ordering::Relaxed);
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(self.named(format!("connect failed: {e}")));
+                }
+            },
+        };
+        let (out0, in0) = (conn.bytes_out(), conn.bytes_in());
+        let started = Instant::now();
+        let result = f(&mut conn);
+        self.latency_us
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(conn.bytes_out() - out0, Ordering::Relaxed);
+        self.bytes_in
+            .fetch_add(conn.bytes_in() - in0, Ordering::Relaxed);
+        match result {
+            Ok(value) => {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.alive.store(true, Ordering::Relaxed);
+                self.check_in(conn);
+                Ok(value)
+            }
+            Err(ClientError::Server(message)) => {
+                // The shard executed the request and said no: the stream is
+                // in sync, the connection stays pooled, and the message is
+                // relayed verbatim (it matches the single-node error text).
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.check_in(conn);
+                Err(CoordError::Data(message))
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.alive.store(false, Ordering::Relaxed);
+                drop(conn);
+                Err(self.named(e.to_string()))
+            }
+        }
+    }
+
+    fn check_in(&self, conn: HermesClient) {
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < POOL_KEEP {
+            idle.push(conn);
+        }
+    }
+
+    /// The shard's `SHOW STATS` rows (scope is added by the caller).
+    pub fn stat_rows(&self) -> Vec<(&'static str, i64)> {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as i64;
+        vec![
+            ("alive", self.is_alive() as i64),
+            ("queries", load(&self.queries)),
+            ("errors", load(&self.errors)),
+            ("latency_us_total", load(&self.latency_us)),
+            ("bytes_in", load(&self.bytes_in)),
+            ("bytes_out", load(&self.bytes_out)),
+            ("pooled_connections", self.idle.lock().unwrap().len() as i64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ShardSpec {
+        ShardSpec {
+            name: "lonely".into(),
+            addr: "127.0.0.1:1".into(), // reserved port: connections fail fast
+            start_ms: i64::MIN,
+            end_ms: i64::MAX,
+        }
+    }
+
+    fn opts() -> ConnectOptions {
+        ConnectOptions {
+            retries: 0,
+            connect_timeout: std::time::Duration::from_millis(200),
+            ..ConnectOptions::default()
+        }
+    }
+
+    #[test]
+    fn unreachable_shard_yields_a_named_error_and_goes_dead() {
+        let shard = Shard::new(spec(), opts());
+        let err = shard.with_conn(|c| c.query("SHOW THREADS;")).unwrap_err();
+        match &err {
+            CoordError::Shard { name, addr, .. } => {
+                assert_eq!(name, "lonely");
+                assert_eq!(addr, "127.0.0.1:1");
+            }
+            other => panic!("expected a named shard error, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("shard 'lonely' (127.0.0.1:1):"));
+        assert!(!shard.is_alive());
+        assert!(!shard.probe());
+        let rows = shard.stat_rows();
+        assert!(rows.contains(&("alive", 0)));
+        assert!(rows.iter().any(|(m, v)| *m == "errors" && *v >= 2));
+    }
+}

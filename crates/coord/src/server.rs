@@ -1,0 +1,322 @@
+//! The coordinator's upstream listener: the same wire protocol
+//! `hermes-serve` speaks, so `hermes-cli --connect` (and any
+//! [`HermesClient`](hermes_server::HermesClient)) works against a sharded
+//! deployment unchanged.
+//!
+//! The loop mirrors `hermes-server`'s thread-per-connection server, with the
+//! engine swapped for a [`Coordinator`]: statements are parsed (and, for the
+//! prepared path, bound) locally, then routed; the original SQL text rides
+//! along so forwarded statements hit the shards byte-for-byte as the client
+//! wrote them.
+
+use crate::router::{Coordinator, ForwardSpec};
+use hermes_server::protocol::{
+    read_handshake, read_request, write_handshake, write_response, Request, Response,
+};
+use hermes_server::{ServerConfig, ServerMetrics};
+use hermes_sql::{parse, Statement};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// A bound-but-not-yet-running coordinator server.
+pub struct CoordServer {
+    listener: TcpListener,
+    coordinator: Arc<Coordinator>,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl CoordServer {
+    /// Binds a listener (port 0 picks an ephemeral port) over a coordinator.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        coordinator: Coordinator,
+        config: ServerConfig,
+    ) -> io::Result<CoordServer> {
+        Ok(CoordServer {
+            listener: TcpListener::bind(addr)?,
+            coordinator: Arc::new(coordinator),
+            config,
+            metrics: Arc::new(ServerMetrics::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The coordinator behind the listener (e.g. to probe shards).
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// The server's metric counters (the `coordinator` scope of
+    /// `SHOW STATS`).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Runs the accept loop on the calling thread until shut down.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let active = self.metrics.connections_active.load(Ordering::Relaxed);
+            if active >= self.config.max_connections as u64 {
+                self.metrics
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let max_connections = self.config.max_connections;
+                thread::spawn(move || reject_connection(stream, max_connections));
+                continue;
+            }
+            self.metrics
+                .connections_accepted
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .connections_active
+                .fetch_add(1, Ordering::Relaxed);
+            let coordinator = Arc::clone(&self.coordinator);
+            let metrics = Arc::clone(&self.metrics);
+            thread::spawn(move || {
+                let _ = handle_connection(stream, &coordinator, &metrics);
+                metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle that
+    /// shuts the server down when asked (or dropped).
+    pub fn spawn(self) -> io::Result<CoordServerHandle> {
+        let addr = self.local_addr()?;
+        let metrics = self.metrics();
+        let coordinator = self.coordinator();
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(CoordServerHandle {
+            addr,
+            metrics,
+            coordinator,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a coordinator server running on a background thread.
+pub struct CoordServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    coordinator: Arc<Coordinator>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CoordServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The coordinator behind the listener.
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connections
+    /// already in a session run until their client disconnects.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for CoordServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Turns away a connection over the cap, mirroring `hermes-server`: finish
+/// the handshake, read the first request, answer with the capacity error.
+fn reject_connection(stream: TcpStream, max_connections: usize) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let Ok(mut reader) = stream.try_clone().map(BufReader::new) else {
+        return;
+    };
+    let mut writer = BufWriter::new(stream);
+    if write_handshake(&mut writer).is_err() || read_handshake(&mut reader).is_err() {
+        return;
+    }
+    let _ = read_request(&mut reader);
+    let _ = write_response(
+        &mut writer,
+        &Response::Error {
+            message: format!("server at connection capacity ({max_connections} active)"),
+        },
+    );
+}
+
+/// Per-connection request loop; same shape as the single-node server's.
+fn handle_connection(
+    stream: TcpStream,
+    coordinator: &Coordinator,
+    metrics: &ServerMetrics,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    write_handshake(&mut writer)?;
+    if let Err(e) = read_handshake(&mut reader) {
+        metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = write_response(
+            &mut writer,
+            &Response::Error {
+                message: e.to_string(),
+            },
+        );
+        return Ok(());
+    }
+
+    // Wire handles index this connection-private table of parsed statements
+    // plus their original SQL (the text is what gets forwarded downstream).
+    let mut prepared: Vec<(String, Statement)> = Vec::new();
+
+    loop {
+        let (request, n_in) = match read_request(&mut reader) {
+            Ok(v) => v,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.bytes_in.fetch_add(n_in, Ordering::Relaxed);
+
+        let started = Instant::now();
+        let response = answer(coordinator, &mut prepared, metrics, request);
+        metrics.latency.record(started.elapsed());
+        match &response {
+            Response::Error { .. } => metrics.query_errors.fetch_add(1, Ordering::Relaxed),
+            _ => metrics.queries_served.fetch_add(1, Ordering::Relaxed),
+        };
+        let n_out = match write_response(&mut writer, &response) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("result too large for the wire protocol: {e}"),
+                    },
+                )?
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.bytes_out.fetch_add(n_out, Ordering::Relaxed);
+    }
+}
+
+fn answer(
+    coordinator: &Coordinator,
+    prepared: &mut Vec<(String, Statement)>,
+    metrics: &ServerMetrics,
+    request: Request,
+) -> Response {
+    match request {
+        Request::Query { sql } => match parse(&sql) {
+            Ok(stmt) => coordinator.execute(&stmt, &ForwardSpec::Query(&sql), metrics),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Prepare { sql } => match parse(&sql) {
+            Ok(stmt) => {
+                let wire = match prepared.iter().position(|(text, _)| *text == sql) {
+                    Some(i) => i,
+                    None => {
+                        prepared.push((sql, stmt));
+                        prepared.len() - 1
+                    }
+                };
+                Response::Prepared {
+                    handle: wire as u32,
+                }
+            }
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::ExecutePrepared { handle, params } => {
+            let Some((sql, stmt)) = prepared.get(handle as usize) else {
+                return Response::Error {
+                    message: format!(
+                        "unknown prepared statement handle {handle} on this connection"
+                    ),
+                };
+            };
+            match stmt.bind(&params) {
+                Ok(bound) => coordinator.execute(
+                    &bound,
+                    &ForwardSpec::Prepared {
+                        sql,
+                        params: &params,
+                    },
+                    metrics,
+                ),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Ingest {
+            dataset,
+            trajectories,
+        } => coordinator.ingest(&dataset, trajectories),
+        Request::QutPartial { .. }
+        | Request::RangePartial { .. }
+        | Request::GatherTrajectories { .. }
+        | Request::InfoPartial { .. } => Response::Error {
+            message: "shard-internal request: the coordinator accepts client statements \
+                      (QUERY / PREPARE / EXECUTE / INGEST) only"
+                .into(),
+        },
+    }
+}

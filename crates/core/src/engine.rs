@@ -5,8 +5,8 @@ use crate::persist::Durability;
 use crate::Result;
 use hermes_exec::{ExecPolicy, Executor};
 use hermes_retratree::{
-    qut_clustering_with, range_query_then_cluster_with, QutParams, QutStats, ReTraTree,
-    ReTraTreeParams,
+    qut_clustering_with, qut_partial_with, range_query_then_cluster_with, OwnedSlice, QutParams,
+    QutPartial, QutStats, ReTraTree, ReTraTreeParams,
 };
 use hermes_s2t::{
     run_s2t_naive_with, run_s2t_with, ClusteringResult, S2TOutcome, S2TParams, S2TPhaseTimings,
@@ -367,6 +367,38 @@ impl HermesEngine {
         let (result, stats) = qut_clustering_with(tree, window, params, &self.exec);
         self.phase_totals.record(&stats.phases);
         Ok((result, stats))
+    }
+
+    /// Answers this shard's *owned* share of `QUT(D, Wi, We, …)`: every
+    /// sub-chunk that intersects `window` and starts inside `owned`, without
+    /// the final cross-boundary merge (the coordinator applies
+    /// [`hermes_retratree::merge_qut_partials`] over all shards' partials).
+    pub fn run_qut_partial(
+        &self,
+        name: &str,
+        owned: &OwnedSlice,
+        window: &TimeInterval,
+        params: &QutParams,
+    ) -> Result<QutPartial> {
+        params.validate().map_err(EngineError::InvalidParameters)?;
+        let tree = self.tree(name)?;
+        let partial = qut_partial_with(tree, owned, window, params, &self.exec);
+        self.phase_totals.record(&partial.stats.phases);
+        Ok(partial)
+    }
+
+    /// This shard's share of a distributed `RANGE` count: stored pieces whose
+    /// lifespan intersects `window`, counted only in owned sub-chunks.
+    pub fn owned_range_count(
+        &self,
+        name: &str,
+        owned: &OwnedSlice,
+        window: &TimeInterval,
+    ) -> Result<usize> {
+        Ok(self
+            .tree(name)?
+            .owned_window_sub_trajectories(window, owned)
+            .len())
     }
 
     /// The rebuild-from-scratch strategy the demo compares QuT against

@@ -47,7 +47,7 @@ pub use node::{Chunk, ClusterEntry, SubChunk};
 pub use params::{QutParams, QutParamsBuilder, ReTraTreeParams, ReTraTreeParamsBuilder};
 pub use persist::{decode_params_from, decode_tree, encode_params_into, encode_tree};
 pub use qut::{
-    qut_clustering, qut_clustering_with, range_query_then_cluster, range_query_then_cluster_with,
-    QutStats,
+    merge_qut_partials, qut_clustering, qut_clustering_with, qut_partial_with,
+    range_query_then_cluster, range_query_then_cluster_with, OwnedSlice, QutPartial, QutStats,
 };
 pub use tree::{MaintenanceStats, ReTraTree};

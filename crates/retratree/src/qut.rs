@@ -70,6 +70,67 @@ struct SubChunkAnswer {
     stats: QutStats,
 }
 
+/// A half-open slice `[start_ms, end_ms)` of the time axis used to assign
+/// *ownership* of sub-chunks when one logical dataset is split across shards.
+/// A sub-chunk belongs to the slice that contains its interval start, so any
+/// family of disjoint slices covering the axis partitions the sub-chunks
+/// exactly — each is answered by exactly one shard.
+///
+/// Slices are half-open (unlike the closed [`TimeInterval`]) precisely so
+/// that adjacent slices share no sub-chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OwnedSlice {
+    /// Inclusive start of the slice, in milliseconds.
+    pub start_ms: i64,
+    /// Exclusive end of the slice, in milliseconds.
+    pub end_ms: i64,
+}
+
+impl OwnedSlice {
+    /// The slice covering the entire time axis (single-node ownership).
+    pub const ALL: OwnedSlice = OwnedSlice {
+        start_ms: i64::MIN,
+        end_ms: i64::MAX,
+    };
+
+    /// Creates a slice; panics if `start_ms > end_ms`.
+    pub fn new(start_ms: i64, end_ms: i64) -> Self {
+        assert!(
+            start_ms <= end_ms,
+            "OwnedSlice start {start_ms} must not exceed end {end_ms}"
+        );
+        OwnedSlice { start_ms, end_ms }
+    }
+
+    /// True when `t` falls inside the half-open slice. `i64::MAX` as `end_ms`
+    /// is treated as "unbounded" so [`OwnedSlice::ALL`] really covers the
+    /// whole axis, including `Timestamp::MAX` itself.
+    pub fn contains_millis(&self, t: i64) -> bool {
+        t >= self.start_ms && (t < self.end_ms || self.end_ms == i64::MAX)
+    }
+
+    /// [`OwnedSlice::contains_millis`] for a [`hermes_trajectory::Timestamp`].
+    pub fn contains(&self, t: hermes_trajectory::Timestamp) -> bool {
+        self.contains_millis(t.millis())
+    }
+}
+
+/// The un-merged contribution of one ownership slice to `QUT(W)`: per-sub-chunk
+/// clusters in temporal order, outliers, and the slice's counters. Produced by
+/// [`qut_partial_with`]; any set of partials covering the window folds back
+/// into the exact single-node answer through [`merge_qut_partials`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QutPartial {
+    /// Clusters of the owned sub-chunks, in temporal order. Ids are
+    /// placeholders — the merge assigns final ids.
+    pub clusters: Vec<Cluster>,
+    /// Outliers of the owned sub-chunks, in temporal order.
+    pub outliers: Vec<SubTrajectory>,
+    /// Counters accumulated while answering the owned sub-chunks
+    /// (`elapsed_ms` is left at zero; the caller stamps wall-clock time).
+    pub stats: QutStats,
+}
+
 /// Answers one sub-chunk of `QUT(W)`: reuse the level-3 entries when `W`
 /// fully covers the sub-chunk, re-cluster the window overlap otherwise.
 /// Reads only (`&ReTraTree`; storage reads go through the `Mutex`-guarded
@@ -163,35 +224,74 @@ pub fn qut_clustering_with(
     exec: &Executor,
 ) -> (ClusteringResult, QutStats) {
     let start = Instant::now();
+    let partial = qut_partial_with(tree, &OwnedSlice::ALL, w, params, exec);
+    let (result, mut stats) = merge_qut_partials(vec![partial], params);
+    stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    (result, stats)
+}
 
-    // The sub-chunks intersecting W, in temporal order.
+/// Answers the *owned* share of `QUT(W)`: every sub-chunk that intersects `W`
+/// **and** whose interval start falls inside `owned` is answered exactly as
+/// in [`qut_clustering_with`] (level-3 reuse or border re-clustering against
+/// the full, un-clipped window `W`), in temporal order, but the cross-boundary
+/// merge is *not* applied — that is [`merge_qut_partials`]' job, so a
+/// coordinator can first concatenate the partials of several shards.
+///
+/// With `owned == OwnedSlice::ALL` this is the whole query minus the merge.
+pub fn qut_partial_with(
+    tree: &ReTraTree,
+    owned: &OwnedSlice,
+    w: &TimeInterval,
+    params: &QutParams,
+    exec: &Executor,
+) -> QutPartial {
+    // The owned sub-chunks intersecting W, in temporal order.
     let targets: Vec<&SubChunk> = tree
         .chunks()
         .filter(|chunk| chunk.interval.intersects(w))
         .flat_map(|chunk| chunk.subchunks.iter())
-        .filter(|sc| sc.interval.intersects(w))
+        .filter(|sc| sc.interval.intersects(w) && owned.contains(sc.interval.start))
         .collect();
 
     // Fan out: one task per sub-chunk, each with its own QutStats.
     let answers = exec.map(&targets, |_, sc| answer_subchunk(tree, sc, w, params, exec));
 
     // Deterministic fold in temporal order.
+    let mut partial = QutPartial::default();
+    for mut answer in answers {
+        partial.stats.merge(&answer.stats);
+        partial.clusters.append(&mut answer.clusters);
+        partial.outliers.append(&mut answer.outliers);
+    }
+    partial
+}
+
+/// Folds per-slice partials (given in temporal slice order) into the final
+/// window answer: assigns cluster ids over the concatenation, merges clusters
+/// that continue across sub-chunk *and* slice boundaries, and sums the
+/// counters. Because partials keep their sub-chunks in temporal order and the
+/// merge re-sorts deterministically, the result is byte-identical to running
+/// [`qut_clustering_with`] over the undivided tree. `elapsed_ms` of the
+/// returned stats is zero; the caller stamps wall-clock time.
+pub fn merge_qut_partials(
+    partials: Vec<QutPartial>,
+    params: &QutParams,
+) -> (ClusteringResult, QutStats) {
     let mut stats = QutStats::default();
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut outliers: Vec<SubTrajectory> = Vec::new();
-    for mut answer in answers {
-        stats.merge(&answer.stats);
-        for mut c in answer.clusters.drain(..) {
+    for mut partial in partials {
+        stats.merge(&partial.stats);
+        for mut c in partial.clusters.drain(..) {
             c.id = clusters.len();
             clusters.push(c);
         }
-        outliers.append(&mut answer.outliers);
+        outliers.append(&mut partial.outliers);
     }
 
     // Merge clusters that continue across sub-chunk boundaries.
     let merged = merge_adjacent_clusters(clusters, params, &mut stats);
 
-    stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
     (
         ClusteringResult {
             clusters: merged,
@@ -601,6 +701,77 @@ mod tests {
         let (_, stats) = qut_clustering(&tree, &aligned, &qut_params());
         assert_eq!(stats.reclustered_subchunks, 0);
         assert_eq!(stats.phases, S2TPhaseTimings::default());
+    }
+
+    #[test]
+    fn sharded_partials_reassemble_the_exact_answer() {
+        let tree = build_tree();
+        // Misaligned window: exercises both reuse and border re-clustering.
+        let w = TimeInterval::new(Timestamp(20 * 60_000), Timestamp(9 * 3_600_000));
+        let params = qut_params();
+        let (single, single_stats) = qut_clustering(&tree, &w, &params);
+
+        // Split ownership at a chunk boundary (4 h) and also at an arbitrary
+        // sub-chunk boundary (1 h): each sub-chunk has exactly one owner.
+        for cut in [4 * 3_600_000i64, 3_600_000] {
+            let exec = Executor::serial();
+            let left = qut_partial_with(&tree, &OwnedSlice::new(i64::MIN, cut), &w, &params, &exec);
+            let right =
+                qut_partial_with(&tree, &OwnedSlice::new(cut, i64::MAX), &w, &params, &exec);
+            let (merged, stats) = merge_qut_partials(vec![left, right], &params);
+            assert_eq!(merged, single, "split at {cut} diverged from single-node");
+            assert_eq!(stats.reused_subchunks, single_stats.reused_subchunks);
+            assert_eq!(
+                stats.reclustered_subchunks,
+                single_stats.reclustered_subchunks
+            );
+            assert_eq!(
+                stats.loaded_sub_trajectories,
+                single_stats.loaded_sub_trajectories
+            );
+            assert_eq!(stats.merges, single_stats.merges);
+        }
+    }
+
+    #[test]
+    fn cross_slice_merges_survive_sharding() {
+        let mut tree = ReTraTree::new(tree_params());
+        // The boundary-spanning group from
+        // `clusters_spanning_subchunk_boundaries_are_merged`, with ownership
+        // cut exactly between its two sub-chunks: the merge must happen at
+        // partial-fold time and match the single-node answer.
+        for i in 0..60 {
+            tree.insert_trajectory(&traj(i, i as f64 * 5.0, 0, 2 * 3_600_000 - 100_000));
+        }
+        let w = TimeInterval::new(Timestamp(0), Timestamp(4 * 3_600_000));
+        let params = qut_params();
+        let (single, single_stats) = qut_clustering(&tree, &w, &params);
+        assert!(single_stats.merges >= 1, "the scenario must force a merge");
+
+        let exec = Executor::serial();
+        let cut = 3_600_000i64; // sub-chunk boundary between the two halves
+        let left = qut_partial_with(&tree, &OwnedSlice::new(i64::MIN, cut), &w, &params, &exec);
+        let right = qut_partial_with(&tree, &OwnedSlice::new(cut, i64::MAX), &w, &params, &exec);
+        assert!(
+            !left.clusters.is_empty() && !right.clusters.is_empty(),
+            "both slices must contribute clusters for the merge to be cross-slice"
+        );
+        let (merged, stats) = merge_qut_partials(vec![left, right], &params);
+        assert_eq!(merged, single);
+        assert_eq!(stats.merges, single_stats.merges);
+    }
+
+    #[test]
+    fn owned_slice_partitions_the_axis() {
+        let a = OwnedSlice::new(i64::MIN, 0);
+        let b = OwnedSlice::new(0, 100);
+        let c = OwnedSlice::new(100, i64::MAX);
+        for t in [i64::MIN, -1, 0, 99, 100, i64::MAX - 1, i64::MAX] {
+            let owners = [a, b, c].iter().filter(|s| s.contains_millis(t)).count();
+            assert_eq!(owners, 1, "t={t} must have exactly one owner");
+        }
+        assert!(OwnedSlice::ALL.contains_millis(i64::MIN));
+        assert!(OwnedSlice::ALL.contains_millis(i64::MAX));
     }
 
     #[test]

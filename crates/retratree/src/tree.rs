@@ -354,6 +354,36 @@ impl ReTraTree {
         out
     }
 
+    /// [`ReTraTree::window_sub_trajectories`] restricted to the sub-chunks
+    /// *owned* by `owned` (interval start inside the half-open slice). Every
+    /// stored piece lives in exactly one sub-chunk's index, so summing the
+    /// result sizes over a partition of the time axis reproduces the
+    /// single-node window count exactly — the shard-side building block of a
+    /// distributed RANGE query.
+    pub fn owned_window_sub_trajectories(
+        &self,
+        w: &TimeInterval,
+        owned: &crate::qut::OwnedSlice,
+    ) -> Vec<SubTrajectory> {
+        let mut out = Vec::new();
+        for chunk in self.chunks.values() {
+            if !chunk.interval.intersects(w) {
+                continue;
+            }
+            for sc in &chunk.subchunks {
+                if !sc.interval.intersects(w) || !owned.contains(sc.interval.start) {
+                    continue;
+                }
+                for loc in sc.index.query_temporal(w) {
+                    if let Ok(Some(sub)) = self.store.read(*loc) {
+                        out.push(sub);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Runs the S2T re-clustering pass on every sub-chunk that currently
     /// holds at least `min_outliers` unclustered pieces, regardless of the
     /// page threshold. This is how the ReTraTree of the DMKD paper is built

@@ -15,7 +15,7 @@ use hermes_trajectory::{spatiotemporal_distance, SubTrajectory, TimeInterval};
 pub type ClusterId = usize;
 
 /// A cluster: one representative plus the members grouped around it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     /// Identifier of the cluster (its index in the result).
     pub id: ClusterId,
@@ -57,7 +57,7 @@ impl Cluster {
 }
 
 /// The outcome of a (sub-)trajectory clustering run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClusteringResult {
     /// The discovered clusters.
     pub clusters: Vec<Cluster>,

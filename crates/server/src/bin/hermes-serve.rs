@@ -4,6 +4,7 @@
 //! hermes-serve                          # listen on 127.0.0.1:8650
 //! hermes-serve --addr 0.0.0.0:9000     # explicit bind address
 //! hermes-serve --addr 127.0.0.1:0      # ephemeral port (printed on stdout)
+//! hermes-serve --port 0                # shorthand for --addr 127.0.0.1:0
 //! hermes-serve --max-connections 16    # cap simultaneous connections
 //! hermes-serve --threads 8             # intra-query compute threads
 //! hermes-serve --data-dir ./hermes     # durable engine: recover on start,
@@ -20,7 +21,9 @@
 //! `docs/STORAGE.md` for the on-disk formats and recovery semantics.
 //!
 //! The bound address is announced on stdout as `hermes-serve listening on
-//! <addr>` so scripts (like the CI smoke test) can scrape the ephemeral port.
+//! <addr>` — one line, fixed prefix, address last — so scripts (the CI smoke
+//! tests, multi-shard launchers) can scrape the ephemeral port
+//! machine-parseably: `sed -n 's/.*listening on //p'`.
 
 use hermes_core::{ExecPolicy, HermesEngine, SharedEngine};
 use hermes_server::{Server, ServerConfig};
@@ -31,12 +34,15 @@ const HELP: &str = "\
 hermes-serve — the Hermes network server
 
 USAGE:
-    hermes-serve [--addr <host:port>] [--max-connections <n>] [--threads <n>]
-                 [--data-dir <dir>]
+    hermes-serve [--addr <host:port> | --port <n>] [--max-connections <n>]
+                 [--threads <n>] [--data-dir <dir>]
 
 OPTIONS:
     --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
                              picks an ephemeral port)
+    --port <n>               Shorthand for --addr 127.0.0.1:<n>; the bound
+                             port is announced on stdout as
+                             'hermes-serve listening on <addr>'
     --max-connections <n>    Simultaneous connection cap (default 64)
     --threads <n>            Intra-query compute threads for S2T/QuT/BUILD
                              INDEX (default: HERMES_THREADS or all cores;
@@ -60,6 +66,10 @@ fn main() -> ExitCode {
             "--addr" => match args.next() {
                 Some(a) => addr = a,
                 None => return fail("--addr requires a host:port value"),
+            },
+            "--port" => match args.next().and_then(|n| n.parse::<u16>().ok()) {
+                Some(port) => addr = format!("127.0.0.1:{port}"),
+                None => return fail("--port requires a port number (0 picks one)"),
             },
             "--max-connections" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => config.max_connections = n,

@@ -1,12 +1,17 @@
 //! [`HermesClient`]: the client side of the wire protocol, used by the CLI's
 //! remote mode, the concurrency tests and the `e9_concurrent_clients` bench.
 
-use crate::protocol::{read_response, write_request, DecodeError, Request, Response};
+use crate::protocol::{
+    read_handshake, read_response, write_handshake, write_request, DecodeError, PartialInfo,
+    Request, Response,
+};
+use hermes_retratree::QutPartial;
 use hermes_sql::{QueryOutcome, Value};
 use hermes_trajectory::Trajectory;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A statement prepared on the server, scoped to the connection that
 /// prepared it.
@@ -49,6 +54,35 @@ impl From<DecodeError> for ClientError {
     }
 }
 
+/// Connection-establishment tunables for [`HermesClient::connect_with`].
+///
+/// The defaults reproduce the historical behaviour minus the foot-guns: a
+/// refused or hung server no longer blocks forever, and a server that is
+/// still coming up (the common race when scripts spawn shards) is retried a
+/// few times with a growing pause.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read timeout applied to the connection (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Extra connect attempts after the first failure.
+    pub retries: u32,
+    /// Pause before the first retry; doubles on every further retry.
+    pub backoff: Duration,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: None,
+            retries: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
 /// A synchronous connection to a `hermes-serve` instance.
 ///
 /// The request/response cycle is strictly alternating, so a client is
@@ -57,26 +91,176 @@ impl From<DecodeError> for ClientError {
 pub struct HermesClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    bytes_out: u64,
+    bytes_in: u64,
 }
 
 impl HermesClient {
-    /// Connects to a server.
+    /// Connects to a server with [`ConnectOptions::default`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(HermesClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        Self::connect_with(addr, &ConnectOptions::default())
+    }
+
+    /// Connects to a server: resolves `addr`, dials with a per-attempt
+    /// timeout and bounded exponential-backoff retries, then performs the
+    /// protocol handshake (the server speaks first; an incompatible peer is
+    /// reported as `InvalidData`, not a decode failure later on).
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: &ConnectOptions) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut pause = opts.backoff;
+        let mut last_err = None;
+        for attempt in 0..=opts.retries {
+            if attempt > 0 {
+                std::thread::sleep(pause);
+                pause = pause.saturating_mul(2);
+            }
+            match addrs
+                .iter()
+                .find_map(|a| TcpStream::connect_timeout(a, opts.connect_timeout).ok())
+            {
+                Some(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(opts.read_timeout)?;
+                    let mut reader = BufReader::new(stream.try_clone()?);
+                    let mut writer = BufWriter::new(stream);
+                    read_handshake(&mut reader)?;
+                    write_handshake(&mut writer)?;
+                    return Ok(HermesClient {
+                        reader,
+                        writer,
+                        bytes_out: 0,
+                        bytes_in: 0,
+                    });
+                }
+                None => {
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!(
+                            "could not connect to {addrs:?} within {:?}",
+                            opts.connect_timeout
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("connect failed")))
+    }
+
+    /// Cumulative bytes this client has written to the wire.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Cumulative bytes this client has read from the wire.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_request(&mut self.writer, request)?;
-        let (response, _) = read_response(&mut self.reader)?;
+        self.bytes_out += write_request(&mut self.writer, request)?;
+        let (response, n_in) = read_response(&mut self.reader)?;
+        self.bytes_in += n_in;
         if let Response::Error { message } = response {
             return Err(ClientError::Server(message));
         }
         Ok(response)
+    }
+
+    /// One raw request/response exchange. Server-side `Error` responses come
+    /// back as `Ok(Response::Error { .. })` here — the coordinator needs to
+    /// distinguish "the shard answered with an error" from "the connection to
+    /// the shard broke".
+    pub fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.bytes_out += write_request(&mut self.writer, request)?;
+        let (response, n_in) = read_response(&mut self.reader)?;
+        self.bytes_in += n_in;
+        Ok(response)
+    }
+
+    /// Requests the shard's owned share of `QUT(W)` (see `docs/SHARDING.md`).
+    pub fn qut_partial(
+        &mut self,
+        dataset: &str,
+        owned: (i64, i64),
+        window: (i64, i64),
+        overrides: Option<(f64, f64, i64)>,
+    ) -> Result<QutPartial, ClientError> {
+        match self.round_trip(&Request::QutPartial {
+            dataset: dataset.to_string(),
+            owned_start_ms: owned.0,
+            owned_end_ms: owned.1,
+            wi: window.0,
+            we: window.1,
+            overrides,
+        })? {
+            Response::QutPartial(partial) => Ok(partial),
+            other => Err(ClientError::Protocol(format!(
+                "expected a QutPartial response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests the shard's owned share of a window count.
+    pub fn range_partial(
+        &mut self,
+        dataset: &str,
+        owned: (i64, i64),
+        window: (i64, i64),
+    ) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::RangePartial {
+            dataset: dataset.to_string(),
+            owned_start_ms: owned.0,
+            owned_end_ms: owned.1,
+            wi: window.0,
+            we: window.1,
+        })? {
+            Response::Count(n) => Ok(n),
+            other => Err(ClientError::Protocol(format!(
+                "expected a Count response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests the raw trajectories owned by the shard.
+    pub fn gather_trajectories(
+        &mut self,
+        dataset: &str,
+        owned: (i64, i64),
+    ) -> Result<Vec<Trajectory>, ClientError> {
+        match self.round_trip(&Request::GatherTrajectories {
+            dataset: dataset.to_string(),
+            owned_start_ms: owned.0,
+            owned_end_ms: owned.1,
+        })? {
+            Response::Trajectories(trajectories) => Ok(trajectories),
+            other => Err(ClientError::Protocol(format!(
+                "expected a Trajectories response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests the shard's owned share of `INFO(dataset)`.
+    pub fn info_partial(
+        &mut self,
+        dataset: &str,
+        owned: (i64, i64),
+    ) -> Result<PartialInfo, ClientError> {
+        match self.round_trip(&Request::InfoPartial {
+            dataset: dataset.to_string(),
+            owned_start_ms: owned.0,
+            owned_end_ms: owned.1,
+        })? {
+            Response::InfoPartial(info) => Ok(info),
+            other => Err(ClientError::Protocol(format!(
+                "expected an InfoPartial response, got {other:?}"
+            ))),
+        }
     }
 
     /// Parses and executes one statement on the server, returning the same

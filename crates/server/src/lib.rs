@@ -33,8 +33,11 @@ pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
-pub use client::{ClientError, HermesClient, RemotePrepared};
+pub use client::{ClientError, ConnectOptions, HermesClient, RemotePrepared};
 pub use metrics::{LatencyHistogram, ServerMetrics, LATENCY_BUCKETS_US};
-pub use protocol::{DecodeError, Request, Response, MAX_MESSAGE_BYTES};
+pub use protocol::{
+    DecodeError, PartialInfo, Request, Response, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig, ServerHandle};

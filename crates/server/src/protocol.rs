@@ -20,8 +20,10 @@
 //! [`write_request`]) pairs, which also report the byte counts feeding the
 //! server's `bytes_in`/`bytes_out` metrics.
 
+use hermes_retratree::{QutPartial, QutStats};
+use hermes_s2t::{Cluster, S2TPhaseTimings};
 use hermes_sql::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome, Value, ValueType};
-use hermes_trajectory::{Point, Timestamp, Trajectory};
+use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp, Trajectory};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -29,6 +31,49 @@ use std::io::{self, Read, Write};
 /// bulk trajectory ingest, small enough to stop a corrupt length prefix from
 /// asking the peer to allocate gigabytes.
 pub const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Version of the wire protocol spoken by this build. Bumped whenever the
+/// message catalogue or a payload layout changes incompatibly; peers with a
+/// different version are rejected during the handshake.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Magic bytes opening the connection preamble.
+pub const HANDSHAKE_MAGIC: [u8; 4] = *b"HRMS";
+
+/// Writes this side's 7-byte connection preamble:
+/// `"HRMS"` + version `u16` BE + flags `u8` (reserved, zero).
+///
+/// The server speaks first on accept; the client answers with its own
+/// preamble after verifying the server's. Only after both preambles are
+/// exchanged do length-prefixed messages flow.
+pub fn write_handshake(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&HANDSHAKE_MAGIC)?;
+    w.write_all(&PROTOCOL_VERSION.to_be_bytes())?;
+    w.write_all(&[0u8])?;
+    w.flush()
+}
+
+/// Reads and verifies the peer's preamble, returning the peer's version.
+/// A wrong magic (not a Hermes endpoint) or a version mismatch comes back as
+/// `ErrorKind::InvalidData` so callers can surface a clean, typed error
+/// instead of a decode failure further in.
+pub fn read_handshake(r: &mut impl Read) -> io::Result<u16> {
+    let mut buf = [0u8; 7];
+    r.read_exact(&mut buf)?;
+    if buf[..4] != HANDSHAKE_MAGIC {
+        return Err(
+            DecodeError("bad handshake magic: peer is not a Hermes endpoint".into()).into(),
+        );
+    }
+    let version = u16::from_be_bytes([buf[4], buf[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError(format!(
+            "protocol version mismatch: peer speaks v{version}, this build speaks v{PROTOCOL_VERSION}"
+        ))
+        .into());
+    }
+    Ok(version)
+}
 
 /// A malformed message (bad tag, truncated payload, non-UTF-8 string, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +122,73 @@ pub enum Request {
         /// The trajectories to append.
         trajectories: Vec<Trajectory>,
     },
+    /// Shard-scope: answer the owned share of `QUT(W)` without the final
+    /// cross-boundary merge (coordinator → shard; see `docs/SHARDING.md`).
+    QutPartial {
+        /// Target dataset.
+        dataset: String,
+        /// Inclusive start of the half-open ownership slice, ms.
+        owned_start_ms: i64,
+        /// Exclusive end of the ownership slice, ms (`i64::MAX` = unbounded).
+        owned_end_ms: i64,
+        /// Window start `Wi`, ms.
+        wi: i64,
+        /// Window end `We`, ms.
+        we: i64,
+        /// `(τ, δ, t)` query overrides; `None` keeps the values the shard's
+        /// tree was indexed with (the `HISTOGRAM` path).
+        overrides: Option<(f64, f64, i64)>,
+    },
+    /// Shard-scope: count stored pieces intersecting `[wi, we]` in owned
+    /// sub-chunks only.
+    RangePartial {
+        /// Target dataset.
+        dataset: String,
+        /// Inclusive start of the ownership slice, ms.
+        owned_start_ms: i64,
+        /// Exclusive end of the ownership slice, ms.
+        owned_end_ms: i64,
+        /// Window start `Wi`, ms.
+        wi: i64,
+        /// Window end `We`, ms.
+        we: i64,
+    },
+    /// Shard-scope: return the raw trajectories whose first sample falls in
+    /// the ownership slice (the coordinator reassembles the full dataset for
+    /// non-decomposable whole-dataset runs such as S2T).
+    GatherTrajectories {
+        /// Target dataset.
+        dataset: String,
+        /// Inclusive start of the ownership slice, ms.
+        owned_start_ms: i64,
+        /// Exclusive end of the ownership slice, ms.
+        owned_end_ms: i64,
+    },
+    /// Shard-scope: the owned share of `INFO(dataset)`.
+    InfoPartial {
+        /// Target dataset.
+        dataset: String,
+        /// Inclusive start of the ownership slice, ms.
+        owned_start_ms: i64,
+        /// Exclusive end of the ownership slice, ms.
+        owned_end_ms: i64,
+    },
+}
+
+/// A shard's share of `INFO(dataset)`, counted over the trajectories whose
+/// first sample falls inside the shard's ownership slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialInfo {
+    /// Owned trajectories.
+    pub trajectories: u64,
+    /// Points of the owned trajectories.
+    pub points: u64,
+    /// Temporal extent of the owned trajectories, as `(start_ms, end_ms)`.
+    pub lifespan: Option<(i64, i64)>,
+    /// Whether the shard has a ReTraTree for the dataset.
+    pub indexed: bool,
+    /// Level-3 cluster entries in owned sub-chunks.
+    pub cluster_entries: u64,
 }
 
 /// Server → client messages.
@@ -101,6 +213,15 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// Answer to [`Request::QutPartial`]: the shard's un-merged clusters and
+    /// outliers in temporal order, plus its counters.
+    QutPartial(QutPartial),
+    /// Answer to [`Request::RangePartial`].
+    Count(u64),
+    /// Answer to [`Request::GatherTrajectories`].
+    Trajectories(Vec<Trajectory>),
+    /// Answer to [`Request::InfoPartial`].
+    InfoPartial(PartialInfo),
 }
 
 impl Response {
@@ -386,6 +507,133 @@ fn read_trajectory(r: &mut Reader<'_>) -> Result<Trajectory, DecodeError> {
         .map_err(|e| DecodeError(format!("invalid trajectory {id}: {e}")))
 }
 
+fn write_sub_trajectory(w: &mut Writer, s: &SubTrajectory) {
+    w.u64(s.id.trajectory_id);
+    w.u32(s.id.offset);
+    w.u64(s.trajectory_id);
+    w.u64(s.object_id);
+    w.u32(s.points().len() as u32);
+    for p in s.points() {
+        w.f64(p.x);
+        w.f64(p.y);
+        w.i64(p.t.millis());
+    }
+}
+
+fn read_sub_trajectory(r: &mut Reader<'_>) -> Result<SubTrajectory, DecodeError> {
+    let id_trajectory = r.u64()?;
+    let id_offset = r.u32()?;
+    let trajectory_id = r.u64()?;
+    let object_id = r.u64()?;
+    let n = r.u32()? as usize;
+    if n < 2 {
+        return Err(DecodeError(format!(
+            "sub-trajectory {id_trajectory}@{id_offset} has {n} points (minimum is 2)"
+        )));
+    }
+    let mut points = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let t = Timestamp(r.i64()?);
+        points.push(Point::new(x, y, t));
+    }
+    Ok(SubTrajectory::from_points(
+        SubTrajectoryId::new(id_trajectory, id_offset),
+        trajectory_id,
+        object_id,
+        points,
+    ))
+}
+
+fn write_cluster(w: &mut Writer, c: &Cluster) {
+    w.u64(c.id as u64);
+    write_sub_trajectory(w, &c.representative);
+    w.f64(c.representative_vote);
+    w.u32(c.members.len() as u32);
+    for m in &c.members {
+        write_sub_trajectory(w, m);
+    }
+    for d in &c.member_distances {
+        w.f64(*d);
+    }
+}
+
+fn read_cluster(r: &mut Reader<'_>) -> Result<Cluster, DecodeError> {
+    let id = r.u64()? as usize;
+    let representative = read_sub_trajectory(r)?;
+    let representative_vote = r.f64()?;
+    let n = r.u32()? as usize;
+    let mut members = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        members.push(read_sub_trajectory(r)?);
+    }
+    let mut member_distances = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        member_distances.push(r.f64()?);
+    }
+    Ok(Cluster {
+        id,
+        representative,
+        representative_vote,
+        members,
+        member_distances,
+    })
+}
+
+fn write_qut_partial(w: &mut Writer, p: &QutPartial) {
+    w.u32(p.clusters.len() as u32);
+    for c in &p.clusters {
+        write_cluster(w, c);
+    }
+    w.u32(p.outliers.len() as u32);
+    for o in &p.outliers {
+        write_sub_trajectory(w, o);
+    }
+    w.u64(p.stats.reused_subchunks as u64);
+    w.u64(p.stats.reclustered_subchunks as u64);
+    w.u64(p.stats.loaded_sub_trajectories as u64);
+    w.u64(p.stats.merges as u64);
+    w.f64(p.stats.elapsed_ms);
+    w.f64(p.stats.phases.index_build_ms);
+    w.f64(p.stats.phases.voting_ms);
+    w.f64(p.stats.phases.segmentation_ms);
+    w.f64(p.stats.phases.sampling_ms);
+    w.f64(p.stats.phases.clustering_ms);
+}
+
+fn read_qut_partial(r: &mut Reader<'_>) -> Result<QutPartial, DecodeError> {
+    let nclusters = r.u32()? as usize;
+    let mut clusters = Vec::with_capacity(nclusters.min(1 << 16));
+    for _ in 0..nclusters {
+        clusters.push(read_cluster(r)?);
+    }
+    let noutliers = r.u32()? as usize;
+    let mut outliers = Vec::with_capacity(noutliers.min(1 << 16));
+    for _ in 0..noutliers {
+        outliers.push(read_sub_trajectory(r)?);
+    }
+    let stats = QutStats {
+        reused_subchunks: r.u64()? as usize,
+        reclustered_subchunks: r.u64()? as usize,
+        loaded_sub_trajectories: r.u64()? as usize,
+        merges: r.u64()? as usize,
+        elapsed_ms: r.f64()?,
+        phases: S2TPhaseTimings {
+            index_build_ms: r.f64()?,
+            voting_ms: r.f64()?,
+            segmentation_ms: r.f64()?,
+            sampling_ms: r.f64()?,
+            clustering_ms: r.f64()?,
+        },
+    };
+    Ok(QutPartial {
+        clusters,
+        outliers,
+        stats,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Messages
 // ---------------------------------------------------------------------------
@@ -394,11 +642,19 @@ const REQ_QUERY: u8 = 1;
 const REQ_PREPARE: u8 = 2;
 const REQ_EXECUTE_PREPARED: u8 = 3;
 const REQ_INGEST: u8 = 4;
+const REQ_QUT_PARTIAL: u8 = 5;
+const REQ_RANGE_PARTIAL: u8 = 6;
+const REQ_GATHER_TRAJECTORIES: u8 = 7;
+const REQ_INFO_PARTIAL: u8 = 8;
 
 const RESP_ROWS: u8 = 101;
 const RESP_COMMAND: u8 = 102;
 const RESP_PREPARED: u8 = 103;
 const RESP_ERROR: u8 = 104;
+const RESP_QUT_PARTIAL: u8 = 105;
+const RESP_COUNT: u8 = 106;
+const RESP_TRAJECTORIES: u8 = 107;
+const RESP_INFO_PARTIAL: u8 = 108;
 
 fn encode_request(req: &Request) -> (u8, Vec<u8>) {
     let mut w = Writer::new();
@@ -430,6 +686,64 @@ fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             }
             REQ_INGEST
         }
+        Request::QutPartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+            wi,
+            we,
+            overrides,
+        } => {
+            w.str(dataset);
+            w.i64(*owned_start_ms);
+            w.i64(*owned_end_ms);
+            w.i64(*wi);
+            w.i64(*we);
+            match overrides {
+                Some((tau, delta, min_duration_ms)) => {
+                    w.u8(1);
+                    w.f64(*tau);
+                    w.f64(*delta);
+                    w.i64(*min_duration_ms);
+                }
+                None => w.u8(0),
+            }
+            REQ_QUT_PARTIAL
+        }
+        Request::RangePartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+            wi,
+            we,
+        } => {
+            w.str(dataset);
+            w.i64(*owned_start_ms);
+            w.i64(*owned_end_ms);
+            w.i64(*wi);
+            w.i64(*we);
+            REQ_RANGE_PARTIAL
+        }
+        Request::GatherTrajectories {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+        } => {
+            w.str(dataset);
+            w.i64(*owned_start_ms);
+            w.i64(*owned_end_ms);
+            REQ_GATHER_TRAJECTORIES
+        }
+        Request::InfoPartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+        } => {
+            w.str(dataset);
+            w.i64(*owned_start_ms);
+            w.i64(*owned_end_ms);
+            REQ_INFO_PARTIAL
+        }
     };
     (kind, w.buf)
 }
@@ -460,6 +774,43 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
                 trajectories,
             }
         }
+        REQ_QUT_PARTIAL => {
+            let dataset = r.str()?;
+            let owned_start_ms = r.i64()?;
+            let owned_end_ms = r.i64()?;
+            let wi = r.i64()?;
+            let we = r.i64()?;
+            let overrides = match r.u8()? {
+                0 => None,
+                1 => Some((r.f64()?, r.f64()?, r.i64()?)),
+                tag => return Err(DecodeError(format!("unknown overrides flag {tag}"))),
+            };
+            Request::QutPartial {
+                dataset,
+                owned_start_ms,
+                owned_end_ms,
+                wi,
+                we,
+                overrides,
+            }
+        }
+        REQ_RANGE_PARTIAL => Request::RangePartial {
+            dataset: r.str()?,
+            owned_start_ms: r.i64()?,
+            owned_end_ms: r.i64()?,
+            wi: r.i64()?,
+            we: r.i64()?,
+        },
+        REQ_GATHER_TRAJECTORIES => Request::GatherTrajectories {
+            dataset: r.str()?,
+            owned_start_ms: r.i64()?,
+            owned_end_ms: r.i64()?,
+        },
+        REQ_INFO_PARTIAL => Request::InfoPartial {
+            dataset: r.str()?,
+            owned_start_ms: r.i64()?,
+            owned_end_ms: r.i64()?,
+        },
         tag => return Err(DecodeError(format!("unknown request kind {tag}"))),
     };
     r.finish()?;
@@ -490,6 +841,36 @@ fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             w.str(message);
             RESP_ERROR
         }
+        Response::QutPartial(partial) => {
+            write_qut_partial(&mut w, partial);
+            RESP_QUT_PARTIAL
+        }
+        Response::Count(n) => {
+            w.u64(*n);
+            RESP_COUNT
+        }
+        Response::Trajectories(trajectories) => {
+            w.u32(trajectories.len() as u32);
+            for t in trajectories {
+                write_trajectory(&mut w, t);
+            }
+            RESP_TRAJECTORIES
+        }
+        Response::InfoPartial(info) => {
+            w.u64(info.trajectories);
+            w.u64(info.points);
+            match info.lifespan {
+                Some((start, end)) => {
+                    w.u8(1);
+                    w.i64(start);
+                    w.i64(end);
+                }
+                None => w.u8(0),
+            }
+            w.u8(info.indexed as u8);
+            w.u64(info.cluster_entries);
+            RESP_INFO_PARTIAL
+        }
     };
     (kind, w.buf)
 }
@@ -513,6 +894,34 @@ fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, DecodeError> {
         }),
         RESP_PREPARED => Response::Prepared { handle: r.u32()? },
         RESP_ERROR => Response::Error { message: r.str()? },
+        RESP_QUT_PARTIAL => Response::QutPartial(read_qut_partial(&mut r)?),
+        RESP_COUNT => Response::Count(r.u64()?),
+        RESP_TRAJECTORIES => {
+            let n = r.u32()? as usize;
+            let mut trajectories = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                trajectories.push(read_trajectory(&mut r)?);
+            }
+            Response::Trajectories(trajectories)
+        }
+        RESP_INFO_PARTIAL => {
+            let trajectories = r.u64()?;
+            let points = r.u64()?;
+            let lifespan = match r.u8()? {
+                0 => None,
+                1 => Some((r.i64()?, r.i64()?)),
+                tag => return Err(DecodeError(format!("unknown lifespan flag {tag}"))),
+            };
+            let indexed = r.u8()? != 0;
+            let cluster_entries = r.u64()?;
+            Response::InfoPartial(PartialInfo {
+                trajectories,
+                points,
+                lifespan,
+                indexed,
+                cluster_entries,
+            })
+        }
         tag => return Err(DecodeError(format!("unknown response kind {tag}"))),
     };
     r.finish()?;
@@ -642,6 +1051,53 @@ mod tests {
         .unwrap()
     }
 
+    fn sub(id: u64, offset: u32) -> SubTrajectory {
+        SubTrajectory::from_points(
+            SubTrajectoryId::new(id, offset),
+            id,
+            id * 2,
+            (0..4)
+                .map(|i| Point::new(i as f64 * 3.5, 0.25 * i as f64, Timestamp(i * 500)))
+                .collect(),
+        )
+    }
+
+    fn sample_partial() -> QutPartial {
+        QutPartial {
+            clusters: vec![
+                Cluster {
+                    id: 0,
+                    representative: sub(1, 0),
+                    representative_vote: 4.25,
+                    members: vec![sub(2, 3), sub(3, 0)],
+                    member_distances: vec![12.5, f64::MAX],
+                },
+                Cluster {
+                    id: 1,
+                    representative: sub(4, 7),
+                    representative_vote: 1.0,
+                    members: Vec::new(),
+                    member_distances: Vec::new(),
+                },
+            ],
+            outliers: vec![sub(9, 2)],
+            stats: QutStats {
+                reused_subchunks: 3,
+                reclustered_subchunks: 1,
+                loaded_sub_trajectories: 44,
+                merges: 2,
+                elapsed_ms: 1.5,
+                phases: S2TPhaseTimings {
+                    index_build_ms: 0.25,
+                    voting_ms: 0.5,
+                    segmentation_ms: 0.125,
+                    sampling_ms: 0.0,
+                    clustering_ms: 0.375,
+                },
+            },
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         for req in [
@@ -663,6 +1119,39 @@ mod tests {
             Request::Ingest {
                 dataset: "flights".into(),
                 trajectories: vec![traj(1), traj(2)],
+            },
+            Request::QutPartial {
+                dataset: "urban".into(),
+                owned_start_ms: i64::MIN,
+                owned_end_ms: 7_200_000,
+                wi: 0,
+                we: 3_600_000,
+                overrides: Some((0.35, 0.05, 300_000)),
+            },
+            Request::QutPartial {
+                dataset: "urban".into(),
+                owned_start_ms: 7_200_000,
+                owned_end_ms: i64::MAX,
+                wi: 0,
+                we: 3_600_000,
+                overrides: None,
+            },
+            Request::RangePartial {
+                dataset: "urban".into(),
+                owned_start_ms: 0,
+                owned_end_ms: 100,
+                wi: -5,
+                we: 50,
+            },
+            Request::GatherTrajectories {
+                dataset: "sea".into(),
+                owned_start_ms: i64::MIN,
+                owned_end_ms: i64::MAX,
+            },
+            Request::InfoPartial {
+                dataset: "sea".into(),
+                owned_start_ms: 0,
+                owned_end_ms: i64::MAX,
             },
         ] {
             assert_eq!(round_trip_request(req.clone()), req);
@@ -696,6 +1185,26 @@ mod tests {
             Response::Error {
                 message: "unknown dataset 'x'".into(),
             },
+            Response::QutPartial(sample_partial()),
+            Response::QutPartial(QutPartial::default()),
+            Response::Count(0),
+            Response::Count(u64::MAX),
+            Response::Trajectories(vec![traj(5), traj(6)]),
+            Response::Trajectories(Vec::new()),
+            Response::InfoPartial(PartialInfo {
+                trajectories: 40,
+                points: 1600,
+                lifespan: Some((-1, 86_400_000)),
+                indexed: true,
+                cluster_entries: 7,
+            }),
+            Response::InfoPartial(PartialInfo {
+                trajectories: 0,
+                points: 0,
+                lifespan: None,
+                indexed: false,
+                cluster_entries: 0,
+            }),
         ] {
             assert_eq!(round_trip_response(resp.clone()), resp);
         }
@@ -743,12 +1252,79 @@ mod tests {
         w.str("SHOW DATASETS;");
         w.u8(99);
         assert!(decode_request(REQ_QUERY, &w.buf).is_err());
+        // Unknown response kind.
+        let mut buf = Vec::new();
+        write_wire_frame(&mut buf, 222, &[]).unwrap();
+        let err = read_response(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A sub-trajectory with fewer than two points must be a decode error,
+        // not a constructor panic.
+        let mut w = Writer::new();
+        w.u64(1);
+        w.u32(0);
+        w.u64(1);
+        w.u64(1);
+        w.u32(1); // one point only
+        w.f64(0.0);
+        w.f64(0.0);
+        w.i64(0);
+        assert!(read_sub_trajectory(&mut Reader::new(&w.buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_a_hang() {
+        // Only 2 of the 4 length-prefix bytes arrive before EOF.
+        let partial: &[u8] = &[0x00, 0x00];
+        let err = read_request(&mut &*partial).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Length announces more payload than the stream holds.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            &Request::Query {
+                sql: "SHOW DATASETS;".into(),
+            },
+        )
+        .unwrap();
+        let declared = u32::from_be_bytes(buf[..4].try_into().unwrap());
+        buf[..4].copy_from_slice(&(declared + 10).to_be_bytes());
+        let err = read_request(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
     #[test]
     fn eof_reads_as_unexpected_eof() {
         let empty: &[u8] = &[];
         let err = read_request(&mut &*empty).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_mismatches() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf).unwrap();
+        assert_eq!(buf.len(), 7);
+        assert_eq!(
+            read_handshake(&mut buf.as_slice()).unwrap(),
+            PROTOCOL_VERSION
+        );
+
+        // Wrong magic: not a Hermes endpoint.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        let err = read_handshake(&mut bad.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"));
+
+        // Wrong version: named in the error.
+        let mut old = buf.clone();
+        old[4..6].copy_from_slice(&1u16.to_be_bytes());
+        let err = read_handshake(&mut old.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version mismatch"));
+
+        // Truncated preamble.
+        let err = read_handshake(&mut &buf[..3]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

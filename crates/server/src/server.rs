@@ -9,15 +9,20 @@
 //! long-running analytical queries, where a blocked thread is the cheap part.
 
 use crate::metrics::ServerMetrics;
-use crate::protocol::{read_request, write_response, Request, Response};
+use crate::protocol::{
+    read_handshake, read_request, write_handshake, write_response, Request, Response,
+};
+use crate::shard;
 use hermes_core::{EngineError, SharedEngine};
+use hermes_retratree::OwnedSlice;
 use hermes_sql::{
     push_stat, CommandStatus, CommandTag, Prepared, QueryOutcome, Session, Statement,
 };
+use hermes_trajectory::{TimeInterval, Timestamp};
 use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -44,6 +49,9 @@ pub struct Server {
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
+    /// Live connection sockets, so [`ServerHandle::kill`] can cut sessions
+    /// mid-flight (simulating a crashed shard in tests).
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
 }
 
 impl Server {
@@ -59,6 +67,7 @@ impl Server {
             config,
             metrics: Arc::new(ServerMetrics::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
         })
     }
 
@@ -74,6 +83,7 @@ impl Server {
 
     /// Runs the accept loop on the calling thread until shut down.
     pub fn run(self) -> io::Result<()> {
+        let mut next_conn_id: u64 = 0;
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -99,11 +109,18 @@ impl Server {
             self.metrics
                 .connections_active
                 .fetch_add(1, Ordering::Relaxed);
+            let conn_id = next_conn_id;
+            next_conn_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                self.conns.lock().unwrap().push((conn_id, clone));
+            }
             let engine = self.engine.clone();
             let metrics = Arc::clone(&self.metrics);
+            let conns = Arc::clone(&self.conns);
             thread::spawn(move || {
                 let _ = handle_connection(stream, engine, &metrics);
                 metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+                conns.lock().unwrap().retain(|(id, _)| *id != conn_id);
             });
         }
         Ok(())
@@ -116,6 +133,7 @@ impl Server {
         let metrics = self.metrics();
         let shutdown = Arc::clone(&self.shutdown);
         let engine = self.engine.clone();
+        let conns = Arc::clone(&self.conns);
         let thread = thread::spawn(move || {
             let _ = self.run();
         });
@@ -124,6 +142,7 @@ impl Server {
             metrics,
             shutdown,
             engine,
+            conns,
             thread: Some(thread),
         })
     }
@@ -135,6 +154,7 @@ pub struct ServerHandle {
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     engine: SharedEngine,
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -157,6 +177,17 @@ impl ServerHandle {
     /// Stops accepting connections and joins the accept loop. Connections
     /// already in a session run until their client disconnects.
     pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Hard stop: like [`ServerHandle::shutdown`] but also severs every live
+    /// connection socket, so peers holding pooled connections observe the
+    /// failure immediately — the closest in-process equivalent of killing the
+    /// shard process, used by the multi-shard failure tests.
+    pub fn kill(mut self) {
+        for (_, stream) in self.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         self.stop();
     }
 
@@ -184,10 +215,16 @@ impl Drop for ServerHandle {
 /// reset instead of the capacity message.
 fn reject_connection(stream: TcpStream, max_connections: usize) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
-    if let Ok(mut reader) = stream.try_clone().map(BufReader::new) {
-        let _ = read_request(&mut reader);
-    }
+    let Ok(mut reader) = stream.try_clone().map(BufReader::new) else {
+        return;
+    };
     let mut writer = BufWriter::new(stream);
+    // Complete the preamble exchange so the client reaches its first request,
+    // then turn that request away.
+    if write_handshake(&mut writer).is_err() || read_handshake(&mut reader).is_err() {
+        return;
+    }
+    let _ = read_request(&mut reader);
     let _ = write_response(
         &mut writer,
         &Response::Error {
@@ -206,6 +243,21 @@ fn handle_connection(
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+
+    // Preamble: the server speaks first, then verifies the client's answer.
+    // An incompatible peer gets a clean error response before the close.
+    write_handshake(&mut writer)?;
+    if let Err(e) = read_handshake(&mut reader) {
+        metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = write_response(
+            &mut writer,
+            &Response::Error {
+                message: e.to_string(),
+            },
+        );
+        return Ok(());
+    }
+
     let mut session: Session<SharedEngine> = Session::new(engine.clone());
     // Wire handles are indexes into this connection-private table, so one
     // connection can never execute (or even see) another's statements.
@@ -334,7 +386,90 @@ fn answer(
                 },
             }
         }
+        Request::QutPartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+            wi,
+            we,
+            overrides,
+        } => match owned_slice(owned_start_ms, owned_end_ms) {
+            Err(message) => Response::Error { message },
+            Ok(owned) => {
+                let w = window(wi, we);
+                match engine.with_read(|e| shard::qut_partial(e, &dataset, &owned, &w, overrides)) {
+                    Ok(partial) => Response::QutPartial(partial),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+        },
+        Request::RangePartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+            wi,
+            we,
+        } => match owned_slice(owned_start_ms, owned_end_ms) {
+            Err(message) => Response::Error { message },
+            Ok(owned) => {
+                let w = window(wi, we);
+                match engine.with_read(|e| e.owned_range_count(&dataset, &owned, &w)) {
+                    Ok(n) => Response::Count(n as u64),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+        },
+        Request::GatherTrajectories {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+        } => match owned_slice(owned_start_ms, owned_end_ms) {
+            Err(message) => Response::Error { message },
+            Ok(owned) => {
+                match engine.with_read(|e| shard::gather_trajectories(e, &dataset, &owned)) {
+                    Ok(trajectories) => Response::Trajectories(trajectories),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+        },
+        Request::InfoPartial {
+            dataset,
+            owned_start_ms,
+            owned_end_ms,
+        } => match owned_slice(owned_start_ms, owned_end_ms) {
+            Err(message) => Response::Error { message },
+            Ok(owned) => match engine.with_read(|e| shard::info_partial(e, &dataset, &owned)) {
+                Ok(info) => Response::InfoPartial(info),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+        },
     }
+}
+
+/// Validates an ownership slice from the wire without panicking on inverted
+/// bounds; the error is the message for a [`Response::Error`].
+fn owned_slice(start_ms: i64, end_ms: i64) -> Result<OwnedSlice, String> {
+    if start_ms > end_ms {
+        return Err(format!(
+            "invalid ownership slice: start {start_ms} exceeds end {end_ms}"
+        ));
+    }
+    Ok(OwnedSlice::new(start_ms, end_ms))
+}
+
+/// Clamps a possibly-inverted window exactly as the SQL executor does, so the
+/// shard request path and the single-node statement path agree on degenerate
+/// inputs.
+fn window(wi: i64, we: i64) -> TimeInterval {
+    TimeInterval::new(Timestamp(wi), Timestamp(we.max(wi)))
 }
 
 /// Wraps an outcome as a response, appending the `server` scope to

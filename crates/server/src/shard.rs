@@ -1,0 +1,100 @@
+//! Shard-side answers to the coordinator's partial requests.
+//!
+//! When a dataset is split across shards by temporal ownership slice (see
+//! `docs/SHARDING.md`), each shard answers only the sub-chunks / trajectories
+//! it *owns* — the coordinator reassembles the partials into the exact
+//! single-node answer. These helpers compute the per-shard shares from the
+//! engine's public APIs; routing and reassembly live in `hermes-coord`.
+
+use crate::protocol::PartialInfo;
+use hermes_core::{EngineError, HermesEngine};
+use hermes_retratree::{OwnedSlice, QutParams, QutPartial};
+use hermes_s2t::S2TParams;
+use hermes_trajectory::{TimeInterval, Trajectory};
+
+/// Answers [`crate::protocol::Request::QutPartial`]: the owned share of
+/// `QUT(W)` with the full (un-clipped) window and, when given, the query's
+/// `(τ, δ, t)` overrides on top of the tree's indexing-time S2T parameters —
+/// exactly how the single-node QUT path builds its parameters. The merge
+/// fields stay at their defaults because merging happens at the coordinator.
+pub fn qut_partial(
+    engine: &HermesEngine,
+    dataset: &str,
+    owned: &OwnedSlice,
+    window: &TimeInterval,
+    overrides: Option<(f64, f64, i64)>,
+) -> Result<QutPartial, EngineError> {
+    let base = engine.tree(dataset)?.params().s2t.clone();
+    let s2t = match overrides {
+        Some((tau, delta, min_duration_ms)) => S2TParams {
+            tau,
+            delta,
+            min_duration_ms,
+            ..base
+        },
+        None => base,
+    };
+    let params = QutParams {
+        s2t,
+        ..QutParams::default()
+    };
+    engine.run_qut_partial(dataset, owned, window, &params)
+}
+
+/// Answers [`crate::protocol::Request::GatherTrajectories`]: the raw
+/// trajectories whose first sample falls inside the ownership slice. With
+/// boundary-spanning trajectories ingested to every intersecting shard, the
+/// gather shares of a slice partition are disjoint and their union is the
+/// full dataset.
+pub fn gather_trajectories(
+    engine: &HermesEngine,
+    dataset: &str,
+    owned: &OwnedSlice,
+) -> Result<Vec<Trajectory>, EngineError> {
+    Ok(engine
+        .trajectories(dataset)?
+        .iter()
+        .filter(|t| owned.contains(t.start_time()))
+        .cloned()
+        .collect())
+}
+
+/// Answers [`crate::protocol::Request::InfoPartial`]: counts over the owned
+/// trajectories plus the level-3 entries of the owned sub-chunks, so the
+/// coordinator's sums reproduce the single-node `INFO` numbers.
+pub fn info_partial(
+    engine: &HermesEngine,
+    dataset: &str,
+    owned: &OwnedSlice,
+) -> Result<PartialInfo, EngineError> {
+    let mut info = PartialInfo {
+        trajectories: 0,
+        points: 0,
+        lifespan: None,
+        indexed: false,
+        cluster_entries: 0,
+    };
+    for t in engine
+        .trajectories(dataset)?
+        .iter()
+        .filter(|t| owned.contains(t.start_time()))
+    {
+        info.trajectories += 1;
+        info.points += t.points().len() as u64;
+        let l = t.lifespan();
+        info.lifespan = Some(match info.lifespan {
+            Some((a, b)) => (a.min(l.start.millis()), b.max(l.end.millis())),
+            None => (l.start.millis(), l.end.millis()),
+        });
+    }
+    if let Ok(tree) = engine.tree(dataset) {
+        info.indexed = true;
+        info.cluster_entries = tree
+            .chunks()
+            .flat_map(|c| c.subchunks.iter())
+            .filter(|sc| owned.contains(sc.interval.start))
+            .map(|sc| sc.num_clusters() as u64)
+            .sum();
+    }
+    Ok(info)
+}

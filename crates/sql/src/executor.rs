@@ -5,7 +5,7 @@
 use crate::frame::{CommandStatus, CommandTag, Frame, QueryOutcome};
 use crate::parser::{parse, ParseError, Statement};
 use crate::value::{Value, ValueType};
-use hermes_core::{EngineError, ExecPolicy, HermesEngine};
+use hermes_core::{DatasetInfo, EngineError, ExecPolicy, HermesEngine};
 use hermes_retratree::{QutParams, QutStats, ReTraTreeParams};
 use hermes_s2t::{ClusteringResult, S2TParams};
 use hermes_trajectory::{Duration, TimeInterval, Timestamp};
@@ -63,7 +63,10 @@ fn push(frame: &mut Frame, row: Vec<Value>) {
 
 /// One row per cluster plus a trailing outlier row (`cluster = -1`, matching
 /// the histogram's outlier label), with window bounds as real timestamps.
-fn clusters_frame(result: &ClusteringResult) -> Frame {
+///
+/// Public so a coordinator that assembles a [`ClusteringResult`] from shard
+/// partials can render the exact frame a single-node engine would produce.
+pub fn clusters_frame(result: &ClusteringResult) -> Frame {
     let mut frame = Frame::with_columns(&[
         ("cluster", ValueType::Int),
         ("representative", ValueType::Int),
@@ -101,7 +104,7 @@ fn clusters_frame(result: &ClusteringResult) -> Frame {
 }
 
 /// The `\timing` companion of a whole-dataset clustering run.
-fn s2t_stats_frame(result: &ClusteringResult, elapsed_ms: f64) -> Frame {
+pub fn s2t_stats_frame(result: &ClusteringResult, elapsed_ms: f64) -> Frame {
     let mut stats = Frame::with_columns(&[
         ("elapsed_ms", ValueType::Float),
         ("clusters", ValueType::Int),
@@ -120,7 +123,7 @@ fn s2t_stats_frame(result: &ClusteringResult, elapsed_ms: f64) -> Frame {
 
 /// The `\timing` companion of a window (QuT / rebuild) run, including the
 /// reuse counters that make the QuT-vs-rebuild tradeoff visible.
-fn qut_stats_frame(result: &ClusteringResult, stats: &QutStats) -> Frame {
+pub fn qut_stats_frame(result: &ClusteringResult, stats: &QutStats) -> Frame {
     let mut frame = Frame::with_columns(&[
         ("elapsed_ms", ValueType::Float),
         ("clusters", ValueType::Int),
@@ -336,32 +339,7 @@ pub fn execute_read_statement(
         }
         Statement::Info { name } => {
             let info = engine.dataset_info(name)?;
-            let mut frame = Frame::with_columns(&[
-                ("dataset", ValueType::Text),
-                ("trajectories", ValueType::Int),
-                ("points", ValueType::Int),
-                ("start", ValueType::Timestamp),
-                ("end", ValueType::Timestamp),
-                ("indexed", ValueType::Bool),
-                ("cluster_entries", ValueType::Int),
-            ]);
-            push(
-                &mut frame,
-                vec![
-                    Value::Text(info.name),
-                    Value::Int(info.num_trajectories as i64),
-                    Value::Int(info.num_points as i64),
-                    info.lifespan
-                        .map(|l| Value::Timestamp(l.start))
-                        .unwrap_or(Value::Null),
-                    info.lifespan
-                        .map(|l| Value::Timestamp(l.end))
-                        .unwrap_or(Value::Null),
-                    Value::Bool(info.indexed),
-                    Value::Int(info.num_cluster_entries as i64),
-                ],
-            );
-            Ok(QueryOutcome::rows(frame))
+            Ok(QueryOutcome::rows(info_frame(&info)))
         }
         Statement::S2T {
             name,
@@ -437,9 +415,7 @@ pub fn execute_read_statement(
             let w = window(i64_of(wi)?, i64_of(we)?);
             let tree = engine.tree(name)?;
             let subs = tree.window_sub_trajectories(&w);
-            let mut frame = Frame::with_columns(&[("sub_trajectories_in_window", ValueType::Int)]);
-            push(&mut frame, vec![Value::Int(subs.len() as i64)]);
-            Ok(QueryOutcome::rows(frame))
+            Ok(QueryOutcome::rows(range_frame(subs.len())))
         }
         Statement::Histogram {
             name,
@@ -459,35 +435,79 @@ pub fn execute_read_statement(
                 ..QutParams::default()
             };
             let (result, _) = engine.run_qut(name, &w, &params)?;
-            let hist = hermes_va::time_histogram(&result, Duration::from_millis(bucket_ms));
-            let mut frame = Frame::with_columns(&[
-                ("bucket_start", ValueType::Timestamp),
-                ("cluster", ValueType::Int),
-                ("cardinality", ValueType::Int),
-            ]);
-            for (b, start) in hist.bucket_starts.iter().enumerate() {
-                for (cluster, counts) in hist.counts.iter().enumerate() {
-                    push(
-                        &mut frame,
-                        vec![
-                            Value::Timestamp(*start),
-                            Value::Int(cluster as i64),
-                            Value::Int(counts[b] as i64),
-                        ],
-                    );
-                }
-                push(
-                    &mut frame,
-                    vec![
-                        Value::Timestamp(*start),
-                        Value::Int(-1),
-                        Value::Int(hist.outlier_counts[b] as i64),
-                    ],
-                );
-            }
-            Ok(QueryOutcome::rows(frame))
+            Ok(QueryOutcome::rows(histogram_frame(&result, bucket_ms)))
         }
     }
+}
+
+/// Renders the `INFO <dataset>` answer frame for a [`DatasetInfo`]. Public so
+/// a coordinator can render the union of per-shard infos identically.
+pub fn info_frame(info: &DatasetInfo) -> Frame {
+    let mut frame = Frame::with_columns(&[
+        ("dataset", ValueType::Text),
+        ("trajectories", ValueType::Int),
+        ("points", ValueType::Int),
+        ("start", ValueType::Timestamp),
+        ("end", ValueType::Timestamp),
+        ("indexed", ValueType::Bool),
+        ("cluster_entries", ValueType::Int),
+    ]);
+    push(
+        &mut frame,
+        vec![
+            Value::Text(info.name.clone()),
+            Value::Int(info.num_trajectories as i64),
+            Value::Int(info.num_points as i64),
+            info.lifespan
+                .map(|l| Value::Timestamp(l.start))
+                .unwrap_or(Value::Null),
+            info.lifespan
+                .map(|l| Value::Timestamp(l.end))
+                .unwrap_or(Value::Null),
+            Value::Bool(info.indexed),
+            Value::Int(info.num_cluster_entries as i64),
+        ],
+    );
+    frame
+}
+
+/// Renders the single-cell `RANGE` answer frame for a window count.
+pub fn range_frame(count: usize) -> Frame {
+    let mut frame = Frame::with_columns(&[("sub_trajectories_in_window", ValueType::Int)]);
+    push(&mut frame, vec![Value::Int(count as i64)]);
+    frame
+}
+
+/// Renders the `HISTOGRAM` answer frame (one row per bucket × cluster, plus a
+/// `cluster = -1` outlier row per bucket) from an assembled window clustering.
+pub fn histogram_frame(result: &ClusteringResult, bucket_ms: i64) -> Frame {
+    let hist = hermes_va::time_histogram(result, Duration::from_millis(bucket_ms));
+    let mut frame = Frame::with_columns(&[
+        ("bucket_start", ValueType::Timestamp),
+        ("cluster", ValueType::Int),
+        ("cardinality", ValueType::Int),
+    ]);
+    for (b, start) in hist.bucket_starts.iter().enumerate() {
+        for (cluster, counts) in hist.counts.iter().enumerate() {
+            push(
+                &mut frame,
+                vec![
+                    Value::Timestamp(*start),
+                    Value::Int(cluster as i64),
+                    Value::Int(counts[b] as i64),
+                ],
+            );
+        }
+        push(
+            &mut frame,
+            vec![
+                Value::Timestamp(*start),
+                Value::Int(-1),
+                Value::Int(hist.outlier_counts[b] as i64),
+            ],
+        );
+    }
+    frame
 }
 
 #[cfg(test)]

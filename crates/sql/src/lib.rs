@@ -58,8 +58,9 @@ pub mod value;
 
 pub use backend::EngineBackend;
 pub use executor::{
-    execute, execute_read_statement, execute_statement, is_write_statement, push_stat, stats_frame,
-    SqlError,
+    clusters_frame, execute, execute_read_statement, execute_statement, histogram_frame,
+    info_frame, is_write_statement, push_stat, qut_stats_frame, range_frame, s2t_stats_frame,
+    stats_frame, SqlError,
 };
 pub use frame::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome};
 pub use parser::{parse, ParseError, Scalar, Statement};

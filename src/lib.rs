@@ -43,6 +43,7 @@
 //! snapshot + WAL formats, normative).
 
 pub use hermes_baselines as baselines;
+pub use hermes_coord as coord;
 pub use hermes_core as core;
 pub use hermes_datagen as datagen;
 pub use hermes_exec as exec;
