@@ -1,0 +1,186 @@
+//! E13 — observability overhead: what does the hermes-obs layer cost per
+//! statement?
+//!
+//! Every server request pays a fixed observability toll: registry counter
+//! updates, one latency-histogram observation, and one span recorded into
+//! the ring buffer (with the statement text and status attributes the
+//! serving edge attaches). This bench runs the same read workload the
+//! concurrency bench uses — cheap `RANGE` probes plus periodic `QUT`
+//! clusterings, the worst case for *relative* overhead because the queries
+//! themselves are fast — twice: bare statement execution, and statement
+//! execution wrapped in exactly the per-request instrument updates
+//! `hermes-serve` performs.
+//!
+//! The gate: the per-statement cost of the instrument updates, measured in
+//! isolation (a tight loop over the same registry/histogram/span-store
+//! operations), must stay under 5% of the bare per-statement cost —
+//! observability is supposed to be free at query granularity. The isolated
+//! ratio is what's gated because it is stable on shared CI machines; the
+//! full A/B medians (whose difference is the same quantity buried in
+//! scheduler noise many times its size) are reported as counters for the
+//! JSON trajectory. A violation exits non-zero so CI (and perf PRs) catch a
+//! regression in the hot-path cost of the obs primitives.
+//!
+//! Env knobs: `HERMES_BENCH_QUICK=1` shrinks the sweep for CI smoke runs;
+//! `HERMES_BENCH_DIR` redirects the JSON output
+//! (`BENCH_e13_obs_overhead.json`).
+
+use hermes_bench::harness::{bench, report, JsonReport, Sample};
+use hermes_bench::{aircraft_s2t_params, aircraft_with};
+use hermes_core::HermesEngine;
+use hermes_obs::{next_id, Registry, Span, SpanStore};
+use hermes_retratree::ReTraTreeParams;
+use hermes_server::ServerMetrics;
+use hermes_sql::execute;
+use hermes_trajectory::Duration as TrajDuration;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Maximum tolerated median slowdown of the instrumented run, in percent.
+const GATE_OVERHEAD_PCT: f64 = 5.0;
+
+fn statements(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let window_end = 1_800_000 + (i as i64 % 4) * 900_000;
+            if i % 4 == 0 {
+                format!("SELECT QUT(data, 0, {window_end}, 0.35, 0.05, 300000, 6000, 1800000);")
+            } else {
+                format!("SELECT RANGE(data, 0, {window_end});")
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::var("HERMES_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let iters: u32 = if quick { 3 } else { 9 };
+    let queries = statements(if quick { 40 } else { 160 });
+
+    let scenario = aircraft_with(60, 0xE13);
+    let mut engine = HermesEngine::new();
+    engine.create_dataset("data").unwrap();
+    engine
+        .load_trajectories("data", scenario.trajectories.clone())
+        .unwrap();
+    engine
+        .build_index(
+            "data",
+            ReTraTreeParams {
+                chunk_duration: TrajDuration::from_hours(2),
+                s2t: aircraft_s2t_params(),
+                ..ReTraTreeParams::default()
+            },
+        )
+        .unwrap();
+
+    // The exact per-request observability state a server carries.
+    let registry = Registry::new();
+    let metrics = ServerMetrics::register(&registry);
+    let spans = SpanStore::default();
+
+    let bare = bench("bare", iters, || {
+        for q in &queries {
+            execute(&mut engine, q).expect("bare query");
+        }
+    });
+    let instrumented = bench("instrumented", iters, || {
+        for q in &queries {
+            // Mirror the server's request loop: count the request bytes,
+            // time the statement, record latency + outcome counters, and
+            // record one root span with the statement/status attributes.
+            metrics.bytes_in.add(q.len() as u64);
+            let started = Instant::now();
+            let outcome = execute(&mut engine, q).expect("instrumented query");
+            let elapsed = started.elapsed();
+            metrics.latency.record(elapsed);
+            metrics.queries_served.inc();
+            metrics.bytes_out.add(q.len() as u64);
+            spans.record(Span {
+                trace_id: next_id(),
+                span_id: next_id(),
+                parent_span_id: 0,
+                name: "query".to_string(),
+                start_us: 0,
+                duration_us: elapsed.as_micros() as u64,
+                attrs: vec![("statement", q.clone()), ("status", "ok".to_string())],
+            });
+            drop(outcome);
+        }
+    });
+    // The gated quantity: the instrument updates alone, timed in isolation.
+    // One "statement" of observability is the block added above — counter
+    // adds, histogram observation, and a span with two attributes.
+    let statement = &queries[0];
+    let instruments = bench("instruments_only", iters, || {
+        for _ in 0..queries.len() {
+            metrics.bytes_in.add(statement.len() as u64);
+            metrics.latency.record(std::time::Duration::from_micros(70));
+            metrics.queries_served.inc();
+            metrics.bytes_out.add(statement.len() as u64);
+            spans.record(Span {
+                trace_id: next_id(),
+                span_id: next_id(),
+                parent_span_id: 0,
+                name: "query".to_string(),
+                start_us: 0,
+                duration_us: 70,
+                attrs: vec![
+                    ("statement", statement.clone()),
+                    ("status", "ok".to_string()),
+                ],
+            });
+        }
+    });
+    let samples: Vec<Sample> = vec![bare.clone(), instrumented.clone(), instruments.clone()];
+    report("e13_obs_overhead", &samples);
+
+    let qps = |s: &Sample| queries.len() as f64 / (s.median_ms / 1_000.0);
+    let ab_overhead_pct = (instrumented.median_ms - bare.median_ms) / bare.median_ms * 100.0;
+    let overhead_pct = instruments.median_ms / bare.median_ms * 100.0;
+    let pass = overhead_pct <= GATE_OVERHEAD_PCT;
+    eprintln!(
+        "\n# E13 summary: bare {:.1} q/s, instrumented {:.1} q/s (A/B delta {ab_overhead_pct:+.2}%); \
+         instrument cost {:.3} us/statement = {overhead_pct:.3}% of a bare statement \
+         (gate {GATE_OVERHEAD_PCT}%) — one scrape renders {} samples",
+        qps(&bare),
+        qps(&instrumented),
+        instruments.median_ms * 1_000.0 / queries.len() as f64,
+        registry.samples().len(),
+    );
+
+    let mut json = JsonReport::new("e13_obs_overhead");
+    json.push_with(
+        bare.clone(),
+        vec![("queries_per_s".to_string(), qps(&bare))],
+    );
+    json.push_with(
+        instrumented.clone(),
+        vec![
+            ("queries_per_s".to_string(), qps(&instrumented)),
+            ("ab_overhead_pct".to_string(), ab_overhead_pct),
+        ],
+    );
+    json.push_with(
+        instruments.clone(),
+        vec![
+            (
+                "us_per_statement".to_string(),
+                instruments.median_ms * 1_000.0 / queries.len() as f64,
+            ),
+            ("overhead_pct".to_string(), overhead_pct),
+            ("gate_overhead_pct".to_string(), GATE_OVERHEAD_PCT),
+            ("gate_pass".to_string(), if pass { 1.0 } else { 0.0 }),
+        ],
+    );
+    json.write().expect("write BENCH_e13_obs_overhead.json");
+
+    if !pass {
+        eprintln!(
+            "GATE FAILED: observability costs {overhead_pct:.3}% of a bare statement, \
+             exceeding {GATE_OVERHEAD_PCT}%"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -85,11 +85,9 @@ fn main() {
     let metrics = server.metrics();
     eprintln!(
         "server totals: {} queries, {} bytes in, {} bytes out",
-        metrics
-            .queries_served
-            .load(std::sync::atomic::Ordering::Relaxed),
-        metrics.bytes_in.load(std::sync::atomic::Ordering::Relaxed),
-        metrics.bytes_out.load(std::sync::atomic::Ordering::Relaxed),
+        metrics.queries_served.get(),
+        metrics.bytes_in.get(),
+        metrics.bytes_out.get(),
     );
     server.shutdown();
 }

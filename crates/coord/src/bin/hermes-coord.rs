@@ -16,12 +16,14 @@
 //!
 //! The bound address is announced on stdout as `hermes-coord listening on
 //! <addr>` so scripts can scrape the ephemeral port, mirroring
-//! `hermes-serve`.
+//! `hermes-serve`. With `--metrics-addr` a second line `hermes-coord metrics
+//! listening on <addr>` announces the Prometheus endpoint the same way.
 
 use hermes_coord::{
     parse_shard_flag, parse_shard_map, validate_shard_map, CoordServer, Coordinator, ShardSpec,
 };
 use hermes_exec::ExecPolicy;
+use hermes_obs::serve_metrics;
 use hermes_server::{ConnectOptions, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -35,6 +37,7 @@ USAGE:
                  [--addr <host:port> | --port <n>] [--max-connections <n>]
                  [--threads <n>] [--connect-timeout-ms <n>]
                  [--read-timeout-ms <n>] [--retries <n>]
+                 [--metrics-addr <host:port>] [--slow-query-ms <n>]
 
 OPTIONS:
     --shard <spec>           One shard: name=addr[@start..end], where the
@@ -58,6 +61,15 @@ OPTIONS:
                              (default: block forever)
     --retries <n>            Extra connect attempts per shard dial
                              (default 3, exponential backoff)
+    --metrics-addr <h:p>     Serve the Prometheus text exposition of the
+                             process metrics registry (coordinator counters
+                             plus per-shard hermes_shard_* series) at
+                             GET /metrics on this address (port 0 picks one;
+                             announced as 'hermes-coord metrics listening
+                             on <addr>')
+    --slow-query-ms <n>      Log one structured JSON line (with the
+                             statement's distributed trace id) to stderr for
+                             every statement slower than n milliseconds
     -h, --help               Print this text
 
 The slices must partition the whole time axis (first starts at min, last
@@ -71,6 +83,7 @@ fn main() -> ExitCode {
     let mut policy = ExecPolicy::from_env();
     let mut opts = ConnectOptions::default();
     let mut shards: Vec<ShardSpec> = Vec::new();
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -122,6 +135,14 @@ fn main() -> ExitCode {
                 Some(n) => opts.retries = n,
                 None => return fail("--retries requires an attempt count"),
             },
+            "--metrics-addr" => match args.next() {
+                Some(a) => metrics_addr = Some(a),
+                None => return fail("--metrics-addr requires a host:port value"),
+            },
+            "--slow-query-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => config.slow_query_ms = Some(ms),
+                None => return fail("--slow-query-ms requires a millisecond count"),
+            },
             "-h" | "--help" => {
                 print!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -170,6 +191,17 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("cannot start the accept loop: {e}")),
     };
     println!("hermes-coord listening on {bound}");
+    // Keep the scrape listener alive for the life of the process.
+    let _metrics_handle = match &metrics_addr {
+        Some(maddr) => match serve_metrics(maddr.as_str(), _handle.registry()) {
+            Ok(h) => {
+                println!("hermes-coord metrics listening on {}", h.addr());
+                Some(h)
+            }
+            Err(e) => return fail(&format!("cannot bind metrics address {maddr}: {e}")),
+        },
+        None => None,
+    };
     let _ = std::io::stdout().flush();
 
     // The coordinator holds no durable state, so there is nothing to flush

@@ -15,9 +15,10 @@
 //!   always learns *which* node failed.
 
 use crate::shardmap::ShardSpec;
+use hermes_obs::{Counter, Sample, SampleValue};
 use hermes_server::{ClientError, ConnectOptions, HermesClient};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -56,18 +57,19 @@ impl fmt::Display for CoordError {
 impl std::error::Error for CoordError {}
 
 /// One shard's registry entry: its spec, liveness, cumulative counters and
-/// pooled connections. All counters are atomics — `SHOW STATS` reads them
-/// without stopping traffic.
+/// pooled connections. All counters are lock-free `hermes-obs` counters —
+/// `SHOW STATS` and the `/metrics` collector read them without stopping
+/// traffic.
 pub struct Shard {
     /// The shard's name, address and owned slice.
     pub spec: ShardSpec,
     opts: ConnectOptions,
     alive: AtomicBool,
-    queries: AtomicU64,
-    errors: AtomicU64,
-    latency_us: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    queries: Counter,
+    errors: Counter,
+    latency_us: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
     idle: Mutex<Vec<HermesClient>>,
 }
 
@@ -79,11 +81,11 @@ impl Shard {
             spec,
             opts,
             alive: AtomicBool::new(false),
-            queries: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency_us: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
+            queries: Counter::new(),
+            errors: Counter::new(),
+            latency_us: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
             idle: Mutex::new(Vec::new()),
         }
     }
@@ -127,7 +129,7 @@ impl Shard {
                 Ok(conn) => conn,
                 Err(e) => {
                     self.alive.store(false, Ordering::Relaxed);
-                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.errors.inc();
                     return Err(self.named(format!("connect failed: {e}")));
                 }
             },
@@ -135,15 +137,12 @@ impl Shard {
         let (out0, in0) = (conn.bytes_out(), conn.bytes_in());
         let started = Instant::now();
         let result = f(&mut conn);
-        self.latency_us
-            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.bytes_out
-            .fetch_add(conn.bytes_out() - out0, Ordering::Relaxed);
-        self.bytes_in
-            .fetch_add(conn.bytes_in() - in0, Ordering::Relaxed);
+        self.latency_us.add(started.elapsed().as_micros() as u64);
+        self.bytes_out.add(conn.bytes_out() - out0);
+        self.bytes_in.add(conn.bytes_in() - in0);
         match result {
             Ok(value) => {
-                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.queries.inc();
                 self.alive.store(true, Ordering::Relaxed);
                 self.check_in(conn);
                 Ok(value)
@@ -152,12 +151,12 @@ impl Shard {
                 // The shard executed the request and said no: the stream is
                 // in sync, the connection stays pooled, and the message is
                 // relayed verbatim (it matches the single-node error text).
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.errors.inc();
                 self.check_in(conn);
                 Err(CoordError::Data(message))
             }
             Err(e) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.errors.inc();
                 self.alive.store(false, Ordering::Relaxed);
                 drop(conn);
                 Err(self.named(e.to_string()))
@@ -174,16 +173,65 @@ impl Shard {
 
     /// The shard's `SHOW STATS` rows (scope is added by the caller).
     pub fn stat_rows(&self) -> Vec<(&'static str, i64)> {
-        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as i64;
         vec![
             ("alive", self.is_alive() as i64),
-            ("queries", load(&self.queries)),
-            ("errors", load(&self.errors)),
-            ("latency_us_total", load(&self.latency_us)),
-            ("bytes_in", load(&self.bytes_in)),
-            ("bytes_out", load(&self.bytes_out)),
+            ("queries", self.queries.get() as i64),
+            ("errors", self.errors.get() as i64),
+            ("latency_us_total", self.latency_us.get() as i64),
+            ("bytes_in", self.bytes_in.get() as i64),
+            ("bytes_out", self.bytes_out.get() as i64),
             ("pooled_connections", self.idle.lock().unwrap().len() as i64),
         ]
+    }
+
+    /// Appends this shard's Prometheus samples (`hermes_shard_*` labelled by
+    /// shard name) — the coordinator registers one collector calling this
+    /// for every shard at scrape time.
+    pub fn collect_samples(&self, out: &mut Vec<Sample>) {
+        let labels = || vec![("shard", self.spec.name.clone())];
+        let counter = |name, help, v: u64| Sample {
+            name,
+            help,
+            labels: labels(),
+            value: SampleValue::Counter(v),
+        };
+        out.push(Sample {
+            name: "hermes_shard_alive",
+            help: "Last observed shard liveness (1 = alive)",
+            labels: labels(),
+            value: SampleValue::Gauge(self.is_alive() as u64),
+        });
+        out.push(counter(
+            "hermes_shard_queries_total",
+            "Successful exchanges with the shard",
+            self.queries.get(),
+        ));
+        out.push(counter(
+            "hermes_shard_errors_total",
+            "Failed exchanges with the shard (answered or broken)",
+            self.errors.get(),
+        ));
+        out.push(counter(
+            "hermes_shard_latency_us_total",
+            "Cumulative downstream exchange latency in microseconds",
+            self.latency_us.get(),
+        ));
+        out.push(counter(
+            "hermes_shard_bytes_in_total",
+            "Bytes read from the shard",
+            self.bytes_in.get(),
+        ));
+        out.push(counter(
+            "hermes_shard_bytes_out_total",
+            "Bytes written to the shard",
+            self.bytes_out.get(),
+        ));
+        out.push(Sample {
+            name: "hermes_shard_pooled_connections",
+            help: "Idle pooled connections to the shard",
+            labels: labels(),
+            value: SampleValue::Gauge(self.idle.lock().unwrap().len() as u64),
+        });
     }
 }
 

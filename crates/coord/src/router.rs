@@ -31,14 +31,15 @@ use crate::registry::{CoordError, Shard};
 use crate::shardmap::ShardSpec;
 use hermes_core::{DatasetInfo, EngineError};
 use hermes_exec::{ExecPolicy, Executor};
+use hermes_obs::QueryTrace;
 use hermes_retratree::{merge_qut_partials, QutParams, QutPartial};
-use hermes_s2t::{run_s2t_naive_with, run_s2t_with, S2TParams};
+use hermes_s2t::{run_s2t_naive_with, run_s2t_with, S2TParams, S2TPhaseTimings};
 use hermes_server::protocol::{Request, Response};
 use hermes_server::{ClientError, ConnectOptions, HermesClient, ServerMetrics};
 use hermes_sql::{
     clusters_frame, histogram_frame, info_frame, push_stat, qut_stats_frame, range_frame,
-    s2t_stats_frame, stats_frame, CommandStatus, CommandTag, Frame, Scalar, SqlError, Statement,
-    Value, ValueType,
+    s2t_stats_frame, sort_stats_rows, stats_frame, trace_frame, traces_frame, CommandStatus,
+    CommandTag, Frame, Scalar, SqlError, Statement, Value, ValueType,
 };
 use hermes_trajectory::{Duration, TimeInterval, Timestamp, Trajectory};
 use std::sync::{Arc, Mutex};
@@ -104,14 +105,19 @@ impl Coordinator {
 
     /// Executes one bound statement, returning the wire response to relay.
     /// `fwd` carries the client's original bytes for the forwarding paths;
-    /// `metrics` feeds the `coordinator` scope of `SHOW STATS`.
+    /// `metrics` feeds the `coordinator` scope of `SHOW STATS`. When `trace`
+    /// is set, fan-out paths record one child span per contacted shard (and
+    /// propagate the context downstream) plus a `merge` span for the local
+    /// reassembly; interior-forwarded and broadcast statements stay span-free
+    /// — their cost is the root span itself.
     pub fn execute(
         &self,
         stmt: &Statement,
         fwd: &ForwardSpec<'_>,
         metrics: &ServerMetrics,
+        trace: Option<&QueryTrace>,
     ) -> Response {
-        match self.route(stmt, fwd, metrics) {
+        match self.route(stmt, fwd, metrics, trace) {
             Ok(response) => response,
             Err(e) => Response::Error {
                 message: e.to_string(),
@@ -164,6 +170,7 @@ impl Coordinator {
         stmt: &Statement,
         fwd: &ForwardSpec<'_>,
         metrics: &ServerMetrics,
+        trace: Option<&QueryTrace>,
     ) -> Result<Response, CoordError> {
         let f64_of = |s: &Scalar| s.as_f64().map_err(|m| sql_err(SqlError::Bind(m)));
         let i64_of = |s: &Scalar| s.as_i64().map_err(|m| sql_err(SqlError::Bind(m)));
@@ -260,8 +267,22 @@ impl Coordinator {
                 Ok(rows(frame))
             }
             Statement::ShowStats => Ok(rows(self.stats(fwd, metrics))),
+            // Trace statements are answered at the serving edge (the span
+            // store lives there, see `crate::server`); these arms only keep
+            // the match exhaustive for library callers, answering with the
+            // empty schema.
+            Statement::ShowTraces => Ok(rows(traces_frame())),
+            Statement::ShowTrace { .. } => Ok(rows(trace_frame())),
             Statement::Info { name } => {
-                let partials = self.fan_out(name, |c, slice| c.info_partial(name, slice))?;
+                let partials = self.fan_out(name, |c, shard| {
+                    traced_shard_call(
+                        trace,
+                        shard,
+                        c,
+                        |c| c.info_partial(name, shard.slice()),
+                        |_| Vec::new(),
+                    )
+                })?;
                 let mut info = DatasetInfo {
                     name: name.clone(),
                     num_trajectories: 0,
@@ -305,7 +326,15 @@ impl Coordinator {
                 // Each shard contributes the trajectories *starting* in its
                 // slice: a disjoint cover of the dataset even though border
                 // trajectories are stored on several shards.
-                let shares = self.fan_out(name, |c, slice| c.gather_trajectories(name, slice))?;
+                let shares = self.fan_out(name, |c, shard| {
+                    traced_shard_call(
+                        trace,
+                        shard,
+                        c,
+                        |c| c.gather_trajectories(name, shard.slice()),
+                        |trajectories| vec![("trajectories", trajectories.len().to_string())],
+                    )
+                })?;
                 let mut trajectories: Vec<Trajectory> =
                     shares.into_iter().flatten().flatten().collect();
                 if trajectories.is_empty() {
@@ -372,14 +401,22 @@ impl Coordinator {
                 }
                 let started = Instant::now();
                 let overrides = Some((f64_of(tau)?, f64_of(delta)?, i64_of(min_duration_ms)?));
-                let partials = self.fan_out(name, |c, slice| {
-                    c.qut_partial(name, slice, (wi, we), overrides)
+                let partials = self.fan_out(name, |c, shard| {
+                    traced_shard_call(
+                        trace,
+                        shard,
+                        c,
+                        |c| c.qut_partial(name, shard.slice(), (wi, we), overrides),
+                        |partial| phase_attrs(&partial.stats.phases),
+                    )
                 })?;
                 let partials: Vec<QutPartial> = partials
                     .into_iter()
                     .map(Option::unwrap_or_default)
                     .collect();
+                let merge_started = Instant::now();
                 let (result, mut stats) = merge_qut_partials(partials, &merge);
+                record_merge_span(trace, merge_started, stats.merges);
                 stats.elapsed_ms = started.elapsed().as_secs_f64() * 1_000.0;
                 Ok(Response::Rows {
                     frame: clusters_frame(&result),
@@ -394,8 +431,15 @@ impl Coordinator {
                         return Ok(response);
                     }
                 }
-                let counts =
-                    self.fan_out(name, |c, slice| c.range_partial(name, slice, (wi, we)))?;
+                let counts = self.fan_out(name, |c, shard| {
+                    traced_shard_call(
+                        trace,
+                        shard,
+                        c,
+                        |c| c.range_partial(name, shard.slice(), (wi, we)),
+                        |count| vec![("count", count.to_string())],
+                    )
+                })?;
                 let total: u64 = counts.into_iter().flatten().sum();
                 Ok(rows(range_frame(total as usize)))
             }
@@ -420,13 +464,22 @@ impl Coordinator {
                 }
                 // No overrides: the histogram clusters with the tree's own
                 // indexing-time S2T parameters, exactly like the executor.
-                let partials =
-                    self.fan_out(name, |c, slice| c.qut_partial(name, slice, (wi, we), None))?;
+                let partials = self.fan_out(name, |c, shard| {
+                    traced_shard_call(
+                        trace,
+                        shard,
+                        c,
+                        |c| c.qut_partial(name, shard.slice(), (wi, we), None),
+                        |partial| phase_attrs(&partial.stats.phases),
+                    )
+                })?;
                 let partials: Vec<QutPartial> = partials
                     .into_iter()
                     .map(Option::unwrap_or_default)
                     .collect();
-                let (result, _) = merge_qut_partials(partials, &QutParams::default());
+                let merge_started = Instant::now();
+                let (result, merge_stats) = merge_qut_partials(partials, &QutParams::default());
+                record_merge_span(trace, merge_started, merge_stats.merges);
                 Ok(rows(histogram_frame(&result, bucket_ms)))
             }
         }
@@ -469,6 +522,9 @@ impl Coordinator {
                 }
             }
         }
+        // Same deterministic (scope, metric) ordering contract as the
+        // single-node server (docs/OBSERVABILITY.md).
+        sort_stats_rows(&mut frame);
         frame
     }
 
@@ -558,16 +614,14 @@ impl Coordinator {
     fn fan_out<T: Send>(
         &self,
         dataset: &str,
-        call: impl Fn(&mut HermesClient, (i64, i64)) -> Result<T, ClientError> + Sync,
+        call: impl Fn(&mut HermesClient, &Shard) -> Result<T, ClientError> + Sync,
     ) -> Result<Vec<Option<T>>, CoordError> {
         let tolerated = [
             EngineError::EmptyDataset(dataset.to_string()).to_string(),
             EngineError::NotIndexed(dataset.to_string()).to_string(),
         ];
         let exec = self.exec();
-        let results = exec.map(&self.shards, |_, shard| {
-            shard.with_conn(|c| call(c, shard.slice()))
-        });
+        let results = exec.map(&self.shards, |_, shard| shard.with_conn(|c| call(c, shard)));
         let mut out = Vec::with_capacity(results.len());
         let mut first_tolerated = None;
         for result in results {
@@ -586,6 +640,65 @@ impl Coordinator {
             ));
         }
         Ok(out)
+    }
+}
+
+/// Runs one downstream call with a child span around it: allocates the span,
+/// propagates its [`TraceContext`](hermes_obs::TraceContext) on the
+/// connection so the shard's own `qut_partial`/`range_partial` span parents
+/// under it, and records `shard:<name>` with the call's outcome. With no
+/// active trace this is exactly the bare call.
+fn traced_shard_call<T>(
+    trace: Option<&QueryTrace>,
+    shard: &Shard,
+    c: &mut HermesClient,
+    call: impl FnOnce(&mut HermesClient) -> Result<T, ClientError>,
+    attrs: impl FnOnce(&T) -> Vec<(&'static str, String)>,
+) -> Result<T, ClientError> {
+    let Some(trace) = trace else {
+        return call(c);
+    };
+    let (span_id, ctx) = trace.child_ctx();
+    let started = Instant::now();
+    c.set_trace(Some(ctx));
+    let result = call(c);
+    c.set_trace(None);
+    let span_attrs = match &result {
+        Ok(value) => attrs(value),
+        Err(e) => vec![("error", e.to_string())],
+    };
+    trace.record_child(
+        span_id,
+        format!("shard:{}", shard.spec.name),
+        started,
+        started.elapsed(),
+        span_attrs,
+    );
+    result
+}
+
+/// Span attributes carrying a shard's S2T phase work for its partial.
+fn phase_attrs(t: &S2TPhaseTimings) -> Vec<(&'static str, String)> {
+    vec![
+        ("index_build_ms", format!("{:.3}", t.index_build_ms)),
+        ("voting_ms", format!("{:.3}", t.voting_ms)),
+        ("segmentation_ms", format!("{:.3}", t.segmentation_ms)),
+        ("sampling_ms", format!("{:.3}", t.sampling_ms)),
+        ("clustering_ms", format!("{:.3}", t.clustering_ms)),
+    ]
+}
+
+/// Records the local border-merge as a child span of the root.
+fn record_merge_span(trace: Option<&QueryTrace>, started: Instant, merges: usize) {
+    if let Some(trace) = trace {
+        let (span_id, _) = trace.child_ctx();
+        trace.record_child(
+            span_id,
+            "merge".to_string(),
+            started,
+            started.elapsed(),
+            vec![("merges", merges.to_string())],
+        );
     }
 }
 

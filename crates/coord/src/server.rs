@@ -8,13 +8,24 @@
 //! prepared path, bound) locally, then routed; the original SQL text rides
 //! along so forwarded statements hit the shards byte-for-byte as the client
 //! wrote them.
+//!
+//! Observability mirrors the single-node server too: the coordinator owns a
+//! process-wide [`Registry`] (its `hermes_server_*` counters plus a collector
+//! over the shard registry's `hermes_shard_*` counters) and a [`SpanStore`].
+//! Every `Query`/`ExecutePrepared` statement becomes the *root* of a
+//! distributed trace: the router records one child span per contacted shard
+//! (propagating the context downstream, so the shard's own span joins the
+//! tree) plus a `merge` span, and `SHOW TRACE <id>` against the coordinator
+//! returns the whole fan-out tree.
 
 use crate::router::{Coordinator, ForwardSpec};
+use hermes_obs::{slow_query_line, QueryTrace, Registry, SpanStore};
 use hermes_server::protocol::{
     read_handshake, read_request, write_handshake, write_response, Request, Response,
 };
+use hermes_server::traceview::{self, TraceQuery};
 use hermes_server::{ServerConfig, ServerMetrics};
-use hermes_sql::{parse, Statement};
+use hermes_sql::{parse, QueryOutcome, Statement};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,21 +39,39 @@ pub struct CoordServer {
     coordinator: Arc<Coordinator>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    spans: Arc<SpanStore>,
     shutdown: Arc<AtomicBool>,
 }
 
 impl CoordServer {
     /// Binds a listener (port 0 picks an ephemeral port) over a coordinator.
+    ///
+    /// The server owns a process-wide [`Registry`] carrying its own counters
+    /// plus a pull-based collector over the shard registry (`hermes_shard_*`,
+    /// one label set per shard), and a [`SpanStore`] holding the fan-out
+    /// span trees for `SHOW TRACE`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         coordinator: Coordinator,
         config: ServerConfig,
     ) -> io::Result<CoordServer> {
+        let coordinator = Arc::new(coordinator);
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(ServerMetrics::register(&registry));
+        let collector_coord = Arc::clone(&coordinator);
+        registry.register_collector(move |out| {
+            for shard in collector_coord.shards() {
+                shard.collect_samples(out);
+            }
+        });
         Ok(CoordServer {
             listener: TcpListener::bind(addr)?,
-            coordinator: Arc::new(coordinator),
+            coordinator,
             config,
-            metrics: Arc::new(ServerMetrics::default()),
+            metrics,
+            registry,
+            spans: Arc::new(SpanStore::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -63,6 +92,16 @@ impl CoordServer {
         Arc::clone(&self.metrics)
     }
 
+    /// The process-wide metrics registry (served at `GET /metrics`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The in-process span store behind `SHOW TRACE` / `SHOW TRACES`.
+    pub fn spans(&self) -> Arc<SpanStore> {
+        Arc::clone(&self.spans)
+    }
+
     /// Runs the accept loop on the calling thread until shut down.
     pub fn run(self) -> io::Result<()> {
         for stream in self.listener.incoming() {
@@ -73,26 +112,22 @@ impl CoordServer {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            let active = self.metrics.connections_active.load(Ordering::Relaxed);
+            let active = self.metrics.connections_active.get();
             if active >= self.config.max_connections as u64 {
-                self.metrics
-                    .connections_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.connections_rejected.inc();
                 let max_connections = self.config.max_connections;
                 thread::spawn(move || reject_connection(stream, max_connections));
                 continue;
             }
-            self.metrics
-                .connections_accepted
-                .fetch_add(1, Ordering::Relaxed);
-            self.metrics
-                .connections_active
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.connections_accepted.inc();
+            self.metrics.connections_active.inc();
             let coordinator = Arc::clone(&self.coordinator);
             let metrics = Arc::clone(&self.metrics);
+            let spans = Arc::clone(&self.spans);
+            let slow_query_ms = self.config.slow_query_ms;
             thread::spawn(move || {
-                let _ = handle_connection(stream, &coordinator, &metrics);
-                metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, &coordinator, &metrics, &spans, slow_query_ms);
+                metrics.connections_active.dec();
             });
         }
         Ok(())
@@ -103,6 +138,8 @@ impl CoordServer {
     pub fn spawn(self) -> io::Result<CoordServerHandle> {
         let addr = self.local_addr()?;
         let metrics = self.metrics();
+        let registry = self.registry();
+        let spans = self.spans();
         let coordinator = self.coordinator();
         let shutdown = Arc::clone(&self.shutdown);
         let thread = thread::spawn(move || {
@@ -111,6 +148,8 @@ impl CoordServer {
         Ok(CoordServerHandle {
             addr,
             metrics,
+            registry,
+            spans,
             coordinator,
             shutdown,
             thread: Some(thread),
@@ -122,6 +161,8 @@ impl CoordServer {
 pub struct CoordServerHandle {
     addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    spans: Arc<SpanStore>,
     coordinator: Arc<Coordinator>,
     shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
@@ -136,6 +177,16 @@ impl CoordServerHandle {
     /// The server's metric counters.
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The process-wide metrics registry (served at `GET /metrics`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The in-process span store behind `SHOW TRACE` / `SHOW TRACES`.
+    pub fn spans(&self) -> Arc<SpanStore> {
+        Arc::clone(&self.spans)
     }
 
     /// The coordinator behind the listener.
@@ -191,6 +242,8 @@ fn handle_connection(
     stream: TcpStream,
     coordinator: &Coordinator,
     metrics: &ServerMetrics,
+    spans: &Arc<SpanStore>,
+    slow_query_ms: Option<u64>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -198,7 +251,7 @@ fn handle_connection(
 
     write_handshake(&mut writer)?;
     if let Err(e) = read_handshake(&mut reader) {
-        metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+        metrics.query_errors.inc();
         let _ = write_response(
             &mut writer,
             &Response::Error {
@@ -213,11 +266,14 @@ fn handle_connection(
     let mut prepared: Vec<(String, Statement)> = Vec::new();
 
     loop {
-        let (request, n_in) = match read_request(&mut reader) {
+        // The coordinator is the origin of distributed traces, not a relay:
+        // an inbound trace context (only ever sent by another coordinator,
+        // which does not happen in a two-tier deployment) is ignored.
+        let (request, _inbound_trace, n_in) = match read_request(&mut reader) {
             Ok(v) => v,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.query_errors.inc();
                 let _ = write_response(
                     &mut writer,
                     &Response::Error {
@@ -228,19 +284,27 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         };
-        metrics.bytes_in.fetch_add(n_in, Ordering::Relaxed);
+        metrics.bytes_in.add(n_in);
 
         let started = Instant::now();
-        let response = answer(coordinator, &mut prepared, metrics, request);
-        metrics.latency.record(started.elapsed());
+        let (response, traced) = answer(coordinator, &mut prepared, metrics, spans, request);
+        let elapsed = started.elapsed();
+        metrics.latency.record(elapsed);
         match &response {
-            Response::Error { .. } => metrics.query_errors.fetch_add(1, Ordering::Relaxed),
-            _ => metrics.queries_served.fetch_add(1, Ordering::Relaxed),
+            Response::Error { .. } => metrics.query_errors.inc(),
+            _ => metrics.queries_served.inc(),
         };
+        if let (Some(threshold), Some((trace_id, statement))) = (slow_query_ms, traced) {
+            let ms = elapsed.as_secs_f64() * 1e3;
+            if ms >= threshold as f64 {
+                metrics.slow_queries.inc();
+                eprintln!("{}", slow_query_line(ms, trace_id, &statement));
+            }
+        }
         let n_out = match write_response(&mut writer, &response) {
             Ok(n) => n,
             Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.query_errors.inc();
                 write_response(
                     &mut writer,
                     &Response::Error {
@@ -250,21 +314,43 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         };
-        metrics.bytes_out.fetch_add(n_out, Ordering::Relaxed);
+        metrics.bytes_out.add(n_out);
     }
 }
 
+/// Answers one request. For statements that fan out (`Query` and
+/// `ExecutePrepared`), the second element carries `(trace_id, statement)` of
+/// the root trace recorded around the execution, feeding the slow-query log.
 fn answer(
     coordinator: &Coordinator,
     prepared: &mut Vec<(String, Statement)>,
     metrics: &ServerMetrics,
+    spans: &Arc<SpanStore>,
     request: Request,
-) -> Response {
+) -> (Response, Option<(u64, String)>) {
     match request {
-        Request::Query { sql } => match parse(&sql) {
-            Ok(stmt) => coordinator.execute(&stmt, &ForwardSpec::Query(&sql), metrics),
-            Err(e) => Response::Error {
-                message: e.to_string(),
+        Request::Query { sql } => match traceview::sniff_trace_text(&sql) {
+            // Trace inspection is answered at this serving edge, against the
+            // coordinator's own span store — never recorded, never routed.
+            Some(TraceQuery::Traces) => (outcome_response(traceview::traces_outcome(spans)), None),
+            Some(TraceQuery::Trace(id)) => {
+                (outcome_response(traceview::trace_outcome(spans, id)), None)
+            }
+            None => match parse(&sql) {
+                Ok(stmt) => {
+                    let trace = QueryTrace::root(Arc::clone(spans));
+                    let started = Instant::now();
+                    let response = coordinator.execute(
+                        &stmt,
+                        &ForwardSpec::Query(&sql),
+                        metrics,
+                        Some(&trace),
+                    );
+                    finish_root(&trace, "query", &sql, started, &response);
+                    let trace_id = trace.trace_id();
+                    (response, Some((trace_id, sql)))
+                }
+                Err(e) => (error_response(e), None),
             },
         },
         Request::Prepare { sql } => match parse(&sql) {
@@ -276,47 +362,101 @@ fn answer(
                         prepared.len() - 1
                     }
                 };
-                Response::Prepared {
-                    handle: wire as u32,
-                }
+                (
+                    Response::Prepared {
+                        handle: wire as u32,
+                    },
+                    None,
+                )
             }
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
+            Err(e) => (error_response(e), None),
         },
         Request::ExecutePrepared { handle, params } => {
             let Some((sql, stmt)) = prepared.get(handle as usize) else {
-                return Response::Error {
-                    message: format!(
-                        "unknown prepared statement handle {handle} on this connection"
-                    ),
-                };
+                return (
+                    Response::Error {
+                        message: format!(
+                            "unknown prepared statement handle {handle} on this connection"
+                        ),
+                    },
+                    None,
+                );
             };
             match stmt.bind(&params) {
-                Ok(bound) => coordinator.execute(
-                    &bound,
-                    &ForwardSpec::Prepared {
-                        sql,
-                        params: &params,
-                    },
-                    metrics,
-                ),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
+                // Prepared trace inspection (`SHOW TRACE $1`) is intercepted
+                // like its direct-text form; binding resolved the id already.
+                Ok(Statement::ShowTraces) => {
+                    (outcome_response(traceview::traces_outcome(spans)), None)
+                }
+                Ok(Statement::ShowTrace { id }) => match id.as_i64() {
+                    Ok(id) => (outcome_response(traceview::trace_outcome(spans, id)), None),
+                    Err(message) => (Response::Error { message }, None),
                 },
+                Ok(bound) => {
+                    let trace = QueryTrace::root(Arc::clone(spans));
+                    let started = Instant::now();
+                    let response = coordinator.execute(
+                        &bound,
+                        &ForwardSpec::Prepared {
+                            sql,
+                            params: &params,
+                        },
+                        metrics,
+                        Some(&trace),
+                    );
+                    finish_root(&trace, "execute_prepared", sql, started, &response);
+                    let trace_id = trace.trace_id();
+                    let statement = sql.clone();
+                    (response, Some((trace_id, statement)))
+                }
+                Err(e) => (error_response(e), None),
             }
         }
         Request::Ingest {
             dataset,
             trajectories,
-        } => coordinator.ingest(&dataset, trajectories),
+        } => (coordinator.ingest(&dataset, trajectories), None),
         Request::QutPartial { .. }
         | Request::RangePartial { .. }
         | Request::GatherTrajectories { .. }
-        | Request::InfoPartial { .. } => Response::Error {
-            message: "shard-internal request: the coordinator accepts client statements \
-                      (QUERY / PREPARE / EXECUTE / INGEST) only"
-                .into(),
-        },
+        | Request::InfoPartial { .. } => (
+            Response::Error {
+                message: "shard-internal request: the coordinator accepts client statements \
+                          (QUERY / PREPARE / EXECUTE / INGEST) only"
+                    .into(),
+            },
+            None,
+        ),
+    }
+}
+
+/// Records the root span of a routed statement: the statement text and
+/// whether it succeeded, with the shard/merge children already recorded by
+/// the router underneath it.
+fn finish_root(trace: &QueryTrace, name: &str, sql: &str, started: Instant, response: &Response) {
+    let status = match response {
+        Response::Error { .. } => "error",
+        _ => "ok",
+    };
+    trace.finish_root(
+        name.to_string(),
+        started.elapsed(),
+        vec![
+            ("statement", sql.to_string()),
+            ("status", status.to_string()),
+        ],
+    );
+}
+
+fn outcome_response(outcome: QueryOutcome) -> Response {
+    match outcome {
+        QueryOutcome::Rows { frame, stats } => Response::Rows { frame, stats },
+        QueryOutcome::Command(status) => Response::Command(status),
+    }
+}
+
+fn error_response(e: impl std::fmt::Display) -> Response {
+    Response::Error {
+        message: e.to_string(),
     }
 }

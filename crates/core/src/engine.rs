@@ -4,6 +4,7 @@ use crate::error::EngineError;
 use crate::persist::Durability;
 use crate::Result;
 use hermes_exec::{ExecPolicy, Executor};
+use hermes_obs::Counter;
 use hermes_retratree::{
     qut_clustering_with, qut_partial_with, range_query_then_cluster_with, OwnedSlice, QutParams,
     QutPartial, QutStats, ReTraTree, ReTraTreeParams,
@@ -14,7 +15,6 @@ use hermes_s2t::{
 use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-dataset state held by the engine.
 pub(crate) struct Dataset {
@@ -92,33 +92,31 @@ pub struct EngineStats {
 
 /// Lock-free accumulator behind [`PhaseCountersMs`]: the clustering entry
 /// points take `&self` (shared deployments answer reads concurrently under a
-/// read lock), so the counters are atomics, recorded in microseconds to keep
-/// sub-millisecond phases from vanishing into rounding.
+/// read lock), so the counters are `hermes-obs` atomics, recorded in
+/// microseconds to keep sub-millisecond phases from vanishing into rounding.
+/// The serving layer exports the same totals through the process-wide metrics
+/// registry (`hermes_engine_phase_ms_total{phase=…}`).
 #[derive(Default)]
 struct PhaseAccumulator {
-    index_build_us: AtomicU64,
-    voting_us: AtomicU64,
-    segmentation_us: AtomicU64,
-    sampling_us: AtomicU64,
-    clustering_us: AtomicU64,
+    index_build_us: Counter,
+    voting_us: Counter,
+    segmentation_us: Counter,
+    sampling_us: Counter,
+    clustering_us: Counter,
 }
 
 impl PhaseAccumulator {
     fn record(&self, t: &S2TPhaseTimings) {
         let us = |ms: f64| (ms * 1_000.0).max(0.0) as u64;
-        self.index_build_us
-            .fetch_add(us(t.index_build_ms), Ordering::Relaxed);
-        self.voting_us.fetch_add(us(t.voting_ms), Ordering::Relaxed);
-        self.segmentation_us
-            .fetch_add(us(t.segmentation_ms), Ordering::Relaxed);
-        self.sampling_us
-            .fetch_add(us(t.sampling_ms), Ordering::Relaxed);
-        self.clustering_us
-            .fetch_add(us(t.clustering_ms), Ordering::Relaxed);
+        self.index_build_us.add(us(t.index_build_ms));
+        self.voting_us.add(us(t.voting_ms));
+        self.segmentation_us.add(us(t.segmentation_ms));
+        self.sampling_us.add(us(t.sampling_ms));
+        self.clustering_us.add(us(t.clustering_ms));
     }
 
     fn snapshot_ms(&self) -> PhaseCountersMs {
-        let ms = |c: &AtomicU64| c.load(Ordering::Relaxed) / 1_000;
+        let ms = |c: &Counter| c.get() / 1_000;
         PhaseCountersMs {
             index_build_ms: ms(&self.index_build_us),
             voting_ms: ms(&self.voting_us),

@@ -166,6 +166,13 @@ impl Executor {
         self.pool.is_some()
     }
 
+    /// Fork-join jobs currently queued on the pool (always 0 for the serial
+    /// executor). Exported as a gauge by the serving layer's metrics
+    /// endpoint.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.as_ref().map(|p| p.queue_depth()).unwrap_or(0)
+    }
+
     /// Runs `f(0), f(1), …, f(n-1)` and returns the results **in index
     /// order**, regardless of scheduling. This is the primitive the other
     /// combinators build on.

@@ -163,6 +163,13 @@ impl ThreadPool {
             resume_unwind(payload);
         }
     }
+
+    /// Jobs currently sitting in the shared queue (claimed-but-unfinished
+    /// jobs whose stragglers are still running do not count once popped).
+    /// A momentary sample for observability, not a synchronization primitive.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
 }
 
 impl Drop for ThreadPool {

@@ -1,0 +1,626 @@
+//! Metrics registry: typed lock-free counters, gauges, and fixed-bucket
+//! histograms with label support, plus Prometheus text-format rendering.
+//!
+//! A [`Registry`] is a get-or-create map from metric family name to labelled
+//! instruments. Instruments are handed out as `Arc`s so hot paths hold a
+//! direct pointer to the atomic and never touch the registry lock again.
+//! Pull-based sources (the engine's aggregated stats, the coordinator's
+//! shard table) register a *collector* closure that contributes samples at
+//! scrape time instead of maintaining live instruments.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter backed by a relaxed `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a standalone counter (not attached to any registry).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge over a non-negative integer quantity (queue depth, active
+/// connections, resident bytes). Decrements saturate at zero.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Create a standalone gauge (not attached to any registry).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (microseconds, bytes).
+///
+/// Internally each bucket counts its **own interval** (non-cumulative); the
+/// cumulative `le` form required by the Prometheus exposition format is
+/// produced at render time via [`HistogramSnapshot::cumulative`].
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// One slot per bound plus a final overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram with the given inclusive upper bounds, which must
+    /// be strictly increasing.
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| v <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The configured inclusive upper bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Total of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot of the current state (individual loads are
+    /// relaxed; exact cross-field consistency is not guaranteed under
+    /// concurrent writes, which is fine for monitoring).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], in non-cumulative interval form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, one per interval bucket.
+    pub bounds: &'static [u64],
+    /// Interval counts: `buckets[i]` counts observations in
+    /// `(bounds[i-1], bounds[i]]`; the final slot counts overflow.
+    pub buckets: Vec<u64>,
+    /// Total of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Convert the interval buckets to cumulative Prometheus `le` form.
+    ///
+    /// Returns `(bound, cumulative_count)` pairs, one per configured bound,
+    /// followed by the implicit `+Inf` bucket equal to `count`.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            running += c;
+            let bound = match self.bounds.get(i) {
+                Some(&b) => b as f64,
+                None => f64::INFINITY,
+            };
+            out.push((bound, running));
+        }
+        out
+    }
+}
+
+/// The instrument kind of a metric family, used for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// The value of one exported sample.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Full histogram snapshot (rendered as `_bucket`/`_sum`/`_count`).
+    Histogram(HistogramSnapshot),
+}
+
+/// One exported sample: a metric family name, its labels, and a value.
+///
+/// Collectors push these at scrape time; registered instruments are turned
+/// into samples automatically.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric family name (e.g. `hermes_server_queries_total`).
+    pub name: &'static str,
+    /// One-line help text for the `# HELP` line.
+    pub help: &'static str,
+    /// Label key/value pairs, may be empty.
+    pub labels: Vec<(&'static str, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// Kind of this sample, derived from its value.
+    pub fn kind(&self) -> MetricKind {
+        match self.value {
+            SampleValue::Counter(_) => MetricKind::Counter,
+            SampleValue::Gauge(_) => MetricKind::Gauge,
+            SampleValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One registered instrument with the label set it was created under.
+type LabeledInstrument = (Vec<(&'static str, String)>, Instrument);
+
+struct Family {
+    help: &'static str,
+    /// Keyed by the rendered label string for deterministic iteration.
+    instruments: BTreeMap<String, LabeledInstrument>,
+}
+
+type Collector = Box<dyn Fn(&mut Vec<Sample>) + Send + Sync>;
+
+/// Process-wide metrics registry.
+///
+/// Get-or-create accessors return `Arc` handles so instruments outlive the
+/// call and can be stored in hot-path structs. Creating the same
+/// `(name, labels)` twice returns the same instrument; re-registering a name
+/// with a different instrument kind panics (a programming error).
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or create a labelled counter.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        match self.instrument(name, help, labels, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create a labelled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        match self.instrument(name, help, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create an unlabelled histogram with the given bounds.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        bounds: &'static [u64],
+    ) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Get or create a labelled histogram with the given bounds.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &'static [u64],
+    ) -> Arc<Histogram> {
+        match self.instrument(name, help, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    fn instrument(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let owned: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        let key = render_labels(&owned);
+        let mut families = lock(&self.families);
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            instruments: BTreeMap::new(),
+        });
+        let entry = family
+            .instruments
+            .entry(key)
+            .or_insert_with(|| (owned, make()));
+        match &entry.1 {
+            Instrument::Counter(c) => Instrument::Counter(c.clone()),
+            Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+            Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+        }
+    }
+
+    /// Register a pull-based collector invoked at every scrape. The closure
+    /// appends [`Sample`]s for state it derives on demand (aggregated engine
+    /// stats, per-shard counters).
+    pub fn register_collector<F>(&self, f: F)
+    where
+        F: Fn(&mut Vec<Sample>) + Send + Sync + 'static,
+    {
+        lock(&self.collectors).push(Box::new(f));
+    }
+
+    /// Snapshot every registered instrument and collector into a flat,
+    /// deterministically ordered (name, then label key) sample list.
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        {
+            let families = lock(&self.families);
+            for (name, family) in families.iter() {
+                for (labels, instrument) in family.instruments.values() {
+                    let value = match instrument {
+                        Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                        Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                    };
+                    out.push(Sample {
+                        name,
+                        help: family.help,
+                        labels: labels.clone(),
+                        value,
+                    });
+                }
+            }
+        }
+        for collector in lock(&self.collectors).iter() {
+            collector(&mut out);
+        }
+        out.sort_by(|a, b| {
+            (a.name, render_labels(&a.labels)).cmp(&(b.name, render_labels(&b.labels)))
+        });
+        out
+    }
+
+    /// Render the full registry in Prometheus text exposition format 0.0.4.
+    ///
+    /// Families are sorted by name, instruments by label key; histograms are
+    /// exported as cumulative `le` buckets (including `+Inf`) plus `_sum`
+    /// and `_count` series. Output is deterministic for a fixed state.
+    pub fn render_prometheus(&self) -> String {
+        let samples = self.samples();
+        let mut out = String::new();
+        let mut last_name: Option<&'static str> = None;
+        for s in &samples {
+            if last_name != Some(s.name) {
+                let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+                let _ = writeln!(out, "# TYPE {} {}", s.name, s.kind().as_str());
+                last_name = Some(s.name);
+            }
+            match &s.value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, brace_labels(&s.labels), v);
+                }
+                SampleValue::Histogram(snap) => {
+                    for (bound, cumulative) in snap.cumulative() {
+                        let mut labels = s.labels.clone();
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{}", bound as u64)
+                        };
+                        labels.push(("le", le));
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            brace_labels(&labels),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        brace_labels(&s.labels),
+                        snap.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        brace_labels(&s.labels),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it —
+/// metrics must never take a process down.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn render_labels(labels: &[(&'static str, String)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+fn brace_labels(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", render_labels(labels))
+    }
+}
+
+/// Escape a label value per the Prometheus text format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[u64] = &[10, 100, 1000];
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying instrument.
+        assert_eq!(reg.counter("t_total", "test counter").get(), 5);
+
+        let g = reg.gauge("t_depth", "test gauge");
+        g.set(3);
+        g.dec();
+        g.dec();
+        g.dec();
+        g.dec(); // saturates at zero
+        assert_eq!(g.get(), 0);
+        g.inc();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn labelled_instruments_are_distinct() {
+        let reg = Registry::new();
+        let a = reg.counter_with("t_shard_total", "per shard", &[("shard", "a")]);
+        let b = reg.counter_with("t_shard_total", "per shard", &[("shard", "b")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn histogram_interval_buckets_convert_to_cumulative_le() {
+        // Satellite 1: internal buckets stay non-cumulative; the exported
+        // form is a cumulative prefix sum ending in +Inf == count.
+        let h = Histogram::new(BOUNDS);
+        h.observe(5); // le 10
+        h.observe(10); // le 10 (inclusive bound)
+        h.observe(50); // le 100
+        h.observe(1000); // le 1000 (inclusive bound)
+        h.observe(5000); // overflow
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.buckets,
+            vec![2, 1, 1, 1],
+            "internal form is per-interval"
+        );
+        assert_eq!(snap.sum, 5 + 10 + 50 + 1000 + 5000);
+        assert_eq!(snap.count, 5);
+        let cumulative = snap.cumulative();
+        assert_eq!(cumulative.len(), 4);
+        assert_eq!(cumulative[0], (10.0, 2));
+        assert_eq!(cumulative[1], (100.0, 3));
+        assert_eq!(cumulative[2], (1000.0, 4));
+        assert!(cumulative[3].0.is_infinite());
+        assert_eq!(cumulative[3].1, snap.count, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn prometheus_render_is_deterministic_and_well_formed() {
+        let reg = Registry::new();
+        reg.counter("zz_total", "last family").inc();
+        reg.gauge("aa_depth", "first family").set(7);
+        let h = reg.histogram("mm_us", "histogram family", BOUNDS);
+        h.observe(50);
+        reg.register_collector(|out| {
+            out.push(Sample {
+                name: "cc_collected",
+                help: "from a collector",
+                labels: vec![("shard", "early".to_string())],
+                value: SampleValue::Gauge(1),
+            });
+        });
+
+        let text = reg.render_prometheus();
+        assert_eq!(text, reg.render_prometheus(), "render is deterministic");
+
+        // Families appear sorted by name.
+        let aa = text.find("aa_depth").unwrap();
+        let cc = text.find("cc_collected").unwrap();
+        let mm = text.find("mm_us").unwrap();
+        let zz = text.find("zz_total").unwrap();
+        assert!(aa < cc && cc < mm && mm < zz);
+
+        assert!(text.contains("# TYPE mm_us histogram"));
+        assert!(text.contains("mm_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("mm_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mm_us_sum 50"));
+        assert!(text.contains("mm_us_count 1"));
+        assert!(text.contains("cc_collected{shard=\"early\"} 1"));
+
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+            let name_part = series.split('{').next().unwrap();
+            assert!(
+                name_part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let labels = vec![("q", "a\"b\\c\nd".to_string())];
+        assert_eq!(render_labels(&labels), "q=\"a\\\"b\\\\c\\nd\"");
+    }
+}

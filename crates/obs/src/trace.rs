@@ -1,0 +1,410 @@
+//! Distributed per-query tracing: trace contexts propagated over the wire,
+//! spans recorded into a ring-buffered in-process store, and a structured
+//! slow-query log line.
+//!
+//! The model is deliberately small. Every traced statement gets a 63-bit
+//! `trace_id`; every timed section inside it gets a `span_id` with a
+//! `parent_span_id` (0 marks the root). The coordinator allocates one child
+//! span per contacted shard and sends the shard a [`TraceContext`] naming
+//! that child as the parent, so the shard's locally recorded span slots into
+//! the coordinator's tree under the same trace id. Each process keeps its own
+//! [`SpanStore`]; `SHOW TRACE <id>` against any node returns the spans that
+//! node recorded for the trace.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Trace identity propagated over the wire with a request: which trace the
+/// work belongs to and which span is its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The 63-bit id of the distributed trace.
+    pub trace_id: u64,
+    /// Span id of the parent on the sending side (never 0 on the wire).
+    pub parent_span_id: u64,
+}
+
+/// Allocate a process-unique, non-zero 63-bit id.
+///
+/// Ids mix a per-process random-ish seed (boot time in nanoseconds xor'd
+/// with ASLR address entropy) with an atomic sequence through a splitmix64
+/// finalizer, so concurrent processes on one host produce disjoint ids
+/// without coordination.
+pub fn next_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    static SEED: OnceLock<u64> = OnceLock::new();
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ ((&SEQ as *const AtomicU64 as u64) << 16)
+    });
+    let n = SEQ.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+    let mut x = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let id = x & (i64::MAX as u64);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// One recorded timed section of a trace.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span.
+    pub span_id: u64,
+    /// Parent span id; 0 marks a root span.
+    pub parent_span_id: u64,
+    /// Human-readable name (`query`, `shard:early`, `merge`, `qut_partial`).
+    pub name: String,
+    /// Start offset in microseconds from the local trace origin (0 when the
+    /// origin is remote — wall clocks are not assumed synchronized).
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_us: u64,
+    /// Attribute key/value pairs (statement text, per-phase timings, status).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// Summary of one trace held in a [`SpanStore`].
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// The trace id.
+    pub trace_id: u64,
+    /// Name of the root span, or of the first recorded span if no root was
+    /// captured locally.
+    pub root: String,
+    /// Number of spans recorded locally for this trace.
+    pub spans: usize,
+    /// Duration of the root span, or the longest local span as a fallback.
+    pub duration_us: u64,
+}
+
+/// Fixed-capacity ring buffer of recorded spans, oldest evicted first.
+#[derive(Debug)]
+pub struct SpanStore {
+    spans: Mutex<VecDeque<Span>>,
+    capacity: usize,
+}
+
+/// Default ring capacity: enough for a few thousand statements of history
+/// without unbounded growth.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+impl Default for SpanStore {
+    fn default() -> Self {
+        SpanStore::new(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanStore {
+    /// Create a store holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> SpanStore {
+        SpanStore {
+            spans: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record one finished span, evicting the oldest if at capacity.
+    pub fn record(&self, span: Span) {
+        let mut spans = lock(&self.spans);
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(span);
+    }
+
+    /// All locally recorded spans of one trace, ordered by start offset then
+    /// span id (deterministic for a fixed store state).
+    pub fn trace(&self, trace_id: u64) -> Vec<Span> {
+        let spans = lock(&self.spans);
+        let mut out: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect();
+        out.sort_by_key(|s| (s.start_us, s.span_id));
+        out
+    }
+
+    /// Summaries of the traces currently held, newest first (by most recent
+    /// recorded span).
+    pub fn recent(&self) -> Vec<TraceSummary> {
+        let spans = lock(&self.spans);
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_trace: HashMap<u64, TraceSummary> = HashMap::new();
+        // Walk newest to oldest so `order` lists traces by recency.
+        for s in spans.iter().rev() {
+            let entry = by_trace.entry(s.trace_id).or_insert_with(|| {
+                order.push(s.trace_id);
+                TraceSummary {
+                    trace_id: s.trace_id,
+                    root: String::new(),
+                    spans: 0,
+                    duration_us: 0,
+                }
+            });
+            entry.spans += 1;
+            if s.parent_span_id == 0 {
+                entry.root = s.name.clone();
+                entry.duration_us = s.duration_us;
+            } else {
+                if entry.root.is_empty() {
+                    entry.root = s.name.clone();
+                }
+                if entry.duration_us == 0 {
+                    entry.duration_us = entry.duration_us.max(s.duration_us);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .filter_map(|id| by_trace.remove(&id))
+            .collect()
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.spans).len()
+    }
+
+    /// True when no spans are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-statement tracing handle used by a serving edge (server or
+/// coordinator): owns the trace id and root span id, and hands out child
+/// spans for fan-out work. `Sync`, so it can be shared with the exec-pool
+/// closures that contact shards in parallel.
+#[derive(Debug)]
+pub struct QueryTrace {
+    store: Arc<SpanStore>,
+    trace_id: u64,
+    root_span_id: u64,
+    origin: Instant,
+}
+
+impl QueryTrace {
+    /// Start a new root trace recording into `store`.
+    pub fn root(store: Arc<SpanStore>) -> QueryTrace {
+        QueryTrace {
+            store,
+            trace_id: next_id(),
+            root_span_id: next_id(),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The pre-allocated root span id.
+    pub fn root_span_id(&self) -> u64 {
+        self.root_span_id
+    }
+
+    /// Allocate a child span id and the [`TraceContext`] to propagate to the
+    /// remote side so its spans parent under that child.
+    pub fn child_ctx(&self) -> (u64, TraceContext) {
+        let span_id = next_id();
+        (
+            span_id,
+            TraceContext {
+                trace_id: self.trace_id,
+                parent_span_id: span_id,
+            },
+        )
+    }
+
+    /// Record a finished child span of the root. `started` must come from
+    /// the same process (offsets are computed against the trace origin).
+    pub fn record_child(
+        &self,
+        span_id: u64,
+        name: String,
+        started: Instant,
+        duration: Duration,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        self.store.record(Span {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span_id: self.root_span_id,
+            name,
+            start_us: started.saturating_duration_since(self.origin).as_micros() as u64,
+            duration_us: duration.as_micros() as u64,
+            attrs,
+        });
+    }
+
+    /// Record the root span itself once the statement has finished.
+    pub fn finish_root(
+        &self,
+        name: String,
+        duration: Duration,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        self.store.record(Span {
+            trace_id: self.trace_id,
+            span_id: self.root_span_id,
+            parent_span_id: 0,
+            name,
+            start_us: 0,
+            duration_us: duration.as_micros() as u64,
+            attrs,
+        });
+    }
+}
+
+/// Render the structured slow-query log line: one JSON object per offending
+/// statement, written to stderr by the serving edge.
+pub fn slow_query_line(elapsed_ms: f64, trace_id: u64, statement: &str) -> String {
+    let escaped: String = statement
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\r' => "\\r".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"event\":\"slow_query\",\"ms\":{:.3},\"trace_id\":{},\"statement\":\"{}\"}}",
+        elapsed_ms, trace_id, escaped
+    )
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_unique_and_63_bit() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert!(id != 0);
+            assert!(id <= i64::MAX as u64);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let store = SpanStore::new(3);
+        for i in 0..5u64 {
+            store.record(Span {
+                trace_id: 1,
+                span_id: i + 10,
+                parent_span_id: 0,
+                name: format!("s{i}"),
+                start_us: i,
+                duration_us: 1,
+                attrs: vec![],
+            });
+        }
+        assert_eq!(store.len(), 3);
+        let spans = store.trace(1);
+        assert_eq!(
+            spans.iter().map(|s| s.span_id).collect::<Vec<_>>(),
+            vec![12, 13, 14]
+        );
+    }
+
+    #[test]
+    fn query_trace_builds_a_tree() {
+        let store = Arc::new(SpanStore::default());
+        let qt = QueryTrace::root(store.clone());
+        let (child_id, ctx) = qt.child_ctx();
+        assert_eq!(ctx.trace_id, qt.trace_id());
+        assert_eq!(ctx.parent_span_id, child_id);
+        let t = Instant::now();
+        qt.record_child(
+            child_id,
+            "shard:early".to_string(),
+            t,
+            Duration::from_micros(250),
+            vec![("voting_ms", "1.5".to_string())],
+        );
+        qt.finish_root(
+            "query".to_string(),
+            Duration::from_micros(400),
+            vec![("status", "ok".to_string())],
+        );
+
+        let spans = store.trace(qt.trace_id());
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.parent_span_id == 0).unwrap();
+        assert_eq!(root.name, "query");
+        assert_eq!(root.span_id, qt.root_span_id());
+        let child = spans.iter().find(|s| s.span_id == child_id).unwrap();
+        assert_eq!(child.parent_span_id, root.span_id);
+        assert_eq!(child.attrs[0].0, "voting_ms");
+
+        let recent = store.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].root, "query");
+        assert_eq!(recent[0].spans, 2);
+        assert_eq!(recent[0].duration_us, 400);
+    }
+
+    #[test]
+    fn recent_lists_newest_trace_first() {
+        let store = SpanStore::default();
+        for trace_id in [7u64, 8, 9] {
+            store.record(Span {
+                trace_id,
+                span_id: next_id(),
+                parent_span_id: 0,
+                name: format!("q{trace_id}"),
+                start_us: 0,
+                duration_us: trace_id,
+                attrs: vec![],
+            });
+        }
+        let recent = store.recent();
+        assert_eq!(
+            recent.iter().map(|t| t.trace_id).collect::<Vec<_>>(),
+            vec![9, 8, 7]
+        );
+    }
+
+    #[test]
+    fn slow_query_line_is_valid_json_shape() {
+        let line = slow_query_line(12.3456, 42, "SELECT \"x\"\nFROM t;");
+        assert!(line.starts_with("{\"event\":\"slow_query\",\"ms\":12.346,"));
+        assert!(line.contains("\"trace_id\":42"));
+        assert!(line.contains("SELECT \\\"x\\\"\\nFROM t;"));
+        assert!(line.ends_with("\"}"));
+        // Balanced quoting: an even number of unescaped double quotes.
+        let unescaped = line.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+}

@@ -23,9 +23,12 @@
 //! The bound address is announced on stdout as `hermes-serve listening on
 //! <addr>` — one line, fixed prefix, address last — so scripts (the CI smoke
 //! tests, multi-shard launchers) can scrape the ephemeral port
-//! machine-parseably: `sed -n 's/.*listening on //p'`.
+//! machine-parseably: `sed -n 's/.*listening on //p'`. With `--metrics-addr`
+//! a second line `hermes-serve metrics listening on <addr>` announces the
+//! Prometheus endpoint the same way (see `docs/OBSERVABILITY.md`).
 
 use hermes_core::{ExecPolicy, HermesEngine, SharedEngine};
+use hermes_obs::serve_metrics;
 use hermes_server::{Server, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -36,6 +39,7 @@ hermes-serve — the Hermes network server
 USAGE:
     hermes-serve [--addr <host:port> | --port <n>] [--max-connections <n>]
                  [--threads <n>] [--data-dir <dir>]
+                 [--metrics-addr <host:port>] [--slow-query-ms <n>]
 
 OPTIONS:
     --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
@@ -52,6 +56,13 @@ OPTIONS:
                              WAL on start, journal every mutation, and
                              checkpoint on SIGTERM/SIGINT. Clients can also
                              run CHECKPOINT; at any time.
+    --metrics-addr <h:p>     Serve the Prometheus text exposition of the
+                             process metrics registry at GET /metrics on
+                             this address (port 0 picks one; announced as
+                             'hermes-serve metrics listening on <addr>')
+    --slow-query-ms <n>      Log one structured JSON line to stderr (and
+                             bump the slow_queries counter) for every
+                             statement slower than n milliseconds
     -h, --help               Print this text
 ";
 
@@ -60,6 +71,7 @@ fn main() -> ExitCode {
     let mut config = ServerConfig::default();
     let mut policy = ExecPolicy::from_env();
     let mut data_dir: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,6 +99,14 @@ fn main() -> ExitCode {
             "--data-dir" => match args.next() {
                 Some(dir) => data_dir = Some(dir),
                 None => return fail("--data-dir requires a directory path"),
+            },
+            "--metrics-addr" => match args.next() {
+                Some(a) => metrics_addr = Some(a),
+                None => return fail("--metrics-addr requires a host:port value"),
+            },
+            "--slow-query-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => config.slow_query_ms = Some(ms),
+                None => return fail("--slow-query-ms requires a millisecond count"),
             },
             "-h" | "--help" => {
                 print!("{HELP}");
@@ -125,6 +145,17 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("cannot start the accept loop: {e}")),
     };
     println!("hermes-serve listening on {bound}");
+    // Keep the scrape listener alive for the life of the process.
+    let _metrics_handle = match &metrics_addr {
+        Some(maddr) => match serve_metrics(maddr.as_str(), handle.registry()) {
+            Ok(h) => {
+                println!("hermes-serve metrics listening on {}", h.addr());
+                Some(h)
+            }
+            Err(e) => return fail(&format!("cannot bind metrics address {maddr}: {e}")),
+        },
+        None => None,
+    };
     let _ = std::io::stdout().flush();
 
     // Block until the process is asked to stop, then shut down gracefully:

@@ -2,9 +2,10 @@
 //! remote mode, the concurrency tests and the `e9_concurrent_clients` bench.
 
 use crate::protocol::{
-    read_handshake, read_response, write_handshake, write_request, DecodeError, PartialInfo,
+    read_handshake, read_response, write_handshake, write_request_traced, DecodeError, PartialInfo,
     Request, Response,
 };
+use hermes_obs::TraceContext;
 use hermes_retratree::QutPartial;
 use hermes_sql::{QueryOutcome, Value};
 use hermes_trajectory::Trajectory;
@@ -93,6 +94,7 @@ pub struct HermesClient {
     writer: BufWriter<TcpStream>,
     bytes_out: u64,
     bytes_in: u64,
+    trace: Option<TraceContext>,
 }
 
 impl HermesClient {
@@ -136,6 +138,7 @@ impl HermesClient {
                         writer,
                         bytes_out: 0,
                         bytes_in: 0,
+                        trace: None,
                     });
                 }
                 None => {
@@ -162,8 +165,16 @@ impl HermesClient {
         self.bytes_in
     }
 
+    /// Sets the [`TraceContext`] attached to every subsequent request (the
+    /// protocol v3 trace field), until cleared with `set_trace(None)`. The
+    /// coordinator sets a per-shard-call context so the shard's spans slot
+    /// into the distributed trace tree.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
+    }
+
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.bytes_out += write_request(&mut self.writer, request)?;
+        self.bytes_out += write_request_traced(&mut self.writer, request, self.trace)?;
         let (response, n_in) = read_response(&mut self.reader)?;
         self.bytes_in += n_in;
         if let Response::Error { message } = response {
@@ -177,7 +188,7 @@ impl HermesClient {
     /// distinguish "the shard answered with an error" from "the connection to
     /// the shard broke".
     pub fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.bytes_out += write_request(&mut self.writer, request)?;
+        self.bytes_out += write_request_traced(&mut self.writer, request, self.trace)?;
         let (response, n_in) = read_response(&mut self.reader)?;
         self.bytes_in += n_in;
         Ok(response)

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod traceview;
 
 pub use client::{ClientError, ConnectOptions, HermesClient, RemotePrepared};
 pub use metrics::{LatencyHistogram, ServerMetrics, LATENCY_BUCKETS_US};
@@ -41,3 +42,4 @@ pub use protocol::{
     DecodeError, PartialInfo, Request, Response, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use traceview::{sniff_trace_text, trace_outcome, traces_outcome, TraceQuery};

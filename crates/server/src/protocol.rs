@@ -20,6 +20,7 @@
 //! [`write_request`]) pairs, which also report the byte counts feeding the
 //! server's `bytes_in`/`bytes_out` metrics.
 
+use hermes_obs::TraceContext;
 use hermes_retratree::{QutPartial, QutStats};
 use hermes_s2t::{Cluster, S2TPhaseTimings};
 use hermes_sql::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome, Value, ValueType};
@@ -35,7 +36,11 @@ pub const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
 /// Version of the wire protocol spoken by this build. Bumped whenever the
 /// message catalogue or a payload layout changes incompatibly; peers with a
 /// different version are rejected during the handshake.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3 prefixed every request payload with an optional trace-context field
+/// (`u8` flag, then `trace_id`/`parent_span_id` as `u64` when set) so the
+/// coordinator can propagate distributed per-query traces to shards.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Magic bytes opening the connection preamble.
 pub const HANDSHAKE_MAGIC: [u8; 4] = *b"HRMS";
@@ -656,8 +661,33 @@ const RESP_COUNT: u8 = 106;
 const RESP_TRAJECTORIES: u8 = 107;
 const RESP_INFO_PARTIAL: u8 = 108;
 
-fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+/// Writes the optional leading trace-context field every v3 request payload
+/// starts with: flag `0` (absent) or flag `1` + `trace_id` + `parent_span_id`.
+fn write_trace_field(w: &mut Writer, trace: Option<TraceContext>) {
+    match trace {
+        Some(ctx) => {
+            w.u8(1);
+            w.u64(ctx.trace_id);
+            w.u64(ctx.parent_span_id);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_trace_field(r: &mut Reader<'_>) -> Result<Option<TraceContext>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace_id: r.u64()?,
+            parent_span_id: r.u64()?,
+        })),
+        tag => Err(DecodeError(format!("unknown trace flag {tag}"))),
+    }
+}
+
+fn encode_request(req: &Request, trace: Option<TraceContext>) -> (u8, Vec<u8>) {
     let mut w = Writer::new();
+    write_trace_field(&mut w, trace);
     let kind = match req {
         Request::Query { sql } => {
             w.str(sql);
@@ -748,8 +778,12 @@ fn encode_request(req: &Request) -> (u8, Vec<u8>) {
     (kind, w.buf)
 }
 
-fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+fn decode_request(
+    kind: u8,
+    payload: &[u8],
+) -> Result<(Request, Option<TraceContext>), DecodeError> {
     let mut r = Reader::new(payload);
+    let trace = read_trace_field(&mut r)?;
     let req = match kind {
         REQ_QUERY => Request::Query { sql: r.str()? },
         REQ_PREPARE => Request::Prepare { sql: r.str()? },
@@ -814,7 +848,7 @@ fn decode_request(kind: u8, payload: &[u8]) -> Result<Request, DecodeError> {
         tag => return Err(DecodeError(format!("unknown request kind {tag}"))),
     };
     r.finish()?;
-    Ok(req)
+    Ok((req, trace))
 }
 
 fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
@@ -965,17 +999,30 @@ fn read_wire_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>, u64)> {
     Ok((kind, payload, 4 + length as u64))
 }
 
-/// Writes one request, returning the bytes put on the wire.
+/// Writes one request without a trace context, returning the bytes put on
+/// the wire.
 pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<u64> {
-    let (kind, payload) = encode_request(req);
+    write_request_traced(w, req, None)
+}
+
+/// Writes one request carrying an optional [`TraceContext`] (the protocol v3
+/// trace field), returning the bytes put on the wire.
+pub fn write_request_traced(
+    w: &mut impl Write,
+    req: &Request,
+    trace: Option<TraceContext>,
+) -> io::Result<u64> {
+    let (kind, payload) = encode_request(req, trace);
     write_wire_frame(w, kind, &payload)
 }
 
-/// Reads one request, returning it with the bytes taken off the wire.
-/// `ErrorKind::UnexpectedEof` means the peer closed the connection.
-pub fn read_request(r: &mut impl Read) -> io::Result<(Request, u64)> {
+/// Reads one request, returning it with its optional trace context and the
+/// bytes taken off the wire. `ErrorKind::UnexpectedEof` means the peer closed
+/// the connection.
+pub fn read_request(r: &mut impl Read) -> io::Result<(Request, Option<TraceContext>, u64)> {
     let (kind, payload, n) = read_wire_frame(r)?;
-    Ok((decode_request(kind, &payload)?, n))
+    let (req, trace) = decode_request(kind, &payload)?;
+    Ok((req, trace, n))
 }
 
 /// Writes one response, returning the bytes put on the wire.
@@ -999,8 +1046,9 @@ mod tests {
         let mut buf = Vec::new();
         let written = write_request(&mut buf, &req).unwrap();
         assert_eq!(written as usize, buf.len());
-        let (back, read) = read_request(&mut buf.as_slice()).unwrap();
+        let (back, trace, read) = read_request(&mut buf.as_slice()).unwrap();
         assert_eq!(read, written);
+        assert_eq!(trace, None, "untraced requests carry no context");
         back
     }
 
@@ -1159,6 +1207,32 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_rides_along_with_any_request() {
+        let ctx = TraceContext {
+            trace_id: 0x1234_5678_9ABC_DEF0 & (i64::MAX as u64),
+            parent_span_id: 42,
+        };
+        let req = Request::QutPartial {
+            dataset: "urban".into(),
+            owned_start_ms: 0,
+            owned_end_ms: 7_200_000,
+            wi: 0,
+            we: 3_600_000,
+            overrides: None,
+        };
+        let mut buf = Vec::new();
+        let written = write_request_traced(&mut buf, &req, Some(ctx)).unwrap();
+        // The trace field costs exactly 16 bytes over the flag-only form.
+        let mut untraced = Vec::new();
+        let base = write_request(&mut untraced, &req).unwrap();
+        assert_eq!(written, base + 16);
+        let (back, trace, read) = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(back, req);
+        assert_eq!(trace, Some(ctx));
+    }
+
+    #[test]
     fn responses_round_trip() {
         for resp in [
             Response::Rows {
@@ -1249,8 +1323,14 @@ mod tests {
         assert!(read_wire_frame(&mut zero.as_slice()).is_err());
         // Trailing garbage after a valid message body.
         let mut w = Writer::new();
+        w.u8(0); // trace field: absent
         w.str("SHOW DATASETS;");
         w.u8(99);
+        assert!(decode_request(REQ_QUERY, &w.buf).is_err());
+        // Unknown trace flag.
+        let mut w = Writer::new();
+        w.u8(7);
+        w.str("SHOW DATASETS;");
         assert!(decode_request(REQ_QUERY, &w.buf).is_err());
         // Unknown response kind.
         let mut buf = Vec::new();

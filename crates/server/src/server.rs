@@ -13,16 +13,19 @@ use crate::protocol::{
     read_handshake, read_request, write_handshake, write_response, Request, Response,
 };
 use crate::shard;
+use crate::traceview::{self, TraceQuery};
 use hermes_core::{EngineError, SharedEngine};
+use hermes_obs::{next_id, slow_query_line, Registry, Sample, SampleValue, Span, SpanStore};
 use hermes_retratree::OwnedSlice;
 use hermes_sql::{
-    push_stat, CommandStatus, CommandTag, Prepared, QueryOutcome, Session, Statement,
+    push_stat, sort_stats_rows, CommandStatus, CommandTag, Prepared, QueryOutcome, Scalar, Session,
+    Statement, Value,
 };
 use hermes_trajectory::{TimeInterval, Timestamp};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
@@ -32,12 +35,17 @@ pub struct ServerConfig {
     /// Most simultaneous connections admitted; further clients receive an
     /// error response to their first request and are disconnected.
     pub max_connections: usize,
+    /// When set, any statement slower than this many milliseconds bumps the
+    /// slow-query counter and writes one structured JSON line (with its trace
+    /// id) to stderr. `None` disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_connections: 64,
+            slow_query_ms: None,
         }
     }
 }
@@ -48,6 +56,8 @@ pub struct Server {
     engine: SharedEngine,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    spans: Arc<SpanStore>,
     shutdown: Arc<AtomicBool>,
     /// Live connection sockets, so [`ServerHandle::kill`] can cut sessions
     /// mid-flight (simulating a crashed shard in tests).
@@ -56,16 +66,27 @@ pub struct Server {
 
 impl Server {
     /// Binds a listener (port 0 picks an ephemeral port) over an engine.
+    ///
+    /// The server owns a process-wide [`Registry`] carrying its own counters
+    /// plus a pull-based collector over the engine's aggregated stats
+    /// (`hermes_engine_*`, `hermes_storage_*`, `hermes_exec_*`), and a
+    /// [`SpanStore`] holding recent per-query spans for `SHOW TRACE`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine: SharedEngine,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        let registry = Arc::new(Registry::new());
+        let metrics = Arc::new(ServerMetrics::register(&registry));
+        let collector_engine = engine.clone();
+        registry.register_collector(move |out| collect_engine_samples(&collector_engine, out));
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine,
             config,
-            metrics: Arc::new(ServerMetrics::default()),
+            metrics,
+            registry,
+            spans: Arc::new(SpanStore::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
         })
@@ -81,6 +102,16 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
+    /// The process-wide metrics registry (served at `GET /metrics`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The in-process span store behind `SHOW TRACE` / `SHOW TRACES`.
+    pub fn spans(&self) -> Arc<SpanStore> {
+        Arc::clone(&self.spans)
+    }
+
     /// Runs the accept loop on the calling thread until shut down.
     pub fn run(self) -> io::Result<()> {
         let mut next_conn_id: u64 = 0;
@@ -94,21 +125,15 @@ impl Server {
                 // must not take the server down.
                 Err(_) => continue,
             };
-            let active = self.metrics.connections_active.load(Ordering::Relaxed);
+            let active = self.metrics.connections_active.get();
             if active >= self.config.max_connections as u64 {
-                self.metrics
-                    .connections_rejected
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.connections_rejected.inc();
                 let max_connections = self.config.max_connections;
                 thread::spawn(move || reject_connection(stream, max_connections));
                 continue;
             }
-            self.metrics
-                .connections_accepted
-                .fetch_add(1, Ordering::Relaxed);
-            self.metrics
-                .connections_active
-                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.connections_accepted.inc();
+            self.metrics.connections_active.inc();
             let conn_id = next_conn_id;
             next_conn_id += 1;
             if let Ok(clone) = stream.try_clone() {
@@ -116,10 +141,12 @@ impl Server {
             }
             let engine = self.engine.clone();
             let metrics = Arc::clone(&self.metrics);
+            let spans = Arc::clone(&self.spans);
+            let slow_query_ms = self.config.slow_query_ms;
             let conns = Arc::clone(&self.conns);
             thread::spawn(move || {
-                let _ = handle_connection(stream, engine, &metrics);
-                metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, engine, &metrics, &spans, slow_query_ms);
+                metrics.connections_active.dec();
                 conns.lock().unwrap().retain(|(id, _)| *id != conn_id);
             });
         }
@@ -131,6 +158,8 @@ impl Server {
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let metrics = self.metrics();
+        let registry = self.registry();
+        let spans = self.spans();
         let shutdown = Arc::clone(&self.shutdown);
         let engine = self.engine.clone();
         let conns = Arc::clone(&self.conns);
@@ -140,6 +169,8 @@ impl Server {
         Ok(ServerHandle {
             addr,
             metrics,
+            registry,
+            spans,
             shutdown,
             engine,
             conns,
@@ -152,6 +183,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
+    registry: Arc<Registry>,
+    spans: Arc<SpanStore>,
     shutdown: Arc<AtomicBool>,
     engine: SharedEngine,
     conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
@@ -167,6 +200,16 @@ impl ServerHandle {
     /// The server's metric counters.
     pub fn metrics(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The process-wide metrics registry (served at `GET /metrics`).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// The in-process span store behind `SHOW TRACE` / `SHOW TRACES`.
+    pub fn spans(&self) -> Arc<SpanStore> {
+        Arc::clone(&self.spans)
     }
 
     /// A handle to the engine the server serves (e.g. to preload data).
@@ -234,11 +277,14 @@ fn reject_connection(stream: TcpStream, max_connections: usize) {
 }
 
 /// Per-connection request loop: read a request, answer it through the
-/// connection's session, record metrics, repeat until the client hangs up.
+/// connection's session, record metrics and a span, repeat until the client
+/// hangs up.
 fn handle_connection(
     stream: TcpStream,
     engine: SharedEngine,
     metrics: &ServerMetrics,
+    spans: &SpanStore,
+    slow_query_ms: Option<u64>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -248,7 +294,7 @@ fn handle_connection(
     // An incompatible peer gets a clean error response before the close.
     write_handshake(&mut writer)?;
     if let Err(e) = read_handshake(&mut reader) {
-        metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+        metrics.query_errors.inc();
         let _ = write_response(
             &mut writer,
             &Response::Error {
@@ -264,13 +310,13 @@ fn handle_connection(
     let mut prepared: Vec<Prepared> = Vec::new();
 
     loop {
-        let (request, n_in) = match read_request(&mut reader) {
+        let (request, inbound_trace, n_in) = match read_request(&mut reader) {
             Ok(v) => v,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // A malformed frame leaves the stream unparseable: report and
                 // drop the connection rather than guessing at a resync point.
-                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.query_errors.inc();
                 let _ = write_response(
                     &mut writer,
                     &Response::Error {
@@ -281,22 +327,43 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         };
-        metrics.bytes_in.fetch_add(n_in, Ordering::Relaxed);
+        metrics.bytes_in.add(n_in);
 
+        let plan = trace_plan(&request, &session, &prepared);
         let started = Instant::now();
-        let response = answer(&mut session, &mut prepared, &engine, metrics, request);
-        metrics.latency.record(started.elapsed());
+        let response = answer(
+            &mut session,
+            &mut prepared,
+            &engine,
+            metrics,
+            spans,
+            request,
+        );
+        let elapsed = started.elapsed();
+        metrics.latency.record(elapsed);
         match &response {
-            Response::Error { .. } => metrics.query_errors.fetch_add(1, Ordering::Relaxed),
-            _ => metrics.queries_served.fetch_add(1, Ordering::Relaxed),
+            Response::Error { .. } => metrics.query_errors.inc(),
+            _ => metrics.queries_served.inc(),
         };
+        if let Some(plan) = plan {
+            record_request_span(
+                plan,
+                &response,
+                inbound_trace,
+                started,
+                elapsed,
+                spans,
+                metrics,
+                slow_query_ms,
+            );
+        }
         let n_out = match write_response(&mut writer, &response) {
             Ok(n) => n,
             // An over-cap result frame is rejected before any byte hits the
             // wire, so the stream is still in sync: tell the client why
             // instead of silently dropping the connection.
             Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-                metrics.query_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.query_errors.inc();
                 write_response(
                     &mut writer,
                     &Response::Error {
@@ -306,8 +373,127 @@ fn handle_connection(
             }
             Err(e) => return Err(e),
         };
-        metrics.bytes_out.fetch_add(n_out, Ordering::Relaxed);
+        metrics.bytes_out.add(n_out);
     }
+}
+
+/// How (and whether) to record a span for a request, decided before the
+/// request is consumed by [`answer`].
+struct TracePlan {
+    /// Span name (`query`, `qut_partial`, …).
+    name: &'static str,
+    /// Statement text for the span attribute and the slow-query log.
+    statement: Option<String>,
+}
+
+/// Builds the span plan for a request. Trace-inspection statements
+/// (`SHOW TRACE`/`SHOW TRACES`, direct or prepared) return `None`: recording
+/// them would fill the ring buffer with the act of looking at it.
+fn trace_plan(
+    request: &Request,
+    session: &Session<SharedEngine>,
+    prepared: &[Prepared],
+) -> Option<TracePlan> {
+    let plan = |name, statement| Some(TracePlan { name, statement });
+    match request {
+        Request::Query { sql } => match traceview::sniff_trace_text(sql) {
+            Some(_) => None,
+            None => plan("query", Some(sql.clone())),
+        },
+        Request::Prepare { sql } => plan("prepare", Some(sql.clone())),
+        Request::ExecutePrepared { handle, .. } => {
+            let statement = prepared
+                .get(*handle as usize)
+                .and_then(|&h| session.statement(h));
+            if matches!(
+                statement,
+                Some(Statement::ShowTraces | Statement::ShowTrace { .. })
+            ) {
+                return None;
+            }
+            plan("execute_prepared", statement.map(|s| s.to_string()))
+        }
+        Request::Ingest { .. } => plan("ingest", None),
+        Request::QutPartial { .. } => plan("qut_partial", None),
+        Request::RangePartial { .. } => plan("range_partial", None),
+        Request::GatherTrajectories { .. } => plan("gather_trajectories", None),
+        Request::InfoPartial { .. } => plan("info_partial", None),
+    }
+}
+
+/// Records the span for one answered request — parented under the wire's
+/// trace context when the caller propagated one (the coordinator fan-out),
+/// otherwise as a fresh root — and feeds the slow-query log.
+#[allow(clippy::too_many_arguments)]
+fn record_request_span(
+    plan: TracePlan,
+    response: &Response,
+    inbound_trace: Option<hermes_obs::TraceContext>,
+    started: Instant,
+    elapsed: std::time::Duration,
+    spans: &SpanStore,
+    metrics: &ServerMetrics,
+    slow_query_ms: Option<u64>,
+) {
+    let (trace_id, parent_span_id, start_us) = match inbound_trace {
+        // Remote origin: wall clocks are not assumed synchronized, so the
+        // start offset is left at 0 (see [`Span::start_us`]).
+        Some(ctx) => (ctx.trace_id, ctx.parent_span_id, 0),
+        None => (
+            next_id(),
+            0,
+            started
+                .saturating_duration_since(process_origin())
+                .as_micros() as u64,
+        ),
+    };
+    if let Some(threshold) = slow_query_ms {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        if ms >= threshold as f64 {
+            metrics.slow_queries.inc();
+            let statement = plan.statement.as_deref().unwrap_or(plan.name);
+            eprintln!("{}", slow_query_line(ms, trace_id, statement));
+        }
+    }
+    let mut attrs: Vec<(&'static str, String)> = Vec::new();
+    if let Some(statement) = plan.statement {
+        attrs.push(("statement", statement));
+    }
+    if let Response::QutPartial(p) = response {
+        let t = &p.stats.phases;
+        for (key, ms) in [
+            ("index_build_ms", t.index_build_ms),
+            ("voting_ms", t.voting_ms),
+            ("segmentation_ms", t.segmentation_ms),
+            ("sampling_ms", t.sampling_ms),
+            ("clustering_ms", t.clustering_ms),
+        ] {
+            attrs.push((key, format!("{ms:.3}")));
+        }
+    }
+    attrs.push((
+        "status",
+        match response {
+            Response::Error { .. } => "error".to_string(),
+            _ => "ok".to_string(),
+        },
+    ));
+    spans.record(Span {
+        trace_id,
+        span_id: next_id(),
+        parent_span_id,
+        name: plan.name.to_string(),
+        start_us,
+        duration_us: elapsed.as_micros() as u64,
+        attrs,
+    });
+}
+
+/// Process-wide time origin for locally rooted span start offsets, pinned on
+/// first use so offsets within one span store are mutually comparable.
+fn process_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
 }
 
 fn answer(
@@ -315,13 +501,24 @@ fn answer(
     prepared: &mut Vec<Prepared>,
     engine: &SharedEngine,
     metrics: &ServerMetrics,
+    spans: &SpanStore,
     request: Request,
 ) -> Response {
     match request {
-        Request::Query { sql } => match session.execute(&sql) {
-            Ok(outcome) => finish_outcome(outcome, is_show_stats_text(&sql), metrics),
-            Err(e) => Response::Error {
-                message: e.to_string(),
+        Request::Query { sql } => match traceview::sniff_trace_text(&sql) {
+            // Trace inspection is answered at this serving edge: the session
+            // has no span store (its executor returns empty trace frames).
+            Some(TraceQuery::Traces) => {
+                finish_outcome(traceview::traces_outcome(spans), false, metrics)
+            }
+            Some(TraceQuery::Trace(id)) => {
+                finish_outcome(traceview::trace_outcome(spans, id), false, metrics)
+            }
+            None => match session.execute(&sql) {
+                Ok(outcome) => finish_outcome(outcome, is_show_stats_text(&sql), metrics),
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
             },
         },
         Request::Prepare { sql } => match session.prepare(&sql) {
@@ -351,6 +548,22 @@ fn answer(
                     ),
                 };
             };
+            // Prepared trace inspection (`SHOW TRACE $1`) is intercepted like
+            // its direct-text form, binding the id from the parameters.
+            match session.statement(session_handle) {
+                Some(Statement::ShowTraces) => {
+                    return finish_outcome(traceview::traces_outcome(spans), false, metrics);
+                }
+                Some(Statement::ShowTrace { id }) => {
+                    return match resolve_trace_id(id, &params) {
+                        Ok(id) => {
+                            finish_outcome(traceview::trace_outcome(spans, id), false, metrics)
+                        }
+                        Err(message) => Response::Error { message },
+                    };
+                }
+                _ => {}
+            }
             let show_stats = matches!(
                 session.statement(session_handle),
                 Some(Statement::ShowStats)
@@ -473,7 +686,8 @@ fn window(wi: i64, we: i64) -> TimeInterval {
 }
 
 /// Wraps an outcome as a response, appending the `server` scope to
-/// `SHOW STATS` results on the way out.
+/// `SHOW STATS` results on the way out and restoring the deterministic
+/// (scope, metric) row order the statement guarantees.
 fn finish_outcome(outcome: QueryOutcome, show_stats: bool, metrics: &ServerMetrics) -> Response {
     match outcome {
         QueryOutcome::Rows { mut frame, stats } => {
@@ -481,11 +695,126 @@ fn finish_outcome(outcome: QueryOutcome, show_stats: bool, metrics: &ServerMetri
                 for (metric, value) in metrics.rows() {
                     push_stat(&mut frame, "server", &metric, value);
                 }
+                sort_stats_rows(&mut frame);
             }
             Response::Rows { frame, stats }
         }
         QueryOutcome::Command(status) => Response::Command(status),
     }
+}
+
+/// Resolves the trace id of a prepared `SHOW TRACE` statement against the
+/// execution's bound parameters.
+fn resolve_trace_id(id: &Scalar, params: &[Value]) -> Result<i64, String> {
+    let value = match id {
+        Scalar::Lit(v) => v.clone(),
+        Scalar::Param(n) => params.get(n.saturating_sub(1)).cloned().ok_or_else(|| {
+            format!(
+                "SHOW TRACE references ${n} but got {} parameters",
+                params.len()
+            )
+        })?,
+    };
+    match value {
+        Value::Int(i) => Ok(i),
+        other => Err(format!(
+            "SHOW TRACE expects an integer trace id, got {other:?}"
+        )),
+    }
+}
+
+/// Pull-based collector contributing the engine's aggregated stats to every
+/// scrape: engine shape (`hermes_engine_*`), cumulative clustering phase
+/// work, buffer-pool and durability counters (`hermes_storage_*`), and the
+/// executor queue depth (`hermes_exec_*`).
+fn collect_engine_samples(engine: &SharedEngine, out: &mut Vec<Sample>) {
+    let (stats, queue_depth) = engine.with_read(|e| (e.stats(), e.executor().queue_depth()));
+    let gauge = |name, help, v: u64| Sample {
+        name,
+        help,
+        labels: Vec::new(),
+        value: SampleValue::Gauge(v),
+    };
+    let counter = |name, help, v: u64| Sample {
+        name,
+        help,
+        labels: Vec::new(),
+        value: SampleValue::Counter(v),
+    };
+    out.push(gauge(
+        "hermes_engine_datasets",
+        "Registered datasets",
+        stats.datasets as u64,
+    ));
+    out.push(gauge(
+        "hermes_engine_indexed_datasets",
+        "Datasets with a built ReTraTree",
+        stats.indexed_datasets as u64,
+    ));
+    out.push(gauge(
+        "hermes_engine_indexed_partitions",
+        "Level-4 partitions across every built index",
+        stats.indexed_partitions as u64,
+    ));
+    out.push(gauge(
+        "hermes_engine_stored_records",
+        "Sub-trajectory records stored across every built index",
+        stats.stored_records as u64,
+    ));
+    out.push(gauge(
+        "hermes_engine_threads",
+        "Intra-query compute threads the engine currently uses",
+        stats.threads as u64,
+    ));
+    for (phase, ms) in [
+        ("index_build", stats.phases.index_build_ms),
+        ("voting", stats.phases.voting_ms),
+        ("segmentation", stats.phases.segmentation_ms),
+        ("sampling", stats.phases.sampling_ms),
+        ("clustering", stats.phases.clustering_ms),
+    ] {
+        out.push(Sample {
+            name: "hermes_engine_phase_ms_total",
+            help: "Cumulative S2T pipeline phase compute milliseconds",
+            labels: vec![("phase", phase.to_string())],
+            value: SampleValue::Counter(ms),
+        });
+    }
+    out.push(counter(
+        "hermes_storage_buffer_hits_total",
+        "Buffer-pool page hits summed over every index",
+        stats.buffer.hits,
+    ));
+    out.push(counter(
+        "hermes_storage_buffer_misses_total",
+        "Buffer-pool page misses summed over every index",
+        stats.buffer.misses,
+    ));
+    out.push(counter(
+        "hermes_storage_buffer_evictions_total",
+        "Buffer-pool evictions summed over every index",
+        stats.buffer.evictions,
+    ));
+    out.push(gauge(
+        "hermes_storage_snapshot_bytes",
+        "Size in bytes of the newest snapshot file",
+        stats.snapshot_bytes,
+    ));
+    out.push(gauge(
+        "hermes_storage_wal_bytes",
+        "Current write-ahead-log size in bytes",
+        stats.wal_bytes,
+    ));
+    out.push(gauge(
+        "hermes_storage_last_checkpoint_ms",
+        "Wall-clock milliseconds of the most recent checkpoint",
+        stats.last_checkpoint_ms,
+    ));
+    out.push(gauge(
+        "hermes_exec_queue_depth",
+        "Fork-join jobs queued on the intra-query thread pool",
+        queue_depth as u64,
+    ));
 }
 
 /// True when `sql` is a `SHOW STATS` statement (the only statement whose

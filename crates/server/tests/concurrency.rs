@@ -128,12 +128,7 @@ fn concurrent_readers_while_an_index_builds() {
     }
 
     let metrics = server.metrics();
-    assert!(
-        metrics
-            .queries_served
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 4 * 15 + 4
-    );
+    assert!(metrics.queries_served.get() >= 4 * 15 + 4);
     server.shutdown();
 }
 
@@ -184,7 +179,10 @@ fn prepared_statements_are_isolated_per_connection() {
 
 #[test]
 fn connection_cap_rejects_excess_clients() {
-    let server = spawn_server(ServerConfig { max_connections: 2 });
+    let server = spawn_server(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
     let mut c1 = HermesClient::connect(server.addr()).unwrap();
     let mut c2 = HermesClient::connect(server.addr()).unwrap();
     // Force both connections through the accept loop before the third tries.
@@ -197,13 +195,7 @@ fn connection_cap_rejects_excess_clients() {
         matches!(err, ClientError::Server(ref m) if m.contains("capacity")),
         "{err}"
     );
-    assert_eq!(
-        server
-            .metrics()
-            .connections_rejected
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.metrics().connections_rejected.get(), 1);
 
     // Admitted clients keep working, and capacity frees up on disconnect.
     drop(c2);

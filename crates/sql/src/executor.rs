@@ -169,6 +169,93 @@ pub fn push_stat(frame: &mut Frame, scope: &str, metric: &str, value: i64) {
     );
 }
 
+/// Sorts a [`stats_frame`]-shaped frame by `(scope, metric)`.
+///
+/// `SHOW STATS` ordering is part of the statement's contract: every scope
+/// appender (executor, session, server, coordinator) sorts after its append,
+/// so the final frame is deterministic regardless of which edges contributed
+/// rows. See `docs/OBSERVABILITY.md`.
+pub fn sort_stats_rows(frame: &mut Frame) {
+    let mut rows: Vec<Vec<Value>> = frame
+        .rows()
+        .map(|row| row.into_iter().cloned().collect())
+        .collect();
+    rows.sort_by(|a, b| {
+        let key = |r: &Vec<Value>| {
+            (
+                r[0].as_str().unwrap_or("").to_string(),
+                r[1].as_str().unwrap_or("").to_string(),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    let mut sorted = stats_frame();
+    for row in rows {
+        push(&mut sorted, row);
+    }
+    *frame = sorted;
+}
+
+/// The `SHOW TRACES` answer schema: one row per trace in the serving edge's
+/// span store, newest first.
+pub fn traces_frame() -> Frame {
+    Frame::with_columns(&[
+        ("trace", ValueType::Int),
+        ("root", ValueType::Text),
+        ("spans", ValueType::Int),
+        ("duration_us", ValueType::Int),
+    ])
+}
+
+/// Appends one trace summary row to a [`traces_frame`]-shaped frame.
+pub fn push_trace_summary(frame: &mut Frame, trace: i64, root: &str, spans: i64, duration_us: i64) {
+    push(
+        frame,
+        vec![
+            Value::Int(trace),
+            Value::Text(root.to_string()),
+            Value::Int(spans),
+            Value::Int(duration_us),
+        ],
+    );
+}
+
+/// The `SHOW TRACE <id>` answer schema: the trace's spans as a flat
+/// parent-linked tree (`parent = 0` marks the root), ordered by start offset.
+pub fn trace_frame() -> Frame {
+    Frame::with_columns(&[
+        ("span", ValueType::Int),
+        ("parent", ValueType::Int),
+        ("name", ValueType::Text),
+        ("start_us", ValueType::Int),
+        ("duration_us", ValueType::Int),
+        ("attributes", ValueType::Text),
+    ])
+}
+
+/// Appends one span row to a [`trace_frame`]-shaped frame.
+pub fn push_trace_span(
+    frame: &mut Frame,
+    span: i64,
+    parent: i64,
+    name: &str,
+    start_us: i64,
+    duration_us: i64,
+    attributes: &str,
+) {
+    push(
+        frame,
+        vec![
+            Value::Int(span),
+            Value::Int(parent),
+            Value::Text(name.to_string()),
+            Value::Int(start_us),
+            Value::Int(duration_us),
+            Value::Text(attributes.to_string()),
+        ],
+    );
+}
+
 fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
     let s = engine.stats();
     for (metric, value) in [
@@ -335,8 +422,14 @@ pub fn execute_read_statement(
         Statement::ShowStats => {
             let mut frame = stats_frame();
             push_engine_stats(&mut frame, engine);
+            sort_stats_rows(&mut frame);
             Ok(QueryOutcome::rows(frame))
         }
+        // Embedded (engine-local) execution has no span store; the server and
+        // coordinator intercept these at their serving edge and answer from
+        // their in-process stores. Locally they answer with the empty schema.
+        Statement::ShowTraces => Ok(QueryOutcome::rows(traces_frame())),
+        Statement::ShowTrace { .. } => Ok(QueryOutcome::rows(trace_frame())),
         Statement::Info { name } => {
             let info = engine.dataset_info(name)?;
             Ok(QueryOutcome::rows(info_frame(&info)))

@@ -25,6 +25,8 @@
 //! | `SELECT RANGE(name, Wi, We);` | temporal range query (row count) | frame |
 //! | `SELECT HISTOGRAM(name, Wi, We, bucket_ms);` | cluster-cardinality time histogram over the window (Fig. 1 middle) | frame |
 //! | `CHECKPOINT;` | snapshot the engine state, truncate the WAL (durable engines only, see `docs/STORAGE.md`) | command status (snapshot bytes) |
+//! | `SHOW TRACES;` | list recently traced statements (served at the serving edge, see `docs/OBSERVABILITY.md`) | frame |
+//! | `SHOW TRACE <id>;` | span tree of one trace | frame |
 //!
 //! Numeric parameters follow the paper's ordering; times are milliseconds.
 //!
@@ -59,8 +61,9 @@ pub mod value;
 pub use backend::EngineBackend;
 pub use executor::{
     clusters_frame, execute, execute_read_statement, execute_statement, histogram_frame,
-    info_frame, is_write_statement, push_stat, qut_stats_frame, range_frame, s2t_stats_frame,
-    stats_frame, SqlError,
+    info_frame, is_write_statement, push_stat, push_trace_span, push_trace_summary,
+    qut_stats_frame, range_frame, s2t_stats_frame, sort_stats_rows, stats_frame, trace_frame,
+    traces_frame, SqlError,
 };
 pub use frame::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome};
 pub use parser::{parse, ParseError, Scalar, Statement};

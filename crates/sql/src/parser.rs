@@ -119,6 +119,16 @@ pub enum Statement {
     /// indexed partitions), plus whatever scope the executing front end adds
     /// (session parse/cache counters, server connection metrics).
     ShowStats,
+    /// `SHOW TRACES;` — summaries of the traces in the serving edge's
+    /// in-process span store, newest first. Embedded (non-server) sessions
+    /// have no span store and answer with an empty frame.
+    ShowTraces,
+    /// `SHOW TRACE <id>;` — the recorded spans of one trace as a flat
+    /// parent-linked tree. Embedded sessions answer with an empty frame.
+    ShowTrace {
+        /// The trace id to look up.
+        id: Scalar,
+    },
     /// `SET threads = N;` — intra-query parallelism: how many compute
     /// threads S2T/QuT/`BUILD INDEX` may fan out on (1 = serial). `N = 0` is
     /// rejected at execution with a descriptive error.
@@ -219,9 +229,11 @@ impl Statement {
             | Statement::DropDataset { .. }
             | Statement::ShowDatasets
             | Statement::ShowStats
+            | Statement::ShowTraces
             | Statement::ShowThreads
             | Statement::Checkpoint
             | Statement::Info { .. } => Vec::new(),
+            Statement::ShowTrace { id } => vec![id],
             Statement::SetThreads { threads } => vec![threads],
             Statement::BuildIndex {
                 chunk_hours,
@@ -290,6 +302,8 @@ impl Statement {
             Statement::DropDataset { name } => Statement::DropDataset { name: name.clone() },
             Statement::ShowDatasets => Statement::ShowDatasets,
             Statement::ShowStats => Statement::ShowStats,
+            Statement::ShowTraces => Statement::ShowTraces,
+            Statement::ShowTrace { id } => Statement::ShowTrace { id: b(id)? },
             Statement::ShowThreads => Statement::ShowThreads,
             Statement::Checkpoint => Statement::Checkpoint,
             Statement::SetThreads { threads } => Statement::SetThreads {
@@ -374,6 +388,8 @@ impl fmt::Display for Statement {
             Statement::DropDataset { name } => write!(f, "DROP DATASET {name};"),
             Statement::ShowDatasets => write!(f, "SHOW DATASETS;"),
             Statement::ShowStats => write!(f, "SHOW STATS;"),
+            Statement::ShowTraces => write!(f, "SHOW TRACES;"),
+            Statement::ShowTrace { id } => write!(f, "SHOW TRACE {id};"),
             Statement::ShowThreads => write!(f, "SHOW THREADS;"),
             Statement::Checkpoint => write!(f, "CHECKPOINT;"),
             Statement::SetThreads { threads } => write!(f, "SET threads = {threads};"),
@@ -689,10 +705,14 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
             Token::Ident(s) if s.eq_ignore_ascii_case("datasets") => Statement::ShowDatasets,
             Token::Ident(s) if s.eq_ignore_ascii_case("stats") => Statement::ShowStats,
             Token::Ident(s) if s.eq_ignore_ascii_case("threads") => Statement::ShowThreads,
+            Token::Ident(s) if s.eq_ignore_ascii_case("traces") => Statement::ShowTraces,
+            Token::Ident(s) if s.eq_ignore_ascii_case("trace") => Statement::ShowTrace {
+                id: p.expect_scalar()?,
+            },
             other => {
                 return Err(ParseError(format!(
-                    "expected 'DATASETS', 'STATS' or 'THREADS', found {other}"
-                )))
+                "expected 'DATASETS', 'STATS', 'THREADS', 'TRACES' or 'TRACE <id>', found {other}"
+            )))
             }
         }
     } else if head.eq_ignore_ascii_case("checkpoint") {
@@ -834,7 +854,7 @@ mod tests {
         assert!(parse("SHOW TABLES;")
             .unwrap_err()
             .0
-            .contains("'DATASETS', 'STATS' or 'THREADS'"));
+            .contains("'DATASETS', 'STATS', 'THREADS', 'TRACES' or 'TRACE <id>'"));
         assert_eq!(
             parse("BUILD INDEX ON flights WITH CHUNK 6 HOURS;").unwrap(),
             Statement::BuildIndex {
@@ -853,6 +873,30 @@ mod tests {
                 epsilon: Some(Scalar::int(6000)),
             }
         );
+    }
+
+    #[test]
+    fn show_trace_parses_and_binds() {
+        assert_eq!(parse("SHOW TRACES;").unwrap(), Statement::ShowTraces);
+        assert_eq!(parse("show traces").unwrap(), Statement::ShowTraces);
+        assert_eq!(
+            parse("SHOW TRACE 42;").unwrap(),
+            Statement::ShowTrace {
+                id: Scalar::int(42)
+            }
+        );
+        // The id position binds like any other scalar.
+        let stmt = parse("SHOW TRACE $1;").unwrap();
+        assert_eq!(stmt.num_placeholders(), 1);
+        assert_eq!(
+            stmt.bind(&[Value::Int(9)]).unwrap(),
+            Statement::ShowTrace { id: Scalar::int(9) }
+        );
+        // A non-numeric id is a parse error, not a fallthrough.
+        assert!(parse("SHOW TRACE abc;")
+            .unwrap_err()
+            .0
+            .contains("number or placeholder"));
     }
 
     #[test]
@@ -1122,6 +1166,9 @@ mod tests {
             "SHOW DATASETS;",
             "SHOW STATS;",
             "SHOW THREADS;",
+            "SHOW TRACES;",
+            "SHOW TRACE 7;",
+            "SHOW TRACE $1;",
             "CHECKPOINT;",
             "SET threads = 4;",
             "SET threads = $1;",

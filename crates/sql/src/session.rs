@@ -17,7 +17,7 @@
 //! ```
 
 use crate::backend::EngineBackend;
-use crate::executor::{push_stat, SqlError};
+use crate::executor::{push_stat, sort_stats_rows, SqlError};
 use crate::frame::QueryOutcome;
 use crate::parser::{parse, Statement};
 use crate::value::Value;
@@ -160,6 +160,7 @@ impl<B: EngineBackend> Session<B> {
             ] {
                 push_stat(frame, "session", metric, value as i64);
             }
+            sort_stats_rows(frame);
         }
     }
 

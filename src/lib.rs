@@ -48,6 +48,7 @@ pub use hermes_core as core;
 pub use hermes_datagen as datagen;
 pub use hermes_exec as exec;
 pub use hermes_gist as gist;
+pub use hermes_obs as obs;
 pub use hermes_retratree as retratree;
 pub use hermes_s2t as s2t;
 pub use hermes_server as server;
