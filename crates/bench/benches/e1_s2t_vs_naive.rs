@@ -2,14 +2,17 @@
 //! PostgreSQL functions" claim (§III, preparatory phase), extended with the
 //! flat-hot-path comparison.
 //!
-//! Three voting implementations are measured on the seeded urban workload:
+//! Four voting implementations are measured on the seeded urban workload:
 //!
-//! * `arena`   — SoA `SegmentArena` + `PackedSegmentIndex` (the hot path),
-//! * `indexed` — the object-graph `SegmentIndex`/`RTree3D` path (what the
-//!   pipeline used before the arena landed — the speedup baseline),
-//! * `naive`   — the quadratic enumeration (the paper's baseline).
+//! * `arena`     — SoA `SegmentArena` + `PackedSegmentIndex` with the
+//!   batched SIMD kernel and the lower-bound pruning ladder (the hot path),
+//! * `arena-pr4` — the same arena layout before batching/pruning landed:
+//!   box-gap filter only, scalar kernel per candidate (`arena_voting_unpruned`),
+//! * `indexed`   — the object-graph `SegmentIndex`/`RTree3D` path (what the
+//!   pipeline used before the arena landed),
+//! * `naive`     — the quadratic enumeration (the paper's baseline).
 //!
-//! The correctness gate asserts all three produce **bit-identical votes**
+//! The correctness gate asserts all four produce **bit-identical votes**
 //! and that the full pipelines agree on clusters and outliers; the bench
 //! aborts on any mismatch. Timings (including the arena-vs-indexed voting
 //! speedup and per-phase pipeline breakdowns) are informational and land in
@@ -18,12 +21,14 @@
 //! Env knobs: `HERMES_BENCH_QUICK=1` shrinks the sweep for CI smoke runs;
 //! `HERMES_BENCH_DIR` redirects the JSON output.
 
-use hermes_bench::harness::{bench, report, JsonReport};
+use hermes_bench::harness::{bench, bench_pair, report, JsonReport};
 use hermes_bench::{urban_s2t_params, urban_with};
+use hermes_exec::Executor;
 use hermes_s2t::{
-    arena_voting, indexed_voting, naive_voting, run_s2t, run_s2t_naive, PackedSegmentIndex,
-    SegmentArena, SegmentIndex,
+    arena_voting, arena_voting_counted_with, arena_voting_unpruned, indexed_voting, naive_voting,
+    run_s2t, run_s2t_naive, PackedSegmentIndex, SegmentArena, SegmentIndex,
 };
+use hermes_trajectory::{mean_sync_distance_batch_at, simd_level, SimdLevel};
 
 fn main() {
     let quick = std::env::var("HERMES_BENCH_QUICK").is_ok_and(|v| v == "1");
@@ -32,7 +37,7 @@ fn main() {
     // (arena voting ≥ 2× the pre-arena indexed path at 1 thread); the larger
     // sizes chart how the advantage evolves as kernel work — identical in
     // both paths — grows toward dominance.
-    let sizes: &[usize] = if quick { &[24] } else { &[24, 48, 96] };
+    let sizes: &[usize] = if quick { &[24] } else { &[24, 48, 96, 192] };
     let iters: u32 = if quick { 5 } else { 10 };
 
     let mut samples = Vec::new();
@@ -48,9 +53,15 @@ fn main() {
         let arena = SegmentArena::build(trajs);
         let packed = PackedSegmentIndex::build(&arena);
         let legacy = SegmentIndex::build(trajs);
-        let via_arena = arena_voting(&arena, &packed, &params);
+        let (via_arena, kernel) =
+            arena_voting_counted_with(&arena, &packed, &params, &Executor::serial());
+        let via_pr4 = arena_voting_unpruned(&arena, &packed, &params);
         let via_indexed = indexed_voting(trajs, &legacy, &params);
         let via_naive = naive_voting(trajs, &params);
+        assert_eq!(
+            via_arena, via_pr4,
+            "pruned/batched voting diverged from the unpruned arena reference"
+        );
         assert_eq!(
             via_arena, via_indexed,
             "arena voting diverged from the indexed reference"
@@ -70,10 +81,18 @@ fn main() {
             arena.num_segments()
         );
 
-        // --- Voting phase only: the hot path against the pre-arena path.
-        let s_arena_vote = bench(label("vote-arena"), iters, || {
-            arena_voting(&arena, &packed, &params)
-        });
+        // --- Voting phase only: the hot path against the pre-arena path
+        // and against its own PR 4 (unpruned, scalar-kernel) incarnation.
+        // The arena/PR 4 pair is the headline *ratio*, so it is measured in
+        // alternating rounds — machine drift then biases neither side.
+        let (s_arena_vote, s_pr4_vote) = bench_pair(
+            label("vote-arena"),
+            label("vote-arena-pr4"),
+            5,
+            (iters / 5).max(1),
+            || arena_voting(&arena, &packed, &params),
+            || arena_voting_unpruned(&arena, &packed, &params),
+        );
         let s_indexed_vote = bench(label("vote-indexed"), iters, || {
             indexed_voting(trajs, &legacy, &params)
         });
@@ -81,6 +100,94 @@ fn main() {
             naive_voting(trajs, &params)
         });
         let voting_speedup = s_indexed_vote.median_ms / s_arena_vote.median_ms.max(1e-9);
+        let pr4_speedup = s_pr4_vote.median_ms / s_arena_vote.median_ms.max(1e-9);
+
+        // --- Kernel floor in isolation: the batched distance kernel against
+        // one query segment, scalar lanes vs the dispatched SIMD width. Only
+        // candidates whose lifespan overlaps the query's are gathered — the
+        // population the voting ladder actually sends to the kernel. (On
+        // disjoint pairs the scalar lane wins by an early return the
+        // branchless vector lanes don't take, but the temporal partition
+        // means voting never evaluates those.) This is the voting ratio with
+        // probe and ladder costs stripped away — how close the hot
+        // arithmetic sits to the hardware's div/sqrt throughput floor.
+        let q = arena.lanes(0);
+        let mut lanes = (
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        for gs in 0..arena.num_segments() {
+            let l = arena.lanes(gs);
+            if l.t0 <= q.t1 && q.t0 <= l.t1 {
+                lanes.0.push(l.x0);
+                lanes.1.push(l.y0);
+                lanes.2.push(l.x1);
+                lanes.3.push(l.y1);
+                lanes.4.push(l.t0);
+                lanes.5.push(l.t1);
+            }
+        }
+        // Tile the overlap set until a batch call is comfortably above the
+        // clock quantum — repeating pairs changes nothing about the
+        // arithmetic being timed, only the sample duration.
+        let base = lanes.0.len();
+        while lanes.0.len() < 4096 {
+            for i in 0..base {
+                lanes.0.push(lanes.0[i]);
+                lanes.1.push(lanes.1[i]);
+                lanes.2.push(lanes.2[i]);
+                lanes.3.push(lanes.3[i]);
+                lanes.4.push(lanes.4[i]);
+                lanes.5.push(lanes.5[i]);
+            }
+        }
+        let m = lanes.0.len();
+        let mut out_simd = vec![0.0; m];
+        let mut out_scalar = vec![0.0; m];
+        let (s_kernel_simd, s_kernel_scalar) = bench_pair(
+            label("kernel-simd"),
+            label("kernel-scalar"),
+            5,
+            (iters / 5).max(1),
+            || {
+                mean_sync_distance_batch_at(
+                    simd_level(),
+                    &q,
+                    &lanes.0,
+                    &lanes.1,
+                    &lanes.2,
+                    &lanes.3,
+                    &lanes.4,
+                    &lanes.5,
+                    &mut out_simd,
+                );
+            },
+            || {
+                mean_sync_distance_batch_at(
+                    SimdLevel::Scalar,
+                    &q,
+                    &lanes.0,
+                    &lanes.1,
+                    &lanes.2,
+                    &lanes.3,
+                    &lanes.4,
+                    &lanes.5,
+                    &mut out_scalar,
+                );
+            },
+        );
+        assert!(
+            out_simd
+                .iter()
+                .zip(&out_scalar)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "SIMD batch kernel diverged bitwise from the scalar lanes"
+        );
+        let kernel_speedup = s_kernel_scalar.median_ms / s_kernel_simd.median_ms.max(1e-9);
 
         // --- Index construction, both layouts.
         let s_arena_build = bench(label("build-arena"), iters, || {
@@ -105,10 +212,18 @@ fn main() {
                 ("segments".into(), arena.num_segments() as f64),
                 ("threads".into(), 1.0),
                 ("speedup_vs_indexed".into(), voting_speedup),
+                ("speedup_vs_pr4".into(), pr4_speedup),
+                ("kernel_evaluated".into(), kernel.evaluated as f64),
+                ("kernel_pruned".into(), kernel.pruned as f64),
+                ("kernel_simd_speedup".into(), kernel_speedup),
+                ("simd_lanes".into(), simd_level().lanes() as f64),
                 ("gate_bit_identical".into(), 1.0),
                 ("headline".into(), if n == sizes[0] { 1.0 } else { 0.0 }),
             ],
         );
+        json.push(s_pr4_vote.clone());
+        json.push(s_kernel_simd.clone());
+        json.push(s_kernel_scalar.clone());
         json.push(s_indexed_vote.clone());
         json.push(s_naive_vote.clone());
         json.push(s_arena_build.clone());
@@ -130,9 +245,25 @@ fn main() {
             trajs.len(),
             voting_speedup
         );
+        eprintln!(
+            "voting speedup (SIMD+pruning vs PR 4 arena, {} lanes, {} trajs): {:.2}x \
+             (evaluated {}, pruned {})",
+            simd_level().lanes(),
+            trajs.len(),
+            pr4_speedup,
+            kernel.evaluated,
+            kernel.pruned
+        );
+        eprintln!(
+            "kernel-only speedup (batched SIMD vs scalar lanes, {} segments): {:.2}x",
+            m, kernel_speedup
+        );
 
         samples.extend([
             s_arena_vote,
+            s_pr4_vote,
+            s_kernel_simd,
+            s_kernel_scalar,
             s_indexed_vote,
             s_naive_vote,
             s_arena_build,

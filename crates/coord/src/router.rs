@@ -32,8 +32,8 @@ use crate::shardmap::ShardSpec;
 use hermes_core::{DatasetInfo, EngineError};
 use hermes_exec::{ExecPolicy, Executor};
 use hermes_obs::QueryTrace;
-use hermes_retratree::{merge_qut_partials, QutParams, QutPartial};
-use hermes_s2t::{run_s2t_naive_with, run_s2t_with, S2TParams, S2TPhaseTimings};
+use hermes_retratree::{merge_qut_partials, QutParams, QutPartial, QutStats};
+use hermes_s2t::{run_s2t_naive_with, run_s2t_with, S2TParams};
 use hermes_server::protocol::{Request, Response};
 use hermes_server::{ClientError, ConnectOptions, HermesClient, ServerMetrics};
 use hermes_sql::{
@@ -407,7 +407,7 @@ impl Coordinator {
                         shard,
                         c,
                         |c| c.qut_partial(name, shard.slice(), (wi, we), overrides),
-                        |partial| phase_attrs(&partial.stats.phases),
+                        |partial| phase_attrs(&partial.stats),
                     )
                 })?;
                 let partials: Vec<QutPartial> = partials
@@ -470,7 +470,7 @@ impl Coordinator {
                         shard,
                         c,
                         |c| c.qut_partial(name, shard.slice(), (wi, we), None),
-                        |partial| phase_attrs(&partial.stats.phases),
+                        |partial| phase_attrs(&partial.stats),
                     )
                 })?;
                 let partials: Vec<QutPartial> = partials
@@ -677,14 +677,18 @@ fn traced_shard_call<T>(
     result
 }
 
-/// Span attributes carrying a shard's S2T phase work for its partial.
-fn phase_attrs(t: &S2TPhaseTimings) -> Vec<(&'static str, String)> {
+/// Span attributes carrying a shard's S2T phase work and voting-kernel
+/// pruning counters for its partial.
+fn phase_attrs(stats: &QutStats) -> Vec<(&'static str, String)> {
+    let t = &stats.phases;
     vec![
         ("index_build_ms", format!("{:.3}", t.index_build_ms)),
         ("voting_ms", format!("{:.3}", t.voting_ms)),
         ("segmentation_ms", format!("{:.3}", t.segmentation_ms)),
         ("sampling_ms", format!("{:.3}", t.sampling_ms)),
         ("clustering_ms", format!("{:.3}", t.clustering_ms)),
+        ("kernel_evaluated", stats.kernel.evaluated.to_string()),
+        ("kernel_pruned", stats.kernel.pruned.to_string()),
     ]
 }
 

@@ -10,7 +10,8 @@ use hermes_retratree::{
     QutPartial, QutStats, ReTraTree, ReTraTreeParams,
 };
 use hermes_s2t::{
-    run_s2t_naive_with, run_s2t_with, ClusteringResult, S2TOutcome, S2TParams, S2TPhaseTimings,
+    run_s2t_naive_with, run_s2t_with, ClusteringResult, KernelCounters, S2TOutcome, S2TParams,
+    S2TPhaseTimings,
 };
 use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
@@ -77,6 +78,13 @@ pub struct EngineStats {
     pub threads: usize,
     /// Cumulative S2T pipeline phase timings across every clustering query.
     pub phases: PhaseCountersMs,
+    /// Candidate pairs the voting kernel evaluated exactly, across every
+    /// clustering query (arena hot path only; the naive baseline does not
+    /// count).
+    pub kernel_evaluated: u64,
+    /// Candidate pairs a distance lower bound pruned before the exact
+    /// kernel, across every clustering query.
+    pub kernel_pruned: u64,
     /// True when the engine was opened over a data directory (snapshot + WAL
     /// durability). The three counters below are 0 when false.
     pub durable: bool,
@@ -103,6 +111,10 @@ struct PhaseAccumulator {
     segmentation_us: Counter,
     sampling_us: Counter,
     clustering_us: Counter,
+    /// Voting-kernel pruned-vs-evaluated counters, same lifetime and
+    /// visibility as the phase totals.
+    kernel_evaluated: Counter,
+    kernel_pruned: Counter,
 }
 
 impl PhaseAccumulator {
@@ -113,6 +125,11 @@ impl PhaseAccumulator {
         self.segmentation_us.add(us(t.segmentation_ms));
         self.sampling_us.add(us(t.sampling_ms));
         self.clustering_us.add(us(t.clustering_ms));
+    }
+
+    fn record_kernel(&self, k: &KernelCounters) {
+        self.kernel_evaluated.add(k.evaluated);
+        self.kernel_pruned.add(k.pruned);
     }
 
     fn snapshot_ms(&self) -> PhaseCountersMs {
@@ -337,6 +354,7 @@ impl HermesEngine {
         }
         let outcome = run_s2t_with(&ds.trajectories, params, &self.exec);
         self.phase_totals.record(&outcome.timings);
+        self.phase_totals.record_kernel(&outcome.kernel);
         Ok(outcome)
     }
 
@@ -364,6 +382,7 @@ impl HermesEngine {
         let tree = self.tree(name)?;
         let (result, stats) = qut_clustering_with(tree, window, params, &self.exec);
         self.phase_totals.record(&stats.phases);
+        self.phase_totals.record_kernel(&stats.kernel);
         Ok((result, stats))
     }
 
@@ -382,6 +401,7 @@ impl HermesEngine {
         let tree = self.tree(name)?;
         let partial = qut_partial_with(tree, owned, window, params, &self.exec);
         self.phase_totals.record(&partial.stats.phases);
+        self.phase_totals.record_kernel(&partial.stats.kernel);
         Ok(partial)
     }
 
@@ -411,6 +431,7 @@ impl HermesEngine {
         let tree = self.tree(name)?;
         let (result, stats) = range_query_then_cluster_with(tree, window, params, &self.exec);
         self.phase_totals.record(&stats.phases);
+        self.phase_totals.record_kernel(&stats.kernel);
         Ok((result, stats))
     }
 
@@ -434,6 +455,8 @@ impl HermesEngine {
             datasets: self.datasets.len(),
             threads: self.exec_policy.threads,
             phases: self.phase_totals.snapshot_ms(),
+            kernel_evaluated: self.phase_totals.kernel_evaluated.get(),
+            kernel_pruned: self.phase_totals.kernel_pruned.get(),
             durable: self.durability.is_some(),
             snapshot_bytes: self
                 .durability
@@ -636,12 +659,20 @@ mod tests {
     fn phase_counters_accumulate_across_queries() {
         let mut e = engine_with_data();
         assert_eq!(e.stats().phases, PhaseCountersMs::default());
+        assert_eq!(e.stats().kernel_evaluated, 0);
+        assert_eq!(e.stats().kernel_pruned, 0);
 
         // Several runs so the per-phase microsecond counts survive the
         // millisecond truncation in the snapshot.
         for _ in 0..50 {
             e.run_s2t("flights", &s2t_params()).unwrap();
         }
+        // The arena hot path must have reported exact-kernel work, and the
+        // counters are monotone across queries.
+        assert!(
+            e.stats().kernel_evaluated > 0,
+            "S2T runs must evaluate kernel pairs"
+        );
         let after_s2t = e.stats().phases;
         let total = after_s2t.index_build_ms
             + after_s2t.voting_ms

@@ -17,7 +17,8 @@ use crate::params::QutParams;
 use crate::tree::ReTraTree;
 use hermes_exec::Executor;
 use hermes_s2t::{
-    run_s2t_with, trajectories_from_subs, Cluster, ClusteringResult, S2TParams, S2TPhaseTimings,
+    run_s2t_with, trajectories_from_subs, Cluster, ClusteringResult, KernelCounters, S2TParams,
+    S2TPhaseTimings,
 };
 use hermes_trajectory::{
     hausdorff_distance, spatiotemporal_distance, sub_trajectory_distance, SubTrajectory,
@@ -44,6 +45,11 @@ pub struct QutStats {
     /// wall-clock, so these sum to *work*, not elapsed time — the same
     /// convention `SHOW STATS` uses for its cumulative phase counters.
     pub phases: S2TPhaseTimings,
+    /// Pruned-vs-evaluated voting-kernel counters aggregated over every
+    /// clustering run the query performed. Exact for the same reason the
+    /// phase timings are: accumulated per task, summed in the deterministic
+    /// merge.
+    pub kernel: KernelCounters,
 }
 
 impl QutStats {
@@ -59,6 +65,7 @@ impl QutStats {
         self.loaded_sub_trajectories += other.loaded_sub_trajectories;
         self.merges += other.merges;
         self.phases.accumulate(&other.phases);
+        self.kernel.accumulate(&other.kernel);
     }
 }
 
@@ -192,11 +199,12 @@ fn answer_subchunk(
                 }
             }
         }
-        let (border_clusters, border_outliers, phases) =
+        let (border_clusters, border_outliers, phases, kernel) =
             cluster_sub_trajectories(&clipped, &params.s2t, exec);
         answer.clusters = border_clusters;
         answer.outliers = border_outliers;
         answer.stats.phases = phases;
+        answer.stats.kernel = kernel;
     }
     answer
 }
@@ -330,22 +338,33 @@ pub fn range_query_then_cluster_with(
 
     // (ii) + (iii): run_s2t builds its segment index (the fresh R-tree) and
     // applies the full clustering pipeline from scratch.
-    let (clusters, outliers, phases) = cluster_sub_trajectories(&clipped, s2t, exec);
+    let (clusters, outliers, phases, kernel) = cluster_sub_trajectories(&clipped, s2t, exec);
     stats.phases = phases;
+    stats.kernel = kernel;
 
     stats.elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
     (ClusteringResult { clusters, outliers }, stats)
 }
 
 /// Runs S2T over a bag of sub-trajectories (treating each as a trajectory)
-/// and returns its clusters, outliers and per-phase timings.
+/// and returns its clusters, outliers, per-phase timings and kernel counters.
 fn cluster_sub_trajectories(
     subs: &[SubTrajectory],
     s2t: &S2TParams,
     exec: &Executor,
-) -> (Vec<Cluster>, Vec<SubTrajectory>, S2TPhaseTimings) {
+) -> (
+    Vec<Cluster>,
+    Vec<SubTrajectory>,
+    S2TPhaseTimings,
+    KernelCounters,
+) {
     if subs.is_empty() {
-        return (Vec::new(), Vec::new(), S2TPhaseTimings::default());
+        return (
+            Vec::new(),
+            Vec::new(),
+            S2TPhaseTimings::default(),
+            KernelCounters::default(),
+        );
     }
     let trajs = trajectories_from_subs(subs);
     let outcome = run_s2t_with(&trajs, s2t, exec);
@@ -353,6 +372,7 @@ fn cluster_sub_trajectories(
         outcome.result.clusters,
         outcome.result.outliers,
         outcome.timings,
+        outcome.kernel,
     )
 }
 
@@ -660,6 +680,10 @@ mod tests {
                 voting_ms: 3.0,
                 ..S2TPhaseTimings::default()
             },
+            kernel: KernelCounters {
+                evaluated: 11,
+                pruned: 20,
+            },
         };
         let b = QutStats {
             reused_subchunks: 5,
@@ -672,6 +696,10 @@ mod tests {
                 clustering_ms: 2.0,
                 ..S2TPhaseTimings::default()
             },
+            kernel: KernelCounters {
+                evaluated: 9,
+                pruned: 30,
+            },
         };
         a.merge(&b);
         assert_eq!(a.reused_subchunks, 6);
@@ -682,6 +710,9 @@ mod tests {
         // Phase timings are work counters: they do sum.
         assert_eq!(a.phases.voting_ms, 7.0);
         assert_eq!(a.phases.clustering_ms, 2.0);
+        // So are the kernel counters.
+        assert_eq!(a.kernel.evaluated, 20);
+        assert_eq!(a.kernel.pruned, 50);
     }
 
     #[test]

@@ -14,18 +14,34 @@
 //! ball test ([`PackedRTree::for_each_ball_candidate_idx`]) pruning corner
 //! candidates a per-axis inflate would admit.
 //!
-//! **Exactness contract.** [`arena_voting`] is bit-identical to
-//! [`indexed_voting`](crate::voting::indexed_voting) and to
-//! [`naive_voting`](crate::voting::naive_voting):
+//! Candidates that survive the index probe walk a **pruning ladder** of
+//! distance lower bounds, cheapest first — the probe's free window-ball gap,
+//! then the per-segment box gap — and only survivors are gathered into
+//! [`BATCH`]-wide structure-of-arrays blocks for the SIMD batched kernel
+//! ([`hermes_trajectory::kernel::mean_sync_distance_batch`]). (The sharper
+//! clipped-lifespan bound [`segment_clipped_gap2`] is implemented and
+//! property-tested but deliberately kept out of the ladder — measured a net
+//! loss on the urban workload.) How many candidates each side of the ladder
+//! saw is reported as [`KernelCounters`]; `docs/KERNELS.md` walks the whole
+//! ladder.
 //!
-//! * the distance kernel is [`hermes_trajectory::kernel::mean_sync_distance`],
-//!   the same function `Segment::mean_synchronized_distance` delegates to;
-//! * per-voter minima are order-independent (`min` is a lattice operation);
+//! **Exactness contract.** [`arena_voting`] is bit-identical to
+//! [`indexed_voting`](crate::voting::indexed_voting), to
+//! [`naive_voting`](crate::voting::naive_voting), and to the retained PR 4
+//! loop [`arena_voting_unpruned`]:
+//!
+//! * the distance kernel is [`hermes_trajectory::kernel::mean_sync_distance`]
+//!   — the same function `Segment::mean_synchronized_distance` delegates to —
+//!   or its batched SIMD form, which performs the same IEEE-754 operations in
+//!   the same per-lane order and is gated bit-identical at every width;
+//! * per-voter minima are order-independent (`min` is a lattice operation),
+//!   which also covers deferring the fold to the gather-block flush;
 //! * per-segment votes are summed in **ascending voter order** in every
 //!   implementation, so traversal order cannot perturb the floating sum;
-//! * the extra ball pruning only ever removes candidates whose distance
-//!   exceeds the kernel cutoff — their kernel value is exactly `0.0`, which
-//!   is additively neutral for the non-negative vote accumulator.
+//! * every pruning stage only ever removes candidates whose exact distance
+//!   provably cannot change the result: either it exceeds the kernel cutoff
+//!   (kernel value exactly `0.0`, additively neutral) or it cannot strictly
+//!   improve the voter's best-so-far minimum.
 //!
 //! One caveat to the pruning argument: it relies on the *computed* mean
 //! distance dominating the *computed* box gap. That inequality is exact in
@@ -43,8 +59,80 @@ use crate::voting::{kernel, VotingProfile};
 use hermes_exec::Executor;
 use hermes_gist::{axis_gap, PackedRTree};
 use hermes_trajectory::{
-    kernel::mean_sync_distance, Mbb, SegLanes, Timestamp, Trajectory, TrajectoryId,
+    kernel::{mean_sync_distance, mean_sync_distance_batch_at, simd_level, SimdLevel, BATCH},
+    Mbb, SegLanes, Timestamp, Trajectory, TrajectoryId,
 };
+
+/// How many candidate pairs reached the exact distance kernel versus how
+/// many a lower bound rejected first. Purely observational — the pruning
+/// ladder never changes results (see the module docs) — but the ratio is the
+/// direct measure of how much exact-kernel work the bounds are saving, so it
+/// is threaded from the voting loop all the way to `SHOW STATS` and the
+/// Prometheus registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Candidate pairs evaluated by the exact mean-sync-distance kernel.
+    pub evaluated: u64,
+    /// Candidate pairs rejected by a lower bound before the kernel.
+    pub pruned: u64,
+}
+
+impl KernelCounters {
+    /// Accumulates `other` into `self` (both fields are monotone sums).
+    pub fn accumulate(&mut self, other: &KernelCounters) {
+        self.evaluated += other.evaluated;
+        self.pruned += other.pruned;
+    }
+}
+
+/// Admissible lower bound on the mean synchronized distance between query
+/// segment `q` and a candidate with lifespan `[ct0, ct1]` and spatial box
+/// `cxy = [x_min, x_max, y_min, y_max]`: the Euclidean gap between the
+/// candidate's box and the box of the **query clipped to the common
+/// lifespan**, squared. `None` when the lifespans are disjoint.
+///
+/// Why it lower-bounds the kernel: every instant the kernel samples lies in
+/// the common lifespan, where the query position interpolates between
+/// `q(common_start)` and `q(common_end)` — correctly-rounded lerp is monotone
+/// in the interpolation factor, so the computed positions stay inside the box
+/// of those two computed endpoints. The candidate's sampled positions stay
+/// inside its own endpoint box by the same argument. Each sampled distance
+/// therefore is at least the box-to-box gap, and so is their Simpson mean.
+/// The clipped box is never larger than the query's full-lifespan MBB, so
+/// this bound is at least as tight as the per-segment box gap that runs
+/// before it in the ladder. Like every computed-vs-computed bound here it
+/// carries the few-ulp rounding envelope discussed in the module docs; the
+/// bit-identity gates verify it never fires wrongly on shipped data.
+#[inline]
+fn clipped_gap2_parts(q: &SegLanes, ct0: i64, ct1: i64, cxy: &[f64; 4]) -> Option<f64> {
+    let cs = if q.t0 >= ct0 { q.t0 } else { ct0 };
+    let ce = if q.t1 <= ct1 { q.t1 } else { ct1 };
+    if cs > ce {
+        return None;
+    }
+    let (ax, ay) = q.position_at(cs);
+    let (bx, by) = q.position_at(ce);
+    // Branchless endpoint sort: min/max of two non-NaN values is the value
+    // the branchy compare-and-swap would pick, bit for bit.
+    let (qx_min, qx_max) = (ax.min(bx), ax.max(bx));
+    let (qy_min, qy_max) = (ay.min(by), ay.max(by));
+    let gx = axis_gap(cxy[0], cxy[1], qx_min, qx_max);
+    let gy = axis_gap(cxy[2], cxy[3], qy_min, qy_max);
+    Some(gx * gx + gy * gy)
+}
+
+/// The clipped-lifespan gap over plain kernel lanes — the form the admissibility
+/// property tests exercise. Returns the squared lower bound, or `None` when
+/// the lifespans are disjoint (where the kernel returns `None` too).
+pub fn segment_clipped_gap2(q: &SegLanes, c: &SegLanes) -> Option<f64> {
+    let cxy = [
+        c.x0.min(c.x1),
+        c.x0.max(c.x1),
+        c.y0.min(c.y1),
+        c.y0.max(c.y1),
+    ];
+    clipped_gap2_parts(q, c.t0, c.t1, &cxy)
+}
 
 /// Flat, cache-linear storage of every segment of a trajectory collection.
 pub struct SegmentArena {
@@ -182,24 +270,42 @@ impl SegmentArena {
 /// into the tree's item order**. STR tiles put spatially/temporally close
 /// segments at adjacent item indices, so the hot loop's candidate reads are
 /// memory-local instead of chasing back into trajectory order.
-/// Everything the candidate filter reads about one indexed segment, packed
-/// into a single 56-byte row so the scan does one bounds-checked load and
-/// touches one cache line per candidate: temporal bounds (checked first),
-/// spatial MBB block, owning trajectory.
+/// Everything the voting loop reads about one indexed segment, packed into
+/// a single row so the hot loop does one bounds-checked load per candidate
+/// instead of chasing a second parallel array: the filter half first
+/// (temporal bounds — checked first — then the spatial MBB block and owning
+/// trajectory), the kernel endpoint lanes after (read only by candidates
+/// that survive every filter).
 #[derive(Clone, Copy)]
 struct CandidateRow {
     t0: i64,
     t1: i64,
     xy: [f64; 4],
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
     voter: u32,
+}
+
+impl CandidateRow {
+    /// The row's endpoints as kernel lanes.
+    #[inline]
+    fn lanes(&self) -> SegLanes {
+        SegLanes {
+            x0: self.x0,
+            y0: self.y0,
+            x1: self.x1,
+            y1: self.y1,
+            t0: self.t0,
+            t1: self.t1,
+        }
+    }
 }
 
 pub struct PackedSegmentIndex {
     tree: PackedRTree<u32>,
-    /// Kernel lanes per tree item (tree item order); read only by the
-    /// candidates that survive every filter.
-    item_lanes: Vec<SegLanes>,
-    /// Filter rows per tree item (tree item order).
+    /// Candidate rows per tree item (tree item order).
     item_rows: Vec<CandidateRow>,
 }
 
@@ -212,13 +318,11 @@ impl PackedSegmentIndex {
         let tree = PackedRTree::bulk_load(items);
         let n = tree.len();
         let mut index = PackedSegmentIndex {
-            item_lanes: Vec::with_capacity(n),
             item_rows: Vec::with_capacity(n),
             tree,
         };
         for i in 0..n {
             let gs = *index.tree.value(i) as usize;
-            index.item_lanes.push(arena.lanes(gs));
             index.item_rows.push(CandidateRow {
                 t0: arena.t0[gs],
                 t1: arena.t1[gs],
@@ -228,6 +332,10 @@ impl PackedSegmentIndex {
                     arena.mbb_y_min[gs],
                     arena.mbb_y_max[gs],
                 ],
+                x0: arena.x0[gs],
+                y0: arena.y0[gs],
+                x1: arena.x1[gs],
+                y1: arena.y1[gs],
                 voter: arena.traj_of[gs],
             });
         }
@@ -257,61 +365,208 @@ impl PackedSegmentIndex {
 /// pass (segments of a run tile time contiguously, so each candidate lands
 /// in a contiguous sub-range of the run) and only the overlapping pairs pay
 /// the spatial filter and kernel.
-const QUERY_RUN: usize = 8;
+const QUERY_RUN: usize = 4;
+
+/// Survivor gather block feeding the batched SIMD kernel: fixed
+/// [`BATCH`]-wide structure-of-arrays lanes filled by plain array stores (no
+/// capacity checks in the hot loop). The block flushes whenever it fills and
+/// once more at segment fold time, so the per-voter minima are refreshed
+/// every [`BATCH`] survivors — keeping the ladder's best-so-far bounds tight
+/// enough to keep firing — while the kernel still amortizes its per-call
+/// setup over full blocks.
+struct GatherBlock {
+    x0: [f64; BATCH],
+    y0: [f64; BATCH],
+    x1: [f64; BATCH],
+    y1: [f64; BATCH],
+    t0: [i64; BATCH],
+    t1: [i64; BATCH],
+    voter: [u32; BATCH],
+    d: [f64; BATCH],
+    len: usize,
+    /// Kernel dispatch level, resolved once per scratch (not per flush) so
+    /// the hot loop never touches the `HERMES_SIMD` `OnceLock`.
+    level: SimdLevel,
+}
+
+impl Default for GatherBlock {
+    fn default() -> Self {
+        GatherBlock {
+            x0: [0.0; BATCH],
+            y0: [0.0; BATCH],
+            x1: [0.0; BATCH],
+            y1: [0.0; BATCH],
+            t0: [0; BATCH],
+            t1: [0; BATCH],
+            voter: [0; BATCH],
+            d: [0.0; BATCH],
+            len: 0,
+            level: simd_level(),
+        }
+    }
+}
+
+impl GatherBlock {
+    /// True when the block just filled and must be flushed before the next
+    /// push.
+    #[inline]
+    fn push(&mut self, lanes: &SegLanes, voter: u32) -> bool {
+        let j = self.len;
+        self.x0[j] = lanes.x0;
+        self.y0[j] = lanes.y0;
+        self.x1[j] = lanes.x1;
+        self.y1[j] = lanes.y1;
+        self.t0[j] = lanes.t0;
+        self.t1[j] = lanes.t1;
+        self.voter[j] = voter;
+        self.len = j + 1;
+        self.len == BATCH
+    }
+
+    /// Evaluates the gathered candidates against query `seg` through the
+    /// batched kernel and folds the distances into the per-voter minima, in
+    /// gather order. Deferring the fold to the flush cannot change results:
+    /// `min` over a fixed candidate set is order-independent, and a stale
+    /// best-so-far only makes the *pruning* stages admit more candidates —
+    /// whose distances then lose the `d < best` comparison exactly because
+    /// the bound that would have pruned them lower-bounds `d`.
+    ///
+    /// Distances beyond `cutoff` are not folded at all. This is invisible in
+    /// the votes, bit for bit: the Gaussian kernel hard-cuts `d > cutoff` to
+    /// exactly `0.0`, and `x + 0.0 == x` for every finite IEEE-754 `x`, so a
+    /// voter whose every distance exceeds the cutoff contributes the same
+    /// nothing whether or not it enters the sum. It is also invisible to the
+    /// pruning ladder: a best-so-far above the cutoff satisfies
+    /// `best² > r²`, and stage 2 already rejects `gap² > r²` first, so such
+    /// a best never rejects anything the radius test doesn't. What it buys:
+    /// shorter `touched` lists — fewer entries to sort canonically and fewer
+    /// guaranteed-zero [`kernel`](crate::voting) calls in the vote fold.
+    /// (The ∞ disjoint-lifespan sentinel is skipped by the same comparison.)
+    fn flush(
+        &mut self,
+        seg: &SegLanes,
+        cutoff: f64,
+        best_per_voter: &mut [f64],
+        touched: &mut Vec<usize>,
+    ) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        mean_sync_distance_batch_at(
+            self.level,
+            seg,
+            &self.x0[..n],
+            &self.y0[..n],
+            &self.x1[..n],
+            &self.y1[..n],
+            &self.t0[..n],
+            &self.t1[..n],
+            &mut self.d[..n],
+        );
+        for j in 0..n {
+            let d = self.d[j];
+            if d > cutoff {
+                continue;
+            }
+            let voter = self.voter[j] as usize;
+            let best = best_per_voter[voter];
+            if d < best {
+                if best.is_infinite() {
+                    touched.push(voter);
+                }
+                best_per_voter[voter] = d;
+            }
+        }
+        self.len = 0;
+    }
+}
 
 /// Reusable per-worker scratch for [`vote_trajectory_into`]. Between calls
-/// every `best_per_voter` entry is `f64::INFINITY` and the lists are empty,
-/// so a pre-sized scratch makes the voting inner loop allocation-free.
+/// every best-distance entry is `f64::INFINITY` and the lists are empty, so
+/// a pre-sized scratch makes the voting inner loop allocation-free.
 pub struct ArenaVoteScratch {
-    best_per_voter: Vec<f64>,
-    touched: Vec<usize>,
-    /// Per-run-slot candidate lists filled by the partition pass.
-    seg_candidates: [Vec<u32>; QUERY_RUN],
+    /// Best (minimum) kernel distance per voter, one array per run slot:
+    /// the fused probe accumulates all `QUERY_RUN` segments of a run in a
+    /// single traversal, and slot k's minima must never observe another
+    /// slot's folds (each segment's per-voter min is independent state).
+    /// Invariant between runs: every entry is `f64::INFINITY` — each vote
+    /// fold resets exactly the entries it touched.
+    best: [Vec<f64>; QUERY_RUN],
+    /// Per-run-slot list of voters holding a finite best.
+    touched: [Vec<usize>; QUERY_RUN],
+    /// Per-run-slot survivor gather block feeding the batched kernel.
+    blocks: [GatherBlock; QUERY_RUN],
 }
 
 impl Default for ArenaVoteScratch {
     fn default() -> Self {
         ArenaVoteScratch {
-            best_per_voter: Vec::new(),
-            touched: Vec::new(),
-            seg_candidates: std::array::from_fn(|_| Vec::new()),
+            best: std::array::from_fn(|_| Vec::new()),
+            touched: std::array::from_fn(|_| Vec::new()),
+            blocks: std::array::from_fn(|_| GatherBlock::default()),
         }
     }
 }
 
 impl ArenaVoteScratch {
-    /// A scratch pre-sized for `arena`: `best_per_voter`/`touched` cover
-    /// every trajectory and each candidate list covers every segment (the
-    /// hard upper bound of one probe), so voting over this arena never
-    /// reallocates the scratch.
-    ///
-    /// The hard bound is deliberately pessimistic — `QUERY_RUN` lists of
-    /// `num_segments` `u32`s (32 bytes per indexed segment), real probes
-    /// fill a tiny fraction of it. Use this constructor where the
-    /// zero-allocation *guarantee* matters (the counting-allocator test,
-    /// latency-critical embedders); the thread-local scratch behind
-    /// [`arena_voting`] instead starts empty and grows to the observed
-    /// working set, which is also allocation-free once warm.
+    /// A scratch pre-sized for `arena`: every slot's best/touched arrays
+    /// cover every trajectory, so voting over this arena never reallocates
+    /// the scratch. Use this constructor where the zero-allocation
+    /// *guarantee* matters (the counting-allocator test, latency-critical
+    /// embedders); the thread-local scratch behind [`arena_voting`] instead
+    /// starts empty and grows to the observed working set, which is also
+    /// allocation-free once warm.
     pub fn for_arena(arena: &SegmentArena) -> Self {
         ArenaVoteScratch {
-            best_per_voter: vec![f64::INFINITY; arena.num_trajectories()],
-            touched: Vec::with_capacity(arena.num_trajectories()),
-            seg_candidates: std::array::from_fn(|_| Vec::with_capacity(arena.num_segments())),
+            best: std::array::from_fn(|_| vec![f64::INFINITY; arena.num_trajectories()]),
+            touched: std::array::from_fn(|_| Vec::with_capacity(arena.num_trajectories())),
+            blocks: std::array::from_fn(|_| GatherBlock::default()),
         }
     }
 
     fn ensure(&mut self, num_trajectories: usize) {
-        if self.best_per_voter.len() < num_trajectories {
-            self.best_per_voter.resize(num_trajectories, f64::INFINITY);
+        for b in self.best.iter_mut() {
+            if b.len() < num_trajectories {
+                b.resize(num_trajectories, f64::INFINITY);
+            }
         }
     }
 }
 
-/// Computes the votes of trajectory `ti` into `votes` (cleared first). With
+/// Computes the votes of trajectory `ti` into `votes` (cleared first) and
+/// returns the pruned-vs-evaluated kernel counters for this trajectory. With
 /// a scratch pre-sized via [`ArenaVoteScratch::for_arena`] and a `votes`
 /// buffer whose capacity covers the trajectory's segment count, this
 /// performs **zero heap allocations** — the property the counting-allocator
 /// test in `crates/s2t/tests` pins down.
+///
+/// One traversal does everything: the probe descends once per `QUERY_RUN`
+/// consecutive query segments with the run's union window, and the pruning
+/// ladder runs **inside the emission callback**, on the candidate row the
+/// partition just loaded — no intermediate candidate lists, no second pass
+/// re-reading rows. Per (candidate, slot) pair, cheapest bound first; each
+/// stage lower-bounds the exact mean synchronized distance, so a reject
+/// provably cannot change the per-voter min or the vote (module docs):
+///
+/// 1. the probe's free squared **window-ball gap** vs the voter's best²
+///    (the window contains every slot's box, so its gap lower-bounds each
+///    slot's),
+/// 2. the per-segment **box gap** vs the cutoff ball (beyond it the kernel
+///    value is exactly 0.0) and the voter's best²,
+/// 3. survivors are gathered into the slot's [`BATCH`]-wide block for the
+///    SIMD kernel; a full block flushes immediately so the fold refreshes
+///    the slot's minima and the best² rejects stay sharp.
+///
+/// Folding at flush granularity cannot change results: `min` over a fixed
+/// candidate set is order-independent, and a stale best-so-far only makes
+/// the pruning stages admit more candidates — whose distances then lose the
+/// `d < best` comparison exactly because the bound that would have pruned
+/// them lower-bounds `d`. (The clipped-lifespan bound
+/// [`segment_clipped_gap2`] is deliberately *not* in this ladder: its two
+/// divisions cost more than the few kernel evaluations it saves — measured
+/// a net loss on the urban workload — and the temporal partition already
+/// guarantees overlapping lifespans, so its disjoint branch cannot fire.)
 pub fn vote_trajectory_into(
     arena: &SegmentArena,
     index: &PackedSegmentIndex,
@@ -320,33 +575,46 @@ pub fn vote_trajectory_into(
     ti: usize,
     scratch: &mut ArenaVoteScratch,
     votes: &mut Vec<f64>,
-) {
+) -> KernelCounters {
     scratch.ensure(arena.num_trajectories());
     votes.clear();
     let ArenaVoteScratch {
-        best_per_voter,
+        best,
         touched,
-        seg_candidates,
+        blocks,
     } = scratch;
+    let mut counters = KernelCounters::default();
     let r2 = cutoff * cutoff;
     let range = arena.segments_of(ti);
     let mut run_start = range.start;
     while run_start < range.end {
         let run_end = (run_start + QUERY_RUN).min(range.end);
         let run_len = run_end - run_start;
-
-        // One index probe for the whole run: the union window over the
-        // run's precomputed MBB lanes (times are increasing within a
+        // Hoisted per-slot geometry: kernel lanes and MBB bounds (tail runs
+        // repeat the last segment in the unused slots; `run_len` guards
+        // every access).
+        let segs: [SegLanes; QUERY_RUN] =
+            std::array::from_fn(|k| arena.lanes(run_start + k.min(run_len - 1)));
+        let sxy: [[f64; 4]; QUERY_RUN] = std::array::from_fn(|k| {
+            let gs = run_start + k.min(run_len - 1);
+            [
+                arena.mbb_x_min[gs],
+                arena.mbb_x_max[gs],
+                arena.mbb_y_min[gs],
+                arena.mbb_y_max[gs],
+            ]
+        });
+        // Union window over the run (times are increasing within a
         // trajectory, so the temporal union is first-start..last-end).
         let mut wx0 = f64::INFINITY;
         let mut wx1 = f64::NEG_INFINITY;
         let mut wy0 = f64::INFINITY;
         let mut wy1 = f64::NEG_INFINITY;
-        for gs in run_start..run_end {
-            wx0 = wx0.min(arena.mbb_x_min[gs]);
-            wx1 = wx1.max(arena.mbb_x_max[gs]);
-            wy0 = wy0.min(arena.mbb_y_min[gs]);
-            wy1 = wy1.max(arena.mbb_y_max[gs]);
+        for xy in sxy[..run_len].iter() {
+            wx0 = wx0.min(xy[0]);
+            wx1 = wx1.max(xy[1]);
+            wy0 = wy0.min(xy[2]);
+            wy1 = wy1.max(xy[3]);
         }
         let window = Mbb::new(
             wx0,
@@ -356,83 +624,204 @@ pub fn vote_trajectory_into(
             Timestamp(arena.t0[run_start]),
             Timestamp(arena.t1[run_end - 1]),
         );
-        for list in seg_candidates[..run_len].iter_mut() {
-            list.clear();
-        }
-        // Partition pass: drop self-candidates, then place each candidate
-        // in the per-segment lists of exactly the run slots it temporally
-        // overlaps. The run's segments tile `[t0[run_start], t1[run_end-1]]`
-        // contiguously in ascending time, so that slot set is a contiguous
-        // range found with two short forward scans.
         index
             .tree
-            .for_each_ball_candidate_idx(&window, cutoff, |item, _gap2| {
+            .for_each_ball_candidate_idx(&window, cutoff, |item, window_gap2| {
                 let row = &index.item_rows[item];
-                if row.voter as usize == ti {
+                let voter = row.voter as usize;
+                if voter == ti {
                     return;
                 }
+                // The slots a candidate temporally overlaps form a
+                // contiguous range of the run (segments of a run tile time
+                // contiguously): two short forward scans find it.
                 let mut k = 0usize;
                 while k < run_len && arena.t1[run_start + k] < row.t0 {
                     k += 1;
                 }
                 while k < run_len && arena.t0[run_start + k] <= row.t1 {
-                    seg_candidates[k].push(item as u32);
+                    let best_k = &mut best[k];
+                    let b = best_k[voter];
+                    let b2 = b * b;
+                    // Stage 1: window-ball gap vs best². (`d < best` is
+                    // strict, so equality skips safely; an untouched voter
+                    // has best = ∞, never skipped.)
+                    if window_gap2 >= b2 {
+                        counters.pruned += 1;
+                        k += 1;
+                        continue;
+                    }
+                    // Stage 2: this slot's box gap vs the cutoff ball and
+                    // best².
+                    let xy = &sxy[k];
+                    let gx = axis_gap(row.xy[0], row.xy[1], xy[0], xy[1]);
+                    let gy = axis_gap(row.xy[2], row.xy[3], xy[2], xy[3]);
+                    let gap2 = gx * gx + gy * gy;
+                    if gap2 > r2 || gap2 >= b2 {
+                        counters.pruned += 1;
+                        k += 1;
+                        continue;
+                    }
+                    // Survivor: gather into the slot's block.
+                    counters.evaluated += 1;
+                    if blocks[k].push(&row.lanes(), row.voter) {
+                        blocks[k].flush(&segs[k], cutoff, best_k, &mut touched[k]);
+                    }
                     k += 1;
                 }
             });
-
-        // Per-segment pass over its own (temporally matched) candidates.
-        // The remaining filter is the per-segment ball test (Euclidean box
-        // gap ≤ cutoff): everything the run window admits beyond it has
-        // kernel value exactly 0.0 and is rejected before interpolation.
-        for gs in run_start..run_end {
-            let seg = arena.lanes(gs);
-            let sx0 = arena.mbb_x_min[gs];
-            let sx1 = arena.mbb_x_max[gs];
-            let sy0 = arena.mbb_y_min[gs];
-            let sy1 = arena.mbb_y_max[gs];
-            for &item_u in seg_candidates[gs - run_start].iter() {
-                let item = item_u as usize;
-                let row = &index.item_rows[item];
-                let voter = row.voter as usize;
-                let gx = axis_gap(row.xy[0], row.xy[1], sx0, sx1);
-                let gy = axis_gap(row.xy[2], row.xy[3], sy0, sy1);
-                let gap2 = gx * gx + gy * gy;
-                if gap2 > r2 {
-                    continue;
-                }
-                // The spatial box gap lower-bounds the mean synchronized
-                // distance, so a candidate whose gap already reaches the
-                // voter's current best cannot strictly improve the min —
-                // skip the kernel. (`d < best` is strict, so equality skips
-                // safely; an untouched voter has best = ∞, never skipped.)
-                let best = best_per_voter[voter];
-                if gap2 >= best * best {
-                    continue;
-                }
-                if let Some(d) = mean_sync_distance(&seg, &index.item_lanes[item]) {
-                    if d < best {
-                        if best.is_infinite() {
-                            touched.push(voter);
-                        }
-                        best_per_voter[voter] = d;
-                    }
-                }
-            }
+        // Per-slot epilogue, in segment order: final flush, then the vote.
+        for k in 0..run_len {
+            blocks[k].flush(&segs[k], cutoff, &mut best[k], &mut touched[k]);
+            let touched_k = &mut touched[k];
+            let best_k = &mut best[k];
             // Canonical summation order (ascending voter index): the
             // floating sum must not depend on index traversal order.
             // `sort_unstable` on primitives is in-place — no allocation.
-            touched.sort_unstable();
+            touched_k.sort_unstable();
             let mut vote = 0.0;
-            for &voter in touched.iter() {
-                vote += kernel(best_per_voter[voter], params.sigma, cutoff);
-                best_per_voter[voter] = f64::INFINITY;
+            for &voter in touched_k.iter() {
+                vote += kernel(best_k[voter], params.sigma, cutoff);
+                best_k[voter] = f64::INFINITY;
             }
-            touched.clear();
+            touched_k.clear();
             votes.push(vote);
         }
         run_start = run_end;
     }
+    counters
+}
+
+/// The PR 4 arena voting loop, reconstructed faithfully from its shipped
+/// code: the frozen branchy-gap scalar tree traversal
+/// ([`PackedRTree::for_each_ball_candidate_idx_frozen`]), per-segment
+/// `Vec<u32>` candidate lists (no window-gap threading), PR 4's three-case
+/// `axis_gap` in the per-candidate box filter, and an immediate scalar
+/// kernel fold per survivor — none of this PR's traversal, layout, or
+/// pruning work. Serial.
+///
+/// This is the measured baseline behind `BENCH_e1`'s "arena-pr4" series and
+/// one more equality reference: bit-identical to [`arena_voting`] (both are
+/// proven equal to the naive path), just slower. The single immaterial
+/// departure from PR 4's text: candidate lanes are read through the
+/// merged candidate row (PR 4 kept them in a separate parallel array the index
+/// no longer carries); the lanes themselves are the same ten `f64`s.
+pub fn arena_voting_unpruned(
+    arena: &SegmentArena,
+    index: &PackedSegmentIndex,
+    params: &S2TParams,
+) -> Vec<VotingProfile> {
+    // PR 4's `axis_gap`, verbatim (the shared one is branchless now).
+    #[inline]
+    fn gap(a_min: f64, a_max: f64, b_min: f64, b_max: f64) -> f64 {
+        if a_max < b_min {
+            b_min - a_max
+        } else if b_max < a_min {
+            a_min - b_max
+        } else {
+            0.0
+        }
+    }
+    // PR 4's run length, pinned locally: the modern path's `QUERY_RUN` is a
+    // tuning knob and must not retune the frozen baseline.
+    const QUERY_RUN: usize = 8;
+    let cutoff = params.voting_cutoff_radius();
+    let r2 = cutoff * cutoff;
+    let mut best_per_voter = vec![f64::INFINITY; arena.num_trajectories()];
+    let mut touched: Vec<usize> = Vec::with_capacity(arena.num_trajectories());
+    let mut seg_candidates: [Vec<u32>; QUERY_RUN] = std::array::from_fn(|_| Vec::new());
+    (0..arena.num_trajectories())
+        .map(|ti| {
+            let mut votes = Vec::with_capacity(arena.segments_of(ti).len());
+            let range = arena.segments_of(ti);
+            let mut run_start = range.start;
+            while run_start < range.end {
+                let run_end = (run_start + QUERY_RUN).min(range.end);
+                let run_len = run_end - run_start;
+                let mut wx0 = f64::INFINITY;
+                let mut wx1 = f64::NEG_INFINITY;
+                let mut wy0 = f64::INFINITY;
+                let mut wy1 = f64::NEG_INFINITY;
+                for gs in run_start..run_end {
+                    wx0 = wx0.min(arena.mbb_x_min[gs]);
+                    wx1 = wx1.max(arena.mbb_x_max[gs]);
+                    wy0 = wy0.min(arena.mbb_y_min[gs]);
+                    wy1 = wy1.max(arena.mbb_y_max[gs]);
+                }
+                let window = Mbb::new(
+                    wx0,
+                    wx1,
+                    wy0,
+                    wy1,
+                    Timestamp(arena.t0[run_start]),
+                    Timestamp(arena.t1[run_end - 1]),
+                );
+                for list in seg_candidates[..run_len].iter_mut() {
+                    list.clear();
+                }
+                index
+                    .tree
+                    .for_each_ball_candidate_idx_frozen(&window, cutoff, |item, _gap2| {
+                        let row = &index.item_rows[item];
+                        if row.voter as usize == ti {
+                            return;
+                        }
+                        let mut k = 0usize;
+                        while k < run_len && arena.t1[run_start + k] < row.t0 {
+                            k += 1;
+                        }
+                        while k < run_len && arena.t0[run_start + k] <= row.t1 {
+                            seg_candidates[k].push(item as u32);
+                            k += 1;
+                        }
+                    });
+                for gs in run_start..run_end {
+                    let seg = arena.lanes(gs);
+                    let sx0 = arena.mbb_x_min[gs];
+                    let sx1 = arena.mbb_x_max[gs];
+                    let sy0 = arena.mbb_y_min[gs];
+                    let sy1 = arena.mbb_y_max[gs];
+                    for &item_u in seg_candidates[gs - run_start].iter() {
+                        let item = item_u as usize;
+                        let row = &index.item_rows[item];
+                        let voter = row.voter as usize;
+                        let gx = gap(row.xy[0], row.xy[1], sx0, sx1);
+                        let gy = gap(row.xy[2], row.xy[3], sy0, sy1);
+                        let gap2 = gx * gx + gy * gy;
+                        if gap2 > r2 {
+                            continue;
+                        }
+                        let best = best_per_voter[voter];
+                        if gap2 >= best * best {
+                            continue;
+                        }
+                        if let Some(d) = mean_sync_distance(&seg, &row.lanes()) {
+                            if d < best {
+                                if best.is_infinite() {
+                                    touched.push(voter);
+                                }
+                                best_per_voter[voter] = d;
+                            }
+                        }
+                    }
+                    touched.sort_unstable();
+                    let mut vote = 0.0;
+                    for &voter in touched.iter() {
+                        vote += kernel(best_per_voter[voter], params.sigma, cutoff);
+                        best_per_voter[voter] = f64::INFINITY;
+                    }
+                    touched.clear();
+                    votes.push(vote);
+                }
+                run_start = run_end;
+            }
+            VotingProfile {
+                trajectory_id: arena.trajectory_id(ti),
+                trajectory_index: ti,
+                votes,
+            }
+        })
+        .collect()
 }
 
 thread_local! {
@@ -454,10 +843,14 @@ struct ScratchGuard<'a> {
 impl Drop for ScratchGuard<'_> {
     fn drop(&mut self) {
         if !self.completed {
-            self.scratch.best_per_voter.fill(f64::INFINITY);
-            self.scratch.touched.clear();
-            for list in self.scratch.seg_candidates.iter_mut() {
-                list.clear();
+            for b in self.scratch.best.iter_mut() {
+                b.fill(f64::INFINITY);
+            }
+            for t in self.scratch.touched.iter_mut() {
+                t.clear();
+            }
+            for block in self.scratch.blocks.iter_mut() {
+                block.len = 0;
             }
         }
     }
@@ -469,7 +862,7 @@ fn vote_trajectory_arena(
     params: &S2TParams,
     cutoff: f64,
     ti: usize,
-) -> VotingProfile {
+) -> (VotingProfile, KernelCounters) {
     ARENA_SCRATCH.with(|cell| {
         let mut scratch = cell.borrow_mut();
         let mut guard = ScratchGuard {
@@ -477,13 +870,17 @@ fn vote_trajectory_arena(
             completed: false,
         };
         let mut votes = Vec::with_capacity(arena.segments_of(ti).len());
-        vote_trajectory_into(arena, index, params, cutoff, ti, guard.scratch, &mut votes);
+        let counters =
+            vote_trajectory_into(arena, index, params, cutoff, ti, guard.scratch, &mut votes);
         guard.completed = true;
-        VotingProfile {
-            trajectory_id: arena.trajectory_id(ti),
-            trajectory_index: ti,
-            votes,
-        }
+        (
+            VotingProfile {
+                trajectory_id: arena.trajectory_id(ti),
+                trajectory_index: ti,
+                votes,
+            },
+            counters,
+        )
     })
 }
 
@@ -509,10 +906,29 @@ pub fn arena_voting_with(
     params: &S2TParams,
     exec: &Executor,
 ) -> Vec<VotingProfile> {
+    arena_voting_counted_with(arena, index, params, exec).0
+}
+
+/// [`arena_voting_with`] plus the summed pruned-vs-evaluated kernel
+/// counters. Counter totals are deterministic: pruning decisions depend only
+/// on the per-trajectory scan, never on thread interleaving.
+pub fn arena_voting_counted_with(
+    arena: &SegmentArena,
+    index: &PackedSegmentIndex,
+    params: &S2TParams,
+    exec: &Executor,
+) -> (Vec<VotingProfile>, KernelCounters) {
     let cutoff = params.voting_cutoff_radius();
-    exec.map_indices(arena.num_trajectories(), |ti| {
+    let per_traj = exec.map_indices(arena.num_trajectories(), |ti| {
         vote_trajectory_arena(arena, index, params, cutoff, ti)
-    })
+    });
+    let mut totals = KernelCounters::default();
+    let mut profiles = Vec::with_capacity(per_traj.len());
+    for (profile, counters) in per_traj {
+        totals.accumulate(&counters);
+        profiles.push(profile);
+    }
+    (profiles, totals)
 }
 
 #[cfg(test)]
@@ -583,10 +999,80 @@ mod tests {
         let legacy_index = SegmentIndex::build(&trajs);
         let via_rtree = indexed_voting(&trajs, &legacy_index, &p);
         let via_naive = naive_voting(&trajs, &p);
-        // Exact, not approximate: all three paths share the kernel and the
+        let via_unpruned = arena_voting_unpruned(&arena, &packed, &p);
+        // Exact, not approximate: all four paths share the kernel and the
         // canonical summation order.
         assert_eq!(via_arena, via_rtree);
         assert_eq!(via_arena, via_naive);
+        assert_eq!(via_arena, via_unpruned);
+    }
+
+    #[test]
+    fn kernel_counters_account_for_every_candidate() {
+        let trajs = mixed_mod();
+        let p = params(25.0);
+        let arena = SegmentArena::build(&trajs);
+        let packed = PackedSegmentIndex::build(&arena);
+        let (profiles, counters) =
+            arena_voting_counted_with(&arena, &packed, &p, &Executor::serial());
+        assert_eq!(profiles, arena_voting(&arena, &packed, &p));
+        // The clustered lines vote for each other, so the exact kernel must
+        // have run; the far-away outlier line guarantees pruned candidates.
+        assert!(counters.evaluated > 0, "{counters:?}");
+        assert!(counters.pruned > 0, "{counters:?}");
+        // Counter totals are deterministic and thread-independent.
+        for threads in [2usize, 4] {
+            let exec = Executor::new(hermes_exec::ExecPolicy { threads });
+            let (_, parallel) = arena_voting_counted_with(&arena, &packed, &p, &exec);
+            assert_eq!(parallel, counters);
+        }
+    }
+
+    #[test]
+    fn clipped_gap_lower_bounds_the_kernel() {
+        // Seeded sweep: whenever both are defined, the clipped-query box gap
+        // must never exceed the exact distance (squared), or pruning on it
+        // could change results.
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rand_seg = {
+            let mut f = move || (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0 - 50.0;
+            move |t_base: i64, span: i64| SegLanes {
+                x0: f(),
+                y0: f(),
+                x1: f(),
+                y1: f(),
+                t0: t_base,
+                t1: t_base + span,
+            }
+        };
+        let mut checked = 0usize;
+        for i in 0..2_000 {
+            let a = rand_seg((i % 17) * 500, if i % 7 == 0 { 0 } else { 4_000 });
+            let b = rand_seg((i % 23) * 400, if i % 11 == 0 { 0 } else { 3_500 });
+            match (segment_clipped_gap2(&a, &b), mean_sync_distance(&a, &b)) {
+                (Some(lb2), Some(d)) => {
+                    // Compare as distances, with the few-ulp envelope the
+                    // module docs grant every computed-vs-computed bound
+                    // (when the overlap is one instant the bound is *equal*
+                    // to the distance and only rounding separates them).
+                    assert!(
+                        lb2.sqrt() <= d * (1.0 + 1e-12) + 1e-12,
+                        "bound {} exceeds exact {d}: {a:?} vs {b:?}",
+                        lb2.sqrt()
+                    );
+                    checked += 1;
+                }
+                (None, None) => {}
+                (lb, d) => panic!("bound/kernel disagree on lifespan overlap: {lb:?} vs {d:?}"),
+            }
+        }
+        assert!(checked > 500, "sweep mostly disjoint: {checked}");
     }
 
     #[test]

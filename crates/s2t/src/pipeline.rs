@@ -5,7 +5,7 @@
 //! harness uses to regenerate the paper's speedup claims (experiments E1 and
 //! E3).
 
-use crate::arena::{arena_voting_with, PackedSegmentIndex, SegmentArena};
+use crate::arena::{arena_voting_counted_with, KernelCounters, PackedSegmentIndex, SegmentArena};
 use crate::clustering::{cluster_around_representatives_with, ClusteringResult};
 use crate::params::S2TParams;
 use crate::sampling::select_representatives_with;
@@ -64,6 +64,10 @@ pub struct S2TOutcome {
     pub sub_trajectories: Vec<VotedSubTrajectory>,
     /// Per-phase timings.
     pub timings: S2TPhaseTimings,
+    /// Pruned-vs-evaluated counters from the voting kernel. Zero for the
+    /// naive pipeline, which has no pruning ladder (every pair pays the
+    /// exact kernel by design — that is what makes it the baseline).
+    pub kernel: KernelCounters,
 }
 
 fn ms(from: Instant) -> f64 {
@@ -94,9 +98,12 @@ fn run_pipeline(
     timings.index_build_ms = if use_index { ms(t0) } else { 0.0 };
 
     let t0 = Instant::now();
-    let profiles = match &index {
-        Some((arena, packed)) => arena_voting_with(arena, packed, params, exec),
-        None => naive_voting_with(trajectories, params, exec),
+    let (profiles, kernel) = match &index {
+        Some((arena, packed)) => arena_voting_counted_with(arena, packed, params, exec),
+        None => (
+            naive_voting_with(trajectories, params, exec),
+            KernelCounters::default(),
+        ),
     };
     timings.voting_ms = ms(t0);
 
@@ -117,6 +124,7 @@ fn run_pipeline(
         profiles,
         sub_trajectories: subs,
         timings,
+        kernel,
     }
 }
 

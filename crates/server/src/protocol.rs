@@ -22,7 +22,7 @@
 
 use hermes_obs::TraceContext;
 use hermes_retratree::{QutPartial, QutStats};
-use hermes_s2t::{Cluster, S2TPhaseTimings};
+use hermes_s2t::{Cluster, KernelCounters, S2TPhaseTimings};
 use hermes_sql::{ColumnDef, CommandStatus, CommandTag, Frame, QueryOutcome, Value, ValueType};
 use hermes_trajectory::{Point, SubTrajectory, SubTrajectoryId, Timestamp, Trajectory};
 use std::fmt;
@@ -40,7 +40,12 @@ pub const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
 /// v3 prefixed every request payload with an optional trace-context field
 /// (`u8` flag, then `trace_id`/`parent_span_id` as `u64` when set) so the
 /// coordinator can propagate distributed per-query traces to shards.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4 appended the voting-kernel counters (`kernel_evaluated` /
+/// `kernel_pruned`, two `u64`s after the phase timings) to the shard-partial
+/// stats block, so the coordinator's merged `QutStats` carries the pruning
+/// ladder's work counters across the wire.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Magic bytes opening the connection preamble.
 pub const HANDSHAKE_MAGIC: [u8; 4] = *b"HRMS";
@@ -605,6 +610,8 @@ fn write_qut_partial(w: &mut Writer, p: &QutPartial) {
     w.f64(p.stats.phases.segmentation_ms);
     w.f64(p.stats.phases.sampling_ms);
     w.f64(p.stats.phases.clustering_ms);
+    w.u64(p.stats.kernel.evaluated);
+    w.u64(p.stats.kernel.pruned);
 }
 
 fn read_qut_partial(r: &mut Reader<'_>) -> Result<QutPartial, DecodeError> {
@@ -630,6 +637,10 @@ fn read_qut_partial(r: &mut Reader<'_>) -> Result<QutPartial, DecodeError> {
             segmentation_ms: r.f64()?,
             sampling_ms: r.f64()?,
             clustering_ms: r.f64()?,
+        },
+        kernel: KernelCounters {
+            evaluated: r.u64()?,
+            pruned: r.u64()?,
         },
     };
     Ok(QutPartial {
@@ -1141,6 +1152,10 @@ mod tests {
                     segmentation_ms: 0.125,
                     sampling_ms: 0.0,
                     clustering_ms: 0.375,
+                },
+                kernel: KernelCounters {
+                    evaluated: 123,
+                    pruned: 4_567,
                 },
             },
         }

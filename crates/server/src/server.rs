@@ -470,6 +470,8 @@ fn record_request_span(
         ] {
             attrs.push((key, format!("{ms:.3}")));
         }
+        attrs.push(("kernel_evaluated", p.stats.kernel.evaluated.to_string()));
+        attrs.push(("kernel_pruned", p.stats.kernel.pruned.to_string()));
     }
     attrs.push((
         "status",
@@ -780,6 +782,16 @@ fn collect_engine_samples(engine: &SharedEngine, out: &mut Vec<Sample>) {
             value: SampleValue::Counter(ms),
         });
     }
+    out.push(counter(
+        "hermes_engine_kernel_evaluated_total",
+        "Voting-kernel candidate pairs evaluated exactly",
+        stats.kernel_evaluated,
+    ));
+    out.push(counter(
+        "hermes_engine_kernel_pruned_total",
+        "Voting-kernel candidate pairs rejected by a distance lower bound",
+        stats.kernel_pruned,
+    ));
     out.push(counter(
         "hermes_storage_buffer_hits_total",
         "Buffer-pool page hits summed over every index",

@@ -275,6 +275,10 @@ fn push_engine_stats(frame: &mut Frame, engine: &HermesEngine) {
         ("s2t_segmentation_ms", s.phases.segmentation_ms as i64),
         ("s2t_sampling_ms", s.phases.sampling_ms as i64),
         ("s2t_clustering_ms", s.phases.clustering_ms as i64),
+        // Voting-kernel pruning ladder: exact evaluations vs lower-bound
+        // rejects, cumulative over the same queries as the phase counters.
+        ("kernel_evaluated", s.kernel_evaluated as i64),
+        ("kernel_pruned", s.kernel_pruned as i64),
         // Persistence scope: all zero on an in-memory engine (durable = 0).
         ("durable", s.durable as i64),
         ("snapshot_bytes", s.snapshot_bytes as i64),
@@ -821,6 +825,8 @@ mod tests {
             "s2t_segmentation_ms",
             "s2t_sampling_ms",
             "s2t_clustering_ms",
+            "kernel_evaluated",
+            "kernel_pruned",
         ] {
             assert!(metric(phase) >= 0, "{phase}");
         }
@@ -856,6 +862,11 @@ mod tests {
         assert!(
             after > before,
             "phase counters must accumulate: {after} vs {before}"
+        );
+        // The arena voting path ran, so the kernel counters grew with it.
+        assert!(
+            metric(&mut e, "kernel_evaluated") > 0,
+            "clustering work must evaluate kernel pairs"
         );
     }
 

@@ -160,3 +160,153 @@ fn packed_segment_index_matches_legacy_cardinality_and_geometry() {
         }
     }
 }
+
+/// Seeded sweep of the batched distance kernel across every dispatch width
+/// and every remainder tail: `Scalar`, `Sse2` and `Avx2` lanes (each clamped
+/// to what the hardware supports) must produce the same `f64` bits as the
+/// scalar object-path kernel for every lane — including the `INFINITY`
+/// sentinel standing in for `None` on disjoint lifespans. Batch lengths run
+/// `1..=2·BATCH+1`, so every partial-vector tail a width can leave is hit,
+/// plus one arena-sized batch.
+#[test]
+fn batch_kernel_is_bit_identical_across_lane_widths_and_tails() {
+    use hermes::trajectory::{
+        mean_sync_distance, mean_sync_distance_batch_at, SegLanes, SimdLevel, BATCH,
+    };
+
+    let levels = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2];
+    for (name, trajs, _params) in workloads() {
+        let arena = SegmentArena::build(&trajs);
+        let all: Vec<SegLanes> = (0..arena.num_segments())
+            .map(|gs| arena.lanes(gs))
+            .collect();
+
+        // Deterministic LCG so failures reproduce; the state folds in the
+        // workload size to decorrelate the three datasets.
+        let mut state = 0x5EED_0BAD_u64 ^ (all.len() as u64);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+
+        let mut sizes: Vec<usize> = (1..=2 * BATCH + 1).collect();
+        sizes.push(all.len());
+        for _ in 0..8 {
+            let q = all[next() % all.len()];
+            for &n in &sizes {
+                // A contiguous wrap-around window starting at a random
+                // offset: real runs of neighbours, arbitrary alignment.
+                let start = next() % all.len();
+                let cands: Vec<SegLanes> = (0..n).map(|i| all[(start + i) % all.len()]).collect();
+                let x0: Vec<f64> = cands.iter().map(|c| c.x0).collect();
+                let y0: Vec<f64> = cands.iter().map(|c| c.y0).collect();
+                let x1: Vec<f64> = cands.iter().map(|c| c.x1).collect();
+                let y1: Vec<f64> = cands.iter().map(|c| c.y1).collect();
+                let t0: Vec<i64> = cands.iter().map(|c| c.t0).collect();
+                let t1: Vec<i64> = cands.iter().map(|c| c.t1).collect();
+                let mut out = vec![0.0f64; n];
+                for level in levels {
+                    mean_sync_distance_batch_at(level, &q, &x0, &y0, &x1, &y1, &t0, &t1, &mut out);
+                    for (i, c) in cands.iter().enumerate() {
+                        let reference = mean_sync_distance(&q, c).unwrap_or(f64::INFINITY);
+                        assert_eq!(
+                            out[i].to_bits(),
+                            reference.to_bits(),
+                            "{name}: lane {i} of {n} at {level:?} diverged from the scalar kernel"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Admissibility of the pruning ladder's distance lower bounds: for seeded
+/// segment pairs from every workload, the per-segment box gap and the
+/// clipped-lifespan gap ([`segment_clipped_gap2`]) must never exceed the
+/// exact mean synchronized distance — in the squared form the ladder
+/// actually compares (`gap² ≤ d²`), so a bound that fired where the kernel
+/// would have won fails here. Also pins the disjoint-lifespan contract: the
+/// clipped bound is `None` exactly when the kernel is.
+#[test]
+fn lower_bounds_never_exceed_exact_distance() {
+    use hermes::gist::axis_gap;
+    use hermes::s2t::segment_clipped_gap2;
+    use hermes::trajectory::{mean_sync_distance, SegLanes};
+
+    for (name, trajs, _params) in workloads() {
+        let arena = SegmentArena::build(&trajs);
+        let all: Vec<SegLanes> = (0..arena.num_segments())
+            .map(|gs| arena.lanes(gs))
+            .collect();
+
+        let mut state = 0xB0_0B5_u64 ^ (all.len() as u64).rotate_left(17);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+
+        let mut overlapping = 0usize;
+        for draw in 0..20_000usize {
+            let qi = next() % all.len();
+            let q = all[qi];
+            // Alternate uniform pairs with near-index pairs: neighbours in
+            // arena order are the same or an adjacent trajectory, where
+            // temporal overlap — the case both bounds actually guard — is
+            // common even on wide-departure-spread workloads.
+            let ci = if draw % 2 == 0 {
+                next() % all.len()
+            } else {
+                (qi + next() % 129 + all.len() - 64) % all.len()
+            };
+            let c = all[ci];
+            let exact = mean_sync_distance(&q, &c);
+            let clipped = segment_clipped_gap2(&q, &c);
+            assert_eq!(
+                exact.is_none(),
+                clipped.is_none(),
+                "{name}: clipped bound and kernel disagree on lifespan overlap"
+            );
+            let (Some(d), Some(clip2)) = (exact, clipped) else {
+                continue;
+            };
+            overlapping += 1;
+            assert!(
+                clip2 <= d * d,
+                "{name}: clipped-lifespan bound {clip2} exceeds exact distance² {}",
+                d * d
+            );
+            // The box gap the ladder's stage 2 uses: candidate box against
+            // the query's full-lifespan box.
+            let gx = axis_gap(
+                c.x0.min(c.x1),
+                c.x0.max(c.x1),
+                q.x0.min(q.x1),
+                q.x0.max(q.x1),
+            );
+            let gy = axis_gap(
+                c.y0.min(c.y1),
+                c.y0.max(c.y1),
+                q.y0.min(q.y1),
+                q.y0.max(q.y1),
+            );
+            let box2 = gx * gx + gy * gy;
+            assert!(
+                box2 <= d * d,
+                "{name}: box gap {box2} exceeds exact distance² {}",
+                d * d
+            );
+        }
+        // Uniform pair sampling finds fewer temporal overlaps on workloads
+        // with a wide departure spread (maritime); a couple of hundred live
+        // pairs per dataset still exercises every branch of both bounds.
+        assert!(
+            overlapping > 100,
+            "{name}: too few overlapping pairs ({overlapping}) for the sweep to mean anything"
+        );
+    }
+}
