@@ -147,7 +147,7 @@ impl Shard {
                 self.check_in(conn);
                 Ok(value)
             }
-            Err(ClientError::Server(message)) => {
+            Err(ClientError::Server { message, .. }) => {
                 // The shard executed the request and said no: the stream is
                 // in sync, the connection stays pooled, and the message is
                 // relayed verbatim (it matches the single-node error text).

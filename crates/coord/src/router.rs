@@ -119,9 +119,7 @@ impl Coordinator {
     ) -> Response {
         match self.route(stmt, fwd, metrics, trace) {
             Ok(response) => response,
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
+            Err(e) => Response::error(e.to_string()),
         }
     }
 
@@ -152,9 +150,7 @@ impl Coordinator {
         });
         for result in results {
             if let Err(e) = result {
-                return Response::Error {
-                    message: e.to_string(),
-                };
+                return Response::error(e.to_string());
             }
         }
         Response::Command(CommandStatus {
@@ -584,11 +580,11 @@ impl Coordinator {
         let mut first_tolerated = None;
         for result in results {
             match result {
-                Ok(Response::Error { message }) if tolerated.contains(&message) => {
+                Ok(Response::Error { message, .. }) if tolerated.contains(&message) => {
                     first_tolerated.get_or_insert(message);
                     out.push(None);
                 }
-                Ok(Response::Error { message }) => return Err(CoordError::Data(message)),
+                Ok(Response::Error { message, .. }) => return Err(CoordError::Data(message)),
                 Ok(response) => out.push(Some(response)),
                 Err(CoordError::Data(message)) if tolerated.contains(&message) => {
                     first_tolerated.get_or_insert(message);
@@ -712,7 +708,7 @@ fn record_merge_span(trace: Option<&QueryTrace>, started: Instant, merges: usize
 /// error if the dataset is genuinely empty/unindexed everywhere).
 fn is_unpopulated_error(response: &Response, dataset: &str) -> bool {
     match response {
-        Response::Error { message } => {
+        Response::Error { message, .. } => {
             *message == EngineError::EmptyDataset(dataset.to_string()).to_string()
                 || *message == EngineError::NotIndexed(dataset.to_string()).to_string()
         }

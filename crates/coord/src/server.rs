@@ -231,9 +231,9 @@ fn reject_connection(stream: TcpStream, max_connections: usize) {
     let _ = read_request(&mut reader);
     let _ = write_response(
         &mut writer,
-        &Response::Error {
-            message: format!("server at connection capacity ({max_connections} active)"),
-        },
+        &Response::error(format!(
+            "server at connection capacity ({max_connections} active)"
+        )),
     );
 }
 
@@ -252,12 +252,7 @@ fn handle_connection(
     write_handshake(&mut writer)?;
     if let Err(e) = read_handshake(&mut reader) {
         metrics.query_errors.inc();
-        let _ = write_response(
-            &mut writer,
-            &Response::Error {
-                message: e.to_string(),
-            },
-        );
+        let _ = write_response(&mut writer, &Response::error(e.to_string()));
         return Ok(());
     }
 
@@ -274,12 +269,7 @@ fn handle_connection(
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 metrics.query_errors.inc();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        message: e.to_string(),
-                    },
-                );
+                let _ = write_response(&mut writer, &Response::error(e.to_string()));
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -307,9 +297,7 @@ fn handle_connection(
                 metrics.query_errors.inc();
                 write_response(
                     &mut writer,
-                    &Response::Error {
-                        message: format!("result too large for the wire protocol: {e}"),
-                    },
+                    &Response::error(format!("result too large for the wire protocol: {e}")),
                 )?
             }
             Err(e) => return Err(e),
@@ -374,11 +362,9 @@ fn answer(
         Request::ExecutePrepared { handle, params } => {
             let Some((sql, stmt)) = prepared.get(handle as usize) else {
                 return (
-                    Response::Error {
-                        message: format!(
-                            "unknown prepared statement handle {handle} on this connection"
-                        ),
-                    },
+                    Response::error(format!(
+                        "unknown prepared statement handle {handle} on this connection"
+                    )),
                     None,
                 );
             };
@@ -390,7 +376,7 @@ fn answer(
                 }
                 Ok(Statement::ShowTrace { id }) => match id.as_i64() {
                     Ok(id) => (outcome_response(traceview::trace_outcome(spans, id)), None),
-                    Err(message) => (Response::Error { message }, None),
+                    Err(message) => (Response::error(message), None),
                 },
                 Ok(bound) => {
                     let trace = QueryTrace::root(Arc::clone(spans));
@@ -420,11 +406,10 @@ fn answer(
         | Request::RangePartial { .. }
         | Request::GatherTrajectories { .. }
         | Request::InfoPartial { .. } => (
-            Response::Error {
-                message: "shard-internal request: the coordinator accepts client statements \
-                          (QUERY / PREPARE / EXECUTE / INGEST) only"
-                    .into(),
-            },
+            Response::error(
+                "shard-internal request: the coordinator accepts client statements \
+                 (QUERY / PREPARE / EXECUTE / INGEST) only",
+            ),
             None,
         ),
     }
@@ -456,7 +441,5 @@ fn outcome_response(outcome: QueryOutcome) -> Response {
 }
 
 fn error_response(e: impl std::fmt::Display) -> Response {
-    Response::Error {
-        message: e.to_string(),
-    }
+    Response::error(e.to_string())
 }

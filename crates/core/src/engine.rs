@@ -16,11 +16,18 @@ use hermes_s2t::{
 use hermes_storage::{BufferStats, Catalog, DatasetId};
 use hermes_trajectory::{TimeInterval, Trajectory};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-dataset state held by the engine.
+///
+/// Both fields sit behind an `Arc` so [`HermesEngine::fork_snapshot`] is a
+/// reference bump per dataset rather than a deep copy; mutators go through
+/// [`Arc::make_mut`], which deep-clones only when a published snapshot still
+/// shares the data (copy-on-write).
+#[derive(Clone)]
 pub(crate) struct Dataset {
-    pub(crate) trajectories: Vec<Trajectory>,
-    pub(crate) tree: Option<ReTraTree>,
+    pub(crate) trajectories: Arc<Vec<Trajectory>>,
+    pub(crate) tree: Option<Arc<ReTraTree>>,
 }
 
 /// Summary of a registered dataset.
@@ -144,21 +151,40 @@ impl PhaseAccumulator {
     }
 }
 
+/// Read-only copy of the durability counters, carried by engine snapshots
+/// forked off a durable master ([`HermesEngine::fork_snapshot`]). The live
+/// [`Durability`] handle owns files and an advisory lock, so it cannot be
+/// cloned into snapshots; this view keeps `SHOW STATS` correct on the read
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DurabilityView {
+    pub(crate) durable: bool,
+    pub(crate) snapshot_bytes: u64,
+    pub(crate) wal_bytes: u64,
+    pub(crate) last_checkpoint_ms: u64,
+}
+
 /// The Moving Object Database engine.
 pub struct HermesEngine {
     pub(crate) catalog: Catalog,
     pub(crate) datasets: HashMap<DatasetId, Dataset>,
     /// Intra-query parallelism: the policy and the executor built from it.
     /// Every compute entry point (S2T, QuT, `BUILD INDEX`) fans out on this
-    /// executor; serial (1 thread) means everything runs inline.
+    /// executor; serial (1 thread) means everything runs inline. Cloning the
+    /// executor shares the pool, so snapshots compute on the same workers.
     exec_policy: ExecPolicy,
     exec: Executor,
-    /// Cumulative per-phase compute time over every clustering query.
-    phase_totals: PhaseAccumulator,
+    /// Cumulative per-phase compute time over every clustering query. Shared
+    /// (`Arc`) across snapshots so reads answered against an older epoch
+    /// still land in the same monotone totals.
+    phase_totals: Arc<PhaseAccumulator>,
     /// Snapshot + WAL persistence, present when the engine was opened over a
     /// data directory ([`HermesEngine::open`]). `None` means a plain
-    /// in-memory engine — every mutator skips logging.
+    /// in-memory engine — every mutator skips logging. Always `None` on
+    /// forked snapshots; they carry `durability_view` instead.
     pub(crate) durability: Option<Durability>,
+    /// Durability counters frozen at fork time (see [`DurabilityView`]).
+    pub(crate) durability_view: DurabilityView,
 }
 
 impl Default for HermesEngine {
@@ -182,8 +208,42 @@ impl HermesEngine {
             datasets: HashMap::new(),
             exec_policy: policy,
             exec: Executor::new(policy),
-            phase_totals: PhaseAccumulator::default(),
+            phase_totals: Arc::new(PhaseAccumulator::default()),
             durability: None,
+            durability_view: DurabilityView::default(),
+        }
+    }
+
+    /// Forks an immutable point-in-time copy of this engine for the epoch
+    /// read path (`SharedEngine`): catalog and per-dataset `Arc`s are
+    /// reference-bumped (no trajectory or tree data is copied until a later
+    /// mutation touches it), the executor handle shares the same pool, the
+    /// phase totals stay the same shared accumulator, and the durability
+    /// counters are frozen into a `DurabilityView` (snapshots never own
+    /// the WAL or the data-directory lock).
+    pub fn fork_snapshot(&self) -> HermesEngine {
+        HermesEngine {
+            catalog: self.catalog.clone(),
+            datasets: self.datasets.clone(),
+            exec_policy: self.exec_policy,
+            exec: self.exec.clone(),
+            phase_totals: Arc::clone(&self.phase_totals),
+            durability: None,
+            durability_view: self.durability_view_now(),
+        }
+    }
+
+    /// The durability counters as of now: live values on a durable master,
+    /// the frozen fork-time view on a snapshot, zeros in memory-only mode.
+    fn durability_view_now(&self) -> DurabilityView {
+        match self.durability.as_ref() {
+            Some(d) => DurabilityView {
+                durable: true,
+                snapshot_bytes: d.snapshot_bytes,
+                wal_bytes: d.wal.size_bytes(),
+                last_checkpoint_ms: d.last_checkpoint_ms,
+            },
+            None => self.durability_view,
         }
     }
 
@@ -227,7 +287,7 @@ impl HermesEngine {
         self.datasets.insert(
             id,
             Dataset {
-                trajectories: Vec::new(),
+                trajectories: Arc::new(Vec::new()),
                 tree: None,
             },
         );
@@ -287,11 +347,14 @@ impl HermesEngine {
             .get_mut(&id)
             .ok_or_else(|| EngineError::UnknownDataset(name.to_string()))?;
         if let Some(tree) = ds.tree.as_mut() {
+            // Copy-on-write: deep-clones the tree only while a published
+            // snapshot still shares it.
+            let tree = Arc::make_mut(tree);
             for t in &trajectories {
                 tree.insert_trajectory(t);
             }
         }
-        ds.trajectories.extend(trajectories);
+        Arc::make_mut(&mut ds.trajectories).extend(trajectories);
 
         let (num_points, lifespan) = dataset_extent(&ds.trajectories);
         let n = ds.trajectories.len();
@@ -324,11 +387,11 @@ impl HermesEngine {
         if ds.trajectories.is_empty() {
             return Err(EngineError::EmptyDataset(name.to_string()));
         }
-        ds.tree = Some(ReTraTree::build_from_with(
+        ds.tree = Some(Arc::new(ReTraTree::build_from_with(
             params,
             &ds.trajectories,
             &self.exec,
-        ));
+        )));
         Ok(ds.trajectories.len())
     }
 
@@ -336,7 +399,7 @@ impl HermesEngine {
     pub fn tree(&self, name: &str) -> Result<&ReTraTree> {
         let ds = self.dataset(name)?;
         ds.tree
-            .as_ref()
+            .as_deref()
             .ok_or_else(|| EngineError::NotIndexed(name.to_string()))
     }
 
@@ -451,28 +514,17 @@ impl HermesEngine {
 
     /// Aggregated resource counters over every dataset.
     pub fn stats(&self) -> EngineStats {
+        let view = self.durability_view_now();
         let mut stats = EngineStats {
             datasets: self.datasets.len(),
             threads: self.exec_policy.threads,
             phases: self.phase_totals.snapshot_ms(),
             kernel_evaluated: self.phase_totals.kernel_evaluated.get(),
             kernel_pruned: self.phase_totals.kernel_pruned.get(),
-            durable: self.durability.is_some(),
-            snapshot_bytes: self
-                .durability
-                .as_ref()
-                .map(|d| d.snapshot_bytes)
-                .unwrap_or(0),
-            wal_bytes: self
-                .durability
-                .as_ref()
-                .map(|d| d.wal.size_bytes())
-                .unwrap_or(0),
-            last_checkpoint_ms: self
-                .durability
-                .as_ref()
-                .map(|d| d.last_checkpoint_ms)
-                .unwrap_or(0),
+            durable: view.durable,
+            snapshot_bytes: view.snapshot_bytes,
+            wal_bytes: view.wal_bytes,
+            last_checkpoint_ms: view.last_checkpoint_ms,
             ..EngineStats::default()
         };
         for ds in self.datasets.values() {

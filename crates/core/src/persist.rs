@@ -242,7 +242,7 @@ pub(crate) fn encode_engine_state(engine: &HermesEngine, epoch: u64) -> Vec<u8> 
         let ds = &engine.datasets[&id];
         w.u64(id);
         w.u32(ds.trajectories.len() as u32);
-        for t in &ds.trajectories {
+        for t in ds.trajectories.iter() {
             encode_trajectory_into(&mut w, t);
         }
         match &ds.tree {
@@ -311,12 +311,18 @@ pub(crate) fn restore_engine_state(
             trajectories.push(decode_trajectory_from(&mut r)?);
         }
         let tree = if r.bool()? {
-            Some(tree_persist::decode_tree(&mut r)?)
+            Some(std::sync::Arc::new(tree_persist::decode_tree(&mut r)?))
         } else {
             None
         };
         if datasets
-            .insert(id, Dataset { trajectories, tree })
+            .insert(
+                id,
+                Dataset {
+                    trajectories: std::sync::Arc::new(trajectories),
+                    tree,
+                },
+            )
             .is_some()
         {
             return Err(StorageError::Corrupt {

@@ -1,51 +1,126 @@
 //! [`SharedEngine`]: the concurrency wrapper that lets many sessions (CLI
 //! shells, server connections, benchmark threads) drive one [`HermesEngine`].
 //!
-//! The engine's read paths (`run_s2t`, `run_qut`, range queries, statistics)
-//! all take `&self`, so any number of readers proceed in parallel under the
-//! read lock; DDL, ingest and `BUILD INDEX` serialize through the write lock.
+//! The wrapper publishes immutable engine *epochs*. Readers ([`pin`]) grab an
+//! `Arc` to the currently published snapshot — a few atomic operations, never
+//! a lock shared with writers — and answer against it for as long as they
+//! like; a concurrently committing `BUILD INDEX` or `CHECKPOINT` cannot block
+//! them and they cannot block it. Writers ([`with_write`]) serialize on a
+//! narrow commit mutex around the single mutable *master* engine, then
+//! publish a fresh fork ([`HermesEngine::fork_snapshot`], an `Arc` bump per
+//! dataset) and advance the epoch counter.
+//!
+//! Memory reclamation needs no hazard pointers or RCU grace periods: a
+//! superseded epoch is kept alive by exactly the `Arc` clones of the readers
+//! still pinning it and is freed by the last of them dropping out. See
+//! `docs/SERVER.md` for the full lifecycle argument.
+//!
 //! Cloning a `SharedEngine` clones the handle, not the engine.
+//!
+//! [`pin`]: SharedEngine::pin
+//! [`with_write`]: SharedEngine::with_write
 
 use crate::engine::HermesEngine;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// A cloneable, thread-safe handle to one [`HermesEngine`].
-#[derive(Clone, Default)]
+struct SharedInner {
+    /// The single mutable engine. All writers serialize here; readers never
+    /// touch it.
+    master: Mutex<HermesEngine>,
+    /// The immutable snapshot readers pin. Swapped wholesale on commit; the
+    /// lock is held only for the pointer copy on either side, so it is never
+    /// contended for longer than an `Arc` clone.
+    published: RwLock<Arc<HermesEngine>>,
+    /// Monotone counter, bumped on every publication. Epoch 0 is the engine
+    /// as constructed.
+    epoch: AtomicU64,
+}
+
+/// A cloneable, thread-safe handle to one [`HermesEngine`] with
+/// epoch-publication concurrency: non-blocking snapshot reads, serialized
+/// copy-on-write commits.
+#[derive(Clone)]
 pub struct SharedEngine {
-    inner: Arc<RwLock<HermesEngine>>,
+    inner: Arc<SharedInner>,
+}
+
+impl Default for SharedEngine {
+    fn default() -> Self {
+        SharedEngine::new(HermesEngine::default())
+    }
 }
 
 impl SharedEngine {
-    /// Wraps an engine for shared use.
+    /// Wraps an engine for shared use. The initial published epoch is a fork
+    /// of the engine as given.
     pub fn new(engine: HermesEngine) -> Self {
+        let snapshot = Arc::new(engine.fork_snapshot());
         SharedEngine {
-            inner: Arc::new(RwLock::new(engine)),
+            inner: Arc::new(SharedInner {
+                master: Mutex::new(engine),
+                published: RwLock::new(snapshot),
+                epoch: AtomicU64::new(0),
+            }),
         }
     }
 
-    /// Acquires the read lock. Readers run concurrently with each other and
-    /// block only while a writer holds the engine.
+    /// Pins the currently published epoch: an immutable point-in-time
+    /// snapshot the caller can hold and query for as long as it likes.
+    /// Never blocks on writers — a commit in progress keeps publishing
+    /// *after* this snapshot was taken, and the pinned epoch stays alive
+    /// (and unchanged) until the last pin drops.
     ///
-    /// A poisoned lock (a panic on another thread mid-operation) is recovered
-    /// rather than propagated: the engine's state transitions are applied
-    /// whole, and a server must keep answering after one bad connection.
-    pub fn read(&self) -> RwLockReadGuard<'_, HermesEngine> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    /// A poisoned publication lock (a panic on another thread mid-swap) is
+    /// recovered rather than propagated: the swap is a single pointer store,
+    /// applied whole, and a server must keep answering after one bad
+    /// connection.
+    pub fn pin(&self) -> Arc<HermesEngine> {
+        Arc::clone(
+            &self
+                .inner
+                .published
+                .read()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
     }
 
-    /// Acquires the write lock, excluding all readers and writers.
-    pub fn write(&self) -> RwLockWriteGuard<'_, HermesEngine> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    /// The current epoch number: how many commits have published so far.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
     }
 
-    /// Runs `f` under the read lock.
+    /// [`pin`](SharedEngine::pin) under its old name, for callers written
+    /// against the read-lock API: the returned `Arc` dereferences to the
+    /// engine exactly like the former guard did, minus the blocking.
+    pub fn read(&self) -> Arc<HermesEngine> {
+        self.pin()
+    }
+
+    /// Runs `f` against the currently published epoch.
     pub fn with_read<R>(&self, f: impl FnOnce(&HermesEngine) -> R) -> R {
-        f(&self.read())
+        f(&self.pin())
     }
 
-    /// Runs `f` under the write lock.
+    /// Runs `f` against the master engine under the commit mutex, then
+    /// publishes the result as a new epoch. Writers serialize with each
+    /// other; readers pinned to older epochs are unaffected.
+    ///
+    /// Publication happens only on `f`'s normal return — if `f` panics, the
+    /// master may hold its partial effects (the next commit publishes them,
+    /// matching the poison-recovery semantics of the old write lock) but no
+    /// reader observes a torn state.
     pub fn with_write<R>(&self, f: impl FnOnce(&mut HermesEngine) -> R) -> R {
-        f(&mut self.write())
+        let mut master = self.inner.master.lock().unwrap_or_else(|e| e.into_inner());
+        let out = f(&mut master);
+        let snapshot = Arc::new(master.fork_snapshot());
+        *self
+            .inner
+            .published
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = snapshot;
+        self.inner.epoch.fetch_add(1, Ordering::Release);
+        out
     }
 }
 
@@ -55,6 +130,7 @@ mod tests {
     use hermes_trajectory::{Point, Timestamp, Trajectory};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
+    use std::time::Duration;
 
     fn traj(id: u64, y: f64) -> Trajectory {
         Trajectory::new(
@@ -70,7 +146,7 @@ mod tests {
     #[test]
     fn handles_share_one_engine() {
         let shared = SharedEngine::default();
-        shared.write().create_dataset("a").unwrap();
+        shared.with_write(|e| e.create_dataset("a")).unwrap();
         let other = shared.clone();
         assert_eq!(other.read().list_datasets(), vec!["a".to_string()]);
     }
@@ -78,12 +154,11 @@ mod tests {
     #[test]
     fn concurrent_readers_with_a_writer() {
         let shared = SharedEngine::default();
-        {
-            let mut e = shared.write();
+        shared.with_write(|e| {
             e.create_dataset("d").unwrap();
             e.load_trajectories("d", (0..12).map(|i| traj(i, i as f64 * 10.0)).collect())
                 .unwrap();
-        }
+        });
         let reads = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for _ in 0..4 {
@@ -101,8 +176,7 @@ mod tests {
         }
         // A writer interleaves with the readers.
         shared
-            .write()
-            .load_trajectories("d", vec![traj(99, 500.0)])
+            .with_write(|e| e.load_trajectories("d", vec![traj(99, 500.0)]))
             .unwrap();
         for h in handles {
             h.join().unwrap();
@@ -112,5 +186,52 @@ mod tests {
             shared.read().dataset_info("d").unwrap().num_trajectories,
             13
         );
+    }
+
+    #[test]
+    fn pinned_epochs_are_immutable_and_commits_advance_the_epoch() {
+        let shared = SharedEngine::default();
+        assert_eq!(shared.epoch(), 0);
+        shared.with_write(|e| e.create_dataset("d")).unwrap();
+        assert_eq!(shared.epoch(), 1);
+
+        let before = shared.pin();
+        shared
+            .with_write(|e| e.load_trajectories("d", vec![traj(1, 0.0)]))
+            .unwrap();
+        assert_eq!(shared.epoch(), 2);
+        // The pinned snapshot still shows the pre-commit state...
+        assert_eq!(before.dataset_info("d").unwrap().num_trajectories, 0);
+        // ...while a fresh pin sees the new epoch.
+        assert_eq!(shared.pin().dataset_info("d").unwrap().num_trajectories, 1);
+    }
+
+    #[test]
+    fn readers_never_block_on_a_slow_writer() {
+        let shared = SharedEngine::default();
+        shared.with_write(|e| e.create_dataset("d")).unwrap();
+        let writer = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                shared.with_write(|e| {
+                    // A deliberately long-held commit section (stand-in for a
+                    // slow BUILD INDEX).
+                    thread::sleep(Duration::from_millis(300));
+                    e.load_trajectories("d", vec![traj(1, 0.0)]).unwrap();
+                });
+            })
+        };
+        // Give the writer time to enter its commit section, then read: the
+        // pin must return far sooner than the writer finishes.
+        thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        let info = shared.read().dataset_info("d").unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(200),
+            "reader blocked on the in-flight writer"
+        );
+        assert_eq!(info.num_trajectories, 0, "the old epoch answered");
+        writer.join().unwrap();
+        assert_eq!(shared.read().dataset_info("d").unwrap().num_trajectories, 1);
     }
 }

@@ -82,6 +82,7 @@ struct BallQuery {
 /// bounds in one `[x_min, x_max, y_min, y_max]` block (32 bytes). Traversals
 /// test time first — on trajectory workloads it is the most selective axis —
 /// so the common rejected candidate touches exactly one cache line.
+#[derive(Clone)]
 pub struct PackedRTree<V> {
     // Item slabs, in STR-tile order. `values[i]` is keyed by the box
     // `(ixy[i], it[i])`.

@@ -162,6 +162,7 @@ impl OpClass for Box3OpClass {
 ///
 /// Thin wrapper around [`Gist<Box3OpClass, V>`] providing the query surface
 /// used by the voting, ReTraTree and storage layers.
+#[derive(Clone)]
 pub struct RTree3D<V> {
     tree: Gist<Box3OpClass, V>,
 }

@@ -22,9 +22,25 @@ pub struct Gist<O: OpClass, V> {
     free: Vec<usize>,
 }
 
+#[derive(Clone)]
 enum Node<K, V> {
     Internal { entries: Vec<(K, usize)> },
     Leaf { entries: Vec<(K, V)> },
+}
+
+// Manual impl: `O` itself is phantom-like (only `O::Key` is stored), so the
+// derive's `O: Clone` bound would be both unnecessary and unsatisfiable for
+// unit-less operator classes.
+impl<O: OpClass, V: Clone> Clone for Gist<O, V> {
+    fn clone(&self) -> Self {
+        Gist {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            len: self.len,
+            height: self.height,
+            free: self.free.clone(),
+        }
+    }
 }
 
 /// Structural statistics of a tree, used by the benchmarks and by tests that

@@ -24,6 +24,7 @@ use hermes_trajectory::{Mbb, TimeInterval};
 pub type IndexEntries = Vec<(Mbb, RecordLocator)>;
 
 /// Hybrid packed/dynamic index over a sub-chunk's stored records.
+#[derive(Clone)]
 pub struct LeafIndex {
     /// STR-packed base, rebuilt wholesale on reorganisation.
     packed: PackedRTree<RecordLocator>,

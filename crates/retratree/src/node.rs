@@ -37,6 +37,7 @@ impl ClusterEntry {
 /// Level-2 node: a fixed temporal sub-division of a chunk, owning its cluster
 /// entries, its outlier partition and a pg3D-Rtree over everything stored in
 /// it.
+#[derive(Clone)]
 pub struct SubChunk {
     /// The temporal interval this sub-chunk covers.
     pub interval: TimeInterval,
@@ -78,6 +79,7 @@ impl SubChunk {
 }
 
 /// Level-1 node: a fixed temporal chunk containing its sub-chunks.
+#[derive(Clone)]
 pub struct Chunk {
     /// The temporal interval this chunk covers.
     pub interval: TimeInterval,

@@ -30,6 +30,7 @@ pub struct MaintenanceStats {
 }
 
 /// The Representative Trajectory Tree.
+#[derive(Clone)]
 pub struct ReTraTree {
     pub(crate) params: ReTraTreeParams,
     /// Level-1 chunks keyed by their start time in milliseconds.

@@ -29,7 +29,7 @@
 
 use hermes_core::{ExecPolicy, HermesEngine, SharedEngine};
 use hermes_obs::serve_metrics;
-use hermes_server::{Server, ServerConfig};
+use hermes_server::{Server, ServerConfig, ServerCore};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -40,6 +40,8 @@ USAGE:
     hermes-serve [--addr <host:port> | --port <n>] [--max-connections <n>]
                  [--threads <n>] [--data-dir <dir>]
                  [--metrics-addr <host:port>] [--slow-query-ms <n>]
+                 [--core <event|threaded>] [--workers <n>]
+                 [--max-pending <n>] [--deadline-ms <n>]
 
 OPTIONS:
     --addr <host:port>       Bind address (default 127.0.0.1:8650; port 0
@@ -48,6 +50,19 @@ OPTIONS:
                              port is announced on stdout as
                              'hermes-serve listening on <addr>'
     --max-connections <n>    Simultaneous connection cap (default 64)
+    --core <event|threaded>  Concurrency core: 'event' multiplexes every
+                             socket on one readiness loop with a bounded
+                             worker pool (default on unix); 'threaded'
+                             spawns one OS thread per connection
+    --workers <n>            Statement-executing worker threads under the
+                             event core (default: sized from the machine)
+    --max-pending <n>        Most admitted-but-unanswered requests across
+                             all connections before further pipelined
+                             requests get a typed backpressure error
+                             (default 1024)
+    --deadline-ms <n>        Answer any request not completed within n
+                             milliseconds of arrival with a typed deadline
+                             error instead of its late result
     --threads <n>            Intra-query compute threads for S2T/QuT/BUILD
                              INDEX (default: HERMES_THREADS or all cores;
                              1 = serial). Clients can change it at runtime
@@ -86,6 +101,23 @@ fn main() -> ExitCode {
             "--max-connections" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => config.max_connections = n,
                 _ => return fail("--max-connections requires a positive integer"),
+            },
+            "--core" => match args.next().as_deref() {
+                Some("event") => config.core = ServerCore::Event,
+                Some("threaded") => config.core = ServerCore::Threaded,
+                _ => return fail("--core requires 'event' or 'threaded'"),
+            },
+            "--workers" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.workers = n,
+                _ => return fail("--workers requires a positive integer"),
+            },
+            "--max-pending" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.max_pending = n,
+                _ => return fail("--max-pending requires a positive integer"),
+            },
+            "--deadline-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => config.deadline_ms = Some(ms),
+                None => return fail("--deadline-ms requires a millisecond count"),
             },
             "--threads" => match args
                 .next()

@@ -2,8 +2,8 @@
 //! remote mode, the concurrency tests and the `e9_concurrent_clients` bench.
 
 use crate::protocol::{
-    read_handshake, read_response, write_handshake, write_request_traced, DecodeError, PartialInfo,
-    Request, Response,
+    read_handshake, read_response, write_handshake, write_request_traced, DecodeError, ErrorCode,
+    PartialInfo, Request, Response,
 };
 use hermes_obs::TraceContext;
 use hermes_retratree::QutPartial;
@@ -24,9 +24,14 @@ pub struct RemotePrepared(pub u32);
 pub enum ClientError {
     /// The connection broke (or could not be established).
     Io(io::Error),
-    /// The server answered with an error (SQL error, capacity, …); the
-    /// connection remains usable unless the server also closed it.
-    Server(String),
+    /// The server answered with an error frame; the connection remains
+    /// usable unless the server also closed it (capacity rejections do).
+    Server {
+        /// The failure class from the wire (v5 error frames).
+        code: ErrorCode,
+        /// Human-readable reason.
+        message: String,
+    },
     /// The server sent a response this request cannot accept.
     Protocol(String),
 }
@@ -35,7 +40,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
-            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Server { message, .. } => write!(f, "server error: {message}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -174,11 +179,26 @@ impl HermesClient {
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Writes (and flushes) one request without waiting for its response —
+    /// the pipelining half-step. The server answers every pipelined request
+    /// in order, so callers must balance each `send` with one
+    /// [`receive`](HermesClient::receive).
+    pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
         self.bytes_out += write_request_traced(&mut self.writer, request, self.trace)?;
+        Ok(())
+    }
+
+    /// Reads the next in-order response, mapping server error frames to
+    /// [`ClientError::Server`].
+    pub fn receive(&mut self) -> Result<Response, ClientError> {
         let (response, n_in) = read_response(&mut self.reader)?;
         self.bytes_in += n_in;
-        if let Response::Error { message } = response {
-            return Err(ClientError::Server(message));
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
         }
         Ok(response)
     }
@@ -314,6 +334,8 @@ impl HermesClient {
     /// Loads larger than one wire message allows are split transparently
     /// into multiple `Ingest` requests, so arbitrarily large datasets stream
     /// through the fixed [`MAX_MESSAGE_BYTES`](crate::MAX_MESSAGE_BYTES) cap.
+    /// The batches are pipelined: every request is written before the first
+    /// response is awaited, so a multi-batch load costs one round trip.
     pub fn ingest(
         &mut self,
         dataset: &str,
@@ -322,35 +344,51 @@ impl HermesClient {
         // Encoded size: 20-byte trajectory header + 24 bytes per point.
         // Batch under half the message cap to leave generous framing slack.
         const BATCH_BUDGET: usize = (crate::MAX_MESSAGE_BYTES as usize) / 2;
-        let mut total = 0u64;
+        let mut batches = 0u64;
         let mut batch_start = 0;
         let mut batch_bytes = 0usize;
         for (i, t) in trajectories.iter().enumerate() {
             let encoded = 20 + 24 * t.points().len();
             if batch_bytes + encoded > BATCH_BUDGET && i > batch_start {
-                total += self.ingest_batch(dataset, &trajectories[batch_start..i])?;
+                self.send(&Request::Ingest {
+                    dataset: dataset.to_string(),
+                    trajectories: trajectories[batch_start..i].to_vec(),
+                })?;
+                batches += 1;
                 batch_start = i;
                 batch_bytes = 0;
             }
             batch_bytes += encoded;
         }
-        total += self.ingest_batch(dataset, &trajectories[batch_start..])?;
-        Ok(total)
-    }
-
-    fn ingest_batch(
-        &mut self,
-        dataset: &str,
-        trajectories: &[Trajectory],
-    ) -> Result<u64, ClientError> {
-        match self.round_trip(&Request::Ingest {
+        self.send(&Request::Ingest {
             dataset: dataset.to_string(),
-            trajectories: trajectories.to_vec(),
-        })? {
-            Response::Command(status) => Ok(status.affected),
-            other => Err(ClientError::Protocol(format!(
-                "expected a Command response, got {other:?}"
-            ))),
+            trajectories: trajectories[batch_start..].to_vec(),
+        })?;
+        batches += 1;
+
+        // Drain every pipelined response even after a failure — leaving
+        // responses unread would desynchronize the connection for the next
+        // request. The first failure wins; I/O errors abort (the stream is
+        // gone anyway).
+        let mut total = 0u64;
+        let mut first_err = None;
+        for _ in 0..batches {
+            match self.receive() {
+                Ok(Response::Command(status)) => total += status.affected,
+                Ok(other) => {
+                    first_err.get_or_insert(ClientError::Protocol(format!(
+                        "expected a Command response, got {other:?}"
+                    )));
+                }
+                Err(e @ ClientError::Io(_)) => return Err(e),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
         }
     }
 }

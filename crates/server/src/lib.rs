@@ -2,17 +2,24 @@
 //!
 //! The network subsystem: Hermes as a process instead of a library.
 //!
-//! Three layers, all `std`-only (`std::net` + `std::thread`):
+//! Three layers, all `std`-only (`std::net` + `std::thread` + raw
+//! `epoll`/`poll(2)` bindings):
 //!
 //! - [`protocol`] — a length-prefixed binary wire protocol whose payloads are
 //!   the engine's own typed [`Value`](hermes_sql::Value)/
-//!   [`Frame`](hermes_sql::Frame) results (layouts in `docs/PROTOCOL.md`);
-//! - [`server`] — a thread-per-connection TCP server where every connection
-//!   gets its own [`Session`](hermes_sql::Session) over one shared,
-//!   read/write-locked engine, plus [`metrics`] surfaced through
-//!   `SHOW STATS`;
+//!   [`Frame`](hermes_sql::Frame) results, with typed error frames
+//!   ([`ErrorCode`]) for admission-control rejections (layouts in
+//!   `docs/PROTOCOL.md`);
+//! - [`server`] — a TCP server where every connection gets its own
+//!   [`Session`](hermes_sql::Session) over one shared engine publishing
+//!   immutable snapshot epochs. The default core on unix is a
+//!   readiness-driven event loop (pipelining, per-query deadlines, bounded
+//!   in-flight work); a thread-per-connection core remains as fallback and
+//!   baseline. Counters in [`metrics`] surface through `SHOW STATS`;
 //! - [`client`] — [`HermesClient`], the blocking client library used by
-//!   `hermes-cli --connect`, the tests and the benchmarks.
+//!   `hermes-cli --connect`, the tests and the benchmarks, now with
+//!   explicit [`client::HermesClient::send`]/[`client::HermesClient::receive`]
+//!   halves for request pipelining.
 //!
 //! ```no_run
 //! use hermes_core::SharedEngine;
@@ -30,7 +37,11 @@
 //! ```
 
 pub mod client;
+#[cfg(unix)]
+mod event_loop;
 pub mod metrics;
+#[cfg(unix)]
+mod poll;
 pub mod protocol;
 pub mod server;
 pub mod shard;
@@ -39,7 +50,7 @@ pub mod traceview;
 pub use client::{ClientError, ConnectOptions, HermesClient, RemotePrepared};
 pub use metrics::{LatencyHistogram, ServerMetrics, LATENCY_BUCKETS_US};
 pub use protocol::{
-    DecodeError, PartialInfo, Request, Response, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
+    DecodeError, ErrorCode, PartialInfo, Request, Response, MAX_MESSAGE_BYTES, PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerCore, ServerHandle};
 pub use traceview::{sniff_trace_text, trace_outcome, traces_outcome, TraceQuery};

@@ -98,6 +98,16 @@ pub struct ServerMetrics {
     pub bytes_in: Arc<Counter>,
     /// Bytes written to client sockets.
     pub bytes_out: Arc<Counter>,
+    /// Requests parsed off a socket and waiting for an executor slot.
+    pub pending_requests: Arc<Gauge>,
+    /// Requests currently executing on the worker pool.
+    pub inflight_queries: Arc<Gauge>,
+    /// Requests whose deadline expired before a result could be sent.
+    pub deadline_misses: Arc<Counter>,
+    /// Requests refused because the pending-work bound was reached.
+    pub backpressure_rejections: Arc<Counter>,
+    /// Engine epoch observed by the most recent request.
+    pub epoch: Arc<Gauge>,
     /// Per-query latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -120,7 +130,7 @@ impl ServerMetrics {
                 "Connections admitted into a session",
             ),
             connections_rejected: registry.counter(
-                "hermes_server_connections_rejected_total",
+                "hermes_server_rejected_connections_total",
                 "Connections turned away at the connection cap",
             ),
             connections_active: registry.gauge(
@@ -146,6 +156,26 @@ impl ServerMetrics {
             bytes_out: registry.counter(
                 "hermes_server_bytes_out_total",
                 "Bytes written to client sockets",
+            ),
+            pending_requests: registry.gauge(
+                "hermes_server_pending_requests",
+                "Requests parsed off a socket and waiting for an executor slot",
+            ),
+            inflight_queries: registry.gauge(
+                "hermes_server_inflight_queries",
+                "Requests currently executing on the worker pool",
+            ),
+            deadline_misses: registry.counter(
+                "hermes_server_deadline_misses_total",
+                "Requests whose deadline expired before a result could be sent",
+            ),
+            backpressure_rejections: registry.counter(
+                "hermes_server_backpressure_rejections_total",
+                "Requests refused because the pending-work bound was reached",
+            ),
+            epoch: registry.gauge(
+                "hermes_server_epoch",
+                "Engine epoch observed by the most recent request",
             ),
             latency: LatencyHistogram::from_registry(registry),
         }
@@ -175,6 +205,23 @@ impl ServerMetrics {
             ("slow_queries".to_string(), self.slow_queries.get() as i64),
             ("bytes_in".to_string(), self.bytes_in.get() as i64),
             ("bytes_out".to_string(), self.bytes_out.get() as i64),
+            (
+                "pending_requests".to_string(),
+                self.pending_requests.get() as i64,
+            ),
+            (
+                "inflight_queries".to_string(),
+                self.inflight_queries.get() as i64,
+            ),
+            (
+                "deadline_misses".to_string(),
+                self.deadline_misses.get() as i64,
+            ),
+            (
+                "backpressure_rejections".to_string(),
+                self.backpressure_rejections.get() as i64,
+            ),
+            ("epoch".to_string(), self.epoch.get() as i64),
             (
                 "latency_us_total".to_string(),
                 self.latency.total_us() as i64,

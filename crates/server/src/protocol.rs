@@ -45,7 +45,11 @@ pub const MAX_MESSAGE_BYTES: u32 = 64 * 1024 * 1024;
 /// `kernel_pruned`, two `u64`s after the phase timings) to the shard-partial
 /// stats block, so the coordinator's merged `QutStats` carries the pruning
 /// ladder's work counters across the wire.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// v5 prefixed the error-response payload with a one-byte [`ErrorCode`]
+/// (query / protocol / capacity / backpressure / deadline) so clients can
+/// distinguish admission-control rejections from statement failures.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Magic bytes opening the connection preamble.
 pub const HANDSHAKE_MAGIC: [u8; 4] = *b"HRMS";
@@ -218,8 +222,11 @@ pub enum Response {
         /// Handle to pass to [`Request::ExecutePrepared`].
         handle: u32,
     },
-    /// The request failed; the connection stays usable.
+    /// The request failed; the connection stays usable (except after a
+    /// [`ErrorCode::Capacity`] rejection, which the server closes behind).
     Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
         /// Human-readable reason.
         message: String,
     },
@@ -234,7 +241,52 @@ pub enum Response {
     InfoPartial(PartialInfo),
 }
 
+/// Failure class carried by every [`Response::Error`] frame (wire byte, v5).
+///
+/// Unknown bytes from a future peer decode as [`ErrorCode::Query`]; encoding
+/// is exactly the discriminant, so frames re-encoded by the coordinator keep
+/// their class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Statement-level failure (unknown dataset, bad parameters, …); the
+    /// default class.
+    #[default]
+    Query = 0,
+    /// Protocol-level failure (malformed frame, oversized result, …).
+    Protocol = 1,
+    /// Admission refused: the server is at its connection cap. The server
+    /// closes the connection after this frame.
+    Capacity = 2,
+    /// Admission refused: the in-flight request budget is exhausted; the
+    /// request was never executed and can be retried.
+    Backpressure = 3,
+    /// The per-query deadline expired before (or while) the query ran; no
+    /// result is returned past a deadline.
+    Deadline = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Protocol,
+            2 => ErrorCode::Capacity,
+            3 => ErrorCode::Backpressure,
+            4 => ErrorCode::Deadline,
+            _ => ErrorCode::Query,
+        }
+    }
+}
+
 impl Response {
+    /// A [`Response::Error`] of the default [`ErrorCode::Query`] class.
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            code: ErrorCode::Query,
+            message: message.into(),
+        }
+    }
+
     /// Converts a row/command response into the typed [`QueryOutcome`] the
     /// local execution path produces, so remote and local callers handle one
     /// result type.
@@ -882,7 +934,8 @@ fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             w.u32(*handle);
             RESP_PREPARED
         }
-        Response::Error { message } => {
+        Response::Error { code, message } => {
+            w.u8(*code as u8);
             w.str(message);
             RESP_ERROR
         }
@@ -938,7 +991,10 @@ fn decode_response(kind: u8, payload: &[u8]) -> Result<Response, DecodeError> {
             affected: r.u64()?,
         }),
         RESP_PREPARED => Response::Prepared { handle: r.u32()? },
-        RESP_ERROR => Response::Error { message: r.str()? },
+        RESP_ERROR => Response::Error {
+            code: ErrorCode::from_u8(r.u8()?),
+            message: r.str()?,
+        },
         RESP_QUT_PARTIAL => Response::QutPartial(read_qut_partial(&mut r)?),
         RESP_COUNT => Response::Count(r.u64()?),
         RESP_TRAJECTORIES => {
@@ -1272,7 +1328,16 @@ mod tests {
             }),
             Response::Prepared { handle: 3 },
             Response::Error {
+                code: ErrorCode::Query,
                 message: "unknown dataset 'x'".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Backpressure,
+                message: "server overloaded: 1024 requests already pending".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Deadline,
+                message: "deadline exceeded: request not answered within 5ms".into(),
             },
             Response::QutPartial(sample_partial()),
             Response::QutPartial(QutPartial::default()),

@@ -1,21 +1,30 @@
-//! The TCP server: a `std::net`/`std::thread` accept loop giving every
-//! connection its own [`Session`] over one [`SharedEngine`].
+//! The TCP server: every connection gets its own [`Session`] over one
+//! [`SharedEngine`], behind one of two interchangeable cores.
 //!
-//! Concurrency model: thread-per-connection behind a configurable cap. Each
-//! connection thread owns a session (and thus its own prepared-statement
-//! cache) whose backend is the shared engine — read statements execute in
-//! parallel under the engine's read lock while `BUILD INDEX`, DDL and ingest
-//! serialize through the write lock. Nothing here is async: the workload is
-//! long-running analytical queries, where a blocked thread is the cheap part.
+//! The default core on unix ([`ServerCore::Event`], `crate::event_loop`) is
+//! a readiness-driven event loop: one thread multiplexes every socket
+//! through `epoll`/`poll(2)`, parses pipelined frames into per-connection
+//! queues, and hands statements to a small worker pool — so ten thousand
+//! idle connections cost file descriptors, not stacks. Read statements pin
+//! the engine's published snapshot epoch and never block; writes serialize
+//! through the engine's commit mutex and publish new epochs.
+//!
+//! The fallback core ([`ServerCore::Threaded`]) is the original
+//! thread-per-connection loop behind a connection cap — still useful on
+//! non-unix targets and as the A/B baseline for the concurrency benchmarks.
+//! Both cores answer through the same `execute_request` path, so frames
+//! are byte-identical between them.
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    read_handshake, read_request, write_handshake, write_response, Request, Response,
+    read_handshake, read_request, write_handshake, write_response, ErrorCode, Request, Response,
 };
 use crate::shard;
 use crate::traceview::{self, TraceQuery};
 use hermes_core::{EngineError, SharedEngine};
-use hermes_obs::{next_id, slow_query_line, Registry, Sample, SampleValue, Span, SpanStore};
+use hermes_obs::{
+    next_id, slow_query_line, Registry, Sample, SampleValue, Span, SpanStore, TraceContext,
+};
 use hermes_retratree::OwnedSlice;
 use hermes_sql::{
     push_stat, sort_stats_rows, CommandStatus, CommandTag, Prepared, QueryOutcome, Scalar, Session,
@@ -27,18 +36,57 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Which concurrency core a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// Readiness-driven event loop (`epoll`/`poll(2)`) with a bounded worker
+    /// pool. The default on unix; on other targets it falls back to
+    /// [`ServerCore::Threaded`].
+    Event,
+    /// One OS thread per connection behind the connection cap.
+    Threaded,
+}
+
+impl Default for ServerCore {
+    fn default() -> Self {
+        if cfg!(unix) {
+            ServerCore::Event
+        } else {
+            ServerCore::Threaded
+        }
+    }
+}
 
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Most simultaneous connections admitted; further clients receive an
-    /// error response to their first request and are disconnected.
+    /// Most simultaneous connections admitted; further clients receive a
+    /// [`ErrorCode::Capacity`] error response to their first request and are
+    /// disconnected.
     pub max_connections: usize,
     /// When set, any statement slower than this many milliseconds bumps the
     /// slow-query counter and writes one structured JSON line (with its trace
     /// id) to stderr. `None` disables the slow-query log.
     pub slow_query_ms: Option<u64>,
+    /// Which concurrency core to run.
+    pub core: ServerCore,
+    /// Worker threads executing statements under the event core; `0` sizes
+    /// the pool from the machine (`available_parallelism`, clamped to
+    /// `[2, 8]`). Ignored by the threaded core.
+    pub workers: usize,
+    /// Most requests admitted but not yet answered across all connections
+    /// (event core). Further pipelined requests are answered with an
+    /// [`ErrorCode::Backpressure`] error without executing.
+    pub max_pending: usize,
+    /// Most requests queued on one connection before the event loop stops
+    /// reading from its socket (TCP backpressure) until the queue drains.
+    pub max_conn_pending: usize,
+    /// When set, a request not fully answered within this many milliseconds
+    /// of arrival is answered with an [`ErrorCode::Deadline`] error instead
+    /// of its (late) result.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -46,22 +94,27 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             slow_query_ms: None,
+            core: ServerCore::default(),
+            workers: 0,
+            max_pending: 1024,
+            max_conn_pending: 128,
+            deadline_ms: None,
         }
     }
 }
 
 /// A bound-but-not-yet-running server.
 pub struct Server {
-    listener: TcpListener,
-    engine: SharedEngine,
-    config: ServerConfig,
-    metrics: Arc<ServerMetrics>,
-    registry: Arc<Registry>,
-    spans: Arc<SpanStore>,
-    shutdown: Arc<AtomicBool>,
+    pub(crate) listener: TcpListener,
+    pub(crate) engine: SharedEngine,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) spans: Arc<SpanStore>,
+    pub(crate) shutdown: Arc<AtomicBool>,
     /// Live connection sockets, so [`ServerHandle::kill`] can cut sessions
     /// mid-flight (simulating a crashed shard in tests).
-    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    pub(crate) conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
 }
 
 impl Server {
@@ -112,8 +165,19 @@ impl Server {
         Arc::clone(&self.spans)
     }
 
-    /// Runs the accept loop on the calling thread until shut down.
+    /// Runs the server on the calling thread until shut down, dispatching to
+    /// the configured [`ServerCore`].
     pub fn run(self) -> io::Result<()> {
+        match self.config.core {
+            #[cfg(unix)]
+            ServerCore::Event => crate::event_loop::run(self),
+            _ => self.run_threaded(),
+        }
+    }
+
+    /// The thread-per-connection core: one blocking accept loop, one OS
+    /// thread per admitted session.
+    fn run_threaded(self) -> io::Result<()> {
         let mut next_conn_id: u64 = 0;
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -143,9 +207,17 @@ impl Server {
             let metrics = Arc::clone(&self.metrics);
             let spans = Arc::clone(&self.spans);
             let slow_query_ms = self.config.slow_query_ms;
+            let deadline_ms = self.config.deadline_ms;
             let conns = Arc::clone(&self.conns);
             thread::spawn(move || {
-                let _ = handle_connection(stream, engine, &metrics, &spans, slow_query_ms);
+                let env = RequestEnv {
+                    engine: &engine,
+                    metrics: &metrics,
+                    spans: &spans,
+                    slow_query_ms,
+                    deadline_ms,
+                };
+                let _ = handle_connection(stream, &env);
                 metrics.connections_active.dec();
                 conns.lock().unwrap().retain(|(id, _)| *id != conn_id);
             });
@@ -251,6 +323,14 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Builds the typed error frame for a connection turned away at the cap.
+pub(crate) fn capacity_error(max_connections: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Capacity,
+        message: format!("server at connection capacity ({max_connections} active)"),
+    }
+}
+
 /// Turns away a connection over the cap. The client's first request is read
 /// (with a timeout, so a silent client cannot stall the accept loop) before
 /// the error response goes out — answering before the request arrives would
@@ -268,25 +348,92 @@ fn reject_connection(stream: TcpStream, max_connections: usize) {
         return;
     }
     let _ = read_request(&mut reader);
-    let _ = write_response(
-        &mut writer,
-        &Response::Error {
-            message: format!("server at connection capacity ({max_connections} active)"),
-        },
-    );
+    let _ = write_response(&mut writer, &capacity_error(max_connections));
 }
 
-/// Per-connection request loop: read a request, answer it through the
-/// connection's session, record metrics and a span, repeat until the client
-/// hangs up.
-fn handle_connection(
-    stream: TcpStream,
-    engine: SharedEngine,
-    metrics: &ServerMetrics,
-    spans: &SpanStore,
-    slow_query_ms: Option<u64>,
-) -> io::Result<()> {
+/// Everything a request needs besides the connection's own session state.
+/// Both cores build one of these and answer through [`execute_request`].
+pub(crate) struct RequestEnv<'a> {
+    /// The shared engine (epoch publication source).
+    pub(crate) engine: &'a SharedEngine,
+    /// The server's counters.
+    pub(crate) metrics: &'a ServerMetrics,
+    /// The span store behind `SHOW TRACE`.
+    pub(crate) spans: &'a SpanStore,
+    /// Slow-query log threshold.
+    pub(crate) slow_query_ms: Option<u64>,
+    /// Per-request deadline.
+    pub(crate) deadline_ms: Option<u64>,
+}
+
+/// Builds the typed error frame for a request that overran its deadline.
+pub(crate) fn deadline_error(deadline_ms: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::Deadline,
+        message: format!("deadline exceeded: request not answered within {deadline_ms}ms"),
+    }
+}
+
+/// Fully answers one request: deadline admission, trace planning, execution,
+/// metric accounting, span recording, deadline enforcement on the way out.
+/// `received` is when the request was parsed off the socket — under the
+/// event core that can be well before execution starts, which is exactly
+/// what the deadline must measure.
+pub(crate) fn execute_request(
+    env: &RequestEnv<'_>,
+    session: &mut Session<SharedEngine>,
+    prepared: &mut Vec<Prepared>,
+    request: Request,
+    inbound_trace: Option<TraceContext>,
+    received: Instant,
+) -> Response {
+    let metrics = env.metrics;
+    let deadline = env.deadline_ms.map(Duration::from_millis);
+    if let (Some(deadline), Some(ms)) = (deadline, env.deadline_ms) {
+        if received.elapsed() > deadline {
+            // Already late before executing: don't burn a worker on a result
+            // the client has been told not to wait for.
+            metrics.deadline_misses.inc();
+            metrics.query_errors.inc();
+            return deadline_error(ms);
+        }
+    }
+    let plan = trace_plan(&request, session, prepared);
+    let started = Instant::now();
+    let mut response = execute(session, prepared, env.engine, metrics, env.spans, request);
+    let elapsed = started.elapsed();
+    if let (Some(deadline), Some(ms)) = (deadline, env.deadline_ms) {
+        if received.elapsed() > deadline {
+            metrics.deadline_misses.inc();
+            response = deadline_error(ms);
+        }
+    }
+    metrics.latency.record(elapsed);
+    match &response {
+        Response::Error { .. } => metrics.query_errors.inc(),
+        _ => metrics.queries_served.inc(),
+    };
+    metrics.epoch.set(env.engine.epoch());
+    if let Some(plan) = plan {
+        record_request_span(
+            plan,
+            &response,
+            inbound_trace,
+            started,
+            elapsed,
+            env.spans,
+            metrics,
+            env.slow_query_ms,
+        );
+    }
+    response
+}
+
+/// Per-connection request loop of the threaded core: read a request, answer
+/// it through the connection's session, repeat until the client hangs up.
+fn handle_connection(stream: TcpStream, env: &RequestEnv<'_>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    let metrics = env.metrics;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 
@@ -295,16 +442,11 @@ fn handle_connection(
     write_handshake(&mut writer)?;
     if let Err(e) = read_handshake(&mut reader) {
         metrics.query_errors.inc();
-        let _ = write_response(
-            &mut writer,
-            &Response::Error {
-                message: e.to_string(),
-            },
-        );
+        let _ = write_response(&mut writer, &protocol_error(&e));
         return Ok(());
     }
 
-    let mut session: Session<SharedEngine> = Session::new(engine.clone());
+    let mut session: Session<SharedEngine> = Session::new(env.engine.clone());
     // Wire handles are indexes into this connection-private table, so one
     // connection can never execute (or even see) another's statements.
     let mut prepared: Vec<Prepared> = Vec::new();
@@ -317,46 +459,21 @@ fn handle_connection(
                 // A malformed frame leaves the stream unparseable: report and
                 // drop the connection rather than guessing at a resync point.
                 metrics.query_errors.inc();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::Error {
-                        message: e.to_string(),
-                    },
-                );
+                let _ = write_response(&mut writer, &protocol_error(&e));
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         metrics.bytes_in.add(n_in);
-
-        let plan = trace_plan(&request, &session, &prepared);
-        let started = Instant::now();
-        let response = answer(
+        let received = Instant::now();
+        let response = execute_request(
+            env,
             &mut session,
             &mut prepared,
-            &engine,
-            metrics,
-            spans,
             request,
+            inbound_trace,
+            received,
         );
-        let elapsed = started.elapsed();
-        metrics.latency.record(elapsed);
-        match &response {
-            Response::Error { .. } => metrics.query_errors.inc(),
-            _ => metrics.queries_served.inc(),
-        };
-        if let Some(plan) = plan {
-            record_request_span(
-                plan,
-                &response,
-                inbound_trace,
-                started,
-                elapsed,
-                spans,
-                metrics,
-                slow_query_ms,
-            );
-        }
         let n_out = match write_response(&mut writer, &response) {
             Ok(n) => n,
             // An over-cap result frame is rejected before any byte hits the
@@ -364,16 +481,27 @@ fn handle_connection(
             // instead of silently dropping the connection.
             Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
                 metrics.query_errors.inc();
-                write_response(
-                    &mut writer,
-                    &Response::Error {
-                        message: format!("result too large for the wire protocol: {e}"),
-                    },
-                )?
+                write_response(&mut writer, &oversize_error(&e))?
             }
             Err(e) => return Err(e),
         };
         metrics.bytes_out.add(n_out);
+    }
+}
+
+/// Builds the typed error frame for an unparseable or incompatible peer.
+pub(crate) fn protocol_error(e: &io::Error) -> Response {
+    Response::Error {
+        code: ErrorCode::Protocol,
+        message: e.to_string(),
+    }
+}
+
+/// Builds the typed error frame for a result frame over the wire cap.
+pub(crate) fn oversize_error(e: &io::Error) -> Response {
+    Response::Error {
+        code: ErrorCode::Protocol,
+        message: format!("result too large for the wire protocol: {e}"),
     }
 }
 
@@ -498,7 +626,10 @@ fn process_origin() -> Instant {
     *ORIGIN.get_or_init(Instant::now)
 }
 
-fn answer(
+/// Answers one request against the connection's session. Named `execute`
+/// because it is the execution step of [`execute_request`], which wraps it
+/// with deadline enforcement and accounting.
+fn execute(
     session: &mut Session<SharedEngine>,
     prepared: &mut Vec<Prepared>,
     engine: &SharedEngine,
@@ -518,9 +649,7 @@ fn answer(
             }
             None => match session.execute(&sql) {
                 Ok(outcome) => finish_outcome(outcome, is_show_stats_text(&sql), metrics),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(e.to_string()),
             },
         },
         Request::Prepare { sql } => match session.prepare(&sql) {
@@ -538,17 +667,13 @@ fn answer(
                     handle: wire as u32,
                 }
             }
-            Err(e) => Response::Error {
-                message: e.to_string(),
-            },
+            Err(e) => Response::error(e.to_string()),
         },
         Request::ExecutePrepared { handle, params } => {
             let Some(&session_handle) = prepared.get(handle as usize) else {
-                return Response::Error {
-                    message: format!(
-                        "unknown prepared statement handle {handle} on this connection"
-                    ),
-                };
+                return Response::error(format!(
+                    "unknown prepared statement handle {handle} on this connection"
+                ));
             };
             // Prepared trace inspection (`SHOW TRACE $1`) is intercepted like
             // its direct-text form, binding the id from the parameters.
@@ -561,7 +686,7 @@ fn answer(
                         Ok(id) => {
                             finish_outcome(traceview::trace_outcome(spans, id), false, metrics)
                         }
-                        Err(message) => Response::Error { message },
+                        Err(message) => Response::error(message),
                     };
                 }
                 _ => {}
@@ -572,9 +697,7 @@ fn answer(
             );
             match session.execute_prepared(session_handle, &params) {
                 Ok(outcome) => finish_outcome(outcome, show_stats, metrics),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(e.to_string()),
             }
         }
         Request::Ingest {
@@ -596,9 +719,7 @@ fn answer(
                     tag: CommandTag::Ingest,
                     affected: n,
                 }),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(e.to_string()),
             }
         }
         Request::QutPartial {
@@ -609,14 +730,12 @@ fn answer(
             we,
             overrides,
         } => match owned_slice(owned_start_ms, owned_end_ms) {
-            Err(message) => Response::Error { message },
+            Err(message) => Response::error(message),
             Ok(owned) => {
                 let w = window(wi, we);
                 match engine.with_read(|e| shard::qut_partial(e, &dataset, &owned, &w, overrides)) {
                     Ok(partial) => Response::QutPartial(partial),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::error(e.to_string()),
                 }
             }
         },
@@ -627,14 +746,12 @@ fn answer(
             wi,
             we,
         } => match owned_slice(owned_start_ms, owned_end_ms) {
-            Err(message) => Response::Error { message },
+            Err(message) => Response::error(message),
             Ok(owned) => {
                 let w = window(wi, we);
                 match engine.with_read(|e| e.owned_range_count(&dataset, &owned, &w)) {
                     Ok(n) => Response::Count(n as u64),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::error(e.to_string()),
                 }
             }
         },
@@ -643,13 +760,11 @@ fn answer(
             owned_start_ms,
             owned_end_ms,
         } => match owned_slice(owned_start_ms, owned_end_ms) {
-            Err(message) => Response::Error { message },
+            Err(message) => Response::error(message),
             Ok(owned) => {
                 match engine.with_read(|e| shard::gather_trajectories(e, &dataset, &owned)) {
                     Ok(trajectories) => Response::Trajectories(trajectories),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::error(e.to_string()),
                 }
             }
         },
@@ -658,12 +773,10 @@ fn answer(
             owned_start_ms,
             owned_end_ms,
         } => match owned_slice(owned_start_ms, owned_end_ms) {
-            Err(message) => Response::Error { message },
+            Err(message) => Response::error(message),
             Ok(owned) => match engine.with_read(|e| shard::info_partial(e, &dataset, &owned)) {
                 Ok(info) => Response::InfoPartial(info),
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::error(e.to_string()),
             },
         },
     }

@@ -73,7 +73,9 @@ fn queries_round_trip_with_typed_frames() {
     assert!(qut.stats().is_some(), "QuT statistics frame rides along");
 
     let err = client.query("SELECT INFO(nope);").unwrap_err();
-    assert!(matches!(err, ClientError::Server(ref m) if m.contains("unknown dataset")));
+    assert!(
+        matches!(err, ClientError::Server { ref message, .. } if message.contains("unknown dataset"))
+    );
     // The connection survives a server-side error.
     assert_eq!(client.query("SHOW DATASETS;").unwrap().num_rows(), 1);
 
@@ -161,7 +163,7 @@ fn prepared_statements_are_isolated_per_connection() {
         .execute_prepared(ha, &[Value::Int(0), Value::Int(1_800_000)])
         .unwrap_err();
     assert!(
-        matches!(err, ClientError::Server(ref m) if m.contains("unknown prepared statement")),
+        matches!(err, ClientError::Server { ref message, .. } if message.contains("unknown prepared statement")),
         "{err}"
     );
 
@@ -192,7 +194,7 @@ fn connection_cap_rejects_excess_clients() {
     let mut c3 = HermesClient::connect(server.addr()).unwrap();
     let err = c3.query("SHOW DATASETS;").unwrap_err();
     assert!(
-        matches!(err, ClientError::Server(ref m) if m.contains("capacity")),
+        matches!(err, ClientError::Server { ref message, .. } if message.contains("capacity")),
         "{err}"
     );
     assert_eq!(server.metrics().connections_rejected.get(), 1);
@@ -259,7 +261,7 @@ fn set_threads_is_honored_over_the_wire_unchanged() {
     // Rejection carries the arity-style message across the wire.
     let err = a.query("SET threads = 0;").unwrap_err();
     assert!(
-        matches!(err, ClientError::Server(ref m) if m.contains("positive thread count")),
+        matches!(err, ClientError::Server { ref message, .. } if message.contains("positive thread count")),
         "{err:?}"
     );
     server.shutdown();

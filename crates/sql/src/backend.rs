@@ -2,11 +2,12 @@
 //!
 //! A [`EngineBackend`] hides whether the session owns exclusive access to a
 //! [`HermesEngine`] (`&mut` — the single-threaded CLI and tests) or shares
-//! one behind a lock (a [`SharedEngine`] — every server connection). The
-//! shared implementation is where the read/write split pays off: statements
-//! for which [`is_write_statement`] is false run under the read lock, so any
-//! number of sessions answer queries in parallel while `BUILD INDEX`, ingest
-//! and DDL serialize through the write lock.
+//! one through epoch publication (a [`SharedEngine`] — every server
+//! connection). The shared implementation is where the read/write split pays
+//! off: statements for which [`is_write_statement`] is false pin the
+//! published snapshot and never block, so any number of sessions answer
+//! queries in parallel while `BUILD INDEX`, ingest and DDL serialize through
+//! the commit mutex and publish new epochs.
 
 use crate::executor::{execute_read_statement, execute_statement, is_write_statement, SqlError};
 use crate::frame::QueryOutcome;
@@ -28,7 +29,7 @@ impl EngineBackend for &mut HermesEngine {
 impl EngineBackend for SharedEngine {
     fn execute(&mut self, stmt: &Statement) -> Result<QueryOutcome, SqlError> {
         if is_write_statement(stmt) {
-            execute_statement(&mut self.write(), stmt)
+            self.with_write(|e| execute_statement(e, stmt))
         } else {
             execute_read_statement(&self.read(), stmt)
         }

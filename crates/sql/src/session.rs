@@ -316,15 +316,14 @@ mod tests {
     fn sessions_share_one_engine_through_a_shared_backend() {
         use hermes_core::SharedEngine;
         let shared = SharedEngine::default();
-        {
-            let mut e = shared.write();
+        shared.with_write(|e| {
             e.create_dataset("flights").unwrap();
             e.load_trajectories(
                 "flights",
                 (0..12).map(|i| traj(i, i as f64 * 10.0)).collect(),
             )
             .unwrap();
-        }
+        });
         let mut a = Session::new(shared.clone());
         let mut b = Session::new(shared.clone());
         a.execute("BUILD INDEX ON flights WITH CHUNK 4 HOURS;")

@@ -48,6 +48,22 @@ pub struct BufferPool<T> {
     inner: Mutex<Inner<T>>,
 }
 
+// Manual impl: the clone gets its own mutex (and therefore its own frames),
+// so the copy and the original never see each other's cache traffic.
+impl<T: Clone> Clone for BufferPool<T> {
+    fn clone(&self) -> Self {
+        let g = self.lock();
+        BufferPool {
+            inner: Mutex::new(Inner {
+                capacity: g.capacity,
+                clock: g.clock,
+                frames: g.frames.clone(),
+                stats: g.stats,
+            }),
+        }
+    }
+}
+
 impl<T: Clone> BufferPool<T> {
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
         self.inner.lock().expect("buffer pool lock poisoned")

@@ -28,7 +28,7 @@ pub struct DatasetMeta {
 }
 
 /// Name → dataset registry.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     by_name: HashMap<String, DatasetId>,
     by_id: HashMap<DatasetId, DatasetMeta>,

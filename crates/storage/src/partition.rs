@@ -153,6 +153,21 @@ pub struct PartitionStore {
     buffer: Arc<BufferPool<Page>>,
 }
 
+// Manual impl: the buffer pool must NOT be shared through the `Arc` — a
+// clone that kept writing pages under the same `(partition, page)` keys
+// would feed its pages to the original's readers. The clone starts from a
+// warm copy of the pool and the two diverge independently.
+impl Clone for PartitionStore {
+    fn clone(&self) -> Self {
+        PartitionStore {
+            partitions: self.partitions.clone(),
+            next_id: self.next_id,
+            page_threshold: self.page_threshold,
+            buffer: Arc::new((*self.buffer).clone()),
+        }
+    }
+}
+
 impl PartitionStore {
     /// Creates a store with the given re-clustering threshold (in pages) and
     /// buffer-pool capacity (in frames).

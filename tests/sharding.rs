@@ -358,7 +358,7 @@ fn a_dead_shard_is_named_and_survivors_keep_serving() {
     shards.remove(0).kill();
 
     match client.query(&spanning) {
-        Err(ClientError::Server(message)) => assert!(
+        Err(ClientError::Server { message, .. }) => assert!(
             message.contains("shard 's0'"),
             "error frame does not name the dead shard: {message:?}"
         ),
