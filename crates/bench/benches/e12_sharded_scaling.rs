@@ -11,7 +11,7 @@
 
 use hermes_bench::harness::{bench, report, JsonReport, Sample};
 use hermes_bench::urban_with;
-use hermes_coord::{validate_shard_map, CoordServer, Coordinator, ShardSpec};
+use hermes_coord::{validate_shard_map, CoordServer, Coordinator, FailoverPolicy, ShardSpec};
 use hermes_core::{HermesEngine, SharedEngine};
 use hermes_exec::ExecPolicy;
 use hermes_server::protocol::write_response;
@@ -20,6 +20,7 @@ use hermes_sql::{self as sql, QueryOutcome};
 use hermes_trajectory::Trajectory;
 use std::net::SocketAddr;
 use std::thread;
+use std::time::{Duration, Instant};
 
 const VEHICLES: usize = 120;
 const SEED: u64 = 0xE12;
@@ -85,6 +86,7 @@ fn spawn_topology(
         specs.push(ShardSpec {
             name: format!("s{k}"),
             addr: handle.addr().to_string(),
+            replicas: Vec::new(),
             start_ms: if k == 0 { i64::MIN } else { cuts[k - 1] },
             end_ms: if k + 1 == n_shards { i64::MAX } else { cuts[k] },
         });
@@ -102,6 +104,61 @@ fn spawn_topology(
     client.ingest("data", trajectories).expect("ingest");
     client.query(BUILD).expect("build index");
     (shards, coord)
+}
+
+fn spawn_server() -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        SharedEngine::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind shard")
+    .spawn()
+    .expect("spawn shard")
+}
+
+/// The replicated topology: 2 shards × 2 replicas. Writes fan to all four
+/// servers, so either endpoint of a shard answers reads byte-identically —
+/// which is what makes the failover-latency measurement meaningful.
+fn spawn_replicated(
+    trajectories: &[Trajectory],
+    window: (i64, i64),
+) -> (Vec<Vec<ServerHandle>>, hermes_coord::CoordServerHandle) {
+    let cut = chunk_cuts(window, 2)[0];
+    let mut servers = Vec::new();
+    let mut specs = Vec::new();
+    for (k, (start_ms, end_ms)) in [(i64::MIN, cut), (cut, i64::MAX)].into_iter().enumerate() {
+        let replicas: Vec<ServerHandle> = (0..2).map(|_| spawn_server()).collect();
+        specs.push(ShardSpec {
+            name: format!("s{k}"),
+            addr: replicas[0].addr().to_string(),
+            replicas: replicas[1..].iter().map(|h| h.addr().to_string()).collect(),
+            start_ms,
+            end_ms,
+        });
+        servers.push(replicas);
+    }
+    validate_shard_map(&mut specs).expect("valid shard map");
+    let opts = ConnectOptions {
+        retries: 0,
+        ..ConnectOptions::default()
+    };
+    let failover = FailoverPolicy {
+        backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        ..FailoverPolicy::default()
+    };
+    let coordinator = Coordinator::with_failover(specs, opts, ExecPolicy::from_env(), failover);
+    let coord = CoordServer::bind("127.0.0.1:0", coordinator, ServerConfig::default())
+        .expect("bind coordinator")
+        .spawn()
+        .expect("spawn coordinator");
+
+    let mut client = HermesClient::connect(coord.addr()).expect("connect");
+    client.query("CREATE DATASET data;").expect("create");
+    client.ingest("data", trajectories).expect("ingest");
+    client.query(BUILD).expect("build index");
+    (servers, coord)
 }
 
 /// The result frame serialized as the wire writes it, stats stripped — the
@@ -185,6 +242,50 @@ fn main() {
         );
         samples.push(sample);
     }
+    // Replicated 2×2 topology: the same read mix with every slice served by
+    // a two-endpoint replica set, then a hard primary kill to measure how
+    // long the very next spanning QUT takes to fail over — detection plus
+    // backoff plus the replica's answer, still behind the byte gate.
+    let (mut replica_servers, coord) = spawn_replicated(&trajectories, window);
+    let addr = coord.addr();
+    let mut client = HermesClient::connect(addr).expect("connect");
+    let got = row_bytes(client.query(&qut_sql(window)).expect("gate qut"));
+    assert!(
+        got == want,
+        "replicated 2x2 QUT diverges from the single-node answer; \
+         refusing to report throughput for a wrong topology"
+    );
+    let sample = bench("replicated/2x2".to_string(), 5, || {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| thread::spawn(move || run_client(addr, window, QUERIES_PER_CLIENT)))
+            .collect();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+    });
+    let queries = CLIENTS * (QUERIES_PER_CLIENT + QUERIES_PER_CLIENT.div_ceil(4));
+    let replicated_rate = queries as f64 / (sample.median_ms / 1_000.0);
+
+    // Hard-kill s0's primary (sockets severed, no protocol goodbye) and
+    // time the next spanning QUT on an already-connected client.
+    replica_servers[0].remove(0).kill();
+    let started = Instant::now();
+    let got = row_bytes(client.query(&qut_sql(window)).expect("post-kill qut"));
+    let failover_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assert!(
+        got == want,
+        "the failed-over QUT diverges from the single-node answer"
+    );
+    json.push_with(
+        sample.clone(),
+        vec![
+            ("queries_per_s".to_string(), replicated_rate),
+            ("gate_bit_identical".to_string(), 1.0),
+            ("failover_latency_ms".to_string(), failover_ms),
+        ],
+    );
+    samples.push(sample);
+
     report("e12_sharded_scaling", &samples);
     json.write().expect("write report");
 
@@ -193,5 +294,6 @@ fn main() {
     for (n, rate) in &qps {
         eprintln!("{n:>8} {rate:>12.1}");
     }
+    eprintln!("replicated 2x2: {replicated_rate:.1} queries/s, primary-kill failover in {failover_ms:.1} ms");
     eprintln!("bit-exactness gate: all topologies matched the single-node QUT answer");
 }

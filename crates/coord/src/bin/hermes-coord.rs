@@ -3,16 +3,18 @@
 //! ```text
 //! hermes-coord --shard a=host1:8650@min..3600000 \
 //!              --shard b=host2:8650@3600000..max
+//! hermes-coord --shard a=host1:8650,host2:8650@min..max --hedge-ms 30
 //! hermes-coord --shard-map shards.toml --addr 0.0.0.0:8651
 //! hermes-coord --shard solo=host1:8650 --port 0    # ephemeral upstream port
 //! ```
 //!
-//! The coordinator owns a static shard map (temporal sub-chunk → shard),
-//! speaks the normal wire protocol downstream to each `hermes-serve` shard,
-//! and upstream exposes the same protocol — `hermes-cli --connect` works
-//! unchanged. Multi-shard reads fan out in parallel and are merged
-//! bit-identically to a single-node engine; writes route by shard key or
-//! broadcast all-or-error. See `docs/SHARDING.md`.
+//! The coordinator owns a static shard map (temporal sub-chunk → replica
+//! set), speaks the normal wire protocol downstream to each `hermes-serve`
+//! endpoint, and upstream exposes the same protocol — `hermes-cli --connect`
+//! works unchanged. Multi-shard reads fan out in parallel and are merged
+//! bit-identically to a single-node engine, failing over (and optionally
+//! hedging) across a shard's replicas; writes route by shard key or
+//! broadcast to every replica all-or-error. See `docs/SHARDING.md`.
 //!
 //! The bound address is announced on stdout as `hermes-coord listening on
 //! <addr>` so scripts can scrape the ephemeral port, mirroring
@@ -20,7 +22,8 @@
 //! listening on <addr>` announces the Prometheus endpoint the same way.
 
 use hermes_coord::{
-    parse_shard_flag, parse_shard_map, validate_shard_map, CoordServer, Coordinator, ShardSpec,
+    parse_shard_flag, parse_shard_map, validate_shard_map, CoordServer, Coordinator,
+    FailoverPolicy, ShardSpec,
 };
 use hermes_exec::ExecPolicy;
 use hermes_obs::serve_metrics;
@@ -33,18 +36,24 @@ const HELP: &str = "\
 hermes-coord — the Hermes sharding coordinator
 
 USAGE:
-    hermes-coord (--shard <name=addr[@start..end]>)... [--shard-map <file>]
+    hermes-coord (--shard <name=addr[,addr2,…][@start..end]>)...
+                 [--shard-map <file>]
                  [--addr <host:port> | --port <n>] [--max-connections <n>]
                  [--threads <n>] [--connect-timeout-ms <n>]
                  [--read-timeout-ms <n>] [--retries <n>]
+                 [--hedge-ms <n>] [--failover-backoff-ms <n>]
                  [--metrics-addr <host:port>] [--slow-query-ms <n>]
 
 OPTIONS:
-    --shard <spec>           One shard: name=addr[@start..end], where the
-                             half-open slice bounds are epoch ms, 'min' or
-                             'max' (both default to unbounded). Repeatable.
+    --shard <spec>           One shard: name=addr[,addr2,…][@start..end].
+                             The address list is the shard's replica set
+                             (primary first; replicas receive every write
+                             and serve reads on failover). The half-open
+                             slice bounds are epoch ms, 'min' or 'max'
+                             (both default to unbounded). Repeatable.
     --shard-map <file>       Shard map file: [[shard]] tables with name,
-                             addr and optional start_ms / end_ms keys.
+                             addr (same comma-separated replica syntax)
+                             and optional start_ms / end_ms keys.
                              Combines with --shard flags.
     --addr <host:port>       Upstream bind address (default 127.0.0.1:8651;
                              port 0 picks an ephemeral port)
@@ -56,11 +65,19 @@ OPTIONS:
                              SET threads = n; also rebroadcasts to shards.
     --connect-timeout-ms <n> Per-attempt shard connect timeout
                              (default 5000)
-    --read-timeout-ms <n>    Per-request shard read timeout; a shard
-                             exceeding it is reported as failed
+    --read-timeout-ms <n>    Per-request shard deadline: an endpoint
+                             exceeding it fails the attempt and the read
+                             fails over to the next replica
                              (default: block forever)
-    --retries <n>            Extra connect attempts per shard dial
+    --retries <n>            Extra connect attempts per endpoint dial
                              (default 3, exponential backoff)
+    --hedge-ms <n>           Hedged reads: when a primary has not answered
+                             within n ms, fire a duplicate of the read at a
+                             replica and take the first answer (the loser
+                             is ignored). Off by default.
+    --failover-backoff-ms <n> Base pause before retrying a read on the next
+                             replica; doubles per attempt, jittered ±50%
+                             (default 10)
     --metrics-addr <h:p>     Serve the Prometheus text exposition of the
                              process metrics registry (coordinator counters
                              plus per-shard hermes_shard_* series) at
@@ -82,6 +99,7 @@ fn main() -> ExitCode {
     let mut config = ServerConfig::default();
     let mut policy = ExecPolicy::from_env();
     let mut opts = ConnectOptions::default();
+    let mut failover = FailoverPolicy::default();
     let mut shards: Vec<ShardSpec> = Vec::new();
     let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -135,6 +153,14 @@ fn main() -> ExitCode {
                 Some(n) => opts.retries = n,
                 None => return fail("--retries requires an attempt count"),
             },
+            "--hedge-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) if ms > 0 => failover.hedge = Some(Duration::from_millis(ms)),
+                _ => return fail("--hedge-ms requires a positive millisecond count"),
+            },
+            "--failover-backoff-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => failover.backoff = Duration::from_millis(ms),
+                None => return fail("--failover-backoff-ms requires a millisecond count"),
+            },
             "--metrics-addr" => match args.next() {
                 Some(a) => metrics_addr = Some(a),
                 None => return fail("--metrics-addr requires a host:port value"),
@@ -160,19 +186,19 @@ fn main() -> ExitCode {
         return fail(&e.to_string());
     }
 
-    let coordinator = Coordinator::new(shards, opts, policy);
-    // Startup health probes: report each shard's reachability, but start
-    // regardless — a shard that is still coming up will be retried on its
-    // first query, and SHOW STATS tracks liveness from then on.
-    let mut reachable = 0;
-    for (name, shard_addr, alive) in coordinator.probe_all() {
+    let coordinator = Coordinator::with_failover(shards, opts, policy, failover);
+    // Startup health probes: report each endpoint's reachability, but start
+    // regardless — an endpoint that is still coming up will be retried on
+    // its first query, and SHOW STATS tracks liveness from then on.
+    for (name, endpoint_addr, alive) in coordinator.probe_all() {
         if alive {
-            reachable += 1;
-            eprintln!("shard '{name}' ({shard_addr}): reachable");
+            eprintln!("shard '{name}' ({endpoint_addr}): reachable");
         } else {
-            eprintln!("shard '{name}' ({shard_addr}): UNREACHABLE (will retry per query)");
+            eprintln!("shard '{name}' ({endpoint_addr}): UNREACHABLE (will retry per query)");
         }
     }
+    // A shard is reachable while any endpoint of its replica set is.
+    let reachable = coordinator.shards().iter().filter(|s| s.is_alive()).count();
     let total = coordinator.shards().len();
     eprintln!("{reachable}/{total} shard(s) reachable");
 

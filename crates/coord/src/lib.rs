@@ -9,13 +9,16 @@
 //! [`HermesClient`](hermes_server::HermesClient) connections:
 //!
 //! - [`shardmap`] — the static shard map (TOML-subset file or repeated
-//!   `--shard` flags) and its partition-of-the-time-axis validation;
-//! - [`registry`] — per-shard liveness, latency/byte counters and the
-//!   connection pool, surfaced through `SHOW STATS`;
+//!   `--shard` flags), each slice owned by a **replica set** (primary plus
+//!   N replicas), and its partition-of-the-time-axis validation;
+//! - [`registry`] — per-endpoint liveness, latency/byte counters and
+//!   connection pools, plus the read-path availability machinery: failover
+//!   across the replica set with jittered backoff, and optional hedged
+//!   duplicates (`--hedge-ms`), surfaced through `SHOW STATS`;
 //! - [`router`] — verbatim forwarding for single-shard statements, parallel
 //!   fan-out plus the border-merging reassembly (bit-identical to a single
 //!   node, see `docs/SHARDING.md`) for multi-shard reads, and all-or-error
-//!   broadcasts for writes;
+//!   broadcasts to every endpoint for writes (so replicas never diverge);
 //! - [`server`] — the upstream accept loop, `hermes-server`'s
 //!   thread-per-connection shape with the engine swapped for a
 //!   [`Coordinator`].
@@ -30,7 +33,7 @@ pub mod router;
 pub mod server;
 pub mod shardmap;
 
-pub use registry::{CoordError, Shard};
+pub use registry::{CoordError, Endpoint, FailoverPolicy, ReadCall, Shard};
 pub use router::{Coordinator, ForwardSpec};
 pub use server::{CoordServer, CoordServerHandle};
 pub use shardmap::{

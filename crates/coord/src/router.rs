@@ -21,21 +21,25 @@
 //!   lifespan closed-intersects, so border sub-chunks see exactly the same
 //!   segments everywhere; `INFO` sums de-duplicate via ownership.
 //! - **Writes** (`CREATE`/`DROP`/`BUILD INDEX`/`CHECKPOINT`/`SET`)
-//!   broadcast with all-or-error semantics.
+//!   broadcast to **every endpoint of every replica set** with all-or-error
+//!   semantics — the write fan-out invariant that keeps replicas
+//!   byte-identical and makes read failover sound.
 //!
-//! Shard-answered errors are relayed **verbatim** (they match single-node
-//! texts); connection failures surface as `shard '<name>' (<addr>): …` so
-//! the failing node is always named.
+//! Reads run through [`Shard::call`]: a pipelined exchange with the replica
+//! set, failing over (and optionally hedging) across endpoints. Shard-
+//! answered errors are relayed **verbatim** (they match single-node texts);
+//! exhausted replica sets surface as `shard '<name>' (<addr>): …` so the
+//! failing node is always named.
 
-use crate::registry::{CoordError, Shard};
+use crate::registry::{CoordError, FailoverPolicy, ReadCall, Shard};
 use crate::shardmap::ShardSpec;
 use hermes_core::{DatasetInfo, EngineError};
 use hermes_exec::{ExecPolicy, Executor};
 use hermes_obs::QueryTrace;
 use hermes_retratree::{merge_qut_partials, QutParams, QutPartial, QutStats};
 use hermes_s2t::{run_s2t_naive_with, run_s2t_with, S2TParams};
-use hermes_server::protocol::{Request, Response};
-use hermes_server::{ClientError, ConnectOptions, HermesClient, ServerMetrics};
+use hermes_server::protocol::{PartialInfo, Request, Response};
+use hermes_server::{ConnectOptions, ServerMetrics};
 use hermes_sql::{
     clusters_frame, histogram_frame, info_frame, push_stat, qut_stats_frame, range_frame,
     s2t_stats_frame, sort_stats_rows, stats_frame, trace_frame, traces_frame, CommandStatus,
@@ -73,13 +77,25 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Builds a coordinator over a validated shard map (see
-    /// [`crate::validate_shard_map`]); `specs` must already be sorted by
-    /// slice start, which validation guarantees.
+    /// [`crate::validate_shard_map`]) with the default [`FailoverPolicy`];
+    /// `specs` must already be sorted by slice start, which validation
+    /// guarantees.
     pub fn new(specs: Vec<ShardSpec>, opts: ConnectOptions, policy: ExecPolicy) -> Coordinator {
+        Coordinator::with_failover(specs, opts, policy, FailoverPolicy::default())
+    }
+
+    /// Builds a coordinator with an explicit [`FailoverPolicy`] (hedging
+    /// window, retry backoff) applied to every shard's read path.
+    pub fn with_failover(
+        specs: Vec<ShardSpec>,
+        opts: ConnectOptions,
+        policy: ExecPolicy,
+        failover: FailoverPolicy,
+    ) -> Coordinator {
         Coordinator {
             shards: specs
                 .into_iter()
-                .map(|spec| Arc::new(Shard::new(spec, opts.clone())))
+                .map(|spec| Arc::new(Shard::with_policy(spec, opts.clone(), failover.clone())))
                 .collect(),
             exec: Mutex::new(Arc::new(Executor::new(policy))),
         }
@@ -94,12 +110,31 @@ impl Coordinator {
         Arc::clone(&self.exec.lock().unwrap())
     }
 
-    /// Probes every shard in parallel (one `SHOW THREADS;` round trip each)
-    /// and returns `(name, addr, alive)` per shard, in slice order.
+    /// Every `(shard_idx, endpoint_idx)` pair — the write fan-out targets.
+    fn endpoint_pairs(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, shard)| (0..shard.endpoints().len()).map(move |e| (s, e)))
+            .collect()
+    }
+
+    /// Probes every endpoint of every shard in parallel (one
+    /// `SHOW THREADS;` round trip each) and returns `(name, addr, alive)`
+    /// per endpoint, in slice order, primaries first within a shard.
     pub fn probe_all(&self) -> Vec<(String, String, bool)> {
+        let pairs = self.endpoint_pairs();
         let exec = self.exec();
-        exec.map(&self.shards, |_, s| {
-            (s.spec.name.clone(), s.spec.addr.clone(), s.probe())
+        exec.map(&pairs, |_, &(s, e)| {
+            let shard = &self.shards[s];
+            let alive = shard
+                .on_endpoint(e, |c| c.query("SHOW THREADS;").map(|_| ()))
+                .is_ok();
+            (
+                shard.spec.name.clone(),
+                shard.endpoints()[e].addr.clone(),
+                alive,
+            )
         })
     }
 
@@ -124,8 +159,10 @@ impl Coordinator {
     }
 
     /// Bulk-load entry point ([`Request::Ingest`]): routes each trajectory
-    /// to every shard whose slice its lifespan closed-intersects. Every
-    /// shard receives its (possibly empty) share so the dataset exists
+    /// to every shard whose slice its lifespan closed-intersects, and within
+    /// a shard to **every endpoint** of its replica set, all-or-error — a
+    /// replica that missed a write would stop answering bit-identically.
+    /// Every shard receives its (possibly empty) share so the dataset exists
     /// everywhere — shards auto-create datasets on first ingest, and later
     /// broadcasts (`BUILD INDEX`) assume the name resolves on all of them.
     pub fn ingest(&self, dataset: &str, trajectories: Vec<Trajectory>) -> Response {
@@ -144,9 +181,10 @@ impl Coordinator {
                     .collect()
             })
             .collect();
+        let pairs = self.endpoint_pairs();
         let exec = self.exec();
-        let results = exec.map_indices(self.shards.len(), |i| {
-            self.shards[i].with_conn(|c| c.ingest(dataset, &shares[i]).map(|_| ()))
+        let results = exec.map(&pairs, |_, &(s, e)| {
+            self.shards[s].on_endpoint(e, |c| c.ingest(dataset, &shares[s]).map(|_| ()))
         });
         for result in results {
             if let Err(e) = result {
@@ -245,15 +283,26 @@ impl Coordinator {
                 Ok(rows(frame))
             }
             Statement::ShowDatasets => {
-                let responses = self.broadcast(fwd, &[])?;
+                // A read: one (failover-capable) forward per shard suffices —
+                // replicas hold the same dataset names by the write
+                // invariant.
+                let exec = self.exec();
+                let responses = exec
+                    .map(&self.shards, |_, shard| self.forward(shard, fwd))
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?;
                 let mut names = std::collections::BTreeSet::new();
-                for response in responses.into_iter().flatten() {
-                    if let Response::Rows { frame, .. } = response {
-                        for row in frame.rows() {
-                            if let Some(Value::Text(name)) = row.first() {
-                                names.insert(name.clone());
+                for response in responses {
+                    match response {
+                        Response::Rows { frame, .. } => {
+                            for row in frame.rows() {
+                                if let Some(Value::Text(name)) = row.first() {
+                                    names.insert(name.clone());
+                                }
                             }
                         }
+                        Response::Error { message, .. } => return Err(CoordError::Data(message)),
+                        _ => {}
                     }
                 }
                 let mut frame = Frame::with_columns(&[("dataset", ValueType::Text)]);
@@ -270,12 +319,17 @@ impl Coordinator {
             Statement::ShowTraces => Ok(rows(traces_frame())),
             Statement::ShowTrace { .. } => Ok(rows(trace_frame())),
             Statement::Info { name } => {
-                let partials = self.fan_out(name, |c, shard| {
-                    traced_shard_call(
+                let partials = self.fan_out(name, |shard| {
+                    let (owned_start_ms, owned_end_ms) = shard.slice();
+                    traced_call(
                         trace,
                         shard,
-                        c,
-                        |c| c.info_partial(name, shard.slice()),
+                        Request::InfoPartial {
+                            dataset: name.clone(),
+                            owned_start_ms,
+                            owned_end_ms,
+                        },
+                        extract_info,
                         |_| Vec::new(),
                     )
                 })?;
@@ -322,12 +376,17 @@ impl Coordinator {
                 // Each shard contributes the trajectories *starting* in its
                 // slice: a disjoint cover of the dataset even though border
                 // trajectories are stored on several shards.
-                let shares = self.fan_out(name, |c, shard| {
-                    traced_shard_call(
+                let shares = self.fan_out(name, |shard| {
+                    let (owned_start_ms, owned_end_ms) = shard.slice();
+                    traced_call(
                         trace,
                         shard,
-                        c,
-                        |c| c.gather_trajectories(name, shard.slice()),
+                        Request::GatherTrajectories {
+                            dataset: name.clone(),
+                            owned_start_ms,
+                            owned_end_ms,
+                        },
+                        extract_trajectories,
                         |trajectories| vec![("trajectories", trajectories.len().to_string())],
                     )
                 })?;
@@ -397,12 +456,20 @@ impl Coordinator {
                 }
                 let started = Instant::now();
                 let overrides = Some((f64_of(tau)?, f64_of(delta)?, i64_of(min_duration_ms)?));
-                let partials = self.fan_out(name, |c, shard| {
-                    traced_shard_call(
+                let partials = self.fan_out(name, |shard| {
+                    let (owned_start_ms, owned_end_ms) = shard.slice();
+                    traced_call(
                         trace,
                         shard,
-                        c,
-                        |c| c.qut_partial(name, shard.slice(), (wi, we), overrides),
+                        Request::QutPartial {
+                            dataset: name.clone(),
+                            owned_start_ms,
+                            owned_end_ms,
+                            wi,
+                            we,
+                            overrides,
+                        },
+                        extract_qut,
                         |partial| phase_attrs(&partial.stats),
                     )
                 })?;
@@ -427,12 +494,19 @@ impl Coordinator {
                         return Ok(response);
                     }
                 }
-                let counts = self.fan_out(name, |c, shard| {
-                    traced_shard_call(
+                let counts = self.fan_out(name, |shard| {
+                    let (owned_start_ms, owned_end_ms) = shard.slice();
+                    traced_call(
                         trace,
                         shard,
-                        c,
-                        |c| c.range_partial(name, shard.slice(), (wi, we)),
+                        Request::RangePartial {
+                            dataset: name.clone(),
+                            owned_start_ms,
+                            owned_end_ms,
+                            wi,
+                            we,
+                        },
+                        extract_count,
                         |count| vec![("count", count.to_string())],
                     )
                 })?;
@@ -460,12 +534,20 @@ impl Coordinator {
                 }
                 // No overrides: the histogram clusters with the tree's own
                 // indexing-time S2T parameters, exactly like the executor.
-                let partials = self.fan_out(name, |c, shard| {
-                    traced_shard_call(
+                let partials = self.fan_out(name, |shard| {
+                    let (owned_start_ms, owned_end_ms) = shard.slice();
+                    traced_call(
                         trace,
                         shard,
-                        c,
-                        |c| c.qut_partial(name, shard.slice(), (wi, we), None),
+                        Request::QutPartial {
+                            dataset: name.clone(),
+                            owned_start_ms,
+                            owned_end_ms,
+                            wi,
+                            we,
+                            overrides: None,
+                        },
+                        extract_qut,
                         |partial| phase_attrs(&partial.stats),
                     )
                 })?;
@@ -496,7 +578,7 @@ impl Coordinator {
         for shard in &self.shards {
             let scope = format!("coordinator.{}", shard.spec.name);
             for (metric, value) in shard.stat_rows() {
-                push_stat(&mut frame, &scope, metric, value);
+                push_stat(&mut frame, &scope, &metric, value);
             }
         }
         for (shard, answer) in self.shards.iter().zip(answers) {
@@ -540,55 +622,60 @@ impl Coordinator {
             .cloned()
     }
 
-    /// Re-sends the client's original statement to one shard and returns
-    /// the shard's response verbatim (including shard-answered errors —
-    /// they carry single-node texts).
-    fn forward(&self, shard: &Shard, fwd: &ForwardSpec<'_>) -> Result<Response, CoordError> {
-        shard.with_conn(|c| match fwd {
-            ForwardSpec::Query(sql) => c.exchange(&Request::Query {
+    /// Re-sends the client's original statement to one shard — the **read**
+    /// forward: [`Shard::call`] retries the exchange across the replica set,
+    /// so a dead primary degrades to a replica instead of an error. The
+    /// shard's response is returned verbatim (including shard-answered
+    /// errors — they carry single-node texts).
+    fn forward(&self, shard: &Arc<Shard>, fwd: &ForwardSpec<'_>) -> Result<Response, CoordError> {
+        let call = match fwd {
+            ForwardSpec::Query(sql) => ReadCall::Pipeline(vec![Request::Query {
                 sql: (*sql).to_string(),
-            }),
-            ForwardSpec::Prepared { sql, params } => {
-                match c.exchange(&Request::Prepare {
-                    sql: (*sql).to_string(),
-                })? {
-                    Response::Prepared { handle } => c.exchange(&Request::ExecutePrepared {
-                        handle,
-                        params: params.to_vec(),
-                    }),
-                    error @ Response::Error { .. } => Ok(error),
-                    other => Err(ClientError::Protocol(format!(
-                        "expected a Prepared response, got {other:?}"
-                    ))),
-                }
-            }
+            }]),
+            ForwardSpec::Prepared { sql, params } => ReadCall::Prepared {
+                sql: (*sql).to_string(),
+                params: params.to_vec(),
+            },
+        };
+        let mut responses = shard.call(call, None)?;
+        responses.pop().ok_or_else(|| CoordError::Shard {
+            name: shard.spec.name.clone(),
+            addr: shard.spec.addr.clone(),
+            detail: "empty pipeline answer".into(),
         })
     }
 
-    /// Forwards `fwd` to every shard in parallel, all-or-error. A
-    /// shard-answered error whose message is listed in `tolerated` becomes
-    /// `None` instead of failing the broadcast — unless *every* shard says
-    /// it, in which case it is the deployment-wide truth and is relayed.
+    /// Forwards `fwd` to **every endpoint of every shard** in parallel,
+    /// all-or-error — the **write** path. No failover: a write that skipped
+    /// a replica would leave the set divergent, so any endpoint failure
+    /// fails the statement. A shard-answered error whose message is listed
+    /// in `tolerated` makes the shard contribute `None` instead of failing
+    /// the broadcast — unless *every* shard says it, in which case it is the
+    /// deployment-wide truth and is relayed. The returned vector holds the
+    /// **primary's** response per shard (one response per shard, not per
+    /// endpoint, so affected-row sums match a single node's).
     fn broadcast(
         &self,
         fwd: &ForwardSpec<'_>,
         tolerated: &[String],
     ) -> Result<Vec<Option<Response>>, CoordError> {
+        let pairs = self.endpoint_pairs();
         let exec = self.exec();
-        let results = exec.map(&self.shards, |_, shard| self.forward(shard, fwd));
-        let mut out = Vec::with_capacity(results.len());
+        let results = exec.map(&pairs, |_, &(s, e)| self.forward_on(s, e, fwd));
+        let mut out: Vec<Option<Response>> = (0..self.shards.len()).map(|_| None).collect();
         let mut first_tolerated = None;
-        for result in results {
+        for (&(s, e), result) in pairs.iter().zip(results) {
             match result {
-                Ok(Response::Error { message, .. }) if tolerated.contains(&message) => {
+                Ok(Response::Error { message, .. }) | Err(CoordError::Data(message))
+                    if tolerated.contains(&message) =>
+                {
                     first_tolerated.get_or_insert(message);
-                    out.push(None);
                 }
                 Ok(Response::Error { message, .. }) => return Err(CoordError::Data(message)),
-                Ok(response) => out.push(Some(response)),
-                Err(CoordError::Data(message)) if tolerated.contains(&message) => {
-                    first_tolerated.get_or_insert(message);
-                    out.push(None);
+                Ok(response) => {
+                    if e == 0 {
+                        out[s] = Some(response);
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -601,6 +688,35 @@ impl Coordinator {
         Ok(out)
     }
 
+    /// One verbatim statement exchange with one specific endpoint (the
+    /// write-path unit; no failover).
+    fn forward_on(
+        &self,
+        shard_idx: usize,
+        endpoint_idx: usize,
+        fwd: &ForwardSpec<'_>,
+    ) -> Result<Response, CoordError> {
+        self.shards[shard_idx].on_endpoint(endpoint_idx, |c| match fwd {
+            ForwardSpec::Query(sql) => c.exchange(&Request::Query {
+                sql: (*sql).to_string(),
+            }),
+            ForwardSpec::Prepared { sql, params } => {
+                match c.exchange(&Request::Prepare {
+                    sql: (*sql).to_string(),
+                })? {
+                    Response::Prepared { handle } => c.exchange(&Request::ExecutePrepared {
+                        handle,
+                        params: params.to_vec(),
+                    }),
+                    error @ Response::Error { .. } => Ok(error),
+                    other => Err(hermes_server::ClientError::Protocol(format!(
+                        "expected a Prepared response, got {other:?}"
+                    ))),
+                }
+            }
+        })
+    }
+
     /// Runs one typed shard call per shard in parallel (slice order is
     /// preserved — the merge depends on it). "Holds no trajectories" and
     /// "has no ReTraTree index" answers from *individual* shards become
@@ -610,14 +726,14 @@ impl Coordinator {
     fn fan_out<T: Send>(
         &self,
         dataset: &str,
-        call: impl Fn(&mut HermesClient, &Shard) -> Result<T, ClientError> + Sync,
+        call: impl Fn(&Arc<Shard>) -> Result<T, CoordError> + Sync,
     ) -> Result<Vec<Option<T>>, CoordError> {
         let tolerated = [
             EngineError::EmptyDataset(dataset.to_string()).to_string(),
             EngineError::NotIndexed(dataset.to_string()).to_string(),
         ];
         let exec = self.exec();
-        let results = exec.map(&self.shards, |_, shard| shard.with_conn(|c| call(c, shard)));
+        let results = exec.map(&self.shards, |_, shard| call(shard));
         let mut out = Vec::with_capacity(results.len());
         let mut first_tolerated = None;
         for result in results {
@@ -639,26 +755,35 @@ impl Coordinator {
     }
 }
 
-/// Runs one downstream call with a child span around it: allocates the span,
-/// propagates its [`TraceContext`](hermes_obs::TraceContext) on the
-/// connection so the shard's own `qut_partial`/`range_partial` span parents
-/// under it, and records `shard:<name>` with the call's outcome. With no
-/// active trace this is exactly the bare call.
-fn traced_shard_call<T>(
+/// Runs one downstream read with a child span around it: allocates the span,
+/// propagates its [`TraceContext`](hermes_obs::TraceContext) through
+/// [`Shard::call`] so the shard's own partial span parents under it, and
+/// records `shard:<name>` with the call's outcome. With no active trace this
+/// is exactly the bare call. The request travels as a one-element pipeline —
+/// the failover/hedging machinery replays it verbatim on other endpoints as
+/// needed.
+fn traced_call<T>(
     trace: Option<&QueryTrace>,
-    shard: &Shard,
-    c: &mut HermesClient,
-    call: impl FnOnce(&mut HermesClient) -> Result<T, ClientError>,
+    shard: &Arc<Shard>,
+    request: Request,
+    extract: impl FnOnce(&Shard, Response) -> Result<T, CoordError>,
     attrs: impl FnOnce(&T) -> Vec<(&'static str, String)>,
-) -> Result<T, ClientError> {
+) -> Result<T, CoordError> {
+    let run = |ctx| {
+        let mut responses = shard.call(ReadCall::Pipeline(vec![request]), ctx)?;
+        let response = responses.pop().ok_or_else(|| CoordError::Shard {
+            name: shard.spec.name.clone(),
+            addr: shard.spec.addr.clone(),
+            detail: "empty pipeline answer".into(),
+        })?;
+        extract(shard, response)
+    };
     let Some(trace) = trace else {
-        return call(c);
+        return run(None);
     };
     let (span_id, ctx) = trace.child_ctx();
     let started = Instant::now();
-    c.set_trace(Some(ctx));
-    let result = call(c);
-    c.set_trace(None);
+    let result = run(Some(ctx));
     let span_attrs = match &result {
         Ok(value) => attrs(value),
         Err(e) => vec![("error", e.to_string())],
@@ -671,6 +796,47 @@ fn traced_shard_call<T>(
         span_attrs,
     );
     result
+}
+
+/// Typed extraction of a shard's answer frame, with shard-answered errors
+/// relayed verbatim and unexpected frames named after the shard.
+fn extract_qut(shard: &Shard, response: Response) -> Result<QutPartial, CoordError> {
+    match response {
+        Response::QutPartial(partial) => Ok(partial),
+        other => extract_mismatch(shard, "QutPartial", other),
+    }
+}
+
+fn extract_count(shard: &Shard, response: Response) -> Result<u64, CoordError> {
+    match response {
+        Response::Count(n) => Ok(n),
+        other => extract_mismatch(shard, "Count", other),
+    }
+}
+
+fn extract_trajectories(shard: &Shard, response: Response) -> Result<Vec<Trajectory>, CoordError> {
+    match response {
+        Response::Trajectories(trajectories) => Ok(trajectories),
+        other => extract_mismatch(shard, "Trajectories", other),
+    }
+}
+
+fn extract_info(shard: &Shard, response: Response) -> Result<PartialInfo, CoordError> {
+    match response {
+        Response::InfoPartial(info) => Ok(info),
+        other => extract_mismatch(shard, "InfoPartial", other),
+    }
+}
+
+fn extract_mismatch<T>(shard: &Shard, wanted: &str, got: Response) -> Result<T, CoordError> {
+    match got {
+        Response::Error { message, .. } => Err(CoordError::Data(message)),
+        other => Err(CoordError::Shard {
+            name: shard.spec.name.clone(),
+            addr: shard.spec.addr.clone(),
+            detail: format!("expected a {wanted} response, got {other:?}"),
+        }),
+    }
 }
 
 /// Span attributes carrying a shard's S2T phase work and voting-kernel

@@ -12,26 +12,54 @@
 //!
 //! Two input syntaxes produce the same [`ShardSpec`]s:
 //!
-//! - repeated `--shard name=addr@start..end` flags, where either bound may
-//!   be empty, `min` or `max`;
+//! - repeated `--shard name=addr,addr2@start..end` flags, where either bound
+//!   may be empty, `min` or `max`;
 //! - a TOML-subset map file of `[[shard]]` tables with `name`, `addr` and
 //!   optional `start_ms` / `end_ms` keys (defaulting to the unbounded ends).
+//!
+//! The address part is a comma-separated **replica set**: the first endpoint
+//! is the primary, the rest are replicas holding (by the write fan-out
+//! invariant, `docs/SHARDING.md`) byte-identical state. Reads prefer the
+//! primary and fail over; writes go to every endpoint all-or-error.
 
 use std::fmt;
 
-/// One shard of the deployment: a display name, the `host:port` it serves
-/// the wire protocol on, and the half-open `[start_ms, end_ms)` temporal
-/// slice it owns.
+/// One shard of the deployment: a display name, the replica set of
+/// `host:port` endpoints serving its slice (primary first), and the
+/// half-open `[start_ms, end_ms)` temporal slice it owns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
     /// Shard name, used in error frames and `SHOW STATS` scopes.
     pub name: String,
-    /// `host:port` of the shard's `hermes-serve` listener.
+    /// `host:port` of the shard's primary `hermes-serve` listener.
     pub addr: String,
+    /// `host:port` of each replica listener (may be empty — an unreplicated
+    /// shard). Replicas receive every write the primary receives and
+    /// therefore answer reads bit-identically.
+    pub replicas: Vec<String>,
     /// Inclusive start of the owned slice in epoch milliseconds.
     pub start_ms: i64,
     /// Exclusive end of the owned slice (`i64::MAX` = unbounded).
     pub end_ms: i64,
+}
+
+impl ShardSpec {
+    /// Every endpoint of the replica set, primary first.
+    pub fn endpoints(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.addr.as_str()).chain(self.replicas.iter().map(String::as_str))
+    }
+
+    /// Replica-set size (primary + replicas).
+    pub fn endpoint_count(&self) -> usize {
+        1 + self.replicas.len()
+    }
+}
+
+/// Splits a comma-separated endpoint list into `(primary, replicas)`.
+fn split_endpoints(list: &str) -> (String, Vec<String>) {
+    let mut parts = list.split(',').map(|a| a.trim().to_string());
+    let primary = parts.next().unwrap_or_default();
+    (primary, parts.collect())
 }
 
 /// A malformed or inconsistent shard map.
@@ -50,13 +78,17 @@ fn err<T>(message: impl Into<String>) -> Result<T, ShardMapError> {
     Err(ShardMapError(message.into()))
 }
 
-/// Parses one `--shard` flag value: `name=addr[@start..end]`, where either
-/// bound may be empty, `min` or `max` (both default to unbounded).
+/// Parses one `--shard` flag value: `name=addr[,addr2,…][@start..end]`,
+/// where either bound may be empty, `min` or `max` (both default to
+/// unbounded) and the address list is the shard's replica set, primary
+/// first.
 ///
 /// ```
 /// use hermes_coord::parse_shard_flag;
-/// let s = parse_shard_flag("early=127.0.0.1:9001@min..3600000").unwrap();
+/// let s = parse_shard_flag("early=127.0.0.1:9001,127.0.0.1:9101@min..3600000").unwrap();
 /// assert_eq!((s.start_ms, s.end_ms), (i64::MIN, 3_600_000));
+/// assert_eq!(s.addr, "127.0.0.1:9001");
+/// assert_eq!(s.replicas, vec!["127.0.0.1:9101".to_string()]);
 /// ```
 pub fn parse_shard_flag(value: &str) -> Result<ShardSpec, ShardMapError> {
     let Some((name, rest)) = value.split_once('=') else {
@@ -82,9 +114,11 @@ pub fn parse_shard_flag(value: &str) -> Result<ShardSpec, ShardMapError> {
             )
         }
     };
+    let (primary, replicas) = split_endpoints(addr);
     let spec = ShardSpec {
         name: name.trim().to_string(),
-        addr: addr.trim().to_string(),
+        addr: primary,
+        replicas,
         start_ms,
         end_ms,
     };
@@ -127,6 +161,7 @@ pub fn parse_shard_map(text: &str) -> Result<Vec<ShardSpec>, ShardMapError> {
             current = Some(ShardSpec {
                 name: String::new(),
                 addr: String::new(),
+                replicas: Vec::new(),
                 start_ms: i64::MIN,
                 end_ms: i64::MAX,
             });
@@ -146,7 +181,12 @@ pub fn parse_shard_map(text: &str) -> Result<Vec<ShardSpec>, ShardMapError> {
         let (key, value) = (key.trim(), value.trim());
         match key {
             "name" => spec.name = parse_toml_string(value, lineno)?,
-            "addr" => spec.addr = parse_toml_string(value, lineno)?,
+            "addr" => {
+                // Same comma-separated replica-set syntax as the flag form.
+                let (primary, replicas) = split_endpoints(&parse_toml_string(value, lineno)?);
+                spec.addr = primary;
+                spec.replicas = replicas;
+            }
             "start_ms" => spec.start_ms = parse_toml_int(value, lineno)?,
             "end_ms" => spec.end_ms = parse_toml_int(value, lineno)?,
             other => {
@@ -201,6 +241,22 @@ fn check_spec(spec: &ShardSpec) -> Result<(), ShardMapError> {
     }
     if spec.addr.is_empty() {
         return err(format!("shard '{}' needs an addr", spec.name));
+    }
+    if spec.replicas.iter().any(String::is_empty) {
+        return err(format!(
+            "shard '{}': empty endpoint in the replica list",
+            spec.name
+        ));
+    }
+    let mut endpoints: Vec<&str> = spec.endpoints().collect();
+    endpoints.sort_unstable();
+    for pair in endpoints.windows(2) {
+        if pair[0] == pair[1] {
+            return err(format!(
+                "shard '{}': endpoint '{}' appears twice in the replica set",
+                spec.name, pair[0]
+            ));
+        }
     }
     if spec.start_ms >= spec.end_ms {
         return err(format!(
@@ -267,6 +323,7 @@ mod tests {
         ShardSpec {
             name: name.into(),
             addr: "127.0.0.1:1".into(),
+            replicas: Vec::new(),
             start_ms: start,
             end_ms: end,
         }
@@ -287,6 +344,29 @@ mod tests {
         assert_eq!((s.start_ms, s.end_ms), (-100, 100));
         let s = parse_shard_flag("e=h:1@..").unwrap();
         assert_eq!((s.start_ms, s.end_ms), (i64::MIN, i64::MAX));
+    }
+
+    #[test]
+    fn replica_sets_parse_in_both_syntaxes() {
+        let s = parse_shard_flag("a=h:1, h:2 ,h:3@min..0").unwrap();
+        assert_eq!(s.addr, "h:1");
+        assert_eq!(s.replicas, vec!["h:2".to_string(), "h:3".to_string()]);
+        assert_eq!(s.endpoint_count(), 3);
+        assert_eq!(s.endpoints().collect::<Vec<_>>(), vec!["h:1", "h:2", "h:3"]);
+
+        let mut shards = parse_shard_map(
+            "[[shard]]\nname = \"a\"\naddr = \"h:1,h:2\"\nend_ms = 0\n\
+             [[shard]]\nname = \"b\"\naddr = \"h:3\"\nstart_ms = 0\n",
+        )
+        .unwrap();
+        validate_shard_map(&mut shards).unwrap();
+        assert_eq!(shards[0].replicas, vec!["h:2".to_string()]);
+        assert!(shards[1].replicas.is_empty());
+
+        // Duplicate or empty endpoints are rejected.
+        assert!(parse_shard_flag("a=h:1,h:1").is_err());
+        assert!(parse_shard_flag("a=h:1,,h:2").is_err());
+        assert!(parse_shard_flag("a=,h:2").is_err());
     }
 
     #[test]

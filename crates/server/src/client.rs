@@ -91,15 +91,28 @@ impl Default for ConnectOptions {
 
 /// A synchronous connection to a `hermes-serve` instance.
 ///
-/// The request/response cycle is strictly alternating, so a client is
-/// naturally `!Sync`; open one client per thread for concurrent load (the
-/// server pairs each with its own session).
+/// Requests may be pipelined: [`send`](HermesClient::send) /
+/// [`receive`](HermesClient::receive) (or [`pipeline`](HermesClient::pipeline))
+/// keep several requests in flight on one connection, and the server answers
+/// strictly in order. A client is still naturally `!Sync`; open one client
+/// per thread for concurrent load (the server pairs each with its own
+/// session).
+///
+/// The client tracks its own stream health: [`is_clean`](HermesClient::is_clean)
+/// is false while responses are outstanding or after the stream broke
+/// mid-frame, so pools can refuse to reuse a desynchronized connection.
 pub struct HermesClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     bytes_out: u64,
     bytes_in: u64,
     trace: Option<TraceContext>,
+    /// Requests sent whose responses have not been read yet.
+    pending: u32,
+    /// Set once the stream can no longer be trusted to be frame-aligned:
+    /// an I/O or decode failure mid-exchange, or a `Capacity` rejection
+    /// (the server closes the connection behind it).
+    poisoned: bool,
 }
 
 impl HermesClient {
@@ -144,6 +157,8 @@ impl HermesClient {
                         bytes_out: 0,
                         bytes_in: 0,
                         trace: None,
+                        pending: 0,
+                        poisoned: false,
                     });
                 }
                 None => {
@@ -178,6 +193,15 @@ impl HermesClient {
         self.trace = trace;
     }
 
+    /// True when the connection is safe to reuse for a fresh request:
+    /// every sent request has had its response read and the stream never
+    /// broke mid-frame. Pools must drop unclean connections instead of
+    /// checking them back in — a desynchronized stream would decode the
+    /// previous request's leftover bytes as the next answer.
+    pub fn is_clean(&self) -> bool {
+        self.pending == 0 && !self.poisoned
+    }
+
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.send(request)?;
         self.receive()
@@ -188,30 +212,77 @@ impl HermesClient {
     /// in order, so callers must balance each `send` with one
     /// [`receive`](HermesClient::receive).
     pub fn send(&mut self, request: &Request) -> Result<(), ClientError> {
-        self.bytes_out += write_request_traced(&mut self.writer, request, self.trace)?;
-        Ok(())
+        match write_request_traced(&mut self.writer, request, self.trace) {
+            Ok(n) => {
+                self.bytes_out += n;
+                self.pending += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // The frame may be partially on the wire; nothing sent after
+                // this point can be framed correctly.
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
     }
 
     /// Reads the next in-order response, mapping server error frames to
     /// [`ClientError::Server`].
     pub fn receive(&mut self) -> Result<Response, ClientError> {
-        let (response, n_in) = read_response(&mut self.reader)?;
-        self.bytes_in += n_in;
-        if let Response::Error { code, message } = response {
-            return Err(ClientError::Server { code, message });
+        match self.receive_raw()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
         }
-        Ok(response)
+    }
+
+    /// Reads the next in-order response with `Error` frames returned as
+    /// values (the coordinator needs to distinguish "the shard answered with
+    /// an error" from "the connection to the shard broke").
+    pub fn receive_raw(&mut self) -> Result<Response, ClientError> {
+        match read_response(&mut self.reader) {
+            Ok((response, n_in)) => {
+                self.bytes_in += n_in;
+                self.pending = self.pending.saturating_sub(1);
+                if let Response::Error { code, .. } = &response {
+                    if *code == ErrorCode::Capacity {
+                        // The server closes the connection behind a capacity
+                        // rejection; never hand this stream out again.
+                        self.poisoned = true;
+                    }
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                // A torn or garbled frame: the stream position is unknown.
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
     }
 
     /// One raw request/response exchange. Server-side `Error` responses come
-    /// back as `Ok(Response::Error { .. })` here — the coordinator needs to
-    /// distinguish "the shard answered with an error" from "the connection to
-    /// the shard broke".
+    /// back as `Ok(Response::Error { .. })` here — see
+    /// [`receive_raw`](HermesClient::receive_raw).
     pub fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.bytes_out += write_request_traced(&mut self.writer, request, self.trace)?;
-        let (response, n_in) = read_response(&mut self.reader)?;
-        self.bytes_in += n_in;
-        Ok(response)
+        self.send(request)?;
+        self.receive_raw()
+    }
+
+    /// Pipelines a batch: writes every request before reading the first
+    /// response, then collects the in-order responses. `Error` frames come
+    /// back as values in their slot; only a broken connection returns `Err`.
+    /// One round trip instead of `requests.len()` — fan-out latency becomes
+    /// bounded by the slowest statement, not the sum.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        for request in requests {
+            self.send(request)?;
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.receive_raw()?);
+        }
+        Ok(responses)
     }
 
     /// Requests the shard's owned share of `QUT(W)` (see `docs/SHARDING.md`).

@@ -267,7 +267,9 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    fn from_u8(v: u8) -> ErrorCode {
+    /// Decodes a wire byte; unknown values from a future peer decode as
+    /// [`ErrorCode::Query`] (the conservative class: relay, do not retry).
+    pub fn from_u8(v: u8) -> ErrorCode {
         match v {
             1 => ErrorCode::Protocol,
             2 => ErrorCode::Capacity,
@@ -275,6 +277,18 @@ impl ErrorCode {
             4 => ErrorCode::Deadline,
             _ => ErrorCode::Query,
         }
+    }
+
+    /// True for the admission/deadline classes (`Capacity`, `Backpressure`,
+    /// `Deadline`): the statement was refused or timed out rather than
+    /// answered, so a retry — on this node or a replica holding the same
+    /// data — is safe and may succeed. `Query`-class errors are *answers*
+    /// (a replica would say exactly the same) and must be relayed verbatim.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Capacity | ErrorCode::Backpressure | ErrorCode::Deadline
+        )
     }
 }
 

@@ -1,0 +1,474 @@
+//! A std-only fault-injection TCP proxy for the failover tests.
+//!
+//! The proxy forwards byte streams between a client (the coordinator) and
+//! one upstream (`hermes-serve` shard endpoint) and can, per direction and
+//! on command, **delay** (hold bytes until released), **blackhole**
+//! (swallow bytes), **reset mid-frame** or **truncate after K bytes**. All
+//! fault transitions are *commands* that take effect at well-defined points
+//! of the pump loop, and tests synchronize on observed proxy state
+//! ([`FaultProxy::wait`] over byte counters and events) — never on elapsed
+//! time — so every failure fires at a deterministic protocol position.
+//!
+//! Every state change appends to an in-memory event log (sequence-numbered,
+//! no wall-clock timestamps) that a failing test dumps for the CI artifact
+//! (`FAULTPROXY_LOG`).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long [`FaultProxy::wait`] lets a predicate stay false before the
+/// test is declared hung. Generous — it bounds a *failing* run, it never
+/// paces a passing one.
+const WAIT_CAP: Duration = Duration::from_secs(30);
+
+/// A traffic direction through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Bytes flowing client → upstream (requests).
+    ToUpstream = 0,
+    /// Bytes flowing upstream → client (responses).
+    ToClient = 1,
+}
+
+/// The fault applied to one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward everything (the default).
+    None,
+    /// Hold bytes: data is read from the source but not forwarded until the
+    /// fault changes (then it flows under the new fault). Connections stay
+    /// open — the peer just observes silence.
+    Delay,
+    /// Swallow bytes silently; connections stay open.
+    Blackhole,
+    /// Forward this many more bytes, then cut the carrying connection with
+    /// an orderly FIN (mid-frame when the budget lands inside one).
+    TruncateAfter(u64),
+    /// Forward this many more bytes, then cut the carrying connection with
+    /// an RST (`SO_LINGER 0`) — the classic kill-mid-frame.
+    ResetAfter(u64),
+}
+
+struct State {
+    faults: [Fault; 2],
+    /// Bumped on every command; delay waiters block on it.
+    generation: u64,
+    /// False after [`FaultProxy::kill`]: new connections are accepted and
+    /// immediately reset, so dials fail fast instead of hanging.
+    accepting: bool,
+    /// Bytes read from the source, per direction (counted even when the
+    /// fault then swallows or holds them) — what tests synchronize on.
+    received: [u64; 2],
+    /// Bytes actually forwarded to the destination, per direction.
+    forwarded: [u64; 2],
+    open_conns: usize,
+    events: Vec<String>,
+    next_seq: u64,
+}
+
+/// A point-in-time view of the proxy for [`FaultProxy::wait`] predicates.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Bytes read from the source per direction (index by [`Dir`]).
+    pub received: [u64; 2],
+    /// Bytes forwarded to the destination per direction.
+    pub forwarded: [u64; 2],
+    /// Live proxied connections.
+    pub open_conns: usize,
+    /// Events logged so far.
+    pub events: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Inner {
+    fn log(&self, state: &mut State, message: String) {
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.events.push(format!("{seq:04} {message}"));
+        self.cv.notify_all();
+    }
+}
+
+struct ConnPair {
+    id: u64,
+    client: TcpStream,
+    upstream: TcpStream,
+}
+
+impl ConnPair {
+    /// Cuts both legs. With `reset`, arms `SO_LINGER 0` first so the peer
+    /// sees an RST instead of an orderly FIN (Linux; elsewhere the cut
+    /// degrades to a FIN, which the client still observes as a dead stream).
+    fn sever(&self, reset: bool) {
+        if reset {
+            set_linger_zero(&self.client);
+            set_linger_zero(&self.upstream);
+        }
+        let _ = self.client.shutdown(Shutdown::Both);
+        let _ = self.upstream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The proxy: listens on an ephemeral port, pumps every accepted connection
+/// to `upstream`, and applies the commanded [`Fault`]s.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    conns: Arc<Mutex<Vec<Arc<ConnPair>>>>,
+    next_conn: Arc<AtomicU64>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy in front of `upstream`.
+    pub fn start(upstream: SocketAddr) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                faults: [Fault::None; 2],
+                generation: 0,
+                accepting: true,
+                received: [0; 2],
+                forwarded: [0; 2],
+                open_conns: 0,
+                events: Vec::new(),
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let conns = Arc::new(Mutex::new(Vec::<Arc<ConnPair>>::new()));
+        let proxy = FaultProxy {
+            addr,
+            inner: Arc::clone(&inner),
+            conns: Arc::clone(&conns),
+            next_conn: Arc::new(AtomicU64::new(0)),
+        };
+        let next_conn = Arc::clone(&proxy.next_conn);
+        std::thread::spawn(move || accept_loop(listener, upstream, inner, conns, next_conn));
+        Ok(proxy)
+    }
+
+    /// The address clients (the coordinator's shard map) should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Applies `fault` to both directions.
+    pub fn set_fault(&self, fault: Fault) {
+        self.set_fault_dir(Dir::ToUpstream, fault);
+        self.set_fault_dir(Dir::ToClient, fault);
+    }
+
+    /// Applies `fault` to one direction.
+    pub fn set_fault_dir(&self, dir: Dir, fault: Fault) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.faults[dir as usize] = fault;
+        state.generation += 1;
+        self.inner
+            .log(&mut state, format!("command {dir:?} {fault:?}"));
+    }
+
+    /// Back to transparent forwarding (releases held [`Fault::Delay`]
+    /// bytes).
+    pub fn clear(&self) {
+        self.set_fault(Fault::None);
+    }
+
+    /// Cuts every live proxied connection right now; `reset` sends RSTs.
+    pub fn sever_all(&self, reset: bool) {
+        let conns: Vec<Arc<ConnPair>> = self.conns.lock().unwrap().clone();
+        let mut state = self.inner.state.lock().unwrap();
+        state.generation += 1;
+        for conn in &conns {
+            conn.sever(reset);
+            self.inner.log(
+                &mut state,
+                format!("conn{} severed (reset={reset})", conn.id),
+            );
+        }
+        self.inner.cv.notify_all();
+    }
+
+    /// Simulates killing the endpoint behind the proxy: every live
+    /// connection is reset and every *new* connection is accepted and
+    /// immediately reset, so redials fail fast and deterministically
+    /// instead of hanging in a half-open handshake.
+    pub fn kill(&self) {
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.accepting = false;
+            self.inner.log(&mut state, "killed".to_string());
+        }
+        self.sever_all(true);
+    }
+
+    /// Undoes [`FaultProxy::kill`] and clears all faults.
+    pub fn revive(&self) {
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.accepting = true;
+            self.inner.log(&mut state, "revived".to_string());
+        }
+        self.clear();
+    }
+
+    /// Blocks until `pred` holds over the proxy [`Snapshot`] — the
+    /// deterministic synchronization primitive: tests gate on *observed
+    /// bytes/connections*, not on elapsed time. Panics (dumping the event
+    /// log) if the predicate is still false after a generous cap, so a
+    /// broken test fails loudly instead of hanging.
+    pub fn wait(&self, what: &str, pred: impl Fn(&Snapshot) -> bool) {
+        let mut state = self.inner.state.lock().unwrap();
+        let deadline = std::time::Instant::now() + WAIT_CAP;
+        loop {
+            let snap = Snapshot {
+                received: state.received,
+                forwarded: state.forwarded,
+                open_conns: state.open_conns,
+                events: state.events.len(),
+            };
+            if pred(&snap) {
+                return;
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                panic!(
+                    "fault proxy: waited {WAIT_CAP:?} for '{what}' without it holding;\n\
+                     snapshot: {snap:?}\nevents:\n{}",
+                    state.events.join("\n")
+                );
+            }
+            let (guard, _) = self.inner.cv.wait_timeout(state, left).unwrap();
+            state = guard;
+        }
+    }
+
+    /// A point-in-time reading of the proxy counters (for baselines;
+    /// synchronization goes through [`FaultProxy::wait`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.inner.state.lock().unwrap();
+        Snapshot {
+            received: state.received,
+            forwarded: state.forwarded,
+            open_conns: state.open_conns,
+            events: state.events.len(),
+        }
+    }
+
+    /// The sequence-numbered event log so far.
+    pub fn events(&self) -> Vec<String> {
+        self.inner.state.lock().unwrap().events.clone()
+    }
+
+    /// Appends this proxy's event log to the file named by the
+    /// `FAULTPROXY_LOG` environment variable (no-op when unset) — the CI
+    /// chaos step uploads that file as an artifact when the run fails.
+    pub fn dump_event_log(&self, label: &str) {
+        let Ok(path) = std::env::var("FAULTPROXY_LOG") else {
+            return;
+        };
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "== proxy {label} ({}) ==", self.addr);
+            for event in self.events() {
+                let _ = writeln!(f, "{event}");
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    inner: Arc<Inner>,
+    conns: Arc<Mutex<Vec<Arc<ConnPair>>>>,
+    next_conn: Arc<AtomicU64>,
+) {
+    for stream in listener.incoming() {
+        let Ok(client) = stream else { return };
+        let accepting = {
+            let mut state = inner.state.lock().unwrap();
+            let accepting = state.accepting;
+            if !accepting {
+                inner.log(&mut state, "dial refused (killed)".to_string());
+            }
+            accepting
+        };
+        if !accepting {
+            set_linger_zero(&client);
+            drop(client);
+            continue;
+        }
+        let Ok(up) = TcpStream::connect(upstream) else {
+            let mut state = inner.state.lock().unwrap();
+            inner.log(&mut state, "upstream dial failed".to_string());
+            continue;
+        };
+        client.set_nodelay(true).ok();
+        up.set_nodelay(true).ok();
+        let id = next_conn.fetch_add(1, Ordering::Relaxed);
+        let pair = Arc::new(ConnPair {
+            id,
+            client,
+            upstream: up,
+        });
+        {
+            let mut state = inner.state.lock().unwrap();
+            state.open_conns += 1;
+            inner.log(&mut state, format!("conn{id} open"));
+        }
+        conns.lock().unwrap().push(Arc::clone(&pair));
+        for dir in [Dir::ToUpstream, Dir::ToClient] {
+            let pair = Arc::clone(&pair);
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                pump(dir, &pair, &inner);
+                // First pump out deregisters the pair; the second finds it
+                // already gone.
+                let mut registry = conns.lock().unwrap();
+                if let Some(at) = registry.iter().position(|c| c.id == pair.id) {
+                    registry.remove(at);
+                    drop(registry);
+                    pair.sever(false);
+                    let mut state = inner.state.lock().unwrap();
+                    state.open_conns -= 1;
+                    inner.log(&mut state, format!("conn{} closed", pair.id));
+                }
+            });
+        }
+    }
+}
+
+/// One direction's pump: read a chunk, then ask the current fault what to
+/// do with it. Faults are consulted *after* the read so `received` counts
+/// what genuinely arrived — the synchronization signal — even when the
+/// bytes are then held or dropped.
+fn pump(dir: Dir, pair: &ConnPair, inner: &Inner) {
+    let (src, dst): (&TcpStream, &TcpStream) = match dir {
+        Dir::ToUpstream => (&pair.client, &pair.upstream),
+        Dir::ToClient => (&pair.upstream, &pair.client),
+    };
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match (&mut &*src).read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = dst.shutdown(Shutdown::Write);
+                let mut state = inner.state.lock().unwrap();
+                inner.log(&mut state, format!("conn{} {dir:?} eof", pair.id));
+                return;
+            }
+            Ok(n) => n,
+        };
+        let mut state = inner.state.lock().unwrap();
+        state.received[dir as usize] += n as u64;
+        inner.cv.notify_all();
+        // Hold while delayed; the bytes flow (or drop) under whatever fault
+        // is in force once the delay lifts.
+        while let Fault::Delay = state.faults[dir as usize] {
+            let generation = state.generation;
+            inner.log(&mut state, format!("conn{} {dir:?} holding {n}B", pair.id));
+            while state.generation == generation {
+                state = inner.cv.wait(state).unwrap();
+            }
+        }
+        let fault = state.faults[dir as usize];
+        match fault {
+            Fault::Delay => unreachable!("delay resolved above"),
+            Fault::None => {
+                state.forwarded[dir as usize] += n as u64;
+                drop(state);
+                if (&mut &*dst).write_all(&buf[..n]).is_err() {
+                    let _ = src.shutdown(Shutdown::Read);
+                    let mut state = inner.state.lock().unwrap();
+                    inner.log(&mut state, format!("conn{} {dir:?} dst gone", pair.id));
+                    return;
+                }
+            }
+            Fault::Blackhole => {
+                inner.log(
+                    &mut state,
+                    format!("conn{} {dir:?} swallowed {n}B", pair.id),
+                );
+            }
+            Fault::TruncateAfter(budget) | Fault::ResetAfter(budget) => {
+                let reset = matches!(fault, Fault::ResetAfter(_));
+                let pass = (n as u64).min(budget) as usize;
+                let left = budget - pass as u64;
+                state.faults[dir as usize] = if reset {
+                    Fault::ResetAfter(left)
+                } else {
+                    Fault::TruncateAfter(left)
+                };
+                state.forwarded[dir as usize] += pass as u64;
+                let cut = pass < n || left == 0;
+                if cut {
+                    inner.log(
+                        &mut state,
+                        format!(
+                            "conn{} {dir:?} cut after {pass}B (reset={reset}) mid-stream",
+                            pair.id
+                        ),
+                    );
+                }
+                drop(state);
+                if pass > 0 {
+                    let _ = (&mut &*dst).write_all(&buf[..pass]);
+                }
+                if cut {
+                    pair.sever(reset);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Arms `SO_LINGER 0` so the next close sends an RST instead of a FIN.
+/// Linux-only (the CI platform); elsewhere the cut degrades to a FIN.
+#[cfg(target_os = "linux")]
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        );
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn set_linger_zero(_stream: &TcpStream) {}

@@ -1,0 +1,8 @@
+//! Shared helpers for the integration tests.
+//!
+//! Each test binary that wants these declares `mod common;` — only the
+//! items it actually uses are linked, so the module as a whole allows
+//! dead code.
+#![allow(dead_code)]
+
+pub mod faultproxy;

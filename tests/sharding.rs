@@ -140,6 +140,7 @@ fn spawn_topology(n_shards: usize, workload: &Workload) -> Topology {
         specs.push(ShardSpec {
             name: format!("s{k}"),
             addr: handle.addr().to_string(),
+            replicas: Vec::new(),
             start_ms: if k == 0 { i64::MIN } else { cuts[k - 1] },
             end_ms: if k + 1 == n_shards { i64::MAX } else { cuts[k] },
         });

@@ -61,6 +61,7 @@ fn spawn_traced_topology() -> Traced {
         specs.push(ShardSpec {
             name: format!("s{k}"),
             addr: handle.addr().to_string(),
+            replicas: Vec::new(),
             start_ms: *start_ms,
             end_ms: *end_ms,
         });
